@@ -1,0 +1,1 @@
+bench/workloads.ml: Attribute Connection Database Fmt Instantiate Keller List Metric Penguin Predicate Relational Schema Schema_graph Structural Tuple Value Viewobject

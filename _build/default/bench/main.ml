@@ -1,0 +1,522 @@
+(* Benchmark harness: one bechamel test (or test series) per experiment of
+   EXPERIMENTS.md, preceded by the paper-artifact reproductions.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Relational
+open Structural
+open Viewobject
+
+let section title = Fmt.pr "@.==================== %s ====================@." title
+
+(* --- bechamel driver ------------------------------------------------ *)
+
+let run_group name tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let grouped = Test.make_grouped ~name ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun test_name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        (test_name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "@.%-58s %14s %14s@." "benchmark" "time/run" "runs/sec";
+  Fmt.pr "%s@." (String.make 88 '-');
+  List.iter
+    (fun (n, ns) ->
+      let time_str =
+        if ns < 1_000. then Fmt.str "%.0f ns" ns
+        else if ns < 1_000_000. then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.3f ms" (ns /. 1e6)
+      in
+      Fmt.pr "%-58s %14s %14.0f@." n time_str (1e9 /. ns))
+    rows;
+  rows
+
+let stage = Staged.stage
+
+(* --- E1: Figure 1, structural-schema construction ------------------- *)
+
+let e1 () =
+  section "E1 (Figure 1): structural schema";
+  Fmt.pr "%s@." (Penguin.Paper.figure1 ());
+  let university_schemas =
+    List.map
+      (Schema_graph.schema_exn Penguin.University.graph)
+      (Schema_graph.relations Penguin.University.graph)
+  in
+  let university_conns = Schema_graph.connections Penguin.University.graph in
+  let build_university () =
+    match Schema_graph.make university_schemas university_conns with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
+  let chain_test n =
+    let schemas = List.init n Workloads.chain_relation in
+    let g = Workloads.chain_graph n in
+    let conns = Schema_graph.connections g in
+    Test.make ~name:(Fmt.str "validate-chain:%d" n)
+      (stage (fun () ->
+           match Schema_graph.make schemas conns with
+           | Ok g -> g
+           | Error e -> failwith e))
+  in
+  ignore
+    (run_group "e1"
+       (Test.make ~name:"validate-university" (stage build_university)
+       :: List.map chain_test [ 8; 32; 128 ]))
+
+(* --- E2/E3: Figures 2-3, view-object generation --------------------- *)
+
+let e2_e3 () =
+  section "E2 (Figure 2): view-object generation";
+  Fmt.pr "%s@." (Penguin.Paper.figure2a ());
+  Fmt.pr "%s@." (Penguin.Paper.figure2b ());
+  Fmt.pr "%s@." (Penguin.Paper.figure2c ());
+  section "E3 (Figure 3): alternate view object";
+  Fmt.pr "%s@." (Penguin.Paper.figure3 ());
+  let g = Penguin.University.graph in
+  let omega_gen () =
+    let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+    match Generate.prune g tree ~name:"omega" ~keep:Penguin.University.omega_keep with
+    | Ok vo -> vo
+    | Error e -> failwith e
+  in
+  let omega_prime_gen () =
+    let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+    match
+      Generate.prune g tree ~name:"omega_prime"
+        ~keep:
+          [ "COURSES", [ "course_id"; "title"; "units"; "level" ];
+            Penguin.University.faculty_label, [ "pid"; "rank"; "office" ];
+            Penguin.University.student_label, [ "pid"; "degree_program"; "year" ] ]
+    with
+    | Ok vo -> vo
+    | Error e -> failwith e
+  in
+  let expand_chain n =
+    let cg = Workloads.chain_graph n in
+    Test.make ~name:(Fmt.str "expand-chain:%d" n)
+      (stage (fun () -> Generate.tree (Metric.make ~threshold:0.01 ()) cg ~pivot:"R0"))
+  in
+  let threshold_sweep t =
+    let metric = Metric.make ~threshold:t () in
+    Test.make ~name:(Fmt.str "expand-university:theta=%.2f" t)
+      (stage (fun () -> Generate.tree metric g ~pivot:"COURSES"))
+  in
+  ignore
+    (run_group "e2-e3"
+       ([ Test.make ~name:"generate-omega (fig2)" (stage omega_gen);
+          Test.make ~name:"generate-omega-prime (fig3)" (stage omega_prime_gen) ]
+       @ List.map expand_chain [ 4; 8; 16 ]
+       @ List.map threshold_sweep [ 0.3; 0.5; 0.9 ]))
+
+(* --- E4: Figure 4, instantiation ------------------------------------ *)
+
+let e4 () =
+  section "E4 (Figure 4): instantiation";
+  Fmt.pr "%s@." (Penguin.Paper.figure4 ());
+  let db = Penguin.University.seeded_db () in
+  let omega = Penguin.University.omega in
+  let q =
+    Vo_query.C_and
+      ( Vo_query.C_node ("COURSES", Predicate.eq_str "level" "grad"),
+        Vo_query.C_count (Penguin.University.student_label, Predicate.Lt, 5) )
+  in
+  let fanout_test gsize =
+    let dbg = Workloads.enrollment_db gsize in
+    Test.make ~name:(Fmt.str "instantiate-course:fanout=%d" gsize)
+      (stage (fun () ->
+           Instantiate.instantiate
+             ~where:(Predicate.eq_str "course_id" "BENCH1")
+             dbg omega))
+  in
+  (* ablation: secondary indexes on the connecting attributes *)
+  let indexed_db gsize =
+    let ws =
+      Penguin.Workspace.with_db
+        (Penguin.Workspace.create Penguin.University.graph)
+        (Workloads.enrollment_db gsize)
+    in
+    (Penguin.Workspace.index_connections ws).Penguin.Workspace.db
+  in
+  let fanout_indexed_test gsize =
+    let dbg = indexed_db gsize in
+    Test.make ~name:(Fmt.str "instantiate-course:fanout=%d,indexed" gsize)
+      (stage (fun () ->
+           Instantiate.instantiate
+             ~where:(Predicate.eq_str "course_id" "BENCH1")
+             dbg omega))
+  in
+  let pushdown_db = Workloads.enrollment_db 64 in
+  let pd_query =
+    Vo_query.C_node ("COURSES", Predicate.eq_str "course_id" "CS345")
+  in
+  ignore
+    (run_group "e4"
+       ([ Test.make ~name:"figure4-query" (stage (fun () -> Vo_query.run db omega q)) ]
+       @ List.map fanout_test [ 1; 16; 64; 256 ]
+       @ List.map fanout_indexed_test [ 64; 256 ]
+       @ [
+           (* ablation: pivot-predicate pushdown on/off *)
+           Test.make ~name:"query:pushdown-on"
+             (stage (fun () -> Vo_query.run pushdown_db omega pd_query));
+           Test.make ~name:"query:pushdown-off"
+             (stage (fun () ->
+                  List.filter
+                    (Vo_query.holds pd_query)
+                    (Instantiate.instantiate pushdown_db omega)));
+         ]))
+
+(* --- E5: Section 6 dialog & amortization ----------------------------- *)
+
+let choose_omega () =
+  Vo_core.Dialog.choose ~ask_insertion:false ~ask_deletion:false
+    Penguin.University.graph Penguin.University.omega
+    (Vo_core.Dialog.scripted Vo_core.Dialog.paper_omega_answers)
+
+let e5 () =
+  section "E5 (Section 6): translator-choice dialog";
+  Fmt.pr "%s@." (Penguin.Paper.section6_dialog ());
+  Fmt.pr "@.With DEPARTMENT locked (footnote 5 pruning):@.%s@."
+    (Penguin.Paper.section6_dialog_restrictive ());
+  let _, events = choose_omega () in
+  let n_questions = Vo_core.Dialog.question_count events in
+  Fmt.pr
+    "@.Question counts: full dialog %d; with DEPARTMENT locked %d (pruned).@."
+    n_questions
+    (let _, e' =
+       Vo_core.Dialog.choose ~ask_insertion:false ~ask_deletion:false
+         Penguin.University.graph Penguin.University.omega
+         (Vo_core.Dialog.scripted Vo_core.Dialog.restrictive_department_answers)
+     in
+     Vo_core.Dialog.question_count e');
+  (* Amortization: the dialog happens once per object, not once per
+     update. Questions asked for N updates: *)
+  Fmt.pr "@.DBA questions for N updates (the paper's amortization claim):@.";
+  Fmt.pr "%-8s %26s %26s@." "N" "translator-at-definition" "dialog-per-update";
+  List.iter
+    (fun n ->
+      Fmt.pr "%-8d %26d %26d@." n n_questions (n * n_questions))
+    [ 1; 10; 100; 1000 ];
+  let g = Penguin.University.graph in
+  let omega = Penguin.University.omega in
+  let db = Penguin.University.seeded_db () in
+  let _spec = Penguin.University.omega_translator in
+  let base_instance = Penguin.University.cs345_instance db in
+  let request =
+    match
+      Vo_core.Request.partial_modify base_instance ~label:"GRADES"
+        ~at:(Tuple.make [ "pid", Value.Int 1 ])
+        ~f:(fun t -> Tuple.set t "grade" (Value.Str "A+"))
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let updates n spec =
+    for _ = 1 to n do
+      ignore (Vo_core.Engine.apply g db omega spec request)
+    done
+  in
+  let amortized n =
+    Test.make ~name:(Fmt.str "amortized:updates=%d" n)
+      (stage (fun () ->
+           let spec, _ = choose_omega () in
+           updates n spec))
+  in
+  let per_update n =
+    Test.make ~name:(Fmt.str "dialog-per-update:updates=%d" n)
+      (stage (fun () ->
+           for _ = 1 to n do
+             let spec, _ = choose_omega () in
+             updates 1 spec
+           done))
+  in
+  let star n =
+    let sg = Workloads.star_graph n in
+    let vo =
+      match Generate.full (Metric.make ~threshold:0.3 ()) sg ~name:"star" ~pivot:"PIVOT" with
+      | Ok vo -> vo
+      | Error e -> failwith e
+    in
+    Test.make ~name:(Fmt.str "dialog-star:relations=%d" n)
+      (stage (fun () -> Vo_core.Dialog.choose sg vo Vo_core.Dialog.all_yes))
+  in
+  ignore
+    (run_group "e5"
+       ([ Test.make ~name:"choose-translator (omega)" (stage choose_omega) ]
+       @ List.map star [ 2; 8; 32 ]
+       @ List.concat_map (fun n -> [ amortized n; per_update n ]) [ 1; 10; 100 ]))
+
+(* --- E6: the EES345 replacement -------------------------------------- *)
+
+let e6 () =
+  section "E6 (Section 6): EES345 replacement under both translators";
+  Fmt.pr "%s@." (Penguin.Paper.ees345_example ());
+  let g = Penguin.University.graph in
+  let omega = Penguin.University.omega in
+  let db = Penguin.University.seeded_db () in
+  let old_i = Penguin.University.cs345_instance db in
+  let new_i = Penguin.University.ees345_replacement old_i in
+  let request = Vo_core.Request.replace ~old_instance:old_i ~new_instance:new_i in
+  ignore
+    (run_group "e6"
+       [
+         Test.make ~name:"replace-permissive (commit)"
+           (stage (fun () ->
+                Vo_core.Engine.apply g db omega
+                  Penguin.University.omega_translator request));
+         Test.make ~name:"replace-restrictive (reject)"
+           (stage (fun () ->
+                Vo_core.Engine.apply g db omega
+                  Penguin.University.omega_translator_restrictive request));
+       ])
+
+(* --- E7: algorithm scaling ------------------------------------------- *)
+
+let e7 () =
+  section "E7: VO-CD / VO-CI / VO-R scaling";
+  let cd_chain depth =
+    let g = Workloads.chain_graph depth in
+    let db = Workloads.populate_chain g ~depth ~fanout:4 in
+    let vo = Workloads.chain_object g in
+    let inst = Workloads.chain_instance db vo in
+    let spec = Vo_core.Translator_spec.permissive ~object_name:"chain" in
+    Test.make ~name:(Fmt.str "vo-cd:island-depth=%d" depth)
+      (stage (fun () ->
+           match Vo_core.Vo_cd.translate g db vo spec inst with
+           | Ok ops -> ops
+           | Error e -> failwith e))
+  in
+  let ci_chain depth =
+    let g = Workloads.chain_graph depth in
+    let db = Workloads.populate_chain g ~depth ~fanout:4 in
+    let vo = Workloads.chain_object g in
+    let inst = Workloads.chain_instance db vo in
+    let empty = Schema_graph.create_database g in
+    let spec = Vo_core.Translator_spec.permissive ~object_name:"chain" in
+    Test.make ~name:(Fmt.str "vo-ci:island-depth=%d" depth)
+      (stage (fun () ->
+           match Vo_core.Vo_ci.translate g empty vo spec inst with
+           | Ok ops -> ops
+           | Error e -> failwith e))
+  in
+  let r_fixups n =
+    let db = Workloads.curriculum_db n in
+    let omega = Penguin.University.omega in
+    let g = Penguin.University.graph in
+    let old_i = Penguin.University.cs345_instance db in
+    let new_i =
+      Instance.with_tuple old_i
+        (Tuple.set old_i.Instance.tuple "course_id" (Value.Str "CS346"))
+    in
+    let spec = Penguin.University.omega_translator in
+    Test.make ~name:(Fmt.str "vo-r:peninsula-rows=%d" n)
+      (stage (fun () ->
+           match Vo_core.Vo_r.translate g db omega spec ~old_instance:old_i ~new_instance:new_i with
+           | Ok ops -> ops
+           | Error e -> failwith e))
+  in
+  let identity =
+    let db = Penguin.University.seeded_db () in
+    let g = Penguin.University.graph in
+    let omega = Penguin.University.omega in
+    let i = Penguin.University.cs345_instance db in
+    let spec = Penguin.University.omega_translator in
+    Test.make ~name:"vo-r:identity (all R-1)"
+      (stage (fun () ->
+           match Vo_core.Vo_r.translate g db omega spec ~old_instance:i ~new_instance:i with
+           | Ok ops -> ops
+           | Error e -> failwith e))
+  in
+  ignore
+    (run_group "e7"
+       (List.map cd_chain [ 2; 3; 4 ]
+       @ List.map ci_chain [ 2; 3; 4 ]
+       @ List.map r_fixups [ 10; 100; 1000 ]
+       @ [ identity ]))
+
+(* --- E8: flat-view baseline vs view object --------------------------- *)
+
+let e8 () =
+  section "E8: Keller flat-view baseline vs view object";
+  let db = Penguin.University.seeded_db () in
+  let g = Penguin.University.graph in
+  let flat = Workloads.flat_course_view db in
+  let flat_tr =
+    { (Keller.Translator.default flat) with
+      Keller.Translator.delete_from = [ "COURSES"; "GRADES" ] }
+  in
+  let mini = Workloads.mini_omega in
+  let mini_spec = Penguin.University.omega_translator in
+  let inst =
+    match
+      Instantiate.instantiate ~where:(Predicate.eq_str "course_id" "CS345") db mini
+    with
+    | [ i ] -> i
+    | _ -> failwith "mini instance"
+  in
+  (* the same logical update: remove course CS345 with its grades *)
+  let keller_delete () =
+    match
+      Keller.Translator.translate db flat_tr
+        (Keller.Criteria.V_delete (Tuple.make [ "course_id", Value.Str "CS345" ]))
+    with
+    | Ok ops -> ops
+    | Error e -> failwith e
+  in
+  let vo_delete () =
+    match
+      Vo_core.Vo_cd.translate g db mini
+        { mini_spec with Vo_core.Translator_spec.reference_actions = [];
+          default_reference_action = Structural.Integrity.Delete_referencing }
+        inst
+    with
+    | Ok ops -> ops
+    | Error e -> failwith e
+  in
+  let keller_ops = keller_delete () in
+  let vo_ops = vo_delete () in
+  Fmt.pr "@.same logical deletion (CS345 and its grades):@.";
+  Fmt.pr "  flat view translation: %d ops (view rows enumerated per base relation)@."
+    (List.length keller_ops);
+  Fmt.pr "  view object translation: %d ops (island + peninsula handling built in)@."
+    (List.length vo_ops);
+  let keller_replace () =
+    match
+      Keller.Translator.translate db flat_tr
+        (Keller.Criteria.V_replace
+           ( Tuple.make [ "course_id", Value.Str "CS345"; "pid", Value.Int 1 ],
+             Tuple.make [ "grade", Value.Str "A+" ] ))
+    with
+    | Ok ops -> ops
+    | Error e -> failwith e
+  in
+  let vo_replace_req =
+    let i =
+      match
+        Instantiate.instantiate ~where:(Predicate.eq_str "course_id" "CS345") db mini
+      with
+      | [ i ] -> i
+      | _ -> failwith "mini"
+    in
+    match
+      Vo_core.Request.partial_modify i ~label:"GRADES"
+        ~at:(Tuple.make [ "pid", Value.Int 1 ])
+        ~f:(fun t -> Tuple.set t "grade" (Value.Str "A+"))
+    with
+    | Ok (Vo_core.Request.Replace { old_instance; new_instance }) ->
+        old_instance, new_instance
+    | _ -> failwith "request"
+  in
+  let vo_replace () =
+    let old_instance, new_instance = vo_replace_req in
+    match
+      Vo_core.Vo_r.translate g db mini mini_spec ~old_instance ~new_instance
+    with
+    | Ok ops -> ops
+    | Error e -> failwith e
+  in
+  ignore
+    (run_group "e8"
+       [
+         Test.make ~name:"keller:delete-course" (stage keller_delete);
+         Test.make ~name:"vo:delete-course" (stage vo_delete);
+         Test.make ~name:"keller:grade-change" (stage keller_replace);
+         Test.make ~name:"vo:grade-change" (stage vo_replace);
+       ])
+
+(* --- ablation: op-list translation vs direct application ------------- *)
+
+let ablation () =
+  section "Ablation: translate / apply split (DESIGN.md section 5.1)";
+  let g = Penguin.University.graph in
+  let omega = Penguin.University.omega in
+  let db = Penguin.University.seeded_db () in
+  let spec = Penguin.University.omega_translator in
+  let old_i = Penguin.University.cs345_instance db in
+  let new_i = Penguin.University.ees345_replacement old_i in
+  let request = Vo_core.Request.replace ~old_instance:old_i ~new_instance:new_i in
+  let ops =
+    match Vo_core.Engine.translate g db omega spec request with
+    | Ok ops -> ops
+    | Error e -> failwith e
+  in
+  ignore
+    (run_group "ablation"
+       [
+         Test.make ~name:"translate-only" (stage (fun () ->
+             Vo_core.Engine.translate g db omega spec request));
+         Test.make ~name:"apply-only" (stage (fun () -> Transaction.run db ops));
+         Test.make ~name:"consistency-check-only"
+           (stage (fun () -> Structural.Integrity.check g db));
+         Test.make ~name:"full-engine" (stage (fun () ->
+             Vo_core.Engine.apply g db omega spec request));
+       ])
+
+(* --- surface layers: OQL, the update language, persistence ----------- *)
+
+let surfaces () =
+  section "Surface layers: query language, update language, persistence";
+  let omega = Penguin.University.omega in
+  let db = Penguin.University.seeded_db () in
+  let ws = Penguin.University.workspace () in
+  let query_text = "level = 'grad' and count(STUDENT#2) < 5" in
+  let saved = Penguin.Store.save ws in
+  let saved_defs = Penguin.Store.save ~include_data:false ws in
+  Fmt.pr "@.workspace document: %d bytes with data, %d definition-only@."
+    (String.length saved) (String.length saved_defs);
+  ignore
+    (run_group "surfaces"
+       [
+         Test.make ~name:"oql:parse" (stage (fun () -> Oql.parse omega query_text));
+         Test.make ~name:"oql:parse+run" (stage (fun () -> Oql.run db omega query_text));
+         Test.make ~name:"upql:grade-change"
+           (stage (fun () ->
+                Penguin.Upql.apply ws ~object_name:"omega"
+                  "set GRADES[pid = 1] grade = 'A+' where course_id = 'CS345'"));
+         Test.make ~name:"upql:batch-delete"
+           (stage (fun () ->
+                Penguin.Upql.apply ws ~object_name:"omega"
+                  "delete where level = 'undergrad'"));
+         Test.make ~name:"store:save" (stage (fun () -> Penguin.Store.save ws));
+         Test.make ~name:"store:save-definitions-only"
+           (stage (fun () -> Penguin.Store.save ~include_data:false ws));
+         Test.make ~name:"store:load" (stage (fun () -> Penguin.Store.load saved));
+         Test.make ~name:"json:figure4-instance"
+           (stage
+              (let i = Penguin.University.cs345_instance db in
+               fun () -> Penguin.Json_export.instance omega i));
+         Test.make ~name:"sql:group-by"
+           (stage (fun () ->
+                Sql.run db
+                  "SELECT dept_name, count(*) AS n FROM COURSES GROUP BY \
+                   dept_name ORDER BY n DESC"));
+       ])
+
+let () =
+  Fmt.pr "PENGUIN benchmark harness — one experiment per paper artifact@.";
+  Fmt.pr "(see DESIGN.md and EXPERIMENTS.md for the index)@.";
+  e1 ();
+  e2_e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  ablation ();
+  surfaces ();
+  Fmt.pr "@.all benchmarks complete.@."

@@ -1,0 +1,1 @@
+bin/astring_like.ml: String

@@ -1,0 +1,1 @@
+bin/penguin_cli.ml: Arg Astring_like Cmd Cmdliner Definition Fmt Format Instance Island List Logs Option Oql Penguin Relational Result String Structural Sys Term Viewobject Vo_core

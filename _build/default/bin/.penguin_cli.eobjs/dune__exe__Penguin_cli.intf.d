@@ -1,0 +1,1 @@
+bin/penguin_cli.mli:

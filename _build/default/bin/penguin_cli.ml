@@ -1,0 +1,434 @@
+(* The penguin command-line tool.
+
+     penguin figures [ARTIFACT]     reproduce the paper's figures/dialogs
+     penguin show FIXTURE           schema, objects and instances of a fixture
+     penguin sql FIXTURE STMT       run a SQL-ish statement against a fixture
+     penguin dialog FIXTURE OBJECT  run the translator-choice dialog
+     penguin dot FIXTURE            Graphviz rendering of the structural schema
+
+   Fixtures: university | hospital | cad *)
+
+open Cmdliner
+open Viewobject
+
+let fixtures =
+  [ "university"; "hospital"; "cad" ]
+
+let workspace_of = function
+  | "university" -> Penguin.University.workspace ()
+  | "hospital" -> Penguin.Hospital.workspace ()
+  | "cad" -> Penguin.Cad.workspace ()
+  | f -> Fmt.failwith "unknown fixture %s (expected: %s)" f (String.concat ", " fixtures)
+
+let fixture_arg =
+  let doc = "Fixture database: university, hospital or cad." in
+  Arg.(required & pos 0 (some (enum (List.map (fun f -> f, f) fixtures))) None
+       & info [] ~docv:"FIXTURE" ~doc)
+
+(* --- figures --------------------------------------------------------- *)
+
+let figures only =
+  let all = Penguin.Paper.all () in
+  let selected =
+    match only with
+    | None -> all
+    | Some n ->
+        List.filter
+          (fun (label, _) ->
+            Astring_like.contains ~sub:(String.lowercase_ascii n)
+              (String.lowercase_ascii label))
+          all
+  in
+  if selected = [] then (
+    Fmt.epr "no artifact matches %a@." Fmt.(option string) only;
+    exit 1);
+  List.iter
+    (fun (label, text) ->
+      Fmt.pr "==================== %s ====================@.%s@.@." label text)
+    selected
+
+let figures_cmd =
+  let only =
+    let doc = "Only print artifacts whose label contains $(docv)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's figures and transcripts.")
+    Term.(const figures $ only)
+
+(* --- show ------------------------------------------------------------ *)
+
+let show fixture =
+  let ws = workspace_of fixture in
+  Fmt.pr "structural schema:@.%a@.@." Structural.Schema_graph.pp
+    ws.Penguin.Workspace.graph;
+  List.iter
+    (fun (name, vo) ->
+      Fmt.pr "view object %s (complexity %d):@.%s@." name
+        (Definition.complexity vo)
+        (Definition.to_ascii vo);
+      Fmt.pr "  island: %s@." (String.concat ", " (Island.island_labels vo));
+      (match Island.peninsula_relations ws.Penguin.Workspace.graph vo with
+      | [] -> Fmt.pr "  referencing peninsulas: none@."
+      | ps -> Fmt.pr "  referencing peninsulas: %s@." (String.concat ", " ps));
+      (match Penguin.Workspace.translator_of ws name with
+      | Error _ -> ()
+      | Ok spec -> (
+          match
+            Vo_core.Translator_spec.audit ws.Penguin.Workspace.graph vo spec
+          with
+          | [] -> ()
+          | findings ->
+              Fmt.pr "  translator audit:@.";
+              List.iter (fun f -> Fmt.pr "    - %s@." f) findings));
+      (match Penguin.Workspace.instances ws name with
+      | Ok instances ->
+          Fmt.pr "  %d instance(s):@." (List.length instances);
+          List.iter (fun i -> Fmt.pr "%s" (Instance.to_ascii i)) instances
+      | Error e -> Fmt.pr "  (instances unavailable: %s)@." e);
+      Fmt.pr "@.")
+    ws.Penguin.Workspace.objects
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a fixture's schema, view objects, islands and instances.")
+    Term.(const show $ fixture_arg)
+
+(* --- sql ------------------------------------------------------------- *)
+
+let sql fixture stmt =
+  let ws = workspace_of fixture in
+  match Penguin.Workspace.run_sql ws stmt with
+  | Ok (_, answers) ->
+      List.iter (fun a -> Fmt.pr "%a@." Relational.Sql.pp_answer a) answers
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+
+let sql_cmd =
+  let stmt =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"STATEMENT" ~doc:"SQL-ish statement(s), ';'-separated.")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run SQL-ish statements against a fixture database.")
+    Term.(const sql $ fixture_arg $ stmt)
+
+(* --- oql ------------------------------------------------------------- *)
+
+let oql fixture object_name query json sexp =
+  let ws = workspace_of fixture in
+  match Penguin.Workspace.find_object ws object_name with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok vo -> (
+      match Oql.run ws.Penguin.Workspace.db vo query with
+      | Error e ->
+          Fmt.epr "error: %s@." e;
+          exit 1
+      | Ok instances ->
+          if json then
+            Fmt.pr "%s@." (Penguin.Json_export.instances vo instances)
+          else if sexp then
+            List.iter
+              (fun i ->
+                Fmt.pr "%s@."
+                  (Relational.Sexp.to_string (Penguin.Store.instance_to_sexp i)))
+              instances
+          else begin
+            Fmt.pr "%d instance(s)@." (List.length instances);
+            List.iter (fun i -> Fmt.pr "%s" (Instance.to_ascii i)) instances
+          end)
+
+let oql_cmd =
+  let object_name =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name (see $(b,show)).")
+  in
+  let query =
+    Arg.(required & pos 2 (some string) None
+         & info [] ~docv:"QUERY"
+             ~doc:"Condition, e.g. \"level = 'grad' and count(STUDENT#2) < 5\".")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit instances as JSON.")
+  in
+  let sexp =
+    Arg.(value & flag
+         & info [ "sexp" ]
+             ~doc:"Emit instances as S-expressions (the $(b,insert) input \
+                   format).")
+  in
+  Cmd.v
+    (Cmd.info "oql" ~doc:"Query a view object with the declarative language.")
+    Term.(const oql $ fixture_arg $ object_name $ query $ json $ sexp)
+
+(* --- dialog ---------------------------------------------------------- *)
+
+let dialog fixture object_name assume_yes =
+  let ws = workspace_of fixture in
+  match Penguin.Workspace.find_object ws object_name with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok vo ->
+      let answerer =
+        if assume_yes then Vo_core.Dialog.all_yes
+        else Vo_core.Dialog.interactive stdin stdout
+      in
+      let spec, events =
+        Vo_core.Dialog.choose ws.Penguin.Workspace.graph vo answerer
+      in
+      Fmt.pr "@.--- transcript ---@.%s@." (Vo_core.Dialog.transcript events);
+      Fmt.pr "@.--- resulting translator ---@.%a@." Vo_core.Translator_spec.pp
+        spec;
+      match Vo_core.Translator_spec.audit ws.Penguin.Workspace.graph vo spec with
+      | [] -> Fmt.pr "@.audit: clean — every allowed update can translate.@."
+      | findings ->
+          Fmt.pr "@.audit findings:@.";
+          List.iter (fun f -> Fmt.pr "  - %s@." f) findings
+
+let dialog_cmd =
+  let object_name =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name (see $(b,show)).")
+  in
+  let yes =
+    Arg.(value & flag
+         & info [ "yes"; "y" ] ~doc:"Answer YES to every question (no prompt).")
+  in
+  Cmd.v
+    (Cmd.info "dialog"
+       ~doc:"Run the translator-choice dialog for a view object.")
+    Term.(const dialog $ fixture_arg $ object_name $ yes)
+
+(* --- insert ------------------------------------------------------------ *)
+
+let insert fixture object_name file =
+  let ws = workspace_of fixture in
+  let content =
+    try
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  in
+  let result =
+    Result.bind (Relational.Sexp.parse content) Penguin.Store.instance_of_sexp
+  in
+  match result with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok instance ->
+      let _ws, outcome =
+        Penguin.Workspace.update ws object_name (Vo_core.Request.insert instance)
+      in
+      Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome
+
+let insert_cmd =
+  let object_name =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name.")
+  in
+  let file =
+    Arg.(required & pos 2 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"S-expression instance document (see $(b,oql --sexp)).")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Complete insertion of an instance document through an object.")
+    Term.(const insert $ fixture_arg $ object_name $ file)
+
+(* --- schema ------------------------------------------------------------ *)
+
+let schema file pivot dot =
+  let content =
+    try
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  in
+  match Structural.Schema_lang.parse content with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok g ->
+      if dot then print_string (Structural.Schema_graph.to_dot g)
+      else begin
+        Fmt.pr "%a@." Structural.Schema_graph.pp g;
+        match pivot with
+        | None -> ()
+        | Some p ->
+            if not (Structural.Schema_graph.mem_relation g p) then begin
+              Fmt.epr "error: unknown pivot relation %s@." p;
+              exit 1
+            end;
+            let tree =
+              Viewobject.Generate.tree Structural.Metric.default g ~pivot:p
+            in
+            Fmt.pr "@.expansion tree for pivot %s:@.%s" p
+              (Structural.Expansion.to_ascii tree)
+      end
+
+let schema_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Schema script (see Schema_lang).")
+  in
+  let pivot =
+    Arg.(value & opt (some string) None
+         & info [ "pivot" ] ~docv:"RELATION"
+             ~doc:"Also print the expansion tree for this pivot.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"Parse and validate a textual structural-schema script.")
+    Term.(const schema $ file $ pivot $ dot)
+
+(* --- update ----------------------------------------------------------- *)
+
+let update fixture object_name stmt =
+  let ws = workspace_of fixture in
+  match Penguin.Upql.apply ws ~object_name stmt with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok (_ws, outcomes) ->
+      List.iter (fun o -> Fmt.pr "%a@." Vo_core.Engine.pp_outcome o) outcomes;
+      Fmt.pr "%d instance(s) affected@."
+        (List.length
+           (List.filter
+              (fun (o : Vo_core.Engine.outcome) ->
+                Option.is_some (Vo_core.Engine.committed o))
+              outcomes))
+
+let update_cmd =
+  let object_name =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name (see $(b,show)).")
+  in
+  let stmt =
+    Arg.(required & pos 2 (some string) None
+         & info [] ~docv:"STATEMENT"
+             ~doc:"e.g. \"set units = 4 where course_id = 'CS345'\" or \
+                   \"delete where level = 'undergrad'\".")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Update through a view object with the textual update language.")
+    Term.(const update $ fixture_arg $ object_name $ stmt)
+
+(* --- export / import -------------------------------------------------- *)
+
+let export fixture path no_data =
+  let ws = workspace_of fixture in
+  match Penguin.Store.save_file ~include_data:(not no_data) ws path with
+  | Ok () -> Fmt.pr "saved %s workspace to %s@." fixture path
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+
+let export_cmd =
+  let path =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Destination file.")
+  in
+  let no_data =
+    Arg.(value & flag
+         & info [ "no-data" ]
+             ~doc:"Save only the definitions (schemas, connections, objects, \
+                   translators).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Save a fixture workspace to a file.")
+    Term.(const export $ fixture_arg $ path $ no_data)
+
+let import path =
+  match Penguin.Store.load_file path with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok ws ->
+      Fmt.pr "loaded workspace: %d relation(s), %d tuple(s), %d object(s)@."
+        (List.length (Structural.Schema_graph.relations ws.Penguin.Workspace.graph))
+        (Relational.Database.total_tuples ws.Penguin.Workspace.db)
+        (List.length ws.Penguin.Workspace.objects);
+      List.iter
+        (fun (name, vo) ->
+          Fmt.pr "@.view object %s:@.%s" name (Definition.to_ascii vo))
+        ws.Penguin.Workspace.objects;
+      (match Penguin.Workspace.check_consistency ws with
+      | Ok () -> Fmt.pr "@.database is consistent.@."
+      | Error e -> Fmt.pr "@.WARNING: %s@." e)
+
+let import_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Workspace file to load.")
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Load and describe a saved workspace.")
+    Term.(const import $ path)
+
+(* --- dot ------------------------------------------------------------- *)
+
+let dot fixture =
+  let ws = workspace_of fixture in
+  print_string (Structural.Schema_graph.to_dot ws.Penguin.Workspace.graph)
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the structural schema in Graphviz format.")
+    Term.(const dot $ fixture_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "penguin" ~version:"1.0.0"
+       ~doc:
+         "Object-based views over relational databases, with update \
+          translation (Barsalou, Keller, Siambela & Wiederhold, SIGMOD '91).")
+    [ figures_cmd; show_cmd; sql_cmd; oql_cmd; update_cmd; insert_cmd;
+      dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd ]
+
+let setup_logging () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "PENGUIN_LOG") with
+  | None | Some "" -> ()
+  | Some level ->
+      let level =
+        match level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | "warning" | "warn" -> Some Logs.Warning
+        | "error" -> Some Logs.Error
+        | _ -> Some Logs.Info
+      in
+      Logs.set_level level;
+      let report src lvl ~over k msgf =
+        let k _ = over (); k () in
+        msgf @@ fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf k Format.err_formatter
+          ("[%s:%s] @[" ^^ fmt ^^ "@]@.")
+          (Logs.Src.name src)
+          (Logs.level_to_string (Some lvl))
+      in
+      Logs.set_reporter { Logs.report }
+
+let () =
+  setup_logging ();
+  exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cad_release.ml: Cad Definition Fmt Instance List Penguin Predicate Relational Sql Tuple Value Viewobject Vo_core Vo_query Workspace

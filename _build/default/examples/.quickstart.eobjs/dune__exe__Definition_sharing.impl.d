@@ -1,0 +1,1 @@
+examples/definition_sharing.ml: Csv Database Filename Fmt Instance List Penguin Relation Relational Store String Sys University Upql Viewobject Vo_core Workspace

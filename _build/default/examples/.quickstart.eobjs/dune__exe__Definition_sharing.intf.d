@@ -1,0 +1,1 @@
+examples/definition_sharing.mli:

@@ -1,0 +1,1 @@
+examples/hospital_rounds.ml: Definition Fmt Hospital Instance Island List Penguin Predicate Relational Sql String Tuple Value Viewobject Vo_core Vo_query Workspace

@@ -1,0 +1,1 @@
+examples/university_registrar.ml: Fmt Instance List Paper Penguin Predicate Relational Tuple University Upql Value Viewobject Vo_core Vo_query Workspace

@@ -1,0 +1,103 @@
+(* Engineering-design data through an assembly view object (cf. the CAD
+   special issue the view-object prototype first appeared in). Shows:
+
+   - an island with two ownership branches (COMPONENT, DRAWING),
+   - catalog relations (PART, SUPPLIER) that may be corrected but not
+     created through the object,
+   - an island key replacement (assembly re-identification) cascading to
+     all owned tuples,
+   - a bill-of-materials query mixing node predicates and counts.
+
+   Run with: dune exec examples/cad_release.exe *)
+
+open Relational
+open Viewobject
+open Penguin
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+let or_die = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "cad_release: %s" e
+
+let () =
+  section "Assembly view object";
+  Fmt.pr "%s@." (Definition.to_ascii Cad.assembly_object);
+
+  let ws = Cad.workspace () in
+
+  section "Bill of materials for the chassis";
+  let a1 = Cad.assembly_instance ws.Workspace.db "A1" in
+  Fmt.pr "%s@." (Instance.to_ascii a1);
+
+  section "Add a component using a catalog part";
+  let new_component =
+    Instance.make ~label:"COMPONENT" ~relation:"COMPONENT"
+      ~tuple:
+        (Tuple.make
+           [ "comp_no", Value.Int 4; "part_no", Value.Str "PN-200";
+             "qty", Value.Int 16 ])
+      ~children:
+        [ "PART",
+          [ Instance.leaf ~label:"PART" ~relation:"PART"
+              (Tuple.make [ "part_no", Value.Str "PN-200" ]) ] ]
+  in
+  let request =
+    or_die
+      (Vo_core.Request.partial_attach a1 ~parent_label:"ASSEMBLY"
+         ~at:(Tuple.make [ "asm_id", Value.Str "A1" ])
+         ~child:new_component)
+  in
+  let ws, outcome = Workspace.update ws "assembly" request in
+  Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome;
+
+  section "Add a component with an unknown part (denied: catalog locked)";
+  let a1 = Cad.assembly_instance ws.Workspace.db "A1" in
+  let rogue =
+    Instance.make ~label:"COMPONENT" ~relation:"COMPONENT"
+      ~tuple:
+        (Tuple.make
+           [ "comp_no", Value.Int 5; "part_no", Value.Str "PN-999";
+             "qty", Value.Int 1 ])
+      ~children:
+        [ "PART",
+          [ Instance.leaf ~label:"PART" ~relation:"PART"
+              (Tuple.make [ "part_no", Value.Str "PN-999";
+                            "descr", Value.Str "mystery bracket" ]) ] ]
+  in
+  let request =
+    or_die
+      (Vo_core.Request.partial_attach a1 ~parent_label:"ASSEMBLY"
+         ~at:(Tuple.make [ "asm_id", Value.Str "A1" ])
+         ~child:rogue)
+  in
+  let ws, outcome = Workspace.update ws "assembly" request in
+  Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome;
+
+  section "Release: re-identify the assembly (island key replacement)";
+  let a1 = Cad.assembly_instance ws.Workspace.db "A1" in
+  let released =
+    Instance.with_tuple a1
+      (Tuple.set a1.Instance.tuple "asm_id" (Value.Str "A1-REL1"))
+  in
+  let ws, outcome =
+    Workspace.update ws "assembly"
+      (Vo_core.Request.replace ~old_instance:a1 ~new_instance:released)
+  in
+  Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome;
+  let _, answer =
+    or_die (Sql.run ws.Workspace.db "SELECT asm_id, comp_no, part_no FROM COMPONENT")
+  in
+  Fmt.pr "components after release:@.%a@." Sql.pp_answer answer;
+
+  section "Query: assemblies using more than two distinct parts";
+  let heavy =
+    or_die
+      (Workspace.query ws "assembly" (Vo_query.C_count ("PART", Predicate.Gt, 2)))
+  in
+  List.iter
+    (fun (i : Instance.t) ->
+      Fmt.pr "- %a@." Value.pp_plain (Tuple.get i.Instance.tuple "name"))
+    heavy;
+  or_die (Workspace.check_consistency ws);
+  Fmt.pr "@.release complete; database consistent.@."

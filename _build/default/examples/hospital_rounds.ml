@@ -1,0 +1,107 @@
+(* Clinical records through a patient-record view object (the domain that
+   motivated PENGUIN). Demonstrates:
+
+   - a deep dependency island (PATIENT --* VISIT --* ORDERS --* RESULT),
+   - reference data locked by the translator (PHYSICIAN, WARD),
+   - a nullable referencing relation outside the object (APPOINTMENT),
+     fixed up with the Nullify action on patient discharge,
+   - partial updates that add a visit with orders in one request.
+
+   Run with: dune exec examples/hospital_rounds.exe *)
+
+open Relational
+open Viewobject
+open Penguin
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+let or_die = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "hospital_rounds: %s" e
+
+let () =
+  section "Patient-record view object";
+  Fmt.pr "%s@." (Definition.to_ascii Hospital.patient_record);
+  Fmt.pr "island: %s@."
+    (String.concat ", " (Island.island_labels Hospital.patient_record));
+
+  let ws = Hospital.workspace () in
+
+  section "Morning rounds: John Poe's record";
+  let record = Hospital.patient_instance ws.Workspace.db 7001 in
+  Fmt.pr "%s@." (Instance.to_ascii record);
+
+  section "New visit with an order (single partial update)";
+  let new_visit =
+    Instance.make ~label:Hospital.visit_label ~relation:"VISIT"
+      ~tuple:
+        (Tuple.make
+           [ "visit_no", Value.Int 3; "vdate", Value.Str "1991-05-05";
+             "reason", Value.Str "dizziness" ])
+      ~children:
+        [
+          Hospital.orders_label,
+          [ Instance.make ~label:Hospital.orders_label ~relation:"ORDERS"
+              ~tuple:
+                (Tuple.make
+                   [ "order_no", Value.Int 1; "drug", Value.Str "holter monitor";
+                     "dose", Value.Int 1; "prescriber", Value.Int 101 ])
+              ~children:
+                [ Hospital.prescriber_label,
+                  [ Instance.leaf ~label:Hospital.prescriber_label
+                      ~relation:"PHYSICIAN"
+                      (Tuple.make [ "phys_id", Value.Int 101 ]) ] ] ];
+        ]
+  in
+  let request =
+    or_die
+      (Vo_core.Request.partial_attach record ~parent_label:"PATIENT"
+         ~at:(Tuple.make [ "mrn", Value.Int 7001 ])
+         ~child:new_visit)
+  in
+  let ws, outcome = Workspace.update ws "patient_record" request in
+  Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome;
+
+  section "Query: patients with more than one visit";
+  let busy =
+    or_die
+      (Workspace.query ws "patient_record"
+         (Vo_query.C_count (Hospital.visit_label, Predicate.Gt, 1)))
+  in
+  List.iter
+    (fun (i : Instance.t) ->
+      Fmt.pr "- %a (%d visits)@." Value.pp_plain
+        (Tuple.get i.Instance.tuple "name")
+        (List.length (Instance.children_of i Hospital.visit_label)))
+    busy;
+
+  section "Attempting to create a physician through the record (denied)";
+  let record = Hospital.patient_instance ws.Workspace.db 7003 in
+  let bad =
+    or_die
+      (Vo_core.Request.modify_component record ~label:"PHYSICIAN"
+         ~at:(Tuple.make [ "phys_id", Value.Int 100 ])
+         ~f:(fun _ ->
+           Tuple.make
+             [ "phys_id", Value.Int 999; "name", Value.Str "Dr. Who";
+               "specialty", Value.Str "Time" ]))
+  in
+  let ws, outcome =
+    Workspace.update ws "patient_record"
+      (Vo_core.Request.replace ~old_instance:record ~new_instance:bad)
+  in
+  Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome;
+
+  section "Discharge: delete the whole record, appointments nullified";
+  let record = Hospital.patient_instance ws.Workspace.db 7001 in
+  let ws, outcome =
+    Workspace.update ws "patient_record" (Vo_core.Request.delete record)
+  in
+  Fmt.pr "%a@." Vo_core.Engine.pp_outcome outcome;
+  let _, answer =
+    or_die (Sql.run ws.Workspace.db "SELECT appt_id, mrn, adate FROM APPOINTMENT")
+  in
+  Fmt.pr "appointments after discharge (references nullified):@.%a@."
+    Sql.pp_answer answer;
+  or_die (Workspace.check_consistency ws);
+  Fmt.pr "@.rounds complete; database consistent.@."

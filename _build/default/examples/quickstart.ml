@@ -1,0 +1,151 @@
+(* Quickstart: the whole view-object lifecycle on a tiny library database.
+
+   1. declare relation schemas and structural connections,
+   2. load data through the SQL-ish DML,
+   3. generate a view object by pruning the expansion tree,
+   4. choose a translator (scripted dialog),
+   5. query the object,
+   6. update through the object and watch the relational translation.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Relational
+open Structural
+open Viewobject
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+let or_die = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "quickstart: %s" e
+
+let () =
+  section "1. Structural schema (relations + typed connections)";
+  let author =
+    Schema.make_exn ~name:"AUTHOR"
+      ~attributes:[ Attribute.str "author_id"; Attribute.str "name" ]
+      ~key:[ "author_id" ]
+  in
+  let book =
+    Schema.make_exn ~name:"BOOK"
+      ~attributes:
+        [ Attribute.str "isbn"; Attribute.str "title"; Attribute.str "author_id";
+          Attribute.int "year" ]
+      ~key:[ "isbn" ]
+  in
+  let copy =
+    Schema.make_exn ~name:"COPY"
+      ~attributes:[ Attribute.str "isbn"; Attribute.int "copy_no"; Attribute.str "shelf" ]
+      ~key:[ "isbn"; "copy_no" ]
+  in
+  let loan =
+    Schema.make_exn ~name:"LOAN"
+      ~attributes:
+        [ Attribute.int "loan_id"; Attribute.str "isbn"; Attribute.str "member" ]
+      ~key:[ "loan_id" ]
+  in
+  let graph =
+    Schema_graph.make_exn
+      [ author; book; copy; loan ]
+      [
+        (* a book references its author (n:1) *)
+        Connection.reference "BOOK" "AUTHOR" ~on:([ "author_id" ], [ "author_id" ]);
+        (* a book owns its physical copies (1:n) *)
+        Connection.ownership "BOOK" "COPY" ~on:([ "isbn" ], [ "isbn" ]);
+        (* a loan references a book *)
+        Connection.reference "LOAN" "BOOK" ~on:([ "isbn" ], [ "isbn" ]);
+      ]
+  in
+  Fmt.pr "%a@." Schema_graph.pp graph;
+
+  section "2. Data (SQL-ish DML)";
+  let ws = Penguin.Workspace.create graph in
+  let ws, _ =
+    or_die
+      (Penguin.Workspace.run_sql ws
+         {|
+         INSERT INTO AUTHOR VALUES ('A1', 'Ursula K. Le Guin');
+         INSERT INTO AUTHOR VALUES ('A2', 'Stanislaw Lem');
+         INSERT INTO BOOK VALUES ('0-06-093', 'The Dispossessed', 'A1', 1974);
+         INSERT INTO BOOK VALUES ('0-15-602', 'Solaris', 'A2', 1961);
+         INSERT INTO COPY VALUES ('0-06-093', 1, 'SF-1');
+         INSERT INTO COPY VALUES ('0-06-093', 2, 'SF-2');
+         INSERT INTO COPY VALUES ('0-15-602', 1, 'SF-9');
+         INSERT INTO LOAN VALUES (501, '0-06-093', 'alice');
+         |})
+  in
+  let _, answer = or_die (Sql.run ws.Penguin.Workspace.db "SELECT title, name FROM BOOK, AUTHOR WHERE BOOK.author_id = AUTHOR.author_id") in
+  Fmt.pr "%a@." Sql.pp_answer answer;
+
+  section "3. View-object generation (expansion tree, then pruning)";
+  let tree = Generate.tree Metric.default graph ~pivot:"BOOK" in
+  Fmt.pr "expansion tree for pivot BOOK:@.%s" (Expansion.to_ascii tree);
+  let ws =
+    or_die
+      (Penguin.Workspace.define_object ws ~name:"book_object" ~pivot:"BOOK"
+         ~keep:
+           [
+             "BOOK", [ "isbn"; "title"; "year" ];
+             "AUTHOR", [ "author_id"; "name" ];
+             "COPY", [ "copy_no"; "shelf" ];
+           ])
+  in
+  let vo = or_die (Penguin.Workspace.find_object ws "book_object") in
+  Fmt.pr "pruned definition:@.%s" (Definition.to_ascii vo);
+  Fmt.pr "dependency island: %s@."
+    (String.concat ", " (Island.island_labels vo));
+  Fmt.pr "referencing peninsulas: %s@."
+    (String.concat ", " (Island.peninsula_relations graph vo));
+
+  section "4. Translator choice (definition-time dialog)";
+  let ws, events =
+    or_die
+      (Penguin.Workspace.choose_translator ws "book_object" Vo_core.Dialog.all_yes)
+  in
+  Fmt.pr "%s@." (Vo_core.Dialog.transcript events);
+
+  section "5. Queries on the object";
+  let instances =
+    or_die
+      (Penguin.Workspace.query ws "book_object"
+         (Vo_query.C_count ("COPY", Predicate.Geq, 2)))
+  in
+  Fmt.pr "books with at least two copies:@.";
+  List.iter (fun i -> Fmt.pr "%s" (Instance.to_ascii i)) instances;
+
+  section "6. Updates through the object";
+  let solaris =
+    List.hd
+      (or_die
+         (Penguin.Workspace.query ws "book_object"
+            (Vo_query.C_node ("BOOK", Predicate.eq_str "isbn" "0-15-602"))))
+  in
+  (* 6a. attach a new copy (partial update -> minimal translation) *)
+  let new_copy =
+    Instance.leaf ~label:"COPY" ~relation:"COPY"
+      (Tuple.make [ "copy_no", Value.Int 2; "shelf", Value.Str "SF-9" ])
+  in
+  let request =
+    or_die
+      (Vo_core.Request.partial_attach solaris ~parent_label:"BOOK"
+         ~at:(Tuple.make [ "isbn", Value.Str "0-15-602" ])
+         ~child:new_copy)
+  in
+  let ws, outcome = Penguin.Workspace.update ws "book_object" request in
+  Fmt.pr "attach a copy of Solaris:@.%a@." Vo_core.Engine.pp_outcome outcome;
+  (* 6b. delete The Dispossessed: the island cascades to its copies, and
+     the referencing LOAN is handled per the translator *)
+  let dispossessed =
+    List.hd
+      (or_die
+         (Penguin.Workspace.query ws "book_object"
+            (Vo_query.C_node ("BOOK", Predicate.eq_str "isbn" "0-06-093"))))
+  in
+  let ws, outcome =
+    Penguin.Workspace.update ws "book_object" (Vo_core.Request.delete dispossessed)
+  in
+  Fmt.pr "delete The Dispossessed:@.%a@." Vo_core.Engine.pp_outcome outcome;
+  let _, answer = or_die (Sql.run ws.Penguin.Workspace.db "SELECT * FROM COPY") in
+  Fmt.pr "remaining copies:@.%a@." Sql.pp_answer answer;
+  or_die (Penguin.Workspace.check_consistency ws);
+  Fmt.pr "@.database is globally consistent. done.@."

@@ -1,0 +1,1 @@
+lib/core/dialog.ml: Connection Definition Fmt Integrity Island List Relational Schema_graph String Structural Translator_spec Viewobject

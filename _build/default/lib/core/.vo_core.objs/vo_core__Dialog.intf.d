@@ -1,0 +1,1 @@
+lib/core/dialog.mli: Definition Schema_graph Structural Translator_spec Viewobject

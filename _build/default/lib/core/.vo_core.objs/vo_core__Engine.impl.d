@@ -1,0 +1,1 @@
+lib/core/engine.ml: Fmt Global_validation List Logs Op Relational Request Result Transaction Viewobject Vo_cd Vo_ci Vo_r

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Database Definition Format Op Relational Request Schema_graph Structural Transaction Translator_spec Viewobject

@@ -1,0 +1,1 @@
+lib/core/global_validation.ml: Connection Database Fmt Integrity List Op Relational Result Structural Translator_spec

@@ -1,0 +1,1 @@
+lib/core/global_validation.mli: Database Op Relational Schema_graph Structural Translator_spec

@@ -1,0 +1,1 @@
+lib/core/instance_db.ml: Database Definition Fmt Instance List Relation Relational Result Schema Schema_graph Structural Tuple Value Viewobject

@@ -1,0 +1,1 @@
+lib/core/instance_db.mli: Database Definition Instance Relational Schema_graph Structural Tuple Value Viewobject

@@ -1,0 +1,1 @@
+lib/core/request.ml: Fmt Instance List Relational Result Tuple Value Viewobject

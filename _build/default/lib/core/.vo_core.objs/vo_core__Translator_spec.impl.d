@@ -1,0 +1,1 @@
+lib/core/translator_spec.ml: Connection Definition Fmt Integrity Island List Relational Schema_graph String Structural Viewobject

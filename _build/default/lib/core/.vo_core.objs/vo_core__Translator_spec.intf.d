@@ -1,0 +1,1 @@
+lib/core/translator_spec.mli: Connection Format Integrity Schema_graph Structural Viewobject

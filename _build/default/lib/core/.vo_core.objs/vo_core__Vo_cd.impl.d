@@ -1,0 +1,1 @@
+lib/core/vo_cd.ml: Definition Fmt Instance Instance_db Instantiate Integrity Island List Result Structural Translator_spec Viewobject

@@ -1,0 +1,1 @@
+lib/core/vo_cd.mli: Database Definition Instance Op Relational Schema_graph Structural Translator_spec Viewobject

@@ -1,0 +1,1 @@
+lib/core/vo_ci.ml: Database Definition Fmt Global_validation Instance Instance_db Instantiate Island List Op Relational Result Translator_spec Tuple Value Viewobject

@@ -1,0 +1,252 @@
+open Structural
+open Viewobject
+
+type answer =
+  | Yes
+  | No
+
+type question = {
+  id : string;
+  text : string;
+}
+
+type event = {
+  question : question;
+  answer : answer;
+}
+
+type answerer = question -> answer
+
+let scripted ?(default = Yes) table q =
+  match List.assoc_opt q.id table with Some a -> a | None -> default
+
+let all_yes (_ : question) = Yes
+let all_no (_ : question) = No
+
+let interactive ic oc q =
+  let rec ask () =
+    output_string oc (q.text ^ " [y/n] ");
+    flush oc;
+    match String.lowercase_ascii (String.trim (input_line ic)) with
+    | "y" | "yes" -> Yes
+    | "n" | "no" -> No
+    | _ -> ask ()
+  in
+  ask ()
+
+(* Dialog engine: questions are asked one at a time; follow-ups are only
+   generated when their premise holds (footnote 5 pruning). *)
+type session = {
+  answerer : answerer;
+  mutable events : event list;
+}
+
+let ask session id text =
+  let question = { id; text } in
+  let answer = session.answerer question in
+  session.events <- session.events @ [ { question; answer } ];
+  answer = Yes
+
+let object_relations_sorted (vo : Definition.t) = Definition.relations vo
+
+let deletion_section session g vo spec =
+  let allow = ask session "deletion.allowed"
+      "Is deletion of object instances allowed?" in
+  let spec = { spec with Translator_spec.allow_deletion = allow } in
+  if not allow then spec
+  else
+    let island_rels = Island.island_relations vo in
+    let ref_conns =
+      List.filter
+        (fun (c : Connection.t) ->
+          c.kind = Connection.Reference
+          && List.mem c.target island_rels
+          && not (List.mem c.source island_rels))
+        (Schema_graph.connections g)
+    in
+    List.fold_left
+      (fun spec (c : Connection.t) ->
+        let cid = Connection.id c in
+        let delete =
+          ask session
+            (Fmt.str "ref.%s.delete" cid)
+            (Fmt.str
+               "Deleting an instance can leave tuples of relation %s \
+                referencing deleted tuples of %s. May the system delete \
+                those referencing tuples?"
+               c.source c.target)
+        in
+        if delete then
+          Translator_spec.with_reference_action spec c Integrity.Delete_referencing
+        else
+          let source_schema = Schema_graph.schema_exn g c.source in
+          let nullable =
+            not
+              (List.exists
+                 (Relational.Schema.is_key_attr source_schema)
+                 c.source_attrs)
+          in
+          if
+            nullable
+            && ask session
+                 (Fmt.str "ref.%s.nullify" cid)
+                 (Fmt.str
+                    "May the system instead assign null values to the \
+                     referencing attributes of %s?"
+                    c.source)
+          then Translator_spec.with_reference_action spec c Integrity.Nullify
+          else Translator_spec.with_reference_action spec c Integrity.Restrict)
+      spec ref_conns
+
+let insertion_section session spec =
+  let allow = ask session "insertion.allowed"
+      "Is insertion of new object instances allowed?" in
+  { spec with Translator_spec.allow_insertion = allow }
+
+let replacement_section session vo spec =
+  let allow =
+    ask session "replacement.allowed"
+      "Is replacement of tuples in an object instance allowed?"
+  in
+  let spec = { spec with Translator_spec.allow_replacement = allow } in
+  (* The modification questions cover "insertions (or replacements)":
+     they are relevant as soon as either operation is permitted. The
+     island key questions only matter for replacements. *)
+  let ask_mods = allow || spec.Translator_spec.allow_insertion in
+  if not ask_mods then spec
+  else
+    let island_rels = Island.island_relations vo in
+    List.fold_left
+      (fun spec rel ->
+        if List.mem rel island_rels then
+          if not allow then spec
+          else
+          (* Island relation: the three key-replacement questions. *)
+          let vo_change =
+            ask session
+              (Fmt.str "key.%s.vo_change" rel)
+              (Fmt.str
+                 "The key of a tuple of relation %s could be modified during \
+                  replacements. Do you allow this?"
+                 rel)
+          in
+          if not vo_change then
+            Translator_spec.with_island_key spec rel
+              Translator_spec.forbid_key_changes
+          else
+            let db_replace =
+              ask session
+                (Fmt.str "key.%s.db_replace" rel)
+                "Can we replace the key of the corresponding database tuple?"
+            in
+            if not db_replace then
+              Translator_spec.with_island_key spec rel
+                {
+                  Translator_spec.allow_vo_key_change = true;
+                  allow_db_key_replace = false;
+                  allow_merge_with_existing = false;
+                }
+            else
+              let merge =
+                ask session
+                  (Fmt.str "key.%s.merge" rel)
+                  "The system might need to delete the old database tuple, \
+                   and replace it with an existing tuple with matching key. \
+                   Do you allow this?"
+              in
+              Translator_spec.with_island_key spec rel
+                {
+                  Translator_spec.allow_vo_key_change = true;
+                  allow_db_key_replace = true;
+                  allow_merge_with_existing = merge;
+                }
+        else
+          (* Outside relation: the three modification questions. *)
+          let modifiable =
+            ask session
+              (Fmt.str "mod.%s.modifiable" rel)
+              (Fmt.str
+                 "Can the relation %s be modified during insertions (or \
+                  replacements)?"
+                 rel)
+          in
+          if not modifiable then
+            (* Footnote 5: the two follow-up questions are irrelevant and
+               thus will not be asked. *)
+            Translator_spec.with_outside spec rel
+              Translator_spec.forbid_modification
+          else
+            let allow_insert =
+              ask session (Fmt.str "mod.%s.insert" rel)
+                "Can a new tuple be inserted?"
+            in
+            let allow_modify =
+              ask session (Fmt.str "mod.%s.modify" rel)
+                "Can an existing tuple be modified?"
+            in
+            Translator_spec.with_outside spec rel
+              { Translator_spec.modifiable = true; allow_insert; allow_modify })
+      spec
+      (object_relations_sorted vo)
+
+let choose ?(ask_insertion = true) ?(ask_deletion = true) g vo answerer =
+  let session = { answerer; events = [] } in
+  (* Relations of the object get their policies from the questions below.
+     Relations OUTSIDE the object are the province of global integrity
+     maintenance: Section 5.2 requires the missing-dependency tuples to be
+     inserted there, so the fallback policy permits it. References into
+     the island default to Restrict until the deletion section grants
+     more. *)
+  let spec =
+    {
+      (Translator_spec.restrictive ~object_name:vo.Definition.name) with
+      Translator_spec.default_reference_action = Integrity.Restrict;
+      default_outside = Translator_spec.allow_all_modification;
+    }
+  in
+  let spec =
+    if ask_insertion then insertion_section session spec
+    else { spec with Translator_spec.allow_insertion = true }
+  in
+  let spec =
+    if ask_deletion then deletion_section session g vo spec
+    else { spec with Translator_spec.allow_deletion = true }
+  in
+  let spec = replacement_section session vo spec in
+  spec, session.events
+
+let paper_omega_answers =
+  [
+    "replacement.allowed", Yes;
+    "key.COURSES.vo_change", Yes;
+    "key.COURSES.db_replace", Yes;
+    "key.COURSES.merge", No;
+    "mod.CURRICULUM.modifiable", Yes;
+    "mod.CURRICULUM.insert", Yes;
+    "mod.CURRICULUM.modify", Yes;
+    "mod.DEPARTMENT.modifiable", Yes;
+    "mod.DEPARTMENT.insert", Yes;
+    "mod.DEPARTMENT.modify", Yes;
+    "key.GRADES.vo_change", Yes;
+    "key.GRADES.db_replace", Yes;
+    "key.GRADES.merge", No;
+    "mod.STUDENT.modifiable", Yes;
+    "mod.STUDENT.insert", Yes;
+    "mod.STUDENT.modify", Yes;
+  ]
+
+let restrictive_department_answers =
+  List.map
+    (fun (id, a) ->
+      if id = "mod.DEPARTMENT.modifiable" then id, No else id, a)
+    paper_omega_answers
+
+let transcript events =
+  String.concat "\n"
+    (List.map
+       (fun { question; answer } ->
+         Fmt.str "%s <%s>" question.text
+           (match answer with Yes -> "YES" | No -> "NO"))
+       events)
+
+let question_count events = List.length events

@@ -1,0 +1,66 @@
+(** Choosing a translator by dialog at view-object definition time
+    (Section 6).
+
+    "The DBA enters in a dialog with the object-definition facility; the
+    sequence of answers to the system's questions defines the desired
+    translator for the object at hand." Questions are generated from the
+    object's structure — island relations get the key-replacement
+    questions, the other object relations get the modification questions —
+    and follow-up questions whose premise was answered NO are never asked
+    (footnote 5 of the paper). *)
+
+open Structural
+open Viewobject
+
+type answer =
+  | Yes
+  | No
+
+type question = {
+  id : string;  (** stable identifier, e.g. ["key.COURSES.db_replace"] *)
+  text : string;  (** exactly the paper's wording *)
+}
+
+type event = {
+  question : question;
+  answer : answer;
+}
+
+type answerer = question -> answer
+(** Supplies the DBA's answer to one question. *)
+
+val scripted : ?default:answer -> (string * answer) list -> answerer
+(** Answer by question id; unknown ids get [default] (default [Yes]). *)
+
+val all_yes : answerer
+val all_no : answerer
+
+val interactive : in_channel -> out_channel -> answerer
+(** Print the question, read [y]/[n] lines. *)
+
+val choose :
+  ?ask_insertion:bool ->
+  ?ask_deletion:bool ->
+  Schema_graph.t ->
+  Definition.t ->
+  answerer ->
+  Translator_spec.t * event list
+(** Run the dialog for the given object and build the translator. The
+    replacement portion reproduces the paper's Section 6 transcript
+    question-for-question; [ask_insertion]/[ask_deletion] (default
+    [true]) additionally cover the other two update kinds. Also returns
+    the ordered list of questions actually asked with their answers. *)
+
+val paper_omega_answers : (string * answer) list
+(** The answers the paper's DBA gives for ω in Section 6 (all YES except
+    the two merge-with-existing questions). *)
+
+val restrictive_department_answers : (string * answer) list
+(** The paper's second translator: as above but DEPARTMENT may not be
+    modified — its two follow-up questions are pruned away. *)
+
+val transcript : event list -> string
+(** Typeset like the paper: each question on its own lines followed by
+    the DBA's [<YES>]/[<NO>]. *)
+
+val question_count : event list -> int

@@ -1,0 +1,77 @@
+open Relational
+
+let src = Logs.Src.create "penguin.engine" ~doc:"view-object update engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = {
+  request_kind : string;
+  ops : Op.t list;
+  result : Transaction.outcome;
+}
+
+(* Drop ops that are exact duplicates of an earlier op (two sub-instances
+   may legitimately demand the same outside insertion). *)
+let dedup_ops ops =
+  List.fold_left
+    (fun acc op -> if List.exists (Op.equal op) acc then acc else acc @ [ op ])
+    [] ops
+
+let translate g db vo spec request =
+  let result =
+    match request with
+    | Request.Insert inst -> Vo_ci.translate g db vo spec inst
+    | Request.Delete inst -> Vo_cd.translate g db vo spec inst
+    | Request.Replace { old_instance; new_instance } ->
+        Vo_r.translate g db vo spec ~old_instance ~new_instance
+  in
+  Result.map dedup_ops result
+
+let apply g db vo spec request =
+  let request_kind = Request.kind_name request in
+  let object_name = vo.Viewobject.Definition.name in
+  Log.debug (fun m -> m "%s on %s: translating" request_kind object_name);
+  match translate g db vo spec request with
+  | Error reason ->
+      Log.info (fun m ->
+          m "%s on %s rejected during translation: %s" request_kind object_name
+            reason);
+      { request_kind; ops = []; result = Transaction.reject reason }
+  | Ok ops -> (
+      Log.debug (fun m ->
+          m "%s on %s: %d operation(s)" request_kind object_name
+            (List.length ops));
+      match Transaction.run db ops with
+      | Transaction.Rolled_back { reason; _ } as rb ->
+          Log.warn (fun m ->
+              m "%s on %s rolled back during application: %s" request_kind
+                object_name reason);
+          { request_kind; ops; result = rb }
+      | Transaction.Committed db' -> (
+          (* Step 4: the candidate state must satisfy every rule of the
+             structural model, or the transaction is rolled back. *)
+          match Global_validation.check_consistency g db' with
+          | Ok () ->
+              Log.info (fun m ->
+                  m "%s on %s committed (%d op(s))" request_kind object_name
+                    (List.length ops));
+              { request_kind; ops; result = Transaction.Committed db' }
+          | Error reason ->
+              Log.warn (fun m ->
+                  m "%s on %s failed global validation: %s" request_kind
+                    object_name reason);
+              { request_kind; ops; result = Transaction.reject reason }))
+
+let apply_exn g db vo spec request =
+  match (apply g db vo spec request).result with
+  | Transaction.Committed db' -> db'
+  | Transaction.Rolled_back { reason; _ } -> failwith reason
+
+let committed outcome =
+  match outcome.result with
+  | Transaction.Committed db -> Some db
+  | Transaction.Rolled_back _ -> None
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>%s: %a@,ops:@,%a@]" o.request_kind Transaction.pp o.result
+    Op.pp_list o.ops

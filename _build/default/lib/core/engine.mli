@@ -1,0 +1,51 @@
+(** The four-step view-object update pipeline (Section 5):
+
+    1. local validation against the view-object definition;
+    2. propagation within the view object;
+    3. translation into database update operations;
+    4. global validation against the structural model.
+
+    Steps 1–3 are view-object decomposition ({!translate}); step 4 plus
+    atomic application is {!apply}: the translated operations are executed
+    against a candidate database, every structural-model rule is checked
+    on the result, and any failure rolls the transaction back. *)
+
+open Relational
+open Structural
+open Viewobject
+
+type outcome = {
+  request_kind : string;
+  ops : Op.t list;  (** translation result (empty when rejected early) *)
+  result : Transaction.outcome;
+}
+
+val translate :
+  Schema_graph.t ->
+  Database.t ->
+  Definition.t ->
+  Translator_spec.t ->
+  Request.t ->
+  (Op.t list, string) result
+(** Steps 1–3 only: the database-operation sequence the request denotes
+    under the chosen translator, without applying it. *)
+
+val apply :
+  Schema_graph.t ->
+  Database.t ->
+  Definition.t ->
+  Translator_spec.t ->
+  Request.t ->
+  outcome
+(** Full pipeline. On success the outcome's [result] is
+    [Committed db']. Rejections during translation and integrity
+    violations detected in step 4 both yield [Rolled_back] with the
+    reason; the input database is never modified (persistence). *)
+
+val apply_exn :
+  Schema_graph.t -> Database.t -> Definition.t -> Translator_spec.t ->
+  Request.t -> Database.t
+(** @raise Failure with the rollback reason on rejection. *)
+
+val committed : outcome -> Database.t option
+val pp_outcome : Format.formatter -> outcome -> unit

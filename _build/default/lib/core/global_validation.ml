@@ -1,0 +1,75 @@
+open Relational
+open Structural
+
+let ( let* ) = Result.bind
+
+let apply_or_explain db op =
+  match Database.apply db op with
+  | Ok db' -> Ok db'
+  | Error e ->
+      Error
+        (Fmt.str "global validation: op %a failed: %s" Op.pp op
+           (Database.error_to_string e))
+
+let dependency_closure g db spec ops =
+  (* Apply the whole translation to a simulated database first — a later
+     op may itself satisfy a dependency of an earlier one — then
+     recursively satisfy what is still missing with key-only stub
+     insertions (when permitted). *)
+  let rec satisfy db acc rel tuple depth =
+    if depth > 32 then
+      Error "global validation: dependency recursion exceeds depth 32"
+    else
+      let missing = Integrity.missing_dependencies g db rel tuple in
+      List.fold_left
+        (fun state (conn, stub) ->
+          let* db, acc = state in
+          let target_rel =
+            (* The stub lives on the other end of the connection. *)
+            if conn.Connection.source = rel && conn.Connection.kind = Connection.Reference
+            then conn.Connection.target
+            else conn.Connection.source
+          in
+          let policy = Translator_spec.modification_policy_for spec target_rel in
+          if not (policy.Translator_spec.modifiable && policy.Translator_spec.allow_insert)
+          then
+            Error
+              (Fmt.str
+                 "global validation: inserting into %s requires a tuple in %s \
+                  (connection %s), but the translator does not allow \
+                  insertions there"
+                 rel target_rel (Connection.id conn))
+          else
+            let op = Op.Insert (target_rel, stub) in
+            let* db = apply_or_explain db op in
+            let acc = acc @ [ op ] in
+            satisfy db acc target_rel stub (depth + 1))
+        (Ok (db, acc)) missing
+  in
+  let* db_after =
+    List.fold_left
+      (fun state op ->
+        let* db = state in
+        apply_or_explain db op)
+      (Ok db) ops
+  in
+  let* _db, all_ops =
+    List.fold_left
+      (fun state op ->
+        let* db, acc = state in
+        match op with
+        | Op.Insert (rel, t) | Op.Replace (rel, _, t) -> satisfy db acc rel t 0
+        | Op.Delete _ -> Ok (db, acc))
+      (Ok (db_after, ops))
+      ops
+  in
+  Ok all_ops
+
+let check_consistency g db =
+  match Integrity.check g db with
+  | [] -> Ok ()
+  | violations ->
+      Error
+        (Fmt.str "global validation failed:@,%a"
+           Fmt.(list ~sep:cut Integrity.pp_violation)
+           violations)

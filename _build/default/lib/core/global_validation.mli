@@ -1,0 +1,34 @@
+(** Step 4: global validation against the structural model.
+
+    After translation, the database must satisfy every connection's
+    integrity rules. For insertions and replacements this can {e create}
+    work: "outside relations along inverse ownership, inverse subset, and
+    reference connections must be verified for proper dependencies. If no
+    tuple satisfying the suitable dependency is found ..., one such tuple
+    must be inserted, and the process must be applied recursively"
+    (Section 5.2) — subject to the translator's permission to touch those
+    relations (the Section 6 example inserts ⟨Engineering Economic
+    Systems⟩ into DEPARTMENT only because the permissive translator
+    allows it). *)
+
+open Relational
+open Structural
+
+val dependency_closure :
+  Schema_graph.t ->
+  Database.t ->
+  Translator_spec.t ->
+  Op.t list ->
+  (Op.t list, string) result
+(** [dependency_closure g db spec ops] simulates [ops] and returns
+    [ops] extended with the minimal (key-only) insertions required to
+    satisfy every ownership, subset and reference dependency of the
+    inserted or replaced tuples, recursively. Fails when a required
+    insertion targets a relation whose modification policy forbids
+    inserts, or when the ops themselves do not apply. *)
+
+val check_consistency :
+  Schema_graph.t -> Database.t -> (unit, string) result
+(** Final verification: no integrity violation anywhere (the update
+    engine runs this on the candidate database and rolls back on
+    failure). *)

@@ -1,0 +1,79 @@
+open Relational
+open Structural
+open Viewobject
+
+let ( let* ) = Result.bind
+
+let db_key g relation tuple =
+  let schema = Schema_graph.schema_exn g relation in
+  let key = Schema.key_attributes schema in
+  match List.find_opt (fun k -> Value.is_null (Tuple.get tuple k)) key with
+  | Some k ->
+      Error
+        (Fmt.str "relation %s: key attribute %s is unbound or null" relation k)
+  | None -> Ok (List.map (Tuple.get tuple) key)
+
+let lookup g db relation tuple =
+  let* key = db_key g relation tuple in
+  let* rel =
+    Result.map_error Database.error_to_string (Database.relation db relation)
+  in
+  Ok (Relation.lookup rel key)
+
+let verify_current g db ~label relation tuple =
+  let* found = lookup g db relation tuple in
+  match found with
+  | None ->
+      Error
+        (Fmt.str "node %s: instance tuple %a has no counterpart in %s" label
+           Tuple.pp tuple relation)
+  | Some db_tuple ->
+      let disagrees =
+        List.find_opt
+          (fun (a, v) -> not (Value.equal v (Tuple.get db_tuple a)))
+          (Tuple.bindings tuple)
+      in
+      (match disagrees with
+      | Some (a, _) ->
+          Error
+            (Fmt.str
+               "node %s: instance is stale — attribute %s disagrees with the \
+                database tuple in %s"
+               label a relation)
+      | None -> Ok db_tuple)
+
+let merged ~base overriding = Tuple.union base overriding
+
+let node_pairs (dn : Definition.node) ~old_subs ~new_subs =
+  (* Own identity of a sub-instance: its tuple restricted to the node's
+     projection attributes that are not inherited. The inherited part can
+     legitimately differ between old and new (that is exactly what a key
+     replacement higher up produces), so it must not break the pairing. *)
+  let inherited = Definition.inherited_attrs dn in
+  let own_attrs =
+    List.filter (fun a -> not (List.mem a inherited)) dn.Definition.attrs
+  in
+  let identity (i : Instance.t) = Tuple.project own_attrs i.Instance.tuple in
+  let rec take_match acc news target =
+    match news with
+    | [] -> None, List.rev acc
+    | n :: rest ->
+        if Tuple.equal (identity n) target then Some n, List.rev_append acc rest
+        else take_match (n :: acc) rest target
+  in
+  let matched, leftover_news =
+    List.fold_left
+      (fun (pairs, news) o ->
+        let m, news' = take_match [] news (identity o) in
+        pairs @ [ o, m ], news')
+      ([], new_subs) old_subs
+  in
+  (* Positionally pair unmatched old entries with leftover new entries. *)
+  let rec zip pairs news =
+    match pairs, news with
+    | [], rest -> List.map (fun n -> None, Some n) rest
+    | (o, Some m) :: prest, _ -> (Some o, Some m) :: zip prest news
+    | (o, None) :: prest, n :: nrest -> (Some o, Some n) :: zip prest nrest
+    | (o, None) :: prest, [] -> (Some o, None) :: zip prest []
+  in
+  zip matched leftover_news

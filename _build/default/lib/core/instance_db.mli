@@ -1,0 +1,39 @@
+(** Shared helpers binding instance nodes to their database tuples.
+
+    The translation algorithms all work on {e extended} instances (every
+    node tuple also binds its inherited connecting attributes, cf.
+    {!Viewobject.Instantiate.extend_inherited}) and repeatedly need the
+    corresponding database tuples. *)
+
+open Relational
+open Structural
+open Viewobject
+
+val db_key :
+  Schema_graph.t -> string -> Tuple.t -> (Value.t list, string) result
+(** Key of the given relation's tuple; fails on unbound/null key
+    attributes. *)
+
+val lookup :
+  Schema_graph.t -> Database.t -> string -> Tuple.t -> (Tuple.t option, string) result
+(** Database tuple with the same key, if any. *)
+
+val verify_current :
+  Schema_graph.t -> Database.t -> label:string -> string -> Tuple.t ->
+  (Tuple.t, string) result
+(** The database tuple matching the extended instance tuple, checked for
+    staleness: it must exist and agree on every bound attribute. Returns
+    the full database tuple. *)
+
+val merged : base:Tuple.t -> Tuple.t -> Tuple.t
+(** [merged ~base overriding]: full tuple for a replacement — the
+    existing database tuple with the instance's bound attributes written
+    over it. *)
+
+val node_pairs :
+  Definition.node -> old_subs:Instance.t list -> new_subs:Instance.t list ->
+  (Instance.t option * Instance.t option) list
+(** Align the old and new sub-instances of one child node for VO-R's
+    pairwise walk: first by equality of the node's own (non-inherited)
+    key-complement values, then positionally among the leftovers;
+    unmatched entries pair with [None]. *)

@@ -1,0 +1,86 @@
+(** Update requests on view objects (Section 5).
+
+    Complete updates carry fully specified instances. Partial updates —
+    "manipulating only a component of the view object (that is, a node
+    in the object's tree)" — are expressed by editing a component of the
+    current instance and submitting the result as a replacement; the
+    editing combinators below build such requests, and VO-R's case R-1
+    guarantees that untouched components translate to no database
+    operation. *)
+
+open Relational
+open Viewobject
+
+type t =
+  | Insert of Instance.t  (** complete insertion *)
+  | Delete of Instance.t  (** complete deletion *)
+  | Replace of {
+      old_instance : Instance.t;
+      new_instance : Instance.t;
+    }  (** replacement = deletion + insertion of the replacing instance *)
+
+val insert : Instance.t -> t
+val delete : Instance.t -> t
+val replace : old_instance:Instance.t -> new_instance:Instance.t -> t
+
+val kind_name : t -> string
+
+(** {1 Component editing} *)
+
+val modify_component :
+  Instance.t ->
+  label:string ->
+  at:Tuple.t ->
+  f:(Tuple.t -> Tuple.t) ->
+  (Instance.t, string) result
+(** Rewrite the tuple of the unique sub-instance of node [label] whose
+    tuple agrees with the bindings of [at]. Errors when no or several
+    sub-instances match. *)
+
+val attach_component :
+  Instance.t ->
+  parent_label:string ->
+  at:Tuple.t ->
+  child:Instance.t ->
+  (Instance.t, string) result
+(** Add a sub-instance under the matching parent occurrence. *)
+
+val detach_component :
+  Instance.t ->
+  label:string ->
+  at:Tuple.t ->
+  (Instance.t, string) result
+(** Remove the matching sub-instance (with its subtree). *)
+
+(** {2 Predicate selectors}
+
+    The [_where] variants select the unique sub-instance whose tuple
+    satisfies an arbitrary predicate rather than agreeing with bindings —
+    the textual update language ({!Penguin.Upql}) compiles its selector
+    blocks to these. *)
+
+val modify_where :
+  Instance.t -> label:string -> sel:(Tuple.t -> bool) ->
+  f:(Tuple.t -> Tuple.t) -> (Instance.t, string) result
+
+val detach_where :
+  Instance.t -> label:string -> sel:(Tuple.t -> bool) ->
+  (Instance.t, string) result
+
+val attach_where :
+  Instance.t -> parent_label:string -> sel:(Tuple.t -> bool) ->
+  child:Instance.t -> (Instance.t, string) result
+
+val partial_modify :
+  Instance.t -> label:string -> at:Tuple.t -> f:(Tuple.t -> Tuple.t) ->
+  (t, string) result
+(** {!modify_component} packaged as a {!Replace} request. *)
+
+val partial_attach :
+  Instance.t -> parent_label:string -> at:Tuple.t -> child:Instance.t ->
+  (t, string) result
+
+val partial_detach :
+  Instance.t -> label:string -> at:Tuple.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

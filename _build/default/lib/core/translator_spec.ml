@@ -1,0 +1,196 @@
+open Structural
+
+type key_policy = {
+  allow_vo_key_change : bool;
+  allow_db_key_replace : bool;
+  allow_merge_with_existing : bool;
+}
+
+type modification_policy = {
+  modifiable : bool;
+  allow_insert : bool;
+  allow_modify : bool;
+}
+
+type t = {
+  object_name : string;
+  allow_insertion : bool;
+  allow_deletion : bool;
+  allow_replacement : bool;
+  island_keys : (string * key_policy) list;
+  outside : (string * modification_policy) list;
+  reference_actions : (string * Integrity.reference_action) list;
+  default_outside : modification_policy;
+  default_reference_action : Integrity.reference_action;
+}
+
+let forbid_modification =
+  { modifiable = false; allow_insert = false; allow_modify = false }
+
+let allow_all_modification =
+  { modifiable = true; allow_insert = true; allow_modify = true }
+
+let forbid_key_changes =
+  {
+    allow_vo_key_change = false;
+    allow_db_key_replace = false;
+    allow_merge_with_existing = false;
+  }
+
+let allow_key_replace =
+  {
+    allow_vo_key_change = true;
+    allow_db_key_replace = true;
+    allow_merge_with_existing = false;
+  }
+
+let permissive ~object_name =
+  {
+    object_name;
+    allow_insertion = true;
+    allow_deletion = true;
+    allow_replacement = true;
+    island_keys = [];
+    outside = [];
+    reference_actions = [];
+    default_outside = allow_all_modification;
+    default_reference_action = Integrity.Delete_referencing;
+  }
+
+let restrictive ~object_name =
+  {
+    object_name;
+    allow_insertion = true;
+    allow_deletion = true;
+    allow_replacement = true;
+    island_keys = [];
+    outside = [];
+    reference_actions = [];
+    default_outside = forbid_modification;
+    default_reference_action = Integrity.Restrict;
+  }
+
+let set_assoc key v l =
+  if List.mem_assoc key l then
+    List.map (fun (k, old) -> if k = key then k, v else k, old) l
+  else l @ [ key, v ]
+
+let with_outside spec rel policy =
+  { spec with outside = set_assoc rel policy spec.outside }
+
+let with_island_key spec rel policy =
+  { spec with island_keys = set_assoc rel policy spec.island_keys }
+
+let with_reference_action spec conn action =
+  {
+    spec with
+    reference_actions = set_assoc (Connection.id conn) action spec.reference_actions;
+  }
+
+let key_policy_for spec rel =
+  match List.assoc_opt rel spec.island_keys with
+  | Some p -> p
+  | None -> forbid_key_changes
+
+let modification_policy_for spec rel =
+  match List.assoc_opt rel spec.outside with
+  | Some p -> p
+  | None -> spec.default_outside
+
+let reference_action_for spec conn =
+  match List.assoc_opt (Connection.id conn) spec.reference_actions with
+  | Some a -> a
+  | None -> spec.default_reference_action
+
+let delete_policy spec conn = reference_action_for spec conn
+
+let audit g vo spec =
+  let open Viewobject in
+  let island_rels = Island.island_relations vo in
+  let findings = ref [] in
+  let add fmt = Fmt.kstr (fun m -> findings := m :: !findings) fmt in
+  if spec.allow_replacement then
+    List.iter
+      (fun rel ->
+        let p = key_policy_for spec rel in
+        if not (p.allow_vo_key_change && p.allow_db_key_replace) then
+          add
+            "replacements renaming tuples of island relation %s will be \
+             rejected (key policy denies key changes)"
+            rel)
+      island_rels;
+  if spec.allow_deletion then
+    List.iter
+      (fun (c : Connection.t) ->
+        if c.Connection.kind = Connection.Reference && List.mem c.Connection.target island_rels
+        then
+          match reference_action_for spec c with
+          | Integrity.Restrict ->
+              add
+                "deletions will roll back while tuples of %s reference the \
+                 island (%s is Restrict)"
+                c.Connection.source (Connection.id c)
+          | Integrity.Nullify ->
+              let source_schema = Schema_graph.schema_exn g c.Connection.source in
+              if
+                List.exists
+                  (Relational.Schema.is_key_attr source_schema)
+                  c.Connection.source_attrs
+              then
+                add
+                  "Nullify on %s can never succeed: %s belongs to the key of \
+                   %s — deletions will always roll back"
+                  (Connection.id c)
+                  (String.concat "," c.Connection.source_attrs)
+                  c.Connection.source
+          | Integrity.Delete_referencing -> ())
+      (Schema_graph.connections g);
+  List.iter
+    (fun rel ->
+      if not (List.mem rel island_rels) then
+        let p = modification_policy_for spec rel in
+        if not (p.modifiable && (p.allow_insert || p.allow_modify)) then
+          add
+            "relation %s is frozen: insertions or replacements demanding new \
+             or changed tuples there will be rejected"
+            rel)
+    (Definition.relations vo);
+  List.iter
+    (fun (n : Definition.node) ->
+      if not (Definition.is_direct n) then
+        add
+          "node %s is attached by a multi-connection path: query-only (update \
+           translation requires direct connections)"
+          n.Definition.label)
+    (Definition.nodes vo);
+  List.rev !findings
+
+let pp_key_policy ppf p =
+  Fmt.pf ppf "vo-key:%b db-key:%b merge:%b" p.allow_vo_key_change
+    p.allow_db_key_replace p.allow_merge_with_existing
+
+let pp_modification_policy ppf p =
+  Fmt.pf ppf "modifiable:%b insert:%b modify:%b" p.modifiable p.allow_insert
+    p.allow_modify
+
+let pp_action ppf = function
+  | Integrity.Nullify -> Fmt.string ppf "nullify"
+  | Integrity.Delete_referencing -> Fmt.string ppf "delete-referencing"
+  | Integrity.Restrict -> Fmt.string ppf "restrict"
+
+let pp ppf spec =
+  let pp_entry pp_v ppf (k, v) = Fmt.pf ppf "%s: %a" k pp_v v in
+  Fmt.pf ppf
+    "@[<v>translator for %s@,\
+     insertion:%b deletion:%b replacement:%b@,\
+     island keys:@,  %a@,\
+     outside:@,  %a@,\
+     reference actions:@,  %a@]"
+    spec.object_name spec.allow_insertion spec.allow_deletion
+    spec.allow_replacement
+    Fmt.(list ~sep:(any "@,  ") (pp_entry pp_key_policy))
+    spec.island_keys
+    Fmt.(list ~sep:(any "@,  ") (pp_entry pp_modification_policy))
+    spec.outside
+    Fmt.(list ~sep:(any "@,  ") (pp_entry pp_action))
+    spec.reference_actions

@@ -1,0 +1,106 @@
+(** Translator specifications for view-object updates (Sections 5–6).
+
+    A translator resolves, once and for all, every ambiguity that can
+    arise when translating updates on a given view object into database
+    operations. It is chosen at object-definition time — normally through
+    the {!Dialog} — and then drives {!Vo_cd}, {!Vo_ci}, {!Vo_r} and
+    {!Global_validation} for every subsequent update request. *)
+
+open Structural
+
+(** Key-replacement permissions for a dependency-island relation
+    (the three key questions of the Section 6 dialog). *)
+type key_policy = {
+  allow_vo_key_change : bool;
+      (** "The key of a tuple of relation X could be modified during
+          replacements. Do you allow this?" *)
+  allow_db_key_replace : bool;
+      (** "Can we replace the key of the corresponding database tuple?" *)
+  allow_merge_with_existing : bool;
+      (** "The system might need to delete the old database tuple, and
+          replace it with an existing tuple with matching key. Do you
+          allow this?" *)
+}
+
+(** Modification permissions for a relation outside the island
+    (the three modification questions of the Section 6 dialog). *)
+type modification_policy = {
+  modifiable : bool;
+      (** "Can the relation X be modified during insertions (or
+          replacements)?" *)
+  allow_insert : bool;  (** "Can a new tuple be inserted?" *)
+  allow_modify : bool;  (** "Can an existing tuple be modified?" *)
+}
+
+type t = {
+  object_name : string;
+  allow_insertion : bool;  (** complete insertions permitted *)
+  allow_deletion : bool;  (** complete deletions permitted *)
+  allow_replacement : bool;
+      (** "Is replacement of tuples in an object instance allowed?" *)
+  island_keys : (string * key_policy) list;
+      (** per island {e relation} *)
+  outside : (string * modification_policy) list;
+      (** per non-island relation of the object; also consulted for
+          relations outside the object during global validation *)
+  reference_actions : (string * Integrity.reference_action) list;
+      (** per connection id ({!Connection.id}): what deletions do to
+          referencing tuples — peninsulas and outside references alike *)
+  default_outside : modification_policy;
+      (** fallback for relations not listed in [outside] *)
+  default_reference_action : Integrity.reference_action;
+      (** fallback for connections not listed in [reference_actions] *)
+}
+
+val permissive : object_name:string -> t
+(** Everything allowed; deletions cascade to referencing tuples
+    ([Delete_referencing]); merging with an existing tuple on key
+    replacement is {e not} allowed (matching the paper's sample dialog,
+    which answers NO to the merge question). *)
+
+val restrictive : object_name:string -> t
+(** Complete updates allowed but nothing else: no key changes, no
+    modification of outside relations, deletions restricted by any
+    surviving reference. *)
+
+val with_outside : t -> string -> modification_policy -> t
+(** Override the policy of one outside relation. *)
+
+val with_island_key : t -> string -> key_policy -> t
+val with_reference_action : t -> Connection.t -> Integrity.reference_action -> t
+
+val key_policy_for : t -> string -> key_policy
+(** By relation name; a missing entry denies everything. *)
+
+val modification_policy_for : t -> string -> modification_policy
+val reference_action_for : t -> Connection.t -> Integrity.reference_action
+val delete_policy : t -> Integrity.delete_policy
+
+val forbid_modification : modification_policy
+val allow_all_modification : modification_policy
+val forbid_key_changes : key_policy
+val allow_key_replace : key_policy
+(** VO and DB key changes allowed, merge-with-existing denied — the
+    exact combination chosen in the paper's sample dialog. *)
+
+val audit : Schema_graph.t -> Viewobject.Definition.t -> t -> string list
+(** Definition-time diagnostics for a translator over its object: the
+    requests that will be rejected at run time and why. Reported:
+    - island relations whose key policy denies every key change (when
+      replacement is allowed) — replacements renaming those tuples will
+      be rejected;
+    - reference connections into the island whose action is [Restrict] —
+      complete deletions roll back while referencing tuples exist;
+    - [Nullify] actions on connections whose referencing attributes are
+      part of the referencing relation's key — structurally impossible,
+      such deletions always roll back;
+    - object relations outside the island whose policy forbids both
+      insertion and modification — insertions demanding new tuples there
+      will be rejected;
+    - nodes attached by multi-connection paths — query-only (update
+      translation requires direct connections).
+
+    An empty list means every update the translator nominally allows can
+    in principle translate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+open Structural
+open Viewobject
+
+let ( let* ) = Result.bind
+
+let translate g db (vo : Definition.t) spec inst =
+  if not spec.Translator_spec.allow_deletion then
+    Error
+      (Fmt.str "translator for %s does not allow complete deletions"
+         spec.Translator_spec.object_name)
+  else
+    let* () = Instance.conforms vo inst in
+    let* extended = Instantiate.extend_inherited g vo inst in
+    (* Isolate the dependency island and collect its tuples as deletion
+       seeds, verifying the instance against the database as we go. *)
+    let island = Island.island_labels vo in
+    let* seeds =
+      let rec collect (i : Instance.t) =
+        if not (List.mem i.Instance.label island) then Ok []
+        else
+          let* db_tuple =
+            Instance_db.verify_current g db ~label:i.Instance.label
+              i.Instance.relation i.Instance.tuple
+          in
+          let* below =
+            List.fold_left
+              (fun acc (_, subs) ->
+                List.fold_left
+                  (fun acc sub ->
+                    let* sofar = acc in
+                    let* more = collect sub in
+                    Ok (sofar @ more))
+                  acc subs)
+              (Ok []) i.Instance.children
+          in
+          Ok ((i.Instance.relation, db_tuple) :: below)
+      in
+      collect extended
+    in
+    Integrity.cascade_delete g db ~policy:(Translator_spec.delete_policy spec)
+      ~seeds

@@ -1,0 +1,30 @@
+(** Algorithm VO-CI: translation of complete-insertion requests
+    (Section 5.2).
+
+    For each tuple in each projection of the new instance there are three
+    cases:
+    - {b Case 1} an identical tuple exists: reject if the relation is in
+      the dependency island, do nothing otherwise;
+    - {b Case 2} no tuple with the new key exists: insert;
+    - {b Case 3} a tuple with the same key exists but some nonkey values
+      differ: reject in the island, replace outside (when the translator
+      permits).
+
+    Attributes projected out of the object are left [Null] on insertion
+    ("how this operation is handled is dependent on the application";
+    [Null] padding is this implementation's application choice, cf.
+    DESIGN.md). *)
+
+open Relational
+open Structural
+open Viewobject
+
+val translate :
+  Schema_graph.t ->
+  Database.t ->
+  Definition.t ->
+  Translator_spec.t ->
+  Instance.t ->
+  (Op.t list, string) result
+(** Includes the global-validation insertions (missing owners, subset
+    parents and referenced tuples, recursively). *)

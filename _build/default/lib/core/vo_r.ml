@@ -1,0 +1,402 @@
+open Relational
+open Structural
+open Viewobject
+
+let ( let* ) = Result.bind
+
+type walk_state = {
+  db : Database.t;  (** simulated: reflects ops emitted so far *)
+  ops : Op.t list;  (** main sequence, in emission order *)
+  deferred : Op.t list;  (** peninsula value rewrites, applied after fix-ups *)
+  key_replacements : (string * Tuple.t * Tuple.t) list;
+      (** island (relation, old full tuple, new full tuple) with changed keys *)
+}
+
+let apply_op st op =
+  match Database.apply st.db op with
+  | Ok db -> Ok { st with db; ops = st.ops @ [ op ] }
+  | Error e ->
+      Error (Fmt.str "vo-r: op %a failed: %s" Op.pp op (Database.error_to_string e))
+
+let last_edge (dn : Definition.node) =
+  match List.rev dn.Definition.path with
+  | [] -> None
+  | e :: _ -> Some e
+
+(* A node whose instances reference their parent (inverse reference
+   edge). When the parent relation is in the island this is exactly a
+   referencing-peninsula node. *)
+let is_inverse_reference dn =
+  match last_edge dn with
+  | Some { Schema_graph.conn; forward = false }
+    when conn.Connection.kind = Connection.Reference -> true
+  | _ -> false
+
+let bound_equal a b = Tuple.equal a b
+
+let keys_equal k1 k2 = List.compare Value.compare k1 k2 = 0
+
+let tuple_of (i : Instance.t) = i.Instance.tuple
+
+(* Insert-subtree handling ((None, Some n) pairs): VO-CI case analysis
+   against the simulated database. *)
+let rec insert_subtree g _vo spec island (dn : Definition.node) st (n : Instance.t) =
+  let in_island = List.mem n.Instance.label island in
+  let* existing = Instance_db.lookup g st.db n.Instance.relation (tuple_of n) in
+  let* st =
+    match existing with
+    | None ->
+        if in_island then apply_op st (Op.Insert (n.Instance.relation, tuple_of n))
+        else
+          let policy =
+            Translator_spec.modification_policy_for spec n.Instance.relation
+          in
+          if policy.Translator_spec.modifiable && policy.Translator_spec.allow_insert
+          then apply_op st (Op.Insert (n.Instance.relation, tuple_of n))
+          else
+            Error
+              (Fmt.str
+                 "node %s: inserting a new tuple into %s is not allowed by \
+                  the translator"
+                 n.Instance.label n.Instance.relation)
+    | Some db_tuple ->
+        let identical =
+          List.for_all
+            (fun (a, v) -> Value.equal v (Tuple.get db_tuple a))
+            (Tuple.bindings (tuple_of n))
+        in
+        if identical then
+          if in_island then
+            Error
+              (Fmt.str
+                 "node %s: an identical tuple already exists in island \
+                  relation %s"
+                 n.Instance.label n.Instance.relation)
+          else Ok st
+        else if in_island then
+          Error
+            (Fmt.str
+               "node %s: a conflicting tuple already exists in island \
+                relation %s"
+               n.Instance.label n.Instance.relation)
+        else
+          let policy =
+            Translator_spec.modification_policy_for spec n.Instance.relation
+          in
+          if policy.Translator_spec.modifiable && policy.Translator_spec.allow_modify
+          then
+            let* key = Instance_db.db_key g n.Instance.relation (tuple_of n) in
+            apply_op st
+              (Op.Replace
+                 (n.Instance.relation, key, Instance_db.merged ~base:db_tuple (tuple_of n)))
+          else
+            Error
+              (Fmt.str
+                 "node %s: modifying the existing tuple in %s is not allowed \
+                  by the translator"
+                 n.Instance.label n.Instance.relation)
+  in
+  List.fold_left
+    (fun state (cn : Definition.node) ->
+      let* st = state in
+      List.fold_left
+        (fun state sub ->
+          let* st = state in
+          insert_subtree g _vo spec island cn st sub)
+        (Ok st)
+        (Instance.children_of n cn.Definition.label))
+    (Ok st) dn.Definition.children
+
+(* Delete-subtree handling ((Some o, None) pairs on island nodes): the
+   dropped island tuples disappear with full cascade semantics. *)
+let delete_subtree g original_db spec island (dn : Definition.node) st (o : Instance.t) =
+  let rec seeds (dn : Definition.node) (i : Instance.t) =
+    if not (List.mem i.Instance.label island) then Ok []
+    else
+      let* db_tuple =
+        Instance_db.verify_current g original_db ~label:i.Instance.label
+          i.Instance.relation (tuple_of i)
+      in
+      List.fold_left
+        (fun acc (cn : Definition.node) ->
+          let* sofar = acc in
+          List.fold_left
+            (fun acc sub ->
+              let* sofar = acc in
+              let* more = seeds cn sub in
+              Ok (sofar @ more))
+            (Ok sofar)
+            (Instance.children_of i cn.Definition.label))
+        (Ok [ i.Instance.relation, db_tuple ])
+        dn.Definition.children
+  in
+  let* ss = seeds dn o in
+  let* cascade =
+    Integrity.cascade_delete g original_db
+      ~policy:(Translator_spec.delete_policy spec)
+      ~seeds:ss
+  in
+  List.fold_left
+    (fun state op ->
+      let* st = state in
+      apply_op st op)
+    (Ok st) cascade
+
+let translate g db (vo : Definition.t) spec ~old_instance ~new_instance =
+  if not spec.Translator_spec.allow_replacement then
+    Error
+      (Fmt.str
+         "translator for %s does not allow replacement of tuples in an \
+          object instance"
+         spec.Translator_spec.object_name)
+  else
+    let* () = Instance.conforms vo old_instance in
+    let* () = Instance.conforms vo new_instance in
+    (* Step 2, propagation within the view object: extending both
+       instances rewrites every node's inherited attributes from its
+       (new) parent, which realizes the downward propagation of the Aⱼ
+       key complements. *)
+    let* old_ext = Instantiate.extend_inherited g vo old_instance in
+    let* new_ext = Instantiate.extend_inherited g vo new_instance in
+    let island = Island.island_labels vo in
+    let original_db = db in
+
+    let rec process_pair (dn : Definition.node) st
+        (pair : Instance.t option * Instance.t option) =
+      match pair with
+      | None, None -> Ok st
+      | None, Some n -> insert_subtree g vo spec island dn st n
+      | Some o, None ->
+          if List.mem dn.Definition.label island then
+            delete_subtree g original_db spec island dn st o
+          else
+            (* Outside the island the old tuple is shared data; dropping
+               it from the instance touches nothing. *)
+            Ok st
+      | Some o, Some n ->
+          let in_island = List.mem dn.Definition.label island in
+          let* st =
+            if in_island then state_r dn st o n
+            else state_i dn st o n
+          in
+          (* Descend: pair each child node's sub-instances. *)
+          List.fold_left
+            (fun state (cn : Definition.node) ->
+              let* st = state in
+              let pairs =
+                Instance_db.node_pairs cn
+                  ~old_subs:(Instance.children_of o cn.Definition.label)
+                  ~new_subs:(Instance.children_of n cn.Definition.label)
+              in
+              List.fold_left
+                (fun state pair ->
+                  let* st = state in
+                  process_pair cn st pair)
+                (Ok st) pairs)
+            (Ok st) dn.Definition.children
+
+    and state_r (dn : Definition.node) st (o : Instance.t) (n : Instance.t) =
+      let rel = dn.Definition.relation in
+      let* db_old =
+        Instance_db.verify_current g original_db ~label:o.Instance.label rel
+          (tuple_of o)
+      in
+      if bound_equal (tuple_of o) (tuple_of n) then (* Case R-1 *) Ok st
+      else
+        let* old_key = Instance_db.db_key g rel (tuple_of o) in
+        let* new_key = Instance_db.db_key g rel (tuple_of n) in
+        if keys_equal old_key new_key then
+          (* Case R-2: plain replacement. *)
+          apply_op st
+            (Op.Replace (rel, old_key, Instance_db.merged ~base:db_old (tuple_of n)))
+        else begin
+          (* Case R-3: key replacement, island only. *)
+          let policy = Translator_spec.key_policy_for spec rel in
+          if not policy.Translator_spec.allow_vo_key_change then
+            Error
+              (Fmt.str
+                 "node %s: the key of relation %s may not be modified during \
+                  replacements"
+                 o.Instance.label rel)
+          else if not policy.Translator_spec.allow_db_key_replace then
+            Error
+              (Fmt.str
+                 "node %s: replacing the key of the database tuple of %s is \
+                  not allowed"
+                 o.Instance.label rel)
+          else
+            let* existing =
+              let* r =
+                Result.map_error Database.error_to_string
+                  (Database.relation st.db rel)
+              in
+              Ok (Relation.lookup r new_key)
+            in
+            match existing with
+            | None ->
+                let merged = Instance_db.merged ~base:db_old (tuple_of n) in
+                let* st = apply_op st (Op.Replace (rel, old_key, merged)) in
+                Ok
+                  {
+                    st with
+                    key_replacements =
+                      st.key_replacements @ [ rel, db_old, merged ];
+                  }
+            | Some existing_tuple ->
+                if not policy.Translator_spec.allow_merge_with_existing then
+                  Error
+                    (Fmt.str
+                       "node %s: a tuple of %s with the new key already \
+                        exists, and deleting the old tuple to merge with it \
+                        is not allowed"
+                       o.Instance.label rel)
+                else
+                  let merged =
+                    Instance_db.merged ~base:existing_tuple (tuple_of n)
+                  in
+                  let* st = apply_op st (Op.Delete (rel, old_key)) in
+                  let* st = apply_op st (Op.Replace (rel, new_key, merged)) in
+                  Ok
+                    {
+                      st with
+                      key_replacements =
+                        st.key_replacements @ [ rel, db_old, merged ];
+                    }
+        end
+
+    and state_i (dn : Definition.node) st (o : Instance.t) (n : Instance.t) =
+      let rel = dn.Definition.relation in
+      let* old_key = Instance_db.db_key g rel (tuple_of o) in
+      let* new_key = Instance_db.db_key g rel (tuple_of n) in
+      if keys_equal old_key new_key then
+        (* Case I-1: handle as state R, gated by the modification policy
+           of the outside relation. *)
+        if bound_equal (tuple_of o) (tuple_of n) then Ok st
+        else
+          let policy = Translator_spec.modification_policy_for spec rel in
+          if policy.Translator_spec.modifiable && policy.Translator_spec.allow_modify
+          then
+            let* db_old =
+              Instance_db.verify_current g original_db ~label:o.Instance.label
+                rel (tuple_of o)
+            in
+            apply_op st
+              (Op.Replace (rel, old_key, Instance_db.merged ~base:db_old (tuple_of n)))
+          else
+            Error
+              (Fmt.str
+                 "node %s: modifying the existing tuple in %s is not allowed \
+                  by the translator"
+                 o.Instance.label rel)
+      else if is_inverse_reference dn then begin
+        (* The node's tuples reference their parent. Changes to the own
+           part of the key are the prohibited peninsula key replacement;
+           changes to the inherited part are consequences of a parent key
+           change and are realized by the structural fix-ups. *)
+        let inherited = Definition.inherited_attrs dn in
+        let own_changed =
+          List.exists
+            (fun a ->
+              (not (List.mem a inherited))
+              && not
+                   (Value.equal
+                      (Tuple.get (tuple_of o) a)
+                      (Tuple.get (tuple_of n) a)))
+            (Schema.key_attributes (Schema_graph.schema_exn g rel))
+        in
+        if own_changed then
+          Error
+            (Fmt.str
+               "node %s: replacements on keys of referencing relation %s are \
+                inherently ambiguous and hence prohibited"
+               o.Instance.label rel)
+        else
+          (* Inherited key parts changed. Non-key value changes, if any,
+             are applied after the fix-ups have moved the tuple to its
+             new key. *)
+          let nonkey_changed =
+            List.exists
+              (fun a ->
+                (not (List.mem a inherited))
+                && not
+                     (Value.equal
+                        (Tuple.get (tuple_of o) a)
+                        (Tuple.get (tuple_of n) a)))
+              (Tuple.attributes (tuple_of o))
+          in
+          if not nonkey_changed then Ok st
+          else
+            let policy = Translator_spec.modification_policy_for spec rel in
+            if policy.Translator_spec.modifiable && policy.Translator_spec.allow_modify
+            then
+              let* db_old =
+                Instance_db.verify_current g original_db
+                  ~label:o.Instance.label rel (tuple_of o)
+              in
+              let merged = Instance_db.merged ~base:db_old (tuple_of n) in
+              Ok { st with deferred = st.deferred @ [ Op.Replace (rel, new_key, merged) ] }
+            else
+              Error
+                (Fmt.str
+                   "node %s: modifying the existing tuple in %s is not \
+                    allowed by the translator"
+                   o.Instance.label rel)
+      end
+      else begin
+        (* Cases I-2 / I-3 / I-4 against the simulated database. *)
+        let* existing =
+          let* r =
+            Result.map_error Database.error_to_string (Database.relation st.db rel)
+          in
+          Ok (Relation.lookup r new_key)
+        in
+        let policy = Translator_spec.modification_policy_for spec rel in
+        match existing with
+        | None ->
+            (* Case I-2. *)
+            if policy.Translator_spec.modifiable && policy.Translator_spec.allow_insert
+            then apply_op st (Op.Insert (rel, tuple_of n))
+            else
+              Error
+                (Fmt.str
+                   "node %s: inserting a new tuple into %s is not allowed by \
+                    the translator"
+                   o.Instance.label rel)
+        | Some db_tuple ->
+            let identical =
+              List.for_all
+                (fun (a, v) -> Value.equal v (Tuple.get db_tuple a))
+                (Tuple.bindings (tuple_of n))
+            in
+            if identical then (* Case I-3 *) Ok st
+            else if
+              (* Case I-4. *)
+              policy.Translator_spec.modifiable && policy.Translator_spec.allow_modify
+            then
+              apply_op st
+                (Op.Replace (rel, new_key, Instance_db.merged ~base:db_tuple (tuple_of n)))
+            else
+              Error
+                (Fmt.str
+                   "node %s: modifying the existing tuple in %s is not \
+                    allowed by the translator"
+                   o.Instance.label rel)
+      end
+    in
+
+    let st0 = { db; ops = []; deferred = []; key_replacements = [] } in
+    let* st = process_pair vo.Definition.root st0 (Some old_ext, Some new_ext) in
+    (* Validation against the structural model: island key replacements
+       propagate to referencing relations (the peninsulas included) and
+       to owned/subset relations outside the object. *)
+    let island_rels = Island.island_relations vo in
+    let fixups =
+      List.concat_map
+        (fun (rel, old_tuple, new_tuple) ->
+          Integrity.key_replacement_fixups g original_db ~relation:rel
+            ~old_tuple ~new_tuple
+            ~exclude:(fun r -> List.mem r island_rels))
+        st.key_replacements
+    in
+    Global_validation.dependency_closure g db (spec)
+      (st.ops @ fixups @ st.deferred)

@@ -1,0 +1,1 @@
+lib/keller/criteria.ml: Database Fmt List Op Relation Relational Tuple Value View

@@ -1,0 +1,1 @@
+lib/keller/criteria.mli: Database Format Op Relational Tuple View

@@ -1,0 +1,1 @@
+lib/keller/enumeration.ml: Criteria Database Fmt List Op Relation Relational Schema String Tuple Value View

@@ -1,0 +1,1 @@
+lib/keller/enumeration.mli: Criteria Database Format Op Relational Tuple View

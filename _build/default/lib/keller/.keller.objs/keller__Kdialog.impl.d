@@ -1,0 +1,1 @@
+lib/keller/kdialog.ml: Enumeration Fmt List Relational Result String Translator View

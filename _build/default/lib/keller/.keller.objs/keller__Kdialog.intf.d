@@ -1,0 +1,1 @@
+lib/keller/kdialog.mli: Enumeration Relational Translator View

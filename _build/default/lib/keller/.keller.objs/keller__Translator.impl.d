@@ -1,0 +1,1 @@
+lib/keller/translator.ml: Criteria Database Fmt List Op Relation Relational Result Schema String Tuple Value View

@@ -1,0 +1,1 @@
+lib/keller/translator.mli: Criteria Database Format Op Relational View

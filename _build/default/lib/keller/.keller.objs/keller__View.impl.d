@@ -1,0 +1,1 @@
+lib/keller/view.ml: Algebra Database Fmt List Predicate Relation Relational Result Schema String Tuple

@@ -1,0 +1,1 @@
+lib/keller/view.mli: Algebra Database Format Predicate Relational Tuple

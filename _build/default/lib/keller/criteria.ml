@@ -1,0 +1,122 @@
+open Relational
+
+type view_update =
+  | V_insert of Tuple.t
+  | V_delete of Tuple.t
+  | V_replace of Tuple.t * Tuple.t
+
+type criterion =
+  | Requested_change_realized
+  | No_side_effects
+  | Minimality
+  | Simplest_replacements
+  | No_delete_insert_pairs
+
+let criterion_name = function
+  | Requested_change_realized -> "requested change realized"
+  | No_side_effects -> "no database side effects"
+  | Minimality -> "only necessary changes"
+  | Simplest_replacements -> "simplest replacements"
+  | No_delete_insert_pairs -> "no delete-insert pairs"
+
+let pp_view_update ppf = function
+  | V_insert t -> Fmt.pf ppf "view-insert %a" Tuple.pp t
+  | V_delete t -> Fmt.pf ppf "view-delete %a" Tuple.pp t
+  | V_replace (o, n) -> Fmt.pf ppf "view-replace %a with %a" Tuple.pp o Tuple.pp n
+
+let agrees row t =
+  List.for_all (fun (a, v) -> Value.equal (Tuple.get row a) v) (Tuple.bindings t)
+
+let row_mem rows row attrs =
+  List.exists (fun r -> Tuple.equal_on attrs r row) rows
+
+let expected_rows db v update =
+  let current = View.rows db v in
+  let attrs = v.View.projection in
+  match update with
+  | V_delete t -> List.filter (fun r -> not (agrees r t)) current
+  | V_insert t ->
+      let full = Tuple.project_null attrs t in
+      if row_mem current full attrs then current else current @ [ full ]
+  | V_replace (o, n) ->
+      (* [n] may be partial: unmentioned attributes keep their old
+         values. *)
+      List.map
+        (fun r ->
+          if agrees r o then Tuple.project_null attrs (Tuple.union r n) else r)
+        current
+
+let rows_equal attrs a b =
+  let sorted rows = List.sort Tuple.compare (List.map (Tuple.project_null attrs) rows) in
+  List.equal Tuple.equal (sorted a) (sorted b)
+
+let realizes db v update ops =
+  match Database.apply_all db ops with
+  | Error _ -> false
+  | Ok db' ->
+      rows_equal v.View.projection (View.rows db' v) (expected_rows db v update)
+
+let check db v update ops =
+  let violations = ref [] in
+  let add c = if not (List.mem c !violations) then violations := c :: !violations in
+  (* Criteria 1-2: effect on the view. *)
+  (match Database.apply_all db ops with
+  | Error _ -> add Requested_change_realized
+  | Ok db' ->
+      let after = View.rows db' v in
+      let expected = expected_rows db v update in
+      let attrs = v.View.projection in
+      let requested_pred row =
+        match update with
+        | V_delete t -> agrees row t
+        | V_insert t -> agrees row (Tuple.project_null attrs t)
+        | V_replace (o, n) -> agrees row o || agrees row n
+      in
+      if not (rows_equal attrs after expected) then begin
+        (* Distinguish missing requested change from collateral damage. *)
+        let current = View.rows db v in
+        let untouched_ok =
+          List.for_all
+            (fun r -> requested_pred r || row_mem after r attrs)
+            current
+          && List.for_all
+               (fun r -> requested_pred r || row_mem current r attrs)
+               after
+        in
+        if untouched_ok then add Requested_change_realized else add No_side_effects
+      end);
+  (* Criterion 3: minimality — dropping any single op must break the
+     translation. *)
+  if realizes db v update ops then begin
+    let n = List.length ops in
+    let without i = List.filteri (fun j _ -> j <> i) ops in
+    let redundant = ref false in
+    for i = 0 to n - 1 do
+      if realizes db v update (without i) then redundant := true
+    done;
+    if !redundant then add Minimality
+  end;
+  (* Criterion 4: no identity replacements. *)
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Replace (rel, key, t) -> (
+          match Database.relation db rel with
+          | Error _ -> ()
+          | Ok r -> (
+              match Relation.lookup r key with
+              | Some old when Tuple.equal old t -> add Simplest_replacements
+              | Some _ | None -> ()))
+      | Op.Insert _ | Op.Delete _ -> ())
+    ops;
+  (* Criterion 5: delete+insert on the same relation should have been a
+     replacement. *)
+  let deletes = List.filter Op.is_delete ops in
+  let inserts = List.filter Op.is_insert ops in
+  if
+    List.exists
+      (fun d ->
+        List.exists (fun i -> Op.relation i = Op.relation d) inserts)
+      deletes
+  then add No_delete_insert_pairs;
+  List.rev !violations

@@ -1,0 +1,39 @@
+(** The five validity criteria for view-update translations
+    (Keller [13], summarized in Section 4 of the paper).
+
+    The enumeration of candidate translations is filtered by these
+    syntactically-checkable criteria; the remaining ambiguity is what the
+    definition-time dialog resolves. *)
+
+open Relational
+
+type view_update =
+  | V_insert of Tuple.t
+  | V_delete of Tuple.t  (** deletes every view row agreeing with the bindings *)
+  | V_replace of Tuple.t * Tuple.t  (** old row, new row *)
+
+type criterion =
+  | Requested_change_realized
+      (** the view, rematerialized after the translation, shows exactly
+          the requested change *)
+  | No_side_effects
+      (** view rows not mentioned by the request are untouched *)
+  | Minimality  (** no proper subset of the operations achieves the change *)
+  | Simplest_replacements  (** no replacement that rewrites a tuple to itself *)
+  | No_delete_insert_pairs
+      (** no delete+insert on the same relation where a replacement would do *)
+
+val criterion_name : criterion -> string
+
+val check :
+  Database.t -> View.t -> view_update -> Op.t list -> criterion list
+(** Violated criteria (empty = the translation is valid). Checked by
+    simulation: the ops are applied to a scratch copy and the view is
+    rematerialized. *)
+
+val expected_rows :
+  Database.t -> View.t -> view_update -> Tuple.t list
+(** The view contents the update requests (used by {!check} and exposed
+    for tests). *)
+
+val pp_view_update : Format.formatter -> view_update -> unit

@@ -1,0 +1,233 @@
+open Relational
+
+type candidate = {
+  description : string;
+  ops : Op.t list;
+  violations : Criteria.criterion list;
+}
+
+let is_valid c = c.violations = []
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "@[<v>%s%s@,%a@]" c.description
+    (if is_valid c then " (valid)"
+     else
+       Fmt.str " (violates: %s)"
+         (String.concat ", " (List.map Criteria.criterion_name c.violations)))
+    Op.pp_list c.ops
+
+let nonempty_subsets l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let subs = go rest in
+        subs @ List.map (fun s -> x :: s) subs
+  in
+  List.filter (fun s -> s <> []) (go l)
+
+let key_of db rel t =
+  Tuple.key_of (Relation.schema (Database.relation_exn db rel)) t
+
+let dedup_ops ops =
+  List.fold_left
+    (fun acc op -> if List.exists (Op.equal op) acc then acc else acc @ [ op ])
+    [] ops
+
+let deletions db v t =
+  let matching =
+    List.filter
+      (fun row ->
+        List.for_all
+          (fun (a, value) -> Value.equal (Tuple.get row a) value)
+          (Tuple.bindings t))
+      (View.rows db v)
+  in
+  if matching = [] then
+    [ { description = "no view row matches"; ops = [];
+        violations = [ Criteria.Requested_change_realized ] } ]
+  else
+  List.map
+    (fun rels ->
+      let ops =
+        dedup_ops
+          (List.concat_map
+             (fun row ->
+               List.filter_map
+                 (fun (rel, base) ->
+                   if List.mem rel rels then
+                     Some (Op.Delete (rel, key_of db rel base))
+                   else None)
+                 (View.base_tuples_of_row db v row))
+             matching)
+      in
+      let description =
+        Fmt.str "delete from %s" (String.concat ", " rels)
+      in
+      { description; ops; violations = Criteria.check db v (Criteria.V_delete t) ops })
+    (nonempty_subsets v.View.relations)
+
+(* Per-relation handling choices for an insertion. *)
+type insert_choice =
+  | Ch_insert
+  | Ch_use_existing
+  | Ch_replace_existing
+
+let choice_name = function
+  | Ch_insert -> "insert"
+  | Ch_use_existing -> "use existing"
+  | Ch_replace_existing -> "replace existing"
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let insertions db v t =
+  let per_relation =
+    List.map
+      (fun rel ->
+        let schema = Relation.schema (Database.relation_exn db rel) in
+        let attrs = Schema.attribute_names schema in
+        let base =
+          Tuple.project_null attrs
+            (Tuple.project (List.filter (Tuple.mem t) attrs) t)
+        in
+        let existing =
+          match Tuple.conforms schema base with
+          | Error _ -> None
+          | Ok () ->
+              Relation.lookup (Database.relation_exn db rel) (Tuple.key_of schema base)
+        in
+        let choices =
+          match existing with
+          | None -> [ Ch_insert ]
+          | Some db_tuple ->
+              if Tuple.equal db_tuple base then [ Ch_use_existing ]
+              else [ Ch_use_existing; Ch_replace_existing ]
+        in
+        rel, base, choices)
+      v.View.relations
+  in
+  let combos = cartesian (List.map (fun (_, _, cs) -> cs) per_relation) in
+  List.map
+    (fun combo ->
+      let parts = List.combine per_relation combo in
+      let ops =
+        List.filter_map
+          (fun ((rel, base, _), choice) ->
+            match choice with
+            | Ch_insert -> Some (Op.Insert (rel, base))
+            | Ch_use_existing -> None
+            | Ch_replace_existing ->
+                Some (Op.Replace (rel, key_of db rel base, base)))
+          parts
+      in
+      let description =
+        String.concat "; "
+          (List.map
+             (fun ((rel, _, _), choice) ->
+               Fmt.str "%s: %s" rel (choice_name choice))
+             parts)
+      in
+      { description; ops; violations = Criteria.check db v (Criteria.V_insert t) ops })
+    combos
+
+(* Per-relation handling choices for a replacement whose base-tuple key
+   changes. *)
+type replace_choice =
+  | Ch_unchanged
+  | Ch_in_place
+  | Ch_key_replace
+  | Ch_insert_keep_old
+  | Ch_delete_insert
+
+let replace_choice_name = function
+  | Ch_unchanged -> "unchanged"
+  | Ch_in_place -> "replace in place"
+  | Ch_key_replace -> "replace key"
+  | Ch_insert_keep_old -> "insert new, keep old"
+  | Ch_delete_insert -> "delete old + insert new"
+
+let replacements db v ~old_row ~new_row =
+  let matching =
+    List.filter
+      (fun row ->
+        List.for_all
+          (fun (a, value) -> Value.equal (Tuple.get row a) value)
+          (Tuple.bindings old_row))
+      (View.rows db v)
+  in
+  match matching with
+  | [] | _ :: _ :: _ ->
+      [ { description =
+            Fmt.str "%d view rows match the old row" (List.length matching);
+          ops = [];
+          violations = [ Criteria.Requested_change_realized ] } ]
+  | [ row ] ->
+      let full_new = Tuple.union row new_row in
+      let per_relation =
+        List.concat_map
+          (fun rel ->
+            let schema = Relation.schema (Database.relation_exn db rel) in
+            let attrs = Schema.attribute_names schema in
+            let old_bases =
+              List.filter_map
+                (fun (r, b) -> if r = rel then Some b else None)
+                (View.base_tuples_of_row db v row)
+            in
+            List.map
+              (fun old_base ->
+                let new_base =
+                  Tuple.union old_base (Tuple.project attrs full_new)
+                in
+                let choices =
+                  if Tuple.equal old_base new_base then [ Ch_unchanged ]
+                  else
+                    let old_key = Tuple.key_of schema old_base in
+                    let new_key = Tuple.key_of schema new_base in
+                    if List.compare Value.compare old_key new_key = 0 then
+                      [ Ch_in_place ]
+                    else [ Ch_key_replace; Ch_insert_keep_old; Ch_delete_insert ]
+                in
+                rel, schema, old_base, new_base, choices)
+              old_bases)
+          v.View.relations
+      in
+      let combos = cartesian (List.map (fun (_, _, _, _, cs) -> cs) per_relation) in
+      List.map
+        (fun combo ->
+          let parts = List.combine per_relation combo in
+          let ops =
+            List.concat_map
+              (fun ((rel, schema, old_base, new_base, _), choice) ->
+                let old_key = Tuple.key_of schema old_base in
+                match choice with
+                | Ch_unchanged -> []
+                | Ch_in_place | Ch_key_replace ->
+                    [ Op.Replace (rel, old_key, new_base) ]
+                | Ch_insert_keep_old -> [ Op.Insert (rel, new_base) ]
+                | Ch_delete_insert ->
+                    [ Op.Delete (rel, old_key); Op.Insert (rel, new_base) ])
+              parts
+          in
+          let description =
+            String.concat "; "
+              (List.filter_map
+                 (fun ((rel, _, _, _, _), choice) ->
+                   match choice with
+                   | Ch_unchanged -> None
+                   | c -> Some (Fmt.str "%s: %s" rel (replace_choice_name c)))
+                 parts)
+          in
+          let description = if description = "" then "no change" else description in
+          { description; ops;
+            violations =
+              Criteria.check db v (Criteria.V_replace (old_row, new_row)) ops })
+        combos
+
+let valid_deletions db v t = List.filter is_valid (deletions db v t)
+let valid_insertions db v t = List.filter is_valid (insertions db v t)
+
+let valid_replacements db v ~old_row ~new_row =
+  List.filter is_valid (replacements db v ~old_row ~new_row)

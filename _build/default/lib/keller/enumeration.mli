@@ -1,0 +1,46 @@
+(** Enumeration of candidate view-update translations (Section 4).
+
+    "Conceptually, we specify an enumeration of all possible valid
+    translations into sequences of database updates of each view update
+    ... We do not actually instantiate this enumeration, we merely use it
+    to define the space of alternatives." Here the space {e is}
+    instantiated (the views are small), each candidate is scored against
+    the five criteria, and the valid ones constitute the alternatives the
+    dialog chooses among. *)
+
+open Relational
+
+type candidate = {
+  description : string;  (** e.g. ["delete from COURSES, GRADES"] *)
+  ops : Op.t list;
+  violations : Criteria.criterion list;
+}
+
+val is_valid : candidate -> bool
+
+val deletions : Database.t -> View.t -> Tuple.t -> candidate list
+(** One candidate per non-empty subset of the view's underlying
+    relations: delete the base tuples (of those relations) contributing
+    to the matching view rows. *)
+
+val insertions : Database.t -> View.t -> Tuple.t -> candidate list
+(** One candidate per per-relation choice among: insert the derived base
+    tuple / reuse an existing tuple / replace a conflicting existing
+    tuple. *)
+
+val replacements :
+  Database.t -> View.t -> old_row:Tuple.t -> new_row:Tuple.t -> candidate list
+(** Candidates for replacing the unique view row matching [old_row] by
+    [old_row] overridden with [new_row]: per underlying relation whose
+    base tuple changes, the choices are an in-place replacement (key
+    unchanged), and for key changes a key replacement, an insertion that
+    keeps the old tuple, or a delete+insert pair — the last exists in the
+    space precisely so the criteria can reject it ("if we have a deletion
+    followed by an insertion, we perform a replacement instead"). *)
+
+val valid_deletions : Database.t -> View.t -> Tuple.t -> candidate list
+val valid_insertions : Database.t -> View.t -> Tuple.t -> candidate list
+val valid_replacements :
+  Database.t -> View.t -> old_row:Tuple.t -> new_row:Tuple.t -> candidate list
+
+val pp_candidate : Format.formatter -> candidate -> unit

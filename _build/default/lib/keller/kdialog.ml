@@ -1,0 +1,141 @@
+type answer =
+  | Yes
+  | No
+
+type question = {
+  id : string;
+  text : string;
+}
+
+type event = {
+  question : question;
+  answer : answer;
+}
+
+type answerer = question -> answer
+
+let scripted ?(default = Yes) table q =
+  match List.assoc_opt q.id table with Some a -> a | None -> default
+
+let all_yes (_ : question) = Yes
+
+type session = {
+  answerer : answerer;
+  mutable events : event list;
+}
+
+let ask session id text =
+  let question = { id; text } in
+  let answer = session.answerer question in
+  session.events <- session.events @ [ { question; answer } ];
+  answer = Yes
+
+let choose db v answerer =
+  ignore db;
+  let session = { answerer; events = [] } in
+  let delete_from =
+    List.filter
+      (fun rel ->
+        ask session
+          (Fmt.str "del.%s" rel)
+          (Fmt.str
+             "When view tuples are deleted, may tuples be deleted from %s?"
+             rel))
+      v.View.relations
+  in
+  let delete_from =
+    (* A translator must delete from somewhere; an all-NO dialog yields a
+       translator that deletes from the first relation (the query-graph
+       root), Keller's default. *)
+    if delete_from = [] then [ List.hd v.View.relations ] else delete_from
+  in
+  let insert_policies =
+    List.map
+      (fun rel ->
+        let modifiable =
+          ask session
+            (Fmt.str "ins.%s.touch" rel)
+            (Fmt.str
+               "Can the relation %s be modified during insertions (or \
+                replacements)?"
+               rel)
+        in
+        if not modifiable then
+          ( rel,
+            {
+              Translator.allow_insert = false;
+              allow_use_existing = true;
+              allow_modify_existing = false;
+            } )
+        else
+          let allow_insert =
+            ask session (Fmt.str "ins.%s.insert" rel)
+              "Can a new tuple be inserted?"
+          in
+          let allow_modify_existing =
+            ask session (Fmt.str "ins.%s.modify" rel)
+              "Can an existing tuple be modified?"
+          in
+          ( rel,
+            {
+              Translator.allow_insert;
+              allow_use_existing = true;
+              allow_modify_existing;
+            } ))
+      v.View.relations
+  in
+  let translator =
+    match Translator.make v ~delete_from ~insert_policies with
+    | Ok t -> t
+    | Error e -> invalid_arg e
+  in
+  translator, session.events
+
+type picker = Enumeration.candidate list -> int
+
+let first_candidate (_ : Enumeration.candidate list) = 0
+
+let prefer_fewest_ops candidates =
+  let sizes =
+    List.mapi (fun i (c : Enumeration.candidate) -> i, List.length c.Enumeration.ops)
+      candidates
+  in
+  fst
+    (List.fold_left
+       (fun (bi, bn) (i, n) -> if n < bn then i, n else bi, bn)
+       (List.hd sizes) (List.tl sizes))
+
+let choose_deletion_by_example db v ~sample picker =
+  match Enumeration.valid_deletions db v sample with
+  | [] ->
+      Error
+        (Fmt.str "view %s: no valid deletion translation for the sample"
+           v.View.name)
+  | candidates ->
+      let i = picker candidates in
+      if i < 0 || i >= List.length candidates then
+        Error (Fmt.str "picker chose %d of %d candidates" i (List.length candidates))
+      else
+        let chosen = List.nth candidates i in
+        let delete_from =
+          List.sort_uniq String.compare
+            (List.map Relational.Op.relation chosen.Enumeration.ops)
+        in
+        let delete_from =
+          if delete_from = [] then [ List.hd v.View.relations ] else delete_from
+        in
+        let base = Translator.default v in
+        Result.map
+          (fun tr -> tr, chosen)
+          (Translator.make v ~delete_from
+             ~insert_policies:base.Translator.insert_policies)
+
+let transcript events =
+  String.concat "\n"
+    (List.map
+       (fun { question; answer } ->
+         Fmt.str "%s <%s>" question.text
+           (match answer with Yes -> "YES" | No -> "NO"))
+       events)
+
+let question_count events = List.length events

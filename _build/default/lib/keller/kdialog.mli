@@ -1,0 +1,57 @@
+(** Choosing a flat-view translator by dialog at view definition time
+    (Keller, VLDB '86 [14]). The relational counterpart of
+    {!Vo_core.Dialog}; the view-object dialog extends this question
+    pattern to islands and peninsulas. *)
+
+type answer =
+  | Yes
+  | No
+
+type question = {
+  id : string;
+  text : string;
+}
+
+type event = {
+  question : question;
+  answer : answer;
+}
+
+type answerer = question -> answer
+
+val scripted : ?default:answer -> (string * answer) list -> answerer
+val all_yes : answerer
+
+val choose :
+  Relational.Database.t -> View.t -> answerer -> Translator.t * event list
+(** Per relation: "When view tuples are deleted, may tuples be deleted
+    from R?"; then the three insertion questions (insert / reuse /
+    modify), with NO-premise follow-ups pruned. *)
+
+val transcript : event list -> string
+val question_count : event list -> int
+
+(** {1 Choosing among enumerated candidates}
+
+    The alternative definition-time protocol: show the DBA the valid
+    translations of a {e sample} update and let her pick one; the choice
+    fixes the translator for all later updates of that kind. *)
+
+type picker = Enumeration.candidate list -> int
+(** Given the valid candidates (non-empty), return the index of the
+    chosen one. Out-of-range indices are an error. *)
+
+val first_candidate : picker
+val prefer_fewest_ops : picker
+
+val choose_deletion_by_example :
+  Relational.Database.t ->
+  View.t ->
+  sample:Relational.Tuple.t ->
+  picker ->
+  (Translator.t * Enumeration.candidate, string) result
+(** Enumerate the valid deletion translations of the sample view-tuple
+    deletion, let [picker] choose, and build a translator whose
+    delete-from set consists of the relations the chosen candidate
+    deletes from (insert policies default to {!Translator.default}'s).
+    Errors when no valid candidate exists. *)

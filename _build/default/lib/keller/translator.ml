@@ -1,0 +1,195 @@
+open Relational
+
+type insert_policy = {
+  allow_insert : bool;
+  allow_use_existing : bool;
+  allow_modify_existing : bool;
+}
+
+type t = {
+  view : View.t;
+  delete_from : string list;
+  insert_policies : (string * insert_policy) list;
+}
+
+let ( let* ) = Result.bind
+
+let make view ~delete_from ~insert_policies =
+  if delete_from = [] then Error "translator: empty delete-from set"
+  else
+    match
+      List.find_opt
+        (fun r -> not (List.mem r view.View.relations))
+        (delete_from @ List.map fst insert_policies)
+    with
+    | Some r -> Error (Fmt.str "translator: %s is not a relation of the view" r)
+    | None -> Ok { view; delete_from; insert_policies }
+
+let default view =
+  {
+    view;
+    delete_from = view.View.relations;
+    insert_policies =
+      List.map
+        (fun r ->
+          r, { allow_insert = true; allow_use_existing = true;
+               allow_modify_existing = false })
+        view.View.relations;
+  }
+
+let insert_policy_for tr rel =
+  match List.assoc_opt rel tr.insert_policies with
+  | Some p -> p
+  | None ->
+      { allow_insert = false; allow_use_existing = true;
+        allow_modify_existing = false }
+
+let key_of db rel t =
+  Tuple.key_of (Relation.schema (Database.relation_exn db rel)) t
+
+let dedup_ops ops =
+  List.fold_left
+    (fun acc op -> if List.exists (Op.equal op) acc then acc else acc @ [ op ])
+    [] ops
+
+let matching_rows db v t =
+  List.filter
+    (fun row ->
+      List.for_all
+        (fun (a, value) -> Value.equal (Tuple.get row a) value)
+        (Tuple.bindings t))
+    (View.rows db v)
+
+let translate_delete db tr t =
+  let rows = matching_rows db tr.view t in
+  if rows = [] then
+    Error (Fmt.str "view %s: no row matches %a" tr.view.View.name Tuple.pp t)
+  else
+    Ok
+      (dedup_ops
+         (List.concat_map
+            (fun row ->
+              List.filter_map
+                (fun (rel, base) ->
+                  if List.mem rel tr.delete_from then
+                    Some (Op.Delete (rel, key_of db rel base))
+                  else None)
+                (View.base_tuples_of_row db tr.view row))
+            rows))
+
+(* Only the attributes the view row actually binds: padding absent ones
+   with [Null] would clobber key values on replacements. *)
+let base_tuple_for db rel t =
+  let schema = Relation.schema (Database.relation_exn db rel) in
+  let attrs = Schema.attribute_names schema in
+  Tuple.project attrs t
+
+let translate_insert db tr t =
+  List.fold_left
+    (fun acc rel ->
+      let* ops = acc in
+      let base = base_tuple_for db rel t in
+      let schema = Relation.schema (Database.relation_exn db rel) in
+      let* () =
+        Result.map_error
+          (fun e -> Fmt.str "view %s: %s" tr.view.View.name e)
+          (Tuple.conforms schema base)
+      in
+      let policy = insert_policy_for tr rel in
+      match Relation.lookup (Database.relation_exn db rel) (Tuple.key_of schema base) with
+      | None ->
+          if policy.allow_insert then Ok (ops @ [ Op.Insert (rel, base) ])
+          else
+            Error
+              (Fmt.str "translator for %s: insertions into %s are not allowed"
+                 tr.view.View.name rel)
+      | Some db_tuple ->
+          let agrees =
+            List.for_all
+              (fun (a, v) -> Value.is_null v || Value.equal v (Tuple.get db_tuple a))
+              (Tuple.bindings base)
+          in
+          if agrees then
+            if policy.allow_use_existing then Ok ops
+            else
+              Error
+                (Fmt.str
+                   "translator for %s: reusing existing tuples of %s is not \
+                    allowed"
+                   tr.view.View.name rel)
+          else if policy.allow_modify_existing then
+            Ok (ops @ [ Op.Replace (rel, key_of db rel base,
+                                    Tuple.union db_tuple base) ])
+          else
+            Error
+              (Fmt.str
+                 "translator for %s: a conflicting tuple exists in %s and \
+                  modification is not allowed"
+                 tr.view.View.name rel)
+      )
+    (Ok []) tr.view.View.relations
+
+let translate_replace db tr old_row new_row =
+  let rows = matching_rows db tr.view old_row in
+  match rows with
+  | [] ->
+      Error (Fmt.str "view %s: no row matches %a" tr.view.View.name Tuple.pp old_row)
+  | _ :: _ :: _ ->
+      Error
+        (Fmt.str "view %s: %a identifies several rows" tr.view.View.name
+           Tuple.pp old_row)
+  | [ row ] ->
+      let full_new = Tuple.union row new_row in
+      List.fold_left
+        (fun acc rel ->
+          let* ops = acc in
+          let old_bases =
+            List.filter_map
+              (fun (r, b) -> if r = rel then Some b else None)
+              (View.base_tuples_of_row db tr.view row)
+          in
+          let new_base = base_tuple_for db rel full_new in
+          let schema = Relation.schema (Database.relation_exn db rel) in
+          List.fold_left
+            (fun acc old_base ->
+              let* ops = acc in
+              if Tuple.equal old_base (Tuple.union old_base new_base) then Ok ops
+              else
+                let old_key = Tuple.key_of schema old_base in
+                let new_key = Tuple.key_of schema (Tuple.union old_base new_base) in
+                if List.compare Value.compare old_key new_key = 0 then
+                  Ok (ops @ [ Op.Replace (rel, old_key, Tuple.union old_base new_base) ])
+                else if List.mem rel tr.delete_from then
+                  Ok (ops @ [ Op.Replace (rel, old_key, Tuple.union old_base new_base) ])
+                else
+                  let policy = insert_policy_for tr rel in
+                  if policy.allow_insert then
+                    Ok (ops @ [ Op.Insert (rel, Tuple.union old_base new_base) ])
+                  else
+                    Error
+                      (Fmt.str
+                         "translator for %s: key change in %s requires an \
+                          insertion, which is not allowed"
+                         tr.view.View.name rel))
+            (Ok ops) old_bases)
+        (Ok []) tr.view.View.relations
+
+let translate db tr = function
+  | Criteria.V_delete t -> translate_delete db tr t
+  | Criteria.V_insert t -> translate_insert db tr t
+  | Criteria.V_replace (o, n) -> translate_replace db tr o n
+
+let translate_and_check db tr update =
+  let* ops = translate db tr update in
+  Ok (ops, Criteria.check db tr.view update ops)
+
+let pp ppf tr =
+  let pp_policy ppf (rel, p) =
+    Fmt.pf ppf "%s: insert:%b reuse:%b modify:%b" rel p.allow_insert
+      p.allow_use_existing p.allow_modify_existing
+  in
+  Fmt.pf ppf "@[<v>translator for view %s@,delete from: %s@,%a@]"
+    tr.view.View.name
+    (String.concat ", " tr.delete_from)
+    Fmt.(list ~sep:cut pp_policy)
+    tr.insert_policies

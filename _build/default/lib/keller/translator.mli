@@ -1,0 +1,46 @@
+(** Flat-view translators, chosen once at view-definition time
+    (Keller [14,15]).
+
+    A translator fixes: which underlying relations deletions remove
+    tuples from, and, per relation, how insertions treat missing,
+    matching and conflicting base tuples. Replacements combine the two,
+    split — exactly as VO-R later generalizes — into tuples whose key
+    survives (replace in place) and tuples whose key changes (insert
+    semantics, or key replacement in the delete-from relations). *)
+
+open Relational
+
+type insert_policy = {
+  allow_insert : bool;
+  allow_use_existing : bool;
+  allow_modify_existing : bool;
+}
+
+type t = {
+  view : View.t;
+  delete_from : string list;
+      (** non-empty subset of the view's relations *)
+  insert_policies : (string * insert_policy) list;  (** per relation *)
+}
+
+val make :
+  View.t ->
+  delete_from:string list ->
+  insert_policies:(string * insert_policy) list ->
+  (t, string) result
+
+val default : View.t -> t
+(** Deletes from every underlying relation; inserts and reuse allowed
+    everywhere, modification of conflicting tuples denied. *)
+
+val insert_policy_for : t -> string -> insert_policy
+
+val translate :
+  Database.t -> t -> Criteria.view_update -> (Op.t list, string) result
+
+val translate_and_check :
+  Database.t -> t -> Criteria.view_update ->
+  (Op.t list * Criteria.criterion list, string) result
+(** Translation plus the criteria report for it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+open Relational
+
+type t = {
+  name : string;
+  relations : string list;
+  selection : Predicate.t;
+  projection : string list;
+}
+
+let ( let* ) = Result.bind
+
+let join_expr relations =
+  match relations with
+  | [] -> invalid_arg "view: no relations"
+  | r :: rest ->
+      List.fold_left
+        (fun acc r' -> Algebra.Natural_join (acc, Algebra.Base r'))
+        (Algebra.Base r) rest
+
+let expr v =
+  Algebra.Project (v.projection, Algebra.Select (v.selection, join_expr v.relations))
+
+let make db ~name ~relations ~selection ~projection =
+  let* () = if relations = [] then Error "view: no relations" else Ok () in
+  let* schemas =
+    List.fold_left
+      (fun acc r ->
+        let* ss = acc in
+        let* s = Result.map_error Database.error_to_string (Database.schema_of db r) in
+        Ok (ss @ [ s ]))
+      (Ok []) relations
+  in
+  (* Consecutive natural joins must share an attribute, or the join
+     degenerates to a product. *)
+  let rec check_joinable seen = function
+    | [] -> Ok ()
+    | s :: rest ->
+        let attrs = Schema.attribute_names s in
+        if seen = [] then check_joinable attrs rest
+        else if List.exists (fun a -> List.mem a seen) attrs then
+          check_joinable (seen @ attrs) rest
+        else
+          Error
+            (Fmt.str "view %s: relation %s shares no attribute with the \
+                      preceding join" name s.Schema.name)
+  in
+  let* () = check_joinable [] schemas in
+  let all_attrs =
+    List.sort_uniq String.compare
+      (List.concat_map Schema.attribute_names schemas)
+  in
+  let* () =
+    match
+      List.find_opt (fun a -> not (List.mem a all_attrs)) projection
+    with
+    | Some a -> Error (Fmt.str "view %s: unknown projection attribute %s" name a)
+    | None -> Ok ()
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun a -> not (List.mem a all_attrs))
+        (Predicate.attributes selection)
+    with
+    | Some a -> Error (Fmt.str "view %s: unknown selection attribute %s" name a)
+    | None -> Ok ()
+  in
+  Ok { name; relations; selection; projection }
+
+let make_exn db ~name ~relations ~selection ~projection =
+  match make db ~name ~relations ~selection ~projection with
+  | Ok v -> v
+  | Error e -> invalid_arg e
+
+let materialize db v = Algebra.eval db (expr v)
+
+let rows db v =
+  match materialize db v with Ok rs -> rs.Algebra.rows | Error _ -> []
+
+let shared_attrs db v rel =
+  match Database.schema_of db rel with
+  | Error _ -> []
+  | Ok s ->
+      (* Attributes of [rel] visible in the join result (all of them,
+         since natural join keeps every attribute name once). *)
+      ignore v;
+      Schema.attribute_names s
+
+let base_tuples_of_row db v row =
+  List.concat_map
+    (fun rel ->
+      match Database.relation db rel with
+      | Error _ -> []
+      | Ok r ->
+          let attrs =
+            List.filter
+              (fun a -> Tuple.mem row a)
+              (Schema.attribute_names (Relation.schema r))
+          in
+          let pred =
+            Predicate.conj
+              (List.map
+                 (fun a -> Predicate.Cmp (a, Predicate.Eq, Tuple.get row a))
+                 attrs)
+          in
+          List.map (fun t -> rel, t) (Relation.select pred r))
+    v.relations
+
+let pp ppf v =
+  Fmt.pf ppf "view %s = pi[%a](sigma[%a](%a))" v.name
+    Fmt.(list ~sep:(any ",") string)
+    v.projection Predicate.pp v.selection
+    Fmt.(list ~sep:(any " |x| ") string)
+    v.relations

@@ -1,0 +1,50 @@
+(** Flat relational views (Section 4; Keller [13,14,15]).
+
+    The baseline the paper builds on: select–project–join views over base
+    relations, joined naturally on shared attribute names. Each view
+    tuple is in first normal form — contrast with the fully unnormalized
+    view-object instances. *)
+
+open Relational
+
+type t = private {
+  name : string;
+  relations : string list;  (** base relations, joined left to right *)
+  selection : Predicate.t;  (** evaluated on the join result *)
+  projection : string list;  (** output attributes *)
+}
+
+val make :
+  Database.t ->
+  name:string ->
+  relations:string list ->
+  selection:Predicate.t ->
+  projection:string list ->
+  (t, string) result
+(** Validates that the relations exist, that consecutive relations share
+    at least one attribute to join on, and that selection and projection
+    attributes are defined. *)
+
+val make_exn :
+  Database.t -> name:string -> relations:string list ->
+  selection:Predicate.t -> projection:string list -> t
+
+val expr : t -> Algebra.expr
+(** The relational-algebra expression the view denotes. *)
+
+val materialize : Database.t -> t -> (Algebra.rset, string) result
+
+val rows : Database.t -> t -> Tuple.t list
+(** Materialized rows ([[]] on evaluation error). *)
+
+val base_tuples_of_row :
+  Database.t -> t -> Tuple.t -> (string * Tuple.t) list
+(** Provenance: for one view row (or a partial row binding at least the
+    join attributes), the base tuples of each underlying relation that
+    agree with the row on their shared attributes. A relation can
+    contribute several tuples when the row underdetermines it. *)
+
+val shared_attrs : Database.t -> t -> string -> string list
+(** Attributes a base relation shares with the view's full join result. *)
+
+val pp : Format.formatter -> t -> unit

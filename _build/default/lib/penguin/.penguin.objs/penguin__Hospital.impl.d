@@ -1,0 +1,1 @@
+lib/penguin/hospital.ml: Attribute Connection Fmt Generate Instantiate List Metric Predicate Relational Schema Schema_graph Sql Structural Viewobject Vo_core Workspace

@@ -1,0 +1,1 @@
+lib/penguin/json_export.ml: Buffer Char Connection Definition Fmt Instance List Relational Schema_graph String Structural Tuple Value Viewobject

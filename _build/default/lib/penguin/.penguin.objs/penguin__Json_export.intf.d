@@ -1,0 +1,1 @@
+lib/penguin/json_export.mli: Definition Instance Relational Viewobject

@@ -1,0 +1,1 @@
+lib/penguin/paper.ml: Definition Expansion Fmt Generate Instance List Metric Relational Schema_graph String Structural University Viewobject Vo_core Vo_query

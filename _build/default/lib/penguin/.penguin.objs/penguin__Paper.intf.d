@@ -1,0 +1,1 @@
+lib/penguin/paper.mli:

@@ -1,0 +1,1 @@
+lib/penguin/store.ml: Attribute Connection Database Definition Fmt Instance Integrity List Relation Relational Result Schema Schema_graph Sexp Structural Tuple Value Viewobject Vo_core Workspace

@@ -1,0 +1,1 @@
+lib/penguin/store.mli: Relational Sexp Structural Value Viewobject Vo_core Workspace

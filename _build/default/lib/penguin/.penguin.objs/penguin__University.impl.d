@@ -1,0 +1,1 @@
+lib/penguin/university.ml: Attribute Connection Generate Instance Instantiate List Metric Predicate Relational Schema Schema_graph Sql Structural Tuple Value Viewobject Vo_core Workspace

@@ -1,0 +1,1 @@
+lib/penguin/university.mli: Definition Instance Relational Schema_graph Structural Viewobject Vo_core Workspace

@@ -1,0 +1,1 @@
+lib/penguin/upql.ml: Definition Fmt Instance List Oql Predicate Relational Result Sql_lexer Transaction Tuple Value Viewobject Vo_core Vo_query Workspace

@@ -1,0 +1,1 @@
+lib/penguin/upql.mli: Definition Format Predicate Relational Value Viewobject Vo_core Vo_query Workspace

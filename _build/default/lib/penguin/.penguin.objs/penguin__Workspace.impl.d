@@ -1,0 +1,1 @@
+lib/penguin/workspace.ml: Database Definition Fmt Generate List Metric Oql Relational Result Schema_graph Sql Structural Transaction Viewobject Vo_core Vo_query

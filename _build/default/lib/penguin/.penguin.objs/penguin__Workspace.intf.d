@@ -1,0 +1,1 @@
+lib/penguin/workspace.mli: Database Definition Instance Metric Relational Schema_graph Sql Structural Viewobject Vo_core Vo_query

@@ -1,0 +1,128 @@
+open Relational
+open Structural
+open Viewobject
+
+let schema name attributes key = Schema.make_exn ~name ~attributes ~key
+
+let project =
+  schema "PROJECT"
+    [ Attribute.str "proj_id"; Attribute.str "title"; Attribute.str "owner" ]
+    [ "proj_id" ]
+
+let supplier =
+  schema "SUPPLIER"
+    [ Attribute.str "sup_id"; Attribute.str "name"; Attribute.str "country" ]
+    [ "sup_id" ]
+
+let part =
+  schema "PART"
+    [ Attribute.str "part_no"; Attribute.str "descr"; Attribute.str "sup_id" ]
+    [ "part_no" ]
+
+let assembly =
+  schema "ASSEMBLY"
+    [ Attribute.str "asm_id"; Attribute.str "name"; Attribute.str "proj_id" ]
+    [ "asm_id" ]
+
+let component =
+  schema "COMPONENT"
+    [ Attribute.str "asm_id"; Attribute.int "comp_no"; Attribute.str "part_no";
+      Attribute.int "qty" ]
+    [ "asm_id"; "comp_no" ]
+
+let drawing =
+  schema "DRAWING"
+    [ Attribute.str "asm_id"; Attribute.int "sheet"; Attribute.str "fmt" ]
+    [ "asm_id"; "sheet" ]
+
+let graph =
+  Schema_graph.make_exn
+    [ project; supplier; part; assembly; component; drawing ]
+    [
+      Connection.reference "ASSEMBLY" "PROJECT" ~on:([ "proj_id" ], [ "proj_id" ]);
+      Connection.ownership "ASSEMBLY" "COMPONENT" ~on:([ "asm_id" ], [ "asm_id" ]);
+      Connection.ownership "ASSEMBLY" "DRAWING" ~on:([ "asm_id" ], [ "asm_id" ]);
+      Connection.reference "COMPONENT" "PART" ~on:([ "part_no" ], [ "part_no" ]);
+      Connection.reference "PART" "SUPPLIER" ~on:([ "sup_id" ], [ "sup_id" ]);
+    ]
+
+let seed_sql =
+  {|
+  INSERT INTO PROJECT VALUES ('P1', 'Lunar Rover', 'NASA');
+  INSERT INTO PROJECT VALUES ('P2', 'Sea Probe', 'WHOI');
+
+  INSERT INTO SUPPLIER VALUES ('S1', 'Acme Metals', 'US');
+  INSERT INTO SUPPLIER VALUES ('S2', 'Bolts&Co', 'DE');
+
+  INSERT INTO PART VALUES ('PN-100', 'titanium strut', 'S1');
+  INSERT INTO PART VALUES ('PN-200', 'hex bolt', 'S2');
+  INSERT INTO PART VALUES ('PN-300', 'wheel hub', 'S1');
+
+  INSERT INTO ASSEMBLY VALUES ('A1', 'chassis', 'P1');
+  INSERT INTO ASSEMBLY VALUES ('A2', 'sensor mast', 'P2');
+
+  INSERT INTO COMPONENT VALUES ('A1', 1, 'PN-100', 4);
+  INSERT INTO COMPONENT VALUES ('A1', 2, 'PN-200', 32);
+  INSERT INTO COMPONENT VALUES ('A1', 3, 'PN-300', 4);
+  INSERT INTO COMPONENT VALUES ('A2', 1, 'PN-200', 8);
+
+  INSERT INTO DRAWING VALUES ('A1', 1, 'dxf');
+  INSERT INTO DRAWING VALUES ('A1', 2, 'dxf');
+  INSERT INTO DRAWING VALUES ('A2', 1, 'iges');
+  |}
+
+let seeded_db () =
+  let db = Schema_graph.create_database graph in
+  match Sql.run_script db seed_sql with
+  | Ok (db, _) -> db
+  | Error e -> invalid_arg ("cad seed data: " ^ e)
+
+(* Expansion labels: ASSEMBLY, COMPONENT, PART, SUPPLIER, DRAWING,
+   PROJECT. *)
+let assembly_object =
+  let tree = Generate.tree Metric.default graph ~pivot:"ASSEMBLY" in
+  match
+    Generate.prune graph tree ~name:"assembly"
+      ~keep:
+        [
+          "ASSEMBLY", [ "asm_id"; "name"; "proj_id" ];
+          "COMPONENT", [ "comp_no"; "part_no"; "qty" ];
+          "PART", [ "part_no"; "descr"; "sup_id" ];
+          "SUPPLIER", [ "sup_id"; "name" ];
+          "DRAWING", [ "sheet"; "fmt" ];
+          "PROJECT", [ "proj_id"; "title" ];
+        ]
+  with
+  | Ok vo -> vo
+  | Error e -> invalid_arg ("assembly_object: " ^ e)
+
+let assembly_translator =
+  let open Vo_core.Translator_spec in
+  let spec = permissive ~object_name:"assembly" in
+  let spec =
+    List.fold_left
+      (fun spec rel -> with_island_key spec rel allow_key_replace)
+      spec [ "ASSEMBLY"; "COMPONENT"; "DRAWING" ]
+  in
+  let catalog = { modifiable = true; allow_insert = false; allow_modify = true } in
+  let spec = with_outside spec "PART" catalog in
+  let spec = with_outside spec "SUPPLIER" catalog in
+  with_outside spec "PROJECT" allow_all_modification
+
+let workspace () =
+  let ws = Workspace.create graph in
+  let ws = Workspace.with_db ws (seeded_db ()) in
+  {
+    ws with
+    Workspace.objects = [ "assembly", assembly_object ];
+    translators = [ "assembly", assembly_translator ];
+  }
+
+let assembly_instance db asm_id =
+  match
+    Instantiate.instantiate
+      ~where:(Predicate.eq_str "asm_id" asm_id)
+      db assembly_object
+  with
+  | [ i ] -> i
+  | _ -> invalid_arg (Fmt.str "assembly_instance: %s not found" asm_id)

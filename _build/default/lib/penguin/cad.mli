@@ -1,0 +1,28 @@
+(** A CAD parts-and-assemblies database (cf. reference [5] of the paper,
+    "Complex objects for relational databases", which appeared in a CAD
+    special issue — engineering design was the other driving domain for
+    view objects).
+
+    Six relations: PROJECT, SUPPLIER, PART, ASSEMBLY, COMPONENT, DRAWING.
+    The assembly object shows an island with {e two} ownership branches
+    (COMPONENT and DRAWING under ASSEMBLY) and a reference chain leaving
+    the island (COMPONENT —> PART —> SUPPLIER); it has no referencing
+    peninsula, the contrasting case to ω and the patient record. *)
+
+open Structural
+open Viewobject
+
+val graph : Schema_graph.t
+val seeded_db : unit -> Relational.Database.t
+
+val assembly_object : Definition.t
+(** Pivot ASSEMBLY; island ASSEMBLY/COMPONENT/DRAWING; PROJECT, PART,
+    SUPPLIER outside. *)
+
+val assembly_translator : Vo_core.Translator_spec.t
+(** Parts and suppliers are catalog data: reusable and modifiable but not
+    insertable through the object; projects are fully managed. *)
+
+val workspace : unit -> Workspace.t
+val assembly_instance : Relational.Database.t -> string -> Instance.t
+(** Assembly by id. @raise Invalid_argument when absent. *)

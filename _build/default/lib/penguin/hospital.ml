@@ -1,0 +1,166 @@
+open Relational
+open Structural
+open Viewobject
+
+let schema name attributes key = Schema.make_exn ~name ~attributes ~key
+
+let ward =
+  schema "WARD"
+    [ Attribute.str "ward_id"; Attribute.str "name"; Attribute.int "floor" ]
+    [ "ward_id" ]
+
+let physician =
+  schema "PHYSICIAN"
+    [ Attribute.int "phys_id"; Attribute.str "name"; Attribute.str "specialty" ]
+    [ "phys_id" ]
+
+let patient =
+  schema "PATIENT"
+    [ Attribute.int "mrn"; Attribute.str "name"; Attribute.str "ward_id";
+      Attribute.int "attending" ]
+    [ "mrn" ]
+
+let visit =
+  schema "VISIT"
+    [ Attribute.int "mrn"; Attribute.int "visit_no"; Attribute.str "vdate";
+      Attribute.str "reason" ]
+    [ "mrn"; "visit_no" ]
+
+let orders =
+  schema "ORDERS"
+    [ Attribute.int "mrn"; Attribute.int "visit_no"; Attribute.int "order_no";
+      Attribute.str "drug"; Attribute.int "dose"; Attribute.int "prescriber" ]
+    [ "mrn"; "visit_no"; "order_no" ]
+
+let result =
+  schema "RESULT"
+    [ Attribute.int "mrn"; Attribute.int "visit_no"; Attribute.int "order_no";
+      Attribute.int "result_no"; Attribute.float "value" ]
+    [ "mrn"; "visit_no"; "order_no"; "result_no" ]
+
+let appointment =
+  schema "APPOINTMENT"
+    [ Attribute.int "appt_id"; Attribute.int "mrn"; Attribute.int "phys_id";
+      Attribute.str "adate" ]
+    [ "appt_id" ]
+
+let graph =
+  Schema_graph.make_exn
+    [ ward; physician; patient; visit; orders; result; appointment ]
+    [
+      Connection.reference "PATIENT" "WARD" ~on:([ "ward_id" ], [ "ward_id" ]);
+      Connection.reference "PATIENT" "PHYSICIAN" ~on:([ "attending" ], [ "phys_id" ]);
+      Connection.ownership "PATIENT" "VISIT" ~on:([ "mrn" ], [ "mrn" ]);
+      Connection.ownership "VISIT" "ORDERS"
+        ~on:([ "mrn"; "visit_no" ], [ "mrn"; "visit_no" ]);
+      Connection.ownership "ORDERS" "RESULT"
+        ~on:([ "mrn"; "visit_no"; "order_no" ], [ "mrn"; "visit_no"; "order_no" ]);
+      Connection.reference "ORDERS" "PHYSICIAN" ~on:([ "prescriber" ], [ "phys_id" ]);
+      Connection.reference "APPOINTMENT" "PATIENT" ~on:([ "mrn" ], [ "mrn" ]);
+      Connection.reference "APPOINTMENT" "PHYSICIAN" ~on:([ "phys_id" ], [ "phys_id" ]);
+    ]
+
+let seed_sql =
+  {|
+  INSERT INTO WARD VALUES ('W1', 'Cardiology', 3);
+  INSERT INTO WARD VALUES ('W2', 'Oncology', 4);
+  INSERT INTO WARD VALUES ('W3', 'General Medicine', 2);
+
+  INSERT INTO PHYSICIAN VALUES (100, 'Dr. House', 'Diagnostics');
+  INSERT INTO PHYSICIAN VALUES (101, 'Dr. Grey', 'Cardiology');
+  INSERT INTO PHYSICIAN VALUES (102, 'Dr. Wilson', 'Oncology');
+
+  INSERT INTO PATIENT VALUES (7001, 'John Poe', 'W1', 101);
+  INSERT INTO PATIENT VALUES (7002, 'Mary Moe', 'W2', 102);
+  INSERT INTO PATIENT VALUES (7003, 'Rita Roe', 'W3', 100);
+
+  INSERT INTO VISIT VALUES (7001, 1, '1990-11-02', 'chest pain');
+  INSERT INTO VISIT VALUES (7001, 2, '1991-01-15', 'follow-up');
+  INSERT INTO VISIT VALUES (7002, 1, '1990-12-24', 'staging');
+  INSERT INTO VISIT VALUES (7003, 1, '1991-02-01', 'fatigue');
+
+  INSERT INTO ORDERS VALUES (7001, 1, 1, 'aspirin', 100, 101);
+  INSERT INTO ORDERS VALUES (7001, 1, 2, 'atenolol', 50, 101);
+  INSERT INTO ORDERS VALUES (7001, 2, 1, 'atenolol', 25, 100);
+  INSERT INTO ORDERS VALUES (7002, 1, 1, 'cisplatin', 70, 102);
+  INSERT INTO ORDERS VALUES (7003, 1, 1, 'ferritin panel', 1, 100);
+
+  INSERT INTO RESULT VALUES (7001, 1, 1, 1, 0.9);
+  INSERT INTO RESULT VALUES (7001, 1, 2, 1, 1.2);
+  INSERT INTO RESULT VALUES (7002, 1, 1, 1, 3.4);
+  INSERT INTO RESULT VALUES (7003, 1, 1, 1, 12.5);
+
+  INSERT INTO APPOINTMENT VALUES (9001, 7001, 101, '1991-03-01');
+  INSERT INTO APPOINTMENT VALUES (9002, 7002, 102, '1991-03-02');
+  INSERT INTO APPOINTMENT VALUES (9003, 7001, 100, '1991-04-10');
+  |}
+
+let seeded_db () =
+  let db = Schema_graph.create_database graph in
+  match Sql.run_script db seed_sql with
+  | Ok (db, _) -> db
+  | Error e -> invalid_arg ("hospital seed data: " ^ e)
+
+(* Expansion labels (deterministic order; see Expansion): the attending
+   PHYSICIAN comes first and carries inverse-reference copies of
+   ORDERS/APPOINTMENT, so the ownership chain under PATIENT is labelled
+   VISIT#2 / ORDERS#2 / RESULT#2 with the prescribing PHYSICIAN#2. *)
+let visit_label = "VISIT#2"
+let orders_label = "ORDERS#2"
+let result_label = "RESULT#2"
+let prescriber_label = "PHYSICIAN#2"
+
+let patient_record =
+  let tree = Generate.tree Metric.default graph ~pivot:"PATIENT" in
+  match
+    Generate.prune graph tree ~name:"patient_record"
+      ~keep:
+        [
+          "PATIENT", [ "mrn"; "name"; "ward_id"; "attending" ];
+          "PHYSICIAN", [ "phys_id"; "name"; "specialty" ];
+          visit_label, [ "visit_no"; "vdate"; "reason" ];
+          orders_label, [ "order_no"; "drug"; "dose"; "prescriber" ];
+          prescriber_label, [ "phys_id"; "name" ];
+          result_label, [ "result_no"; "value" ];
+          "WARD", [ "ward_id"; "name"; "floor" ];
+        ]
+  with
+  | Ok vo -> vo
+  | Error e -> invalid_arg ("patient_record: " ^ e)
+
+let record_translator =
+  let open Vo_core.Translator_spec in
+  let spec = permissive ~object_name:"patient_record" in
+  let spec =
+    List.fold_left
+      (fun spec rel -> with_island_key spec rel allow_key_replace)
+      spec [ "PATIENT"; "VISIT"; "ORDERS"; "RESULT" ]
+  in
+  let reference_data = { modifiable = true; allow_insert = false; allow_modify = false } in
+  let spec = with_outside spec "PHYSICIAN" reference_data in
+  let spec = with_outside spec "WARD" reference_data in
+  let appt_patient =
+    List.find
+      (fun (c : Connection.t) ->
+        c.Connection.source = "APPOINTMENT" && c.Connection.target = "PATIENT")
+      (Schema_graph.connections graph)
+  in
+  with_reference_action spec appt_patient Structural.Integrity.Nullify
+
+let workspace () =
+  let ws = Workspace.create graph in
+  let ws = Workspace.with_db ws (seeded_db ()) in
+  {
+    ws with
+    Workspace.objects = [ "patient_record", patient_record ];
+    translators = [ "patient_record", record_translator ];
+  }
+
+let patient_instance db mrn =
+  match
+    Instantiate.instantiate
+      ~where:(Predicate.eq_int "mrn" mrn)
+      db patient_record
+  with
+  | [ i ] -> i
+  | _ -> invalid_arg (Fmt.str "patient_instance: mrn %d not found" mrn)

@@ -1,0 +1,36 @@
+(** A clinical-records database (the application domain that motivated
+    PENGUIN — the original work was funded by the National Library of
+    Medicine; see DESIGN.md).
+
+    Seven relations: WARD, PHYSICIAN, PATIENT, VISIT, ORDERS, RESULT,
+    APPOINTMENT. The patient-record view object has a {e deep} dependency
+    island (PATIENT —* VISIT —* ORDERS —* RESULT) and a referencing
+    peninsula (APPOINTMENT —> PATIENT) whose foreign key is nullable —
+    exercising the [Nullify] reference action that the university schema
+    cannot (CURRICULUM's foreign key is part of its key). *)
+
+open Structural
+open Viewobject
+
+val graph : Schema_graph.t
+val seeded_db : unit -> Relational.Database.t
+
+val patient_record : Definition.t
+(** Pivot PATIENT; island PATIENT/VISIT/ORDERS/RESULT; WARD, the
+    attending and prescribing PHYSICIAN copies outside. *)
+
+val visit_label : string
+(** Node labels of the ownership chain in the expansion tree. *)
+
+val orders_label : string
+val result_label : string
+val prescriber_label : string
+
+val record_translator : Vo_core.Translator_spec.t
+(** Clinical policy: key changes allowed on the island (except merging),
+    PHYSICIAN and WARD are reference data (reusable, not insertable),
+    deleting a patient nullifies appointments. *)
+
+val workspace : unit -> Workspace.t
+val patient_instance : Relational.Database.t -> int -> Instance.t
+(** Patient record by MRN. @raise Invalid_argument when absent. *)

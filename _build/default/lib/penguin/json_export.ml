@@ -1,0 +1,83 @@
+open Relational
+open Structural
+open Viewobject
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let value = function
+  | Value.Null -> "null"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Value.float_to_string f
+  | Value.Str s -> escape_string s
+  | Value.Bool b -> string_of_bool b
+
+(* A child node is structurally singular when its last connection is a
+   forward reference (n:1) or forward subset (1:[0,1]). *)
+let singular (cn : Definition.node) =
+  match List.rev cn.Definition.path with
+  | [] -> false
+  | last :: _ -> (
+      last.Schema_graph.forward
+      &&
+      match last.Schema_graph.conn.Connection.kind with
+      | Connection.Reference | Connection.Subset -> true
+      | Connection.Ownership -> false)
+
+let rec render buf (dn : Definition.node) (i : Instance.t) =
+  Buffer.add_char buf '{';
+  let first = ref true in
+  let comma () =
+    if !first then first := false else Buffer.add_char buf ','
+  in
+  List.iter
+    (fun a ->
+      comma ();
+      Buffer.add_string buf (escape_string a);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (value (Tuple.get i.Instance.tuple a)))
+    dn.Definition.attrs;
+  List.iter
+    (fun (cn : Definition.node) ->
+      comma ();
+      Buffer.add_string buf (escape_string cn.Definition.label);
+      Buffer.add_char buf ':';
+      let subs = Instance.children_of i cn.Definition.label in
+      if singular cn then (
+        match subs with
+        | [] -> Buffer.add_string buf "null"
+        | sub :: _ -> render buf cn sub)
+      else begin
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun j sub ->
+            if j > 0 then Buffer.add_char buf ',';
+            render buf cn sub)
+          subs;
+        Buffer.add_char buf ']'
+      end)
+    dn.Definition.children;
+  Buffer.add_char buf '}'
+
+let instance (vo : Definition.t) i =
+  let buf = Buffer.create 256 in
+  render buf vo.Definition.root i;
+  Buffer.contents buf
+
+let instances vo is =
+  "[" ^ String.concat "," (List.map (instance vo) is) ^ "]"

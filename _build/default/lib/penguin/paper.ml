@@ -1,0 +1,87 @@
+open Structural
+open Viewobject
+
+let figure1 () =
+  Fmt.str "%a@.@.%s" Schema_graph.pp University.graph
+    (Schema_graph.to_dot University.graph)
+
+let figure2a () =
+  let sub =
+    Generate.relevant_subgraph Metric.default University.graph ~pivot:"COURSES"
+  in
+  Fmt.str "Relevant subgraph G (pivot COURSES):@.%a" Schema_graph.pp sub
+
+let figure2b () =
+  let tree = Generate.tree Metric.default University.graph ~pivot:"COURSES" in
+  "Expansion tree T (pivot COURSES):\n" ^ Expansion.to_ascii tree
+
+let figure2c () =
+  "View object omega (complexity "
+  ^ string_of_int (Definition.complexity University.omega)
+  ^ "):\n"
+  ^ Definition.to_ascii University.omega
+
+let figure3 () =
+  "View object omega' :\n" ^ Definition.to_ascii University.omega_prime
+
+let figure4 () =
+  let db = University.seeded_db () in
+  let q =
+    Vo_query.C_and
+      ( Vo_query.C_node ("COURSES", Relational.Predicate.eq_str "level" "grad"),
+        Vo_query.C_count (University.student_label, Relational.Predicate.Lt, 5) )
+  in
+  let instances = Vo_query.run db University.omega q in
+  Fmt.str
+    "Query: graduate courses with less than 5 students enrolled@.%d instance(s):@.%s"
+    (List.length instances)
+    (String.concat "\n" (List.map Instance.to_ascii instances))
+
+let dialog_with answers =
+  let _spec, events =
+    Vo_core.Dialog.choose ~ask_insertion:false ~ask_deletion:false
+      University.graph University.omega
+      (Vo_core.Dialog.scripted answers)
+  in
+  Vo_core.Dialog.transcript events
+
+let section6_dialog () = dialog_with Vo_core.Dialog.paper_omega_answers
+
+let section6_dialog_restrictive () =
+  dialog_with Vo_core.Dialog.restrictive_department_answers
+
+let ees345_example () =
+  let db = University.seeded_db () in
+  let old_i = University.cs345_instance db in
+  let new_i = University.ees345_replacement old_i in
+  let request =
+    Vo_core.Request.replace ~old_instance:old_i ~new_instance:new_i
+  in
+  let run name spec =
+    let outcome =
+      Vo_core.Engine.apply University.graph db University.omega spec request
+    in
+    Fmt.str "--- %s translator ---@.%a" name Vo_core.Engine.pp_outcome outcome
+  in
+  String.concat "\n"
+    [
+      "Replacement request: course CS345 becomes EES345 in the (new)";
+      "department \"Engineering Economic Systems\".";
+      run "permissive (paper Section 6)" University.omega_translator;
+      run "restrictive (DEPARTMENT not modifiable)"
+        University.omega_translator_restrictive;
+    ]
+
+let all () =
+  [
+    "Figure 1 - structural schema", figure1 ();
+    "Figure 2(a) - relevant subgraph", figure2a ();
+    "Figure 2(b) - expansion tree", figure2b ();
+    "Figure 2(c) - view object omega", figure2c ();
+    "Figure 3 - view object omega'", figure3 ();
+    "Figure 4 - instantiation", figure4 ();
+    "Section 6 - translator dialog (paper answers)", section6_dialog ();
+    "Section 6 - dialog with DEPARTMENT locked (footnote 5)",
+    section6_dialog_restrictive ();
+    "Section 6 - EES345 replacement under both translators", ees345_example ();
+  ]

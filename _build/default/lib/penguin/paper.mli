@@ -1,0 +1,42 @@
+(** Reproductions of the paper's figures and transcripts (the
+    "evaluation artifacts" indexed in DESIGN.md/EXPERIMENTS.md).
+
+    Each function returns the artifact as text; the bench executable
+    prints them, the golden tests assert their load-bearing properties,
+    and [penguin figures] shows them on demand. *)
+
+val figure1 : unit -> string
+(** The structural schema of the university database (relations and
+    connections, plus the Graphviz rendering). *)
+
+val figure2a : unit -> string
+(** The relevant subgraph G for pivot COURSES. *)
+
+val figure2b : unit -> string
+(** The expansion tree T, with its two copies of PEOPLE. *)
+
+val figure2c : unit -> string
+(** The pruned definition of ω with per-node projections. *)
+
+val figure3 : unit -> string
+(** ω′, with the COURSES→STUDENT edge shown as a two-connection path. *)
+
+val figure4 : unit -> string
+(** The instance produced by "graduate courses with less than 5 students
+    having enrolled" on the seeded database. *)
+
+val section6_dialog : unit -> string
+(** The replacement portion of the translator-choice dialog for ω, with
+    the paper's answers. *)
+
+val section6_dialog_restrictive : unit -> string
+(** The variant in which DEPARTMENT may not be modified (footnote 5: its
+    follow-up questions disappear). *)
+
+val ees345_example : unit -> string
+(** The Section 6 replacement request run under both translators: the
+    operations produced by the permissive one (including the DEPARTMENT
+    insertion) and the rejection by the restrictive one. *)
+
+val all : unit -> (string * string) list
+(** Every artifact, labelled. *)

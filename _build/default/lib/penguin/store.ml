@@ -1,0 +1,479 @@
+open Relational
+open Structural
+open Viewobject
+
+let ( let* ) = Result.bind
+
+let atom = Sexp.atom
+let l = Sexp.list
+
+let map_m f items =
+  List.fold_left
+    (fun acc x ->
+      let* xs = acc in
+      let* y = f x in
+      Ok (xs @ [ y ]))
+    (Ok []) items
+
+(* --- values ---------------------------------------------------------- *)
+
+let value_to_sexp = function
+  | Value.Null -> atom "null"
+  | Value.Int i -> l [ atom "int"; atom (string_of_int i) ]
+  | Value.Float f -> l [ atom "float"; atom (Value.float_to_string f) ]
+  | Value.Str s -> l [ atom "str"; atom s ]
+  | Value.Bool b -> l [ atom "bool"; atom (string_of_bool b) ]
+
+let value_of_sexp = function
+  | Sexp.Atom "null" -> Ok Value.Null
+  | Sexp.List [ Sexp.Atom "int"; Sexp.Atom i ] -> (
+      match int_of_string_opt i with
+      | Some i -> Ok (Value.Int i)
+      | None -> Error (Fmt.str "store: bad int %s" i))
+  | Sexp.List [ Sexp.Atom "float"; Sexp.Atom f ] -> (
+      match float_of_string_opt f with
+      | Some f -> Ok (Value.Float f)
+      | None -> Error (Fmt.str "store: bad float %s" f))
+  | Sexp.List [ Sexp.Atom "str"; Sexp.Atom s ] -> Ok (Value.Str s)
+  | Sexp.List [ Sexp.Atom "bool"; Sexp.Atom b ] -> (
+      match bool_of_string_opt b with
+      | Some b -> Ok (Value.Bool b)
+      | None -> Error (Fmt.str "store: bad bool %s" b))
+  | e -> Error (Fmt.str "store: bad value %s" (Sexp.to_string e))
+
+(* --- schemas and connections ----------------------------------------- *)
+
+let schema_to_sexp (s : Schema.t) =
+  l
+    [ atom "schema"; atom s.Schema.name;
+      l
+        (atom "attrs"
+        :: List.map
+             (fun (a : Attribute.t) ->
+               l [ atom a.Attribute.name; atom (Value.domain_name a.Attribute.domain) ])
+             s.Schema.attributes);
+      l (atom "key" :: List.map atom s.Schema.key) ]
+
+let schema_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | Sexp.Atom "schema" :: Sexp.Atom name :: rest ->
+      let* attrs = Sexp.keyed "attrs" rest in
+      let* attributes =
+        map_m
+          (fun a ->
+            match a with
+            | Sexp.List [ Sexp.Atom n; Sexp.Atom d ] -> (
+                match Value.domain_of_name d with
+                | Some dom -> Ok (Attribute.make n dom)
+                | None -> Error (Fmt.str "store: unknown domain %s" d))
+            | _ -> Error "store: bad attribute")
+          attrs
+      in
+      let* key_items = Sexp.keyed "key" rest in
+      let* key = map_m Sexp.as_atom key_items in
+      Schema.make ~name ~attributes ~key
+  | _ -> Error "store: bad schema"
+
+let connection_to_sexp (c : Connection.t) =
+  l
+    [ atom "connection"; atom (Connection.kind_name c.Connection.kind);
+      atom c.Connection.source; atom c.Connection.target;
+      l
+        [ atom "on";
+          l (List.map atom c.Connection.source_attrs);
+          l (List.map atom c.Connection.target_attrs) ] ]
+
+let connection_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ Sexp.Atom "connection"; Sexp.Atom kind; Sexp.Atom source;
+      Sexp.Atom target;
+      Sexp.List [ Sexp.Atom "on"; Sexp.List xs1; Sexp.List xs2 ] ] ->
+      let* kind =
+        match kind with
+        | "ownership" -> Ok Connection.Ownership
+        | "reference" -> Ok Connection.Reference
+        | "subset" -> Ok Connection.Subset
+        | k -> Error (Fmt.str "store: unknown connection kind %s" k)
+      in
+      let* source_attrs = map_m Sexp.as_atom xs1 in
+      let* target_attrs = map_m Sexp.as_atom xs2 in
+      Ok (Connection.make ~kind ~source ~target ~source_attrs ~target_attrs)
+  | _ -> Error "store: bad connection"
+
+(* --- definitions ------------------------------------------------------ *)
+
+let edge_to_sexp (e : Schema_graph.edge) =
+  l
+    [ atom "edge";
+      atom (if e.Schema_graph.forward then "forward" else "inverse");
+      atom (Connection.id e.Schema_graph.conn) ]
+
+let edge_of_sexp g e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ Sexp.Atom "edge"; Sexp.Atom dir; Sexp.Atom cid ] ->
+      let* forward =
+        match dir with
+        | "forward" -> Ok true
+        | "inverse" -> Ok false
+        | d -> Error (Fmt.str "store: bad edge direction %s" d)
+      in
+      (match
+         List.find_opt
+           (fun c -> Connection.id c = cid)
+           (Schema_graph.connections g)
+       with
+      | Some conn -> Ok { Schema_graph.conn; forward }
+      | None -> Error (Fmt.str "store: unknown connection %s" cid))
+  | _ -> Error "store: bad edge"
+
+let rec node_to_sexp (n : Definition.node) =
+  l
+    [ atom "node"; atom n.Definition.label; atom n.Definition.relation;
+      l (atom "attrs" :: List.map atom n.Definition.attrs);
+      l (atom "path" :: List.map edge_to_sexp n.Definition.path);
+      l (atom "children" :: List.map node_to_sexp n.Definition.children) ]
+
+let rec node_of_sexp g e =
+  let* items = Sexp.as_list e in
+  match items with
+  | Sexp.Atom "node" :: Sexp.Atom label :: Sexp.Atom relation :: rest ->
+      let* attr_items = Sexp.keyed "attrs" rest in
+      let* attrs = map_m Sexp.as_atom attr_items in
+      let* path_items = Sexp.keyed "path" rest in
+      let* path = map_m (edge_of_sexp g) path_items in
+      let* child_items = Sexp.keyed "children" rest in
+      let* children = map_m (node_of_sexp g) child_items in
+      Ok (Definition.node ~label ~relation ~attrs ~path ~children)
+  | _ -> Error "store: bad definition node"
+
+let definition_to_sexp (vo : Definition.t) =
+  l
+    [ atom "object"; atom vo.Definition.name; atom vo.Definition.pivot;
+      node_to_sexp vo.Definition.root ]
+
+let definition_of_sexp g e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ Sexp.Atom "object"; Sexp.Atom name; Sexp.Atom pivot; node ] ->
+      let* root = node_of_sexp g node in
+      Definition.make g ~name ~pivot ~root
+  | _ -> Error "store: bad object definition"
+
+(* --- translators ------------------------------------------------------ *)
+
+let bool_atom b = atom (string_of_bool b)
+
+let bool_of_sexp e =
+  let* a = Sexp.as_atom e in
+  match bool_of_string_opt a with
+  | Some b -> Ok b
+  | None -> Error (Fmt.str "store: bad bool %s" a)
+
+let action_to_sexp = function
+  | Integrity.Nullify -> atom "nullify"
+  | Integrity.Delete_referencing -> atom "delete-referencing"
+  | Integrity.Restrict -> atom "restrict"
+
+let action_of_sexp e =
+  let* a = Sexp.as_atom e in
+  match a with
+  | "nullify" -> Ok Integrity.Nullify
+  | "delete-referencing" -> Ok Integrity.Delete_referencing
+  | "restrict" -> Ok Integrity.Restrict
+  | s -> Error (Fmt.str "store: bad reference action %s" s)
+
+let key_policy_to_sexp (p : Vo_core.Translator_spec.key_policy) =
+  l
+    [ bool_atom p.Vo_core.Translator_spec.allow_vo_key_change;
+      bool_atom p.Vo_core.Translator_spec.allow_db_key_replace;
+      bool_atom p.Vo_core.Translator_spec.allow_merge_with_existing ]
+
+let key_policy_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ a; b; c ] ->
+      let* allow_vo_key_change = bool_of_sexp a in
+      let* allow_db_key_replace = bool_of_sexp b in
+      let* allow_merge_with_existing = bool_of_sexp c in
+      Ok
+        {
+          Vo_core.Translator_spec.allow_vo_key_change;
+          allow_db_key_replace;
+          allow_merge_with_existing;
+        }
+  | _ -> Error "store: bad key policy"
+
+let mod_policy_to_sexp (p : Vo_core.Translator_spec.modification_policy) =
+  l
+    [ bool_atom p.Vo_core.Translator_spec.modifiable;
+      bool_atom p.Vo_core.Translator_spec.allow_insert;
+      bool_atom p.Vo_core.Translator_spec.allow_modify ]
+
+let mod_policy_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ a; b; c ] ->
+      let* modifiable = bool_of_sexp a in
+      let* allow_insert = bool_of_sexp b in
+      let* allow_modify = bool_of_sexp c in
+      Ok { Vo_core.Translator_spec.modifiable; allow_insert; allow_modify }
+  | _ -> Error "store: bad modification policy"
+
+let translator_to_sexp (spec : Vo_core.Translator_spec.t) =
+  let open Vo_core.Translator_spec in
+  l
+    [ atom "translator"; atom spec.object_name;
+      l [ atom "insertion"; bool_atom spec.allow_insertion ];
+      l [ atom "deletion"; bool_atom spec.allow_deletion ];
+      l [ atom "replacement"; bool_atom spec.allow_replacement ];
+      l
+        (atom "island-keys"
+        :: List.map
+             (fun (rel, p) -> l [ atom rel; key_policy_to_sexp p ])
+             spec.island_keys);
+      l
+        (atom "outside"
+        :: List.map
+             (fun (rel, p) -> l [ atom rel; mod_policy_to_sexp p ])
+             spec.outside);
+      l
+        (atom "reference-actions"
+        :: List.map
+             (fun (cid, a) -> l [ atom cid; action_to_sexp a ])
+             spec.reference_actions);
+      l [ atom "default-outside"; mod_policy_to_sexp spec.default_outside ];
+      l
+        [ atom "default-reference-action";
+          action_to_sexp spec.default_reference_action ] ]
+
+let translator_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | Sexp.Atom "translator" :: Sexp.Atom object_name :: rest ->
+      let flag name =
+        let* f = Sexp.keyed name rest in
+        match f with
+        | [ b ] -> bool_of_sexp b
+        | _ -> Error (Fmt.str "store: bad %s flag" name)
+      in
+      let* allow_insertion = flag "insertion" in
+      let* allow_deletion = flag "deletion" in
+      let* allow_replacement = flag "replacement" in
+      let pair_list name decode =
+        let* entries = Sexp.keyed name rest in
+        map_m
+          (fun entry ->
+            let* items = Sexp.as_list entry in
+            match items with
+            | [ Sexp.Atom k; v ] ->
+                let* v = decode v in
+                Ok (k, v)
+            | _ -> Error (Fmt.str "store: bad %s entry" name))
+          entries
+      in
+      let* island_keys = pair_list "island-keys" key_policy_of_sexp in
+      let* outside = pair_list "outside" mod_policy_of_sexp in
+      let* reference_actions = pair_list "reference-actions" action_of_sexp in
+      let* default_outside =
+        let* f = Sexp.keyed "default-outside" rest in
+        match f with
+        | [ p ] -> mod_policy_of_sexp p
+        | _ -> Error "store: bad default-outside"
+      in
+      let* default_reference_action =
+        let* f = Sexp.keyed "default-reference-action" rest in
+        match f with
+        | [ a ] -> action_of_sexp a
+        | _ -> Error "store: bad default-reference-action"
+      in
+      Ok
+        {
+          Vo_core.Translator_spec.object_name;
+          allow_insertion;
+          allow_deletion;
+          allow_replacement;
+          island_keys;
+          outside;
+          reference_actions;
+          default_outside;
+          default_reference_action;
+        }
+  | _ -> Error "store: bad translator"
+
+(* --- instances --------------------------------------------------------- *)
+
+let tuple_to_sexp t =
+  l
+    (atom "row"
+    :: List.map
+         (fun (a, v) -> l [ atom a; value_to_sexp v ])
+         (Tuple.bindings t))
+
+let tuple_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | Sexp.Atom "row" :: bindings ->
+      let* bindings =
+        map_m
+          (fun b ->
+            let* items = Sexp.as_list b in
+            match items with
+            | [ Sexp.Atom a; v ] ->
+                let* v = value_of_sexp v in
+                Ok (a, v)
+            | _ -> Error "store: bad binding")
+          bindings
+      in
+      Ok (Tuple.make bindings)
+  | _ -> Error "store: bad row"
+
+let rec instance_to_sexp (i : Instance.t) =
+  l
+    [ atom "instance"; atom i.Instance.label; atom i.Instance.relation;
+      tuple_to_sexp i.Instance.tuple;
+      l
+        (atom "children"
+        :: List.map
+             (fun (label, subs) ->
+               l (atom label :: List.map instance_to_sexp subs))
+             i.Instance.children) ]
+
+let rec instance_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ Sexp.Atom "instance"; Sexp.Atom label; Sexp.Atom relation; row;
+      Sexp.List (Sexp.Atom "children" :: child_groups) ] ->
+      let* tuple = tuple_of_sexp row in
+      let* children =
+        map_m
+          (fun group ->
+            let* items = Sexp.as_list group in
+            match items with
+            | Sexp.Atom child_label :: subs ->
+                let* subs = map_m instance_of_sexp subs in
+                Ok (child_label, subs)
+            | _ -> Error "store: bad child group")
+          child_groups
+      in
+      Ok (Instance.make ~label ~relation ~tuple ~children)
+  | _ -> Error "store: bad instance"
+
+(* --- workspace --------------------------------------------------------- *)
+
+let relation_to_sexp r =
+  l
+    (atom "relation"
+    :: atom (Relation.name r)
+    :: List.map tuple_to_sexp (Relation.to_list r))
+
+let save ?(include_data = true) (ws : Workspace.t) =
+  let g = ws.Workspace.graph in
+  let schemas =
+    List.map (fun n -> schema_to_sexp (Schema_graph.schema_exn g n))
+      (Schema_graph.relations g)
+  in
+  let connections = List.map connection_to_sexp (Schema_graph.connections g) in
+  let objects =
+    List.map (fun (_, vo) -> definition_to_sexp vo) ws.Workspace.objects
+  in
+  let translators =
+    List.map (fun (_, spec) -> translator_to_sexp spec) ws.Workspace.translators
+  in
+  let data =
+    if not include_data then []
+    else
+      [ l
+          (atom "data"
+          :: List.map
+               (fun n -> relation_to_sexp (Database.relation_exn ws.Workspace.db n))
+               (Database.relation_names ws.Workspace.db)) ]
+  in
+  Sexp.to_string
+    (l
+       ([ atom "penguin-workspace";
+          l (atom "schemas" :: schemas);
+          l (atom "connections" :: connections);
+          l (atom "objects" :: objects);
+          l (atom "translators" :: translators) ]
+       @ data))
+  ^ "\n"
+
+let load input =
+  let* doc = Sexp.parse input in
+  let* items = Sexp.as_list doc in
+  match items with
+  | Sexp.Atom "penguin-workspace" :: rest ->
+      let* schema_items = Sexp.keyed "schemas" rest in
+      let* schemas = map_m schema_of_sexp schema_items in
+      let* conn_items = Sexp.keyed "connections" rest in
+      let* conns = map_m connection_of_sexp conn_items in
+      let* graph = Schema_graph.make schemas conns in
+      let ws = Workspace.create graph in
+      let* object_items = Sexp.keyed "objects" rest in
+      let* objects =
+        map_m
+          (fun e ->
+            let* vo = definition_of_sexp graph e in
+            Ok (vo.Definition.name, vo))
+          object_items
+      in
+      let* translator_items = Sexp.keyed "translators" rest in
+      let* translators =
+        map_m
+          (fun e ->
+            let* spec = translator_of_sexp e in
+            Ok (spec.Vo_core.Translator_spec.object_name, spec))
+          translator_items
+      in
+      let* () =
+        match
+          List.find_opt
+            (fun (name, _) -> not (List.mem_assoc name translators))
+            objects
+        with
+        | Some (name, _) ->
+            Error (Fmt.str "store: object %s has no translator" name)
+        | None -> Ok ()
+      in
+      let* db =
+        match Sexp.keyed_opt "data" rest with
+        | None -> Ok ws.Workspace.db
+        | Some relation_items ->
+            List.fold_left
+              (fun acc e ->
+                let* db = acc in
+                let* items = Sexp.as_list e in
+                match items with
+                | Sexp.Atom "relation" :: Sexp.Atom name :: rows ->
+                    List.fold_left
+                      (fun acc row ->
+                        let* db = acc in
+                        let* t = tuple_of_sexp row in
+                        Result.map_error Database.error_to_string
+                          (Database.insert db name t))
+                      (Ok db) rows
+                | _ -> Error "store: bad relation data")
+              (Ok ws.Workspace.db) relation_items
+      in
+      Ok { ws with Workspace.db; objects; translators }
+  | _ -> Error "store: not a penguin-workspace document"
+
+let save_file ?include_data ws path =
+  try
+    let oc = open_out path in
+    output_string oc (save ?include_data ws);
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load_file path =
+  try
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    load content
+  with Sys_error e -> Error e

@@ -1,0 +1,42 @@
+(** Saving and loading workspaces.
+
+    "A view object is an uninstantiated window onto the underlying
+    database; that is, only its definition is saved" (Section 3). This
+    module persists exactly the definitional state of a {!Workspace.t} —
+    relation schemas, structural connections, view-object definitions and
+    their translators — plus, optionally, the base data, as a single
+    S-expression document:
+
+    {v
+    (penguin-workspace
+      (schemas (schema NAME (attrs (a int) ...) (key ...)) ...)
+      (connections (connection ownership R1 R2 (on (...) (...))) ...)
+      (objects (object NAME PIVOT <node>) ...)
+      (translators (translator NAME ...) ...)
+      (data (relation NAME (row (attr <value>) ...) ...) ...))
+    v} *)
+
+open Relational
+
+val value_to_sexp : Value.t -> Sexp.t
+val value_of_sexp : Sexp.t -> (Value.t, string) result
+
+val definition_to_sexp : Viewobject.Definition.t -> Sexp.t
+val definition_of_sexp :
+  Structural.Schema_graph.t -> Sexp.t -> (Viewobject.Definition.t, string) result
+(** Edges are stored by connection id and direction, and resolved against
+    the given graph — a definition only makes sense over its schema. *)
+
+val translator_to_sexp : Vo_core.Translator_spec.t -> Sexp.t
+val translator_of_sexp : Sexp.t -> (Vo_core.Translator_spec.t, string) result
+
+val instance_to_sexp : Viewobject.Instance.t -> Sexp.t
+val instance_of_sexp : Sexp.t -> (Viewobject.Instance.t, string) result
+
+val save : ?include_data:bool -> Workspace.t -> string
+(** Render the workspace ([include_data] defaults to [true]). *)
+
+val load : string -> (Workspace.t, string) result
+
+val save_file : ?include_data:bool -> Workspace.t -> string -> (unit, string) result
+val load_file : string -> (Workspace.t, string) result

@@ -1,0 +1,215 @@
+open Relational
+open Structural
+open Viewobject
+
+let schema name attributes key = Schema.make_exn ~name ~attributes ~key
+
+let department =
+  schema "DEPARTMENT"
+    [ Attribute.str "dept_name"; Attribute.str "building"; Attribute.int "budget" ]
+    [ "dept_name" ]
+
+let people =
+  schema "PEOPLE"
+    [ Attribute.int "pid"; Attribute.str "name"; Attribute.str "dept_name" ]
+    [ "pid" ]
+
+let student =
+  schema "STUDENT"
+    [ Attribute.int "pid"; Attribute.str "degree_program"; Attribute.int "year" ]
+    [ "pid" ]
+
+let faculty =
+  schema "FACULTY"
+    [ Attribute.int "pid"; Attribute.str "rank"; Attribute.str "office" ]
+    [ "pid" ]
+
+let staff =
+  schema "STAFF" [ Attribute.int "pid"; Attribute.str "title" ] [ "pid" ]
+
+let courses =
+  schema "COURSES"
+    [ Attribute.str "course_id"; Attribute.str "title"; Attribute.int "units";
+      Attribute.str "level"; Attribute.str "dept_name" ]
+    [ "course_id" ]
+
+let curriculum =
+  schema "CURRICULUM"
+    [ Attribute.str "degree"; Attribute.str "course_id"; Attribute.str "requirement" ]
+    [ "degree"; "course_id" ]
+
+let grades =
+  schema "GRADES"
+    [ Attribute.str "course_id"; Attribute.int "pid"; Attribute.str "grade" ]
+    [ "course_id"; "pid" ]
+
+let graph =
+  Schema_graph.make_exn
+    [ department; people; student; faculty; staff; courses; curriculum; grades ]
+    [
+      Connection.reference "PEOPLE" "DEPARTMENT" ~on:([ "dept_name" ], [ "dept_name" ]);
+      Connection.reference "COURSES" "DEPARTMENT" ~on:([ "dept_name" ], [ "dept_name" ]);
+      Connection.subset "PEOPLE" "STUDENT" ~on:([ "pid" ], [ "pid" ]);
+      Connection.subset "PEOPLE" "FACULTY" ~on:([ "pid" ], [ "pid" ]);
+      Connection.subset "PEOPLE" "STAFF" ~on:([ "pid" ], [ "pid" ]);
+      Connection.reference "CURRICULUM" "COURSES" ~on:([ "course_id" ], [ "course_id" ]);
+      Connection.ownership "COURSES" "GRADES" ~on:([ "course_id" ], [ "course_id" ]);
+      Connection.reference "GRADES" "STUDENT" ~on:([ "pid" ], [ "pid" ]);
+    ]
+
+let seed_sql =
+  {|
+  INSERT INTO DEPARTMENT VALUES ('Computer Science', 'Gates', 5000000);
+  INSERT INTO DEPARTMENT VALUES ('Mathematics', 'Sloan', 2000000);
+  INSERT INTO DEPARTMENT VALUES ('Electrical Engineering', 'Packard', 3500000);
+
+  INSERT INTO PEOPLE VALUES (1, 'Ada Adams', 'Computer Science');
+  INSERT INTO PEOPLE VALUES (2, 'Ben Barton', 'Computer Science');
+  INSERT INTO PEOPLE VALUES (3, 'Cathy Cole', 'Mathematics');
+  INSERT INTO PEOPLE VALUES (4, 'Dan Duval', 'Electrical Engineering');
+  INSERT INTO PEOPLE VALUES (5, 'Eve Evans', 'Computer Science');
+  INSERT INTO PEOPLE VALUES (6, 'Finn Ford', 'Computer Science');
+  INSERT INTO PEOPLE VALUES (7, 'Grace Gray', 'Computer Science');
+  INSERT INTO PEOPLE VALUES (8, 'Hugh Holt', 'Mathematics');
+  INSERT INTO PEOPLE VALUES (9, 'Iris Ives', 'Computer Science');
+
+  INSERT INTO STUDENT VALUES (1, 'MS CS', 2);
+  INSERT INTO STUDENT VALUES (2, 'PhD CS', 4);
+  INSERT INTO STUDENT VALUES (3, 'BS Math', 3);
+  INSERT INTO STUDENT VALUES (4, 'MS EE', 1);
+  INSERT INTO STUDENT VALUES (5, 'PhD CS', 2);
+  INSERT INTO STUDENT VALUES (6, 'BS CS', 1);
+
+  INSERT INTO FACULTY VALUES (7, 'Professor', 'G-101');
+  INSERT INTO FACULTY VALUES (8, 'Associate Professor', 'S-202');
+
+  INSERT INTO STAFF VALUES (9, 'Administrator');
+
+  INSERT INTO COURSES VALUES ('CS345', 'Database Systems', 3, 'grad', 'Computer Science');
+  INSERT INTO COURSES VALUES ('CS101', 'Intro Programming', 5, 'undergrad', 'Computer Science');
+  INSERT INTO COURSES VALUES ('MATH51', 'Linear Algebra', 4, 'undergrad', 'Mathematics');
+  INSERT INTO COURSES VALUES ('EE280', 'Embedded Systems', 3, 'grad', 'Electrical Engineering');
+
+  INSERT INTO GRADES VALUES ('CS345', 1, 'A');
+  INSERT INTO GRADES VALUES ('CS345', 2, 'B+');
+  INSERT INTO GRADES VALUES ('CS101', 1, 'A-');
+  INSERT INTO GRADES VALUES ('CS101', 3, 'B');
+  INSERT INTO GRADES VALUES ('CS101', 4, 'A');
+  INSERT INTO GRADES VALUES ('CS101', 6, 'B+');
+  INSERT INTO GRADES VALUES ('MATH51', 3, 'A');
+  INSERT INTO GRADES VALUES ('EE280', 1, 'B');
+  INSERT INTO GRADES VALUES ('EE280', 2, 'A-');
+  INSERT INTO GRADES VALUES ('EE280', 4, 'A');
+  INSERT INTO GRADES VALUES ('EE280', 5, 'B');
+  INSERT INTO GRADES VALUES ('EE280', 6, 'A-');
+
+  INSERT INTO CURRICULUM VALUES ('MS CS', 'CS345', 'core');
+  INSERT INTO CURRICULUM VALUES ('PhD CS', 'CS345', 'elective');
+  INSERT INTO CURRICULUM VALUES ('BS CS', 'CS101', 'core');
+  INSERT INTO CURRICULUM VALUES ('MS EE', 'EE280', 'core');
+  INSERT INTO CURRICULUM VALUES ('BS Math', 'MATH51', 'core');
+  |}
+
+let seeded_db () =
+  let db = Schema_graph.create_database graph in
+  match Sql.run_script db seed_sql with
+  | Ok (db, _) -> db
+  | Error e -> invalid_arg ("university seed data: " ^ e)
+
+(* Labels assigned by the deterministic expansion (see DESIGN.md): the
+   STUDENT copy under GRADES is STUDENT#2, the FACULTY copy under
+   DEPARTMENT-PEOPLE is FACULTY. *)
+let student_label = "STUDENT#2"
+let faculty_label = "FACULTY"
+
+let omega_keep =
+  [
+    "COURSES", [ "course_id"; "title"; "units"; "level" ];
+    "DEPARTMENT", [ "dept_name"; "building" ];
+    "CURRICULUM", [ "degree"; "requirement" ];
+    "GRADES", [ "pid"; "grade" ];
+    student_label, [ "pid"; "degree_program"; "year" ];
+  ]
+
+let omega =
+  let tree = Generate.tree Metric.default graph ~pivot:"COURSES" in
+  match Generate.prune graph tree ~name:"omega" ~keep:omega_keep with
+  | Ok vo -> vo
+  | Error e -> invalid_arg ("omega: " ^ e)
+
+let omega_prime =
+  let tree = Generate.tree Metric.default graph ~pivot:"COURSES" in
+  match
+    Generate.prune graph tree ~name:"omega_prime"
+      ~keep:
+        [
+          "COURSES", [ "course_id"; "title"; "units"; "level" ];
+          faculty_label, [ "pid"; "rank"; "office" ];
+          student_label, [ "pid"; "degree_program"; "year" ];
+        ]
+  with
+  | Ok vo -> vo
+  | Error e -> invalid_arg ("omega_prime: " ^ e)
+
+let omega_translator =
+  let spec, _ =
+    Vo_core.Dialog.choose graph omega
+      (Vo_core.Dialog.scripted Vo_core.Dialog.paper_omega_answers)
+  in
+  spec
+
+let omega_translator_restrictive =
+  let spec, _ =
+    Vo_core.Dialog.choose graph omega
+      (Vo_core.Dialog.scripted Vo_core.Dialog.restrictive_department_answers)
+  in
+  spec
+
+let workspace () =
+  let ws = Workspace.create graph in
+  let ws = Workspace.with_db ws (seeded_db ()) in
+  let ws =
+    {
+      ws with
+      Workspace.objects = [ "omega", omega; "omega_prime", omega_prime ];
+      translators =
+        [
+          "omega", omega_translator;
+          "omega_prime",
+          Vo_core.Translator_spec.permissive ~object_name:"omega_prime";
+        ];
+    }
+  in
+  ws
+
+let cs345_instance db =
+  match
+    Instantiate.instantiate ~where:(Predicate.eq_str "course_id" "CS345") db omega
+  with
+  | [ i ] -> i
+  | _ -> invalid_arg "cs345_instance: CS345 not found (or not unique)"
+
+let ees345_replacement old_inst =
+  let set_course t =
+    Tuple.set t "course_id" (Value.Str "EES345")
+  in
+  let set_dept _old =
+    Tuple.make
+      [ "dept_name", Value.Str "Engineering Economic Systems";
+        "building", Value.Null ]
+  in
+  let i = { old_inst with Instance.tuple = set_course old_inst.Instance.tuple } in
+  {
+    i with
+    Instance.children =
+      List.map
+        (fun (label, subs) ->
+          if label = "DEPARTMENT" then
+            ( label,
+              List.map
+                (fun (s : Instance.t) ->
+                  { s with Instance.tuple = set_dept s.Instance.tuple })
+                subs )
+          else label, subs)
+        i.Instance.children;
+  }

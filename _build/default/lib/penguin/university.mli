@@ -1,0 +1,60 @@
+(** The university database of the paper (Figures 1–4, Section 6).
+
+    Eight relations — DEPARTMENT, PEOPLE, STUDENT, FACULTY, STAFF,
+    CURRICULUM, COURSES, GRADES — and the connections the paper
+    describes: courses and people relate to a department (references), a
+    person is either a student, a faculty, or a staff (subsets), a
+    curriculum describes the required courses for a given degree
+    (reference into COURSES), and grades are associated with courses and
+    students (COURSES owns GRADES, GRADES references STUDENT). *)
+
+open Structural
+open Viewobject
+
+val graph : Schema_graph.t
+(** The structural schema of Figure 1. *)
+
+val seeded_db : unit -> Relational.Database.t
+(** Populated with sample data arranged so that exactly one graduate
+    course (CS345) has fewer than 5 students enrolled — reproducing
+    Figure 4's single-instance result. *)
+
+val workspace : unit -> Workspace.t
+(** Seeded workspace with ω and ω′ installed: ω carries the paper's
+    Section 6 translator, ω′ the permissive default. *)
+
+val omega_keep : (string * string list) list
+(** The pruning (tree label → projection) that produces ω from the
+    expansion tree — exposed for the generation benchmarks. *)
+
+val omega : Definition.t
+(** The course-information object of Figure 2(c): COURSES (pivot) with
+    DEPARTMENT, CURRICULUM, GRADES, and STUDENT (under GRADES). *)
+
+val omega_prime : Definition.t
+(** The alternate object of Figure 3: COURSES with FACULTY (through the
+    DEPARTMENT–PEOPLE path) and STUDENT (through GRADES, which is not
+    part of ω′ — a path of two connections). *)
+
+val omega_translator : Vo_core.Translator_spec.t
+(** The translator the paper's Section 6 dialog selects for ω. *)
+
+val omega_translator_restrictive : Vo_core.Translator_spec.t
+(** The second translator of Section 6 (DEPARTMENT may not be
+    modified). *)
+
+val student_label : string
+(** Label of ω's STUDENT node in the expansion tree (the copy reached
+    through GRADES). *)
+
+val faculty_label : string
+(** Label of ω′'s FACULTY node (the copy reached through DEPARTMENT and
+    PEOPLE). *)
+
+val cs345_instance : Relational.Database.t -> Instance.t
+(** The ω instance for course CS345 as stored in the given database.
+    @raise Invalid_argument when CS345 is absent. *)
+
+val ees345_replacement : Instance.t -> Instance.t
+(** The Section 6 replacing instance: course renamed to EES345 and the
+    department changed to the (new) "Engineering Economic Systems". *)

@@ -1,0 +1,111 @@
+open Relational
+open Structural
+open Viewobject
+
+type t = {
+  graph : Schema_graph.t;
+  db : Database.t;
+  objects : (string * Definition.t) list;
+  translators : (string * Vo_core.Translator_spec.t) list;
+}
+
+let ( let* ) = Result.bind
+
+let create graph =
+  { graph; db = Schema_graph.create_database graph; objects = []; translators = [] }
+
+let with_db ws db = { ws with db }
+
+let run_sql ws script =
+  let* db, answers = Sql.run_script ws.db script in
+  Ok ({ ws with db }, answers)
+
+let index_connections ws =
+  let db =
+    List.fold_left
+      (fun db (c : Structural.Connection.t) ->
+        let add db rel attrs =
+          match Database.create_index db rel attrs with
+          | Ok db -> db
+          | Error _ -> db
+        in
+        let db = add db c.Structural.Connection.target c.Structural.Connection.target_attrs in
+        add db c.Structural.Connection.source c.Structural.Connection.source_attrs)
+      ws.db
+      (Schema_graph.connections ws.graph)
+  in
+  { ws with db }
+
+let set_assoc key v l =
+  if List.mem_assoc key l then
+    List.map (fun (k, old) -> if k = key then k, v else k, old) l
+  else l @ [ key, v ]
+
+let install ws vo =
+  let name = vo.Definition.name in
+  {
+    ws with
+    objects = set_assoc name vo ws.objects;
+    translators =
+      set_assoc name
+        (Vo_core.Translator_spec.permissive ~object_name:name)
+        ws.translators;
+  }
+
+let define_object ?(metric = Metric.default) ws ~name ~pivot ~keep =
+  let tree = Generate.tree metric ws.graph ~pivot in
+  let* vo = Generate.prune ws.graph tree ~name ~keep in
+  Ok (install ws vo)
+
+let define_full_object ?(metric = Metric.default) ws ~name ~pivot =
+  let* vo = Generate.full metric ws.graph ~name ~pivot in
+  Ok (install ws vo)
+
+let find_object ws name =
+  match List.assoc_opt name ws.objects with
+  | Some vo -> Ok vo
+  | None -> Error (Fmt.str "no view object named %s" name)
+
+let set_translator ws name spec =
+  { ws with translators = set_assoc name spec ws.translators }
+
+let translator_of ws name =
+  match List.assoc_opt name ws.translators with
+  | Some spec -> Ok spec
+  | None -> Error (Fmt.str "no translator for view object %s" name)
+
+let choose_translator ws name answerer =
+  let* vo = find_object ws name in
+  let spec, events = Vo_core.Dialog.choose ws.graph vo answerer in
+  Ok (set_translator ws name spec, events)
+
+let query ws name condition =
+  let* vo = find_object ws name in
+  Ok (Vo_query.run ws.db vo condition)
+
+let instances ws name = query ws name Vo_query.C_true
+
+let update ws name request =
+  match find_object ws name, translator_of ws name with
+  | Error e, _ | _, Error e ->
+      ( ws,
+        {
+          Vo_core.Engine.request_kind = Vo_core.Request.kind_name request;
+          ops = [];
+          result = Transaction.reject e;
+        } )
+  | Ok vo, Ok spec ->
+      let outcome = Vo_core.Engine.apply ws.graph ws.db vo spec request in
+      let ws =
+        match Vo_core.Engine.committed outcome with
+        | Some db -> { ws with db }
+        | None -> ws
+      in
+      ws, outcome
+
+let oql ws name query =
+  let* vo = find_object ws name in
+  Oql.run ws.db vo query
+
+let check_consistency ws =
+  Vo_core.Global_validation.check_consistency ws.graph ws.db

@@ -1,0 +1,76 @@
+(** The PENGUIN workspace: a structural schema, a database, and a catalog
+    of view objects with their definition-time translators.
+
+    This is the system facade the examples and the CLI drive: define
+    objects by pruning the expansion tree, choose translators by dialog,
+    query, and update — with every update request going through the
+    four-step pipeline of {!Vo_core.Engine}. *)
+
+open Relational
+open Structural
+open Viewobject
+
+type t = {
+  graph : Schema_graph.t;
+  db : Database.t;
+  objects : (string * Definition.t) list;
+  translators : (string * Vo_core.Translator_spec.t) list;
+}
+
+val create : Schema_graph.t -> t
+(** Workspace over an empty database with the graph's relations. *)
+
+val with_db : t -> Database.t -> t
+
+val run_sql : t -> string -> (t * Sql.answer list, string) result
+(** Execute a SQL-ish script against the workspace database. *)
+
+val index_connections : t -> t
+(** Build a secondary index on both endpoints of every structural
+    connection (the attribute lists instantiation and integrity
+    maintenance look up by). Purely a performance choice — results are
+    identical with or without; see the E4 index ablation in
+    EXPERIMENTS.md. *)
+
+val define_object :
+  ?metric:Metric.t ->
+  t ->
+  name:string ->
+  pivot:string ->
+  keep:(string * string list) list ->
+  (t, string) result
+(** Generate the expansion tree for the pivot and prune it
+    ({!Viewobject.Generate.prune}); install the result. A permissive
+    default translator is installed alongside until a dialog replaces
+    it. *)
+
+val define_full_object :
+  ?metric:Metric.t -> t -> name:string -> pivot:string -> (t, string) result
+
+val find_object : t -> string -> (Definition.t, string) result
+
+val choose_translator :
+  t -> string -> Vo_core.Dialog.answerer ->
+  (t * Vo_core.Dialog.event list, string) result
+(** Run the definition-time dialog for the named object and install the
+    resulting translator. *)
+
+val set_translator : t -> string -> Vo_core.Translator_spec.t -> t
+val translator_of : t -> string -> (Vo_core.Translator_spec.t, string) result
+
+val query :
+  t -> string -> Vo_query.condition -> (Instance.t list, string) result
+
+val instances : t -> string -> (Instance.t list, string) result
+(** All instances of the named object. *)
+
+val update :
+  t -> string -> Vo_core.Request.t -> t * Vo_core.Engine.outcome
+(** Apply an update request to the named object under its installed
+    translator. On commit the workspace database advances; on rollback it
+    is unchanged. Unknown object names yield a rejected outcome. *)
+
+val oql : t -> string -> string -> (Instance.t list, string) result
+(** [oql ws object query]: run a textual {!Viewobject.Oql} query. *)
+
+val check_consistency : t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Database Fmt List Option Predicate Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Buffer Fmt List Option Relation Result Schema String Tuple Value

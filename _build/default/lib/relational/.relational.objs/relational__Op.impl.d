@@ -1,0 +1,1 @@
+lib/relational/op.ml: Fmt List Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/op.mli: Format Tuple Value

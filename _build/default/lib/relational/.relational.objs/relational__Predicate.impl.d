@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Float Fmt List Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Fmt List Map Option Predicate Result Schema String Tuple Value

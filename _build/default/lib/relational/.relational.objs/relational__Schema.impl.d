@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Attribute Fmt List Option

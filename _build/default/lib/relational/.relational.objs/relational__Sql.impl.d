@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Algebra Attribute Database Fmt List Option Predicate Relation Result Schema Sql_ast Sql_parser String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Algebra Database Format Predicate Sql_ast

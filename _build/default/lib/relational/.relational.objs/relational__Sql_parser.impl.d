@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Fmt List Predicate Result Sql_ast Sql_lexer String

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Algebra Fmt List Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/transaction.ml: Database Fmt Op

@@ -1,0 +1,1 @@
+lib/relational/transaction.mli: Database Format Op

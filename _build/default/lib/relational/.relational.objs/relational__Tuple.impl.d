@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Fmt List Map Schema String Value

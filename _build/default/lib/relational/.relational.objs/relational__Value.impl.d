@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Float Fmt Int Printf String

@@ -1,0 +1,387 @@
+type agg_func =
+  | Count
+  | Sum
+  | Avg
+  | Min
+  | Max
+
+type aggregate = {
+  func : agg_func;
+  attr : string option;
+  output : string;
+}
+
+type expr =
+  | Base of string
+  | Select of Predicate.t * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr
+  | Qualify of string * expr
+  | Product of expr * expr
+  | Join of (string * string) list * expr * expr
+  | Natural_join of expr * expr
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Intersect of expr * expr
+  | Group of string list * aggregate list * expr
+  | Order of (string * bool) list * expr
+  | Take of int * expr
+
+type rset = {
+  attrs : string list;
+  rows : Tuple.t list;
+}
+
+let cardinality rs = List.length rs.rows
+
+let select p e = Select (p, e)
+let project attrs e = Project (attrs, e)
+let join pairs l r = Join (pairs, l, r)
+let qualify q e = Qualify (q, e)
+
+let count_all output = { func = Count; attr = None; output }
+let agg func attr ~output = { func; attr = Some attr; output }
+
+let agg_func_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let agg_func_of_name s =
+  match String.lowercase_ascii s with
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let ( let* ) = Result.bind
+
+let dedup rows =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | t :: rest ->
+        if List.exists (Tuple.equal t) seen then go seen acc rest
+        else go (t :: seen) (t :: acc) rest
+  in
+  go [] [] rows
+
+let check_disjoint op l r =
+  match List.find_opt (fun a -> List.mem a r) l with
+  | Some a -> Error (Fmt.str "%s: attribute collision on %s" op a)
+  | None -> Ok ()
+
+let check_agg_output_names keys aggs =
+  let outputs = List.map (fun a -> a.output) aggs in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  match dup (keys @ outputs) with
+  | Some n -> Error (Fmt.str "group: duplicate output attribute %s" n)
+  | None -> Ok ()
+
+let rec attributes_of db = function
+  | Base n -> Result.map_error Database.error_to_string
+      (Result.map Schema.attribute_names (Database.schema_of db n))
+  | Select (_, e) -> attributes_of db e
+  | Project (attrs, e) ->
+      let* inner = attributes_of db e in
+      (match List.find_opt (fun a -> not (List.mem a inner)) attrs with
+      | Some a -> Error (Fmt.str "project: unknown attribute %s" a)
+      | None -> Ok attrs)
+  | Rename (renames, e) ->
+      let* inner = attributes_of db e in
+      let rename a =
+        match List.assoc_opt a renames with Some a' -> a' | None -> a
+      in
+      Ok (List.map rename inner)
+  | Qualify (q, e) ->
+      let* inner = attributes_of db e in
+      Ok (List.map (fun a -> q ^ "." ^ a) inner)
+  | Product (l, r) | Join (_, l, r) ->
+      let* la = attributes_of db l in
+      let* ra = attributes_of db r in
+      let* () = check_disjoint "product/join" la ra in
+      Ok (la @ ra)
+  | Natural_join (l, r) ->
+      let* la = attributes_of db l in
+      let* ra = attributes_of db r in
+      Ok (la @ List.filter (fun a -> not (List.mem a la)) ra)
+  | Union (l, _) | Diff (l, _) | Intersect (l, _) -> attributes_of db l
+  | Group (keys, aggs, e) ->
+      let* inner = attributes_of db e in
+      let* () = check_agg_output_names keys aggs in
+      (match List.find_opt (fun k -> not (List.mem k inner)) keys with
+      | Some k -> Error (Fmt.str "group: unknown key attribute %s" k)
+      | None -> Ok (keys @ List.map (fun a -> a.output) aggs))
+  | Order (_, e) -> attributes_of db e
+  | Take (_, e) -> attributes_of db e
+
+(* Compute one aggregate over the rows of one group. *)
+let compute_aggregate rows a =
+  let values attr =
+    List.filter
+      (fun v -> not (Value.is_null v))
+      (List.map (fun r -> Tuple.get r attr) rows)
+  in
+  let numeric op_name attr =
+    let vs = values attr in
+    List.fold_left
+      (fun acc v ->
+        let* (sum, n, all_int) = acc in
+        match v with
+        | Value.Int i -> Ok (sum +. float_of_int i, n + 1, all_int)
+        | Value.Float f -> Ok (sum +. f, n + 1, false)
+        | Value.Str _ | Value.Bool _ | Value.Null ->
+            Error (Fmt.str "%s(%s): non-numeric value %a" op_name attr Value.pp v))
+      (Ok (0., 0, true))
+      vs
+  in
+  match a.func, a.attr with
+  | Count, None -> Ok (Value.Int (List.length rows))
+  | Count, Some attr -> Ok (Value.Int (List.length (values attr)))
+  | (Sum | Avg | Min | Max), None ->
+      Error (Fmt.str "%s requires an attribute" (agg_func_name a.func))
+  | Sum, Some attr ->
+      let* sum, n, all_int = numeric "sum" attr in
+      if n = 0 then Ok Value.Null
+      else if all_int then Ok (Value.Int (int_of_float sum))
+      else Ok (Value.Float sum)
+  | Avg, Some attr ->
+      let* sum, n, _ = numeric "avg" attr in
+      if n = 0 then Ok Value.Null else Ok (Value.Float (sum /. float_of_int n))
+  | Min, Some attr -> (
+      match values attr with
+      | [] -> Ok Value.Null
+      | v :: rest ->
+          Ok (List.fold_left (fun m v -> if Value.compare v m < 0 then v else m) v rest))
+  | Max, Some attr -> (
+      match values attr with
+      | [] -> Ok Value.Null
+      | v :: rest ->
+          Ok (List.fold_left (fun m v -> if Value.compare v m > 0 then v else m) v rest))
+
+let group_rows keys rows =
+  (* Partition preserving first-seen group order. *)
+  let tbl : (Value.t list * Tuple.t list ref) list ref = ref [] in
+  List.iter
+    (fun r ->
+      let kv = List.map (Tuple.get r) keys in
+      match
+        List.find_opt (fun (k, _) -> List.compare Value.compare k kv = 0) !tbl
+      with
+      | Some (_, cell) -> cell := r :: !cell
+      | None -> tbl := !tbl @ [ kv, ref [ r ] ])
+    rows;
+  List.map (fun (k, cell) -> k, List.rev !cell) !tbl
+
+let same_attrs op la ra =
+  if List.sort String.compare la = List.sort String.compare ra then Ok ()
+  else Error (Fmt.str "%s: operand attribute sets differ" op)
+
+let rec eval db e =
+  match e with
+  | Base n ->
+      let* r =
+        Result.map_error Database.error_to_string (Database.relation db n)
+      in
+      Ok { attrs = Schema.attribute_names (Relation.schema r);
+           rows = Relation.to_list r }
+  | Select (p, e1) ->
+      let* rs = eval db e1 in
+      (match
+         List.find_opt (fun a -> not (List.mem a rs.attrs)) (Predicate.attributes p)
+       with
+      | Some a -> Error (Fmt.str "select: unknown attribute %s" a)
+      | None -> Ok { rs with rows = List.filter (Predicate.eval p) rs.rows })
+  | Project (attrs, e1) ->
+      let* rs = eval db e1 in
+      (match List.find_opt (fun a -> not (List.mem a rs.attrs)) attrs with
+      | Some a -> Error (Fmt.str "project: unknown attribute %s" a)
+      | None ->
+          Ok { attrs; rows = dedup (List.map (Tuple.project_null attrs) rs.rows) })
+  | Rename (renames, e1) ->
+      let* rs = eval db e1 in
+      let rename a =
+        match List.assoc_opt a renames with Some a' -> a' | None -> a
+      in
+      Ok { attrs = List.map rename rs.attrs;
+           rows = List.map (Tuple.rename_attrs renames) rs.rows }
+  | Qualify (q, e1) ->
+      let* rs = eval db e1 in
+      let renames = List.map (fun a -> a, q ^ "." ^ a) rs.attrs in
+      Ok { attrs = List.map snd renames;
+           rows = List.map (Tuple.rename_attrs renames) rs.rows }
+  | Product (l, r) ->
+      let* ls = eval db l in
+      let* rs = eval db r in
+      let* () = check_disjoint "product" ls.attrs rs.attrs in
+      let rows =
+        List.concat_map
+          (fun lt -> List.map (fun rt -> Tuple.union lt rt) rs.rows)
+          ls.rows
+      in
+      Ok { attrs = ls.attrs @ rs.attrs; rows }
+  | Join (pairs, l, r) ->
+      let* ls = eval db l in
+      let* rs = eval db r in
+      let* () = check_disjoint "join" ls.attrs rs.attrs in
+      let la = List.map fst pairs and ra = List.map snd pairs in
+      (match
+         ( List.find_opt (fun a -> not (List.mem a ls.attrs)) la,
+           List.find_opt (fun a -> not (List.mem a rs.attrs)) ra )
+       with
+      | Some a, _ | _, Some a -> Error (Fmt.str "join: unknown attribute %s" a)
+      | None, None ->
+          let rows =
+            List.concat_map
+              (fun lt ->
+                List.filter_map
+                  (fun rt ->
+                    if Tuple.matches ~on:(la, ra) lt rt then
+                      Some (Tuple.union lt rt)
+                    else None)
+                  rs.rows)
+              ls.rows
+          in
+          Ok { attrs = ls.attrs @ rs.attrs; rows })
+  | Natural_join (l, r) ->
+      let* ls = eval db l in
+      let* rs = eval db r in
+      let shared = List.filter (fun a -> List.mem a rs.attrs) ls.attrs in
+      let rows =
+        List.concat_map
+          (fun lt ->
+            List.filter_map
+              (fun rt ->
+                if Tuple.matches ~on:(shared, shared) lt rt then
+                  Some (Tuple.union lt rt)
+                else None)
+              rs.rows)
+          ls.rows
+      in
+      let attrs = ls.attrs @ List.filter (fun a -> not (List.mem a shared)) rs.attrs in
+      Ok { attrs; rows = dedup rows }
+  | Union (l, r) ->
+      let* ls = eval db l in
+      let* rs = eval db r in
+      let* () = same_attrs "union" ls.attrs rs.attrs in
+      Ok { ls with rows = dedup (ls.rows @ rs.rows) }
+  | Diff (l, r) ->
+      let* ls = eval db l in
+      let* rs = eval db r in
+      let* () = same_attrs "diff" ls.attrs rs.attrs in
+      let keep t = not (List.exists (Tuple.equal_on ls.attrs t) rs.rows) in
+      Ok { ls with rows = List.filter keep ls.rows }
+  | Intersect (l, r) ->
+      let* ls = eval db l in
+      let* rs = eval db r in
+      let* () = same_attrs "intersect" ls.attrs rs.attrs in
+      let keep t = List.exists (Tuple.equal_on ls.attrs t) rs.rows in
+      Ok { ls with rows = List.filter keep ls.rows }
+  | Group (keys, aggs, e1) ->
+      let* rs = eval db e1 in
+      let* () = check_agg_output_names keys aggs in
+      let* () =
+        match List.find_opt (fun k -> not (List.mem k rs.attrs)) keys with
+        | Some k -> Error (Fmt.str "group: unknown key attribute %s" k)
+        | None -> (
+            match
+              List.find_opt
+                (fun a ->
+                  match a.attr with
+                  | Some at -> not (List.mem at rs.attrs)
+                  | None -> false)
+                aggs
+            with
+            | Some a ->
+                Error
+                  (Fmt.str "group: unknown aggregate attribute %s"
+                     (Option.value a.attr ~default:"?"))
+            | None -> Ok ())
+      in
+      let groups =
+        match keys, rs.rows with
+        | [], [] -> [ [], [] ]  (* global aggregate over an empty input *)
+        | _ -> group_rows keys rs.rows
+      in
+      let* rows =
+        List.fold_left
+          (fun acc (kv, rows) ->
+            let* out = acc in
+            let* bindings =
+              List.fold_left
+                (fun acc a ->
+                  let* bs = acc in
+                  let* v = compute_aggregate rows a in
+                  Ok ((a.output, v) :: bs))
+                (Ok []) aggs
+            in
+            let key_bindings = List.map2 (fun k v -> k, v) keys kv in
+            Ok (out @ [ Tuple.make (key_bindings @ List.rev bindings) ]))
+          (Ok []) groups
+      in
+      Ok { attrs = keys @ List.map (fun a -> a.output) aggs; rows }
+  | Order (sort_keys, e1) ->
+      let* rs = eval db e1 in
+      (match
+         List.find_opt (fun (k, _) -> not (List.mem k rs.attrs)) sort_keys
+       with
+      | Some (k, _) -> Error (Fmt.str "order: unknown attribute %s" k)
+      | None ->
+          let compare_rows a b =
+            let rec go = function
+              | [] -> 0
+              | (k, asc) :: rest ->
+                  let c = Value.compare (Tuple.get a k) (Tuple.get b k) in
+                  if c <> 0 then if asc then c else -c else go rest
+            in
+            go sort_keys
+          in
+          Ok { rs with rows = List.stable_sort compare_rows rs.rows })
+  | Take (n, e1) ->
+      let* rs = eval db e1 in
+      if n < 0 then Error "take: negative count"
+      else Ok { rs with rows = List.filteri (fun i _ -> i < n) rs.rows }
+
+let eval_exn db e =
+  match eval db e with Ok rs -> rs | Error msg -> invalid_arg msg
+
+let rec pp ppf = function
+  | Base n -> Fmt.string ppf n
+  | Select (p, e) -> Fmt.pf ppf "sigma[%a](%a)" Predicate.pp p pp e
+  | Project (attrs, e) ->
+      Fmt.pf ppf "pi[%a](%a)" Fmt.(list ~sep:(any ",") string) attrs pp e
+  | Rename (rs, e) ->
+      let pp_r ppf (a, b) = Fmt.pf ppf "%s->%s" a b in
+      Fmt.pf ppf "rho[%a](%a)" Fmt.(list ~sep:(any ",") pp_r) rs pp e
+  | Qualify (q, e) -> Fmt.pf ppf "qual[%s](%a)" q pp e
+  | Product (l, r) -> Fmt.pf ppf "(%a x %a)" pp l pp r
+  | Join (pairs, l, r) ->
+      let pp_p ppf (a, b) = Fmt.pf ppf "%s=%s" a b in
+      Fmt.pf ppf "(%a join[%a] %a)" pp l
+        Fmt.(list ~sep:(any ",") pp_p)
+        pairs pp r
+  | Natural_join (l, r) -> Fmt.pf ppf "(%a njoin %a)" pp l pp r
+  | Union (l, r) -> Fmt.pf ppf "(%a union %a)" pp l pp r
+  | Diff (l, r) -> Fmt.pf ppf "(%a minus %a)" pp l pp r
+  | Intersect (l, r) -> Fmt.pf ppf "(%a intersect %a)" pp l pp r
+  | Group (keys, aggs, e) ->
+      let pp_agg ppf a =
+        Fmt.pf ppf "%s(%s)->%s" (agg_func_name a.func)
+          (Option.value a.attr ~default:"*")
+          a.output
+      in
+      Fmt.pf ppf "gamma[%a;%a](%a)"
+        Fmt.(list ~sep:(any ",") string)
+        keys
+        Fmt.(list ~sep:(any ",") pp_agg)
+        aggs pp e
+  | Order (ks, e) ->
+      let pp_k ppf (k, asc) = Fmt.pf ppf "%s%s" k (if asc then "" else " desc") in
+      Fmt.pf ppf "tau[%a](%a)" Fmt.(list ~sep:(any ",") pp_k) ks pp e
+  | Take (n, e) -> Fmt.pf ppf "limit[%d](%a)" n pp e

@@ -1,0 +1,82 @@
+(** A small relational algebra over the database catalog.
+
+    The view-object query model composes an object query with the object
+    structure "to obtain a relational query that can be executed against
+    the database" (Section 3); this module is that executable query
+    representation. The Keller baseline also materializes its SPJ views
+    through it. *)
+
+(** Aggregate functions. [Count] with [attr = None] counts rows;
+    with [Some a] it counts non-null values of [a]. [Sum]/[Avg] require a
+    numeric attribute (ints and floats mix; [Avg] always yields a float);
+    [Min]/[Max] use the {!Value.compare} order over non-null values. All
+    aggregates yield [Null] on an empty (or all-null) input. *)
+type agg_func =
+  | Count
+  | Sum
+  | Avg
+  | Min
+  | Max
+
+type aggregate = {
+  func : agg_func;
+  attr : string option;  (** [None] only for [Count] *)
+  output : string;  (** name of the result attribute *)
+}
+
+type expr =
+  | Base of string  (** named relation from the catalog *)
+  | Select of Predicate.t * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr  (** (old, new) attribute renames *)
+  | Qualify of string * expr
+      (** [Qualify (q, e)] renames every output attribute [a] to [q ^ "." ^ a] *)
+  | Product of expr * expr
+  | Join of (string * string) list * expr * expr
+      (** equijoin on positional (left-attr, right-attr) pairs *)
+  | Natural_join of expr * expr  (** join on all shared attribute names *)
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Intersect of expr * expr
+  | Group of string list * aggregate list * expr
+      (** [Group (keys, aggs, e)]: partition [e]'s rows by the values of
+          [keys] (empty = one global group, even when [e] is empty) and
+          emit one row per group carrying the keys and the aggregates *)
+  | Order of (string * bool) list * expr
+      (** sort keys with [true] = ascending; later keys break ties *)
+  | Take of int * expr  (** first [n] rows (SQL LIMIT) *)
+
+(** A result set: duplicate-free list of rows with an explicit attribute
+    list. Result sets are not keyed relations — a projection may drop the
+    key. *)
+type rset = {
+  attrs : string list;
+  rows : Tuple.t list;
+}
+
+val eval : Database.t -> expr -> (rset, string) result
+(** Errors on unknown relations, unknown attributes, or attribute-name
+    collisions in products/joins (qualify first). Rows are deduplicated
+    (set semantics). *)
+
+val eval_exn : Database.t -> expr -> rset
+
+val cardinality : rset -> int
+
+val select : Predicate.t -> expr -> expr
+val project : string list -> expr -> expr
+val join : (string * string) list -> expr -> expr -> expr
+val qualify : string -> expr -> expr
+
+val count_all : string -> aggregate
+(** [count_all out] is the row-count aggregate (SQL's COUNT star) named
+    [out]. *)
+
+val agg : agg_func -> string -> output:string -> aggregate
+val agg_func_name : agg_func -> string
+val agg_func_of_name : string -> agg_func option
+
+val attributes_of : Database.t -> expr -> (string list, string) result
+(** Output attributes of an expression without evaluating its rows. *)
+
+val pp : Format.formatter -> expr -> unit

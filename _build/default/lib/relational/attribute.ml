@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  domain : Value.domain;
+}
+
+let make name domain = { name; domain }
+let int name = make name Value.DInt
+let float name = make name Value.DFloat
+let str name = make name Value.DStr
+let bool name = make name Value.DBool
+
+let equal a b = String.equal a.name b.name && a.domain = b.domain
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> Stdlib.compare a.domain b.domain
+  | c -> c
+
+let pp ppf { name; domain } =
+  Fmt.pf ppf "%s:%a" name Value.pp_domain domain

@@ -1,0 +1,19 @@
+(** Typed attributes (columns) of a relation schema. *)
+
+type t = {
+  name : string;  (** attribute name, unique within a schema *)
+  domain : Value.domain;
+}
+
+val make : string -> Value.domain -> t
+
+val int : string -> t
+(** [int n] is [make n DInt]. *)
+
+val float : string -> t
+val str : string -> t
+val bool : string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

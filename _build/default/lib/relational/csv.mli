@@ -1,0 +1,18 @@
+(** Minimal CSV import/export for relations.
+
+    Format: first line is the header (attribute names); cells are
+    optionally double-quoted (quotes doubled inside); separator is [','].
+    Values are parsed against the target schema's domains; the literal
+    [null] (unquoted) denotes [Null]. *)
+
+val parse_line : string -> string list
+(** Split one CSV line into raw cells (handles quoting). *)
+
+val load : Schema.t -> string -> (Relation.t, string) result
+(** Parse a whole CSV document (string) into a relation. The header must
+    bind every schema attribute (order free); extra columns are an
+    error. *)
+
+val dump : Relation.t -> string
+(** Render a relation as a CSV document, header first, rows in key
+    order. *)

@@ -1,0 +1,89 @@
+module SMap = Map.Make (String)
+
+type t = { relations : Relation.t SMap.t }
+
+type error =
+  | Unknown_relation of string
+  | Relation_exists of string
+  | Relation_error of string * Relation.error
+
+let pp_error ppf = function
+  | Unknown_relation r -> Fmt.pf ppf "unknown relation %s" r
+  | Relation_exists r -> Fmt.pf ppf "relation %s already exists" r
+  | Relation_error (r, e) -> Fmt.pf ppf "%s: %a" r Relation.pp_error e
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+let empty = { relations = SMap.empty }
+
+let create_relation db schema =
+  let n = schema.Schema.name in
+  if SMap.mem n db.relations then Error (Relation_exists n)
+  else Ok { relations = SMap.add n (Relation.empty schema) db.relations }
+
+let create_relation_exn db schema =
+  match create_relation db schema with
+  | Ok db -> db
+  | Error e -> invalid_arg (error_to_string e)
+
+let drop_relation db n =
+  if SMap.mem n db.relations then
+    Ok { relations = SMap.remove n db.relations }
+  else Error (Unknown_relation n)
+
+let relation db n =
+  match SMap.find_opt n db.relations with
+  | Some r -> Ok r
+  | None -> Error (Unknown_relation n)
+
+let relation_exn db n =
+  match relation db n with
+  | Ok r -> r
+  | Error e -> invalid_arg (error_to_string e)
+
+let schema_of db n = Result.map Relation.schema (relation db n)
+
+let mem_relation db n = SMap.mem n db.relations
+let relation_names db = List.map fst (SMap.bindings db.relations)
+
+let with_relation db n f =
+  match relation db n with
+  | Error _ as e -> e
+  | Ok r -> (
+      match f r with
+      | Ok r' -> Ok { relations = SMap.add n r' db.relations }
+      | Error e -> Error (Relation_error (n, e)))
+
+let create_index db n attrs =
+  with_relation db n (fun r -> Relation.create_index r attrs)
+
+let insert db n t = with_relation db n (fun r -> Relation.insert r t)
+let delete db n k = with_relation db n (fun r -> Relation.delete_key r k)
+
+let replace db n ~old_key t =
+  with_relation db n (fun r -> Relation.replace r ~old_key t)
+
+let apply db = function
+  | Op.Insert (n, t) -> insert db n t
+  | Op.Delete (n, k) -> delete db n k
+  | Op.Replace (n, k, t) -> replace db n ~old_key:k t
+
+let apply_all db ops =
+  let rec go db = function
+    | [] -> Ok db
+    | op :: rest -> (
+        match apply db op with
+        | Ok db' -> go db' rest
+        | Error e -> Error (e, op))
+  in
+  go db ops
+
+let total_tuples db =
+  SMap.fold (fun _ r acc -> acc + Relation.cardinality r) db.relations 0
+
+let equal a b = SMap.equal Relation.equal a.relations b.relations
+
+let pp ppf db =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:(any "@,@,") Relation.pp)
+    (List.map snd (SMap.bindings db.relations))

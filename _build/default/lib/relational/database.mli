@@ -1,0 +1,51 @@
+(** A database: a catalog of named relation instances.
+
+    Databases are persistent values; every operation returns a new
+    database. This keeps the update-translation engine purely functional:
+    a rejected transaction simply discards the candidate state. *)
+
+type t
+
+type error =
+  | Unknown_relation of string
+  | Relation_exists of string
+  | Relation_error of string * Relation.error
+      (** relation name, underlying error *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val empty : t
+
+val create_relation : t -> Schema.t -> (t, error) result
+val create_relation_exn : t -> Schema.t -> t
+val drop_relation : t -> string -> (t, error) result
+val relation : t -> string -> (Relation.t, error) result
+val relation_exn : t -> string -> Relation.t
+val schema_of : t -> string -> (Schema.t, error) result
+val mem_relation : t -> string -> bool
+val relation_names : t -> string list
+(** Sorted. *)
+
+val with_relation :
+  t -> string -> (Relation.t -> (Relation.t, Relation.error) result) ->
+  (t, error) result
+
+val create_index : t -> string -> string list -> (t, error) result
+(** Build a secondary index on the named relation (see
+    {!Relation.create_index}); maintained by all later operations. *)
+
+val insert : t -> string -> Tuple.t -> (t, error) result
+val delete : t -> string -> Value.t list -> (t, error) result
+val replace : t -> string -> old_key:Value.t list -> Tuple.t -> (t, error) result
+
+val apply : t -> Op.t -> (t, error) result
+(** Execute one {!Op.t}. *)
+
+val apply_all : t -> Op.t list -> (t, error * Op.t) result
+(** Execute a sequence left-to-right; on failure, reports the offending
+    op. The input database is unchanged either way (persistence). *)
+
+val total_tuples : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

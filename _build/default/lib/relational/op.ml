@@ -1,0 +1,30 @@
+type t =
+  | Insert of string * Tuple.t
+  | Delete of string * Value.t list
+  | Replace of string * Value.t list * Tuple.t
+
+let relation = function
+  | Insert (r, _) | Delete (r, _) | Replace (r, _, _) -> r
+
+let is_insert = function Insert _ -> true | Delete _ | Replace _ -> false
+let is_delete = function Delete _ -> true | Insert _ | Replace _ -> false
+let is_replace = function Replace _ -> true | Insert _ | Delete _ -> false
+
+let equal a b =
+  match a, b with
+  | Insert (r1, t1), Insert (r2, t2) -> r1 = r2 && Tuple.equal t1 t2
+  | Delete (r1, k1), Delete (r2, k2) ->
+      r1 = r2 && List.compare Value.compare k1 k2 = 0
+  | Replace (r1, k1, t1), Replace (r2, k2, t2) ->
+      r1 = r2 && List.compare Value.compare k1 k2 = 0 && Tuple.equal t1 t2
+  | (Insert _ | Delete _ | Replace _), _ -> false
+
+let pp_key = Fmt.(list ~sep:(any ", ") Value.pp)
+
+let pp ppf = function
+  | Insert (r, t) -> Fmt.pf ppf "INSERT %s %a" r Tuple.pp t
+  | Delete (r, k) -> Fmt.pf ppf "DELETE %s key=(%a)" r pp_key k
+  | Replace (r, k, t) -> Fmt.pf ppf "REPLACE %s key=(%a) with %a" r pp_key k Tuple.pp t
+
+let pp_list ppf ops =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp) ops

@@ -1,0 +1,24 @@
+(** Database update operations.
+
+    The update-translation algorithms of the paper (VO-CD, VO-CI, VO-R)
+    produce explicit sequences of these operations; {!Database.apply} and
+    {!Transaction.run} execute them. Keeping the translation result
+    first-class makes translations inspectable (tests compare op lists
+    against the paper's worked examples) and makes atomic rollback
+    trivial. *)
+
+type t =
+  | Insert of string * Tuple.t  (** relation name, new tuple *)
+  | Delete of string * Value.t list  (** relation name, key of the victim *)
+  | Replace of string * Value.t list * Tuple.t
+      (** relation name, key of the old tuple, full new tuple *)
+
+val relation : t -> string
+
+val is_insert : t -> bool
+val is_delete : t -> bool
+val is_replace : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,82 @@
+(** Relation instances: a schema plus a set of tuples keyed by their
+    primary-key values.
+
+    The structure is persistent (immutable); all mutating operations
+    return a new relation, which is what makes transactional rollback in
+    {!Transaction} trivial. *)
+
+type t
+
+type error =
+  | Duplicate_key of Value.t list
+  | No_such_key of Value.t list
+  | Nonconforming of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val name : t -> string
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val insert : t -> Tuple.t -> (t, error) result
+(** Fails on nonconformance or duplicate key. Tuples are padded with
+    [Null] for declared attributes left unbound (unless they are key
+    attributes, which must be non-null). *)
+
+val delete_key : t -> Value.t list -> (t, error) result
+val delete_tuple : t -> Tuple.t -> (t, error) result
+(** Delete by the key of the given tuple. *)
+
+val replace : t -> old_key:Value.t list -> Tuple.t -> (t, error) result
+(** Replace the tuple whose key is [old_key] by the new tuple (whose key
+    may differ; the new key must not collide with a third tuple). *)
+
+val lookup : t -> Value.t list -> Tuple.t option
+val mem_key : t -> Value.t list -> bool
+val mem_tuple : t -> Tuple.t -> bool
+(** True when a tuple with the same key exists and is entirely equal on
+    all declared attributes. *)
+
+val find_matching : t -> Tuple.t -> Tuple.t option
+(** Tuple with the same key values as the given (possibly partial)
+    tuple. *)
+
+val select : Predicate.t -> t -> Tuple.t list
+
+(** {1 Secondary indexes}
+
+    A relation may carry any number of secondary indexes, each over an
+    attribute list. Indexes are maintained by {!insert}, {!delete_key}
+    and {!replace}, and are consulted by {!lookup_eq} — the equality
+    lookup instantiation and integrity maintenance use to follow
+    connections. They are derived state: not persisted, not part of
+    {!equal}. *)
+
+val create_index : t -> string list -> (t, error) result
+(** Build (or rebuild) an index over the given non-empty attribute list.
+    Unknown attributes yield [Nonconforming]. *)
+
+val has_index : t -> string list -> bool
+(** Attribute order does not matter. *)
+
+val indexes : t -> string list list
+
+val lookup_eq : t -> (string * Value.t) list -> Tuple.t list
+(** Tuples agreeing with all bindings ([Null] bindings match nothing,
+    per the connection-matching rule). Uses an index over exactly the
+    bound attributes when one exists, a scan otherwise. Results are in
+    key order either way. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_list : t -> Tuple.t list
+(** In key order (deterministic). *)
+
+val of_list : Schema.t -> Tuple.t list -> (t, error) result
+val of_list_exn : Schema.t -> Tuple.t list -> t
+val key_of : t -> Tuple.t -> Value.t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  attributes : Attribute.t list;
+  key : string list;
+}
+
+let rec find_dup = function
+  | [] -> None
+  | x :: rest -> if List.mem x rest then Some x else find_dup rest
+
+let make ~name ~attributes ~key =
+  if name = "" then Error "schema: empty relation name"
+  else if attributes = [] then
+    Error (Fmt.str "schema %s: no attributes" name)
+  else
+    let names = List.map (fun (a : Attribute.t) -> a.name) attributes in
+    match find_dup names with
+    | Some d -> Error (Fmt.str "schema %s: duplicate attribute %s" name d)
+    | None ->
+        if key = [] then Error (Fmt.str "schema %s: empty key" name)
+        else (
+          match find_dup key with
+          | Some d -> Error (Fmt.str "schema %s: duplicate key attribute %s" name d)
+          | None -> (
+              match List.find_opt (fun k -> not (List.mem k names)) key with
+              | Some k ->
+                  Error (Fmt.str "schema %s: key attribute %s not declared" name k)
+              | None -> Ok { name; attributes; key }))
+
+let make_exn ~name ~attributes ~key =
+  match make ~name ~attributes ~key with
+  | Ok s -> s
+  | Error e -> invalid_arg e
+
+let attribute_names s = List.map (fun (a : Attribute.t) -> a.name) s.attributes
+let key_attributes s = s.key
+
+let nonkey_attributes s =
+  List.filter (fun n -> not (List.mem n s.key)) (attribute_names s)
+
+let mem s n = List.exists (fun (a : Attribute.t) -> a.name = n) s.attributes
+
+let find s n = List.find_opt (fun (a : Attribute.t) -> a.name = n) s.attributes
+
+let domain_of s n = Option.map (fun (a : Attribute.t) -> a.domain) (find s n)
+
+let is_key_attr s n = List.mem n s.key
+let arity s = List.length s.attributes
+
+let project s keep =
+  match List.find_opt (fun n -> not (mem s n)) keep with
+  | Some n -> Error (Fmt.str "project %s: unknown attribute %s" s.name n)
+  | None ->
+      let attributes =
+        List.filter (fun (a : Attribute.t) -> List.mem a.name keep) s.attributes
+      in
+      let key_kept = List.filter (fun k -> List.mem k keep) s.key in
+      let key =
+        if List.for_all (fun k -> List.mem k keep) s.key then key_kept
+        else List.map (fun (a : Attribute.t) -> a.name) attributes
+      in
+      make ~name:s.name ~attributes ~key
+
+let rename s name = { s with name }
+
+let equal a b =
+  a.name = b.name && a.key = b.key
+  && List.length a.attributes = List.length b.attributes
+  && List.for_all2 Attribute.equal a.attributes b.attributes
+
+let pp ppf s =
+  Fmt.pf ppf "@[<h>%s(%a) key={%a}@]" s.name
+    Fmt.(list ~sep:(any ", ") Attribute.pp)
+    s.attributes
+    Fmt.(list ~sep:(any ", ") string)
+    s.key

@@ -1,0 +1,47 @@
+(** Relation schemas: a named list of typed attributes plus a primary key.
+
+    The structural model (Section 2 of the paper) constrains connections in
+    terms of key ([K(R)]) and nonkey ([NK(R)]) attribute sets, so the key
+    is a mandatory part of every schema. *)
+
+type t = private {
+  name : string;
+  attributes : Attribute.t list;  (** in declaration order *)
+  key : string list;  (** subset of attribute names, non-empty *)
+}
+
+val make :
+  name:string ->
+  attributes:Attribute.t list ->
+  key:string list ->
+  (t, string) result
+(** Validates: non-empty attribute list, unique attribute names, non-empty
+    key included in the attributes. *)
+
+val make_exn : name:string -> attributes:Attribute.t list -> key:string list -> t
+(** @raise Invalid_argument when {!make} would return [Error]. *)
+
+val attribute_names : t -> string list
+val key_attributes : t -> string list
+(** [K(R)]: the key attribute names, in declaration order. *)
+
+val nonkey_attributes : t -> string list
+(** [NK(R)]: the nonkey attribute names, in declaration order. *)
+
+val mem : t -> string -> bool
+val find : t -> string -> Attribute.t option
+val domain_of : t -> string -> Value.domain option
+val is_key_attr : t -> string -> bool
+val arity : t -> int
+
+val project : t -> string list -> (t, string) result
+(** Schema of a projection; the key is intersected with the kept
+    attributes (and may legitimately end up spanning all kept attributes
+    when the original key is projected out, in which case all kept
+    attributes form the key). *)
+
+val rename : t -> string -> t
+(** Rename the relation (attributes unchanged). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

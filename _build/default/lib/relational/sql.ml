@@ -1,0 +1,420 @@
+open Sql_ast
+
+type answer =
+  | Rows of Algebra.rset
+  | Affected of int
+  | Done
+
+let ( let* ) = Result.bind
+
+let compile_scalar ~resolve e =
+  let rec go = function
+    | E_attr a ->
+        let* a = resolve a in
+        Ok (Predicate.S_attr a)
+    | E_lit l -> Ok (Predicate.S_const (value_of_literal l))
+    | E_add (x, y) -> bin (fun a b -> Predicate.S_add (a, b)) x y
+    | E_sub (x, y) -> bin (fun a b -> Predicate.S_sub (a, b)) x y
+    | E_mul (x, y) -> bin (fun a b -> Predicate.S_mul (a, b)) x y
+    | E_div (x, y) -> bin (fun a b -> Predicate.S_div (a, b)) x y
+    | E_mod (x, y) -> bin (fun a b -> Predicate.S_mod (a, b)) x y
+    | E_neg x ->
+        let* x = go x in
+        Ok (Predicate.S_neg x)
+  and bin mk x y =
+    let* x = go x in
+    let* y = go y in
+    Ok (mk x y)
+  in
+  go e
+
+let compile_condition ~resolve cond =
+  let rec go = function
+    | C_true -> Ok Predicate.True
+    | C_is_null (a, negated) ->
+        let* a = resolve a in
+        Ok (if negated then Predicate.Not_null a else Predicate.Is_null a)
+    | C_and (l, r) ->
+        let* l = go l in
+        let* r = go r in
+        Ok (Predicate.And (l, r))
+    | C_or (l, r) ->
+        let* l = go l in
+        let* r = go r in
+        Ok (Predicate.Or (l, r))
+    | C_not c ->
+        let* c = go c in
+        Ok (Predicate.Not c)
+    | C_cmp (l, op, r) -> (
+        (* Common shapes keep their first-class predicate forms; anything
+           computed becomes a scalar comparison. *)
+        match l, r with
+        | E_attr a, E_lit lit ->
+            let* a = resolve a in
+            Ok (Predicate.Cmp (a, op, value_of_literal lit))
+        | E_lit lit, E_attr a ->
+            let* a = resolve a in
+            let flip = function
+              | Predicate.Eq -> Predicate.Eq
+              | Predicate.Neq -> Predicate.Neq
+              | Predicate.Lt -> Predicate.Gt
+              | Predicate.Leq -> Predicate.Geq
+              | Predicate.Gt -> Predicate.Lt
+              | Predicate.Geq -> Predicate.Leq
+            in
+            Ok (Predicate.Cmp (a, flip op, value_of_literal lit))
+        | E_attr a, E_attr b ->
+            let* a = resolve a in
+            let* b = resolve b in
+            Ok (Predicate.Cmp_attr (a, op, b))
+        | l, r ->
+            let* l = compile_scalar ~resolve l in
+            let* r = compile_scalar ~resolve r in
+            Ok (Predicate.Cmp_scalar (l, op, r)))
+  in
+  go cond
+
+(* Resolver for a single table: attributes may be bare or table-qualified. *)
+let single_table_resolver schema table a =
+  let bare =
+    match String.index_opt a '.' with
+    | Some i when String.sub a 0 i = table ->
+        String.sub a (i + 1) (String.length a - i - 1)
+    | Some _ -> a
+    | None -> a
+  in
+  if Schema.mem schema bare then Ok bare
+  else Error (Fmt.str "unknown attribute %s in table %s" a table)
+
+let exec_create db name columns key =
+  let* attributes =
+    List.fold_left
+      (fun acc (c, d) ->
+        let* attrs = acc in
+        match Value.domain_of_name d with
+        | Some dom -> Ok (Attribute.make c dom :: attrs)
+        | None -> Error (Fmt.str "unknown domain %s for column %s" d c))
+      (Ok []) columns
+  in
+  let* schema = Schema.make ~name ~attributes:(List.rev attributes) ~key in
+  Result.map_error Database.error_to_string (Database.create_relation db schema)
+
+let exec_insert db table columns values =
+  let* schema = Result.map_error Database.error_to_string (Database.schema_of db table) in
+  let columns = if columns = [] then Schema.attribute_names schema else columns in
+  if List.length columns <> List.length values then
+    Error
+      (Fmt.str "insert into %s: %d columns but %d values" table
+         (List.length columns) (List.length values))
+  else
+    let tuple =
+      Tuple.make (List.map2 (fun c l -> c, value_of_literal l) columns values)
+    in
+    Result.map_error Database.error_to_string (Database.insert db table tuple)
+
+let matching_tuples db table where =
+  let* schema = Result.map_error Database.error_to_string (Database.schema_of db table) in
+  let* pred = compile_condition ~resolve:(single_table_resolver schema table) where in
+  let* rel = Result.map_error Database.error_to_string (Database.relation db table) in
+  Ok (schema, Relation.select pred rel)
+
+let exec_delete db table where =
+  let* schema, victims = matching_tuples db table where in
+  let* db' =
+    List.fold_left
+      (fun acc t ->
+        let* db = acc in
+        Result.map_error Database.error_to_string
+          (Database.delete db table (Tuple.key_of schema t)))
+      (Ok db) victims
+  in
+  Ok (db', Affected (List.length victims))
+
+let exec_update db table assignments where =
+  let* schema, victims = matching_tuples db table where in
+  let* () =
+    match
+      List.find_opt (fun (a, _) -> not (Schema.mem schema a)) assignments
+    with
+    | Some (a, _) -> Error (Fmt.str "update %s: unknown attribute %s" table a)
+    | None -> Ok ()
+  in
+  (* Right-hand sides may reference the tuple's current values:
+     UPDATE emp SET salary = salary + 10. All are evaluated against the
+     original tuple before any assignment applies. *)
+  let* compiled =
+    List.fold_left
+      (fun acc (a, e) ->
+        let* cs = acc in
+        let* s = compile_scalar ~resolve:(single_table_resolver schema table) e in
+        Ok ((a, s) :: cs))
+      (Ok []) assignments
+  in
+  let compiled = List.rev compiled in
+  let* db' =
+    List.fold_left
+      (fun acc t ->
+        let* db = acc in
+        let t' =
+          List.fold_left
+            (fun t' (a, s) -> Tuple.set t' a (Predicate.eval_scalar t s))
+            t compiled
+        in
+        Result.map_error Database.error_to_string
+          (Database.replace db table ~old_key:(Tuple.key_of schema t) t'))
+      (Ok db) victims
+  in
+  Ok (db', Affected (List.length victims))
+
+(* SELECT: each FROM entry is qualified by its alias (or table name) when
+   there are several entries; attribute references are resolved to those
+   qualified names, accepting bare names when unambiguous. Aggregates and
+   GROUP BY compile to {!Algebra.Group}; HAVING selects over the grouped
+   output; ORDER BY and LIMIT apply last, over the output attributes. *)
+let exec_select db projection from where group_by having order_by limit =
+  let* entries =
+    List.fold_left
+      (fun acc (t, alias) ->
+        let* es = acc in
+        let* schema = Result.map_error Database.error_to_string (Database.schema_of db t) in
+        let label = Option.value alias ~default:t in
+        Ok ((label, t, schema) :: es))
+      (Ok []) from
+  in
+  let entries = List.rev entries in
+  let multi = List.length entries > 1 in
+  let resolve a =
+    match String.index_opt a '.' with
+    | Some i ->
+        let q = String.sub a 0 i in
+        let bare = String.sub a (i + 1) (String.length a - i - 1) in
+        (match List.find_opt (fun (l, _, _) -> l = q) entries with
+        | Some (_, _, schema) when Schema.mem schema bare ->
+            Ok (if multi then a else bare)
+        | Some _ -> Error (Fmt.str "unknown attribute %s" a)
+        | None -> Error (Fmt.str "unknown table qualifier %s" q))
+    | None -> (
+        let holders =
+          List.filter (fun (_, _, schema) -> Schema.mem schema a) entries
+        in
+        match holders with
+        | [ (l, _, _) ] -> Ok (if multi then l ^ "." ^ a else a)
+        | [] -> Error (Fmt.str "unknown attribute %s" a)
+        | _ -> Error (Fmt.str "ambiguous attribute %s" a))
+  in
+  let resolve_list attrs =
+    List.fold_left
+      (fun acc a ->
+        let* rs = acc in
+        let* r = resolve a in
+        Ok (rs @ [ r ]))
+      (Ok []) attrs
+  in
+  let base =
+    List.map
+      (fun (l, t, _) ->
+        if multi then Algebra.Qualify (l, Algebra.Base t) else Algebra.Base t)
+      entries
+  in
+  let product =
+    match base with
+    | [] -> assert false
+    | e :: rest -> List.fold_left (fun acc e' -> Algebra.Product (acc, e')) e rest
+  in
+  let* pred = compile_condition ~resolve where in
+  let selected = Algebra.Select (pred, product) in
+  let items = projection in
+  let has_aggregates =
+    match items with
+    | None -> false
+    | Some l -> List.exists (function Item_agg _ -> true | Item_attr _ -> false) l
+  in
+  let* expr, output_attrs =
+    if group_by = [] && not has_aggregates then
+      (* Plain select-project, with optional aliases. ORDER BY may
+         reference any attribute of the joined input (standard SQL), so
+         ordering happens before the projection. *)
+      let* ordered =
+        if order_by = [] then Ok selected
+        else
+          let* keys =
+            List.fold_left
+              (fun acc (a, asc) ->
+                let* ks = acc in
+                let* r = resolve a in
+                Ok (ks @ [ r, asc ]))
+              (Ok []) order_by
+          in
+          Ok (Algebra.Order (keys, selected))
+      in
+      match items with
+      | None ->
+          let* attrs = Algebra.attributes_of db ordered in
+          Ok (ordered, attrs)
+      | Some l ->
+          let* resolved_with_alias =
+            List.fold_left
+              (fun acc item ->
+                let* rs = acc in
+                match item with
+                | Item_attr (a, alias) ->
+                    let* r = resolve a in
+                    Ok (rs @ [ r, Option.value alias ~default:a ])
+                | Item_agg _ -> assert false)
+              (Ok []) l
+          in
+          let projected =
+            Algebra.Project (List.map fst resolved_with_alias, ordered)
+          in
+          let renames =
+            List.filter_map
+              (fun (r, out) -> if r = out then None else Some (r, out))
+              resolved_with_alias
+          in
+          let expr =
+            if renames = [] then projected else Algebra.Rename (renames, projected)
+          in
+          Ok (expr, List.map snd resolved_with_alias)
+    else
+      (* Aggregate query. *)
+      let* keys = resolve_list group_by in
+      let* items =
+        match items with
+        | Some l -> Ok l
+        | None -> Error "aggregate queries cannot use SELECT *"
+      in
+      (* Synthesize output names and validate that plain attributes are
+         grouping keys. *)
+      let* rev_outputs, rev_aggs =
+        List.fold_left
+          (fun acc item ->
+            let* outs, aggs = acc in
+            match item with
+            | Item_attr (a, alias) ->
+                let* r = resolve a in
+                if not (List.mem r keys) then
+                  Error
+                    (Fmt.str "attribute %s must appear in GROUP BY" a)
+                else
+                  (* grouped keys pass through; alias applied afterwards *)
+                  Ok ((Option.value alias ~default:a, `Key r) :: outs, aggs)
+            | Item_agg (f, arg, alias) -> (
+                match Algebra.agg_func_of_name f with
+                | None -> Error (Fmt.str "unknown aggregate function %s" f)
+                | Some func ->
+                    let* attr =
+                      match arg with
+                      | None -> Ok None
+                      | Some a ->
+                          let* r = resolve a in
+                          Ok (Some r)
+                    in
+                    let output =
+                      match alias with
+                      | Some a -> a
+                      | None -> (
+                          match arg with
+                          | None -> f
+                          | Some a -> f ^ "_" ^ a)
+                    in
+                    let agg = { Algebra.func; attr; output } in
+                    Ok ((output, `Agg) :: outs, agg :: aggs)))
+          (Ok ([], []))
+          items
+      in
+      let outputs = List.rev rev_outputs in
+      let aggs = List.rev rev_aggs in
+      let grouped = Algebra.Group (keys, aggs, selected) in
+      (* HAVING over the grouped output (keys + aggregate outputs). *)
+      let grouped_attrs = keys @ List.map (fun a -> a.Algebra.output) aggs in
+      let resolve_grouped a =
+        if List.mem a grouped_attrs then Ok a
+        else
+          let* r = resolve a in
+          if List.mem r grouped_attrs then Ok r
+          else Error (Fmt.str "HAVING: %s is not in the grouped output" a)
+      in
+      let* having_pred = compile_condition ~resolve:resolve_grouped having in
+      let grouped =
+        if having_pred = Predicate.True then grouped
+        else Algebra.Select (having_pred, grouped)
+      in
+      (* Final projection to the SELECT list order, applying aliases. *)
+      let final_names = List.map fst outputs in
+      let picks =
+        List.map (fun (out, kind) ->
+            match kind with `Key r -> r | `Agg -> out)
+          outputs
+      in
+      let projected = Algebra.Project (picks, grouped) in
+      let renames =
+        List.filter_map
+          (fun (out, kind) ->
+            match kind with
+            | `Key r when r <> out -> Some (r, out)
+            | `Key _ | `Agg -> None)
+          outputs
+      in
+      let expr =
+        if renames = [] then projected else Algebra.Rename (renames, projected)
+      in
+      Ok (expr, final_names)
+  in
+  (* Aggregate queries order over their output attributes (plain selects
+     already ordered before projecting); then LIMIT. *)
+  let* expr =
+    if order_by = [] || (group_by = [] && not has_aggregates) then Ok expr
+    else
+      let* keys =
+        List.fold_left
+          (fun acc (a, asc) ->
+            let* ks = acc in
+            if List.mem a output_attrs then Ok (ks @ [ a, asc ])
+            else
+              let* r = resolve a in
+              if List.mem r output_attrs then Ok (ks @ [ r, asc ])
+              else Error (Fmt.str "ORDER BY: %s is not in the output" a))
+          (Ok []) order_by
+      in
+      Ok (Algebra.Order (keys, expr))
+  in
+  let expr = match limit with None -> expr | Some n -> Algebra.Take (n, expr) in
+  let* rset = Algebra.eval db expr in
+  Ok (db, Rows rset)
+
+let exec db = function
+  | Create_table { name; columns; key } ->
+      let* db = exec_create db name columns key in
+      Ok (db, Done)
+  | Drop_table name ->
+      let* db =
+        Result.map_error Database.error_to_string (Database.drop_relation db name)
+      in
+      Ok (db, Done)
+  | Insert { table; columns; values } ->
+      let* db = exec_insert db table columns values in
+      Ok (db, Affected 1)
+  | Delete { table; where } -> exec_delete db table where
+  | Update { table; assignments; where } -> exec_update db table assignments where
+  | Select { projection; from; where; group_by; having; order_by; limit } ->
+      exec_select db projection from where group_by having order_by limit
+
+let run db input =
+  let* stmt = Sql_parser.parse_statement input in
+  exec db stmt
+
+let run_script db input =
+  let* stmts = Sql_parser.parse_script input in
+  List.fold_left
+    (fun acc stmt ->
+      let* db, answers = acc in
+      let* db, a = exec db stmt in
+      Ok (db, a :: answers))
+    (Ok (db, []))
+    stmts
+  |> Result.map (fun (db, answers) -> db, List.rev answers)
+
+let pp_answer ppf = function
+  | Rows rs -> Fmt.pf ppf "%s" (Table.of_rset rs)
+  | Affected n -> Fmt.pf ppf "%d row(s) affected" n
+  | Done -> Fmt.string ppf "ok"

@@ -1,0 +1,51 @@
+(** Executor for the small SQL-like DML.
+
+    This gives the relational substrate a realistic front door (the paper
+    assumes an ordinary relational DBMS below the view-object layer) and
+    is used by the CLI and the examples to populate databases. Supported:
+
+    {v
+    CREATE TABLE r (a int, b string, ...) KEY (a);
+    DROP TABLE r;
+    INSERT INTO r (a, b) VALUES (1, 'x');
+    DELETE FROM r WHERE ...;
+    UPDATE r SET a = a + 1, b = 'y' WHERE a * 2 < 10;
+    SELECT a, b AS bb FROM r, s AS t WHERE r.a = t.c AND b > 3
+      ORDER BY a DESC LIMIT 5;
+    SELECT a, count(x) AS n, avg(b) FROM r GROUP BY a HAVING n > 1;
+    v}
+
+    (count also takes the star form for row counts.)
+
+    WHERE conditions and UPDATE right-hand sides support arithmetic
+    ([+ - * / %], unary minus, parentheses) over attributes and
+    literals. *)
+
+type answer =
+  | Rows of Algebra.rset  (** SELECT result *)
+  | Affected of int  (** rows touched by INSERT/DELETE/UPDATE *)
+  | Done  (** DDL *)
+
+val compile_scalar :
+  resolve:(string -> (string, string) result) ->
+  Sql_ast.sexpr ->
+  (Predicate.scalar, string) result
+
+val compile_condition :
+  resolve:(string -> (string, string) result) ->
+  Sql_ast.condition ->
+  (Predicate.t, string) result
+(** Translate a parsed WHERE condition into a {!Predicate.t}; [resolve]
+    maps (possibly qualified) attribute references to output attribute
+    names. *)
+
+val exec : Database.t -> Sql_ast.statement -> (Database.t * answer, string) result
+
+val run : Database.t -> string -> (Database.t * answer, string) result
+(** Parse and execute one statement. *)
+
+val run_script : Database.t -> string -> (Database.t * answer list, string) result
+(** Parse and execute a [';']-separated script, stopping at the first
+    error. *)
+
+val pp_answer : Format.formatter -> answer -> unit

@@ -1,0 +1,148 @@
+type literal =
+  | L_null
+  | L_int of int
+  | L_float of float
+  | L_str of string
+  | L_bool of bool
+
+type sexpr =
+  | E_attr of string
+  | E_lit of literal
+  | E_add of sexpr * sexpr
+  | E_sub of sexpr * sexpr
+  | E_mul of sexpr * sexpr
+  | E_div of sexpr * sexpr
+  | E_mod of sexpr * sexpr
+  | E_neg of sexpr
+
+type condition =
+  | C_true
+  | C_cmp of sexpr * Predicate.comparison * sexpr
+  | C_is_null of string * bool
+  | C_and of condition * condition
+  | C_or of condition * condition
+  | C_not of condition
+
+type select_item =
+  | Item_attr of string * string option
+  | Item_agg of string * string option * string option
+
+type statement =
+  | Create_table of {
+      name : string;
+      columns : (string * string) list;
+      key : string list;
+    }
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      columns : string list;
+      values : literal list;
+    }
+  | Delete of { table : string; where : condition }
+  | Update of {
+      table : string;
+      assignments : (string * sexpr) list;
+      where : condition;
+    }
+  | Select of {
+      projection : select_item list option;
+      from : (string * string option) list;
+      where : condition;
+      group_by : string list;
+      having : condition;
+      order_by : (string * bool) list;
+      limit : int option;
+    }
+
+let value_of_literal = function
+  | L_null -> Value.Null
+  | L_int i -> Value.Int i
+  | L_float f -> Value.Float f
+  | L_str s -> Value.Str s
+  | L_bool b -> Value.Bool b
+
+let pp_literal ppf l = Value.pp ppf (value_of_literal l)
+
+let rec pp_sexpr ppf = function
+  | E_attr a -> Fmt.string ppf a
+  | E_lit l -> pp_literal ppf l
+  | E_add (x, y) -> Fmt.pf ppf "(%a + %a)" pp_sexpr x pp_sexpr y
+  | E_sub (x, y) -> Fmt.pf ppf "(%a - %a)" pp_sexpr x pp_sexpr y
+  | E_mul (x, y) -> Fmt.pf ppf "(%a * %a)" pp_sexpr x pp_sexpr y
+  | E_div (x, y) -> Fmt.pf ppf "(%a / %a)" pp_sexpr x pp_sexpr y
+  | E_mod (x, y) -> Fmt.pf ppf "(%a %% %a)" pp_sexpr x pp_sexpr y
+  | E_neg x -> Fmt.pf ppf "(- %a)" pp_sexpr x
+
+let rec pp_condition ppf = function
+  | C_true -> Fmt.string ppf "true"
+  | C_cmp (a, op, b) ->
+      Fmt.pf ppf "%a %a %a" pp_sexpr a Predicate.pp_comparison op pp_sexpr b
+  | C_is_null (a, false) -> Fmt.pf ppf "%s is null" a
+  | C_is_null (a, true) -> Fmt.pf ppf "%s is not null" a
+  | C_and (a, b) -> Fmt.pf ppf "(%a and %a)" pp_condition a pp_condition b
+  | C_or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_condition a pp_condition b
+  | C_not a -> Fmt.pf ppf "(not %a)" pp_condition a
+
+let pp_statement ppf = function
+  | Create_table { name; columns; key } ->
+      let pp_col ppf (c, d) = Fmt.pf ppf "%s %s" c d in
+      Fmt.pf ppf "create table %s (%a) key (%a)" name
+        Fmt.(list ~sep:(any ", ") pp_col)
+        columns
+        Fmt.(list ~sep:(any ", ") string)
+        key
+  | Drop_table n -> Fmt.pf ppf "drop table %s" n
+  | Insert { table; columns; values } ->
+      Fmt.pf ppf "insert into %s (%a) values (%a)" table
+        Fmt.(list ~sep:(any ", ") string)
+        columns
+        Fmt.(list ~sep:(any ", ") pp_literal)
+        values
+  | Delete { table; where } ->
+      Fmt.pf ppf "delete from %s where %a" table pp_condition where
+  | Update { table; assignments; where } ->
+      let pp_a ppf (a, e) = Fmt.pf ppf "%s = %a" a pp_sexpr e in
+      Fmt.pf ppf "update %s set %a where %a" table
+        Fmt.(list ~sep:(any ", ") pp_a)
+        assignments pp_condition where
+  | Select { projection; from; where; group_by; having; order_by; limit } ->
+      let pp_from ppf (t, alias) =
+        match alias with
+        | None -> Fmt.string ppf t
+        | Some a -> Fmt.pf ppf "%s as %s" t a
+      in
+      let pp_item ppf = function
+        | Item_attr (a, alias) ->
+            Fmt.pf ppf "%s%a" a
+              Fmt.(option (any " as " ++ string))
+              alias
+        | Item_agg (f, arg, alias) ->
+            Fmt.pf ppf "%s(%s)%a" f
+              (Option.value arg ~default:"*")
+              Fmt.(option (any " as " ++ string))
+              alias
+      in
+      let pp_order ppf (a, asc) =
+        Fmt.pf ppf "%s%s" a (if asc then "" else " desc")
+      in
+      Fmt.pf ppf "select %a from %a where %a%a%a%a%a"
+        Fmt.(option ~none:(any "*") (list ~sep:(any ", ") pp_item))
+        projection
+        Fmt.(list ~sep:(any ", ") pp_from)
+        from pp_condition where
+        Fmt.(
+          if group_by = [] then nop
+          else any " group by " ++ using (fun _ -> group_by) (list ~sep:(any ", ") string))
+        ()
+        Fmt.(
+          match having with
+          | C_true -> nop
+          | h -> any " having " ++ using (fun _ -> h) pp_condition)
+        ()
+        Fmt.(
+          if order_by = [] then nop
+          else any " order by " ++ using (fun _ -> order_by) (list ~sep:(any ", ") pp_order))
+        ()
+        Fmt.(option (any " limit " ++ int))
+        limit

@@ -1,0 +1,66 @@
+(** Abstract syntax of the small SQL-like DML. *)
+
+type literal =
+  | L_null
+  | L_int of int
+  | L_float of float
+  | L_str of string
+  | L_bool of bool
+
+(** Scalar expressions: attributes, literals and arithmetic. *)
+type sexpr =
+  | E_attr of string
+  | E_lit of literal
+  | E_add of sexpr * sexpr
+  | E_sub of sexpr * sexpr
+  | E_mul of sexpr * sexpr
+  | E_div of sexpr * sexpr
+  | E_mod of sexpr * sexpr
+  | E_neg of sexpr
+
+type condition =
+  | C_true
+  | C_cmp of sexpr * Predicate.comparison * sexpr
+  | C_is_null of string * bool  (** attr, negated? ([true] = IS NOT NULL) *)
+  | C_and of condition * condition
+  | C_or of condition * condition
+  | C_not of condition
+
+(** One item of a SELECT list. *)
+type select_item =
+  | Item_attr of string * string option  (** attribute, optional AS alias *)
+  | Item_agg of string * string option * string option
+      (** function name (count/sum/avg/min/max), argument ([None] = [*]),
+          optional AS alias *)
+
+type statement =
+  | Create_table of {
+      name : string;
+      columns : (string * string) list;  (** (attr, domain name) *)
+      key : string list;
+    }
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      columns : string list;  (** empty = schema order *)
+      values : literal list;
+    }
+  | Delete of { table : string; where : condition }
+  | Update of {
+      table : string;
+      assignments : (string * sexpr) list;
+          (** right-hand sides may reference the tuple's old values *)
+      where : condition;
+    }
+  | Select of {
+      projection : select_item list option;  (** [None] = [*] *)
+      from : (string * string option) list;  (** (table, alias) *)
+      where : condition;
+      group_by : string list;
+      having : condition;  (** over the grouped output *)
+      order_by : (string * bool) list;  (** (output attribute, ascending) *)
+      limit : int option;
+    }
+
+val value_of_literal : literal -> Value.t
+val pp_statement : Format.formatter -> statement -> unit

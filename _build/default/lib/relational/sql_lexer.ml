@@ -1,0 +1,137 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Kw of string
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Star
+  | Semicolon
+  | Op of string
+  | Eof
+
+let equal_token a b =
+  match a, b with
+  | Ident x, Ident y | Kw x, Kw y | Op x, Op y | Str_lit x, Str_lit y -> x = y
+  | Int_lit x, Int_lit y -> x = y
+  | Float_lit x, Float_lit y -> Float.equal x y
+  | Comma, Comma | Lparen, Lparen | Rparen, Rparen | Star, Star
+  | Lbracket, Lbracket | Rbracket, Rbracket
+  | Semicolon, Semicolon | Eof, Eof ->
+      true
+  | ( Ident _ | Int_lit _ | Float_lit _ | Str_lit _ | Kw _ | Comma | Lparen
+    | Rparen | Lbracket | Rbracket | Star | Semicolon | Op _ | Eof ), _ ->
+      false
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "ident %s" s
+  | Int_lit i -> Fmt.pf ppf "int %d" i
+  | Float_lit f -> Fmt.pf ppf "float %g" f
+  | Str_lit s -> Fmt.pf ppf "string %S" s
+  | Kw s -> Fmt.pf ppf "keyword %s" s
+  | Comma -> Fmt.string ppf ","
+  | Lparen -> Fmt.string ppf "("
+  | Rparen -> Fmt.string ppf ")"
+  | Lbracket -> Fmt.string ppf "["
+  | Rbracket -> Fmt.string ppf "]"
+  | Star -> Fmt.string ppf "*"
+  | Semicolon -> Fmt.string ppf ";"
+  | Op s -> Fmt.string ppf s
+  | Eof -> Fmt.string ppf "<eof>"
+
+let keywords =
+  [ "select"; "from"; "where"; "insert"; "into"; "values"; "delete"; "update";
+    "set"; "and"; "or"; "not"; "is"; "null"; "true"; "false"; "create";
+    "table"; "key"; "drop"; "as"; "group"; "by"; "having"; "order"; "limit";
+    "asc"; "desc" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '#'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  (* A '-' directly followed by a digit is a negative literal only in
+     operator position (start of input, after an operator, a comma or an
+     opening bracket); after a value it is subtraction. *)
+  let value_position = function
+    | (Ident _ | Int_lit _ | Float_lit _ | Str_lit _ | Rparen | Rbracket
+      | Kw "null" | Kw "true" | Kw "false")
+      :: _ ->
+        true
+    | _ -> false
+  in
+  let rec go i acc =
+    if i >= n then Ok (List.rev (Eof :: acc))
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '[' -> go (i + 1) (Lbracket :: acc)
+      | ']' -> go (i + 1) (Rbracket :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      | ';' -> go (i + 1) (Semicolon :: acc)
+      | '+' -> go (i + 1) (Op "+" :: acc)
+      | '/' -> go (i + 1) (Op "/" :: acc)
+      | '%' -> go (i + 1) (Op "%" :: acc)
+      | '=' -> go (i + 1) (Op "=" :: acc)
+      | '<' ->
+          if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (Op "<>" :: acc)
+          else if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op "<=" :: acc)
+          else go (i + 1) (Op "<" :: acc)
+      | '>' ->
+          if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op ">=" :: acc)
+          else go (i + 1) (Op ">" :: acc)
+      | '\'' -> string_lit (i + 1) (Buffer.create 16) acc
+      | '-' when value_position acc || i + 1 >= n || not (is_digit input.[i + 1])
+        ->
+          go (i + 1) (Op "-" :: acc)
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+          number i acc
+      | c when is_ident_start c -> ident i acc
+      | c -> Error (Fmt.str "sql: unexpected character %C at offset %d" c i)
+  and string_lit i buf acc =
+    if i >= n then Error "sql: unterminated string literal"
+    else if input.[i] = '\'' then
+      if i + 1 < n && input.[i + 1] = '\'' then (
+        Buffer.add_char buf '\'';
+        string_lit (i + 2) buf acc)
+      else go (i + 1) (Str_lit (Buffer.contents buf) :: acc)
+    else (
+      Buffer.add_char buf input.[i];
+      string_lit (i + 1) buf acc)
+  and number i acc =
+    let j = ref (if input.[i] = '-' then i + 1 else i) in
+    while !j < n && is_digit input.[!j] do incr j done;
+    let is_float = !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1] in
+    if is_float then (
+      incr j;
+      while !j < n && is_digit input.[!j] do incr j done);
+    let lexeme = String.sub input i (!j - i) in
+    if is_float then
+      match float_of_string_opt lexeme with
+      | Some f -> go !j (Float_lit f :: acc)
+      | None -> Error (Fmt.str "sql: bad float literal %s" lexeme)
+    else
+      (match int_of_string_opt lexeme with
+      | Some v -> go !j (Int_lit v :: acc)
+      | None -> Error (Fmt.str "sql: bad int literal %s" lexeme))
+  and ident i acc =
+    let j = ref i in
+    while !j < n && is_ident_char input.[!j] do incr j done;
+    let lexeme = String.sub input i (!j - i) in
+    let lower = String.lowercase_ascii lexeme in
+    if List.mem lower keywords then go !j (Kw lower :: acc)
+    else go !j (Ident lexeme :: acc)
+  in
+  go 0 []

@@ -1,0 +1,23 @@
+(** Tokenizer for the small SQL-like DML (see {!Sql}). *)
+
+type token =
+  | Ident of string  (** bare or dotted identifier (also [#] for node copies), lowercased keywords excluded *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string  (** single-quoted, [''] escapes a quote *)
+  | Kw of string  (** keyword, lowercase: select, from, where, ... *)
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbracket  (** used by the view-object query language, not by SQL *)
+  | Rbracket
+  | Star
+  | Semicolon
+  | Op of string  (** =, <>, <, <=, >, >=, +, -, /, % *)
+  | Eof
+
+val equal_token : token -> token -> bool
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> (token list, string) result
+(** Always ends with [Eof] on success. *)

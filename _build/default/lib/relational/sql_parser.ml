@@ -1,0 +1,331 @@
+open Sql_lexer
+open Sql_ast
+
+(* A tiny state-passing parser over the token list. Each combinator takes
+   the remaining tokens and returns (value, rest) or an error. *)
+
+type 'a parser_result = ('a * token list, string) result
+
+let ( let* ) = Result.bind
+
+let err expected got : 'a parser_result =
+  Error (Fmt.str "sql parse error: expected %s, got %a" expected pp_token got)
+
+let peek = function [] -> Eof | t :: _ -> t
+
+let advance = function [] -> [] | _ :: rest -> rest
+
+let expect tok toks : unit parser_result =
+  if equal_token (peek toks) tok then Ok ((), advance toks)
+  else err (Fmt.str "%a" pp_token tok) (peek toks)
+
+let ident toks : string parser_result =
+  match peek toks with
+  | Ident s -> Ok (s, advance toks)
+  | t -> err "identifier" t
+
+let literal toks : literal parser_result =
+  match peek toks with
+  | Int_lit i -> Ok (L_int i, advance toks)
+  | Float_lit f -> Ok (L_float f, advance toks)
+  | Str_lit s -> Ok (L_str s, advance toks)
+  | Kw "null" -> Ok (L_null, advance toks)
+  | Kw "true" -> Ok (L_bool true, advance toks)
+  | Kw "false" -> Ok (L_bool false, advance toks)
+  | t -> err "literal" t
+
+let rec sep_by1 sep p toks : 'a list parser_result =
+  let* x, toks = p toks in
+  if equal_token (peek toks) sep then
+    let* xs, toks = sep_by1 sep p (advance toks) in
+    Ok (x :: xs, toks)
+  else Ok ([ x ], toks)
+
+let comparison_of_op = function
+  | "=" -> Some Predicate.Eq
+  | "<>" -> Some Predicate.Neq
+  | "<" -> Some Predicate.Lt
+  | "<=" -> Some Predicate.Leq
+  | ">" -> Some Predicate.Gt
+  | ">=" -> Some Predicate.Geq
+  | _ -> None
+
+(* Scalar expressions with the usual precedence:
+   sexpr  := term (('+' | '-') term)*
+   term   := factor (('*' | '/' | '%') factor)*
+   factor := '-' factor | '(' sexpr ')' | literal | ident *)
+let rec sexpr_p toks : sexpr parser_result =
+  let* l, toks = term_p toks in
+  let rec more l toks =
+    match peek toks with
+    | Op "+" ->
+        let* r, toks = term_p (advance toks) in
+        more (E_add (l, r)) toks
+    | Op "-" ->
+        let* r, toks = term_p (advance toks) in
+        more (E_sub (l, r)) toks
+    | _ -> Ok (l, toks)
+  in
+  more l toks
+
+and term_p toks : sexpr parser_result =
+  let* l, toks = factor_p toks in
+  let rec more l toks =
+    match peek toks with
+    | Star ->
+        let* r, toks = factor_p (advance toks) in
+        more (E_mul (l, r)) toks
+    | Op "/" ->
+        let* r, toks = factor_p (advance toks) in
+        more (E_div (l, r)) toks
+    | Op "%" ->
+        let* r, toks = factor_p (advance toks) in
+        more (E_mod (l, r)) toks
+    | _ -> Ok (l, toks)
+  in
+  more l toks
+
+and factor_p toks : sexpr parser_result =
+  match peek toks with
+  | Op "-" ->
+      let* e, toks = factor_p (advance toks) in
+      Ok (E_neg e, toks)
+  | Lparen ->
+      let* e, toks = sexpr_p (advance toks) in
+      let* (), toks = expect Rparen toks in
+      Ok (e, toks)
+  | Ident s -> Ok (E_attr s, advance toks)
+  | _ ->
+      let* l, toks = literal toks in
+      Ok (E_lit l, toks)
+
+(* condition := or_term
+   or_term   := and_term (OR and_term)*
+   and_term  := unary (AND unary)*
+   unary     := NOT unary | '(' condition ')' | atom
+   atom      := sexpr cmp sexpr | ident IS [NOT] NULL *)
+let rec condition toks : condition parser_result = or_term toks
+
+and or_term toks =
+  let* l, toks = and_term toks in
+  if equal_token (peek toks) (Kw "or") then
+    let* r, toks = or_term (advance toks) in
+    Ok (C_or (l, r), toks)
+  else Ok (l, toks)
+
+and and_term toks =
+  let* l, toks = unary toks in
+  if equal_token (peek toks) (Kw "and") then
+    let* r, toks = and_term (advance toks) in
+    Ok (C_and (l, r), toks)
+  else Ok (l, toks)
+
+and unary toks =
+  match peek toks with
+  | Kw "not" ->
+      let* c, toks = unary (advance toks) in
+      Ok (C_not c, toks)
+  | Lparen -> (
+      (* A '(' may open a parenthesized condition or a parenthesized
+         arithmetic operand: try the condition reading first, fall back
+         to a comparison whose left side starts with the paren. *)
+      let as_condition =
+        let* c, toks' = condition (advance toks) in
+        let* (), toks' = expect Rparen toks' in
+        Ok (c, toks')
+      in
+      match as_condition with Ok _ as ok -> ok | Error _ -> atom toks)
+  | Kw "true" -> Ok (C_true, advance toks)
+  | _ -> atom toks
+
+and atom toks =
+  let* l, toks = sexpr_p toks in
+  match peek toks, l with
+  | Kw "is", E_attr a -> (
+      let toks = advance toks in
+      match peek toks with
+      | Kw "not" ->
+          let* (), toks = expect (Kw "null") (advance toks) in
+          Ok (C_is_null (a, true), toks)
+      | Kw "null" -> Ok (C_is_null (a, false), advance toks)
+      | t -> err "null or not null" t)
+  | Op o, _ when comparison_of_op o <> None -> (
+      match comparison_of_op o with
+      | Some cmp ->
+          let* r, toks = sexpr_p (advance toks) in
+          Ok (C_cmp (l, cmp, r), toks)
+      | None -> assert false)
+  | t, _ -> err "comparison or is-null" t
+
+let opt_where toks : condition parser_result =
+  if equal_token (peek toks) (Kw "where") then condition (advance toks)
+  else Ok (C_true, toks)
+
+let create_table toks =
+  let* (), toks = expect (Kw "table") toks in
+  let* name, toks = ident toks in
+  let* (), toks = expect Lparen toks in
+  let column toks =
+    let* c, toks = ident toks in
+    let* d, toks = ident toks in
+    Ok ((c, d), toks)
+  in
+  let* columns, toks = sep_by1 Comma column toks in
+  let* (), toks = expect Rparen toks in
+  let* (), toks = expect (Kw "key") toks in
+  let* (), toks = expect Lparen toks in
+  let* key, toks = sep_by1 Comma ident toks in
+  let* (), toks = expect Rparen toks in
+  Ok (Create_table { name; columns; key }, toks)
+
+let insert toks =
+  let* (), toks = expect (Kw "into") toks in
+  let* table, toks = ident toks in
+  let* columns, toks =
+    if equal_token (peek toks) Lparen then
+      let* cols, toks = sep_by1 Comma ident (advance toks) in
+      let* (), toks = expect Rparen toks in
+      Ok (cols, toks)
+    else Ok ([], toks)
+  in
+  let* (), toks = expect (Kw "values") toks in
+  let* (), toks = expect Lparen toks in
+  let* values, toks = sep_by1 Comma literal toks in
+  let* (), toks = expect Rparen toks in
+  Ok (Insert { table; columns; values }, toks)
+
+let delete toks =
+  let* (), toks = expect (Kw "from") toks in
+  let* table, toks = ident toks in
+  let* where, toks = opt_where toks in
+  Ok (Delete { table; where }, toks)
+
+let update toks =
+  let* table, toks = ident toks in
+  let* (), toks = expect (Kw "set") toks in
+  let assignment toks =
+    let* a, toks = ident toks in
+    let* (), toks = expect (Op "=") toks in
+    let* e, toks = sexpr_p toks in
+    Ok ((a, e), toks)
+  in
+  let* assignments, toks = sep_by1 Comma assignment toks in
+  let* where, toks = opt_where toks in
+  Ok (Update { table; assignments; where }, toks)
+
+let aggregate_functions = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+let opt_alias toks =
+  if equal_token (peek toks) (Kw "as") then
+    let* a, toks = ident (advance toks) in
+    Ok (Some a, toks)
+  else Ok (None, toks)
+
+(* item := func '(' ('*' | ident) ')' [AS ident] | ident [AS ident] *)
+let select_item toks =
+  match peek toks, peek (advance toks) with
+  | Ident f, Lparen when List.mem (String.lowercase_ascii f) aggregate_functions ->
+      let toks = advance (advance toks) in
+      let* arg, toks =
+        if equal_token (peek toks) Star then Ok (None, advance toks)
+        else
+          let* a, toks = ident toks in
+          Ok (Some a, toks)
+      in
+      let* (), toks = expect Rparen toks in
+      let* alias, toks = opt_alias toks in
+      Ok (Item_agg (String.lowercase_ascii f, arg, alias), toks)
+  | _ ->
+      let* a, toks = ident toks in
+      let* alias, toks = opt_alias toks in
+      Ok (Item_attr (a, alias), toks)
+
+let select toks =
+  let* projection, toks =
+    if equal_token (peek toks) Star then Ok (None, advance toks)
+    else
+      let* items, toks = sep_by1 Comma select_item toks in
+      Ok (Some items, toks)
+  in
+  let* (), toks = expect (Kw "from") toks in
+  let table_ref toks =
+    let* t, toks = ident toks in
+    let* alias, toks = opt_alias toks in
+    Ok ((t, alias), toks)
+  in
+  let* from, toks = sep_by1 Comma table_ref toks in
+  let* where, toks = opt_where toks in
+  let* group_by, toks =
+    if equal_token (peek toks) (Kw "group") then
+      let* (), toks = expect (Kw "by") (advance toks) in
+      sep_by1 Comma ident toks
+    else Ok ([], toks)
+  in
+  let* having, toks =
+    if equal_token (peek toks) (Kw "having") then condition (advance toks)
+    else Ok (C_true, toks)
+  in
+  let* order_by, toks =
+    if equal_token (peek toks) (Kw "order") then
+      let* (), toks = expect (Kw "by") (advance toks) in
+      let order_key toks =
+        let* a, toks = ident toks in
+        match peek toks with
+        | Kw "asc" -> Ok ((a, true), advance toks)
+        | Kw "desc" -> Ok ((a, false), advance toks)
+        | _ -> Ok ((a, true), toks)
+      in
+      sep_by1 Comma order_key toks
+    else Ok ([], toks)
+  in
+  let* limit, toks =
+    if equal_token (peek toks) (Kw "limit") then
+      match peek (advance toks) with
+      | Int_lit n when n >= 0 -> Ok (Some n, advance (advance toks))
+      | t -> err "non-negative limit" t
+    else Ok (None, toks)
+  in
+  Ok (Select { projection; from; where; group_by; having; order_by; limit }, toks)
+
+let statement toks : statement parser_result =
+  match peek toks with
+  | Kw "create" -> create_table (advance toks)
+  | Kw "drop" ->
+      let* (), toks = expect (Kw "table") (advance toks) in
+      let* name, toks = ident toks in
+      Ok (Drop_table name, toks)
+  | Kw "insert" -> insert (advance toks)
+  | Kw "delete" -> delete (advance toks)
+  | Kw "update" -> update (advance toks)
+  | Kw "select" -> select (advance toks)
+  | t -> err "statement keyword" t
+
+let skip_semicolons toks =
+  let rec go toks =
+    if equal_token (peek toks) Semicolon then go (advance toks) else toks
+  in
+  go toks
+
+let parse_statement input =
+  let* toks = Sql_lexer.tokenize input in
+  let* stmt, toks = statement toks in
+  let toks = skip_semicolons toks in
+  match peek toks with
+  | Eof -> Ok stmt
+  | t -> Result.map fst (err "end of input" t)
+
+let parse_script input =
+  let* toks = Sql_lexer.tokenize input in
+  let rec go acc toks =
+    let toks = skip_semicolons toks in
+    match peek toks with
+    | Eof -> Ok (List.rev acc)
+    | _ ->
+        let* stmt, toks = statement toks in
+        let toks = skip_semicolons toks in
+        go (stmt :: acc) toks
+  in
+  go [] toks
+
+let condition_tokens = condition
+let sexpr_tokens = sexpr_p

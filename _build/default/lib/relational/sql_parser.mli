@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the small SQL-like DML. *)
+
+val parse_statement : string -> (Sql_ast.statement, string) result
+(** Parse one statement (optional trailing [';']). *)
+
+val parse_script : string -> (Sql_ast.statement list, string) result
+(** Parse a [';']-separated sequence of statements. *)
+
+val condition_tokens :
+  Sql_lexer.token list ->
+  (Sql_ast.condition * Sql_lexer.token list, string) result
+(** Parse a condition from a token stream, returning the remainder —
+    used by embedding languages (the view-object query language's
+    node-scoped blocks). *)
+
+val sexpr_tokens :
+  Sql_lexer.token list ->
+  (Sql_ast.sexpr * Sql_lexer.token list, string) result

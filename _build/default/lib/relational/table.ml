@@ -1,0 +1,32 @@
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let cell r i = match List.nth_opt r i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left (fun acc r -> max acc (String.length (cell r i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line r =
+    "| "
+    ^ String.concat " | " (List.mapi (fun i w -> pad (cell r i) w) widths)
+    ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  String.concat "\n"
+    ((rule :: line header :: rule :: List.map line rows) @ [ rule ])
+
+let of_tuples ~attrs tuples =
+  let row t =
+    List.map (fun a -> Fmt.str "%a" Value.pp_plain (Tuple.get t a)) attrs
+  in
+  render ~header:attrs (List.map row tuples)
+
+let of_relation r =
+  let attrs = Schema.attribute_names (Relation.schema r) in
+  of_tuples ~attrs (Relation.to_list r)
+
+let of_rset (rs : Algebra.rset) = of_tuples ~attrs:rs.attrs rs.rows

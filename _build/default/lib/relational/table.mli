@@ -1,0 +1,8 @@
+(** ASCII table rendering for relations and result sets. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned ASCII table with a header rule. *)
+
+val of_relation : Relation.t -> string
+val of_rset : Algebra.rset -> string
+val of_tuples : attrs:string list -> Tuple.t list -> string

@@ -1,0 +1,28 @@
+type outcome =
+  | Committed of Database.t
+  | Rolled_back of {
+      reason : string;
+      failed_op : Op.t option;
+    }
+
+let run db ops =
+  match Database.apply_all db ops with
+  | Ok db' -> Committed db'
+  | Error (e, op) ->
+      Rolled_back { reason = Database.error_to_string e; failed_op = Some op }
+
+let run_result db ops =
+  match run db ops with
+  | Committed db' -> Ok db'
+  | Rolled_back { reason; _ } -> Error reason
+
+let reject reason = Rolled_back { reason; failed_op = None }
+
+let is_committed = function Committed _ -> true | Rolled_back _ -> false
+
+let pp ppf = function
+  | Committed _ -> Fmt.string ppf "committed"
+  | Rolled_back { reason; failed_op } ->
+      Fmt.pf ppf "rolled back: %s%a" reason
+        Fmt.(option (any " (at " ++ Op.pp ++ any ")"))
+        failed_op

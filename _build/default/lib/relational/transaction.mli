@@ -1,0 +1,26 @@
+(** Atomic execution of operation sequences.
+
+    The paper requires transactional semantics at two points: VO-CD must
+    roll back "in a case where replacements are not allowed on any of the
+    referencing peninsulas", and every translated update must either apply
+    fully or not at all. With a persistent {!Database.t}, atomicity is
+    obtained by discarding the candidate state on failure. *)
+
+type outcome =
+  | Committed of Database.t  (** all ops applied *)
+  | Rolled_back of {
+      reason : string;
+      failed_op : Op.t option;
+    }
+
+val run : Database.t -> Op.t list -> outcome
+(** Apply all ops or none. *)
+
+val run_result : Database.t -> Op.t list -> (Database.t, string) result
+
+val reject : string -> outcome
+(** A rollback decided before any database op was attempted (e.g. the
+    translator forbids the request). *)
+
+val is_committed : outcome -> bool
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/structural/connection.ml: Fmt List Relational Schema String Tuple

@@ -1,0 +1,1 @@
+lib/structural/connection.mli: Format Relational

@@ -1,0 +1,1 @@
+lib/structural/expansion.ml: Buffer Connection Fmt Hashtbl List Metric Option Schema_graph

@@ -1,0 +1,1 @@
+lib/structural/expansion.mli: Format Metric Schema_graph

@@ -1,0 +1,1 @@
+lib/structural/integrity.ml: Connection Database Fmt List Op Predicate Relation Relational Result Schema Schema_graph String Tuple Value

@@ -1,0 +1,1 @@
+lib/structural/integrity.mli: Connection Database Format Op Relational Schema_graph Tuple

@@ -1,0 +1,1 @@
+lib/structural/metric.ml: Connection Hashtbl List Schema_graph String

@@ -1,0 +1,1 @@
+lib/structural/metric.mli: Schema_graph

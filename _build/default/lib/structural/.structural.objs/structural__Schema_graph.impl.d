@@ -1,0 +1,1 @@
+lib/structural/schema_graph.ml: Buffer Connection Database Fmt List Map Relational Result Schema String

@@ -1,0 +1,1 @@
+lib/structural/schema_graph.mli: Connection Format Relational

@@ -1,0 +1,1 @@
+lib/structural/schema_lang.ml: Attribute Buffer Connection Fmt List Relational Result Schema Schema_graph Sql_lexer String Value

@@ -1,0 +1,1 @@
+lib/structural/schema_lang.mli: Schema_graph

@@ -1,0 +1,125 @@
+open Relational
+
+type kind =
+  | Ownership
+  | Reference
+  | Subset
+
+type t = {
+  kind : kind;
+  source : string;
+  target : string;
+  source_attrs : string list;
+  target_attrs : string list;
+}
+
+let make ~kind ~source ~target ~source_attrs ~target_attrs =
+  { kind; source; target; source_attrs; target_attrs }
+
+let ownership source target ~on:(source_attrs, target_attrs) =
+  make ~kind:Ownership ~source ~target ~source_attrs ~target_attrs
+
+let reference source target ~on:(source_attrs, target_attrs) =
+  make ~kind:Reference ~source ~target ~source_attrs ~target_attrs
+
+let subset source target ~on:(source_attrs, target_attrs) =
+  make ~kind:Subset ~source ~target ~source_attrs ~target_attrs
+
+let kind_name = function
+  | Ownership -> "ownership"
+  | Reference -> "reference"
+  | Subset -> "subset"
+
+let cardinality = function
+  | Ownership -> "1:n"
+  | Reference -> "n:1"
+  | Subset -> "1:[0,1]"
+
+let symbol = function
+  | Ownership -> "--*"
+  | Reference -> "-->"
+  | Subset -> "=-->"
+
+let id c =
+  Fmt.str "%s->%s:%s(%s;%s)" c.source c.target (kind_name c.kind)
+    (String.concat "," c.source_attrs)
+    (String.concat "," c.target_attrs)
+
+let equal a b = id a = id b
+
+let same_set l1 l2 =
+  List.sort String.compare l1 = List.sort String.compare l2
+
+let strict_subset l1 l2 =
+  List.for_all (fun x -> List.mem x l2) l1
+  && List.exists (fun x -> not (List.mem x l1)) l2
+
+let subset_of l1 l2 = List.for_all (fun x -> List.mem x l2) l1
+
+let validate ~schema_of c =
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  match schema_of c.source, schema_of c.target with
+  | None, _ -> fail "connection %s: unknown source relation %s" (id c) c.source
+  | _, None -> fail "connection %s: unknown target relation %s" (id c) c.target
+  | Some s1, Some s2 ->
+      if c.source_attrs = [] then fail "connection %s: empty attribute list" (id c)
+      else if List.length c.source_attrs <> List.length c.target_attrs then
+        fail "connection %s: X1 and X2 have different arities" (id c)
+      else (
+        match
+          List.find_opt (fun a -> not (Schema.mem s1 a)) c.source_attrs
+        with
+        | Some a -> fail "connection %s: %s has no attribute %s" (id c) c.source a
+        | None -> (
+            match
+              List.find_opt (fun a -> not (Schema.mem s2 a)) c.target_attrs
+            with
+            | Some a -> fail "connection %s: %s has no attribute %s" (id c) c.target a
+            | None ->
+                let domains_agree =
+                  List.for_all2
+                    (fun a1 a2 -> Schema.domain_of s1 a1 = Schema.domain_of s2 a2)
+                    c.source_attrs c.target_attrs
+                in
+                if not domains_agree then
+                  fail "connection %s: domain mismatch between X1 and X2" (id c)
+                else
+                  let k1 = Schema.key_attributes s1
+                  and nk1 = Schema.nonkey_attributes s1
+                  and k2 = Schema.key_attributes s2 in
+                  (match c.kind with
+                  | Ownership ->
+                      if not (same_set c.source_attrs k1) then
+                        fail "ownership %s: X1 must equal K(%s)" (id c) c.source
+                      else if not (strict_subset c.target_attrs k2) then
+                        fail
+                          "ownership %s: X2 must be a proper subset of K(%s)"
+                          (id c) c.target
+                      else Ok ()
+                  | Reference ->
+                      if
+                        not
+                          (subset_of c.source_attrs k1
+                          || subset_of c.source_attrs nk1)
+                      then
+                        fail
+                          "reference %s: X1 must lie within K(%s) or within NK(%s)"
+                          (id c) c.source c.source
+                      else if not (same_set c.target_attrs k2) then
+                        fail "reference %s: X2 must equal K(%s)" (id c) c.target
+                      else Ok ()
+                  | Subset ->
+                      if not (same_set c.source_attrs k1) then
+                        fail "subset %s: X1 must equal K(%s)" (id c) c.source
+                      else if not (same_set c.target_attrs k2) then
+                        fail "subset %s: X2 must equal K(%s)" (id c) c.target
+                      else Ok ())))
+
+let connected c t1 t2 = Tuple.matches ~on:(c.source_attrs, c.target_attrs) t1 t2
+
+let pp ppf c =
+  Fmt.pf ppf "%s %s %s on (%a; %a)" c.source (symbol c.kind) c.target
+    Fmt.(list ~sep:(any ",") string)
+    c.source_attrs
+    Fmt.(list ~sep:(any ",") string)
+    c.target_attrs

@@ -1,0 +1,63 @@
+(** Connections of the structural model (Section 2 of the paper).
+
+    A connection relates two relations through ordered attribute lists
+    [(X1, X2)] of equal arity and matching domains (Def. 2.1). The three
+    kinds carry distinct integrity rules and key constraints:
+
+    - {b Ownership} [R1 —* R2] (Def. 2.2): 1:n dependency. [X1 = K(R1)]
+      and [X2] a proper subset of [K(R2)]. Deleting an owner cascades.
+    - {b Reference} [R1 —> R2] (Def. 2.3): n:1. [X1] lies entirely within
+      [K(R1)] or within [NK(R1)]; [X2 = K(R2)]. Referencing attributes may
+      be [Null].
+    - {b Subset} [R1 =—> R2] (Def. 2.4): 1:[0,1] specialization.
+      [X1 = K(R1)] and [X2 = K(R2)]. *)
+
+type kind =
+  | Ownership
+  | Reference
+  | Subset
+
+type t = private {
+  kind : kind;
+  source : string;  (** R1 *)
+  target : string;  (** R2 *)
+  source_attrs : string list;  (** X1, attributes of R1 *)
+  target_attrs : string list;  (** X2, attributes of R2 *)
+}
+
+val make :
+  kind:kind ->
+  source:string ->
+  target:string ->
+  source_attrs:string list ->
+  target_attrs:string list ->
+  t
+(** Construct without schema validation (validated when installed in a
+    {!Schema_graph.t}). *)
+
+val ownership : string -> string -> on:(string list * string list) -> t
+val reference : string -> string -> on:(string list * string list) -> t
+val subset : string -> string -> on:(string list * string list) -> t
+
+val validate :
+  schema_of:(string -> Relational.Schema.t option) -> t -> (unit, string) result
+(** Full Def. 2.2–2.4 checking: endpoints exist, arity, positional domain
+    agreement, and the per-kind key constraints. *)
+
+val connected : t -> Relational.Tuple.t -> Relational.Tuple.t -> bool
+(** [connected c t1 t2]: the Def. 2.1 tuple-connection test — values of
+    [X1] in [t1] match values of [X2] in [t2] (non-null). *)
+
+val kind_name : kind -> string
+val cardinality : kind -> string
+(** ["1:n"], ["n:1"] or ["1:[0,1]"]. *)
+
+val symbol : kind -> string
+(** Graphical symbol used in the paper: ["--*"], ["-->"], ["=-->"]. *)
+
+val id : t -> string
+(** Stable identifier ["R1->R2:kind(X1;X2)"], used for translator lookup
+    and deduplication. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type node = {
+  label : string;
+  relation : string;
+  via : Schema_graph.edge option;
+  relevance : float;
+  children : node list;
+}
+
+let expand metric g ~pivot =
+  if not (Schema_graph.mem_relation g pivot) then
+    invalid_arg (Fmt.str "expand: unknown pivot relation %s" pivot);
+  let counts = Hashtbl.create 16 in
+  let next_label rel =
+    let n = Option.value (Hashtbl.find_opt counts rel) ~default:0 + 1 in
+    Hashtbl.replace counts rel n;
+    if n = 1 then rel else Fmt.str "%s#%d" rel n
+  in
+  let rec build rel via relevance on_path =
+    let label = next_label rel in
+    let children =
+      List.filter_map
+        (fun e ->
+          let target = Schema_graph.edge_to e in
+          let r = relevance *. Metric.edge_weight metric e in
+          if List.mem target on_path then None
+          else if not (Metric.relevant metric r) then None
+          else Some (build target (Some e) r (target :: on_path)))
+        (Schema_graph.edges_from g rel)
+    in
+    { label; relation = rel; via; relevance; children }
+  in
+  build pivot None 1.0 [ pivot ]
+
+let rec size n = 1 + List.fold_left (fun acc c -> acc + size c) 0 n.children
+
+let rec depth n =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 n.children
+
+let rec preorder n = n :: List.concat_map preorder n.children
+
+let labels n = List.map (fun n -> n.label) (preorder n)
+
+let find n label = List.find_opt (fun n -> n.label = label) (preorder n)
+
+let copies n rel =
+  List.length (List.filter (fun n -> n.relation = rel) (preorder n))
+
+let path_to root label =
+  let rec go acc n =
+    let acc = n :: acc in
+    if n.label = label then Some (List.rev acc)
+    else List.find_map (go acc) n.children
+  in
+  go [] root
+
+let edge_tag = function
+  | None -> ""
+  | Some (e : Schema_graph.edge) ->
+      let kind = Connection.kind_name e.conn.Connection.kind in
+      Fmt.str " <-%s%s-" (if e.forward then "" else "inverse ") kind
+
+let to_ascii root =
+  let buf = Buffer.create 256 in
+  let rec go indent n =
+    Buffer.add_string buf
+      (Fmt.str "%s%s%s [%.3f]\n" indent n.label (edge_tag n.via) n.relevance);
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  go "" root;
+  Buffer.contents buf
+
+let pp ppf n = Fmt.string ppf (to_ascii n)

@@ -1,0 +1,45 @@
+(** Expansion of the relevant subgraph into the tree of relations
+    (Figure 2(a) → 2(b) of the paper).
+
+    "We expand all the paths in G emanating from the pivot relation until
+    either we can go no further without creating a cycle or we reach a
+    relation that is no longer relevant." A relation reachable along
+    several non-cyclic paths therefore appears as several {e copies}
+    (Figure 2(b) has two copies of PEOPLE); copies get distinct labels
+    ([PEOPLE], [PEOPLE#2], ...). The resulting tree lists every possible
+    configuration of view objects anchored on the pivot. *)
+
+type node = {
+  label : string;  (** unique within the tree; first copy is the bare name *)
+  relation : string;
+  via : Schema_graph.edge option;  (** edge from the parent; [None] at the root *)
+  relevance : float;  (** path relevance from the pivot *)
+  children : node list;
+}
+
+val expand : Metric.t -> Schema_graph.t -> pivot:string -> node
+(** Depth-first expansion. Children are ordered deterministically
+    (forward connections before inverse, then by connection id). A child
+    is expanded when its relation is not already on the root path and its
+    path relevance passes the metric threshold.
+
+    @raise Invalid_argument if the pivot is not in the graph. *)
+
+val size : node -> int
+val depth : node -> int
+val labels : node -> string list
+(** Pre-order. *)
+
+val find : node -> string -> node option
+(** Find a node by label. *)
+
+val copies : node -> string -> int
+(** Number of copies of the given relation in the tree. *)
+
+val path_to : node -> string -> node list option
+(** Root-to-node path (inclusive) for a label. *)
+
+val to_ascii : node -> string
+(** Indented tree rendering, used to reproduce Figure 2(b). *)
+
+val pp : Format.formatter -> node -> unit

@@ -1,0 +1,78 @@
+(** Integrity rules of the structural model and their enforcement.
+
+    The three connection kinds carry the static rules 1 of Defs. 2.2–2.4
+    (existence of owners / referenced tuples / generalization parents),
+    checked by {!check}. The dynamic rules (2 and 3 — what must happen on
+    deletions and key modifications) are realized by the planners below,
+    which the update-translation engine (step 4, global validation)
+    invokes to compute the database operations that restore global
+    consistency. *)
+
+open Relational
+
+type violation = {
+  connection : Connection.t;
+  relation : string;  (** relation holding the offending tuple *)
+  tuple : Tuple.t;
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Schema_graph.t -> Database.t -> violation list
+(** All static violations: owned tuples without owner, non-null
+    references to absent tuples, subset tuples without their general
+    tuple. *)
+
+val check_connection : Schema_graph.t -> Database.t -> Connection.t -> violation list
+
+(** What to do with tuples that reference a deleted tuple (rule 2 of
+    Def. 2.3 offers exactly these choices). *)
+type reference_action =
+  | Nullify  (** set the referencing attributes to [Null] *)
+  | Delete_referencing
+  | Restrict  (** refuse the deletion *)
+
+type delete_policy = Connection.t -> reference_action
+(** Per-connection choice, typically derived from the view-object's
+    translator. *)
+
+val cascade_delete :
+  Schema_graph.t ->
+  Database.t ->
+  policy:delete_policy ->
+  seeds:(string * Tuple.t) list ->
+  (Op.t list, string) result
+(** Plan the deletion of the seed tuples plus everything the structural
+    model forces: transitively delete owned and subset tuples (rules 2 of
+    Defs. 2.2/2.4), and fix referencing tuples per [policy] (rule 2 of
+    Def. 2.3). [Nullify] on attributes that belong to the referencing
+    relation's key is invalid (keys are non-null) and yields an error
+    naming the connection. Deletions are emitted children-first and
+    deduplicated; reference fix-ups precede the deletion of their
+    targets. *)
+
+val missing_dependencies :
+  Schema_graph.t ->
+  Database.t ->
+  string ->
+  Tuple.t ->
+  (Connection.t * Tuple.t) list
+(** For a tuple being inserted into the named relation: the connections
+    whose rule 1 would be violated, each with the minimal (key-only)
+    parent/referenced tuple that would satisfy it. Used by VO-CI's global
+    validation, which inserts such tuples recursively. *)
+
+val key_replacement_fixups :
+  Schema_graph.t ->
+  Database.t ->
+  relation:string ->
+  old_tuple:Tuple.t ->
+  new_tuple:Tuple.t ->
+  exclude:(string -> bool) ->
+  Op.t list
+(** Rules 3: after replacing a tuple's key in [relation], compute the
+    propagation ops — rewrite the connecting attributes of referencing
+    tuples and of owned/subset tuples whose inherited key changed.
+    Relations for which [exclude] holds are skipped (they were already
+    handled inside the view object). *)

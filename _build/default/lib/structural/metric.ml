@@ -1,0 +1,75 @@
+type weights = {
+  ownership : float;
+  reference : float;
+  subset : float;
+  inv_ownership : float;
+  inv_reference : float;
+  inv_subset : float;
+}
+
+type t = {
+  weights : weights;
+  threshold : float;
+}
+
+let default_weights =
+  {
+    ownership = 1.0;
+    reference = 0.9;
+    subset = 1.0;
+    inv_ownership = 0.9;
+    inv_reference = 0.7;
+    inv_subset = 0.9;
+  }
+
+let make ?(weights = default_weights) ?(threshold = 0.5) () =
+  { weights; threshold }
+
+let default = make ()
+
+let edge_weight m (e : Schema_graph.edge) =
+  let w = m.weights in
+  match e.conn.Connection.kind, e.forward with
+  | Connection.Ownership, true -> w.ownership
+  | Connection.Ownership, false -> w.inv_ownership
+  | Connection.Reference, true -> w.reference
+  | Connection.Reference, false -> w.inv_reference
+  | Connection.Subset, true -> w.subset
+  | Connection.Subset, false -> w.inv_subset
+
+let path_relevance m path =
+  List.fold_left (fun acc e -> acc *. edge_weight m e) 1.0 path
+
+let epsilon = 1e-9
+
+let relevant m r = r >= m.threshold -. epsilon
+
+(* Best-path (max-product) relevance by exhaustive simple-path search.
+   Structural schemas are small (tens of relations), and simple paths are
+   what the paper's expansion step walks, so this matches the tree
+   semantics exactly. *)
+let relevance_map m g ~pivot =
+  let best = Hashtbl.create 16 in
+  let update rel r =
+    match Hashtbl.find_opt best rel with
+    | Some r0 when r0 >= r -> ()
+    | _ -> Hashtbl.replace best rel r
+  in
+  let rec explore rel r on_path =
+    update rel r;
+    List.iter
+      (fun e ->
+        let next = Schema_graph.edge_to e in
+        if not (List.mem next on_path) then
+          let r' = r *. edge_weight m e in
+          if r' > epsilon then explore next r' (next :: on_path))
+      (Schema_graph.edges_from g rel)
+  in
+  explore pivot 1.0 [ pivot ];
+  Hashtbl.fold (fun rel r acc -> (rel, r) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let relevant_relations m g ~pivot =
+  List.filter_map
+    (fun (rel, r) -> if relevant m r then Some rel else None)
+    (relevance_map m g ~pivot)

@@ -1,0 +1,52 @@
+(** Information metric over the structural schema.
+
+    The paper applies "an information-metric model for specifying which
+    relations can be included in a particular object given that object's
+    pivot relation" (Section 3); the metric itself lives in the thesis
+    [4], which is not available. We implement the standard surrogate
+    documented in DESIGN.md: each traversal direction of each connection
+    kind carries a weight in (0, 1]; the relevance of a path is the
+    product of its edge weights; the relevance of a relation is its
+    best-path relevance from the pivot; relations below a threshold are
+    "no longer relevant". The default weights reproduce Figure 2 of the
+    paper on the university schema. *)
+
+type weights = {
+  ownership : float;  (** R1 --* R2 walked forward *)
+  reference : float;
+  subset : float;
+  inv_ownership : float;  (** owned-to-owner direction *)
+  inv_reference : float;
+  inv_subset : float;
+}
+
+type t = {
+  weights : weights;
+  threshold : float;
+}
+
+val default_weights : weights
+(** own 1.0 / ref 0.9 / subset 1.0, inverse 0.9 / 0.7 / 0.9. *)
+
+val default : t
+(** Default weights with threshold 0.5. *)
+
+val make : ?weights:weights -> ?threshold:float -> unit -> t
+
+val edge_weight : t -> Schema_graph.edge -> float
+
+val path_relevance : t -> Schema_graph.edge list -> float
+(** Product of edge weights (1.0 for the empty path). *)
+
+val relevant : t -> float -> bool
+(** [relevant m r] iff [r >= m.threshold] (with a small epsilon so that
+    paths computed in either association order agree). *)
+
+val relevance_map : t -> Schema_graph.t -> pivot:string -> (string * float) list
+(** Best-path relevance of every relation reachable from the pivot,
+    sorted by name. The pivot itself has relevance 1.0. Paths may not
+    revisit a relation. *)
+
+val relevant_relations : t -> Schema_graph.t -> pivot:string -> string list
+(** Relations whose best-path relevance passes the threshold — the
+    vertex set of the Fig. 2a subgraph [G]. *)

@@ -1,0 +1,127 @@
+open Relational
+module SMap = Map.Make (String)
+
+type t = {
+  schemas : Schema.t SMap.t;
+  conns : Connection.t list;  (** in insertion order *)
+}
+
+type edge = {
+  conn : Connection.t;
+  forward : bool;
+}
+
+let edge_from e =
+  if e.forward then e.conn.Connection.source else e.conn.Connection.target
+
+let edge_to e =
+  if e.forward then e.conn.Connection.target else e.conn.Connection.source
+
+let edge_from_attrs e =
+  if e.forward then e.conn.Connection.source_attrs
+  else e.conn.Connection.target_attrs
+
+let edge_to_attrs e =
+  if e.forward then e.conn.Connection.target_attrs
+  else e.conn.Connection.source_attrs
+
+let inverse e = { e with forward = not e.forward }
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%s%a" (if e.forward then "" else "inverse ") Connection.pp e.conn
+
+let empty = { schemas = SMap.empty; conns = [] }
+
+let add_schema g s =
+  let n = s.Schema.name in
+  if SMap.mem n g.schemas then Error (Fmt.str "relation %s already in graph" n)
+  else Ok { g with schemas = SMap.add n s g.schemas }
+
+let schema g n = SMap.find_opt n g.schemas
+
+let schema_exn g n =
+  match schema g n with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "schema_graph: unknown relation %s" n)
+
+let add_connection g c =
+  if List.exists (Connection.equal c) g.conns then
+    Error (Fmt.str "connection %s already in graph" (Connection.id c))
+  else
+    match Connection.validate ~schema_of:(schema g) c with
+    | Error e -> Error e
+    | Ok () -> Ok { g with conns = g.conns @ [ c ] }
+
+let make schemas conns =
+  let ( let* ) = Result.bind in
+  let* g =
+    List.fold_left
+      (fun acc s -> Result.bind acc (fun g -> add_schema g s))
+      (Ok empty) schemas
+  in
+  List.fold_left
+    (fun acc c -> Result.bind acc (fun g -> add_connection g c))
+    (Ok g) conns
+
+let make_exn schemas conns =
+  match make schemas conns with
+  | Ok g -> g
+  | Error e -> invalid_arg e
+
+let relations g = List.map fst (SMap.bindings g.schemas)
+let connections g = g.conns
+let mem_relation g n = SMap.mem n g.schemas
+
+let outgoing g n = List.filter (fun c -> c.Connection.source = n) g.conns
+let incoming g n = List.filter (fun c -> c.Connection.target = n) g.conns
+
+let edges_from g n =
+  let fwd = List.map (fun conn -> { conn; forward = true }) (outgoing g n) in
+  let inv = List.map (fun conn -> { conn; forward = false }) (incoming g n) in
+  List.sort
+    (fun a b ->
+      match compare b.forward a.forward with
+      | 0 -> String.compare (Connection.id a.conn) (Connection.id b.conn)
+      | c -> c)
+    (fwd @ inv)
+
+let restrict g ~keep =
+  let schemas = SMap.filter (fun n _ -> List.mem n keep) g.schemas in
+  let conns =
+    List.filter
+      (fun c ->
+        List.mem c.Connection.source keep && List.mem c.Connection.target keep)
+      g.conns
+  in
+  { schemas; conns }
+
+let create_database g =
+  SMap.fold
+    (fun _ s db -> Database.create_relation_exn db s)
+    g.schemas Database.empty
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph structural_schema {\n";
+  Buffer.add_string buf "  node [shape=box];\n";
+  SMap.iter (fun n _ -> Buffer.add_string buf (Fmt.str "  %s;\n" n)) g.schemas;
+  List.iter
+    (fun (c : Connection.t) ->
+      let style =
+        match c.kind with
+        | Connection.Ownership -> "arrowhead=dot, label=\"owns\""
+        | Connection.Reference -> "arrowhead=open, label=\"refs\""
+        | Connection.Subset -> "arrowhead=onormal, style=bold, label=\"subset\""
+      in
+      Buffer.add_string buf
+        (Fmt.str "  %s -> %s [%s];\n" c.source c.target style))
+    g.conns;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>relations:@,%a@,connections:@,%a@]"
+    Fmt.(list ~sep:cut (using (schema_exn g) Schema.pp))
+    (relations g)
+    Fmt.(list ~sep:cut Connection.pp)
+    g.conns

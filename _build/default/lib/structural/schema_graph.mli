@@ -1,0 +1,68 @@
+(** The structural schema: a directed graph whose vertices are relation
+    schemas and whose edges are {!Connection.t} values (Section 2).
+
+    Traversals use {!edge}, which pairs a connection with a direction —
+    the paper's inverse connections [C⁻¹] are represented as the same
+    connection walked backwards rather than as separate objects. *)
+
+type t
+
+(** A connection traversed in a given direction. [forward = true] walks
+    source→target; [forward = false] walks the inverse connection. *)
+type edge = {
+  conn : Connection.t;
+  forward : bool;
+}
+
+val edge_from : edge -> string
+(** Relation this edge leaves (source when forward, target otherwise). *)
+
+val edge_to : edge -> string
+val edge_from_attrs : edge -> string list
+(** Connecting attributes on the [edge_from] side. *)
+
+val edge_to_attrs : edge -> string list
+val inverse : edge -> edge
+val pp_edge : Format.formatter -> edge -> unit
+
+val empty : t
+
+val add_schema : t -> Relational.Schema.t -> (t, string) result
+val add_connection : t -> Connection.t -> (t, string) result
+(** Validates the connection against the installed schemas. *)
+
+val make :
+  Relational.Schema.t list -> Connection.t list -> (t, string) result
+
+val make_exn : Relational.Schema.t list -> Connection.t list -> t
+
+val schema : t -> string -> Relational.Schema.t option
+val schema_exn : t -> string -> Relational.Schema.t
+val relations : t -> string list
+(** Sorted relation names. *)
+
+val connections : t -> Connection.t list
+val mem_relation : t -> string -> bool
+
+val outgoing : t -> string -> Connection.t list
+(** Connections whose source is the given relation. *)
+
+val incoming : t -> string -> Connection.t list
+
+val edges_from : t -> string -> edge list
+(** All edges leaving a relation in either direction: outgoing
+    connections forward plus incoming connections inverted.
+    Deterministically ordered (by connection id, forward first). *)
+
+val restrict : t -> keep:string list -> t
+(** Induced subgraph on the kept relations (connections with both
+    endpoints kept). Used for the Fig. 2a relevant subgraph [G]. *)
+
+val create_database : t -> Relational.Database.t
+(** Empty database holding one relation per schema. *)
+
+val to_dot : t -> string
+(** Graphviz rendering in the paper's style: ownership [--*] as a filled
+    dot arrowhead, reference as an open arrow, subset as a double line. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+open Relational
+open Sql_lexer
+
+let ( let* ) = Result.bind
+
+let err expected got =
+  Error (Fmt.str "schema parse error: expected %s, got %a" expected pp_token got)
+
+let peek = function [] -> Eof | t :: _ -> t
+let advance = function [] -> [] | _ :: rest -> rest
+
+let expect tok toks =
+  if equal_token (peek toks) tok then Ok ((), advance toks)
+  else err (Fmt.str "%a" pp_token tok) (peek toks)
+
+let ident toks =
+  match peek toks with
+  | Ident s -> Ok (s, advance toks)
+  | t -> err "identifier" t
+
+let rec idents_sep_comma toks =
+  let* a, toks = ident toks in
+  if equal_token (peek toks) Comma then
+    let* rest, toks = idents_sep_comma (advance toks) in
+    Ok (a :: rest, toks)
+  else Ok ([ a ], toks)
+
+(* relation NAME '(' col (',' col)* ')' KEY '(' ids ')' ';' *)
+let relation_decl toks =
+  let* name, toks = ident toks in
+  let* (), toks = expect Lparen toks in
+  let rec columns toks =
+    let* c, toks = ident toks in
+    let* d, toks = ident toks in
+    let* dom =
+      match Value.domain_of_name d with
+      | Some dom -> Ok dom
+      | None -> Error (Fmt.str "schema parse error: unknown domain %s" d)
+    in
+    let col = Attribute.make c dom in
+    if equal_token (peek toks) Comma then
+      let* rest, toks = columns (advance toks) in
+      Ok (col :: rest, toks)
+    else Ok ([ col ], toks)
+  in
+  let* attributes, toks = columns toks in
+  let* (), toks = expect Rparen toks in
+  let* (), toks = expect (Kw "key") toks in
+  let* (), toks = expect Lparen toks in
+  let* key, toks = idents_sep_comma toks in
+  let* (), toks = expect Rparen toks in
+  let* schema = Schema.make ~name ~attributes ~key in
+  Ok (schema, toks)
+
+(* <kind> SRC TGT on '(' ids ';' ids ')' ';' *)
+let connection_decl kind toks =
+  let* source, toks = ident toks in
+  let* target, toks = ident toks in
+  let* (), toks =
+    match peek toks with
+    | Ident "on" -> Ok ((), advance toks)
+    | t -> err "on" t
+  in
+  let* (), toks = expect Lparen toks in
+  let* source_attrs, toks = idents_sep_comma toks in
+  let* (), toks = expect Semicolon toks in
+  let* target_attrs, toks = idents_sep_comma toks in
+  let* (), toks = expect Rparen toks in
+  Ok (Connection.make ~kind ~source ~target ~source_attrs ~target_attrs, toks)
+
+let parse input =
+  let* toks = Sql_lexer.tokenize input in
+  let rec go schemas conns toks =
+    match peek toks with
+    | Eof -> Ok (List.rev schemas, List.rev conns)
+    | Semicolon -> go schemas conns (advance toks)
+    | Ident "relation" ->
+        let* s, toks = relation_decl (advance toks) in
+        let* (), toks = expect Semicolon toks in
+        go (s :: schemas) conns toks
+    | Ident "ownership" ->
+        let* c, toks = connection_decl Connection.Ownership (advance toks) in
+        let* (), toks = expect Semicolon toks in
+        go schemas (c :: conns) toks
+    | Ident "reference" ->
+        let* c, toks = connection_decl Connection.Reference (advance toks) in
+        let* (), toks = expect Semicolon toks in
+        go schemas (c :: conns) toks
+    | Ident "subset" ->
+        let* c, toks = connection_decl Connection.Subset (advance toks) in
+        let* (), toks = expect Semicolon toks in
+        go schemas (c :: conns) toks
+    | t -> err "relation, ownership, reference or subset" t
+  in
+  let* schemas, conns = go [] [] toks in
+  Schema_graph.make schemas conns
+
+let render g =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun rel ->
+      let s = Schema_graph.schema_exn g rel in
+      Buffer.add_string buf
+        (Fmt.str "relation %s (%s) key (%s);\n" rel
+           (String.concat ", "
+              (List.map
+                 (fun (a : Attribute.t) ->
+                   Fmt.str "%s %s" a.Attribute.name
+                     (Value.domain_name a.Attribute.domain))
+                 s.Schema.attributes))
+           (String.concat ", " (Schema.key_attributes s))))
+    (Schema_graph.relations g);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (c : Connection.t) ->
+      Buffer.add_string buf
+        (Fmt.str "%s %s %s on (%s ; %s);\n"
+           (Connection.kind_name c.Connection.kind)
+           c.Connection.source c.Connection.target
+           (String.concat ", " c.Connection.source_attrs)
+           (String.concat ", " c.Connection.target_attrs)))
+    (Schema_graph.connections g);
+  Buffer.contents buf

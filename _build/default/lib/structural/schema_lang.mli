@@ -1,0 +1,28 @@
+(** A textual language for structural schemas — relations plus typed
+    connections — so a whole database design can be declared without
+    writing OCaml:
+
+    {v
+    relation DEPARTMENT (dept_name string, building string, budget int)
+      key (dept_name);
+    relation COURSES (course_id string, title string, units int,
+      level string, dept_name string) key (course_id);
+    relation GRADES (course_id string, pid int, grade string)
+      key (course_id, pid);
+
+    reference COURSES DEPARTMENT on (dept_name ; dept_name);
+    ownership COURSES GRADES on (course_id ; course_id);
+    v}
+
+    Declarations end with [';']. Connection declarations read
+    [<kind> <source> <target> on (X1 ; X2)] with the Def. 2.1 attribute
+    lists comma-separated on each side. Line comments are not supported
+    (the tokenizer is shared with the SQL layer). *)
+
+val parse : string -> (Schema_graph.t, string) result
+(** Parse and validate a whole schema script (every connection is checked
+    against Defs. 2.2–2.4). *)
+
+val render : Schema_graph.t -> string
+(** Render a graph back to the language ([parse] of the result yields an
+    equal graph). *)

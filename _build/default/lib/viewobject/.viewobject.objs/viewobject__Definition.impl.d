@@ -1,0 +1,1 @@
+lib/viewobject/definition.ml: Buffer Connection Fmt List Option Relational Schema Schema_graph String Structural

@@ -1,0 +1,1 @@
+lib/viewobject/definition.mli: Format Schema_graph Structural

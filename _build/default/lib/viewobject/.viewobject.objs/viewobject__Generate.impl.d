@@ -1,0 +1,1 @@
+lib/viewobject/generate.ml: Definition Expansion Fmt List Metric Relational Schema Schema_graph Structural

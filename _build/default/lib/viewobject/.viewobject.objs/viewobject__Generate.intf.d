@@ -1,0 +1,1 @@
+lib/viewobject/generate.mli: Definition Expansion Metric Schema_graph Structural

@@ -1,0 +1,1 @@
+lib/viewobject/instance.ml: Buffer Definition Fmt List Relational String Structural Tuple Value

@@ -1,0 +1,1 @@
+lib/viewobject/instance.mli: Definition Format Relational Tuple

@@ -1,0 +1,1 @@
+lib/viewobject/instantiate.ml: Database Definition Fmt Instance List Predicate Relation Relational Result Schema Schema_graph Set Structural Tuple Value

@@ -1,0 +1,1 @@
+lib/viewobject/instantiate.mli: Database Definition Instance Predicate Relational Schema_graph Structural Tuple Value

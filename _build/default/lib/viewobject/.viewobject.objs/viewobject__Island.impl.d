@@ -1,0 +1,1 @@
+lib/viewobject/island.ml: Connection Definition List Schema_graph String Structural

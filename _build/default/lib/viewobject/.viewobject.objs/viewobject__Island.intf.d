@@ -1,0 +1,1 @@
+lib/viewobject/island.mli: Connection Definition Schema_graph Structural

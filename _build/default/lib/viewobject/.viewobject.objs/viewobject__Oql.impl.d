@@ -1,0 +1,1 @@
+lib/viewobject/oql.ml: Definition Fmt List Predicate Relational Result Sql Sql_lexer Sql_parser String Value Vo_query

@@ -1,0 +1,1 @@
+lib/viewobject/oql.mli: Database Definition Instance Predicate Relational Sql_lexer Value Vo_query

@@ -1,0 +1,1 @@
+lib/viewobject/vo_query.ml: Definition Fmt Instance Instantiate List Predicate Relational Tuple Value

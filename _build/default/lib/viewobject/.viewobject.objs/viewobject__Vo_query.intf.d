@@ -1,0 +1,1 @@
+lib/viewobject/vo_query.mli: Database Definition Format Instance Predicate Relational

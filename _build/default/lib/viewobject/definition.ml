@@ -1,0 +1,212 @@
+open Relational
+open Structural
+
+type node = {
+  label : string;
+  relation : string;
+  attrs : string list;
+  path : Schema_graph.edge list;
+  children : node list;
+}
+
+type t = {
+  name : string;
+  pivot : string;
+  root : node;
+}
+
+let node ~label ~relation ~attrs ~path ~children =
+  { label; relation; attrs; path; children }
+
+let rec preorder n = n :: List.concat_map preorder n.children
+
+let nodes vo = preorder vo.root
+
+let find vo label = List.find_opt (fun n -> n.label = label) (nodes vo)
+
+let find_exn vo label =
+  match find vo label with
+  | Some n -> n
+  | None -> invalid_arg (Fmt.str "view object %s: no node %s" vo.name label)
+
+let parent_of vo label =
+  let rec go parent n =
+    if n.label = label then Some parent
+    else List.find_map (go (Some n)) n.children
+  in
+  Option.join (go None vo.root)
+
+let complexity vo = List.length (nodes vo)
+
+let relations vo =
+  List.sort_uniq String.compare (List.map (fun n -> n.relation) (nodes vo))
+
+let inherited_attrs n =
+  match List.rev n.path with
+  | [] -> []
+  | last :: _ -> Schema_graph.edge_to_attrs last
+
+let to_ascii vo =
+  let buf = Buffer.create 256 in
+  let rec go indent n =
+    let tag =
+      match n.path with
+      | [] -> ""
+      | path ->
+          let step (e : Schema_graph.edge) =
+            Fmt.str "%s%s"
+              (if e.forward then "" else "inv ")
+              (Connection.kind_name e.conn.Connection.kind)
+          in
+          Fmt.str " via %s" (String.concat " . " (List.map step path))
+    in
+    Buffer.add_string buf
+      (Fmt.str "%s%s (%s)%s\n" indent n.label (String.concat ", " n.attrs) tag);
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  go "" vo.root;
+  Buffer.contents buf
+
+let pp ppf vo = Fmt.string ppf (to_ascii vo)
+
+let is_direct n = match n.path with [] | [ _ ] -> true | _ :: _ :: _ -> false
+
+let complement g n =
+  let key = Schema.key_attributes (Schema_graph.schema_exn g n.relation) in
+  let inherited = inherited_attrs n in
+  List.filter (fun k -> not (List.mem k inherited)) key
+
+let validate g ~name ~pivot ~root =
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  let all = preorder root in
+  let rec find_dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else find_dup rest
+  in
+  if name = "" then fail "view object: empty name"
+  else if root.relation <> pivot then
+    fail "view object %s: root relation %s is not the pivot %s" name
+      root.relation pivot
+  else if root.path <> [] then
+    fail "view object %s: root must not have an incoming path" name
+  else
+    match find_dup (List.map (fun n -> n.label) all) with
+    | Some l -> fail "view object %s: duplicate node label %s" name l
+    | None -> (
+        match
+          List.find_opt
+            (fun n -> n.label <> root.label && n.relation = pivot)
+            all
+        with
+        | Some n ->
+            fail
+              "view object %s: node %s duplicates the pivot relation %s \
+               (Def. 3.2 allows exactly one projection on the pivot)"
+              name n.label pivot
+        | None ->
+            let check_node n =
+              match Schema_graph.schema g n.relation with
+              | None -> fail "view object %s: unknown relation %s" name n.relation
+              | Some schema ->
+                  if n.attrs = [] then
+                    fail "view object %s: node %s has an empty projection" name
+                      n.label
+                  else (
+                    match
+                      List.find_opt (fun a -> not (Schema.mem schema a)) n.attrs
+                    with
+                    | Some a ->
+                        fail "view object %s: node %s projects unknown attribute %s"
+                          name n.label a
+                    | None ->
+                        if n.label = root.label then
+                          if
+                            List.for_all
+                              (fun k -> List.mem k n.attrs)
+                              (Schema.key_attributes schema)
+                          then Ok ()
+                          else
+                            fail
+                              "view object %s: pivot projection must contain \
+                               K(%s) (Def. 3.2)"
+                              name pivot
+                        else if n.path = [] then
+                          fail "view object %s: node %s lacks a connection path"
+                            name n.label
+                        else if not (is_direct n) then Ok ()
+                        else
+                          let key = Schema.key_attributes schema in
+                          let inherited = inherited_attrs n in
+                          if
+                            List.for_all
+                              (fun k ->
+                                List.mem k n.attrs || List.mem k inherited)
+                              key
+                          then Ok ()
+                          else
+                            fail
+                              "view object %s: node %s cannot recover K(%s) \
+                               from its projection and inherited attributes"
+                              name n.label n.relation)
+            in
+            let check_paths () =
+              let rec chain parent_rel = function
+                | [] -> Ok ()
+                | e :: rest ->
+                    if Schema_graph.edge_from e <> parent_rel then
+                      fail
+                        "view object %s: path edge %a does not start at %s"
+                        name Schema_graph.pp_edge e parent_rel
+                    else chain (Schema_graph.edge_to e) rest
+              in
+              let rec walk parent n =
+                let start =
+                  match parent with None -> n.relation | Some p -> p.relation
+                in
+                let this =
+                  match parent with
+                  | None -> Ok ()
+                  | Some _ -> (
+                      match chain start n.path with
+                      | Error _ as e -> e
+                      | Ok () ->
+                          let ends =
+                            match List.rev n.path with
+                            | [] -> n.relation
+                            | last :: _ -> Schema_graph.edge_to last
+                          in
+                          if ends = n.relation then Ok ()
+                          else
+                            fail
+                              "view object %s: path of node %s ends at %s, \
+                               not %s"
+                              name n.label ends n.relation)
+                in
+                match this with
+                | Error _ as e -> e
+                | Ok () ->
+                    List.fold_left
+                      (fun acc c ->
+                        match acc with Error _ -> acc | Ok () -> walk (Some n) c)
+                      (Ok ()) n.children
+              in
+              walk None root
+            in
+            List.fold_left
+              (fun acc n -> match acc with Error _ -> acc | Ok () -> check_node n)
+              (Ok ()) all
+            |> fun r ->
+            (match r with Error _ -> r | Ok () -> check_paths ()))
+
+let make g ~name ~pivot ~root =
+  match validate g ~name ~pivot ~root with
+  | Error _ as e -> e
+  | Ok () -> Ok { name; pivot; root }
+
+let make_exn g ~name ~pivot ~root =
+  match make g ~name ~pivot ~root with
+  | Ok vo -> vo
+  | Error e -> invalid_arg e
+
+let key_attributes g vo =
+  Schema.key_attributes (Schema_graph.schema_exn g vo.pivot)

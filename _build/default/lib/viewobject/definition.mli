@@ -1,0 +1,90 @@
+(** View-object definitions (Section 3, Defs. 3.1–3.2).
+
+    A view object ω is a set of projections on base relations arranged
+    into a tree rooted at the {e pivot relation}. Each tree node carries
+    the projection attributes selected for that relation (shown in
+    parentheses in Figure 2(c)). An edge of the tree is a {e path} of one
+    or more structural connections: after pruning, a kept node hangs off
+    its nearest kept ancestor, and the dropped intermediate relations
+    leave a multi-connection path (Figure 3: "the edge from COURSES to
+    STUDENT is ... a path of two connections ... since GRADES is not part
+    of ω′"). *)
+
+open Structural
+
+type node = {
+  label : string;  (** unique within the object; copies are [REL#k] *)
+  relation : string;
+  attrs : string list;  (** the projection πᵢ *)
+  path : Schema_graph.edge list;
+      (** connections from the parent node's relation to this relation;
+          empty exactly at the root *)
+  children : node list;
+}
+
+type t = private {
+  name : string;
+  pivot : string;
+  root : node;
+}
+
+val make :
+  Schema_graph.t -> name:string -> pivot:string -> root:node -> (t, string) result
+(** Validates the definition:
+    - the root is the unique node on the pivot relation and its
+      projection contains the whole pivot key (Def. 3.2);
+    - labels are unique, projections are non-empty subsets of their
+      relation's attributes;
+    - paths chain correctly (parent relation → ... → node relation) and
+      are non-empty except at the root;
+    - for every node attached by a single connection, the node's key is
+      recoverable: projection ∪ inherited connecting attributes covers
+      the relation's key (the accessibility property behind the paper's
+      Aⱼ key complements). Multi-connection nodes are instantiable but
+      rejected later by the update engine. *)
+
+val make_exn :
+  Schema_graph.t -> name:string -> pivot:string -> root:node -> t
+
+val node : label:string -> relation:string -> attrs:string list ->
+  path:Schema_graph.edge list -> children:node list -> node
+
+val complexity : t -> int
+(** Number of projections in the object (Def. 3.1). *)
+
+val nodes : t -> node list
+(** Pre-order. *)
+
+val find : t -> string -> node option
+(** Node by label. *)
+
+val find_exn : t -> string -> node
+
+val parent_of : t -> string -> node option
+(** Parent node of the labelled node ([None] at the root). *)
+
+val relations : t -> string list
+(** d(ω): the distinct relations of the object, sorted. *)
+
+val key_attributes : Schema_graph.t -> t -> string list
+(** K(ω) = K(pivot) (Def. 3.2). *)
+
+val inherited_attrs : node -> string list
+(** Attributes of the node's relation bound through the last connection
+    of its path (the child-side connecting attributes); empty at the
+    root. *)
+
+val complement : Schema_graph.t -> node -> string list
+(** Aⱼ: the node's key attributes minus the inherited ones — "the only
+    part of Rⱼ's key that is accessible at the level of Rⱼ"
+    (Section 5.3). For the root this is the whole pivot key. *)
+
+val is_direct : node -> bool
+(** True when the node is the root or is attached by exactly one
+    connection (update translation requires this). *)
+
+val to_ascii : t -> string
+(** Figure 2(c)-style rendering: tree with attribute lists in
+    parentheses. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+open Relational
+open Structural
+
+let relevant_subgraph metric g ~pivot =
+  Schema_graph.restrict g ~keep:(Metric.relevant_relations metric g ~pivot)
+
+let tree metric g ~pivot = Expansion.expand metric (relevant_subgraph metric g ~pivot) ~pivot
+
+let all_attrs g rel = Schema.attribute_names (Schema_graph.schema_exn g rel)
+
+let full metric g ~name ~pivot =
+  let t = tree metric g ~pivot in
+  let rec convert (n : Expansion.node) =
+    Definition.node ~label:n.Expansion.label ~relation:n.Expansion.relation
+      ~attrs:(all_attrs g n.Expansion.relation)
+      ~path:(match n.Expansion.via with None -> [] | Some e -> [ e ])
+      ~children:(List.map convert n.Expansion.children)
+  in
+  Definition.make g ~name ~pivot ~root:(convert t)
+
+let prune g t ~name ~keep =
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  let keep_labels = List.map fst keep in
+  let tree_labels = Expansion.labels t in
+  match
+    List.find_opt (fun l -> not (List.mem l tree_labels)) keep_labels
+  with
+  | Some l -> fail "prune: label %s is not in the expansion tree" l
+  | None ->
+      let attrs_for label rel =
+        match List.assoc_opt label keep with
+        | Some [] | None -> all_attrs g rel
+        | Some attrs -> attrs
+      in
+      let pivot_attrs =
+        let rel = t.Expansion.relation in
+        let chosen = attrs_for t.Expansion.label rel in
+        let key = Schema.key_attributes (Schema_graph.schema_exn g rel) in
+        chosen @ List.filter (fun k -> not (List.mem k chosen)) key
+      in
+      (* Walk T; kept nodes become definition nodes, dropped nodes pass
+         their accumulated connection path down to kept descendants. *)
+      let rec convert_children pending (n : Expansion.node) =
+        List.concat_map
+          (fun (c : Expansion.node) ->
+            let edge =
+              match c.Expansion.via with
+              | Some e -> e
+              | None -> assert false
+            in
+            let path = pending @ [ edge ] in
+            if List.mem c.Expansion.label keep_labels then
+              [ Definition.node ~label:c.Expansion.label
+                  ~relation:c.Expansion.relation
+                  ~attrs:(attrs_for c.Expansion.label c.Expansion.relation)
+                  ~path
+                  ~children:(convert_children [] c) ]
+            else convert_children path c)
+          n.Expansion.children
+      in
+      let root =
+        Definition.node ~label:t.Expansion.label ~relation:t.Expansion.relation
+          ~attrs:pivot_attrs ~path:[]
+          ~children:(convert_children [] t)
+      in
+      Definition.make g ~name ~pivot:t.Expansion.relation ~root

@@ -1,0 +1,36 @@
+(** View-object generation (Section 3, Figure 2).
+
+    The pipeline: given a pivot, the information metric isolates the
+    relevant subgraph G (Fig. 2a), G is expanded into the tree T of
+    possible configurations (Fig. 2b), and the definer prunes T — "once
+    the pivot relation has been determined, we have the choice to either
+    include in or exclude from ω every other relation in the tree"
+    (Fig. 2c). Pruning a kept node whose ancestors were dropped re-attaches
+    it to its nearest kept ancestor with the concatenated connection path
+    (Figure 3). *)
+
+open Structural
+
+val relevant_subgraph :
+  Metric.t -> Schema_graph.t -> pivot:string -> Schema_graph.t
+(** The Fig. 2a subgraph G. *)
+
+val tree : Metric.t -> Schema_graph.t -> pivot:string -> Expansion.node
+(** The Fig. 2b tree T (expansion of G from the pivot). *)
+
+val full :
+  Metric.t -> Schema_graph.t -> name:string -> pivot:string ->
+  (Definition.t, string) result
+(** Definition keeping every node of T, projecting all attributes. *)
+
+val prune :
+  Schema_graph.t ->
+  Expansion.node ->
+  name:string ->
+  keep:(string * string list) list ->
+  (Definition.t, string) result
+(** [prune g t ~name ~keep] builds a definition from T keeping exactly
+    the labelled nodes ([keep] maps tree label → projection attributes;
+    an empty attribute list means "all attributes"). The pivot (root
+    label) is always kept, with its key added to its projection if
+    omitted. Kept nodes re-attach to their nearest kept ancestor. *)

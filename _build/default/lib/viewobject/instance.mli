@@ -1,0 +1,47 @@
+(** View-object instances: hierarchical entities with atomic-valued,
+    tuple-valued, and set-valued attributes (Section 3, Figure 4).
+
+    An instance mirrors the shape of its {!Definition.t}: one tuple per
+    node, and for every child node a {e set} of sub-instances (possibly
+    empty, and a singleton for n:1 or subset children). *)
+
+open Relational
+
+type t = {
+  label : string;  (** node label in the definition *)
+  relation : string;
+  tuple : Tuple.t;  (** bound projection attributes *)
+  children : (string * t list) list;
+      (** keyed by child node label, in definition order *)
+}
+
+val make :
+  label:string -> relation:string -> tuple:Tuple.t ->
+  children:(string * t list) list -> t
+
+val leaf : label:string -> relation:string -> Tuple.t -> t
+
+val children_of : t -> string -> t list
+(** Sub-instances under the given child label ([[]] when absent). *)
+
+val with_children : t -> string -> t list -> t
+(** Replace the sub-instances under one child label. *)
+
+val with_tuple : t -> Tuple.t -> t
+
+val flatten : t -> (string * Tuple.t) list
+(** Pre-order (label, tuple) pairs — one entry per node occurrence. *)
+
+val count_nodes : t -> int
+
+val conforms : Definition.t -> t -> (unit, string) result
+(** Shape check: labels and relations match the definition, every bound
+    attribute belongs to the node's projection, and singleton cardinality
+    holds where the last connection is n:1 or 1:[0,1] walked forward. *)
+
+val equal : t -> t -> bool
+
+val to_ascii : t -> string
+(** Figure 4-style nested rendering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+open Structural
+
+let edge_is_dependency (e : Schema_graph.edge) =
+  e.forward
+  &&
+  match e.conn.Connection.kind with
+  | Connection.Ownership | Connection.Subset -> true
+  | Connection.Reference -> false
+
+let island_nodes (vo : Definition.t) =
+  let rec go (n : Definition.node) =
+    (* The root has an empty path; children qualify when their entire
+       connecting path is dependency-only. *)
+    n
+    :: List.concat_map
+         (fun (c : Definition.node) ->
+           if List.for_all edge_is_dependency c.path then go c else [])
+         n.children
+  in
+  go vo.root
+
+let island_labels vo =
+  List.map (fun (n : Definition.node) -> n.label) (island_nodes vo)
+
+let island_relations vo =
+  List.sort_uniq String.compare
+    (List.map (fun (n : Definition.node) -> n.relation) (island_nodes vo))
+
+let in_island vo label = List.mem label (island_labels vo)
+
+let peninsulas g vo =
+  let island_rels = island_relations vo in
+  let object_rels = Definition.relations vo in
+  let candidates =
+    List.concat_map
+      (fun rel ->
+        List.filter_map
+          (fun (c : Connection.t) ->
+            if
+              c.kind = Connection.Reference
+              && List.mem c.target island_rels
+              && not (List.mem c.source island_rels)
+            then Some (rel, c)
+            else None)
+          (Schema_graph.outgoing g rel))
+      object_rels
+  in
+  List.sort_uniq
+    (fun (r1, c1) (r2, c2) ->
+      match String.compare r1 r2 with
+      | 0 -> String.compare (Connection.id c1) (Connection.id c2)
+      | c -> c)
+    candidates
+
+let peninsula_relations g vo =
+  List.sort_uniq String.compare (List.map fst (peninsulas g vo))
+
+let outside_labels vo =
+  let inside = island_labels vo in
+  List.filter_map
+    (fun (n : Definition.node) ->
+      if List.mem n.label inside then None else Some n.label)
+    (Definition.nodes vo)

@@ -1,0 +1,36 @@
+(** Dependency islands and referencing peninsulas (Defs. 5.1–5.2).
+
+    The {e dependency island} D(ω) is the maximal subtree of the tree of
+    projections rooted at the pivot such that every directed path from
+    the pivot consists exclusively of (forward) ownership and subset
+    connections. All its relations "belong to the same entity" and update
+    operations have consistent repercussions throughout it.
+
+    A {e referencing peninsula} is a relation of d(ω) directly connected
+    to an island relation by a reference connection pointing {e into} the
+    island; referential integrity obliges the translators to fix its
+    tuples up when island tuples disappear or change keys. *)
+
+open Structural
+
+val island_labels : Definition.t -> string list
+(** Labels of the island nodes, pre-order (the pivot's label first). A
+    node is in the island when every edge on its full path from the root
+    is a forward ownership or subset connection. *)
+
+val island_relations : Definition.t -> string list
+(** Distinct relations of the island, sorted. *)
+
+val in_island : Definition.t -> string -> bool
+(** Membership by node label. *)
+
+val peninsulas : Schema_graph.t -> Definition.t -> (string * Connection.t) list
+(** Referencing peninsulas: pairs (relation of d(ω), reference connection
+    from it into an island relation), deduplicated, sorted by relation
+    name. Connections already realized as a tree edge of the island are
+    not peninsulas (they would be ownership/subset by construction). *)
+
+val peninsula_relations : Schema_graph.t -> Definition.t -> string list
+
+val outside_labels : Definition.t -> string list
+(** Labels of object nodes outside the island, pre-order. *)

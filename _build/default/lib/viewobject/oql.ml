@@ -1,0 +1,191 @@
+open Relational
+open Sql_lexer
+
+let ( let* ) = Result.bind
+
+(* --- name resolution ------------------------------------------------- *)
+
+(* Split a (possibly dotted) identifier into node label and attribute.
+   Labels never contain '.', so the first dot separates them. *)
+let split_ref s =
+  match String.index_opt s '.' with
+  | Some i ->
+      Some (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1)
+  | None -> None, s
+
+let resolve_node (vo : Definition.t) label =
+  match Definition.find vo label with
+  | Some n -> Ok n
+  | None ->
+      Error
+        (Fmt.str "no node %s in view object %s (nodes: %s)" label
+           vo.Definition.name
+           (String.concat ", "
+              (List.map (fun (n : Definition.node) -> n.Definition.label)
+                 (Definition.nodes vo))))
+
+let resolve_attr (vo : Definition.t) = function
+  | Some label, attr ->
+      let* node = resolve_node vo label in
+      if List.mem attr node.Definition.attrs then Ok (node.Definition.label, attr)
+      else
+        Error
+          (Fmt.str "node %s does not project attribute %s" label attr)
+  | None, attr -> (
+      let holders =
+        List.filter
+          (fun (n : Definition.node) -> List.mem attr n.Definition.attrs)
+          (Definition.nodes vo)
+      in
+      match holders with
+      | [ n ] -> Ok (n.Definition.label, attr)
+      | [] -> Error (Fmt.str "no node of the object projects attribute %s" attr)
+      | _ ->
+          Error
+            (Fmt.str "attribute %s is ambiguous; qualify it with a node label"
+               attr))
+
+(* --- parsing --------------------------------------------------------- *)
+
+type 'a parser_result = ('a * token list, string) result
+
+let err expected got : 'a parser_result =
+  Error (Fmt.str "query parse error: expected %s, got %a" expected pp_token got)
+
+let peek = function [] -> Eof | t :: _ -> t
+let advance = function [] -> [] | _ :: rest -> rest
+
+let expect tok toks : unit parser_result =
+  if equal_token (peek toks) tok then Ok ((), advance toks)
+  else err (Fmt.str "%a" pp_token tok) (peek toks)
+
+let comparison_of_op = function
+  | "=" -> Some Predicate.Eq
+  | "<>" -> Some Predicate.Neq
+  | "<" -> Some Predicate.Lt
+  | "<=" -> Some Predicate.Leq
+  | ">" -> Some Predicate.Gt
+  | ">=" -> Some Predicate.Geq
+  | _ -> None
+
+let literal toks : (Value.t * token list, string) result =
+  match peek toks with
+  | Int_lit i -> Ok (Value.Int i, advance toks)
+  | Float_lit f -> Ok (Value.Float f, advance toks)
+  | Str_lit s -> Ok (Value.Str s, advance toks)
+  | Kw "null" -> Ok (Value.Null, advance toks)
+  | Kw "true" -> Ok (Value.Bool true, advance toks)
+  | Kw "false" -> Ok (Value.Bool false, advance toks)
+  | t -> err "literal" t
+
+(* Node-scoped predicate inside [...]: a full SQL-grammar condition
+   (comparisons, arithmetic, is-null, and/or/not) whose bare attribute
+   names must belong to the node's projection. *)
+let node_pred (node : Definition.node) toks : Predicate.t parser_result =
+  let* c, toks = Sql_parser.condition_tokens toks in
+  let resolve a =
+    if List.mem a node.Definition.attrs then Ok a
+    else
+      Error
+        (Fmt.str "node %s does not project attribute %s" node.Definition.label a)
+  in
+  let* p = Sql.compile_condition ~resolve c in
+  Ok (p, toks)
+
+(* Top-level condition over the object. *)
+let rec condition vo toks : Vo_query.condition parser_result = cond_or vo toks
+
+and cond_or vo toks =
+  let* l, toks = cond_and vo toks in
+  if equal_token (peek toks) (Kw "or") then
+    let* r, toks = cond_or vo (advance toks) in
+    Ok (Vo_query.C_or (l, r), toks)
+  else Ok (l, toks)
+
+and cond_and vo toks =
+  let* l, toks = cond_unary vo toks in
+  if equal_token (peek toks) (Kw "and") then
+    let* r, toks = cond_and vo (advance toks) in
+    Ok (Vo_query.C_and (l, r), toks)
+  else Ok (l, toks)
+
+and cond_unary vo toks =
+  match peek toks with
+  | Kw "not" ->
+      let* c, toks = cond_unary vo (advance toks) in
+      Ok (Vo_query.C_not c, toks)
+  | Lparen ->
+      let* c, toks = condition vo (advance toks) in
+      let* (), toks = expect Rparen toks in
+      Ok (c, toks)
+  | Kw "true" -> Ok (Vo_query.C_true, advance toks)
+  | Ident name when String.lowercase_ascii name = "count"
+                    && equal_token (peek (advance toks)) Lparen -> (
+      let toks = advance (advance toks) in
+      match peek toks with
+      | Ident label -> (
+          let* node = resolve_node vo label in
+          let* (), toks = expect Rparen (advance toks) in
+          match peek toks with
+          | Op o -> (
+              match comparison_of_op o with
+              | Some cmp -> (
+                  match peek (advance toks) with
+                  | Int_lit n ->
+                      Ok
+                        ( Vo_query.C_count (node.Definition.label, cmp, n),
+                          advance (advance toks) )
+                  | t -> err "integer" t)
+              | None -> err "comparison operator" (peek toks))
+          | t -> err "comparison operator" t)
+      | t -> err "node label" t)
+  | Ident name -> (
+      (* Either a node-scoped block label[...] or an attribute ref. *)
+      let toks' = advance toks in
+      match peek toks' with
+      | Lbracket ->
+          let* node = resolve_node vo name in
+          let* p, toks' = node_pred node (advance toks') in
+          let* (), toks' = expect Rbracket toks' in
+          Ok (Vo_query.C_node (node.Definition.label, p), toks')
+      | _ -> (
+          let* label, attr =
+            resolve_attr vo (split_ref name)
+          in
+          match peek toks' with
+          | Kw "is" -> (
+              let toks' = advance toks' in
+              match peek toks' with
+              | Kw "not" ->
+                  let* (), toks' = expect (Kw "null") (advance toks') in
+                  Ok (Vo_query.C_node (label, Predicate.Not_null attr), toks')
+              | Kw "null" ->
+                  Ok
+                    ( Vo_query.C_node (label, Predicate.Is_null attr),
+                      advance toks' )
+              | t -> err "null or not null" t)
+          | Op o -> (
+              match comparison_of_op o with
+              | Some cmp ->
+                  let* v, toks' = literal (advance toks') in
+                  Ok (Vo_query.C_node (label, Predicate.Cmp (attr, cmp, v)), toks')
+              | None -> err "comparison operator" (peek toks'))
+          | t -> err "comparison, is-null or '['" t))
+  | t -> err "condition" t
+
+let parse vo input =
+  let* toks = Sql_lexer.tokenize input in
+  if equal_token (peek toks) Eof then Ok Vo_query.C_true
+  else
+    let* c, toks = condition vo toks in
+    match peek toks with
+    | Eof -> Ok c
+    | t -> Result.map fst (err "end of query" t)
+
+let run db vo input =
+  let* c = parse vo input in
+  Ok (Vo_query.run db vo c)
+
+let condition_tokens = condition
+let node_pred_tokens = node_pred
+let literal_tokens = literal

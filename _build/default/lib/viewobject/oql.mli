@@ -1,0 +1,64 @@
+(** A textual, declarative query language on view objects — the surface
+    syntax for the query model of Section 3 ("a query language that
+    supports ad-hoc, declarative queries on view objects").
+
+    Queries are boolean conditions over one view object's instances:
+
+    {v
+    level = 'grad' and count(STUDENT#2) < 5          -- Figure 4
+    GRADES[grade = 'A' and pid = 1]                  -- node-scoped block
+    DEPARTMENT.building = 'Gates' or not CURRICULUM.degree = 'MS CS'
+    v}
+
+    - [label.attr CMP literal] / [label.attr IS [NOT] NULL] constrain a
+      node: satisfied when {e some} tuple of that node satisfies the
+      comparison (set-valued children are existentially quantified).
+    - A bare [attr] resolves to the unique node projecting it (error if
+      ambiguous).
+    - [label[ ... ]] scopes a whole predicate to a {e single} tuple of
+      the node — [GRADES[grade = 'A' and pid = 1]] requires one grades
+      tuple satisfying both, whereas
+      [GRADES.grade = 'A' and GRADES.pid = 1] is satisfied by two
+      different tuples.
+    - [count(label) CMP n] constrains the number of sub-instances.
+    - [and], [or], [not], parentheses; [true] is the empty condition.
+
+    Comparison operators: [=], [<>], [<], [<=], [>], [>=]. Literals:
+    integers, floats, single-quoted strings, [true], [false], [null]
+    (comparisons against [null] follow {!Relational.Predicate.eval}:
+    always false — use [IS NULL]). *)
+
+open Relational
+
+val parse : Definition.t -> string -> (Vo_query.condition, string) result
+(** Parse and resolve a query against the given object definition:
+    labels must be nodes of the object and attributes must belong to the
+    node's projection. *)
+
+val run :
+  Database.t -> Definition.t -> string -> (Instance.t list, string) result
+(** [parse] followed by {!Vo_query.run}. *)
+
+(** {1 Token-level entry points}
+
+    Used by the update language ({!Penguin.Upql}), which embeds OQL
+    conditions and node-scoped predicate blocks in its statements. *)
+
+val condition_tokens :
+  Definition.t -> Sql_lexer.token list ->
+  (Vo_query.condition * Sql_lexer.token list, string) result
+
+val node_pred_tokens :
+  Definition.node -> Sql_lexer.token list ->
+  (Predicate.t * Sql_lexer.token list, string) result
+
+val literal_tokens :
+  Sql_lexer.token list -> (Value.t * Sql_lexer.token list, string) result
+
+val resolve_attr :
+  Definition.t -> string option * string -> (string * string, string) result
+(** Resolve an optionally-qualified attribute reference to
+    (node label, attribute). *)
+
+val split_ref : string -> string option * string
+(** Split a dotted identifier into (node label, attribute). *)

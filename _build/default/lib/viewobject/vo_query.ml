@@ -1,0 +1,61 @@
+open Relational
+
+type condition =
+  | C_true
+  | C_node of string * Predicate.t
+  | C_count of string * Predicate.comparison * int
+  | C_and of condition * condition
+  | C_or of condition * condition
+  | C_not of condition
+
+let rec nodes_with_label (i : Instance.t) label =
+  let here = if i.Instance.label = label then [ i ] else [] in
+  here
+  @ List.concat_map
+      (fun (_, cs) -> List.concat_map (fun c -> nodes_with_label c label) cs)
+      i.Instance.children
+
+let count_instances i label = List.length (nodes_with_label i label)
+
+let compare_count cmp n target =
+  Predicate.eval
+    (Predicate.Cmp ("n", cmp, Value.Int target))
+    (Tuple.make [ "n", Value.Int n ])
+
+let rec holds c i =
+  match c with
+  | C_true -> true
+  | C_node (label, p) ->
+      List.exists
+        (fun (n : Instance.t) -> Predicate.eval p n.Instance.tuple)
+        (nodes_with_label i label)
+  | C_count (label, cmp, target) ->
+      compare_count cmp (count_instances i label) target
+  | C_and (a, b) -> holds a i && holds b i
+  | C_or (a, b) -> holds a i || holds b i
+  | C_not a -> not (holds a i)
+
+(* Pivot predicates in positive conjunctive position can be evaluated on
+   the pivot tuple before the instance is assembled. *)
+let pushdown (vo : Definition.t) c =
+  let pivot_label = vo.root.Definition.label in
+  let rec go = function
+    | C_node (label, p) when label = pivot_label -> p
+    | C_and (a, b) -> Predicate.( &&& ) (go a) (go b)
+    | C_true | C_node _ | C_count _ | C_or _ | C_not _ -> Predicate.True
+  in
+  go c
+
+let run db vo c =
+  let where = pushdown vo c in
+  let candidates = Instantiate.instantiate ~where db vo in
+  List.filter (holds c) candidates
+
+let rec pp_condition ppf = function
+  | C_true -> Fmt.string ppf "true"
+  | C_node (l, p) -> Fmt.pf ppf "%s[%a]" l Predicate.pp p
+  | C_count (l, cmp, n) ->
+      Fmt.pf ppf "count(%s) %a %d" l Predicate.pp_comparison cmp n
+  | C_and (a, b) -> Fmt.pf ppf "(%a and %a)" pp_condition a pp_condition b
+  | C_or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_condition a pp_condition b
+  | C_not a -> Fmt.pf ppf "(not %a)" pp_condition a

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Attribute Database List Predicate Relational Result Schema Test_util Tuple Value

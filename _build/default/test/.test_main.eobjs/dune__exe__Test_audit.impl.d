@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Astring_contains List Penguin Structural Translator_spec Vo_core

@@ -1,0 +1,1 @@
+test/test_connection.ml: Alcotest Attribute Connection List Relational Schema Structural Test_util

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Attribute Csv List Option QCheck Relation Relational Schema Test_util Tuple Value

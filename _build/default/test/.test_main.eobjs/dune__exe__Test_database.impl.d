@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Attribute Database List Op Option Relation Relational Result Schema Test_util Transaction Tuple

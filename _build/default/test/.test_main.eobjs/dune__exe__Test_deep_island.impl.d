@@ -1,0 +1,1 @@
+test/test_deep_island.ml: Alcotest Database Instance Integrity List Op Penguin Relation Relational Structural Test_util Transaction Tuple Value Viewobject Vo_core

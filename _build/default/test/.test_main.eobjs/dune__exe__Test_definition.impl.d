@@ -1,0 +1,1 @@
+test/test_definition.ml: Alcotest Astring_contains Connection Definition List Option Penguin Schema_graph Structural Test_util Viewobject

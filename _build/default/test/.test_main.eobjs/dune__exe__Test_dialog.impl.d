@@ -1,0 +1,1 @@
+test/test_dialog.ml: Alcotest Astring_contains Connection Dialog Filename Fmt Integrity List Penguin Schema_graph String Structural Sys Translator_spec Vo_core

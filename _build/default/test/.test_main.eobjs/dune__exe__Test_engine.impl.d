@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Astring_contains Database Instance Instantiate Integrity List Op Penguin Relation Relational Result Structural Test_util Tuple Value Viewobject Vo_core

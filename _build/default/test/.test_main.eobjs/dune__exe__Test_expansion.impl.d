@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Astring_contains Expansion Fmt List Metric Option Penguin Structural Viewobject

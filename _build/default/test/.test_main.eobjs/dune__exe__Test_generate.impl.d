@@ -1,0 +1,1 @@
+test/test_generate.ml: Alcotest Definition Fmt Generate List Metric Penguin Relational Schema Schema_graph Structural Test_util Viewobject

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Attribute Database Fmt List Penguin QCheck Relation Relational Result Schema Test_util Tuple Value Viewobject Vo_core

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Astring_contains Instance List Penguin Relational Request Test_util Tuple Viewobject Vo_core

@@ -1,0 +1,1 @@
+test/test_instantiate.ml: Alcotest Instance Instantiate List Penguin Predicate Relational Test_util Tuple Viewobject

@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Astring_contains Connection Database Integrity List Op Option Penguin Relation Relational Sql String Structural Test_util Transaction Tuple

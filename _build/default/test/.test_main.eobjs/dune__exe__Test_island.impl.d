@@ -1,0 +1,1 @@
+test/test_island.ml: Alcotest Connection Island List Penguin Structural Viewobject

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Astring_contains Instance Instantiate Penguin Relational String Test_util Value Viewobject

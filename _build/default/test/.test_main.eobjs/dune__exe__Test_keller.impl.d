@@ -1,0 +1,1 @@
+test/test_keller.ml: Alcotest Algebra Astring_contains Database Keller List Op Option Predicate Relation Relational Sql String Test_util Tuple

@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Connection List Metric Penguin Schema_graph Structural

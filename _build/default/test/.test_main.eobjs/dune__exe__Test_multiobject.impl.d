@@ -1,0 +1,1 @@
+test/test_multiobject.ml: Alcotest Astring_contains Definition Instance List Penguin Relational Test_util Tuple Value Viewobject Vo_core

@@ -1,0 +1,1 @@
+test/test_oql.ml: Alcotest Fmt Instance List Oql Penguin Relational String Test_util Tuple Value Viewobject

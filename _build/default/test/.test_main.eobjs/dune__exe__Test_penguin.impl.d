@@ -1,0 +1,1 @@
+test/test_penguin.ml: Alcotest Algebra Astring_contains Database Definition Instance List Penguin Predicate Relation Relational Sql String Test_util Tuple Viewobject Vo_core Vo_query

@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest List Predicate Relational String Test_util Value

@@ -1,0 +1,1 @@
+test/test_properties.ml: Database Fmt Instance Instantiate Integrity List Op Penguin Predicate QCheck Relation Relational Result String Structural Test_util Transaction Tuple Value Viewobject Vo_core

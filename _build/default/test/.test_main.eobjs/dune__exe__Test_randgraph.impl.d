@@ -1,0 +1,1 @@
+test/test_randgraph.ml: Array Attribute Connection Definition Dump Expansion Fmt Generate Island List Metric Penguin QCheck Relational Result Schema Schema_graph Structural Test_util Viewobject

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Attribute Fmt List Option Predicate QCheck Relation Relational Result Schema Test_util Tuple Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Attribute Option Relational Schema Test_util Value

@@ -1,0 +1,1 @@
+test/test_schema_graph.ml: Alcotest Astring_contains Connection List Penguin Relational Schema_graph Structural Test_util

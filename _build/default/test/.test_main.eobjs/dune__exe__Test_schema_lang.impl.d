@@ -1,0 +1,1 @@
+test/test_schema_lang.ml: Alcotest Connection List Metric Penguin Relational Schema_graph Schema_lang String Structural Test_util Viewobject

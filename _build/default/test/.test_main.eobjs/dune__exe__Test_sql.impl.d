@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Algebra Astring_contains Database List Option Relation Relational Sql Sql_lexer Sql_parser Test_util Tuple Value

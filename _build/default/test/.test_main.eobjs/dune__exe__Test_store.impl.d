@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Database Definition Filename Fmt Instance List Penguin Relational Sexp Sys Test_util Value Viewobject Vo_core

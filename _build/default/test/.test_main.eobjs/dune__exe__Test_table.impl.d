@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Algebra Astring_contains Attribute Database Relation Relational Schema String Table Test_util

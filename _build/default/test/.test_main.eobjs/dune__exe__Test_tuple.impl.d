@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Attribute Fmt List Option QCheck Relational Schema Test_util Tuple Value

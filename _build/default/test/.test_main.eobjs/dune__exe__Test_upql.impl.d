@@ -1,0 +1,1 @@
+test/test_upql.ml: Alcotest Astring_contains Database Fmt List Option Penguin Relation Relational String Test_util Tuple Vo_core

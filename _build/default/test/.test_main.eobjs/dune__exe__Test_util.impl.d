@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Astring_contains Op QCheck_alcotest Relational Transaction Tuple Value Vo_core

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Fmt List Option QCheck Relational Test_util Value

@@ -1,0 +1,1 @@
+test/test_vo_cd.ml: Alcotest Astring_contains Database Fmt Instance Integrity List Op Penguin Relation Relational Result Structural Test_util Transaction Tuple Viewobject Vo_core

@@ -1,0 +1,1 @@
+test/test_vo_ci.ml: Alcotest Database Instance Integrity List Op Option Penguin Relation Relational Structural Test_util Transaction Tuple Viewobject Vo_core

@@ -1,0 +1,1 @@
+test/test_vo_query.ml: Alcotest Fmt Instance Instantiate List Penguin Predicate Relational String Test_util Tuple Value Viewobject Vo_query

@@ -1,0 +1,1 @@
+test/test_vo_r.ml: Alcotest Instance Integrity List Op Penguin Relational Structural Test_util Transaction Tuple Value Viewobject Vo_core

@@ -1,0 +1,260 @@
+open Relational
+open Test_util
+
+let db =
+  let s_r =
+    Schema.make_exn ~name:"R"
+      ~attributes:[ Attribute.int "id"; Attribute.str "v"; Attribute.int "w" ]
+      ~key:[ "id" ]
+  in
+  let s_s =
+    Schema.make_exn ~name:"S"
+      ~attributes:[ Attribute.int "sid"; Attribute.int "rid"; Attribute.str "tag" ]
+      ~key:[ "sid" ]
+  in
+  let s_t =
+    Schema.make_exn ~name:"T"
+      ~attributes:[ Attribute.int "id"; Attribute.str "v"; Attribute.int "w" ]
+      ~key:[ "id" ]
+  in
+  let db = Database.empty in
+  let db = Database.create_relation_exn db s_r in
+  let db = Database.create_relation_exn db s_s in
+  let db = Database.create_relation_exn db s_t in
+  let ins db rel l = check_ok (Result.map_error Database.error_to_string (Database.insert db rel (tuple l))) in
+  let db = ins db "R" [ "id", vi 1; "v", vs "a"; "w", vi 10 ] in
+  let db = ins db "R" [ "id", vi 2; "v", vs "b"; "w", vi 20 ] in
+  let db = ins db "R" [ "id", vi 3; "v", vs "a"; "w", vi 30 ] in
+  let db = ins db "S" [ "sid", vi 1; "rid", vi 1; "tag", vs "x" ] in
+  let db = ins db "S" [ "sid", vi 2; "rid", vi 1; "tag", vs "y" ] in
+  let db = ins db "S" [ "sid", vi 3; "rid", vi 3; "tag", vs "z" ] in
+  let db = ins db "T" [ "id", vi 3; "v", vs "a"; "w", vi 30 ] in
+  let db = ins db "T" [ "id", vi 4; "v", vs "d"; "w", vi 40 ] in
+  db
+
+let eval e = check_ok (Algebra.eval db e)
+
+let test_base () =
+  let rs = eval (Algebra.Base "R") in
+  Alcotest.(check int) "rows" 3 (Algebra.cardinality rs);
+  Alcotest.(check (list string)) "attrs" [ "id"; "v"; "w" ] rs.Algebra.attrs;
+  ignore (check_err (Algebra.eval db (Algebra.Base "NOPE")))
+
+let test_select () =
+  let rs = eval (Algebra.select (Predicate.eq_str "v" "a") (Algebra.Base "R")) in
+  Alcotest.(check int) "two a's" 2 (Algebra.cardinality rs);
+  check_err_contains ~sub:"unknown attribute"
+    (Algebra.eval db (Algebra.select (Predicate.eq_int "zz" 0) (Algebra.Base "R")))
+
+let test_project () =
+  let rs = eval (Algebra.project [ "v" ] (Algebra.Base "R")) in
+  Alcotest.(check int) "dedup" 2 (Algebra.cardinality rs);
+  Alcotest.(check (list string)) "attrs" [ "v" ] rs.Algebra.attrs;
+  check_err_contains ~sub:"unknown attribute"
+    (Algebra.eval db (Algebra.project [ "zz" ] (Algebra.Base "R")))
+
+let test_rename_qualify () =
+  let rs = eval (Algebra.Rename ([ "id", "rid2" ], Algebra.Base "R")) in
+  Alcotest.(check (list string)) "renamed" [ "rid2"; "v"; "w" ] rs.Algebra.attrs;
+  let q = eval (Algebra.qualify "r" (Algebra.Base "R")) in
+  Alcotest.(check (list string)) "qualified" [ "r.id"; "r.v"; "r.w" ]
+    q.Algebra.attrs
+
+let test_product_collision () =
+  check_err_contains ~sub:"collision"
+    (Algebra.eval db (Algebra.Product (Algebra.Base "R", Algebra.Base "T")));
+  let ok =
+    eval
+      (Algebra.Product
+         (Algebra.qualify "r" (Algebra.Base "R"), Algebra.qualify "t" (Algebra.Base "T")))
+  in
+  Alcotest.(check int) "3x2" 6 (Algebra.cardinality ok)
+
+let test_join () =
+  let rs =
+    eval
+      (Algebra.join [ "r.id", "s.rid" ]
+         (Algebra.qualify "r" (Algebra.Base "R"))
+         (Algebra.qualify "s" (Algebra.Base "S")))
+  in
+  Alcotest.(check int) "joined" 3 (Algebra.cardinality rs)
+
+let test_natural_join () =
+  let rs = eval (Algebra.Natural_join (Algebra.Base "R", Algebra.Base "T")) in
+  Alcotest.(check int) "one shared row" 1 (Algebra.cardinality rs);
+  Alcotest.(check (list string)) "attrs merged" [ "id"; "v"; "w" ]
+    rs.Algebra.attrs
+
+let test_union_diff_intersect () =
+  let u = eval (Algebra.Union (Algebra.Base "R", Algebra.Base "T")) in
+  Alcotest.(check int) "union" 4 (Algebra.cardinality u);
+  let d = eval (Algebra.Diff (Algebra.Base "R", Algebra.Base "T")) in
+  Alcotest.(check int) "diff" 2 (Algebra.cardinality d);
+  let i = eval (Algebra.Intersect (Algebra.Base "R", Algebra.Base "T")) in
+  Alcotest.(check int) "intersect" 1 (Algebra.cardinality i);
+  check_err_contains ~sub:"differ"
+    (Algebra.eval db (Algebra.Union (Algebra.Base "R", Algebra.Base "S")))
+
+let test_attributes_of () =
+  Alcotest.(check (list string)) "attrs of join expr"
+    [ "id"; "v"; "w"; "sid"; "rid"; "tag" ]
+    (check_ok
+       (Algebra.attributes_of db
+          (Algebra.Join ([ "id", "rid" ], Algebra.Base "R", Algebra.Base "S"))))
+
+let test_select_idempotent () =
+  let p = Predicate.eq_str "v" "a" in
+  let once = eval (Algebra.select p (Algebra.Base "R")) in
+  let twice = eval (Algebra.select p (Algebra.select p (Algebra.Base "R"))) in
+  Alcotest.(check int) "same cardinality" (Algebra.cardinality once)
+    (Algebra.cardinality twice)
+
+let test_group_basic () =
+  let rs =
+    eval
+      (Algebra.Group
+         ( [ "v" ],
+           [ Algebra.count_all "n"; Algebra.agg Algebra.Sum "w" ~output:"total" ],
+           Algebra.Base "R" ))
+  in
+  Alcotest.(check (list string)) "attrs" [ "v"; "n"; "total" ] rs.Algebra.attrs;
+  Alcotest.(check int) "two groups" 2 (Algebra.cardinality rs);
+  let row_a =
+    List.find (fun t -> Tuple.get t "v" = vs "a") rs.Algebra.rows
+  in
+  Alcotest.check value_testable "count a" (vi 2) (Tuple.get row_a "n");
+  Alcotest.check value_testable "sum a" (vi 40) (Tuple.get row_a "total")
+
+let test_group_global () =
+  let rs =
+    eval
+      (Algebra.Group
+         ( [],
+           [ Algebra.count_all "n"; Algebra.agg Algebra.Avg "w" ~output:"avg_w";
+             Algebra.agg Algebra.Min "w" ~output:"lo";
+             Algebra.agg Algebra.Max "w" ~output:"hi" ],
+           Algebra.Base "R" ))
+  in
+  (match rs.Algebra.rows with
+  | [ row ] ->
+      Alcotest.check value_testable "count" (vi 3) (Tuple.get row "n");
+      Alcotest.check value_testable "avg" (vf 20.) (Tuple.get row "avg_w");
+      Alcotest.check value_testable "min" (vi 10) (Tuple.get row "lo");
+      Alcotest.check value_testable "max" (vi 30) (Tuple.get row "hi")
+  | _ -> Alcotest.fail "expected one global row");
+  (* global aggregate over an empty selection still yields one row *)
+  let rs0 =
+    eval
+      (Algebra.Group
+         ( [],
+           [ Algebra.count_all "n"; Algebra.agg Algebra.Sum "w" ~output:"s" ],
+           Algebra.select Predicate.False (Algebra.Base "R") ))
+  in
+  (match rs0.Algebra.rows with
+  | [ row ] ->
+      Alcotest.check value_testable "count 0" (vi 0) (Tuple.get row "n");
+      Alcotest.check value_testable "sum null" Value.Null (Tuple.get row "s")
+  | _ -> Alcotest.fail "expected one row for the empty global group")
+
+let test_group_count_attr_ignores_nulls () =
+  (* count(attr) only counts non-null values. *)
+  let db' =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.insert db "R" (tuple [ "id", vi 9 ])))
+  in
+  let rs =
+    check_ok
+      (Algebra.eval db'
+         (Algebra.Group
+            ( [],
+              [ Algebra.count_all "rows";
+                Algebra.agg Algebra.Count "v" ~output:"vs" ],
+              Algebra.Base "R" )))
+  in
+  let row = List.hd rs.Algebra.rows in
+  Alcotest.check value_testable "rows" (vi 4) (Tuple.get row "rows");
+  Alcotest.check value_testable "non-null vs" (vi 3) (Tuple.get row "vs")
+
+let test_group_errors () =
+  check_err_contains ~sub:"unknown key"
+    (Algebra.eval db (Algebra.Group ([ "zz" ], [ Algebra.count_all "n" ], Algebra.Base "R")));
+  check_err_contains ~sub:"unknown aggregate attribute"
+    (Algebra.eval db
+       (Algebra.Group ([], [ Algebra.agg Algebra.Sum "zz" ~output:"s" ], Algebra.Base "R")));
+  check_err_contains ~sub:"duplicate output"
+    (Algebra.eval db
+       (Algebra.Group ([ "v" ], [ Algebra.count_all "v" ], Algebra.Base "R")));
+  check_err_contains ~sub:"non-numeric"
+    (Algebra.eval db
+       (Algebra.Group ([], [ Algebra.agg Algebra.Sum "v" ~output:"s" ], Algebra.Base "R")))
+
+let test_sum_mixed_numeric () =
+  (* ints and floats mix; the result becomes a float *)
+  let s =
+    Schema.make_exn ~name:"M"
+      ~attributes:[ Attribute.int "id"; Attribute.float "x" ]
+      ~key:[ "id" ]
+  in
+  let db' = Database.create_relation_exn db s in
+  let db' =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.insert db' "M" (tuple [ "id", vi 1; "x", vf 1.5 ])))
+  in
+  let rs =
+    check_ok
+      (Algebra.eval db'
+         (Algebra.Group ([], [ Algebra.agg Algebra.Sum "x" ~output:"s" ], Algebra.Base "M")))
+  in
+  Alcotest.check value_testable "float sum" (vf 1.5)
+    (Tuple.get (List.hd rs.Algebra.rows) "s")
+
+let test_order_take () =
+  let rs = eval (Algebra.Order ([ "w", false ], Algebra.Base "R")) in
+  Alcotest.(check (list int)) "descending"
+    [ 30; 20; 10 ]
+    (List.map
+       (fun t -> match Tuple.get t "w" with Value.Int i -> i | _ -> -1)
+       rs.Algebra.rows);
+  let rs2 =
+    eval (Algebra.Order ([ "v", true; "w", false ], Algebra.Base "R"))
+  in
+  Alcotest.(check (list int)) "two keys"
+    [ 30; 10; 20 ]
+    (List.map
+       (fun t -> match Tuple.get t "w" with Value.Int i -> i | _ -> -1)
+       rs2.Algebra.rows);
+  let rs3 = eval (Algebra.Take (2, Algebra.Order ([ "w", true ], Algebra.Base "R"))) in
+  Alcotest.(check int) "limited" 2 (Algebra.cardinality rs3);
+  check_err_contains ~sub:"unknown attribute"
+    (Algebra.eval db (Algebra.Order ([ "zz", true ], Algebra.Base "R")));
+  check_err_contains ~sub:"negative"
+    (Algebra.eval db (Algebra.Take (-1, Algebra.Base "R")))
+
+let test_union_commutative () =
+  let a = eval (Algebra.Union (Algebra.Base "R", Algebra.Base "T")) in
+  let b = eval (Algebra.Union (Algebra.Base "T", Algebra.Base "R")) in
+  Alcotest.(check int) "cardinalities agree" (Algebra.cardinality a)
+    (Algebra.cardinality b)
+
+let suite =
+  [
+    Alcotest.test_case "base" `Quick test_base;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "project dedups" `Quick test_project;
+    Alcotest.test_case "rename/qualify" `Quick test_rename_qualify;
+    Alcotest.test_case "product collision" `Quick test_product_collision;
+    Alcotest.test_case "equijoin" `Quick test_join;
+    Alcotest.test_case "natural join" `Quick test_natural_join;
+    Alcotest.test_case "union/diff/intersect" `Quick test_union_diff_intersect;
+    Alcotest.test_case "attributes_of" `Quick test_attributes_of;
+    Alcotest.test_case "select idempotent" `Quick test_select_idempotent;
+    Alcotest.test_case "union commutative" `Quick test_union_commutative;
+    Alcotest.test_case "group basic" `Quick test_group_basic;
+    Alcotest.test_case "group global" `Quick test_group_global;
+    Alcotest.test_case "count attr ignores nulls" `Quick test_group_count_attr_ignores_nulls;
+    Alcotest.test_case "group errors" `Quick test_group_errors;
+    Alcotest.test_case "sum mixed numeric" `Quick test_sum_mixed_numeric;
+    Alcotest.test_case "order/take" `Quick test_order_take;
+  ]

@@ -1,0 +1,102 @@
+open Vo_core
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+
+let audit spec = Translator_spec.audit g omega spec
+
+let contains_finding subs findings =
+  List.exists
+    (fun f -> List.for_all (fun sub -> Astring_contains.contains ~sub f) subs)
+    findings
+
+let test_paper_translator_clean () =
+  Alcotest.(check (list string)) "no findings"
+    []
+    (audit Penguin.University.omega_translator)
+
+let test_restrictive_department_flagged () =
+  let findings = audit Penguin.University.omega_translator_restrictive in
+  Alcotest.(check bool) "department frozen" true
+    (contains_finding [ "DEPARTMENT"; "frozen" ] findings)
+
+let test_forbidden_keys_flagged () =
+  let spec =
+    Translator_spec.with_island_key Penguin.University.omega_translator
+      "GRADES" Translator_spec.forbid_key_changes
+  in
+  Alcotest.(check bool) "grades key lockout" true
+    (contains_finding [ "GRADES"; "key" ] (audit spec))
+
+let test_restrict_reference_flagged () =
+  let spec =
+    { Penguin.University.omega_translator with
+      Translator_spec.reference_actions = [];
+      default_reference_action = Structural.Integrity.Restrict }
+  in
+  Alcotest.(check bool) "curriculum restricts deletions" true
+    (contains_finding [ "CURRICULUM"; "Restrict" ] (audit spec))
+
+let test_impossible_nullify_flagged () =
+  let conn =
+    List.find
+      (fun (c : Structural.Connection.t) ->
+        c.Structural.Connection.source = "CURRICULUM")
+      (Structural.Schema_graph.connections g)
+  in
+  let spec =
+    Translator_spec.with_reference_action Penguin.University.omega_translator
+      conn Structural.Integrity.Nullify
+  in
+  Alcotest.(check bool) "nullify on key attrs impossible" true
+    (contains_finding [ "Nullify"; "never succeed" ] (audit spec))
+
+let test_multi_hop_flagged () =
+  let spec =
+    Translator_spec.permissive ~object_name:"omega_prime"
+  in
+  let findings =
+    Translator_spec.audit g Penguin.University.omega_prime spec
+  in
+  Alcotest.(check bool) "query-only nodes reported" true
+    (contains_finding [ "multi-connection"; "query-only" ] findings)
+
+let test_default_permissive_flags_island_keys () =
+  (* the permissive constructor leaves island key policies at their
+     deny-all default: audit surfaces that *)
+  let spec = Translator_spec.permissive ~object_name:"omega" in
+  let findings = audit spec in
+  Alcotest.(check bool) "courses flagged" true
+    (contains_finding [ "COURSES"; "key policy" ] findings);
+  Alcotest.(check bool) "grades flagged" true
+    (contains_finding [ "GRADES"; "key policy" ] findings)
+
+let test_no_replacement_silences_key_findings () =
+  let spec =
+    { (Translator_spec.permissive ~object_name:"omega") with
+      Translator_spec.allow_replacement = false }
+  in
+  Alcotest.(check bool) "no key findings without replacement" true
+    (not (contains_finding [ "key policy" ] (audit spec)))
+
+let test_fixture_translators_clean () =
+  Alcotest.(check (list string)) "hospital translator clean" []
+    (Translator_spec.audit Penguin.Hospital.graph
+       Penguin.Hospital.patient_record Penguin.Hospital.record_translator
+    |> List.filter (fun f -> not (Astring_contains.contains ~sub:"frozen" f)));
+  Alcotest.(check (list string)) "cad translator clean" []
+    (Translator_spec.audit Penguin.Cad.graph Penguin.Cad.assembly_object
+       Penguin.Cad.assembly_translator)
+
+let suite =
+  [
+    Alcotest.test_case "paper translator clean" `Quick test_paper_translator_clean;
+    Alcotest.test_case "restrictive department flagged" `Quick test_restrictive_department_flagged;
+    Alcotest.test_case "forbidden keys flagged" `Quick test_forbidden_keys_flagged;
+    Alcotest.test_case "restrict reference flagged" `Quick test_restrict_reference_flagged;
+    Alcotest.test_case "impossible nullify flagged" `Quick test_impossible_nullify_flagged;
+    Alcotest.test_case "multi-hop flagged" `Quick test_multi_hop_flagged;
+    Alcotest.test_case "permissive default flags island keys" `Quick test_default_permissive_flags_island_keys;
+    Alcotest.test_case "no replacement silences" `Quick test_no_replacement_silences_key_findings;
+    Alcotest.test_case "fixture translators" `Quick test_fixture_translators_clean;
+  ]

@@ -1,0 +1,134 @@
+open Relational
+open Structural
+open Test_util
+
+let owner =
+  Schema.make_exn ~name:"OWNER"
+    ~attributes:[ Attribute.int "oid"; Attribute.str "nm" ]
+    ~key:[ "oid" ]
+
+let owned =
+  Schema.make_exn ~name:"OWNED"
+    ~attributes:[ Attribute.int "oid"; Attribute.int "seq"; Attribute.str "x" ]
+    ~key:[ "oid"; "seq" ]
+
+let refd =
+  Schema.make_exn ~name:"REFD"
+    ~attributes:[ Attribute.int "rid"; Attribute.str "y" ]
+    ~key:[ "rid" ]
+
+(* Single-attribute key, for the proper-subset test. *)
+let owned_flat =
+  Schema.make_exn ~name:"OWNED_FLAT"
+    ~attributes:[ Attribute.int "oid"; Attribute.str "x" ]
+    ~key:[ "oid" ]
+
+(* Source with an int key attribute and an int nonkey attribute, and a
+   target with a composite int key — for the straddling-X1 test. *)
+let src =
+  Schema.make_exn ~name:"SRC"
+    ~attributes:[ Attribute.int "k1"; Attribute.int "n1"; Attribute.str "n2" ]
+    ~key:[ "k1" ]
+
+let tgt2 =
+  Schema.make_exn ~name:"TGT2"
+    ~attributes:[ Attribute.int "t1"; Attribute.int "t2" ]
+    ~key:[ "t1"; "t2" ]
+
+let schema_of name =
+  List.find_opt
+    (fun s -> s.Schema.name = name)
+    [ owner; owned; refd; owned_flat; src; tgt2 ]
+
+let validate c = Connection.validate ~schema_of c
+
+let test_ownership_ok () =
+  check_ok
+    (validate (Connection.ownership "OWNER" "OWNED" ~on:([ "oid" ], [ "oid" ])))
+
+let test_ownership_x1_must_be_key () =
+  check_err_contains ~sub:"X1 must equal K"
+    (validate (Connection.ownership "OWNER" "OWNED" ~on:([ "nm" ], [ "x" ])))
+
+let test_ownership_x2_proper_subset () =
+  (* X2 equal to the whole key of the owned relation is not a proper
+     subset: such a connection is a subset connection, not ownership. *)
+  check_err_contains ~sub:"proper subset"
+    (validate (Connection.ownership "OWNER" "OWNED_FLAT" ~on:([ "oid" ], [ "oid" ])));
+  (* ... and arity must match anyway *)
+  check_err_contains ~sub:"arities"
+    (validate (Connection.ownership "OWNER" "OWNED" ~on:([ "oid" ], [ "oid"; "seq" ])))
+
+let test_reference_ok_nk () =
+  (* X1 within NK(OWNED) referencing REFD's key: need an int NK attr. *)
+  check_ok
+    (validate
+       (Connection.reference "OWNER" "REFD" ~on:([ "oid" ], [ "rid" ])))
+  (* oid is the key of OWNER: X1 within K(R1) is allowed too *)
+
+let test_reference_x1_mixed_rejected () =
+  (* X1 straddling key and nonkey of SRC is rejected. *)
+  check_err_contains ~sub:"X1 must lie within"
+    (validate
+       (Connection.reference "SRC" "TGT2" ~on:([ "k1"; "n1" ], [ "t1"; "t2" ])))
+
+let test_reference_x2_must_be_key () =
+  check_err_contains ~sub:"X2 must equal K"
+    (validate (Connection.reference "OWNER" "REFD" ~on:([ "nm" ], [ "y" ])))
+
+let test_subset_ok () =
+  check_ok
+    (validate (Connection.subset "OWNER" "REFD" ~on:([ "oid" ], [ "rid" ])))
+
+let test_subset_keys () =
+  (* n1 is an int nonkey attribute: domains agree, but X1 <> K(SRC). *)
+  check_err_contains ~sub:"X1 must equal K"
+    (validate (Connection.subset "SRC" "REFD" ~on:([ "n1" ], [ "rid" ])))
+
+let test_unknown_endpoints () =
+  check_err_contains ~sub:"unknown source"
+    (validate (Connection.ownership "GHOST" "OWNED" ~on:([ "a" ], [ "b" ])));
+  check_err_contains ~sub:"unknown target"
+    (validate (Connection.ownership "OWNER" "GHOST" ~on:([ "oid" ], [ "b" ])))
+
+let test_unknown_attrs_and_domains () =
+  check_err_contains ~sub:"has no attribute"
+    (validate (Connection.ownership "OWNER" "OWNED" ~on:([ "zz" ], [ "oid" ])));
+  check_err_contains ~sub:"domain mismatch"
+    (validate (Connection.reference "OWNER" "REFD" ~on:([ "nm" ], [ "rid" ])))
+
+let test_empty_attrs () =
+  check_err_contains ~sub:"empty attribute"
+    (validate (Connection.ownership "OWNER" "OWNED" ~on:([], [])))
+
+let test_connected () =
+  let c = Connection.ownership "OWNER" "OWNED" ~on:([ "oid" ], [ "oid" ]) in
+  Alcotest.(check bool) "connected" true
+    (Connection.connected c (tuple [ "oid", vi 1 ]) (tuple [ "oid", vi 1; "seq", vi 2 ]));
+  Alcotest.(check bool) "not connected" false
+    (Connection.connected c (tuple [ "oid", vi 1 ]) (tuple [ "oid", vi 2 ]))
+
+let test_meta () =
+  Alcotest.(check string) "cardinality own" "1:n" (Connection.cardinality Connection.Ownership);
+  Alcotest.(check string) "cardinality ref" "n:1" (Connection.cardinality Connection.Reference);
+  Alcotest.(check string) "cardinality sub" "1:[0,1]" (Connection.cardinality Connection.Subset);
+  Alcotest.(check string) "symbol" "--*" (Connection.symbol Connection.Ownership);
+  let c = Connection.subset "OWNER" "REFD" ~on:([ "oid" ], [ "rid" ]) in
+  Alcotest.(check bool) "id stable" true (Connection.equal c c)
+
+let suite =
+  [
+    Alcotest.test_case "ownership ok" `Quick test_ownership_ok;
+    Alcotest.test_case "ownership X1=K" `Quick test_ownership_x1_must_be_key;
+    Alcotest.test_case "ownership X2 proper subset" `Quick test_ownership_x2_proper_subset;
+    Alcotest.test_case "reference ok" `Quick test_reference_ok_nk;
+    Alcotest.test_case "reference X1 within K or NK" `Quick test_reference_x1_mixed_rejected;
+    Alcotest.test_case "reference X2=K" `Quick test_reference_x2_must_be_key;
+    Alcotest.test_case "subset ok" `Quick test_subset_ok;
+    Alcotest.test_case "subset keys" `Quick test_subset_keys;
+    Alcotest.test_case "unknown endpoints" `Quick test_unknown_endpoints;
+    Alcotest.test_case "unknown attrs/domains" `Quick test_unknown_attrs_and_domains;
+    Alcotest.test_case "empty attrs" `Quick test_empty_attrs;
+    Alcotest.test_case "tuple connection" `Quick test_connected;
+    Alcotest.test_case "metadata" `Quick test_meta;
+  ]

@@ -1,0 +1,90 @@
+open Relational
+open Test_util
+
+let schema =
+  Schema.make_exn ~name:"R"
+    ~attributes:[ Attribute.int "id"; Attribute.str "txt"; Attribute.float "x" ]
+    ~key:[ "id" ]
+
+let test_parse_line () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ] (Csv.parse_line "a,b,c");
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ]
+    (Csv.parse_line "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "say \"hi\"" ]
+    (Csv.parse_line "\"say \"\"hi\"\"\"");
+  Alcotest.(check (list string)) "empty cells" [ ""; ""; "" ] (Csv.parse_line ",,");
+  Alcotest.(check (list string)) "single" [ "x" ] (Csv.parse_line "x")
+
+let test_load () =
+  let doc = "id,txt,x\n1,hello,1.5\n2,\"a,b\",2.5\n3,null,null\n" in
+  let r = check_ok (Csv.load schema doc) in
+  Alcotest.(check int) "three rows" 3 (Relation.cardinality r);
+  let t3 = Option.get (Relation.lookup r [ vi 3 ]) in
+  Alcotest.check value_testable "null cell" Value.Null (Tuple.get t3 "x");
+  let t2 = Option.get (Relation.lookup r [ vi 2 ]) in
+  Alcotest.check value_testable "quoted" (vs "a,b") (Tuple.get t2 "txt")
+
+let test_load_column_order_free () =
+  let doc = "x,id,txt\n9.0,7,seven\n" in
+  let r = check_ok (Csv.load schema doc) in
+  Alcotest.check value_testable "mapped" (vs "seven")
+    (Tuple.get (Option.get (Relation.lookup r [ vi 7 ])) "txt")
+
+let test_load_errors () =
+  check_err_contains ~sub:"empty" (Csv.load schema "");
+  check_err_contains ~sub:"unknown column" (Csv.load schema "id,txt,x,zz\n");
+  check_err_contains ~sub:"missing column" (Csv.load schema "id,txt\n");
+  check_err_contains ~sub:"expected 3 cells" (Csv.load schema "id,txt,x\n1,a\n");
+  check_err_contains ~sub:"not an int" (Csv.load schema "id,txt,x\nseven,a,1.0\n")
+
+let test_dump_roundtrip () =
+  let r =
+    Relation.of_list_exn schema
+      [
+        tuple [ "id", vi 1; "txt", vs "plain"; "x", vf 0.5 ];
+        tuple [ "id", vi 2; "txt", vs "with,comma"; "x", Value.Null ];
+        tuple [ "id", vi 3; "txt", vs "q\"uote"; "x", vf 2.0 ];
+        tuple [ "id", vi 4; "txt", vs "null"; "x", vf 1.0 ];
+      ]
+  in
+  let doc = Csv.dump r in
+  let r' = check_ok (Csv.load schema doc) in
+  Alcotest.(check bool) "roundtrip" true (Relation.equal r r')
+
+let prop_roundtrip =
+  let cell_gen =
+    QCheck.Gen.(
+      oneof
+        [ return Value.Null;
+          map (fun s -> Value.Str s)
+            (string_size (int_bound 6)
+               ~gen:(oneofl [ 'a'; 'b'; ','; '"'; ' '; 'n' ])) ])
+  in
+  let row_gen i =
+    QCheck.Gen.map
+      (fun (s, x) -> tuple [ "id", vi i; "txt", s; "x", x ])
+      QCheck.Gen.(pair cell_gen (oneof [ return Value.Null; map (fun f -> vf f) (float_bound_inclusive 100.) ]))
+  in
+  let rel_gen =
+    QCheck.Gen.(
+      int_bound 10 >>= (fun n ->
+          map
+            (fun rows -> Relation.of_list_exn schema rows)
+            (flatten_l (List.init n row_gen))))
+  in
+  QCheck.Test.make ~name:"csv dump/load roundtrip" ~count:100
+    (QCheck.make rel_gen)
+    (fun r ->
+      match Csv.load schema (Csv.dump r) with
+      | Ok r' -> Relation.equal r r'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse_line" `Quick test_parse_line;
+    Alcotest.test_case "load" `Quick test_load;
+    Alcotest.test_case "column order free" `Quick test_load_column_order_free;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "dump roundtrip" `Quick test_dump_roundtrip;
+    qtest prop_roundtrip;
+  ]

@@ -1,0 +1,116 @@
+open Relational
+open Test_util
+
+let schema_r =
+  Schema.make_exn ~name:"R"
+    ~attributes:[ Attribute.int "id"; Attribute.str "v" ]
+    ~key:[ "id" ]
+
+let db0 =
+  let db = Database.create_relation_exn Database.empty schema_r in
+  check_ok
+    (Result.map_error Database.error_to_string
+       (Database.insert db "R" (tuple [ "id", vi 1; "v", vs "a" ])))
+
+let test_create_drop () =
+  (match Database.create_relation db0 schema_r with
+  | Error (Database.Relation_exists "R") -> ()
+  | _ -> Alcotest.fail "expected Relation_exists");
+  let db = check_ok (Result.map_error Database.error_to_string (Database.drop_relation db0 "R")) in
+  Alcotest.(check bool) "dropped" false (Database.mem_relation db "R");
+  match Database.drop_relation db "R" with
+  | Error (Database.Unknown_relation _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_relation"
+
+let test_relation_access () =
+  Alcotest.(check (list string)) "names" [ "R" ] (Database.relation_names db0);
+  Alcotest.(check int) "total" 1 (Database.total_tuples db0);
+  (match Database.relation db0 "X" with
+  | Error (Database.Unknown_relation "X") -> ()
+  | _ -> Alcotest.fail "expected Unknown_relation");
+  let s = check_ok (Result.map_error Database.error_to_string (Database.schema_of db0 "R")) in
+  Alcotest.(check string) "schema name" "R" s.Schema.name
+
+let test_ops () =
+  let db =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.apply db0 (Op.Insert ("R", tuple [ "id", vi 2; "v", vs "b" ]))))
+  in
+  let db =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.apply db (Op.Replace ("R", [ vi 2 ], tuple [ "id", vi 2; "v", vs "B" ]))))
+  in
+  let db =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.apply db (Op.Delete ("R", [ vi 1 ]))))
+  in
+  Alcotest.(check int) "one row" 1 (Database.total_tuples db);
+  Alcotest.check value_testable "replaced" (vs "B")
+    (Tuple.get (Option.get (Relation.lookup (Database.relation_exn db "R") [ vi 2 ])) "v")
+
+let test_apply_all_failure_reports_op () =
+  let ops =
+    [ Op.Insert ("R", tuple [ "id", vi 2 ]); Op.Insert ("R", tuple [ "id", vi 2 ]) ]
+  in
+  match Database.apply_all db0 ops with
+  | Error (_, op) ->
+      Alcotest.check op_testable "offending op" (List.nth ops 1) op
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_persistence () =
+  let _db' =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.insert db0 "R" (tuple [ "id", vi 99 ])))
+  in
+  (* db0 unchanged *)
+  Alcotest.(check int) "original intact" 1 (Database.total_tuples db0)
+
+let test_transaction_commit () =
+  match
+    Transaction.run db0
+      [ Op.Insert ("R", tuple [ "id", vi 5 ]); Op.Insert ("R", tuple [ "id", vi 6 ]) ]
+  with
+  | Transaction.Committed db -> Alcotest.(check int) "3 rows" 3 (Database.total_tuples db)
+  | Transaction.Rolled_back _ -> Alcotest.fail "expected commit"
+
+let test_transaction_rollback_atomic () =
+  match
+    Transaction.run db0
+      [ Op.Insert ("R", tuple [ "id", vi 5 ]); Op.Insert ("R", tuple [ "id", vi 1 ]) ]
+  with
+  | Transaction.Rolled_back { failed_op = Some op; _ } ->
+      Alcotest.(check string) "failed op rel" "R" (Op.relation op);
+      (* nothing leaked: db0 still has one tuple *)
+      Alcotest.(check int) "atomic" 1 (Database.total_tuples db0)
+  | _ -> Alcotest.fail "expected rollback"
+
+let test_reject () =
+  match Transaction.reject "policy says no" with
+  | Transaction.Rolled_back { reason; failed_op = None } ->
+      Alcotest.(check string) "reason" "policy says no" reason
+  | _ -> Alcotest.fail "expected rollback"
+
+let test_run_result () =
+  (match Transaction.run_result db0 [] with
+  | Ok db -> Alcotest.(check int) "no-op txn" 1 (Database.total_tuples db)
+  | Error _ -> Alcotest.fail "no-op should commit");
+  match Transaction.run_result db0 [ Op.Delete ("R", [ vi 42 ]) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let suite =
+  [
+    Alcotest.test_case "create/drop" `Quick test_create_drop;
+    Alcotest.test_case "relation access" `Quick test_relation_access;
+    Alcotest.test_case "op application" `Quick test_ops;
+    Alcotest.test_case "apply_all failure" `Quick test_apply_all_failure_reports_op;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "transaction commit" `Quick test_transaction_commit;
+    Alcotest.test_case "transaction rollback atomic" `Quick test_transaction_rollback_atomic;
+    Alcotest.test_case "reject" `Quick test_reject;
+    Alcotest.test_case "run_result" `Quick test_run_result;
+  ]

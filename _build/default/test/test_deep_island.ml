@@ -1,0 +1,137 @@
+(* Key replacements deep inside multi-level dependency islands: renaming
+   a VISIT re-keys its ORDERS, which re-keys their RESULTs — the Aj
+   complements propagate down the whole ownership chain (Section 5.3's
+   "a change to Aj has to be propagated down to Rj's children in the
+   dependency island"). *)
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+let g = Penguin.Hospital.graph
+let pr = Penguin.Hospital.patient_record
+let spec = Penguin.Hospital.record_translator
+let db () = Penguin.Hospital.seeded_db ()
+let record d mrn = Penguin.Hospital.patient_instance d mrn
+
+let test_rename_visit_rekeys_subtree () =
+  let d = db () in
+  let old_i = record d 7001 in
+  let new_i =
+    check_ok
+      (Vo_core.Request.modify_component old_i ~label:Penguin.Hospital.visit_label
+         ~at:(tuple [ "visit_no", vi 1 ])
+         ~f:(fun t -> Tuple.set t "visit_no" (vi 9)))
+  in
+  let ops =
+    check_ok
+      (Vo_core.Vo_r.translate g d pr spec ~old_instance:old_i ~new_instance:new_i)
+  in
+  let replaces rel =
+    List.filter (fun o -> Op.is_replace o && Op.relation o = rel) ops
+  in
+  Alcotest.(check int) "visit re-keyed" 1 (List.length (replaces "VISIT"));
+  Alcotest.(check int) "orders re-keyed" 2 (List.length (replaces "ORDERS"));
+  Alcotest.(check int) "results re-keyed" 2 (List.length (replaces "RESULT"));
+  (match replaces "RESULT" with
+  | Op.Replace (_, [ mrn; old_visit; _; _ ], t) :: _ ->
+      Alcotest.check value_testable "old key visit 1" (vi 1) old_visit;
+      Alcotest.check value_testable "same patient" (vi 7001) mrn;
+      Alcotest.check value_testable "new inherited visit" (vi 9)
+        (Tuple.get t "visit_no")
+  | _ -> Alcotest.fail "no result replace");
+  let d' = check_ok (Transaction.run_result d ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check g d'));
+  (* untouched visit 2 chain survives under its old key *)
+  Alcotest.(check bool) "visit 2 untouched" true
+    (Relation.mem_key (Database.relation_exn d' "ORDERS") [ vi 7001; vi 2; vi 1 ])
+
+let test_rename_patient_rekeys_everything () =
+  let d = db () in
+  let old_i = record d 7001 in
+  let new_i =
+    Instance.with_tuple old_i (Tuple.set old_i.Instance.tuple "mrn" (vi 8888))
+  in
+  let outcome =
+    Vo_core.Engine.apply g d pr spec (Vo_core.Request.replace ~old_instance:old_i ~new_instance:new_i)
+  in
+  let d' = committed_db outcome in
+  Alcotest.(check int) "no tuples lost"
+    (Database.total_tuples d) (Database.total_tuples d');
+  Alcotest.(check int) "all visits moved" 2
+    (List.length
+       (Relation.lookup_eq (Database.relation_exn d' "VISIT") [ "mrn", vi 8888 ]));
+  Alcotest.(check int) "all orders moved" 3
+    (List.length
+       (Relation.lookup_eq (Database.relation_exn d' "ORDERS") [ "mrn", vi 8888 ]));
+  Alcotest.(check int) "all results moved" 2
+    (List.length
+       (Relation.lookup_eq (Database.relation_exn d' "RESULT") [ "mrn", vi 8888 ]));
+  (* the appointments referencing the old mrn were rewritten by the
+     structural fix-ups (nonkey reference) *)
+  Alcotest.(check int) "appointments follow" 2
+    (List.length
+       (Relation.lookup_eq
+          (Database.relation_exn d' "APPOINTMENT")
+          [ "mrn", vi 8888 ]));
+  check_ok (Vo_core.Global_validation.check_consistency g d')
+
+let test_rename_denied_when_key_locked () =
+  let d = db () in
+  let locked =
+    Vo_core.Translator_spec.with_island_key spec "VISIT"
+      Vo_core.Translator_spec.forbid_key_changes
+  in
+  let old_i = record d 7001 in
+  let new_i =
+    check_ok
+      (Vo_core.Request.modify_component old_i ~label:Penguin.Hospital.visit_label
+         ~at:(tuple [ "visit_no", vi 1 ])
+         ~f:(fun t -> Tuple.set t "visit_no" (vi 9)))
+  in
+  check_err_contains ~sub:"may not be modified"
+    (Vo_core.Vo_r.translate g d pr locked ~old_instance:old_i ~new_instance:new_i)
+
+let test_cad_component_part_swap () =
+  (* island nonkey change referencing catalog data: R-2 on COMPONENT,
+     nothing on PART *)
+  let cg = Penguin.Cad.graph in
+  let cd = Penguin.Cad.seeded_db () in
+  let a1 = Penguin.Cad.assembly_instance cd "A1" in
+  let new_i =
+    check_ok
+      (Vo_core.Request.modify_component a1 ~label:"COMPONENT"
+         ~at:(tuple [ "comp_no", vi 2 ])
+         ~f:(fun t -> Tuple.set t "part_no" (vs "PN-300")))
+  in
+  (* the stale PART child under component 2 still says PN-200; the walk
+     trusts the parent's reference and the downward propagation rewrites
+     the child's inherited key *)
+  let ops =
+    check_ok
+      (Vo_core.Vo_r.translate cg cd Penguin.Cad.assembly_object
+         Penguin.Cad.assembly_translator ~old_instance:a1 ~new_instance:new_i)
+  in
+  Alcotest.(check bool) "component rewired" true
+    (List.exists
+       (fun o ->
+         match o with
+         | Op.Replace ("COMPONENT", [ _; c ], t) ->
+             Value.equal c (vi 2)
+             && Value.equal (Tuple.get t "part_no") (vs "PN-300")
+         | _ -> false)
+       ops);
+  let cd' = check_ok (Transaction.run_result cd ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check cg cd'))
+
+let suite =
+  [
+    Alcotest.test_case "rename visit re-keys subtree" `Quick
+      test_rename_visit_rekeys_subtree;
+    Alcotest.test_case "rename patient re-keys everything" `Quick
+      test_rename_patient_rekeys_everything;
+    Alcotest.test_case "key lock deep in the island" `Quick
+      test_rename_denied_when_key_locked;
+    Alcotest.test_case "cad component part swap" `Quick
+      test_cad_component_part_swap;
+  ]

@@ -1,0 +1,168 @@
+open Structural
+open Viewobject
+open Test_util
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+
+let edge source target forward =
+  let conn =
+    List.find
+      (fun (c : Connection.t) ->
+        c.Connection.source = source && c.Connection.target = target)
+      (Schema_graph.connections g)
+  in
+  { Schema_graph.conn; forward }
+
+let own_grades = edge "COURSES" "GRADES" true
+let ref_dept = edge "COURSES" "DEPARTMENT" true
+let inv_curriculum = { (edge "CURRICULUM" "COURSES" true) with Schema_graph.forward = false }
+
+let simple_root children =
+  Definition.node ~label:"COURSES" ~relation:"COURSES"
+    ~attrs:[ "course_id"; "title" ] ~path:[] ~children
+
+let make root = Definition.make g ~name:"t" ~pivot:"COURSES" ~root
+
+let test_omega_shape () =
+  Alcotest.(check int) "complexity 5" 5 (Definition.complexity omega);
+  Alcotest.(check (list string)) "relations d(omega)"
+    [ "COURSES"; "CURRICULUM"; "DEPARTMENT"; "GRADES"; "STUDENT" ]
+    (Definition.relations omega);
+  Alcotest.(check (list string)) "K(omega) = K(COURSES)" [ "course_id" ]
+    (Definition.key_attributes g omega);
+  let labels = List.map (fun (n : Definition.node) -> n.Definition.label) (Definition.nodes omega) in
+  Alcotest.(check (list string)) "pre-order"
+    [ "COURSES"; "DEPARTMENT"; "GRADES"; "STUDENT#2"; "CURRICULUM" ] labels
+
+let test_find_parent () =
+  let student = Option.get (Definition.find omega "STUDENT#2") in
+  Alcotest.(check string) "relation" "STUDENT" student.Definition.relation;
+  let parent = Option.get (Definition.parent_of omega "STUDENT#2") in
+  Alcotest.(check string) "parent" "GRADES" parent.Definition.label;
+  Alcotest.(check bool) "root has no parent" true
+    (Definition.parent_of omega "COURSES" = None);
+  Alcotest.(check bool) "find missing" true (Definition.find omega "GHOST" = None)
+
+let test_inherited_complement () =
+  let grades = Definition.find_exn omega "GRADES" in
+  Alcotest.(check (list string)) "inherited" [ "course_id" ]
+    (Definition.inherited_attrs grades);
+  Alcotest.(check (list string)) "A_j" [ "pid" ] (Definition.complement g grades);
+  let root = Definition.find_exn omega "COURSES" in
+  Alcotest.(check (list string)) "root complement is full key" [ "course_id" ]
+    (Definition.complement g root);
+  let curriculum = Definition.find_exn omega "CURRICULUM" in
+  Alcotest.(check (list string)) "curriculum A_j" [ "degree" ]
+    (Definition.complement g curriculum)
+
+let test_pivot_key_required () =
+  let root =
+    Definition.node ~label:"COURSES" ~relation:"COURSES" ~attrs:[ "title" ]
+      ~path:[] ~children:[]
+  in
+  check_err_contains ~sub:"pivot projection must contain" (make root)
+
+let test_root_must_be_pivot () =
+  let root =
+    Definition.node ~label:"GRADES" ~relation:"GRADES"
+      ~attrs:[ "course_id"; "pid" ] ~path:[] ~children:[]
+  in
+  check_err_contains ~sub:"is not the pivot" (make root)
+
+let test_duplicate_labels () =
+  let child l =
+    Definition.node ~label:l ~relation:"GRADES" ~attrs:[ "pid"; "grade" ]
+      ~path:[ own_grades ] ~children:[]
+  in
+  check_err_contains ~sub:"duplicate node label"
+    (make (simple_root [ child "X"; child "X" ]))
+
+let test_single_pivot_projection () =
+  (* A non-root node on the pivot relation violates Def. 3.2. *)
+  let bad =
+    Definition.node ~label:"C2" ~relation:"COURSES" ~attrs:[ "course_id" ]
+      ~path:[ own_grades ] ~children:[]
+  in
+  check_err_contains ~sub:"Def. 3.2" (make (simple_root [ bad ]))
+
+let test_empty_projection () =
+  let bad =
+    Definition.node ~label:"G" ~relation:"GRADES" ~attrs:[] ~path:[ own_grades ]
+      ~children:[]
+  in
+  check_err_contains ~sub:"empty projection" (make (simple_root [ bad ]))
+
+let test_unknown_attr () =
+  let bad =
+    Definition.node ~label:"G" ~relation:"GRADES" ~attrs:[ "ghost" ]
+      ~path:[ own_grades ] ~children:[]
+  in
+  check_err_contains ~sub:"unknown attribute" (make (simple_root [ bad ]))
+
+let test_missing_path () =
+  let bad =
+    Definition.node ~label:"G" ~relation:"GRADES" ~attrs:[ "pid"; "grade" ]
+      ~path:[] ~children:[]
+  in
+  check_err_contains ~sub:"lacks a connection path" (make (simple_root [ bad ]))
+
+let test_path_chaining () =
+  (* STUDENT attached with a path that starts at the wrong relation. *)
+  let bad =
+    Definition.node ~label:"S" ~relation:"STUDENT"
+      ~attrs:[ "pid"; "degree_program" ] ~path:[ edge "PEOPLE" "STUDENT" true ]
+      ~children:[]
+  in
+  check_err_contains ~sub:"does not start at" (make (simple_root [ bad ]));
+  ignore inv_curriculum;
+  ignore ref_dept;
+  (* ... or a path that ends at a different relation than the node's. *)
+  let bad2 =
+    Definition.node ~label:"D" ~relation:"DEPARTMENT"
+      ~attrs:[ "dept_name" ] ~path:[ own_grades ] ~children:[]
+  in
+  check_err_contains ~sub:"ends at" (make (simple_root [ bad2 ]))
+
+let test_key_recovery () =
+  (* GRADES without pid cannot recover its key. *)
+  let bad =
+    Definition.node ~label:"G" ~relation:"GRADES" ~attrs:[ "grade" ]
+      ~path:[ own_grades ] ~children:[]
+  in
+  check_err_contains ~sub:"cannot recover" (make (simple_root [ bad ]))
+
+let test_direct () =
+  let student = Definition.find_exn Penguin.University.omega_prime "STUDENT#2" in
+  Alcotest.(check bool) "omega' student is multi-hop" false
+    (Definition.is_direct student);
+  Alcotest.(check bool) "omega student is direct" true
+    (Definition.is_direct (Definition.find_exn omega "STUDENT#2"))
+
+let test_to_ascii () =
+  let s = Definition.to_ascii omega in
+  Alcotest.(check bool) "projection shown" true
+    (Astring_contains.contains ~sub:"(course_id, title, units, level)" s);
+  Alcotest.(check bool) "path tag" true
+    (Astring_contains.contains ~sub:"via ownership" s);
+  let s' = Definition.to_ascii Penguin.University.omega_prime in
+  Alcotest.(check bool) "two-connection path shown (Fig 3)" true
+    (Astring_contains.contains ~sub:"via ownership . reference" s')
+
+let suite =
+  [
+    Alcotest.test_case "omega shape (Fig 2c)" `Quick test_omega_shape;
+    Alcotest.test_case "find/parent" `Quick test_find_parent;
+    Alcotest.test_case "inherited & complement" `Quick test_inherited_complement;
+    Alcotest.test_case "pivot key required" `Quick test_pivot_key_required;
+    Alcotest.test_case "root must be pivot" `Quick test_root_must_be_pivot;
+    Alcotest.test_case "duplicate labels" `Quick test_duplicate_labels;
+    Alcotest.test_case "single pivot projection" `Quick test_single_pivot_projection;
+    Alcotest.test_case "empty projection" `Quick test_empty_projection;
+    Alcotest.test_case "unknown attribute" `Quick test_unknown_attr;
+    Alcotest.test_case "missing path" `Quick test_missing_path;
+    Alcotest.test_case "path chaining" `Quick test_path_chaining;
+    Alcotest.test_case "key recovery" `Quick test_key_recovery;
+    Alcotest.test_case "is_direct" `Quick test_direct;
+    Alcotest.test_case "ascii" `Quick test_to_ascii;
+  ]

@@ -1,0 +1,224 @@
+open Structural
+open Vo_core
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+
+let paper_transcript =
+  String.concat "\n"
+    [
+      "Is replacement of tuples in an object instance allowed? <YES>";
+      "The key of a tuple of relation COURSES could be modified during \
+       replacements. Do you allow this? <YES>";
+      "Can we replace the key of the corresponding database tuple? <YES>";
+      "The system might need to delete the old database tuple, and replace \
+       it with an existing tuple with matching key. Do you allow this? <NO>";
+      "Can the relation CURRICULUM be modified during insertions (or \
+       replacements)? <YES>";
+      "Can a new tuple be inserted? <YES>";
+      "Can an existing tuple be modified? <YES>";
+      "Can the relation DEPARTMENT be modified during insertions (or \
+       replacements)? <YES>";
+      "Can a new tuple be inserted? <YES>";
+      "Can an existing tuple be modified? <YES>";
+      "The key of a tuple of relation GRADES could be modified during \
+       replacements. Do you allow this? <YES>";
+      "Can we replace the key of the corresponding database tuple? <YES>";
+      "The system might need to delete the old database tuple, and replace \
+       it with an existing tuple with matching key. Do you allow this? <NO>";
+      "Can the relation STUDENT be modified during insertions (or \
+       replacements)? <YES>";
+      "Can a new tuple be inserted? <YES>";
+      "Can an existing tuple be modified? <YES>";
+    ]
+
+let replacement_dialog answers =
+  Dialog.choose ~ask_insertion:false ~ask_deletion:false g omega
+    (Dialog.scripted answers)
+
+let test_paper_transcript_golden () =
+  let _spec, events = replacement_dialog Dialog.paper_omega_answers in
+  Alcotest.(check string) "Section 6 transcript reproduced" paper_transcript
+    (Dialog.transcript events)
+
+let test_paper_transcript_length () =
+  let _spec, events = replacement_dialog Dialog.paper_omega_answers in
+  Alcotest.(check int) "16 questions" 16 (Dialog.question_count events)
+
+let test_footnote5_pruning () =
+  (* Locking DEPARTMENT removes its two follow-up questions. *)
+  let _spec, events = replacement_dialog Dialog.restrictive_department_answers in
+  Alcotest.(check int) "14 questions" 14 (Dialog.question_count events);
+  let texts = List.map (fun (e : Dialog.event) -> e.Dialog.question.Dialog.id) events in
+  Alcotest.(check bool) "modifiable asked" true
+    (List.mem "mod.DEPARTMENT.modifiable" texts);
+  Alcotest.(check bool) "insert follow-up pruned" false
+    (List.mem "mod.DEPARTMENT.insert" texts);
+  Alcotest.(check bool) "modify follow-up pruned" false
+    (List.mem "mod.DEPARTMENT.modify" texts)
+
+let test_replacement_denied_prunes_everything () =
+  (* Insertions remain in scope, so the modification questions survive,
+     but every island key question disappears. *)
+  let _spec, events = replacement_dialog [ "replacement.allowed", Dialog.No ] in
+  Alcotest.(check int) "1 + 3 outside relations x 3" 10
+    (Dialog.question_count events);
+  Alcotest.(check bool) "no key questions" true
+    (List.for_all
+       (fun (e : Dialog.event) ->
+         not
+           (Astring_contains.contains ~sub:"key" e.Dialog.question.Dialog.id))
+       events);
+  (* With insertion also denied, everything is pruned. *)
+  let _spec, events2 =
+    Dialog.choose ~ask_deletion:false g omega
+      (Dialog.scripted
+         [ "insertion.allowed", Dialog.No; "replacement.allowed", Dialog.No ])
+  in
+  Alcotest.(check int) "two questions only" 2 (Dialog.question_count events2)
+
+let test_key_question_chain () =
+  (* vo-change NO prunes the two db-level key questions per relation. *)
+  let answers =
+    ("key.COURSES.vo_change", Dialog.No)
+    :: List.remove_assoc "key.COURSES.vo_change" Dialog.paper_omega_answers
+  in
+  let spec, events = replacement_dialog answers in
+  let ids = List.map (fun (e : Dialog.event) -> e.Dialog.question.Dialog.id) events in
+  Alcotest.(check bool) "db question pruned" false
+    (List.mem "key.COURSES.db_replace" ids);
+  let kp = Translator_spec.key_policy_for spec "COURSES" in
+  Alcotest.(check bool) "no key change" false kp.Translator_spec.allow_vo_key_change
+
+let test_spec_from_paper_answers () =
+  let spec, _ = replacement_dialog Dialog.paper_omega_answers in
+  Alcotest.(check bool) "replacement on" true spec.Translator_spec.allow_replacement;
+  let kc = Translator_spec.key_policy_for spec "COURSES" in
+  Alcotest.(check bool) "vo key" true kc.Translator_spec.allow_vo_key_change;
+  Alcotest.(check bool) "db key" true kc.Translator_spec.allow_db_key_replace;
+  Alcotest.(check bool) "merge denied" false kc.Translator_spec.allow_merge_with_existing;
+  let md = Translator_spec.modification_policy_for spec "DEPARTMENT" in
+  Alcotest.(check bool) "dept modifiable" true md.Translator_spec.modifiable;
+  Alcotest.(check bool) "dept insert" true md.Translator_spec.allow_insert;
+  (* Relations outside the object fall back to the permissive default so
+     that global validation can insert the Section 5.2 dependency
+     tuples. *)
+  let unknown = Translator_spec.modification_policy_for spec "PEOPLE" in
+  Alcotest.(check bool) "unlisted relation permits the dependency stubs" true
+    unknown.Translator_spec.modifiable
+
+let test_deletion_section () =
+  let spec, events =
+    Dialog.choose ~ask_insertion:false g omega (Dialog.scripted ~default:Dialog.Yes [])
+  in
+  Alcotest.(check bool) "deletion allowed" true spec.Translator_spec.allow_deletion;
+  (* the CURRICULUM->COURSES reference gets a question, answered yes ->
+     delete-referencing *)
+  let conn =
+    List.find
+      (fun (c : Connection.t) -> c.Connection.source = "CURRICULUM")
+      (Schema_graph.connections g)
+  in
+  (match Translator_spec.reference_action_for spec conn with
+  | Integrity.Delete_referencing -> ()
+  | _ -> Alcotest.fail "expected Delete_referencing");
+  Alcotest.(check bool) "asked about the reference" true
+    (List.exists
+       (fun (e : Dialog.event) ->
+         Astring_contains.contains ~sub:"CURRICULUM" e.Dialog.question.Dialog.text)
+       events)
+
+let test_deletion_nullify_not_offered_on_key () =
+  (* Refusing to delete CURRICULUM referencing tuples cannot fall back to
+     nullify (course_id is in its key): action becomes Restrict and no
+     nullify question is asked. *)
+  let conn =
+    List.find
+      (fun (c : Connection.t) -> c.Connection.source = "CURRICULUM")
+      (Schema_graph.connections g)
+  in
+  let cid = Connection.id conn in
+  let spec, events =
+    Dialog.choose ~ask_insertion:false g omega
+      (Dialog.scripted [ Fmt.str "ref.%s.delete" cid, Dialog.No ])
+  in
+  let ids = List.map (fun (e : Dialog.event) -> e.Dialog.question.Dialog.id) events in
+  Alcotest.(check bool) "no nullify question" false
+    (List.mem (Fmt.str "ref.%s.nullify" cid) ids);
+  match Translator_spec.reference_action_for spec conn with
+  | Integrity.Restrict -> ()
+  | _ -> Alcotest.fail "expected Restrict"
+
+let test_deletion_nullify_offered_on_nonkey () =
+  (* Hospital: APPOINTMENT.mrn is nonkey, so nullify is offered. *)
+  let hg = Penguin.Hospital.graph in
+  let pr = Penguin.Hospital.patient_record in
+  let conn =
+    List.find
+      (fun (c : Connection.t) ->
+        c.Connection.source = "APPOINTMENT" && c.Connection.target = "PATIENT")
+      (Schema_graph.connections hg)
+  in
+  let cid = Connection.id conn in
+  let spec, _ =
+    Dialog.choose ~ask_insertion:false hg pr
+      (Dialog.scripted
+         [ Fmt.str "ref.%s.delete" cid, Dialog.No;
+           Fmt.str "ref.%s.nullify" cid, Dialog.Yes ])
+  in
+  match Translator_spec.reference_action_for spec conn with
+  | Integrity.Nullify -> ()
+  | _ -> Alcotest.fail "expected Nullify"
+
+let test_insertion_section () =
+  let spec, events =
+    Dialog.choose ~ask_deletion:false g omega
+      (Dialog.scripted [ "insertion.allowed", Dialog.No ])
+  in
+  Alcotest.(check bool) "insertion denied" false spec.Translator_spec.allow_insertion;
+  Alcotest.(check bool) "asked" true
+    (List.exists
+       (fun (e : Dialog.event) -> e.Dialog.question.Dialog.id = "insertion.allowed")
+       events)
+
+let test_interactive_channel () =
+  (* the interactive answerer reads y/n lines; junk lines are re-asked *)
+  let path = Filename.temp_file "penguin_dialog" ".txt" in
+  let oc = open_out path in
+  output_string oc "maybe\ny\nN\nYES\nno\n";
+  close_out oc;
+  let ic = open_in path in
+  let devnull = open_out Filename.null in
+  let answerer = Dialog.interactive ic devnull in
+  let q text = { Dialog.id = "x"; text } in
+  Alcotest.(check bool) "junk then yes" true (answerer (q "q1") = Dialog.Yes);
+  Alcotest.(check bool) "n" true (answerer (q "q2") = Dialog.No);
+  Alcotest.(check bool) "YES" true (answerer (q "q3") = Dialog.Yes);
+  Alcotest.(check bool) "no" true (answerer (q "q4") = Dialog.No);
+  close_in ic;
+  close_out devnull;
+  Sys.remove path
+
+let test_all_no () =
+  let spec, _ =
+    Dialog.choose g omega Dialog.all_no
+  in
+  Alcotest.(check bool) "nothing allowed" false
+    (spec.Translator_spec.allow_insertion || spec.Translator_spec.allow_deletion
+    || spec.Translator_spec.allow_replacement)
+
+let suite =
+  [
+    Alcotest.test_case "paper transcript golden" `Quick test_paper_transcript_golden;
+    Alcotest.test_case "paper transcript length" `Quick test_paper_transcript_length;
+    Alcotest.test_case "footnote 5 pruning" `Quick test_footnote5_pruning;
+    Alcotest.test_case "replacement denied prunes" `Quick test_replacement_denied_prunes_everything;
+    Alcotest.test_case "key question chain" `Quick test_key_question_chain;
+    Alcotest.test_case "spec from paper answers" `Quick test_spec_from_paper_answers;
+    Alcotest.test_case "deletion section" `Quick test_deletion_section;
+    Alcotest.test_case "nullify not offered on key" `Quick test_deletion_nullify_not_offered_on_key;
+    Alcotest.test_case "nullify offered on nonkey" `Quick test_deletion_nullify_offered_on_nonkey;
+    Alcotest.test_case "insertion section" `Quick test_insertion_section;
+    Alcotest.test_case "interactive channel" `Quick test_interactive_channel;
+    Alcotest.test_case "all no" `Quick test_all_no;
+  ]

@@ -1,0 +1,190 @@
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+let db () = Penguin.University.seeded_db ()
+let spec = Penguin.University.omega_translator
+
+let test_apply_commit () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let outcome = Vo_core.Engine.apply g d omega spec (Vo_core.Request.delete i) in
+  let d' = committed_db outcome in
+  Alcotest.(check string) "kind" "complete deletion"
+    outcome.Vo_core.Engine.request_kind;
+  Alcotest.(check bool) "gone" false
+    (Relation.mem_key (Database.relation_exn d' "COURSES") [ vs "CS345" ]);
+  (* the input database is untouched (persistence) *)
+  Alcotest.(check bool) "input intact" true
+    (Relation.mem_key (Database.relation_exn d "COURSES") [ vs "CS345" ])
+
+let test_apply_reject_no_ops_applied () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let new_i = Penguin.University.ees345_replacement i in
+  let outcome =
+    Vo_core.Engine.apply g d omega
+      Penguin.University.omega_translator_restrictive
+      (Vo_core.Request.replace ~old_instance:i ~new_instance:new_i)
+  in
+  let reason = rollback_reason outcome in
+  Alcotest.(check bool) "reason mentions DEPARTMENT" true
+    (Astring_contains.contains ~sub:"DEPARTMENT" reason);
+  Alcotest.(check int) "no ops published" 0 (List.length outcome.Vo_core.Engine.ops)
+
+let test_translate_only () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let ops = check_ok (Vo_core.Engine.translate g d omega spec (Vo_core.Request.delete i)) in
+  Alcotest.(check bool) "ops produced, db untouched" true (List.length ops > 0);
+  Alcotest.(check bool) "course still here" true
+    (Relation.mem_key (Database.relation_exn d "COURSES") [ vs "CS345" ])
+
+let test_dedup_identical_ops () =
+  (* Two new GRADES sub-instances for the same new student force the same
+     dependency stub twice; the engine deduplicates. *)
+  let d = db () in
+  let student pid =
+    Instance.leaf ~label:"STUDENT#2" ~relation:"STUDENT"
+      (tuple [ "pid", vi pid; "degree_program", vs "MS CS"; "year", vi 1 ])
+  in
+  let grade pid =
+    Instance.make ~label:"GRADES" ~relation:"GRADES"
+      ~tuple:(tuple [ "pid", vi pid; "grade", vs "A" ])
+      ~children:[ "STUDENT#2", [ student pid ] ]
+  in
+  let inst =
+    Instance.make ~label:"COURSES" ~relation:"COURSES"
+      ~tuple:
+        (tuple
+           [ "course_id", vs "CS700"; "title", vs "Sem"; "units", vi 1;
+             "level", vs "grad" ])
+      ~children:
+        [ "DEPARTMENT",
+          [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+              (tuple [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ];
+          "GRADES", [ grade 50; grade 51 ] ]
+  in
+  let outcome = Vo_core.Engine.apply g d omega spec (Vo_core.Request.insert inst) in
+  let d' = committed_db outcome in
+  let ops = outcome.Vo_core.Engine.ops in
+  let distinct =
+    List.length
+      (List.filteri
+         (fun i op -> not (List.exists (Op.equal op) (List.filteri (fun j _ -> j < i) ops)))
+         ops)
+  in
+  Alcotest.(check int) "no duplicate ops" (List.length ops) distinct;
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check g d'))
+
+let test_apply_exn () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let d' = Vo_core.Engine.apply_exn g d omega spec (Vo_core.Request.delete i) in
+  Alcotest.(check bool) "deleted" false
+    (Relation.mem_key (Database.relation_exn d' "COURSES") [ vs "CS345" ]);
+  Alcotest.check_raises "raises on reject"
+    (Failure "translator for omega does not allow complete deletions")
+    (fun () ->
+      ignore
+        (Vo_core.Engine.apply_exn g d omega
+           { spec with Vo_core.Translator_spec.allow_deletion = false }
+           (Vo_core.Request.delete i)))
+
+let test_end_to_end_sequence () =
+  (* insert a course, modify it, then delete it: db returns to start *)
+  let d = db () in
+  let inst =
+    Instance.make ~label:"COURSES" ~relation:"COURSES"
+      ~tuple:
+        (tuple
+           [ "course_id", vs "CS900"; "title", vs "Epistemics"; "units", vi 2;
+             "level", vs "grad" ])
+      ~children:
+        [ "DEPARTMENT",
+          [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+              (tuple [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ] ]
+  in
+  let d1 =
+    committed_db (Vo_core.Engine.apply g d omega spec (Vo_core.Request.insert inst))
+  in
+  let stored =
+    List.find
+      (fun (i : Instance.t) ->
+        Value.equal (Tuple.get i.Instance.tuple "course_id") (vs "CS900"))
+      (Instantiate.instantiate d1 omega)
+  in
+  let renamed =
+    Instance.with_tuple stored (Tuple.set stored.Instance.tuple "units" (vi 4))
+  in
+  let d2 =
+    committed_db
+      (Vo_core.Engine.apply g d1 omega spec
+         (Vo_core.Request.replace ~old_instance:stored ~new_instance:renamed))
+  in
+  let stored2 =
+    List.find
+      (fun (i : Instance.t) ->
+        Value.equal (Tuple.get i.Instance.tuple "course_id") (vs "CS900"))
+      (Instantiate.instantiate d2 omega)
+  in
+  Alcotest.check value_testable "units updated" (vi 4)
+    (Tuple.get stored2.Instance.tuple "units");
+  let d3 =
+    committed_db
+      (Vo_core.Engine.apply g d2 omega spec (Vo_core.Request.delete stored2))
+  in
+  Alcotest.(check bool) "database equals the original" true (Database.equal d d3)
+
+let test_step4_rollback_on_latent_violation () =
+  (* Failure injection: the base database is corrupted behind the
+     engine's back (an orphan owned tuple). Translation of an unrelated
+     insertion succeeds, but step 4's global validation detects the
+     violation on the candidate state and rolls the transaction back. *)
+  let d = db () in
+  let d =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.insert d "GRADES"
+            (tuple [ "course_id", vs "ORPHAN"; "pid", vi 1; "grade", vs "F" ])))
+  in
+  let inst =
+    Instance.make ~label:"COURSES" ~relation:"COURSES"
+      ~tuple:
+        (tuple
+           [ "course_id", vs "CS901"; "title", vs "X"; "units", vi 1;
+             "level", vs "grad" ])
+      ~children:
+        [ "DEPARTMENT",
+          [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+              (tuple [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ] ]
+  in
+  let outcome = Vo_core.Engine.apply g d omega spec (Vo_core.Request.insert inst) in
+  let reason = rollback_reason outcome in
+  Alcotest.(check bool) "global validation failed" true
+    (Astring_contains.contains ~sub:"global validation" reason);
+  Alcotest.(check bool) "names the orphan" true
+    (Astring_contains.contains ~sub:"owning" reason)
+
+let test_workspace_oql () =
+  let ws = Penguin.University.workspace () in
+  let is = check_ok (Penguin.Workspace.oql ws "omega" "level = 'grad'") in
+  Alcotest.(check int) "two" 2 (List.length is);
+  ignore (check_err (Penguin.Workspace.oql ws "nope" "true"));
+  ignore (check_err (Penguin.Workspace.oql ws "omega" "ghost = 1"))
+
+let suite =
+  [
+    Alcotest.test_case "apply commits" `Quick test_apply_commit;
+    Alcotest.test_case "step-4 rollback (failure injection)" `Quick
+      test_step4_rollback_on_latent_violation;
+    Alcotest.test_case "workspace oql" `Quick test_workspace_oql;
+    Alcotest.test_case "reject leaves db untouched" `Quick test_apply_reject_no_ops_applied;
+    Alcotest.test_case "translate only" `Quick test_translate_only;
+    Alcotest.test_case "dedup identical ops" `Quick test_dedup_identical_ops;
+    Alcotest.test_case "apply_exn" `Quick test_apply_exn;
+    Alcotest.test_case "insert/replace/delete roundtrip" `Quick test_end_to_end_sequence;
+  ]

@@ -1,0 +1,101 @@
+open Structural
+
+let g = Penguin.University.graph
+let tree () = Viewobject.Generate.tree Metric.default g ~pivot:"COURSES"
+
+(* The golden shape of Figure 2(b) under the default metric (see
+   DESIGN.md): two copies of PEOPLE, one per path around the circuit. *)
+let expected_labels =
+  [ "COURSES"; "DEPARTMENT"; "PEOPLE"; "FACULTY"; "STAFF"; "STUDENT";
+    "GRADES"; "STUDENT#2"; "PEOPLE#2"; "DEPARTMENT#2"; "FACULTY#2"; "STAFF#2";
+    "CURRICULUM" ]
+
+let test_golden_labels () =
+  Alcotest.(check (list string)) "pre-order labels" expected_labels
+    (Expansion.labels (tree ()))
+
+let test_two_people_copies () =
+  let t = tree () in
+  Alcotest.(check int) "two copies of PEOPLE" 2 (Expansion.copies t "PEOPLE");
+  Alcotest.(check int) "one CURRICULUM" 1 (Expansion.copies t "CURRICULUM");
+  Alcotest.(check int) "one GRADES" 1 (Expansion.copies t "GRADES")
+
+let test_size_depth () =
+  let t = tree () in
+  Alcotest.(check int) "size" 13 (Expansion.size t);
+  Alcotest.(check int) "depth" 5 (Expansion.depth t)
+
+let test_find_and_path () =
+  let t = tree () in
+  let n = Option.get (Expansion.find t "PEOPLE#2") in
+  Alcotest.(check string) "relation" "PEOPLE" n.Expansion.relation;
+  let path = Option.get (Expansion.path_to t "PEOPLE#2") in
+  Alcotest.(check (list string)) "root path"
+    [ "COURSES"; "GRADES"; "STUDENT#2"; "PEOPLE#2" ]
+    (List.map (fun (n : Expansion.node) -> n.Expansion.label) path);
+  Alcotest.(check bool) "missing label" true (Expansion.find t "GHOST" = None);
+  Alcotest.(check bool) "missing path" true (Expansion.path_to t "GHOST" = None)
+
+let test_no_cycles () =
+  (* No relation repeats along any root path. *)
+  let rec walk acc (n : Expansion.node) =
+    Alcotest.(check bool)
+      (Fmt.str "no repeat at %s" n.Expansion.label)
+      false
+      (List.mem n.Expansion.relation acc);
+    List.iter (walk (n.Expansion.relation :: acc)) n.Expansion.children
+  in
+  walk [] (tree ())
+
+let test_relevance_decreases () =
+  let rec walk (n : Expansion.node) =
+    List.iter
+      (fun (c : Expansion.node) ->
+        Alcotest.(check bool)
+          (Fmt.str "%s <= %s" c.Expansion.label n.Expansion.label)
+          true
+          (c.Expansion.relevance <= n.Expansion.relevance +. 1e-9);
+        walk c)
+      n.Expansion.children
+  in
+  walk (tree ())
+
+let test_threshold_prunes () =
+  let strict = Metric.make ~threshold:0.95 () in
+  let t = Viewobject.Generate.tree strict g ~pivot:"COURSES" in
+  Alcotest.(check (list string)) "island only" [ "COURSES"; "GRADES" ]
+    (Expansion.labels t)
+
+let test_unknown_pivot () =
+  Alcotest.check_raises "invalid pivot"
+    (Invalid_argument "expand: unknown pivot relation GHOST")
+    (fun () -> ignore (Expansion.expand Metric.default g ~pivot:"GHOST"))
+
+let test_to_ascii () =
+  let s = Expansion.to_ascii (tree ()) in
+  Alcotest.(check bool) "root first" true
+    (Astring_contains.contains ~sub:"COURSES [1.000]" s);
+  Alcotest.(check bool) "edge kinds shown" true
+    (Astring_contains.contains ~sub:"<-ownership-" s)
+
+let test_hospital_tree () =
+  let t =
+    Viewobject.Generate.tree Metric.default Penguin.Hospital.graph ~pivot:"PATIENT"
+  in
+  Alcotest.(check int) "three physician copies" 3 (Expansion.copies t "PHYSICIAN");
+  Alcotest.(check bool) "ownership chain present" true
+    (Option.is_some (Expansion.find t "RESULT#2"))
+
+let suite =
+  [
+    Alcotest.test_case "golden labels (Fig 2b)" `Quick test_golden_labels;
+    Alcotest.test_case "two PEOPLE copies" `Quick test_two_people_copies;
+    Alcotest.test_case "size/depth" `Quick test_size_depth;
+    Alcotest.test_case "find/path_to" `Quick test_find_and_path;
+    Alcotest.test_case "no cycles" `Quick test_no_cycles;
+    Alcotest.test_case "relevance decreases" `Quick test_relevance_decreases;
+    Alcotest.test_case "threshold prunes" `Quick test_threshold_prunes;
+    Alcotest.test_case "unknown pivot" `Quick test_unknown_pivot;
+    Alcotest.test_case "ascii rendering" `Quick test_to_ascii;
+    Alcotest.test_case "hospital tree" `Quick test_hospital_tree;
+  ]

@@ -1,0 +1,90 @@
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+let g = Penguin.University.graph
+
+let test_relevant_subgraph () =
+  let sub = Generate.relevant_subgraph Metric.default g ~pivot:"COURSES" in
+  Alcotest.(check int) "all relations relevant" 8
+    (List.length (Schema_graph.relations sub));
+  let strict = Metric.make ~threshold:0.95 () in
+  let sub' = Generate.relevant_subgraph strict g ~pivot:"COURSES" in
+  Alcotest.(check (list string)) "only the entity core" [ "COURSES"; "GRADES" ]
+    (Schema_graph.relations sub')
+
+let test_full () =
+  let vo = check_ok (Generate.full Metric.default g ~name:"full" ~pivot:"COURSES") in
+  Alcotest.(check int) "complexity = tree size" 13 (Definition.complexity vo);
+  (* every node projects all of its relation's attributes *)
+  List.iter
+    (fun (n : Definition.node) ->
+      let schema = Schema_graph.schema_exn g n.Definition.relation in
+      Alcotest.(check (list string))
+        (Fmt.str "attrs of %s" n.Definition.label)
+        (Schema.attribute_names schema)
+        n.Definition.attrs)
+    (Definition.nodes vo)
+
+let test_prune_basic () =
+  let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+  let vo =
+    check_ok
+      (Generate.prune g tree ~name:"mini"
+         ~keep:[ "COURSES", []; "GRADES", [ "pid"; "grade" ] ])
+  in
+  Alcotest.(check int) "two nodes" 2 (Definition.complexity vo);
+  (* [] means all attributes *)
+  let root = Definition.find_exn vo "COURSES" in
+  Alcotest.(check int) "all pivot attrs" 5 (List.length root.Definition.attrs)
+
+let test_prune_reattaches () =
+  let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+  let vo =
+    check_ok
+      (Generate.prune g tree ~name:"skip"
+         ~keep:[ "COURSES", []; "STUDENT#2", [ "pid"; "degree_program" ] ])
+  in
+  let student = Definition.find_exn vo "STUDENT#2" in
+  Alcotest.(check int) "path of two connections (Fig 3)" 2
+    (List.length student.Definition.path);
+  Alcotest.(check bool) "not direct" false (Definition.is_direct student)
+
+let test_prune_root_key_added () =
+  let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+  let vo =
+    check_ok (Generate.prune g tree ~name:"auto-key" ~keep:[ "COURSES", [ "title" ] ])
+  in
+  let root = Definition.find_exn vo "COURSES" in
+  Alcotest.(check (list string)) "key appended" [ "title"; "course_id" ]
+    root.Definition.attrs
+
+let test_prune_unknown_label () =
+  let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+  check_err_contains ~sub:"not in the expansion tree"
+    (Generate.prune g tree ~name:"x" ~keep:[ "COURSES", []; "GHOST", [] ])
+
+let test_prune_invalid_projection () =
+  let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+  (* GRADES without its accessible key complement *)
+  check_err_contains ~sub:"cannot recover"
+    (Generate.prune g tree ~name:"x"
+       ~keep:[ "COURSES", []; "GRADES", [ "grade" ] ])
+
+let test_prune_keeps_pivot_implicitly () =
+  let tree = Generate.tree Metric.default g ~pivot:"COURSES" in
+  let vo = check_ok (Generate.prune g tree ~name:"only-root" ~keep:[]) in
+  Alcotest.(check int) "pivot only" 1 (Definition.complexity vo)
+
+let suite =
+  [
+    Alcotest.test_case "relevant subgraph (Fig 2a)" `Quick test_relevant_subgraph;
+    Alcotest.test_case "full definition" `Quick test_full;
+    Alcotest.test_case "prune basic" `Quick test_prune_basic;
+    Alcotest.test_case "prune reattaches (Fig 3)" `Quick test_prune_reattaches;
+    Alcotest.test_case "prune adds pivot key" `Quick test_prune_root_key_added;
+    Alcotest.test_case "prune unknown label" `Quick test_prune_unknown_label;
+    Alcotest.test_case "prune invalid projection" `Quick test_prune_invalid_projection;
+    Alcotest.test_case "prune pivot implicit" `Quick test_prune_keeps_pivot_implicitly;
+  ]

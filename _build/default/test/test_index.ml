@@ -1,0 +1,143 @@
+open Relational
+open Test_util
+
+let schema =
+  Schema.make_exn ~name:"R"
+    ~attributes:
+      [ Attribute.int "id"; Attribute.str "grp"; Attribute.int "x" ]
+    ~key:[ "id" ]
+
+let seed n =
+  Relation.of_list_exn schema
+    (List.init n (fun i ->
+         tuple
+           [ "id", vi i; "grp", vs (Fmt.str "g%d" (i mod 5)); "x", vi (i * 10) ]))
+
+let rel_err = Result.map_error Relation.error_to_string
+
+let test_create_index () =
+  let r = check_ok (rel_err (Relation.create_index (seed 20) [ "grp" ])) in
+  Alcotest.(check bool) "has index" true (Relation.has_index r [ "grp" ]);
+  Alcotest.(check bool) "order free" true (Relation.has_index r [ "grp" ]);
+  Alcotest.(check int) "one index" 1 (List.length (Relation.indexes r));
+  (* rebuilding replaces, not duplicates *)
+  let r = check_ok (rel_err (Relation.create_index r [ "grp" ])) in
+  Alcotest.(check int) "still one" 1 (List.length (Relation.indexes r))
+
+let test_create_index_errors () =
+  ignore (check_err (rel_err (Relation.create_index (seed 3) [])));
+  ignore (check_err (rel_err (Relation.create_index (seed 3) [ "ghost" ])))
+
+let test_lookup_eq_matches_scan () =
+  let plain = seed 50 in
+  let indexed = check_ok (rel_err (Relation.create_index plain [ "grp" ])) in
+  let bindings = [ "grp", vs "g3" ] in
+  Alcotest.(check (list tuple_testable)) "same result"
+    (Relation.lookup_eq plain bindings)
+    (Relation.lookup_eq indexed bindings);
+  Alcotest.(check int) "ten hits" 10 (List.length (Relation.lookup_eq indexed bindings))
+
+let test_lookup_eq_null_binding () =
+  let indexed = check_ok (rel_err (Relation.create_index (seed 10) [ "grp" ])) in
+  Alcotest.(check int) "null matches nothing" 0
+    (List.length (Relation.lookup_eq indexed [ "grp", Value.Null ]))
+
+let test_index_maintained_by_insert_delete () =
+  let r = check_ok (rel_err (Relation.create_index (seed 10) [ "grp" ])) in
+  let r = check_ok (rel_err (Relation.insert r (tuple [ "id", vi 100; "grp", vs "g3" ]))) in
+  Alcotest.(check int) "insert indexed" 3
+    (List.length (Relation.lookup_eq r [ "grp", vs "g3" ]));
+  let r = check_ok (rel_err (Relation.delete_key r [ vi 3 ])) in
+  Alcotest.(check int) "delete deindexed" 2
+    (List.length (Relation.lookup_eq r [ "grp", vs "g3" ]))
+
+let test_index_maintained_by_replace () =
+  let r = check_ok (rel_err (Relation.create_index (seed 10) [ "grp" ])) in
+  (* move tuple 3 from g3 to g0, changing its key too *)
+  let r =
+    check_ok
+      (rel_err
+         (Relation.replace r ~old_key:[ vi 3 ]
+            (tuple [ "id", vi 300; "grp", vs "g0"; "x", vi 30 ])))
+  in
+  Alcotest.(check int) "g3 shrank" 1
+    (List.length (Relation.lookup_eq r [ "grp", vs "g3" ]));
+  Alcotest.(check int) "g0 grew" 3
+    (List.length (Relation.lookup_eq r [ "grp", vs "g0" ]));
+  Alcotest.(check bool) "new key reachable" true
+    (List.exists
+       (fun t -> Value.equal (Tuple.get t "id") (vi 300))
+       (Relation.lookup_eq r [ "grp", vs "g0" ]))
+
+let test_multi_attr_index () =
+  let r = check_ok (rel_err (Relation.create_index (seed 30) [ "grp"; "x" ])) in
+  let hits = Relation.lookup_eq r [ "grp", vs "g2"; "x", vi 70 ] in
+  Alcotest.(check int) "one hit" 1 (List.length hits);
+  Alcotest.check value_testable "right tuple" (vi 7)
+    (Tuple.get (List.hd hits) "id")
+
+let test_equal_ignores_indexes () =
+  let plain = seed 5 in
+  let indexed = check_ok (rel_err (Relation.create_index plain [ "grp" ])) in
+  Alcotest.(check bool) "equal" true (Relation.equal plain indexed)
+
+let test_database_create_index () =
+  let db = Database.create_relation_exn Database.empty schema in
+  let db = check_ok (Result.map_error Database.error_to_string (Database.create_index db "R" [ "grp" ])) in
+  Alcotest.(check bool) "indexed through catalog" true
+    (Relation.has_index (Database.relation_exn db "R") [ "grp" ]);
+  match Database.create_index db "NOPE" [ "grp" ] with
+  | Error (Database.Unknown_relation _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_relation"
+
+let test_workspace_index_connections () =
+  let ws = Penguin.University.workspace () in
+  let ws = Penguin.Workspace.index_connections ws in
+  Alcotest.(check bool) "grades indexed on course_id" true
+    (Relation.has_index
+       (Database.relation_exn ws.Penguin.Workspace.db "GRADES")
+       [ "course_id" ]);
+  (* results are identical with indexes on *)
+  let i = Penguin.University.cs345_instance ws.Penguin.Workspace.db in
+  let i' = Penguin.University.cs345_instance (Penguin.University.seeded_db ()) in
+  Alcotest.(check bool) "same instance" true (Viewobject.Instance.equal i i');
+  (* updates still work and stay consistent *)
+  let ws', outcome =
+    Penguin.Workspace.update ws "omega" (Vo_core.Request.delete i)
+  in
+  ignore (committed_db outcome);
+  check_ok (Penguin.Workspace.check_consistency ws')
+
+let prop_lookup_eq_index_equals_scan =
+  QCheck.Test.make ~name:"indexed lookup_eq = scan" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_bound 40) (QCheck.int_bound 200)) (QCheck.int_bound 4))
+    (fun (ids, probe) ->
+      let ids = List.sort_uniq compare ids in
+      let rows =
+        List.map
+          (fun i -> tuple [ "id", vi i; "grp", vs (Fmt.str "g%d" (i mod 5)) ])
+          ids
+      in
+      let plain = Relation.of_list_exn schema rows in
+      match Relation.create_index plain [ "grp" ] with
+      | Error _ -> false
+      | Ok indexed ->
+          let b = [ "grp", vs (Fmt.str "g%d" probe) ] in
+          List.equal Tuple.equal
+            (Relation.lookup_eq plain b)
+            (Relation.lookup_eq indexed b))
+
+let suite =
+  [
+    Alcotest.test_case "create index" `Quick test_create_index;
+    Alcotest.test_case "create index errors" `Quick test_create_index_errors;
+    Alcotest.test_case "lookup_eq = scan" `Quick test_lookup_eq_matches_scan;
+    Alcotest.test_case "null binding" `Quick test_lookup_eq_null_binding;
+    Alcotest.test_case "insert/delete maintain" `Quick test_index_maintained_by_insert_delete;
+    Alcotest.test_case "replace maintains" `Quick test_index_maintained_by_replace;
+    Alcotest.test_case "multi-attribute index" `Quick test_multi_attr_index;
+    Alcotest.test_case "equality ignores indexes" `Quick test_equal_ignores_indexes;
+    Alcotest.test_case "database create_index" `Quick test_database_create_index;
+    Alcotest.test_case "workspace index_connections" `Quick test_workspace_index_connections;
+    qtest prop_lookup_eq_index_equals_scan;
+  ]

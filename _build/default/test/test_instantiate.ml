@@ -1,0 +1,135 @@
+open Relational
+open Viewobject
+open Test_util
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+let db () = Penguin.University.seeded_db ()
+
+let test_instantiate_all () =
+  let is = Instantiate.instantiate (db ()) omega in
+  Alcotest.(check int) "one instance per course" 4 (List.length is)
+
+let test_instantiate_where () =
+  let is =
+    Instantiate.instantiate ~where:(Predicate.eq_str "level" "grad") (db ()) omega
+  in
+  Alcotest.(check int) "two grad courses" 2 (List.length is)
+
+let test_cs345_shape () =
+  let i = Penguin.University.cs345_instance (db ()) in
+  check_ok (Instance.conforms omega i);
+  Alcotest.(check int) "2 grades" 2 (List.length (Instance.children_of i "GRADES"));
+  Alcotest.(check int) "1 department" 1
+    (List.length (Instance.children_of i "DEPARTMENT"));
+  Alcotest.(check int) "2 curriculum rows" 2
+    (List.length (Instance.children_of i "CURRICULUM"));
+  let grade1 = List.hd (Instance.children_of i "GRADES") in
+  Alcotest.(check int) "nested student" 1
+    (List.length (Instance.children_of grade1 "STUDENT#2"));
+  (* node tuples are projected: no dept_name on the pivot *)
+  Alcotest.(check bool) "projected pivot" false
+    (Tuple.mem i.Instance.tuple "dept_name")
+
+let test_multi_hop_instantiation () =
+  (* omega' reaches STUDENT through GRADES without including it. *)
+  let i =
+    List.find
+      (fun (i : Instance.t) -> Tuple.get i.Instance.tuple "course_id" = vs "CS345")
+      (Instantiate.instantiate (db ()) Penguin.University.omega_prime)
+  in
+  let students = Instance.children_of i Penguin.University.student_label in
+  Alcotest.(check int) "two students through the path" 2 (List.length students);
+  (* the CS department has one faculty member (pid 7), reached through
+     the three-connection DEPARTMENT-PEOPLE path *)
+  Alcotest.(check int) "one CS faculty member" 1
+    (List.length (Instance.children_of i Penguin.University.faculty_label))
+
+let test_multi_hop_dedup () =
+  (* EE280 has two graders in the same degree program; path results are
+     deduplicated by key. *)
+  let i =
+    List.find
+      (fun (i : Instance.t) -> Tuple.get i.Instance.tuple "course_id" = vs "EE280")
+      (Instantiate.instantiate (db ()) Penguin.University.omega_prime)
+  in
+  let students = Instance.children_of i Penguin.University.student_label in
+  Alcotest.(check int) "five distinct students" 5 (List.length students)
+
+let test_follow_path_empty () =
+  let d = db () in
+  let course = tuple [ "course_id", vs "CS345" ] in
+  Alcotest.(check (list tuple_testable)) "empty path returns the tuple"
+    [ course ]
+    (Instantiate.follow_path d [] course)
+
+let test_extend_inherited_down () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let e = check_ok (Instantiate.extend_inherited g omega i) in
+  let grade = List.hd (Instance.children_of e "GRADES") in
+  Alcotest.check value_testable "grades inherit course_id" (vs "CS345")
+    (Tuple.get grade.Instance.tuple "course_id");
+  let curr = List.hd (Instance.children_of e "CURRICULUM") in
+  Alcotest.check value_testable "curriculum inherits course_id" (vs "CS345")
+    (Tuple.get curr.Instance.tuple "course_id");
+  let student = List.hd (Instance.children_of grade "STUDENT#2") in
+  Alcotest.check value_testable "student inherits pid" (vi 1)
+    (Tuple.get student.Instance.tuple "pid")
+
+let test_extend_inherited_up () =
+  (* The pivot's dept_name is projected out; extension recovers it from
+     the DEPARTMENT child. *)
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let e = check_ok (Instantiate.extend_inherited g omega i) in
+  Alcotest.check value_testable "lifted from child" (vs "Computer Science")
+    (Tuple.get e.Instance.tuple "dept_name")
+
+let test_extend_conflicting_children () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let dept l =
+    Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+      (tuple [ "dept_name", vs l ])
+  in
+  (* Two DEPARTMENT children with different names: conflicting lift. *)
+  let i = Instance.with_children i "DEPARTMENT" [ dept "A"; dept "B" ] in
+  check_err_contains ~sub:"conflicting values"
+    (Instantiate.extend_inherited g omega i)
+
+let test_extend_multi_hop_rejected () =
+  let d = db () in
+  let i =
+    List.hd (Instantiate.instantiate (d) Penguin.University.omega_prime)
+  in
+  check_err_contains ~sub:"multi-connection"
+    (Instantiate.extend_inherited g Penguin.University.omega_prime i)
+
+let test_full_key () =
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  let e = check_ok (Instantiate.extend_inherited g omega i) in
+  let grade = List.hd (Instance.children_of e "GRADES") in
+  Alcotest.check (Alcotest.list value_testable) "grades full key"
+    [ vs "CS345"; vi 1 ]
+    (check_ok (Instantiate.full_key g omega "GRADES" grade.Instance.tuple));
+  check_err_contains ~sub:"unbound or null"
+    (Instantiate.full_key g omega "GRADES" (tuple [ "grade", vs "A" ]));
+  check_err_contains ~sub:"no node"
+    (Instantiate.full_key g omega "GHOST" Tuple.empty)
+
+let suite =
+  [
+    Alcotest.test_case "instantiate all" `Quick test_instantiate_all;
+    Alcotest.test_case "instantiate where" `Quick test_instantiate_where;
+    Alcotest.test_case "cs345 shape (Fig 4)" `Quick test_cs345_shape;
+    Alcotest.test_case "multi-hop path (Fig 3)" `Quick test_multi_hop_instantiation;
+    Alcotest.test_case "multi-hop dedup" `Quick test_multi_hop_dedup;
+    Alcotest.test_case "follow_path empty" `Quick test_follow_path_empty;
+    Alcotest.test_case "extend inherited down" `Quick test_extend_inherited_down;
+    Alcotest.test_case "extend inherited up" `Quick test_extend_inherited_up;
+    Alcotest.test_case "extend conflict" `Quick test_extend_conflicting_children;
+    Alcotest.test_case "extend multi-hop rejected" `Quick test_extend_multi_hop_rejected;
+    Alcotest.test_case "full_key" `Quick test_full_key;
+  ]

@@ -1,0 +1,65 @@
+open Structural
+open Viewobject
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+
+let test_omega_island () =
+  Alcotest.(check (list string)) "island labels (Def 5.1)"
+    [ "COURSES"; "GRADES" ]
+    (Island.island_labels omega);
+  Alcotest.(check (list string)) "island relations" [ "COURSES"; "GRADES" ]
+    (Island.island_relations omega);
+  Alcotest.(check bool) "pivot in island" true (Island.in_island omega "COURSES");
+  Alcotest.(check bool) "student not in island" false
+    (Island.in_island omega "STUDENT#2")
+
+let test_omega_peninsulas () =
+  match Island.peninsulas g omega with
+  | [ (rel, conn) ] ->
+      Alcotest.(check string) "curriculum is the peninsula (Def 5.2)"
+        "CURRICULUM" rel;
+      Alcotest.(check string) "reference into the island" "COURSES"
+        conn.Connection.target
+  | l -> Alcotest.failf "expected exactly one peninsula, got %d" (List.length l)
+
+let test_omega_outside () =
+  Alcotest.(check (list string)) "outside labels"
+    [ "DEPARTMENT"; "STUDENT#2"; "CURRICULUM" ]
+    (Island.outside_labels omega)
+
+let test_hospital_island () =
+  let pr = Penguin.Hospital.patient_record in
+  Alcotest.(check (list string)) "deep island"
+    [ "PATIENT"; "VISIT#2"; "ORDERS#2"; "RESULT#2" ]
+    (Island.island_labels pr);
+  (* APPOINTMENT references PATIENT but is not part of the object: still
+     a peninsula? Def 5.2 requires R1 in d(omega) — it is not, so no
+     peninsulas here. *)
+  Alcotest.(check int) "no peninsulas" 0
+    (List.length (Island.peninsulas Penguin.Hospital.graph pr))
+
+let test_cad_island () =
+  let ao = Penguin.Cad.assembly_object in
+  Alcotest.(check (list string)) "two ownership branches"
+    [ "ASSEMBLY"; "COMPONENT"; "DRAWING" ]
+    (Island.island_labels ao);
+  Alcotest.(check int) "no peninsulas" 0
+    (List.length (Island.peninsulas Penguin.Cad.graph ao))
+
+let test_island_stops_at_reference () =
+  (* omega': STUDENT reached through an ownership+reference path is not
+     in the island even though the path begins with ownership. *)
+  let op = Penguin.University.omega_prime in
+  Alcotest.(check (list string)) "pivot only" [ "COURSES" ]
+    (Island.island_labels op)
+
+let suite =
+  [
+    Alcotest.test_case "omega island" `Quick test_omega_island;
+    Alcotest.test_case "omega peninsulas" `Quick test_omega_peninsulas;
+    Alcotest.test_case "omega outside" `Quick test_omega_outside;
+    Alcotest.test_case "hospital deep island" `Quick test_hospital_island;
+    Alcotest.test_case "cad island" `Quick test_cad_island;
+    Alcotest.test_case "island stops at reference" `Quick test_island_stops_at_reference;
+  ]

@@ -1,0 +1,404 @@
+open Relational
+open Test_util
+
+(* A small company database for the flat-view baseline. *)
+let db0 =
+  let script =
+    {|
+    CREATE TABLE dept (dname string, floor int) KEY (dname);
+    CREATE TABLE emp (eid int, ename string, dname string) KEY (eid);
+    INSERT INTO dept VALUES ('CS', 3);
+    INSERT INTO dept VALUES ('EE', 2);
+    INSERT INTO emp VALUES (1, 'Ada', 'CS');
+    INSERT INTO emp VALUES (2, 'Ben', 'CS');
+    INSERT INTO emp VALUES (3, 'Cat', 'EE');
+    CREATE TABLE misc (mid int, note string) KEY (mid);
+    |}
+  in
+  match Sql.run_script Database.empty script with
+  | Ok (db, _) -> db
+  | Error e -> invalid_arg e
+
+let view () =
+  Keller.View.make_exn db0 ~name:"emp_dept"
+    ~relations:[ "emp"; "dept" ]
+    ~selection:Predicate.True
+    ~projection:[ "ename"; "dname"; "floor" ]
+
+let test_view_validation () =
+  check_err_contains ~sub:"unknown projection"
+    (Keller.View.make db0 ~name:"v" ~relations:[ "emp" ]
+       ~selection:Predicate.True ~projection:[ "ghost" ]);
+  check_err_contains ~sub:"shares no attribute"
+    (Keller.View.make db0 ~name:"v"
+       ~relations:[ "emp"; "misc" ]
+       ~selection:Predicate.True ~projection:[ "ename" ]);
+  check_err_contains ~sub:"no relations"
+    (Keller.View.make db0 ~name:"v" ~relations:[] ~selection:Predicate.True
+       ~projection:[])
+
+let test_materialize () =
+  let rs = check_ok (Keller.View.materialize db0 (view ())) in
+  Alcotest.(check int) "three rows" 3 (List.length rs.Algebra.rows);
+  Alcotest.(check (list string)) "attrs" [ "ename"; "dname"; "floor" ]
+    rs.Algebra.attrs
+
+let test_selection_view () =
+  let v =
+    Keller.View.make_exn db0 ~name:"cs_only" ~relations:[ "emp"; "dept" ]
+      ~selection:(Predicate.eq_str "dname" "CS")
+      ~projection:[ "ename"; "floor" ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length (Keller.View.rows db0 v))
+
+let test_provenance () =
+  let v = view () in
+  let row = tuple [ "ename", vs "Ada"; "dname", vs "CS"; "floor", vi 3 ] in
+  let bases = Keller.View.base_tuples_of_row db0 v row in
+  let rels = List.sort_uniq String.compare (List.map fst bases) in
+  Alcotest.(check (list string)) "both relations" [ "dept"; "emp" ] rels
+
+(* Criteria. *)
+let test_criteria_valid_delete () =
+  let v = view () in
+  let target = tuple [ "ename", vs "Cat" ] in
+  let ops = [ Op.Delete ("emp", [ vi 3 ]) ] in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Keller.Criteria.check db0 v (Keller.Criteria.V_delete target) ops))
+
+let test_criteria_side_effects () =
+  let v = view () in
+  let target = tuple [ "ename", vs "Ada" ] in
+  (* Deleting the CS department kills Ben's row too: side effect. *)
+  let ops = [ Op.Delete ("dept", [ vs "CS" ]) ] in
+  let violations = Keller.Criteria.check db0 v (Keller.Criteria.V_delete target) ops in
+  Alcotest.(check bool) "side effect flagged" true
+    (List.mem Keller.Criteria.No_side_effects violations)
+
+let test_criteria_unrealized () =
+  let v = view () in
+  let target = tuple [ "ename", vs "Ada" ] in
+  let violations = Keller.Criteria.check db0 v (Keller.Criteria.V_delete target) [] in
+  Alcotest.(check bool) "change not realized" true
+    (List.mem Keller.Criteria.Requested_change_realized violations)
+
+let test_criteria_minimality () =
+  let v = view () in
+  let target = tuple [ "ename", vs "Cat" ] in
+  let ops =
+    [ Op.Delete ("emp", [ vi 3 ]); Op.Delete ("dept", [ vs "EE" ]) ]
+  in
+  let violations = Keller.Criteria.check db0 v (Keller.Criteria.V_delete target) ops in
+  Alcotest.(check bool) "redundant op flagged" true
+    (List.mem Keller.Criteria.Minimality violations)
+
+let test_criteria_identity_replace () =
+  let v = view () in
+  let t = Option.get (Relation.lookup (Database.relation_exn db0 "emp") [ vi 3 ]) in
+  let update = Keller.Criteria.V_replace (tuple [ "ename", vs "Cat" ], tuple [ "ename", vs "Cat" ]) in
+  let ops = [ Op.Replace ("emp", [ vi 3 ], t) ] in
+  let violations = Keller.Criteria.check db0 v update ops in
+  Alcotest.(check bool) "identity replacement flagged" true
+    (List.mem Keller.Criteria.Simplest_replacements violations)
+
+let test_criteria_delete_insert_pair () =
+  let v = view () in
+  let update = Keller.Criteria.V_replace (tuple [ "ename", vs "Cat" ], tuple [ "ename", vs "Kat" ]) in
+  let ops =
+    [ Op.Delete ("emp", [ vi 3 ]);
+      Op.Insert ("emp", tuple [ "eid", vi 3; "ename", vs "Kat"; "dname", vs "EE" ]) ]
+  in
+  let violations = Keller.Criteria.check db0 v update ops in
+  Alcotest.(check bool) "delete+insert flagged" true
+    (List.mem Keller.Criteria.No_delete_insert_pairs violations)
+
+(* Enumeration. *)
+let test_enumerate_deletions () =
+  let v = view () in
+  let cands = Keller.Enumeration.deletions db0 v (tuple [ "ename", vs "Cat" ]) in
+  Alcotest.(check int) "three subsets" 3 (List.length cands);
+  let valid = Keller.Enumeration.valid_deletions db0 v (tuple [ "ename", vs "Cat" ]) in
+  (* deleting from emp only is valid; dept-only and both kill no other
+     rows for Cat (EE has only Cat!) — so they are valid too unless they
+     break minimality. Deleting from both violates minimality. *)
+  Alcotest.(check bool) "emp-only candidate is valid" true
+    (List.exists
+       (fun (c : Keller.Enumeration.candidate) ->
+         c.Keller.Enumeration.description = "delete from emp")
+       valid)
+
+let test_enumerate_deletion_side_effect_invalid () =
+  let v = view () in
+  let valid = Keller.Enumeration.valid_deletions db0 v (tuple [ "ename", vs "Ada" ]) in
+  (* any candidate deleting from dept kills Ben's row: invalid *)
+  Alcotest.(check bool) "dept candidates rejected" true
+    (List.for_all
+       (fun (c : Keller.Enumeration.candidate) ->
+         not
+           (List.exists (fun op -> Op.relation op = "dept") c.Keller.Enumeration.ops))
+       valid)
+
+let test_enumerate_insertions () =
+  let v = view () in
+  let t = tuple [ "ename", vs "Dan"; "dname", vs "CS"; "floor", vi 3 ] in
+  (* emp tuple is new (no key given -> conforms fails?) — provide eid via
+     the view? The view projects no eid, so emp insertion cannot build a
+     key: no valid emp insert choice. Use a dept-level insertion view
+     instead. *)
+  ignore t;
+  let v2 =
+    Keller.View.make_exn db0 ~name:"dept_v" ~relations:[ "dept" ]
+      ~selection:Predicate.True ~projection:[ "dname"; "floor" ]
+  in
+  let cands =
+    Keller.Enumeration.insertions db0 v2 (tuple [ "dname", vs "ME"; "floor", vi 5 ])
+  in
+  Alcotest.(check int) "single choice" 1 (List.length cands);
+  Alcotest.(check bool) "valid" true
+    (Keller.Enumeration.is_valid (List.hd cands));
+  ignore v
+
+let test_enumerate_replacements_nonkey () =
+  let v = view () in
+  let cands =
+    Keller.Enumeration.replacements db0 v
+      ~old_row:(tuple [ "ename", vs "Cat" ])
+      ~new_row:(tuple [ "ename", vs "Kat" ])
+  in
+  (* only emp's base tuple changes, key unchanged: single candidate *)
+  Alcotest.(check int) "single candidate" 1 (List.length cands);
+  let c = List.hd cands in
+  Alcotest.(check bool) "valid" true (Keller.Enumeration.is_valid c);
+  Alcotest.(check int) "one op" 1 (List.length c.Keller.Enumeration.ops)
+
+let test_enumerate_replacements_key_change () =
+  let v =
+    Keller.View.make_exn db0 ~name:"dept_v" ~relations:[ "dept" ]
+      ~selection:Predicate.True ~projection:[ "dname"; "floor" ]
+  in
+  let cands =
+    Keller.Enumeration.replacements db0 v
+      ~old_row:(tuple [ "dname", vs "EE" ])
+      ~new_row:(tuple [ "dname", vs "ECE" ])
+  in
+  Alcotest.(check int) "three choices" 3 (List.length cands);
+  (* the delete+insert variant is in the space but invalid (criterion 5) *)
+  let del_ins =
+    List.find
+      (fun (c : Keller.Enumeration.candidate) ->
+        Astring_contains.contains ~sub:"delete old" c.Keller.Enumeration.description)
+      cands
+  in
+  Alcotest.(check bool) "delete+insert flagged" true
+    (List.mem Keller.Criteria.No_delete_insert_pairs
+       del_ins.Keller.Enumeration.violations);
+  let valid =
+    Keller.Enumeration.valid_replacements db0 v
+      ~old_row:(tuple [ "dname", vs "EE" ])
+      ~new_row:(tuple [ "dname", vs "ECE" ])
+  in
+  Alcotest.(check bool) "key replacement survives" true
+    (List.exists
+       (fun (c : Keller.Enumeration.candidate) ->
+         Astring_contains.contains ~sub:"replace key" c.Keller.Enumeration.description)
+       valid);
+  Alcotest.(check bool) "delete+insert pruned" true
+    (List.for_all
+       (fun (c : Keller.Enumeration.candidate) ->
+         not
+           (Astring_contains.contains ~sub:"delete old"
+              c.Keller.Enumeration.description))
+       valid)
+
+let test_enumerate_replacements_ambiguous () =
+  let v = view () in
+  let cands =
+    Keller.Enumeration.replacements db0 v
+      ~old_row:(tuple [ "dname", vs "CS" ])
+      ~new_row:(tuple [ "floor", vi 9 ])
+  in
+  (* two view rows match: no valid translation *)
+  Alcotest.(check bool) "flagged" true
+    (List.for_all
+       (fun c -> not (Keller.Enumeration.is_valid c))
+       cands)
+
+(* Translators. *)
+let translator () = Keller.Translator.default (view ())
+
+let test_translate_delete () =
+  let tr = { (translator ()) with Keller.Translator.delete_from = [ "emp" ] } in
+  let ops =
+    check_ok
+      (Keller.Translator.translate db0 tr
+         (Keller.Criteria.V_delete (tuple [ "ename", vs "Ada" ])))
+  in
+  check_ops "delete emp only" [ Op.Delete ("emp", [ vi 1 ]) ] ops
+
+let test_translate_delete_missing () =
+  let tr = translator () in
+  check_err_contains ~sub:"no row"
+    (Keller.Translator.translate db0 tr
+       (Keller.Criteria.V_delete (tuple [ "ename", vs "Zed" ])))
+
+let test_translate_insert_reuse () =
+  let v2 =
+    Keller.View.make_exn db0 ~name:"dept_v" ~relations:[ "dept" ]
+      ~selection:Predicate.True ~projection:[ "dname"; "floor" ]
+  in
+  let tr = Keller.Translator.default v2 in
+  let ops =
+    check_ok
+      (Keller.Translator.translate db0 tr
+         (Keller.Criteria.V_insert (tuple [ "dname", vs "ME"; "floor", vi 5 ])))
+  in
+  Alcotest.(check int) "one insert" 1 (List.length ops);
+  (* inserting an existing identical dept: reuse -> no ops *)
+  let ops2 =
+    check_ok
+      (Keller.Translator.translate db0 tr
+         (Keller.Criteria.V_insert (tuple [ "dname", vs "CS"; "floor", vi 3 ])))
+  in
+  Alcotest.(check int) "reused" 0 (List.length ops2)
+
+let test_translate_insert_conflict () =
+  let v2 =
+    Keller.View.make_exn db0 ~name:"dept_v" ~relations:[ "dept" ]
+      ~selection:Predicate.True ~projection:[ "dname"; "floor" ]
+  in
+  let tr = Keller.Translator.default v2 in
+  (* CS exists on floor 3; claiming floor 9 conflicts and modification is
+     denied by default *)
+  check_err_contains ~sub:"conflicting"
+    (Keller.Translator.translate db0 tr
+       (Keller.Criteria.V_insert (tuple [ "dname", vs "CS"; "floor", vi 9 ])));
+  let tr' =
+    { tr with
+      Keller.Translator.insert_policies =
+        [ "dept",
+          { Keller.Translator.allow_insert = true; allow_use_existing = true;
+            allow_modify_existing = true } ] }
+  in
+  let ops =
+    check_ok
+      (Keller.Translator.translate db0 tr'
+         (Keller.Criteria.V_insert (tuple [ "dname", vs "CS"; "floor", vi 9 ])))
+  in
+  Alcotest.(check bool) "replacement emitted" true
+    (List.exists Op.is_replace ops)
+
+let test_translate_replace_in_place () =
+  let tr = translator () in
+  let ops =
+    check_ok
+      (Keller.Translator.translate db0 tr
+         (Keller.Criteria.V_replace
+            (tuple [ "ename", vs "Cat" ], tuple [ "ename", vs "Kat" ])))
+  in
+  (match ops with
+  | [ Op.Replace ("emp", [ k ], t) ] ->
+      Alcotest.check value_testable "key" (vi 3) k;
+      Alcotest.check value_testable "renamed" (vs "Kat") (Tuple.get t "ename")
+  | _ -> Alcotest.failf "unexpected %a" Op.pp_list ops);
+  Alcotest.(check int) "no criteria violations" 0
+    (List.length
+       (snd
+          (check_ok
+             (Keller.Translator.translate_and_check db0 tr
+                (Keller.Criteria.V_replace
+                   (tuple [ "ename", vs "Cat" ], tuple [ "ename", vs "Kat" ]))))))
+
+let test_translate_replace_ambiguous () =
+  let tr = translator () in
+  check_err_contains ~sub:"several rows"
+    (Keller.Translator.translate db0 tr
+       (Keller.Criteria.V_replace
+          (tuple [ "dname", vs "CS" ], tuple [ "dname", vs "CS2" ])))
+
+let test_kdialog () =
+  let v = view () in
+  let tr, events =
+    Keller.Kdialog.choose db0 v
+      (Keller.Kdialog.scripted
+         [ "del.dept", Keller.Kdialog.No; "ins.dept.touch", Keller.Kdialog.No ])
+  in
+  Alcotest.(check (list string)) "delete only from emp" [ "emp" ]
+    tr.Keller.Translator.delete_from;
+  (* dept's two follow-ups pruned: 2 del + 1 + 3 (emp) + 1 (dept touch) *)
+  Alcotest.(check int) "question count" 6 (Keller.Kdialog.question_count events);
+  let p = Keller.Translator.insert_policy_for tr "dept" in
+  Alcotest.(check bool) "dept not insertable" false p.Keller.Translator.allow_insert;
+  Alcotest.(check bool) "transcript mentions emp" true
+    (Astring_contains.contains ~sub:"emp" (Keller.Kdialog.transcript events))
+
+let test_choose_deletion_by_example () =
+  let v = view () in
+  let tr, chosen =
+    check_ok
+      (Keller.Kdialog.choose_deletion_by_example db0 v
+         ~sample:(tuple [ "ename", vs "Cat" ])
+         Keller.Kdialog.prefer_fewest_ops)
+  in
+  Alcotest.(check bool) "candidate is valid" true
+    (Keller.Enumeration.is_valid chosen);
+  Alcotest.(check int) "single-relation translator" 1
+    (List.length tr.Keller.Translator.delete_from);
+  (* the chosen translator then handles other deletions too *)
+  let ops =
+    check_ok
+      (Keller.Translator.translate db0 tr
+         (Keller.Criteria.V_delete (tuple [ "ename", vs "Ben" ])))
+  in
+  Alcotest.(check int) "translates" 1 (List.length ops)
+
+let test_choose_deletion_picker_out_of_range () =
+  let v = view () in
+  check_err_contains ~sub:"picker chose"
+    (Keller.Kdialog.choose_deletion_by_example db0 v
+       ~sample:(tuple [ "ename", vs "Cat" ])
+       (fun _ -> 99))
+
+let test_choose_deletion_no_candidate () =
+  let v = view () in
+  check_err_contains ~sub:"no valid deletion"
+    (Keller.Kdialog.choose_deletion_by_example db0 v
+       ~sample:(tuple [ "ename", vs "Nobody" ])
+       Keller.Kdialog.first_candidate)
+
+let test_translator_make_errors () =
+  let v = view () in
+  check_err_contains ~sub:"empty delete-from"
+    (Keller.Translator.make v ~delete_from:[] ~insert_policies:[]);
+  check_err_contains ~sub:"not a relation"
+    (Keller.Translator.make v ~delete_from:[ "ghost" ] ~insert_policies:[])
+
+let suite =
+  [
+    Alcotest.test_case "view validation" `Quick test_view_validation;
+    Alcotest.test_case "materialize" `Quick test_materialize;
+    Alcotest.test_case "selection view" `Quick test_selection_view;
+    Alcotest.test_case "provenance" `Quick test_provenance;
+    Alcotest.test_case "criteria: valid delete" `Quick test_criteria_valid_delete;
+    Alcotest.test_case "criteria: side effects" `Quick test_criteria_side_effects;
+    Alcotest.test_case "criteria: unrealized" `Quick test_criteria_unrealized;
+    Alcotest.test_case "criteria: minimality" `Quick test_criteria_minimality;
+    Alcotest.test_case "criteria: identity replace" `Quick test_criteria_identity_replace;
+    Alcotest.test_case "criteria: delete-insert pair" `Quick test_criteria_delete_insert_pair;
+    Alcotest.test_case "enumerate deletions" `Quick test_enumerate_deletions;
+    Alcotest.test_case "enumerate deletion side effects" `Quick test_enumerate_deletion_side_effect_invalid;
+    Alcotest.test_case "enumerate insertions" `Quick test_enumerate_insertions;
+    Alcotest.test_case "enumerate replacements (nonkey)" `Quick test_enumerate_replacements_nonkey;
+    Alcotest.test_case "enumerate replacements (key)" `Quick test_enumerate_replacements_key_change;
+    Alcotest.test_case "enumerate replacements (ambiguous)" `Quick test_enumerate_replacements_ambiguous;
+    Alcotest.test_case "translate delete" `Quick test_translate_delete;
+    Alcotest.test_case "translate delete missing" `Quick test_translate_delete_missing;
+    Alcotest.test_case "translate insert reuse" `Quick test_translate_insert_reuse;
+    Alcotest.test_case "translate insert conflict" `Quick test_translate_insert_conflict;
+    Alcotest.test_case "translate replace in place" `Quick test_translate_replace_in_place;
+    Alcotest.test_case "translate replace ambiguous" `Quick test_translate_replace_ambiguous;
+    Alcotest.test_case "kdialog" `Quick test_kdialog;
+    Alcotest.test_case "choose deletion by example" `Quick test_choose_deletion_by_example;
+    Alcotest.test_case "picker out of range" `Quick test_choose_deletion_picker_out_of_range;
+    Alcotest.test_case "no valid candidate" `Quick test_choose_deletion_no_candidate;
+    Alcotest.test_case "translator make errors" `Quick test_translator_make_errors;
+  ]

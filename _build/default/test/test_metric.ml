@@ -1,0 +1,65 @@
+open Structural
+
+let g = Penguin.University.graph
+
+let test_edge_weights () =
+  let m = Metric.default in
+  let conn = Connection.ownership "COURSES" "GRADES" ~on:([ "course_id" ], [ "course_id" ]) in
+  Alcotest.(check (float 1e-9)) "own fwd" 1.0
+    (Metric.edge_weight m { Schema_graph.conn; forward = true });
+  Alcotest.(check (float 1e-9)) "own inv" 0.9
+    (Metric.edge_weight m { Schema_graph.conn; forward = false })
+
+let test_path_relevance () =
+  let m = Metric.default in
+  Alcotest.(check (float 1e-9)) "empty path" 1.0 (Metric.path_relevance m []);
+  let c1 = Connection.reference "COURSES" "DEPARTMENT" ~on:([ "dept_name" ], [ "dept_name" ]) in
+  let c2 = Connection.reference "PEOPLE" "DEPARTMENT" ~on:([ "dept_name" ], [ "dept_name" ]) in
+  let path =
+    [ { Schema_graph.conn = c1; forward = true };
+      { Schema_graph.conn = c2; forward = false } ]
+  in
+  Alcotest.(check (float 1e-9)) "product" (0.9 *. 0.7) (Metric.path_relevance m path)
+
+let test_relevance_map () =
+  let m = Metric.default in
+  let map = Metric.relevance_map m g ~pivot:"COURSES" in
+  let get rel = List.assoc rel map in
+  Alcotest.(check (float 1e-9)) "pivot" 1.0 (get "COURSES");
+  Alcotest.(check (float 1e-9)) "grades" 1.0 (get "GRADES");
+  Alcotest.(check (float 1e-9)) "department" 0.9 (get "DEPARTMENT");
+  Alcotest.(check (float 1e-9)) "student best path" 0.9 (get "STUDENT");
+  Alcotest.(check (float 1e-9)) "curriculum" 0.7 (get "CURRICULUM");
+  Alcotest.(check (float 1e-9)) "people best path" 0.81 (get "PEOPLE")
+
+let test_relevant_relations_threshold () =
+  let all = Metric.relevant_relations Metric.default g ~pivot:"COURSES" in
+  Alcotest.(check int) "all eight relevant at 0.5" 8 (List.length all);
+  let strict = Metric.make ~threshold:0.95 () in
+  Alcotest.(check (list string)) "only the island at 0.95"
+    [ "COURSES"; "GRADES" ]
+    (Metric.relevant_relations strict g ~pivot:"COURSES")
+
+let test_custom_weights () =
+  let w = { Metric.default_weights with Metric.inv_reference = 0.0 } in
+  let m = Metric.make ~weights:w ~threshold:0.5 () in
+  let rels = Metric.relevant_relations m g ~pivot:"COURSES" in
+  (* CURRICULUM (inverse reference) and PEOPLE (reached through one)
+     drop out; PEOPLE remains reachable via GRADES-STUDENT. *)
+  Alcotest.(check bool) "curriculum dropped" false (List.mem "CURRICULUM" rels);
+  Alcotest.(check bool) "people still reachable" true (List.mem "PEOPLE" rels)
+
+let test_relevant_epsilon () =
+  let m = Metric.make ~threshold:0.7 () in
+  Alcotest.(check bool) "boundary counts as relevant" true (Metric.relevant m 0.7);
+  Alcotest.(check bool) "below" false (Metric.relevant m 0.69)
+
+let suite =
+  [
+    Alcotest.test_case "edge weights" `Quick test_edge_weights;
+    Alcotest.test_case "path relevance" `Quick test_path_relevance;
+    Alcotest.test_case "relevance map" `Quick test_relevance_map;
+    Alcotest.test_case "threshold" `Quick test_relevant_relations_threshold;
+    Alcotest.test_case "custom weights" `Quick test_custom_weights;
+    Alcotest.test_case "epsilon boundary" `Quick test_relevant_epsilon;
+  ]

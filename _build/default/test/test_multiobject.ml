@@ -1,0 +1,133 @@
+(* Cross-object consistency: several view objects over one database —
+   "the view-object model hence supports sharing of the database-resident
+   information among diverse applications by providing multiple object
+   configurations that map to the same underlying data repository". An
+   update through one object is immediately visible through every
+   other. *)
+open Relational
+open Viewobject
+open Test_util
+
+let test_update_via_omega_visible_in_omega_prime () =
+  let ws = Penguin.University.workspace () in
+  let i = Penguin.University.cs345_instance ws.Penguin.Workspace.db in
+  (* delete CS345 through omega *)
+  let ws', outcome =
+    Penguin.Workspace.update ws "omega" (Vo_core.Request.delete i)
+  in
+  ignore (committed_db outcome);
+  let remaining = check_ok (Penguin.Workspace.instances ws' "omega_prime") in
+  Alcotest.(check int) "omega' no longer shows CS345" 3 (List.length remaining);
+  Alcotest.(check bool) "really gone" true
+    (List.for_all
+       (fun (i : Instance.t) ->
+         not (Value.equal (Tuple.get i.Instance.tuple "course_id") (vs "CS345")))
+       remaining)
+
+let test_grade_change_via_omega_changes_omega_prime_students () =
+  (* omega' reaches students through GRADES; detaching a grade through
+     omega removes that student from the omega' instance *)
+  let ws = Penguin.University.workspace () in
+  let i = Penguin.University.cs345_instance ws.Penguin.Workspace.db in
+  let req =
+    check_ok
+      (Vo_core.Request.partial_detach i ~label:"GRADES" ~at:(tuple [ "pid", vi 2 ]))
+  in
+  let ws', outcome = Penguin.Workspace.update ws "omega" req in
+  ignore (committed_db outcome);
+  let cs345' =
+    List.find
+      (fun (i : Instance.t) ->
+        Value.equal (Tuple.get i.Instance.tuple "course_id") (vs "CS345"))
+      (check_ok (Penguin.Workspace.instances ws' "omega_prime"))
+  in
+  Alcotest.(check int) "one student left through the path" 1
+    (List.length
+       (Instance.children_of cs345' Penguin.University.student_label))
+
+let test_stale_instance_after_concurrent_update () =
+  (* Optimistic concurrency: client A and client B both hold the CS345
+     instance; A commits a change; B's subsequent update is rejected as
+     stale. *)
+  let ws = Penguin.University.workspace () in
+  let a_copy = Penguin.University.cs345_instance ws.Penguin.Workspace.db in
+  let b_copy = a_copy in
+  let a_req =
+    check_ok
+      (Vo_core.Request.partial_modify a_copy ~label:"COURSES"
+         ~at:(tuple [ "course_id", vs "CS345" ])
+         ~f:(fun t -> Tuple.set t "units" (vi 5)))
+  in
+  let ws', outcome = Penguin.Workspace.update ws "omega" a_req in
+  ignore (committed_db outcome);
+  (* B tries to modify based on the outdated copy *)
+  let b_req =
+    check_ok
+      (Vo_core.Request.partial_modify b_copy ~label:"COURSES"
+         ~at:(tuple [ "course_id", vs "CS345" ])
+         ~f:(fun t -> Tuple.set t "title" (vs "DBMS")))
+  in
+  let _ws'', outcome2 = Penguin.Workspace.update ws' "omega" b_req in
+  let reason = rollback_reason outcome2 in
+  Alcotest.(check bool) "stale detected" true
+    (Astring_contains.contains ~sub:"stale" reason)
+
+let test_two_objects_same_pivot_coexist () =
+  (* Def 3.2: "several objects can be anchored on the same pivot
+     relation" — both installed, both queryable, distinct shapes. *)
+  let ws = Penguin.University.workspace () in
+  let o = check_ok (Penguin.Workspace.find_object ws "omega") in
+  let o' = check_ok (Penguin.Workspace.find_object ws "omega_prime") in
+  Alcotest.(check string) "same pivot" o.Definition.pivot o'.Definition.pivot;
+  Alcotest.(check bool) "different shapes" true
+    (Definition.to_ascii o <> Definition.to_ascii o');
+  let via_o = check_ok (Penguin.Workspace.oql ws "omega" "course_id = 'EE280'") in
+  let via_o' = check_ok (Penguin.Workspace.oql ws "omega_prime" "course_id = 'EE280'") in
+  Alcotest.(check int) "both see the course" 2
+    (List.length via_o + List.length via_o')
+
+let test_insert_via_omega_queryable_via_omega_prime () =
+  let ws = Penguin.University.workspace () in
+  let inst =
+    Instance.make ~label:"COURSES" ~relation:"COURSES"
+      ~tuple:
+        (tuple
+           [ "course_id", vs "CS777"; "title", vs "Query Processing";
+             "units", vi 3; "level", vs "grad" ])
+      ~children:
+        [ "DEPARTMENT",
+          [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+              (tuple [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ];
+          "GRADES",
+          [ Instance.make ~label:"GRADES" ~relation:"GRADES"
+              ~tuple:(tuple [ "pid", vi 6; "grade", vs "A" ])
+              ~children:
+                [ "STUDENT#2",
+                  [ Instance.leaf ~label:"STUDENT#2" ~relation:"STUDENT"
+                      (tuple [ "pid", vi 6 ]) ] ] ] ]
+  in
+  let ws', outcome =
+    Penguin.Workspace.update ws "omega" (Vo_core.Request.insert inst)
+  in
+  ignore (committed_db outcome);
+  let via_prime =
+    check_ok (Penguin.Workspace.oql ws' "omega_prime" "course_id = 'CS777'")
+  in
+  Alcotest.(check int) "visible through omega'" 1 (List.length via_prime);
+  let i' = List.hd via_prime in
+  Alcotest.(check int) "student reached through the 2-connection path" 1
+    (List.length (Instance.children_of i' Penguin.University.student_label))
+
+let suite =
+  [
+    Alcotest.test_case "delete via omega, seen by omega'" `Quick
+      test_update_via_omega_visible_in_omega_prime;
+    Alcotest.test_case "detach via omega, path in omega'" `Quick
+      test_grade_change_via_omega_changes_omega_prime_students;
+    Alcotest.test_case "stale concurrent instance" `Quick
+      test_stale_instance_after_concurrent_update;
+    Alcotest.test_case "two objects, one pivot" `Quick
+      test_two_objects_same_pivot_coexist;
+    Alcotest.test_case "insert via omega, query via omega'" `Quick
+      test_insert_via_omega_queryable_via_omega_prime;
+  ]

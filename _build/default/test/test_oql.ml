@@ -1,0 +1,136 @@
+open Relational
+open Viewobject
+open Test_util
+
+let omega = Penguin.University.omega
+let db () = Penguin.University.seeded_db ()
+
+let run q = check_ok (Oql.run (db ()) omega q)
+
+let course_ids is =
+  List.sort String.compare
+    (List.map
+       (fun (i : Instance.t) ->
+         Fmt.str "%a" Value.pp_plain (Tuple.get i.Instance.tuple "course_id"))
+       is)
+
+let test_empty_query () =
+  Alcotest.(check int) "empty = all" 4 (List.length (run ""));
+  Alcotest.(check int) "true = all" 4 (List.length (run "true"))
+
+let test_figure4 () =
+  Alcotest.(check (list string)) "figure 4 in OQL" [ "CS345" ]
+    (course_ids (run "level = 'grad' and count(STUDENT#2) < 5"))
+
+let test_qualified_and_bare () =
+  Alcotest.(check (list string)) "qualified pivot attr" [ "CS345"; "EE280" ]
+    (course_ids (run "COURSES.level = 'grad'"));
+  Alcotest.(check (list string)) "bare unique attr" [ "CS345"; "EE280" ]
+    (course_ids (run "level = 'grad'"));
+  (* 'pid' is projected by GRADES and STUDENT#2: ambiguous *)
+  check_err_contains ~sub:"ambiguous" (Oql.parse omega "pid = 1")
+
+let test_child_attr () =
+  Alcotest.(check (list string)) "existential child predicate"
+    [ "CS345"; "EE280" ]
+    (course_ids (run "STUDENT#2.degree_program = 'PhD CS'"))
+
+let test_node_block_semantics () =
+  (* Separate conditions are satisfied by two different grade tuples... *)
+  Alcotest.(check (list string)) "separate existentials"
+    [ "CS101"; "CS345"; "EE280" ]
+    (course_ids (run "GRADES.grade = 'A' and GRADES.pid = 1"));
+  (* ... while a node block requires one tuple satisfying both: only
+     CS345's pid-1 grade is an A. *)
+  Alcotest.(check (list string)) "block on one tuple" [ "CS345" ]
+    (course_ids (run "GRADES[grade = 'A' and pid = 1]"));
+  Alcotest.(check int) "no single tuple has A and pid 2" 0
+    (List.length (run "GRADES[grade = 'A' and pid = 2]"));
+  (* but the separate existentials accept two witnesses *)
+  Alcotest.(check (list string)) "two tuples" [ "CS345"; "EE280" ]
+    (course_ids (run "GRADES.grade = 'A' and GRADES.pid = 2"))
+
+let test_count_forms () =
+  Alcotest.(check (list string)) "count eq" [ "CS345" ]
+    (course_ids (run "count(CURRICULUM) = 2"));
+  Alcotest.(check int) "every course is in some curriculum" 0
+    (List.length (run "count(CURRICULUM) = 0"));
+  Alcotest.(check (list string)) "count over nested nodes" [ "EE280" ]
+    (course_ids (run "count(STUDENT#2) >= 5"))
+
+let test_connectives_parens () =
+  Alcotest.(check (list string)) "or" [ "CS101"; "MATH51" ]
+    (course_ids (run "course_id = 'CS101' or course_id = 'MATH51'"));
+  Alcotest.(check (list string)) "not" [ "CS101"; "MATH51" ]
+    (course_ids (run "not level = 'grad'"));
+  Alcotest.(check (list string)) "parens change grouping" [ "CS345" ]
+    (course_ids
+       (run "(level = 'grad' or level = 'undergrad') and count(GRADES) = 2"))
+
+let test_is_null () =
+  (* building is projected on DEPARTMENT and never null in the seed *)
+  Alcotest.(check int) "none null" 0
+    (List.length (run "DEPARTMENT.building is null"));
+  Alcotest.(check int) "all not null" 4
+    (List.length (run "DEPARTMENT.building is not null" ))
+
+let test_numeric_comparisons () =
+  Alcotest.(check (list string)) "units >= 4" [ "CS101"; "MATH51" ]
+    (course_ids (run "units >= 4"));
+  Alcotest.(check (list string)) "year < 2 somewhere" [ "CS101"; "EE280" ]
+    (course_ids (run "STUDENT#2.year < 2"))
+
+let test_node_block_arithmetic () =
+  (* node blocks accept the full SQL condition grammar, arithmetic
+     included *)
+  Alcotest.(check (list string)) "arithmetic" [ "CS345" ]
+    (course_ids (run "GRADES[pid * 2 = 2 and grade = 'A']"));
+  Alcotest.(check (list string)) "is-null inside block" [ ]
+    (course_ids (run "GRADES[grade is null]"));
+  Alcotest.(check (list string)) "or inside block"
+    [ "CS101"; "CS345"; "EE280"; "MATH51" ]
+    (course_ids (run "GRADES[pid = 1 or pid = 3 or pid = 5]"))
+
+let test_errors () =
+  check_err_contains ~sub:"no node" (Oql.parse omega "GHOST.x = 1");
+  check_err_contains ~sub:"does not project"
+    (Oql.parse omega "COURSES.dept_name = 'CS'");
+  check_err_contains ~sub:"no node of the object"
+    (Oql.parse omega "frobnicate = 1");
+  check_err_contains ~sub:"parse error" (Oql.parse omega "level =");
+  check_err_contains ~sub:"end of query" (Oql.parse omega "level = 'grad' level");
+  check_err_contains ~sub:"integer" (Oql.parse omega "count(GRADES) < 'x'");
+  check_err_contains ~sub:"does not project"
+    (Oql.parse omega "GRADES[title = 'x']")
+
+let test_on_other_objects () =
+  (* patient records: deep nesting *)
+  let hdb = Penguin.Hospital.seeded_db () in
+  let busy =
+    check_ok
+      (Oql.run hdb Penguin.Hospital.patient_record
+         (Fmt.str "count(%s) > 1" Penguin.Hospital.visit_label))
+  in
+  Alcotest.(check int) "one busy patient" 1 (List.length busy);
+  let drugs =
+    check_ok
+      (Oql.run hdb Penguin.Hospital.patient_record
+         (Fmt.str "%s.drug = 'atenolol'" Penguin.Hospital.orders_label))
+  in
+  Alcotest.(check int) "atenolol patient" 1 (List.length drugs)
+
+let suite =
+  [
+    Alcotest.test_case "empty/true" `Quick test_empty_query;
+    Alcotest.test_case "figure 4 query" `Quick test_figure4;
+    Alcotest.test_case "qualified & bare refs" `Quick test_qualified_and_bare;
+    Alcotest.test_case "child attribute" `Quick test_child_attr;
+    Alcotest.test_case "node block semantics" `Quick test_node_block_semantics;
+    Alcotest.test_case "count forms" `Quick test_count_forms;
+    Alcotest.test_case "connectives & parens" `Quick test_connectives_parens;
+    Alcotest.test_case "is null" `Quick test_is_null;
+    Alcotest.test_case "numeric comparisons" `Quick test_numeric_comparisons;
+    Alcotest.test_case "node block arithmetic" `Quick test_node_block_arithmetic;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "other objects" `Quick test_on_other_objects;
+  ]

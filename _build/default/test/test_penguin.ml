@@ -1,0 +1,199 @@
+open Relational
+open Viewobject
+open Test_util
+
+let test_workspace_sql () =
+  let ws = Penguin.Workspace.create Penguin.University.graph in
+  let ws, answers =
+    check_ok
+      (Penguin.Workspace.run_sql ws
+         "INSERT INTO DEPARTMENT VALUES ('Physics', 'Varian', 1000000); \
+          SELECT dept_name FROM DEPARTMENT;")
+  in
+  Alcotest.(check int) "two answers" 2 (List.length answers);
+  (match List.nth answers 1 with
+  | Sql.Rows rs -> Alcotest.(check int) "one dept" 1 (List.length rs.Algebra.rows)
+  | _ -> Alcotest.fail "expected rows");
+  Alcotest.(check int) "db advanced" 1 (Database.total_tuples ws.Penguin.Workspace.db)
+
+let test_define_object () =
+  let ws = Penguin.University.workspace () in
+  let ws =
+    check_ok
+      (Penguin.Workspace.define_object ws ~name:"course_grades" ~pivot:"COURSES"
+         ~keep:[ "COURSES", []; "GRADES", [ "pid"; "grade" ] ])
+  in
+  let vo = check_ok (Penguin.Workspace.find_object ws "course_grades") in
+  Alcotest.(check int) "two nodes" 2 (Definition.complexity vo);
+  (* default translator installed *)
+  let spec = check_ok (Penguin.Workspace.translator_of ws "course_grades") in
+  Alcotest.(check bool) "permissive default" true
+    spec.Vo_core.Translator_spec.allow_replacement
+
+let test_define_full_object () =
+  let ws = Penguin.University.workspace () in
+  let ws = check_ok (Penguin.Workspace.define_full_object ws ~name:"full" ~pivot:"COURSES") in
+  let vo = check_ok (Penguin.Workspace.find_object ws "full") in
+  Alcotest.(check int) "13 nodes" 13 (Definition.complexity vo)
+
+let test_unknown_object () =
+  let ws = Penguin.University.workspace () in
+  ignore (check_err (Penguin.Workspace.find_object ws "nope"));
+  ignore (check_err (Penguin.Workspace.translator_of ws "nope"));
+  ignore (check_err (Penguin.Workspace.query ws "nope" Vo_query.C_true));
+  let _ws, outcome =
+    Penguin.Workspace.update ws "nope"
+      (Vo_core.Request.delete
+         (Instance.leaf ~label:"X" ~relation:"X" Tuple.empty))
+  in
+  ignore (rollback_reason outcome)
+
+let test_choose_translator () =
+  let ws = Penguin.University.workspace () in
+  let ws, events =
+    check_ok
+      (Penguin.Workspace.choose_translator ws "omega" Vo_core.Dialog.all_no)
+  in
+  Alcotest.(check bool) "questions asked" true
+    (Vo_core.Dialog.question_count events > 0);
+  let spec = check_ok (Penguin.Workspace.translator_of ws "omega") in
+  Alcotest.(check bool) "locked" false spec.Vo_core.Translator_spec.allow_deletion
+
+let test_query () =
+  let ws = Penguin.University.workspace () in
+  let instances =
+    check_ok
+      (Penguin.Workspace.query ws "omega"
+         (Vo_query.C_node ("COURSES", Predicate.eq_str "level" "grad")))
+  in
+  Alcotest.(check int) "two grad courses" 2 (List.length instances);
+  let all = check_ok (Penguin.Workspace.instances ws "omega") in
+  Alcotest.(check int) "four instances" 4 (List.length all)
+
+let test_update_commit_and_rollback () =
+  let ws = Penguin.University.workspace () in
+  let i = Penguin.University.cs345_instance ws.Penguin.Workspace.db in
+  let ws', outcome = Penguin.Workspace.update ws "omega" (Vo_core.Request.delete i) in
+  ignore (committed_db outcome);
+  Alcotest.(check int) "three courses left" 3
+    (Relation.cardinality (Database.relation_exn ws'.Penguin.Workspace.db "COURSES"));
+  check_ok (Penguin.Workspace.check_consistency ws');
+  (* a rejected update leaves the workspace db unchanged *)
+  let ws'' =
+    Penguin.Workspace.set_translator ws' "omega"
+      { Penguin.University.omega_translator with
+        Vo_core.Translator_spec.allow_deletion = false }
+  in
+  let i2 =
+    List.hd (check_ok (Penguin.Workspace.instances ws'' "omega"))
+  in
+  let ws3, outcome2 = Penguin.Workspace.update ws'' "omega" (Vo_core.Request.delete i2) in
+  ignore (rollback_reason outcome2);
+  Alcotest.(check bool) "db unchanged" true
+    (Database.equal ws3.Penguin.Workspace.db ws''.Penguin.Workspace.db)
+
+let test_university_workspace_defaults () =
+  let ws = Penguin.University.workspace () in
+  Alcotest.(check (list string)) "objects installed" [ "omega"; "omega_prime" ]
+    (List.map fst ws.Penguin.Workspace.objects);
+  check_ok (Penguin.Workspace.check_consistency ws)
+
+let test_hospital_workspace () =
+  let ws = Penguin.Hospital.workspace () in
+  check_ok (Penguin.Workspace.check_consistency ws);
+  let records = check_ok (Penguin.Workspace.instances ws "patient_record") in
+  Alcotest.(check int) "three patients" 3 (List.length records);
+  (* reference data: physicians cannot be created through the object *)
+  let i = Penguin.Hospital.patient_instance ws.Penguin.Workspace.db 7003 in
+  let bad =
+    check_ok
+      (Vo_core.Request.modify_component i ~label:"PHYSICIAN"
+         ~at:(tuple [ "phys_id", vi 100 ])
+         ~f:(fun _ ->
+           tuple [ "phys_id", vi 999; "name", vs "Dr. New"; "specialty", vs "X" ]))
+  in
+  let _ws, outcome =
+    Penguin.Workspace.update ws "patient_record"
+      (Vo_core.Request.replace ~old_instance:i ~new_instance:bad)
+  in
+  let reason = rollback_reason outcome in
+  Alcotest.(check bool) "physician locked" true
+    (Astring_contains.contains ~sub:"PHYSICIAN" reason)
+
+let test_hospital_new_visit () =
+  let ws = Penguin.Hospital.workspace () in
+  let i = Penguin.Hospital.patient_instance ws.Penguin.Workspace.db 7003 in
+  let new_visit =
+    Instance.make ~label:Penguin.Hospital.visit_label ~relation:"VISIT"
+      ~tuple:(tuple [ "visit_no", vi 2; "vdate", vs "1991-03-03"; "reason", vs "follow-up" ])
+      ~children:
+        [ Penguin.Hospital.orders_label,
+          [ Instance.make ~label:Penguin.Hospital.orders_label ~relation:"ORDERS"
+              ~tuple:(tuple [ "order_no", vi 1; "drug", vs "iron"; "dose", vi 10;
+                              "prescriber", vi 100 ])
+              ~children:
+                [ Penguin.Hospital.prescriber_label,
+                  [ Instance.leaf ~label:Penguin.Hospital.prescriber_label
+                      ~relation:"PHYSICIAN"
+                      (tuple [ "phys_id", vi 100; "name", vs "Dr. House" ]) ] ] ] ]
+  in
+  let req =
+    check_ok
+      (Vo_core.Request.partial_attach i ~parent_label:"PATIENT"
+         ~at:(tuple [ "mrn", vi 7003 ]) ~child:new_visit)
+  in
+  let ws', outcome = Penguin.Workspace.update ws "patient_record" req in
+  ignore (committed_db outcome);
+  let visits = Database.relation_exn ws'.Penguin.Workspace.db "VISIT" in
+  Alcotest.(check bool) "new visit stored" true
+    (Relation.mem_key visits [ vi 7003; vi 2 ]);
+  check_ok (Penguin.Workspace.check_consistency ws')
+
+let test_cad_workspace () =
+  let ws = Penguin.Cad.workspace () in
+  check_ok (Penguin.Workspace.check_consistency ws);
+  let i = Penguin.Cad.assembly_instance ws.Penguin.Workspace.db "A1" in
+  Alcotest.(check int) "three components" 3
+    (List.length (Instance.children_of i "COMPONENT"));
+  (* rename the assembly: island key replacement cascades to components
+     and drawings *)
+  let renamed =
+    Instance.with_tuple i (Tuple.set i.Instance.tuple "asm_id" (vs "A9"))
+  in
+  let ws', outcome =
+    Penguin.Workspace.update ws "assembly"
+      (Vo_core.Request.replace ~old_instance:i ~new_instance:renamed)
+  in
+  let db' = (committed_db outcome : Database.t) in
+  ignore ws';
+  Alcotest.(check int) "components moved" 3
+    (List.length
+       (Relation.select (Predicate.eq_str "asm_id" "A9")
+          (Database.relation_exn db' "COMPONENT")));
+  Alcotest.(check int) "drawings moved" 2
+    (List.length
+       (Relation.select (Predicate.eq_str "asm_id" "A9")
+          (Database.relation_exn db' "DRAWING")));
+  check_ok (Vo_core.Global_validation.check_consistency Penguin.Cad.graph db')
+
+let test_paper_artifacts_render () =
+  List.iter
+    (fun (label, text) ->
+      Alcotest.(check bool) (label ^ " non-empty") true (String.length text > 40))
+    (Penguin.Paper.all ())
+
+let suite =
+  [
+    Alcotest.test_case "workspace sql" `Quick test_workspace_sql;
+    Alcotest.test_case "define object" `Quick test_define_object;
+    Alcotest.test_case "define full object" `Quick test_define_full_object;
+    Alcotest.test_case "unknown object" `Quick test_unknown_object;
+    Alcotest.test_case "choose translator" `Quick test_choose_translator;
+    Alcotest.test_case "query" `Quick test_query;
+    Alcotest.test_case "update commit & rollback" `Quick test_update_commit_and_rollback;
+    Alcotest.test_case "university defaults" `Quick test_university_workspace_defaults;
+    Alcotest.test_case "hospital locked reference data" `Quick test_hospital_workspace;
+    Alcotest.test_case "hospital new visit (partial update)" `Quick test_hospital_new_visit;
+    Alcotest.test_case "cad assembly rename" `Quick test_cad_workspace;
+    Alcotest.test_case "paper artifacts render" `Quick test_paper_artifacts_render;
+  ]

@@ -1,0 +1,125 @@
+open Relational
+open Test_util
+
+let t = tuple [ "a", vi 5; "b", vs "x"; "c", Value.Null ]
+
+let ev p = Predicate.eval p t
+
+let test_comparisons () =
+  Alcotest.(check bool) "eq" true (ev (Predicate.eq_int "a" 5));
+  Alcotest.(check bool) "neq" true (ev (Predicate.Cmp ("a", Predicate.Neq, vi 6)));
+  Alcotest.(check bool) "lt" true (ev (Predicate.lt_int "a" 6));
+  Alcotest.(check bool) "leq" true (ev (Predicate.Cmp ("a", Predicate.Leq, vi 5)));
+  Alcotest.(check bool) "gt" true (ev (Predicate.gt_int "a" 4));
+  Alcotest.(check bool) "geq false" false
+    (ev (Predicate.Cmp ("a", Predicate.Geq, vi 6)));
+  Alcotest.(check bool) "str eq" true (ev (Predicate.eq_str "b" "x"))
+
+let test_null_semantics () =
+  Alcotest.(check bool) "null cmp is false" false (ev (Predicate.eq_int "c" 0));
+  Alcotest.(check bool) "null neq is false" false
+    (ev (Predicate.Cmp ("c", Predicate.Neq, vi 0)));
+  Alcotest.(check bool) "is_null" true (ev (Predicate.Is_null "c"));
+  Alcotest.(check bool) "not_null" true (ev (Predicate.Not_null "a"));
+  Alcotest.(check bool) "absent attr is null" true (ev (Predicate.Is_null "zz"))
+
+let test_connectives () =
+  let p = Predicate.(eq_int "a" 5 &&& eq_str "b" "x") in
+  Alcotest.(check bool) "and" true (ev p);
+  Alcotest.(check bool) "or" true (ev Predicate.(eq_int "a" 0 ||| eq_str "b" "x"));
+  Alcotest.(check bool) "not" false (ev (Predicate.Not p));
+  Alcotest.(check bool) "true" true (ev Predicate.True);
+  Alcotest.(check bool) "false" false (ev Predicate.False)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "true &&& p = p" true
+    (Predicate.( &&& ) Predicate.True (Predicate.eq_int "a" 5) = Predicate.eq_int "a" 5);
+  Alcotest.(check bool) "false ||| p = p" true
+    (Predicate.( ||| ) Predicate.False (Predicate.eq_int "a" 5)
+    = Predicate.eq_int "a" 5);
+  Alcotest.(check bool) "false &&& p = false" true
+    (Predicate.( &&& ) Predicate.False (Predicate.eq_int "a" 5) = Predicate.False)
+
+let test_cmp_attr () =
+  let t2 = tuple [ "x", vi 3; "y", vi 3; "z", vi 4 ] in
+  Alcotest.(check bool) "attr eq" true
+    (Predicate.eval (Predicate.Cmp_attr ("x", Predicate.Eq, "y")) t2);
+  Alcotest.(check bool) "attr lt" true
+    (Predicate.eval (Predicate.Cmp_attr ("x", Predicate.Lt, "z")) t2)
+
+let test_attributes () =
+  let p =
+    Predicate.(
+      And
+        ( Or (eq_int "a" 1, Cmp_attr ("b", Eq, "c")),
+          Not (Is_null "a") ))
+  in
+  Alcotest.(check (list string)) "mentioned attrs" [ "a"; "b"; "c" ]
+    (List.sort String.compare (Predicate.attributes p))
+
+let test_matches_tuple () =
+  let p = Predicate.matches_tuple (tuple [ "a", vi 5; "c", Value.Null ]) in
+  Alcotest.(check bool) "matches itself" true (ev p);
+  Alcotest.(check bool) "fails on other" false
+    (Predicate.eval p (tuple [ "a", vi 6 ]))
+
+let test_conj () =
+  Alcotest.(check bool) "empty conj is true" true (ev (Predicate.conj []));
+  Alcotest.(check bool) "conj all" true
+    (ev (Predicate.conj [ Predicate.eq_int "a" 5; Predicate.eq_str "b" "x" ]))
+
+let es s = Predicate.eval_scalar (tuple [ "i", vi 10; "f", vf 2.5; "s", vs "ab"; "n", Value.Null ]) s
+
+let test_scalar_arithmetic () =
+  let open Predicate in
+  Alcotest.check value_testable "int add" (vi 13) (es (S_add (S_attr "i", S_const (vi 3))));
+  Alcotest.check value_testable "int sub" (vi 7) (es (S_sub (S_attr "i", S_const (vi 3))));
+  Alcotest.check value_testable "int mul" (vi 30) (es (S_mul (S_attr "i", S_const (vi 3))));
+  Alcotest.check value_testable "int div truncates" (vi 3) (es (S_div (S_attr "i", S_const (vi 3))));
+  Alcotest.check value_testable "int mod" (vi 1) (es (S_mod (S_attr "i", S_const (vi 3))));
+  Alcotest.check value_testable "neg" (vi (-10)) (es (S_neg (S_attr "i")));
+  Alcotest.check value_testable "float promotes" (vf 12.5)
+    (es (S_add (S_attr "i", S_attr "f")));
+  Alcotest.check value_testable "float div" (vf 4.0)
+    (es (S_div (S_attr "i", S_const (vf 2.5))))
+
+let test_scalar_nulls_and_errors () =
+  let open Predicate in
+  Alcotest.check value_testable "null propagates" Value.Null
+    (es (S_add (S_attr "n", S_const (vi 1))));
+  Alcotest.check value_testable "div by zero is null" Value.Null
+    (es (S_div (S_attr "i", S_const (vi 0))));
+  Alcotest.check value_testable "type mismatch is null" Value.Null
+    (es (S_add (S_attr "s", S_const (vi 1))));
+  Alcotest.check value_testable "neg of string is null" Value.Null
+    (es (S_neg (S_attr "s")));
+  Alcotest.check value_testable "concat" (vs "abcd")
+    (es (S_concat (S_attr "s", S_const (vs "cd"))));
+  Alcotest.check value_testable "concat mismatch" Value.Null
+    (es (S_concat (S_attr "s", S_const (vi 1))))
+
+let test_cmp_scalar () =
+  let open Predicate in
+  let t2 = tuple [ "a", vi 5; "b", vi 2 ] in
+  Alcotest.(check bool) "computed comparison" true
+    (eval (Cmp_scalar (S_mul (S_attr "a", S_const (vi 2)), Gt, S_const (vi 9))) t2);
+  Alcotest.(check bool) "null comparison is false" false
+    (eval (Cmp_scalar (S_div (S_attr "a", S_const (vi 0)), Eq, S_const Value.Null)) t2);
+  Alcotest.(check (list string)) "attrs include scalar refs" [ "a"; "b" ]
+    (List.sort String.compare
+       (attributes (Cmp_scalar (S_add (S_attr "a", S_attr "b"), Lt, S_attr "a"))))
+
+let suite =
+  [
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "scalar arithmetic" `Quick test_scalar_arithmetic;
+    Alcotest.test_case "scalar nulls/errors" `Quick test_scalar_nulls_and_errors;
+    Alcotest.test_case "cmp_scalar" `Quick test_cmp_scalar;
+    Alcotest.test_case "null semantics" `Quick test_null_semantics;
+    Alcotest.test_case "connectives" `Quick test_connectives;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "attr-to-attr" `Quick test_cmp_attr;
+    Alcotest.test_case "attributes" `Quick test_attributes;
+    Alcotest.test_case "matches_tuple" `Quick test_matches_tuple;
+    Alcotest.test_case "conj" `Quick test_conj;
+  ]

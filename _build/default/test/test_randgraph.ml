@@ -1,0 +1,220 @@
+(* Property tests over randomly generated structural schemas: the
+   generation pipeline (metric -> expansion -> full definition) and the
+   island/peninsula analysis must hold their invariants on arbitrary
+   valid schemas, not just the fixtures. *)
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+(* Random structural schemas, valid by construction. Relation 0 is the
+   root; each later relation attaches to an earlier one by a random
+   connection kind, with schemas shaped to satisfy Defs. 2.2-2.4:
+   - ownership p -> i : K(R_i) = K(R_p) + own id
+   - reference i -> p : R_i gains nonkey fk attributes matching K(R_p)
+   - subset    p -> i : K(R_i) = K(R_p)
+   Extra cross references are added between random pairs. *)
+
+type plan = {
+  n : int;
+  attach : (int * int) list;  (** (parent, kind 0=own 1=ref 2=subset) per i>0 *)
+  extra_refs : (int * int) list;  (** (from, to) *)
+}
+
+let plan_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 8 in
+    let* attach =
+      flatten_l
+        (List.init (n - 1) (fun i ->
+             let i = i + 1 in
+             let* parent = int_bound (i - 1) in
+             let* kind = int_bound 2 in
+             return (parent, kind)))
+    in
+    let* n_extra = int_bound 2 in
+    let* extra_refs =
+      flatten_l
+        (List.init n_extra (fun _ ->
+             let* a = int_bound (n - 1) in
+             let* b = int_bound (n - 1) in
+             return (a, b)))
+    in
+    return { n; attach; extra_refs })
+
+(* Build the schema set and connections for a plan. Keys are tracked as
+   attribute-name lists; attribute names are globally unique per
+   relation. *)
+let build plan =
+  let keys = Array.make plan.n [] in
+  let payloads = Array.make plan.n [] in
+  let fk_attrs = Array.make plan.n [] in
+  let conns = ref [] in
+  keys.(0) <- [ "k0" ];
+  payloads.(0) <- [ "p0" ];
+  List.iteri
+    (fun idx (parent, kind) ->
+      let i = idx + 1 in
+      match kind with
+      | 0 ->
+          (* ownership parent -> i *)
+          keys.(i) <- keys.(parent) @ [ Fmt.str "k%d" i ];
+          payloads.(i) <- [ Fmt.str "p%d" i ];
+          conns :=
+            Connection.ownership (Fmt.str "T%d" parent) (Fmt.str "T%d" i)
+              ~on:(keys.(parent), keys.(parent))
+            :: !conns
+      | 1 ->
+          (* i references parent through fresh nonkey (int) fk attrs *)
+          let fks = List.map (fun a -> Fmt.str "fk%d_%s" i a) keys.(parent) in
+          keys.(i) <- [ Fmt.str "k%d" i ];
+          payloads.(i) <- [ Fmt.str "p%d" i ];
+          fk_attrs.(i) <- fks;
+          conns :=
+            Connection.reference (Fmt.str "T%d" i) (Fmt.str "T%d" parent)
+              ~on:(fks, keys.(parent))
+            :: !conns
+      | _ ->
+          (* subset parent -> i *)
+          keys.(i) <- keys.(parent);
+          payloads.(i) <- [ Fmt.str "p%d" i ];
+          conns :=
+            Connection.subset (Fmt.str "T%d" parent) (Fmt.str "T%d" i)
+              ~on:(keys.(parent), keys.(parent))
+            :: !conns)
+    plan.attach;
+  (* extra cross references a -> b through fresh nonkey fk attributes *)
+  let extra_nonkeys = Array.make plan.n [] in
+  List.iteri
+    (fun j (a, b) ->
+      if a <> b then begin
+        let fks = List.map (fun k -> Fmt.str "xf%d_%d_%s" j a k) keys.(b) in
+        extra_nonkeys.(a) <- extra_nonkeys.(a) @ fks;
+        conns :=
+          Connection.reference (Fmt.str "T%d" a) (Fmt.str "T%d" b)
+            ~on:(fks, keys.(b))
+          :: !conns
+      end)
+    plan.extra_refs;
+  let schemas =
+    List.init plan.n (fun i ->
+        let attrs =
+          List.map Attribute.int keys.(i)
+          @ List.map Attribute.str payloads.(i)
+          @ List.map Attribute.int fk_attrs.(i)
+          @ List.map Attribute.int extra_nonkeys.(i)
+        in
+        Schema.make_exn ~name:(Fmt.str "T%d" i) ~attributes:attrs ~key:keys.(i))
+  in
+  Schema_graph.make schemas (List.rev !conns)
+
+let plan_arb =
+  QCheck.make
+    ~print:(fun p ->
+      Fmt.str "n=%d attach=%a extra=%a" p.n
+        Fmt.(Dump.list (Dump.pair int int))
+        p.attach
+        Fmt.(Dump.list (Dump.pair int int))
+        p.extra_refs)
+    plan_gen
+
+let metric = Metric.make ~threshold:0.3 ()
+
+let prop_generated_graphs_valid =
+  QCheck.Test.make ~name:"random structural schemas validate" ~count:200
+    plan_arb
+    (fun plan -> Result.is_ok (build plan))
+
+let with_graph plan f =
+  match build plan with Error _ -> false | Ok g -> f g
+
+let prop_expansion_invariants =
+  QCheck.Test.make ~name:"expansion: unique labels, no cycles, monotone"
+    ~count:200 plan_arb
+    (fun plan ->
+      with_graph plan (fun g ->
+          let tree = Generate.tree metric g ~pivot:"T0" in
+          let labels = Expansion.labels tree in
+          let unique =
+            List.length labels = List.length (List.sort_uniq compare labels)
+          in
+          let rec no_repeat path (n : Expansion.node) =
+            (not (List.mem n.Expansion.relation path))
+            && List.for_all
+                 (no_repeat (n.Expansion.relation :: path))
+                 n.Expansion.children
+          in
+          let rec monotone (n : Expansion.node) =
+            List.for_all
+              (fun (c : Expansion.node) ->
+                c.Expansion.relevance <= n.Expansion.relevance +. 1e-9
+                && monotone c)
+              n.Expansion.children
+          in
+          unique && no_repeat [] tree && monotone tree))
+
+let prop_full_definition_validates =
+  QCheck.Test.make ~name:"full definition over random schema validates"
+    ~count:200 plan_arb
+    (fun plan ->
+      with_graph plan (fun g ->
+          match Generate.full metric g ~name:"t" ~pivot:"T0" with
+          | Ok vo -> Definition.complexity vo >= 1
+          | Error _ -> false))
+
+let prop_island_prefix_closed =
+  QCheck.Test.make ~name:"dependency island is prefix-closed" ~count:200
+    plan_arb
+    (fun plan ->
+      with_graph plan (fun g ->
+          match Generate.full metric g ~name:"t" ~pivot:"T0" with
+          | Error _ -> false
+          | Ok vo ->
+              let island = Island.island_labels vo in
+              List.for_all
+                (fun label ->
+                  match Definition.parent_of vo label with
+                  | None -> true
+                  | Some parent -> List.mem parent.Definition.label island)
+                island))
+
+let prop_peninsulas_in_object =
+  QCheck.Test.make ~name:"peninsulas are object relations outside the island"
+    ~count:200 plan_arb
+    (fun plan ->
+      with_graph plan (fun g ->
+          match Generate.full metric g ~name:"t" ~pivot:"T0" with
+          | Error _ -> false
+          | Ok vo ->
+              let island = Island.island_relations vo in
+              List.for_all
+                (fun (rel, (c : Connection.t)) ->
+                  List.mem rel (Definition.relations vo)
+                  && (not (List.mem rel island))
+                  && List.mem c.Connection.target island)
+                (Island.peninsulas g vo)))
+
+let prop_definition_store_roundtrip =
+  QCheck.Test.make ~name:"random definitions survive the store" ~count:100
+    plan_arb
+    (fun plan ->
+      with_graph plan (fun g ->
+          match Generate.full metric g ~name:"t" ~pivot:"T0" with
+          | Error _ -> false
+          | Ok vo -> (
+              match
+                Penguin.Store.definition_of_sexp g
+                  (Penguin.Store.definition_to_sexp vo)
+              with
+              | Ok vo' -> Definition.to_ascii vo = Definition.to_ascii vo'
+              | Error _ -> false)))
+
+let suite =
+  [
+    qtest prop_generated_graphs_valid;
+    qtest prop_expansion_invariants;
+    qtest prop_full_definition_validates;
+    qtest prop_island_prefix_closed;
+    qtest prop_peninsulas_in_object;
+    qtest prop_definition_store_roundtrip;
+  ]

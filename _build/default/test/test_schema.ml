@@ -1,0 +1,73 @@
+open Relational
+open Test_util
+
+let attrs = [ Attribute.int "a"; Attribute.str "b"; Attribute.float "c" ]
+
+let test_make_ok () =
+  let s = check_ok (Schema.make ~name:"R" ~attributes:attrs ~key:[ "a" ]) in
+  Alcotest.(check (list string)) "attrs" [ "a"; "b"; "c" ] (Schema.attribute_names s);
+  Alcotest.(check (list string)) "key" [ "a" ] (Schema.key_attributes s);
+  Alcotest.(check (list string)) "nonkey" [ "b"; "c" ] (Schema.nonkey_attributes s);
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check bool) "is_key_attr" true (Schema.is_key_attr s "a");
+  Alcotest.(check bool) "not key" false (Schema.is_key_attr s "b")
+
+let test_make_errors () =
+  check_err_contains ~sub:"empty relation name"
+    (Schema.make ~name:"" ~attributes:attrs ~key:[ "a" ]);
+  check_err_contains ~sub:"no attributes"
+    (Schema.make ~name:"R" ~attributes:[] ~key:[ "a" ]);
+  check_err_contains ~sub:"duplicate attribute"
+    (Schema.make ~name:"R"
+       ~attributes:[ Attribute.int "a"; Attribute.str "a" ]
+       ~key:[ "a" ]);
+  check_err_contains ~sub:"empty key"
+    (Schema.make ~name:"R" ~attributes:attrs ~key:[]);
+  check_err_contains ~sub:"not declared"
+    (Schema.make ~name:"R" ~attributes:attrs ~key:[ "zz" ]);
+  check_err_contains ~sub:"duplicate key"
+    (Schema.make ~name:"R" ~attributes:attrs ~key:[ "a"; "a" ])
+
+let test_find_domain () =
+  let s = Schema.make_exn ~name:"R" ~attributes:attrs ~key:[ "a" ] in
+  Alcotest.(check bool) "mem" true (Schema.mem s "b");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "zz");
+  Alcotest.(check (option string))
+    "domain" (Some "float")
+    (Option.map Value.domain_name (Schema.domain_of s "c"));
+  Alcotest.(check (option string)) "missing" None
+    (Option.map Value.domain_name (Schema.domain_of s "zz"))
+
+let test_project_keeps_key () =
+  let s = Schema.make_exn ~name:"R" ~attributes:attrs ~key:[ "a" ] in
+  let p = check_ok (Schema.project s [ "a"; "c" ]) in
+  Alcotest.(check (list string)) "key kept" [ "a" ] (Schema.key_attributes p);
+  Alcotest.(check (list string)) "attrs" [ "a"; "c" ] (Schema.attribute_names p)
+
+let test_project_drops_key () =
+  let s = Schema.make_exn ~name:"R" ~attributes:attrs ~key:[ "a" ] in
+  let p = check_ok (Schema.project s [ "b"; "c" ]) in
+  Alcotest.(check (list string))
+    "all kept attrs become the key" [ "b"; "c" ] (Schema.key_attributes p)
+
+let test_project_unknown () =
+  let s = Schema.make_exn ~name:"R" ~attributes:attrs ~key:[ "a" ] in
+  check_err_contains ~sub:"unknown attribute" (Schema.project s [ "zz" ])
+
+let test_rename_equal () =
+  let s = Schema.make_exn ~name:"R" ~attributes:attrs ~key:[ "a" ] in
+  let r = Schema.rename s "S" in
+  Alcotest.(check string) "renamed" "S" r.Schema.name;
+  Alcotest.(check bool) "not equal after rename" false (Schema.equal s r);
+  Alcotest.(check bool) "self equal" true (Schema.equal s s)
+
+let suite =
+  [
+    Alcotest.test_case "make ok" `Quick test_make_ok;
+    Alcotest.test_case "make errors" `Quick test_make_errors;
+    Alcotest.test_case "find/domain" `Quick test_find_domain;
+    Alcotest.test_case "project keeps key" `Quick test_project_keeps_key;
+    Alcotest.test_case "project drops key" `Quick test_project_drops_key;
+    Alcotest.test_case "project unknown" `Quick test_project_unknown;
+    Alcotest.test_case "rename/equal" `Quick test_rename_equal;
+  ]

@@ -1,0 +1,94 @@
+open Structural
+open Test_util
+
+let g = Penguin.University.graph
+
+let test_make () =
+  Alcotest.(check (list string)) "relations"
+    [ "COURSES"; "CURRICULUM"; "DEPARTMENT"; "FACULTY"; "GRADES"; "PEOPLE";
+      "STAFF"; "STUDENT" ]
+    (Schema_graph.relations g);
+  Alcotest.(check int) "connections" 8 (List.length (Schema_graph.connections g))
+
+let test_duplicate_schema () =
+  let s = Schema_graph.schema_exn g "COURSES" in
+  let g1 = check_ok (Schema_graph.add_schema Schema_graph.empty s) in
+  check_err_contains ~sub:"already in graph" (Schema_graph.add_schema g1 s)
+
+let test_duplicate_connection () =
+  let c = List.hd (Schema_graph.connections g) in
+  match Schema_graph.make (List.map (Schema_graph.schema_exn g) (Schema_graph.relations g)) [ c; c ] with
+  | Error e ->
+      Alcotest.(check bool) "mentions duplicate" true
+        (Astring_contains.contains ~sub:"already in graph" e)
+  | Ok _ -> Alcotest.fail "expected duplicate-connection error"
+
+let test_invalid_connection_rejected () =
+  let bad =
+    Connection.ownership "COURSES" "DEPARTMENT" ~on:([ "course_id" ], [ "dept_name" ])
+  in
+  ignore (check_err (Schema_graph.add_connection g bad))
+
+let test_out_in () =
+  Alcotest.(check int) "COURSES outgoing" 2
+    (List.length (Schema_graph.outgoing g "COURSES"));
+  Alcotest.(check int) "COURSES incoming" 1
+    (List.length (Schema_graph.incoming g "COURSES"));
+  Alcotest.(check int) "DEPARTMENT incoming" 2
+    (List.length (Schema_graph.incoming g "DEPARTMENT"))
+
+let test_edges_from_order () =
+  let edges = Schema_graph.edges_from g "COURSES" in
+  Alcotest.(check int) "three edges" 3 (List.length edges);
+  let dirs = List.map (fun (e : Schema_graph.edge) -> e.Schema_graph.forward) edges in
+  Alcotest.(check (list bool)) "forward first" [ true; true; false ] dirs;
+  let targets = List.map Schema_graph.edge_to edges in
+  Alcotest.(check (list string)) "deterministic targets"
+    [ "DEPARTMENT"; "GRADES"; "CURRICULUM" ] targets
+
+let test_edge_accessors () =
+  let e = List.hd (Schema_graph.edges_from g "CURRICULUM") in
+  (* CURRICULUM's only edge is its forward reference into COURSES *)
+  Alcotest.(check string) "from" "CURRICULUM" (Schema_graph.edge_from e);
+  Alcotest.(check string) "to" "COURSES" (Schema_graph.edge_to e);
+  Alcotest.(check (list string)) "from attrs" [ "course_id" ]
+    (Schema_graph.edge_from_attrs e);
+  let inv = Schema_graph.inverse e in
+  Alcotest.(check string) "inverse from" "COURSES" (Schema_graph.edge_from inv);
+  Alcotest.(check (list string)) "inverse from attrs" [ "course_id" ]
+    (Schema_graph.edge_from_attrs inv)
+
+let test_restrict () =
+  let sub = Schema_graph.restrict g ~keep:[ "COURSES"; "GRADES"; "STUDENT" ] in
+  Alcotest.(check (list string)) "kept" [ "COURSES"; "GRADES"; "STUDENT" ]
+    (Schema_graph.relations sub);
+  Alcotest.(check int) "kept connections" 2
+    (List.length (Schema_graph.connections sub))
+
+let test_create_database () =
+  let db = Schema_graph.create_database g in
+  Alcotest.(check int) "eight empty relations" 8
+    (List.length (Relational.Database.relation_names db));
+  Alcotest.(check int) "no tuples" 0 (Relational.Database.total_tuples db)
+
+let test_to_dot () =
+  let dot = Schema_graph.to_dot g in
+  Alcotest.(check bool) "digraph" true (Astring_contains.contains ~sub:"digraph" dot);
+  Alcotest.(check bool) "ownership edge" true
+    (Astring_contains.contains ~sub:"COURSES -> GRADES" dot);
+  Alcotest.(check bool) "subset style" true
+    (Astring_contains.contains ~sub:"subset" dot)
+
+let suite =
+  [
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "duplicate schema" `Quick test_duplicate_schema;
+    Alcotest.test_case "duplicate connection" `Quick test_duplicate_connection;
+    Alcotest.test_case "invalid connection rejected" `Quick test_invalid_connection_rejected;
+    Alcotest.test_case "outgoing/incoming" `Quick test_out_in;
+    Alcotest.test_case "edges_from order" `Quick test_edges_from_order;
+    Alcotest.test_case "edge accessors" `Quick test_edge_accessors;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "create_database" `Quick test_create_database;
+    Alcotest.test_case "to_dot" `Quick test_to_dot;
+  ]

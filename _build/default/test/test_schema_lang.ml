@@ -1,0 +1,85 @@
+open Structural
+open Test_util
+
+let library_script =
+  {|
+  relation AUTHOR (author_id string, name string) key (author_id);
+  relation BOOK (isbn string, title string, author_id string, year int)
+    key (isbn);
+  relation COPY (isbn string, copy_no int, shelf string) key (isbn, copy_no);
+
+  reference BOOK AUTHOR on (author_id ; author_id);
+  ownership BOOK COPY on (isbn ; isbn);
+  |}
+
+let test_parse_basic () =
+  let g = check_ok (Schema_lang.parse library_script) in
+  Alcotest.(check (list string)) "relations" [ "AUTHOR"; "BOOK"; "COPY" ]
+    (Schema_graph.relations g);
+  Alcotest.(check int) "connections" 2 (List.length (Schema_graph.connections g));
+  let copy = Schema_graph.schema_exn g "COPY" in
+  Alcotest.(check (list string)) "composite key" [ "isbn"; "copy_no" ]
+    (Relational.Schema.key_attributes copy)
+
+let test_render_roundtrip () =
+  let g = check_ok (Schema_lang.parse library_script) in
+  let g2 = check_ok (Schema_lang.parse (Schema_lang.render g)) in
+  Alcotest.(check (list string)) "relations stable"
+    (Schema_graph.relations g) (Schema_graph.relations g2);
+  Alcotest.(check int) "connections stable"
+    (List.length (Schema_graph.connections g))
+    (List.length (Schema_graph.connections g2))
+
+let test_university_roundtrip () =
+  (* the Figure-1 schema survives render/parse *)
+  let g = Penguin.University.graph in
+  let g2 = check_ok (Schema_lang.parse (Schema_lang.render g)) in
+  Alcotest.(check (list string)) "relations"
+    (Schema_graph.relations g) (Schema_graph.relations g2);
+  let ids graph =
+    List.sort String.compare
+      (List.map Connection.id (Schema_graph.connections graph))
+  in
+  Alcotest.(check (list string)) "connection ids" (ids g) (ids g2)
+
+let test_generation_from_script () =
+  (* a script-defined schema drives the full pipeline *)
+  let g = check_ok (Schema_lang.parse library_script) in
+  let vo =
+    check_ok (Viewobject.Generate.full Metric.default g ~name:"book" ~pivot:"BOOK")
+  in
+  Alcotest.(check (list string)) "island"
+    [ "BOOK"; "COPY" ]
+    (Viewobject.Island.island_relations vo)
+
+let test_parse_errors () =
+  check_err_contains ~sub:"unknown domain"
+    (Schema_lang.parse "relation R (a frobnicate) key (a);");
+  check_err_contains ~sub:"expected on"
+    (Schema_lang.parse
+       "relation A (x int) key (x); relation B (x int, y int) key (x, y); \
+        ownership A B (x ; x);");
+  check_err_contains ~sub:"relation, ownership"
+    (Schema_lang.parse "frobnicate A B;");
+  (* structural rules are enforced: reference X2 must be the whole key *)
+  check_err_contains ~sub:"X2 must equal K"
+    (Schema_lang.parse
+       "relation A (x int, z int) key (x); relation B (x int, y int) key (x, y); \
+        reference A B on (z ; x);");
+  (* unknown relation in a connection *)
+  check_err_contains ~sub:"unknown source"
+    (Schema_lang.parse "relation A (x int) key (x); ownership GHOST A on (x ; x);")
+
+let test_missing_semicolon () =
+  check_err_contains ~sub:"expected ;"
+    (Schema_lang.parse "relation A (x int) key (x)")
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "render roundtrip" `Quick test_render_roundtrip;
+    Alcotest.test_case "university roundtrip" `Quick test_university_roundtrip;
+    Alcotest.test_case "generation from script" `Quick test_generation_from_script;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "missing semicolon" `Quick test_missing_semicolon;
+  ]

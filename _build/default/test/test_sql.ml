@@ -1,0 +1,265 @@
+open Relational
+open Test_util
+
+let fresh_db () =
+  let script =
+    {|
+    CREATE TABLE emp (id int, name string, dept string, salary int) KEY (id);
+    CREATE TABLE dept (dname string, head string) KEY (dname);
+    INSERT INTO emp VALUES (1, 'Ada', 'CS', 100);
+    INSERT INTO emp VALUES (2, 'Ben', 'CS', 90);
+    INSERT INTO emp VALUES (3, 'Cat', 'EE', 80);
+    INSERT INTO dept VALUES ('CS', 'Ada');
+    INSERT INTO dept VALUES ('EE', 'Cat');
+    |}
+  in
+  let db, _ = check_ok (Sql.run_script Database.empty script) in
+  db
+
+let rows db q =
+  match check_ok (Sql.run db q) with
+  | _, Sql.Rows rs -> rs
+  | _ -> Alcotest.fail "expected rows"
+
+let affected db q =
+  match check_ok (Sql.run db q) with
+  | db', Sql.Affected n -> db', n
+  | _ -> Alcotest.fail "expected affected count"
+
+let test_lexer () =
+  let toks = check_ok (Sql_lexer.tokenize "SELECT a, b FROM t WHERE x <= 3.5 AND y = 'it''s';") in
+  Alcotest.(check int) "token count" 16 (List.length toks);
+  (match List.nth toks 0 with
+  | Sql_lexer.Kw "select" -> ()
+  | t -> Alcotest.failf "expected select keyword, got %a" Sql_lexer.pp_token t);
+  (match List.find_opt (function Sql_lexer.Str_lit _ -> true | _ -> false) toks with
+  | Some (Sql_lexer.Str_lit s) -> Alcotest.(check string) "escaped quote" "it's" s
+  | _ -> Alcotest.fail "no string literal");
+  ignore (check_err (Sql_lexer.tokenize "select ~"));
+  ignore (check_err (Sql_lexer.tokenize "select 'unterminated"))
+
+let test_parser_errors () =
+  ignore (check_err (Sql_parser.parse_statement "FROB x"));
+  ignore (check_err (Sql_parser.parse_statement "SELECT FROM"));
+  ignore (check_err (Sql_parser.parse_statement "INSERT INTO t VALUES (1) garbage"))
+
+let test_create_and_insert () =
+  let db = fresh_db () in
+  Alcotest.(check (list string)) "tables" [ "dept"; "emp" ] (Database.relation_names db);
+  Alcotest.(check int) "emp rows" 3
+    (Relation.cardinality (Database.relation_exn db "emp"))
+
+let test_select_single () =
+  let db = fresh_db () in
+  let rs = rows db "SELECT name FROM emp WHERE salary >= 90" in
+  Alcotest.(check int) "two rows" 2 (List.length rs.Algebra.rows);
+  let rs2 = rows db "SELECT * FROM emp WHERE dept = 'EE'" in
+  Alcotest.(check int) "one row" 1 (List.length rs2.Algebra.rows)
+
+let test_select_join () =
+  let db = fresh_db () in
+  let rs =
+    rows db
+      "SELECT emp.name, d.head FROM emp, dept AS d WHERE emp.dept = d.dname AND \
+       emp.salary > 85"
+  in
+  Alcotest.(check (list string)) "attrs" [ "emp.name"; "d.head" ] rs.Algebra.attrs;
+  Alcotest.(check int) "two CS rows" 2 (List.length rs.Algebra.rows)
+
+let test_ambiguity () =
+  let db = fresh_db () in
+  (* 'name' occurs in both copies of emp: ambiguous. *)
+  ignore (check_err (Sql.run db "SELECT name FROM emp AS a, emp AS b WHERE a.id = b.id"));
+  (* unqualified attrs occurring once resolve across the join *)
+  let rs = rows db "SELECT name, dname FROM emp, dept WHERE dept = dname" in
+  Alcotest.(check int) "join rows" 3 (List.length rs.Algebra.rows)
+
+let test_update () =
+  let db = fresh_db () in
+  let db, n = affected db "UPDATE emp SET salary = 120 WHERE dept = 'CS'" in
+  Alcotest.(check int) "two updated" 2 n;
+  let rs = rows db "SELECT id FROM emp WHERE salary = 120" in
+  Alcotest.(check int) "both" 2 (List.length rs.Algebra.rows)
+
+let test_delete () =
+  let db = fresh_db () in
+  let db, n = affected db "DELETE FROM emp WHERE salary < 90" in
+  Alcotest.(check int) "one deleted" 1 n;
+  Alcotest.(check int) "two left" 2
+    (Relation.cardinality (Database.relation_exn db "emp"))
+
+let test_insert_named_columns () =
+  let db = fresh_db () in
+  let db, _ = affected db "INSERT INTO emp (id, name) VALUES (9, 'Zed')" in
+  let t = Option.get (Relation.lookup (Database.relation_exn db "emp") [ vi 9 ]) in
+  Alcotest.check value_testable "padded null" Value.Null (Tuple.get t "salary")
+
+let test_insert_errors () =
+  let db = fresh_db () in
+  ignore (check_err (Sql.run db "INSERT INTO emp VALUES (1, 'dup', 'CS', 1)"));
+  ignore (check_err (Sql.run db "INSERT INTO emp (id) VALUES (7, 8)"));
+  ignore (check_err (Sql.run db "INSERT INTO nope VALUES (1)"))
+
+let test_is_null () =
+  let db = fresh_db () in
+  let db, _ = affected db "INSERT INTO emp (id, name) VALUES (10, 'Nul')" in
+  let rs = rows db "SELECT id FROM emp WHERE salary IS NULL" in
+  Alcotest.(check int) "one null" 1 (List.length rs.Algebra.rows);
+  let rs2 = rows db "SELECT id FROM emp WHERE salary IS NOT NULL" in
+  Alcotest.(check int) "three not null" 3 (List.length rs2.Algebra.rows)
+
+let test_drop () =
+  let db = fresh_db () in
+  let db, a = check_ok (Sql.run db "DROP TABLE dept") in
+  (match a with Sql.Done -> () | _ -> Alcotest.fail "expected Done");
+  Alcotest.(check bool) "gone" false (Database.mem_relation db "dept")
+
+let test_condition_precedence () =
+  let db = fresh_db () in
+  (* OR binds looser than AND: this must match Ada (CS & 100) and Cat. *)
+  let rs =
+    rows db "SELECT name FROM emp WHERE dept = 'CS' AND salary = 100 OR dept = 'EE'"
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rs.Algebra.rows);
+  let rs2 =
+    rows db "SELECT name FROM emp WHERE NOT (dept = 'CS') AND salary < 100"
+  in
+  Alcotest.(check int) "one row" 1 (List.length rs2.Algebra.rows)
+
+let test_aggregates () =
+  let db = fresh_db () in
+  let rs =
+    rows db
+      "SELECT dept, count(*) AS n, sum(salary) AS total FROM emp GROUP BY dept \
+       ORDER BY n DESC"
+  in
+  Alcotest.(check (list string)) "attrs" [ "dept"; "n"; "total" ] rs.Algebra.attrs;
+  (match rs.Algebra.rows with
+  | [ r1; r2 ] ->
+      Alcotest.check value_testable "CS first" (vs "CS") (Tuple.get r1 "dept");
+      Alcotest.check value_testable "CS count" (vi 2) (Tuple.get r1 "n");
+      Alcotest.check value_testable "CS total" (vi 190) (Tuple.get r1 "total");
+      Alcotest.check value_testable "EE count" (vi 1) (Tuple.get r2 "n")
+  | _ -> Alcotest.fail "expected two groups")
+
+let test_global_aggregate () =
+  let db = fresh_db () in
+  let rs = rows db "SELECT count(*), avg(salary) FROM emp" in
+  Alcotest.(check (list string)) "synthesized names" [ "count"; "avg_salary" ]
+    rs.Algebra.attrs;
+  let r = List.hd rs.Algebra.rows in
+  Alcotest.check value_testable "count" (vi 3) (Tuple.get r "count");
+  Alcotest.check value_testable "avg" (vf 90.) (Tuple.get r "avg_salary")
+
+let test_having () =
+  let db = fresh_db () in
+  let rs =
+    rows db "SELECT dept, count(*) AS n FROM emp GROUP BY dept HAVING n > 1"
+  in
+  Alcotest.(check int) "only CS" 1 (List.length rs.Algebra.rows);
+  Alcotest.check value_testable "CS" (vs "CS")
+    (Tuple.get (List.hd rs.Algebra.rows) "dept")
+
+let test_order_limit_plain () =
+  let db = fresh_db () in
+  let rs = rows db "SELECT name FROM emp ORDER BY salary DESC LIMIT 2" in
+  Alcotest.(check int) "two" 2 (List.length rs.Algebra.rows);
+  (* note: ORDER BY references output attributes *)
+  ignore
+    (check_err (Sql.run db "SELECT name FROM emp ORDER BY salary DESC LIMIT -1"))
+
+let test_aggregate_alias_in_order () =
+  let db = fresh_db () in
+  let rs =
+    rows db
+      "SELECT dept, min(salary) AS lo FROM emp GROUP BY dept ORDER BY lo ASC LIMIT 1"
+  in
+  Alcotest.check value_testable "EE has the minimum" (vs "EE")
+    (Tuple.get (List.hd rs.Algebra.rows) "dept")
+
+let test_aggregate_errors () =
+  let db = fresh_db () in
+  ignore (check_err (Sql.run db "SELECT name, count(*) FROM emp"));
+  ignore (check_err (Sql.run db "SELECT frob(salary) FROM emp GROUP BY dept"));
+  ignore (check_err (Sql.run db "SELECT dept, count(*) FROM emp GROUP BY dept HAVING ghost > 1"));
+  ignore (check_err (Sql.run db "SELECT dept FROM emp GROUP BY dept ORDER BY salary"))
+
+let test_select_alias () =
+  let db = fresh_db () in
+  let rs = rows db "SELECT name AS who, salary AS pay FROM emp WHERE id = 1" in
+  Alcotest.(check (list string)) "aliases" [ "who"; "pay" ] rs.Algebra.attrs;
+  Alcotest.check value_testable "value" (vs "Ada")
+    (Tuple.get (List.hd rs.Algebra.rows) "who")
+
+let test_arithmetic_where () =
+  let db = fresh_db () in
+  let rs = rows db "SELECT name FROM emp WHERE salary * 2 >= 180" in
+  Alcotest.(check int) "two rows" 2 (List.length rs.Algebra.rows);
+  let rs2 = rows db "SELECT name FROM emp WHERE (salary + 20) / 2 = 60" in
+  Alcotest.(check int) "one row" 1 (List.length rs2.Algebra.rows);
+  let rs3 = rows db "SELECT name FROM emp WHERE -salary < -95" in
+  Alcotest.(check int) "unary minus" 1 (List.length rs3.Algebra.rows);
+  let rs4 = rows db "SELECT name FROM emp WHERE salary % 2 = 0" in
+  Alcotest.(check int) "modulo" 3 (List.length rs4.Algebra.rows);
+  (* '-' after an attribute is subtraction, before a literal a sign *)
+  let rs5 = rows db "SELECT name FROM emp WHERE salary - 10 = 90" in
+  Alcotest.(check int) "subtraction" 1 (List.length rs5.Algebra.rows);
+  let rs6 = rows db "SELECT name FROM emp WHERE salary = -1 * -100" in
+  Alcotest.(check int) "negative literals" 1 (List.length rs6.Algebra.rows)
+
+let test_arithmetic_update () =
+  let db = fresh_db () in
+  let db, n = affected db "UPDATE emp SET salary = salary + 10 WHERE dept = 'CS'" in
+  Alcotest.(check int) "two raises" 2 n;
+  let rs = rows db "SELECT salary FROM emp WHERE id = 1" in
+  Alcotest.check value_testable "110" (vi 110)
+    (Tuple.get (List.hd rs.Algebra.rows) "salary");
+  (* all right-hand sides see the pre-update values *)
+  let db, _ = affected db "UPDATE emp SET salary = salary * 2, id = id + 100 WHERE id = 1" in
+  let rs2 = rows db "SELECT salary FROM emp WHERE id = 101" in
+  Alcotest.check value_testable "doubled" (vi 220)
+    (Tuple.get (List.hd rs2.Algebra.rows) "salary")
+
+let test_division_by_zero_null () =
+  let db = fresh_db () in
+  let rs = rows db "SELECT name FROM emp WHERE salary / 0 = 1" in
+  Alcotest.(check int) "null comparisons never hold" 0 (List.length rs.Algebra.rows);
+  (* update to a null via division by zero is rejected on a key... *)
+  ignore (check_err (Sql.run db "UPDATE emp SET id = id / 0 WHERE id = 1"));
+  (* ... but fine on a nullable attribute *)
+  let db, _ = affected db "UPDATE emp SET salary = salary / 0 WHERE id = 1" in
+  let rs2 = rows db "SELECT name FROM emp WHERE salary IS NULL" in
+  Alcotest.(check int) "nulled" 1 (List.length rs2.Algebra.rows)
+
+let test_script_stops_at_error () =
+  match Sql.run_script (fresh_db ()) "DELETE FROM emp; SELECT * FROM ghost;" with
+  | Error e -> Alcotest.(check bool) "mentions ghost" true (Astring_contains.contains ~sub:"ghost" e)
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let suite =
+  [
+    Alcotest.test_case "lexer" `Quick test_lexer;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "create & insert" `Quick test_create_and_insert;
+    Alcotest.test_case "select single table" `Quick test_select_single;
+    Alcotest.test_case "select join" `Quick test_select_join;
+    Alcotest.test_case "attribute resolution" `Quick test_ambiguity;
+    Alcotest.test_case "update" `Quick test_update;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "insert named columns" `Quick test_insert_named_columns;
+    Alcotest.test_case "insert errors" `Quick test_insert_errors;
+    Alcotest.test_case "is null" `Quick test_is_null;
+    Alcotest.test_case "drop" `Quick test_drop;
+    Alcotest.test_case "condition precedence" `Quick test_condition_precedence;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "global aggregate" `Quick test_global_aggregate;
+    Alcotest.test_case "having" `Quick test_having;
+    Alcotest.test_case "order/limit" `Quick test_order_limit_plain;
+    Alcotest.test_case "aggregate alias in order" `Quick test_aggregate_alias_in_order;
+    Alcotest.test_case "aggregate errors" `Quick test_aggregate_errors;
+    Alcotest.test_case "select alias" `Quick test_select_alias;
+    Alcotest.test_case "arithmetic where" `Quick test_arithmetic_where;
+    Alcotest.test_case "arithmetic update" `Quick test_arithmetic_update;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero_null;
+    Alcotest.test_case "script stops at error" `Quick test_script_stops_at_error;
+  ]

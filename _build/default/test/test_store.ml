@@ -1,0 +1,196 @@
+open Relational
+open Viewobject
+open Test_util
+
+(* --- sexp ------------------------------------------------------------ *)
+
+let sexp_testable = Alcotest.testable Sexp.pp Sexp.equal
+
+let test_sexp_roundtrip () =
+  let cases =
+    [
+      Sexp.Atom "hello";
+      Sexp.Atom "with space";
+      Sexp.Atom "";
+      Sexp.Atom "quo\"te";
+      Sexp.Atom "line\nbreak";
+      Sexp.List [];
+      Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ] ];
+    ]
+  in
+  List.iter
+    (fun e ->
+      let printed = Sexp.to_string e in
+      Alcotest.check sexp_testable
+        (Fmt.str "roundtrip %s" printed)
+        e
+        (check_ok (Sexp.parse printed)))
+    cases
+
+let test_sexp_parse () =
+  Alcotest.check sexp_testable "comments skipped"
+    (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ])
+    (check_ok (Sexp.parse "; comment\n(a ; inline\n b)"));
+  ignore (check_err (Sexp.parse "(unterminated"));
+  ignore (check_err (Sexp.parse ")"));
+  ignore (check_err (Sexp.parse "a b"));
+  ignore (check_err (Sexp.parse ""));
+  let many = check_ok (Sexp.parse_many "a (b c) d") in
+  Alcotest.(check int) "three expressions" 3 (List.length many)
+
+let test_sexp_keyed () =
+  let items =
+    [ Sexp.List [ Sexp.Atom "k"; Sexp.Atom "v" ];
+      Sexp.List [ Sexp.Atom "other"; Sexp.Atom "x" ] ]
+  in
+  (match check_ok (Sexp.keyed "k" items) with
+  | [ Sexp.Atom "v" ] -> ()
+  | _ -> Alcotest.fail "bad keyed");
+  check_err_contains ~sub:"missing" (Sexp.keyed "zz" items);
+  check_err_contains ~sub:"duplicate"
+    (Sexp.keyed "k" (items @ [ Sexp.List [ Sexp.Atom "k" ] ]))
+
+(* --- values, instances ------------------------------------------------ *)
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.check value_testable
+        (Fmt.str "value %a" Value.pp v)
+        v
+        (check_ok (Penguin.Store.value_of_sexp (Penguin.Store.value_to_sexp v))))
+    [ Value.Null; vi 42; vi (-1); vf 3.25; vf 33.333333333333336;
+      vs "plain"; vs "with (parens) and \"quotes\""; vb true; vb false ]
+
+let test_instance_roundtrip () =
+  let db = Penguin.University.seeded_db () in
+  let i = Penguin.University.cs345_instance db in
+  let i' =
+    check_ok (Penguin.Store.instance_of_sexp (Penguin.Store.instance_to_sexp i))
+  in
+  Alcotest.(check bool) "instance roundtrip" true (Instance.equal i i')
+
+(* --- definitions, translators ----------------------------------------- *)
+
+let test_definition_roundtrip () =
+  let g = Penguin.University.graph in
+  List.iter
+    (fun vo ->
+      let vo' =
+        check_ok
+          (Penguin.Store.definition_of_sexp g (Penguin.Store.definition_to_sexp vo))
+      in
+      Alcotest.(check string) "name" vo.Definition.name vo'.Definition.name;
+      Alcotest.(check int) "complexity"
+        (Definition.complexity vo)
+        (Definition.complexity vo');
+      Alcotest.(check string) "shape"
+        (Definition.to_ascii vo)
+        (Definition.to_ascii vo'))
+    [ Penguin.University.omega; Penguin.University.omega_prime ]
+
+let test_definition_wrong_graph () =
+  (* omega refers to connections the CAD graph does not have *)
+  check_err_contains ~sub:"unknown connection"
+    (Penguin.Store.definition_of_sexp Penguin.Cad.graph
+       (Penguin.Store.definition_to_sexp Penguin.University.omega))
+
+let test_translator_roundtrip () =
+  List.iter
+    (fun spec ->
+      let spec' =
+        check_ok
+          (Penguin.Store.translator_of_sexp (Penguin.Store.translator_to_sexp spec))
+      in
+      Alcotest.(check bool) "same translator" true (spec = spec'))
+    [ Penguin.University.omega_translator;
+      Penguin.University.omega_translator_restrictive;
+      Penguin.Hospital.record_translator;
+      Penguin.Cad.assembly_translator ]
+
+(* --- workspaces -------------------------------------------------------- *)
+
+let workspace_equal (a : Penguin.Workspace.t) (b : Penguin.Workspace.t) =
+  Database.equal a.Penguin.Workspace.db b.Penguin.Workspace.db
+  && List.map fst a.Penguin.Workspace.objects
+     = List.map fst b.Penguin.Workspace.objects
+  && List.for_all2
+       (fun (_, v1) (_, v2) -> Definition.to_ascii v1 = Definition.to_ascii v2)
+       a.Penguin.Workspace.objects b.Penguin.Workspace.objects
+  && a.Penguin.Workspace.translators = b.Penguin.Workspace.translators
+
+let test_workspace_roundtrip () =
+  List.iter
+    (fun ws ->
+      let doc = Penguin.Store.save ws in
+      let ws' = check_ok (Penguin.Store.load doc) in
+      Alcotest.(check bool) "workspace roundtrip" true (workspace_equal ws ws'))
+    [ Penguin.University.workspace (); Penguin.Hospital.workspace ();
+      Penguin.Cad.workspace () ]
+
+let test_workspace_without_data () =
+  let ws = Penguin.University.workspace () in
+  let doc = Penguin.Store.save ~include_data:false ws in
+  let ws' = check_ok (Penguin.Store.load doc) in
+  Alcotest.(check int) "schemas restored, database empty" 0
+    (Database.total_tuples ws'.Penguin.Workspace.db);
+  Alcotest.(check (list string)) "objects restored" [ "omega"; "omega_prime" ]
+    (List.map fst ws'.Penguin.Workspace.objects)
+
+let test_loaded_workspace_is_operational () =
+  (* save, load, then run the EES345 replacement on the loaded copy *)
+  let ws = Penguin.University.workspace () in
+  let ws' = check_ok (Penguin.Store.load (Penguin.Store.save ws)) in
+  let old_i = Penguin.University.cs345_instance ws'.Penguin.Workspace.db in
+  let new_i = Penguin.University.ees345_replacement old_i in
+  let _ws'', outcome =
+    Penguin.Workspace.update ws' "omega"
+      (Vo_core.Request.replace ~old_instance:old_i ~new_instance:new_i)
+  in
+  ignore (committed_db outcome)
+
+let test_file_roundtrip () =
+  let ws = Penguin.Cad.workspace () in
+  let path = Filename.temp_file "penguin" ".pws" in
+  check_ok (Penguin.Store.save_file ws path);
+  let ws' = check_ok (Penguin.Store.load_file path) in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (workspace_equal ws ws')
+
+let test_load_errors () =
+  check_err_contains ~sub:"not a penguin-workspace" (Penguin.Store.load "(x)");
+  ignore (check_err (Penguin.Store.load "((("));
+  ignore (check_err (Penguin.Store.load_file "/nonexistent/x.pws"));
+  (* an object without its translator is rejected *)
+  let ws = Penguin.University.workspace () in
+  let ws_broken =
+    {
+      ws with
+      Penguin.Workspace.translators =
+        List.map
+          (fun (name, spec) ->
+            if name = "omega" then
+              name, { spec with Vo_core.Translator_spec.object_name = "gone" }
+            else name, spec)
+          ws.Penguin.Workspace.translators;
+    }
+  in
+  check_err_contains ~sub:"has no translator"
+    (Penguin.Store.load (Penguin.Store.save ws_broken))
+
+let suite =
+  [
+    Alcotest.test_case "sexp roundtrip" `Quick test_sexp_roundtrip;
+    Alcotest.test_case "sexp parse" `Quick test_sexp_parse;
+    Alcotest.test_case "sexp keyed" `Quick test_sexp_keyed;
+    Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+    Alcotest.test_case "instance roundtrip" `Quick test_instance_roundtrip;
+    Alcotest.test_case "definition roundtrip" `Quick test_definition_roundtrip;
+    Alcotest.test_case "definition wrong graph" `Quick test_definition_wrong_graph;
+    Alcotest.test_case "translator roundtrip" `Quick test_translator_roundtrip;
+    Alcotest.test_case "workspace roundtrip" `Quick test_workspace_roundtrip;
+    Alcotest.test_case "workspace without data" `Quick test_workspace_without_data;
+    Alcotest.test_case "loaded workspace operational" `Quick test_loaded_workspace_is_operational;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+  ]

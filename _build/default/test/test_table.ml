@@ -1,0 +1,59 @@
+open Relational
+open Test_util
+
+let test_render_golden () =
+  let rendered =
+    Table.render ~header:[ "a"; "bb" ]
+      [ [ "1"; "x" ]; [ "22"; "longer" ] ]
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "+----+--------+";
+        "| a  | bb     |";
+        "+----+--------+";
+        "| 1  | x      |";
+        "| 22 | longer |";
+        "+----+--------+";
+      ]
+  in
+  Alcotest.(check string) "golden table" expected rendered
+
+let test_ragged_rows () =
+  let rendered = Table.render ~header:[ "a" ] [ [ "1"; "extra" ]; [] ] in
+  Alcotest.(check bool) "no exception, extra column padded" true
+    (Astring_contains.contains ~sub:"extra" rendered)
+
+let test_of_relation () =
+  let schema =
+    Schema.make_exn ~name:"R"
+      ~attributes:[ Attribute.int "id"; Attribute.str "v" ]
+      ~key:[ "id" ]
+  in
+  let r =
+    Relation.of_list_exn schema
+      [ tuple [ "id", vi 1; "v", vs "x" ]; tuple [ "id", vi 2 ] ]
+  in
+  let s = Table.of_relation r in
+  Alcotest.(check bool) "header" true (Astring_contains.contains ~sub:"| id | v" s);
+  Alcotest.(check bool) "null cell" true (Astring_contains.contains ~sub:"null" s)
+
+let test_of_rset () =
+  let db =
+    Database.create_relation_exn Database.empty
+      (Schema.make_exn ~name:"R"
+         ~attributes:[ Attribute.int "id" ]
+         ~key:[ "id" ])
+  in
+  let rs = Algebra.eval_exn db (Algebra.Base "R") in
+  let s = Table.of_rset rs in
+  Alcotest.(check bool) "renders empty result" true
+    (Astring_contains.contains ~sub:"| id |" s)
+
+let suite =
+  [
+    Alcotest.test_case "render golden" `Quick test_render_golden;
+    Alcotest.test_case "ragged rows" `Quick test_ragged_rows;
+    Alcotest.test_case "of_relation" `Quick test_of_relation;
+    Alcotest.test_case "of_rset" `Quick test_of_rset;
+  ]

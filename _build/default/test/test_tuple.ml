@@ -1,0 +1,129 @@
+open Relational
+open Test_util
+
+let s_people =
+  Schema.make_exn ~name:"P"
+    ~attributes:[ Attribute.int "pid"; Attribute.str "name"; Attribute.str "dept" ]
+    ~key:[ "pid" ]
+
+let t1 = tuple [ "pid", vi 1; "name", vs "Ada"; "dept", vs "CS" ]
+
+let test_make_get () =
+  Alcotest.check value_testable "get bound" (vs "Ada") (Tuple.get t1 "name");
+  Alcotest.check value_testable "get absent is null" Value.Null
+    (Tuple.get t1 "missing");
+  Alcotest.(check (option bool)) "get_opt absent" None
+    (Option.map (fun _ -> true) (Tuple.get_opt t1 "missing"));
+  Alcotest.(check bool) "mem" true (Tuple.mem t1 "pid");
+  Alcotest.(check int) "cardinal" 3 (Tuple.cardinal t1)
+
+let test_duplicate_bindings () =
+  let t = tuple [ "a", vi 1; "a", vi 2 ] in
+  Alcotest.check value_testable "later binding wins" (vi 2) (Tuple.get t "a")
+
+let test_set_remove () =
+  let t = Tuple.set t1 "name" (vs "Bea") in
+  Alcotest.check value_testable "set" (vs "Bea") (Tuple.get t "name");
+  let t = Tuple.remove t "dept" in
+  Alcotest.(check bool) "removed" false (Tuple.mem t "dept");
+  Alcotest.check value_testable "original untouched" (vs "Ada") (Tuple.get t1 "name")
+
+let test_project () =
+  let p = Tuple.project [ "pid"; "name" ] t1 in
+  Alcotest.(check (list string)) "attrs" [ "name"; "pid" ] (Tuple.attributes p);
+  let pn = Tuple.project_null [ "pid"; "ghost" ] t1 in
+  Alcotest.check value_testable "project_null pads" Value.Null (Tuple.get pn "ghost");
+  Alcotest.(check int) "project_null width" 2 (Tuple.cardinal pn)
+
+let test_union () =
+  let a = tuple [ "x", vi 1; "y", vi 2 ] in
+  let b = tuple [ "y", vi 9; "z", vi 3 ] in
+  let u = Tuple.union a b in
+  Alcotest.check value_testable "right wins" (vi 9) (Tuple.get u "y");
+  Alcotest.(check int) "width" 3 (Tuple.cardinal u)
+
+let test_rename () =
+  let r = Tuple.rename_attrs [ "pid", "id" ] t1 in
+  Alcotest.(check bool) "renamed" true (Tuple.mem r "id");
+  Alcotest.(check bool) "old gone" false (Tuple.mem r "pid");
+  Alcotest.check value_testable "value preserved" (vi 1) (Tuple.get r "id")
+
+let test_equal_on () =
+  let a = tuple [ "x", vi 1; "y", vi 2 ] in
+  let b = tuple [ "x", vi 1; "y", vi 3 ] in
+  Alcotest.(check bool) "equal on x" true (Tuple.equal_on [ "x" ] a b);
+  Alcotest.(check bool) "not equal on y" false (Tuple.equal_on [ "y" ] a b);
+  Alcotest.(check bool) "nulls equal" true
+    (Tuple.equal_on [ "z" ] a b)
+
+let test_key_of () =
+  Alcotest.check (Alcotest.list value_testable) "key" [ vi 1 ]
+    (Tuple.key_of s_people t1)
+
+let test_conforms () =
+  check_ok (Tuple.conforms s_people t1) |> ignore;
+  ignore
+    (check_err (Tuple.conforms s_people (tuple [ "pid", vi 1; "extra", vi 2 ])));
+  ignore
+    (check_err (Tuple.conforms s_people (tuple [ "pid", vs "oops" ])));
+  ignore
+    (check_err
+       (Tuple.conforms s_people
+          (tuple [ "pid", Value.Null; "name", vs "x" ])))
+
+let test_matches () =
+  let owner = tuple [ "k", vi 5 ] in
+  let owned = tuple [ "fk", vi 5 ] in
+  Alcotest.(check bool) "matches" true
+    (Tuple.matches ~on:([ "k" ], [ "fk" ]) owner owned);
+  Alcotest.(check bool) "no match" false
+    (Tuple.matches ~on:([ "k" ], [ "fk" ]) owner (tuple [ "fk", vi 6 ]));
+  Alcotest.(check bool) "null never matches" false
+    (Tuple.matches ~on:([ "k" ], [ "fk" ]) (tuple [ "k", Value.Null ])
+       (tuple [ "fk", Value.Null ]))
+
+let test_has_nulls_on () =
+  Alcotest.(check bool) "absent is null" true (Tuple.has_nulls_on [ "zz" ] t1);
+  Alcotest.(check bool) "bound" false (Tuple.has_nulls_on [ "pid" ] t1)
+
+let attr_gen = QCheck.Gen.(map (fun i -> "a" ^ string_of_int i) (int_bound 5))
+
+let tuple_gen =
+  QCheck.Gen.(
+    map Tuple.make
+      (list_size (int_bound 6)
+         (pair attr_gen (map (fun i -> Value.Int i) (int_bound 100)))))
+
+let tuple_arb = QCheck.make ~print:(Fmt.str "%a" Tuple.pp) tuple_gen
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"union idempotent" ~count:200 tuple_arb (fun t ->
+      Tuple.equal (Tuple.union t t) t)
+
+let prop_project_subset =
+  QCheck.Test.make ~name:"project yields subset of attrs" ~count:200 tuple_arb
+    (fun t ->
+      let p = Tuple.project [ "a0"; "a1" ] t in
+      List.for_all (fun a -> List.mem a [ "a0"; "a1" ]) (Tuple.attributes p))
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"tuple equal reflexive" ~count:200 tuple_arb (fun t ->
+      Tuple.equal t t)
+
+let suite =
+  [
+    Alcotest.test_case "make/get" `Quick test_make_get;
+    Alcotest.test_case "duplicate bindings" `Quick test_duplicate_bindings;
+    Alcotest.test_case "set/remove" `Quick test_set_remove;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "equal_on" `Quick test_equal_on;
+    Alcotest.test_case "key_of" `Quick test_key_of;
+    Alcotest.test_case "conforms" `Quick test_conforms;
+    Alcotest.test_case "matches" `Quick test_matches;
+    Alcotest.test_case "has_nulls_on" `Quick test_has_nulls_on;
+    qtest prop_union_idempotent;
+    qtest prop_project_subset;
+    qtest prop_equal_reflexive;
+  ]

@@ -1,0 +1,255 @@
+open Relational
+open Test_util
+
+let ws () = Penguin.University.workspace ()
+
+let apply ws stmt = check_ok (Penguin.Upql.apply ws ~object_name:"omega" stmt)
+
+let committed outcomes =
+  List.filter
+    (fun (o : Vo_core.Engine.outcome) -> Option.is_some (Vo_core.Engine.committed o))
+    outcomes
+
+let course db id =
+  Relation.lookup (Database.relation_exn db "COURSES") [ vs id ]
+
+let test_set_pivot_attr () =
+  let ws', outcomes = apply (ws ()) "set units = 4 where course_id = 'CS345'" in
+  Alcotest.(check int) "one commit" 1 (List.length (committed outcomes));
+  Alcotest.check value_testable "units" (vi 4)
+    (Tuple.get (Option.get (course ws'.Penguin.Workspace.db "CS345")) "units")
+
+let test_set_selected_grade () =
+  let ws', outcomes =
+    apply (ws ()) "set GRADES[pid = 1] grade = 'A+' where course_id = 'CS345'"
+  in
+  Alcotest.(check int) "one commit" 1 (List.length (committed outcomes));
+  let g =
+    Option.get
+      (Relation.lookup
+         (Database.relation_exn ws'.Penguin.Workspace.db "GRADES")
+         [ vs "CS345"; vi 1 ])
+  in
+  Alcotest.check value_testable "grade" (vs "A+") (Tuple.get g "grade")
+
+let test_set_singular_child () =
+  (* DEPARTMENT is singular: no selector needed. *)
+  let ws', _ =
+    apply (ws ()) "set DEPARTMENT.building = 'Allen' where course_id = 'CS345'"
+  in
+  let d =
+    Option.get
+      (Relation.lookup
+         (Database.relation_exn ws'.Penguin.Workspace.db "DEPARTMENT")
+         [ vs "Computer Science" ])
+  in
+  Alcotest.check value_testable "building" (vs "Allen") (Tuple.get d "building")
+
+let test_set_requires_selector_on_set_valued () =
+  let _, outcomes =
+    apply (ws ()) "set GRADES.grade = 'F' where course_id = 'CS345'"
+  in
+  (* two grades match: ambiguous, rejected before any db work *)
+  match outcomes with
+  | [ o ] ->
+      let reason = rollback_reason o in
+      Alcotest.(check bool) "mentions ambiguity" true
+        (Astring_contains.contains ~sub:"be more specific" reason)
+  | _ -> Alcotest.fail "expected a single rejected outcome"
+
+let test_ees345_in_upql () =
+  (* the paper's Section 6 example, as one statement *)
+  let ws', outcomes =
+    apply (ws ())
+      "set course_id = 'EES345', DEPARTMENT.dept_name = 'Engineering \
+       Economic Systems', DEPARTMENT.building = null where course_id = 'CS345'"
+  in
+  Alcotest.(check int) "committed" 1 (List.length (committed outcomes));
+  let db = ws'.Penguin.Workspace.db in
+  Alcotest.(check bool) "old gone" true (course db "CS345" = None);
+  Alcotest.(check bool) "new there" true (course db "EES345" <> None);
+  Alcotest.(check bool) "department inserted" true
+    (Relation.mem_key (Database.relation_exn db "DEPARTMENT")
+       [ vs "Engineering Economic Systems" ]);
+  check_ok (Penguin.Workspace.check_consistency ws')
+
+let test_delete_batch () =
+  let ws', outcomes = apply (ws ()) "delete where level = 'undergrad'" in
+  Alcotest.(check int) "two deletions" 2 (List.length (committed outcomes));
+  Alcotest.(check int) "two courses left" 2
+    (Relation.cardinality (Database.relation_exn ws'.Penguin.Workspace.db "COURSES"));
+  check_ok (Penguin.Workspace.check_consistency ws')
+
+let test_delete_none () =
+  let _, outcomes = apply (ws ()) "delete where course_id = 'GHOST'" in
+  Alcotest.(check int) "no outcomes" 0 (List.length outcomes)
+
+let test_detach () =
+  let ws', outcomes =
+    apply (ws ()) "detach GRADES[pid = 2] where course_id = 'CS345'"
+  in
+  Alcotest.(check int) "one commit" 1 (List.length (committed outcomes));
+  Alcotest.(check bool) "grade gone" false
+    (Relation.mem_key
+       (Database.relation_exn ws'.Penguin.Workspace.db "GRADES")
+       [ vs "CS345"; vi 2 ]);
+  Alcotest.(check bool) "other grade stays" true
+    (Relation.mem_key
+       (Database.relation_exn ws'.Penguin.Workspace.db "GRADES")
+       [ vs "CS345"; vi 1 ])
+
+let test_batch_stops_on_rollback () =
+  (* renaming every grad course to the same id: the first succeeds, the
+     second collides (merge denied by the paper's translator) and the
+     batch stops *)
+  let ws', outcomes =
+    apply (ws ()) "set course_id = 'X1' where level = 'grad'"
+  in
+  Alcotest.(check int) "two outcomes" 2 (List.length outcomes);
+  Alcotest.(check int) "one commit" 1 (List.length (committed outcomes));
+  ignore (rollback_reason (List.nth outcomes 1));
+  (* the committed rename remains (per-instance transactions) *)
+  Alcotest.(check bool) "X1 exists" true
+    (course ws'.Penguin.Workspace.db "X1" <> None)
+
+let test_translator_gates_upql () =
+  let ws0 = ws () in
+  let ws0 =
+    Penguin.Workspace.set_translator ws0 "omega"
+      Penguin.University.omega_translator_restrictive
+  in
+  let _, outcomes =
+    check_ok
+      (Penguin.Upql.apply ws0 ~object_name:"omega"
+         "set DEPARTMENT.dept_name = 'Robotics' where course_id = 'CS345'")
+  in
+  match outcomes with
+  | [ o ] ->
+      Alcotest.(check bool) "restricted" true
+        (Astring_contains.contains ~sub:"not allowed" (rollback_reason o))
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_attach () =
+  let ws', outcomes =
+    apply (ws ()) "attach GRADES (pid = 5, grade = 'B') where course_id = 'CS345'"
+  in
+  Alcotest.(check int) "one commit" 1 (List.length (committed outcomes));
+  let g =
+    Option.get
+      (Relation.lookup
+         (Database.relation_exn ws'.Penguin.Workspace.db "GRADES")
+         [ vs "CS345"; vi 5 ])
+  in
+  Alcotest.check value_testable "grade" (vs "B") (Tuple.get g "grade");
+  check_ok (Penguin.Workspace.check_consistency ws')
+
+let test_attach_with_parent_selector () =
+  let hws = Penguin.Hospital.workspace () in
+  let hws', outcomes =
+    check_ok
+      (Penguin.Upql.apply hws ~object_name:"patient_record"
+         (Fmt.str
+            "attach %s (order_no = 9, drug = 'aspirin', dose = 100, \
+             prescriber = 101) in %s[visit_no = 1] where mrn = 7001"
+            Penguin.Hospital.orders_label Penguin.Hospital.visit_label))
+  in
+  Alcotest.(check int) "one commit" 1
+    (List.length
+       (List.filter
+          (fun (o : Vo_core.Engine.outcome) ->
+            Option.is_some (Vo_core.Engine.committed o))
+          outcomes));
+  Alcotest.(check bool) "order stored under visit 1" true
+    (Relation.mem_key
+       (Database.relation_exn hws'.Penguin.Workspace.db "ORDERS")
+       [ vi 7001; vi 1; vi 9 ]);
+  check_ok (Penguin.Workspace.check_consistency hws')
+
+let test_attach_requires_parent_selector_when_ambiguous () =
+  let hws = Penguin.Hospital.workspace () in
+  let _, outcomes =
+    check_ok
+      (Penguin.Upql.apply hws ~object_name:"patient_record"
+         (Fmt.str
+            "attach %s (order_no = 9, drug = 'aspirin', dose = 100, \
+             prescriber = 101) where mrn = 7001"
+            Penguin.Hospital.orders_label))
+  in
+  (* patient 7001 has two visits: the parent occurrence is ambiguous *)
+  match outcomes with
+  | [ o ] ->
+      Alcotest.(check bool) "ambiguous parent" true
+        (Astring_contains.contains ~sub:"be more specific" (rollback_reason o))
+  | _ -> Alcotest.fail "expected one rejected outcome"
+
+let test_attach_errors () =
+  let vo = Penguin.University.omega in
+  check_err_contains ~sub:"it is the pivot"
+    (Penguin.Upql.parse vo "attach COURSES (course_id = 'X') where true");
+  check_err_contains ~sub:"does not project"
+    (Penguin.Upql.parse vo "attach GRADES (title = 'x') where true");
+  check_err_contains ~sub:"the parent of"
+    (Penguin.Upql.parse vo
+       "attach GRADES (pid = 1, grade = 'A') in DEPARTMENT[dept_name = 'x'] \
+        where true")
+
+let test_parse_errors () =
+  let vo = Penguin.University.omega in
+  check_err_contains ~sub:"delete, set, attach or detach" (Penguin.Upql.parse vo "frob x");
+  check_err_contains ~sub:"expected keyword where"
+    (Penguin.Upql.parse vo "set units = 4");
+  check_err_contains ~sub:"no node" (Penguin.Upql.parse vo "detach GHOST[x = 1] where true");
+  check_err_contains ~sub:"does not project"
+    (Penguin.Upql.parse vo "set GRADES[pid = 1] title = 'x' where true");
+  check_err_contains ~sub:"ambiguous" (Penguin.Upql.parse vo "set pid = 9 where true");
+  check_err_contains ~sub:"end of statement"
+    (Penguin.Upql.parse vo "delete where true true")
+
+let test_pp_statement () =
+  let vo = Penguin.University.omega in
+  let stmt = check_ok (Penguin.Upql.parse vo "set units = 4 where level = 'grad'") in
+  Alcotest.(check bool) "prints" true
+    (String.length (Fmt.str "%a" Penguin.Upql.pp_statement stmt) > 0)
+
+let test_hospital_upql () =
+  let ws = Penguin.Hospital.workspace () in
+  let ws', outcomes =
+    check_ok
+      (Penguin.Upql.apply ws ~object_name:"patient_record"
+         (Fmt.str "set %s[order_no = 2] dose = 75 where mrn = 7001"
+            Penguin.Hospital.orders_label))
+  in
+  Alcotest.(check int) "one commit" 1
+    (List.length
+       (List.filter
+          (fun (o : Vo_core.Engine.outcome) ->
+            Option.is_some (Vo_core.Engine.committed o))
+          outcomes));
+  let o =
+    Option.get
+      (Relation.lookup
+         (Database.relation_exn ws'.Penguin.Workspace.db "ORDERS")
+         [ vi 7001; vi 1; vi 2 ])
+  in
+  Alcotest.check value_testable "dose" (vi 75) (Tuple.get o "dose")
+
+let suite =
+  [
+    Alcotest.test_case "set pivot attr" `Quick test_set_pivot_attr;
+    Alcotest.test_case "set selected grade" `Quick test_set_selected_grade;
+    Alcotest.test_case "set singular child" `Quick test_set_singular_child;
+    Alcotest.test_case "selector required" `Quick test_set_requires_selector_on_set_valued;
+    Alcotest.test_case "EES345 in upql" `Quick test_ees345_in_upql;
+    Alcotest.test_case "delete batch" `Quick test_delete_batch;
+    Alcotest.test_case "delete none" `Quick test_delete_none;
+    Alcotest.test_case "detach" `Quick test_detach;
+    Alcotest.test_case "batch stops on rollback" `Quick test_batch_stops_on_rollback;
+    Alcotest.test_case "translator gates" `Quick test_translator_gates_upql;
+    Alcotest.test_case "attach" `Quick test_attach;
+    Alcotest.test_case "attach with parent selector" `Quick test_attach_with_parent_selector;
+    Alcotest.test_case "attach ambiguous parent" `Quick test_attach_requires_parent_selector_when_ambiguous;
+    Alcotest.test_case "attach errors" `Quick test_attach_errors;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pp" `Quick test_pp_statement;
+    Alcotest.test_case "hospital" `Quick test_hospital_upql;
+  ]

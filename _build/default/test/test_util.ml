@@ -1,0 +1,42 @@
+(* Shared helpers for the test suites. *)
+open Relational
+
+let check_ok ?(msg = "expected Ok") = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s, got Error: %s" msg e
+
+let check_err ?(msg = "expected Error") = function
+  | Ok _ -> Alcotest.failf "%s, got Ok" msg
+  | Error e -> e
+
+let check_err_contains ~sub r =
+  let e = check_err r in
+  if not (Astring_contains.contains ~sub e) then
+    Alcotest.failf "error %S does not mention %S" e sub
+
+let tuple bindings = Tuple.make bindings
+let vi i = Value.Int i
+let vs s = Value.Str s
+let vf f = Value.Float f
+let vb b = Value.Bool b
+
+let tuple_testable = Alcotest.testable Tuple.pp Tuple.equal
+let value_testable = Alcotest.testable Value.pp Value.equal
+let op_testable = Alcotest.testable Op.pp Op.equal
+
+let check_tuple = Alcotest.check tuple_testable
+let check_ops msg expected actual =
+  Alcotest.check (Alcotest.list op_testable) msg expected actual
+
+let committed_db (outcome : Vo_core.Engine.outcome) =
+  match outcome.Vo_core.Engine.result with
+  | Transaction.Committed db -> db
+  | Transaction.Rolled_back { reason; _ } ->
+      Alcotest.failf "expected commit, rolled back: %s" reason
+
+let rollback_reason (outcome : Vo_core.Engine.outcome) =
+  match outcome.Vo_core.Engine.result with
+  | Transaction.Rolled_back { reason; _ } -> reason
+  | Transaction.Committed _ -> Alcotest.fail "expected rollback, committed"
+
+let qtest = QCheck_alcotest.to_alcotest

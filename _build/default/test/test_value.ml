@@ -1,0 +1,122 @@
+open Relational
+open Test_util
+
+let test_compare_ranks () =
+  Alcotest.(check bool) "null < bool" true (Value.compare Value.Null (vb false) < 0);
+  Alcotest.(check bool) "bool < int" true (Value.compare (vb true) (vi 0) < 0);
+  Alcotest.(check bool) "int < float" true (Value.compare (vi 99) (vf 0.0) < 0);
+  Alcotest.(check bool) "float < str" true (Value.compare (vf 9e9) (vs "") < 0)
+
+let test_compare_within () =
+  Alcotest.(check int) "ints" (-1) (compare (Value.compare (vi 1) (vi 2)) 0);
+  Alcotest.(check int) "strings" 1 (compare (Value.compare (vs "b") (vs "a")) 0);
+  Alcotest.(check int) "equal" 0 (Value.compare (vf 1.5) (vf 1.5))
+
+let test_equal () =
+  Alcotest.(check bool) "int eq" true (Value.equal (vi 7) (vi 7));
+  Alcotest.(check bool) "null eq" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "cross neq" false (Value.equal (vi 1) (vf 1.0))
+
+let test_is_null () =
+  Alcotest.(check bool) "null" true (Value.is_null Value.Null);
+  Alcotest.(check bool) "zero" false (Value.is_null (vi 0))
+
+let test_domains () =
+  Alcotest.(check (option string))
+    "int domain" (Some "int")
+    (Option.map Value.domain_name (Value.domain_of (vi 3)));
+  Alcotest.(check (option string)) "null has no domain" None
+    (Option.map Value.domain_name (Value.domain_of Value.Null));
+  Alcotest.(check bool) "null conforms anywhere" true
+    (Value.conforms Value.DStr Value.Null);
+  Alcotest.(check bool) "int conforms DInt" true (Value.conforms Value.DInt (vi 1));
+  Alcotest.(check bool) "int does not conform DStr" false
+    (Value.conforms Value.DStr (vi 1))
+
+let test_domain_names () =
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check (option string))
+        s expected
+        (Option.map Value.domain_name (Value.domain_of_name s)))
+    [
+      "int", Some "int"; "INTEGER", Some "int"; "float", Some "float";
+      "REAL", Some "float"; "string", Some "string"; "varchar", Some "string";
+      "bool", Some "bool"; "frobnicate", None;
+    ]
+
+let test_parse () =
+  Alcotest.check value_testable "parse int" (vi 42)
+    (check_ok (Value.parse Value.DInt "42"));
+  Alcotest.check value_testable "parse negative" (vi (-3))
+    (check_ok (Value.parse Value.DInt " -3 "));
+  Alcotest.check value_testable "parse float" (vf 2.5)
+    (check_ok (Value.parse Value.DFloat "2.5"));
+  Alcotest.check value_testable "parse bool" (vb true)
+    (check_ok (Value.parse Value.DBool "TRUE"));
+  Alcotest.check value_testable "parse string unquoted" (vs "abc")
+    (check_ok (Value.parse Value.DStr "abc"));
+  Alcotest.check value_testable "parse string quoted" (vs "a,b")
+    (check_ok (Value.parse Value.DStr "\"a,b\""));
+  Alcotest.check value_testable "null in any domain" Value.Null
+    (check_ok (Value.parse Value.DInt "null"));
+  ignore (check_err (Value.parse Value.DInt "twelve"));
+  ignore (check_err (Value.parse Value.DBool "maybe"))
+
+let test_pp () =
+  Alcotest.(check string) "pp str quoted" "\"x\"" (Value.to_string (vs "x"));
+  Alcotest.(check string) "pp null" "null" (Value.to_string Value.Null);
+  Alcotest.(check string) "pp plain str" "x" (Fmt.str "%a" Value.pp_plain (vs "x"))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1e6);
+        map (fun s -> Value.Str s) (string_size (int_bound 8));
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"compare reflexive" ~count:200 value_arb (fun v ->
+      Value.compare v v = 0)
+
+let prop_compare_antisymmetric =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:200
+    (QCheck.pair value_arb value_arb)
+    (fun (a, b) -> compare (Value.compare a b) 0 = - (compare (Value.compare b a) 0))
+
+let prop_compare_transitive =
+  QCheck.Test.make ~name:"compare transitive" ~count:500
+    (QCheck.triple value_arb value_arb value_arb)
+    (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      (* sorting with a transitive comparator is stable wrt re-sorting *)
+      List.equal Value.equal sorted (List.sort Value.compare sorted))
+
+let prop_int_parse_roundtrip =
+  QCheck.Test.make ~name:"int parse/print roundtrip" ~count:200 QCheck.int
+    (fun i ->
+      match Value.parse Value.DInt (Value.to_string (Value.Int i)) with
+      | Ok v -> Value.equal v (Value.Int i)
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "compare ranks" `Quick test_compare_ranks;
+    Alcotest.test_case "compare within constructors" `Quick test_compare_within;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "is_null" `Quick test_is_null;
+    Alcotest.test_case "domains" `Quick test_domains;
+    Alcotest.test_case "domain names" `Quick test_domain_names;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "pp" `Quick test_pp;
+    qtest prop_compare_reflexive;
+    qtest prop_compare_antisymmetric;
+    qtest prop_compare_transitive;
+    qtest prop_int_parse_roundtrip;
+  ]

@@ -1,0 +1,123 @@
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+let db () = Penguin.University.seeded_db ()
+let spec = Penguin.University.omega_translator
+let cs345 d = Penguin.University.cs345_instance d
+
+let test_deletion_ops () =
+  let d = db () in
+  let ops = check_ok (Vo_core.Vo_cd.translate g d omega spec (cs345 d)) in
+  (* island deletions: COURSES + 2 GRADES; peninsula: 2 CURRICULUM rows *)
+  Alcotest.(check int) "five ops" 5 (List.length ops);
+  let count rel = List.length (List.filter (fun o -> Op.relation o = rel) ops) in
+  Alcotest.(check int) "courses" 1 (count "COURSES");
+  Alcotest.(check int) "grades" 2 (count "GRADES");
+  Alcotest.(check int) "curriculum" 2 (count "CURRICULUM");
+  Alcotest.(check bool) "all deletes" true (List.for_all Op.is_delete ops)
+
+let test_deletion_untouched_relations () =
+  let d = db () in
+  let ops = check_ok (Vo_core.Vo_cd.translate g d omega spec (cs345 d)) in
+  (* DEPARTMENT and STUDENT are in the object but outside the island:
+     their tuples are shared data and must survive. *)
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Fmt.str "%s untouched" (Op.relation op))
+        false
+        (List.mem (Op.relation op) [ "DEPARTMENT"; "STUDENT"; "PEOPLE" ]))
+    ops
+
+let test_deletion_applies_consistently () =
+  let d = db () in
+  let ops = check_ok (Vo_core.Vo_cd.translate g d omega spec (cs345 d)) in
+  let d' = check_ok (Transaction.run_result d ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check g d'));
+  Alcotest.(check bool) "course gone" false
+    (Relation.mem_key (Database.relation_exn d' "COURSES") [ vs "CS345" ]);
+  Alcotest.(check int) "students survive" 6
+    (Relation.cardinality (Database.relation_exn d' "STUDENT"))
+
+let test_deletion_restricted_peninsula () =
+  let d = db () in
+  let restrict =
+    { spec with Vo_core.Translator_spec.reference_actions = [];
+      default_reference_action = Integrity.Restrict }
+  in
+  let e = check_err (Vo_core.Vo_cd.translate g d omega restrict (cs345 d)) in
+  Alcotest.(check bool) "rolled back per the paper" true
+    (Astring_contains.contains ~sub:"restricted" e)
+
+let test_deletion_not_allowed () =
+  let d = db () in
+  let locked = { spec with Vo_core.Translator_spec.allow_deletion = false } in
+  check_err_contains ~sub:"does not allow"
+    (Vo_core.Vo_cd.translate g d omega locked (cs345 d))
+
+let test_stale_instance () =
+  let d = db () in
+  let i = cs345 d in
+  let stale =
+    Instance.with_tuple i (Tuple.set i.Instance.tuple "units" (vi 99))
+  in
+  check_err_contains ~sub:"stale" (Vo_core.Vo_cd.translate g d omega spec stale)
+
+let test_vanished_instance () =
+  let d = db () in
+  let i = cs345 d in
+  let gone =
+    Instance.with_tuple i (Tuple.set i.Instance.tuple "course_id" (vs "GHOST"))
+  in
+  check_err_contains ~sub:"no counterpart"
+    (Vo_core.Vo_cd.translate g d omega spec gone)
+
+let test_cascade_beyond_instance () =
+  (* A grade added after instantiation is still removed: global integrity
+     maintenance propagates deletions "repeatedly, if necessary". *)
+  let d = db () in
+  let i = cs345 d in
+  let d =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.insert d "GRADES"
+            (tuple [ "course_id", vs "CS345"; "pid", vi 6; "grade", vs "D" ])))
+  in
+  let ops = check_ok (Vo_core.Vo_cd.translate g d omega spec i) in
+  let grades_deleted =
+    List.filter (fun o -> Op.is_delete o && Op.relation o = "GRADES") ops
+  in
+  Alcotest.(check int) "all three grades deleted" 3 (List.length grades_deleted)
+
+let test_hospital_nullify () =
+  let hg = Penguin.Hospital.graph in
+  let hdb = Penguin.Hospital.seeded_db () in
+  let i = Penguin.Hospital.patient_instance hdb 7001 in
+  let ops =
+    check_ok
+      (Vo_core.Vo_cd.translate hg hdb Penguin.Hospital.patient_record
+         Penguin.Hospital.record_translator i)
+  in
+  let nullified = List.filter Op.is_replace ops in
+  Alcotest.(check int) "appointments nullified" 2 (List.length nullified);
+  let hdb' = check_ok (Transaction.run_result hdb ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check hg hdb'));
+  Alcotest.(check int) "physicians survive" 3
+    (Relation.cardinality (Database.relation_exn hdb' "PHYSICIAN"))
+
+let suite =
+  [
+    Alcotest.test_case "deletion ops (VO-CD)" `Quick test_deletion_ops;
+    Alcotest.test_case "outside relations untouched" `Quick test_deletion_untouched_relations;
+    Alcotest.test_case "applies consistently" `Quick test_deletion_applies_consistently;
+    Alcotest.test_case "restricted peninsula rolls back" `Quick test_deletion_restricted_peninsula;
+    Alcotest.test_case "deletion not allowed" `Quick test_deletion_not_allowed;
+    Alcotest.test_case "stale instance" `Quick test_stale_instance;
+    Alcotest.test_case "vanished instance" `Quick test_vanished_instance;
+    Alcotest.test_case "cascade beyond instance" `Quick test_cascade_beyond_instance;
+    Alcotest.test_case "hospital nullify" `Quick test_hospital_nullify;
+  ]

@@ -1,0 +1,190 @@
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+let g = Penguin.University.graph
+let omega = Penguin.University.omega
+let db () = Penguin.University.seeded_db ()
+let spec = Penguin.University.omega_translator
+
+let student pid prog year =
+  Instance.leaf ~label:"STUDENT#2" ~relation:"STUDENT"
+    (tuple [ "pid", vi pid; "degree_program", vs prog; "year", vi year ])
+
+let grade pid g students =
+  Instance.make ~label:"GRADES" ~relation:"GRADES"
+    ~tuple:(tuple [ "pid", vi pid; "grade", vs g ])
+    ~children:[ "STUDENT#2", students ]
+
+let dept name building =
+  Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+    (tuple [ "dept_name", vs name; "building", vs building ])
+
+let curriculum degree req =
+  Instance.leaf ~label:"CURRICULUM" ~relation:"CURRICULUM"
+    (tuple [ "degree", vs degree; "requirement", vs req ])
+
+let course ?(id = "CS500") ?(dept_children = [ dept "Computer Science" "Gates" ])
+    ?(grades = []) ?(currics = []) () =
+  Instance.make ~label:"COURSES" ~relation:"COURSES"
+    ~tuple:
+      (tuple
+         [ "course_id", vs id; "title", vs "Advanced DB"; "units", vi 3;
+           "level", vs "grad" ])
+    ~children:
+      [ "DEPARTMENT", dept_children; "GRADES", grades; "CURRICULUM", currics ]
+
+let translate ?(spec = spec) d i = Vo_core.Vo_ci.translate g d omega spec i
+
+let test_simple_insert () =
+  let d = db () in
+  let i = course ~grades:[ grade 5 "A" [ student 5 "PhD CS" 2 ] ]
+      ~currics:[ curriculum "PhD CS" "elective" ] () in
+  let ops = check_ok (translate d i) in
+  let count p = List.length (List.filter p ops) in
+  Alcotest.(check int) "course insert" 1
+    (count (fun o -> Op.is_insert o && Op.relation o = "COURSES"));
+  Alcotest.(check int) "grade insert" 1
+    (count (fun o -> Op.is_insert o && Op.relation o = "GRADES"));
+  Alcotest.(check int) "curriculum insert" 1
+    (count (fun o -> Op.is_insert o && Op.relation o = "CURRICULUM"));
+  (* existing department and student reused: case 1 outside the island *)
+  Alcotest.(check int) "no department op" 0
+    (count (fun o -> Op.relation o = "DEPARTMENT"));
+  Alcotest.(check int) "no student op" 0
+    (count (fun o -> Op.relation o = "STUDENT"));
+  let d' = check_ok (Transaction.run_result d ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check g d'))
+
+let test_case1_island_reject () =
+  let d = db () in
+  (* Re-inserting CS345 as it stands: identical island tuple exists. *)
+  let existing = Penguin.University.cs345_instance d in
+  check_err_contains ~sub:"already exists" (translate d existing)
+
+let test_case3_island_reject () =
+  let d = db () in
+  let i = course ~id:"CS345" () in
+  (* CS345 exists with different title: case 3 in the island. *)
+  check_err_contains ~sub:"same key" (translate d i)
+
+let test_case2_new_department_inserted () =
+  let d = db () in
+  let i = course ~dept_children:[ dept "Robotics" "Lab7" ] () in
+  let ops = check_ok (translate d i) in
+  Alcotest.(check bool) "department inserted" true
+    (List.exists
+       (fun o -> Op.is_insert o && Op.relation o = "DEPARTMENT")
+       ops);
+  let d' = check_ok (Transaction.run_result d ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check g d'))
+
+let test_case2_outside_insert_denied () =
+  let d = db () in
+  let locked =
+    Vo_core.Translator_spec.with_outside spec "DEPARTMENT"
+      Vo_core.Translator_spec.forbid_modification
+  in
+  let i = course ~dept_children:[ dept "Robotics" "Lab7" ] () in
+  check_err_contains ~sub:"not allowed" (translate ~spec:locked d i)
+
+let test_case3_outside_replace () =
+  let d = db () in
+  (* Existing department, different building: case 3 outside -> replace. *)
+  let i = course ~dept_children:[ dept "Computer Science" "NewGates" ] () in
+  let ops = check_ok (translate d i) in
+  Alcotest.(check bool) "replace emitted" true
+    (List.exists
+       (fun o -> Op.is_replace o && Op.relation o = "DEPARTMENT")
+       ops);
+  let d' = check_ok (Transaction.run_result d ops) in
+  let dept_row =
+    Option.get
+      (Relation.lookup (Database.relation_exn d' "DEPARTMENT") [ vs "Computer Science" ])
+  in
+  Alcotest.check value_testable "building updated" (vs "NewGates")
+    (Tuple.get dept_row "building");
+  Alcotest.check value_testable "budget preserved" (vi 5000000)
+    (Tuple.get dept_row "budget")
+
+let test_case3_outside_replace_denied () =
+  let d = db () in
+  let locked =
+    Vo_core.Translator_spec.with_outside spec "DEPARTMENT"
+      { Vo_core.Translator_spec.modifiable = true; allow_insert = true;
+        allow_modify = false }
+  in
+  let i = course ~dept_children:[ dept "Computer Science" "NewGates" ] () in
+  check_err_contains ~sub:"not allowed" (translate ~spec:locked d i)
+
+let test_insertion_not_allowed () =
+  let d = db () in
+  let locked = { spec with Vo_core.Translator_spec.allow_insertion = false } in
+  check_err_contains ~sub:"does not allow" (translate ~spec:locked d (course ()))
+
+let test_dependency_stub_insertion () =
+  let d = db () in
+  (* New grade references a brand-new student (pid 42) that is not a node
+     value in the database: global validation inserts stubs recursively
+     (STUDENT, then its PEOPLE parent). *)
+  let i =
+    course
+      ~grades:[ grade 42 "A" [ student 42 "MS Robotics" 1 ] ]
+      ()
+  in
+  let ops = check_ok (translate d i) in
+  Alcotest.(check bool) "student inserted" true
+    (List.exists (fun o -> Op.is_insert o && Op.relation o = "STUDENT") ops);
+  Alcotest.(check bool) "people stub inserted" true
+    (List.exists (fun o -> Op.is_insert o && Op.relation o = "PEOPLE") ops);
+  let d' = check_ok (Transaction.run_result d ops) in
+  Alcotest.(check int) "consistent" 0 (List.length (Integrity.check g d'))
+
+let test_dependency_stub_denied () =
+  let d = db () in
+  let locked =
+    {
+      (Vo_core.Translator_spec.with_outside spec "STUDENT"
+         { Vo_core.Translator_spec.modifiable = true; allow_insert = true;
+           allow_modify = true })
+      with
+      Vo_core.Translator_spec.default_outside =
+        Vo_core.Translator_spec.forbid_modification;
+    }
+  in
+  (* PEOPLE stub required but the default-outside policy forbids it. *)
+  let i = course ~grades:[ grade 42 "A" [ student 42 "MS Robotics" 1 ] ] () in
+  check_err_contains ~sub:"PEOPLE" (translate ~spec:locked d i)
+
+let test_nonconforming_instance () =
+  let d = db () in
+  let bad = { (course ()) with Instance.label = "WRONG" } in
+  check_err_contains ~sub:"does not match" (translate d bad)
+
+let test_null_padding () =
+  let d = db () in
+  let ops = check_ok (translate d (course ())) in
+  let d' = check_ok (Transaction.run_result d ops) in
+  let row =
+    Option.get (Relation.lookup (Database.relation_exn d' "COURSES") [ vs "CS500" ])
+  in
+  (* dept_name is recovered from the DEPARTMENT child, not null *)
+  Alcotest.check value_testable "dept_name recovered" (vs "Computer Science")
+    (Tuple.get row "dept_name")
+
+let suite =
+  [
+    Alcotest.test_case "simple insert (case 2)" `Quick test_simple_insert;
+    Alcotest.test_case "case 1 island rejects" `Quick test_case1_island_reject;
+    Alcotest.test_case "case 3 island rejects" `Quick test_case3_island_reject;
+    Alcotest.test_case "case 2 new department" `Quick test_case2_new_department_inserted;
+    Alcotest.test_case "case 2 denied outside" `Quick test_case2_outside_insert_denied;
+    Alcotest.test_case "case 3 outside replaces" `Quick test_case3_outside_replace;
+    Alcotest.test_case "case 3 denied outside" `Quick test_case3_outside_replace_denied;
+    Alcotest.test_case "insertion not allowed" `Quick test_insertion_not_allowed;
+    Alcotest.test_case "dependency stubs" `Quick test_dependency_stub_insertion;
+    Alcotest.test_case "dependency stub denied" `Quick test_dependency_stub_denied;
+    Alcotest.test_case "nonconforming instance" `Quick test_nonconforming_instance;
+    Alcotest.test_case "null padding & linkage" `Quick test_null_padding;
+  ]

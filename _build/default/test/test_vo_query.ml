@@ -1,0 +1,114 @@
+open Relational
+open Viewobject
+open Test_util
+
+let omega = Penguin.University.omega
+let db () = Penguin.University.seeded_db ()
+let student = Penguin.University.student_label
+
+let run c = Vo_query.run (db ()) omega c
+
+let course_ids is =
+  List.sort String.compare
+    (List.map
+       (fun (i : Instance.t) ->
+         Fmt.str "%a" Value.pp_plain (Tuple.get i.Instance.tuple "course_id"))
+       is)
+
+let test_true () =
+  Alcotest.(check int) "all instances" 4 (List.length (run Vo_query.C_true))
+
+let test_pivot_predicate () =
+  let is = run (Vo_query.C_node ("COURSES", Predicate.eq_str "level" "grad")) in
+  Alcotest.(check (list string)) "grad courses" [ "CS345"; "EE280" ] (course_ids is)
+
+let test_child_predicate_existential () =
+  (* Courses in which SOME student is a PhD CS student. *)
+  let is =
+    run (Vo_query.C_node (student, Predicate.eq_str "degree_program" "PhD CS"))
+  in
+  Alcotest.(check (list string)) "has a PhD CS student" [ "CS345"; "EE280" ]
+    (course_ids is)
+
+let test_count () =
+  let is = run (Vo_query.C_count (student, Predicate.Lt, 3)) in
+  Alcotest.(check (list string)) "fewer than 3 enrolled"
+    [ "CS345"; "MATH51" ]
+    (course_ids is)
+
+let test_figure4_query () =
+  let q =
+    Vo_query.C_and
+      ( Vo_query.C_node ("COURSES", Predicate.eq_str "level" "grad"),
+        Vo_query.C_count (student, Predicate.Lt, 5) )
+  in
+  match run q with
+  | [ i ] ->
+      Alcotest.check value_testable "exactly CS345 (Fig 4)" (vs "CS345")
+        (Tuple.get i.Instance.tuple "course_id")
+  | l -> Alcotest.failf "expected one instance, got %d" (List.length l)
+
+let test_or_not () =
+  let q =
+    Vo_query.C_or
+      ( Vo_query.C_node ("COURSES", Predicate.eq_str "course_id" "MATH51"),
+        Vo_query.C_node ("COURSES", Predicate.eq_str "course_id" "CS101") )
+  in
+  Alcotest.(check (list string)) "or" [ "CS101"; "MATH51" ] (course_ids (run q));
+  let q2 = Vo_query.C_not (Vo_query.C_node ("COURSES", Predicate.eq_str "level" "grad")) in
+  Alcotest.(check (list string)) "not" [ "CS101"; "MATH51" ] (course_ids (run q2))
+
+let test_pushdown () =
+  let p = Predicate.eq_str "level" "grad" in
+  let q =
+    Vo_query.C_and
+      (Vo_query.C_node ("COURSES", p), Vo_query.C_count (student, Predicate.Lt, 5))
+  in
+  Alcotest.(check bool) "pivot predicate extracted" true
+    (Vo_query.pushdown omega q = p);
+  (* predicates under OR or NOT must not be pushed down *)
+  let q2 = Vo_query.C_or (Vo_query.C_node ("COURSES", p), Vo_query.C_true) in
+  Alcotest.(check bool) "no pushdown under or" true
+    (Vo_query.pushdown omega q2 = Predicate.True);
+  let q3 = Vo_query.C_not (Vo_query.C_node ("COURSES", p)) in
+  Alcotest.(check bool) "no pushdown under not" true
+    (Vo_query.pushdown omega q3 = Predicate.True);
+  (* non-pivot nodes are never pushed down *)
+  Alcotest.(check bool) "child predicate not pushed" true
+    (Vo_query.pushdown omega (Vo_query.C_node (student, p)) = Predicate.True)
+
+let test_pushdown_equivalence () =
+  (* With and without pushdown the result sets agree. *)
+  let q =
+    Vo_query.C_and
+      ( Vo_query.C_node ("COURSES", Predicate.eq_str "level" "undergrad"),
+        Vo_query.C_count ("GRADES", Predicate.Geq, 1) )
+  in
+  let with_pd = run q in
+  let without_pd =
+    List.filter (Vo_query.holds q) (Instantiate.instantiate (db ()) omega)
+  in
+  Alcotest.(check (list string)) "same results" (course_ids without_pd)
+    (course_ids with_pd)
+
+let test_holds_nested_counts () =
+  let i = Penguin.University.cs345_instance (db ()) in
+  Alcotest.(check bool) "two grades" true
+    (Vo_query.holds (Vo_query.C_count ("GRADES", Predicate.Eq, 2)) i);
+  Alcotest.(check bool) "two students nested" true
+    (Vo_query.holds (Vo_query.C_count (student, Predicate.Eq, 2)) i);
+  Alcotest.(check bool) "no ghosts" true
+    (Vo_query.holds (Vo_query.C_count ("GHOST", Predicate.Eq, 0)) i)
+
+let suite =
+  [
+    Alcotest.test_case "true" `Quick test_true;
+    Alcotest.test_case "pivot predicate" `Quick test_pivot_predicate;
+    Alcotest.test_case "child predicate existential" `Quick test_child_predicate_existential;
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "figure 4 query" `Quick test_figure4_query;
+    Alcotest.test_case "or/not" `Quick test_or_not;
+    Alcotest.test_case "pushdown" `Quick test_pushdown;
+    Alcotest.test_case "pushdown equivalence" `Quick test_pushdown_equivalence;
+    Alcotest.test_case "nested counts" `Quick test_holds_nested_counts;
+  ]
