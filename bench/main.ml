@@ -439,6 +439,88 @@ let e8 () =
          Test.make ~name:"vo:grade-change" (stage vo_replace);
        ])
 
+(* --- E9: full vs incremental global validation ----------------------- *)
+
+let e9 () =
+  section "E9: delta-driven incremental global validation";
+  let g = Penguin.University.graph in
+  let omega = Penguin.University.omega in
+  let spec = Penguin.University.omega_translator in
+  (* One grade change on BENCH1 against university databases of growing
+     cardinality: full validation re-checks every connection against
+     every tuple, incremental only the transaction's delta. *)
+  let case fanout =
+    let db = Workloads.enrollment_db fanout in
+    let inst = Workloads.bench1_instance db in
+    let request =
+      match
+        Vo_core.Request.partial_modify inst ~label:"GRADES"
+          ~at:(Tuple.make [ "pid", Value.Int 1001 ])
+          ~f:(fun t -> Tuple.set t "grade" (Value.Str "B"))
+      with
+      | Ok r -> r
+      | Error e -> failwith e
+    in
+    let ops =
+      match Vo_core.Engine.translate g db omega spec request with
+      | Ok ops -> ops
+      | Error e -> failwith e
+    in
+    let db', delta =
+      match Transaction.run_delta db ops with
+      | Transaction.Committed db', delta -> db', delta
+      | Transaction.Rolled_back { reason; _ }, _ -> failwith reason
+    in
+    db, db', delta, request
+  in
+  let validation_tests fanout =
+    let _, db', delta, _ = case fanout in
+    let n = Database.total_tuples db' in
+    [
+      Test.make ~name:(Fmt.str "validate-full:tuples=%06d" n)
+        (stage (fun () -> Structural.Integrity.check g db'));
+      Test.make ~name:(Fmt.str "validate-incremental:tuples=%06d" n)
+        (stage (fun () -> Structural.Integrity.check_delta g db' ~delta));
+    ]
+  in
+  let engine_tests fanout =
+    let db, _, _, request = case fanout in
+    let n = Database.total_tuples db in
+    [
+      Test.make ~name:(Fmt.str "engine-full:tuples=%06d" n)
+        (stage (fun () ->
+             Vo_core.Engine.apply ~validation:Vo_core.Global_validation.Full g
+               db omega spec request));
+      Test.make ~name:(Fmt.str "engine-incremental:tuples=%06d" n)
+        (stage (fun () ->
+             Vo_core.Engine.apply
+               ~validation:Vo_core.Global_validation.Incremental g db omega
+               spec request));
+    ]
+  in
+  let fanouts = [ 30; 300; 3400 ] in
+  let rows =
+    run_group "e9"
+      (List.concat_map validation_tests fanouts
+      @ List.concat_map engine_tests fanouts)
+  in
+  (* Speedup table: full / incremental at each cardinality. *)
+  let time_of prefix n =
+    List.assoc_opt (Fmt.str "e9 %s:tuples=%06d" prefix n) rows
+  in
+  Fmt.pr "@.step-4 speedup (full / incremental):@.";
+  Fmt.pr "%-10s %16s %16s %10s@." "tuples" "full" "incremental" "speedup";
+  List.iter
+    (fun fanout ->
+      let db = Workloads.enrollment_db fanout in
+      let n = Database.total_tuples db in
+      match time_of "validate-full" n, time_of "validate-incremental" n with
+      | Some f, Some i ->
+          Fmt.pr "%-10d %13.1f us %13.3f us %9.0fx@." n (f /. 1e3) (i /. 1e3)
+            (f /. i)
+      | _ -> ())
+    fanouts
+
 (* --- ablation: op-list translation vs direct application ------------- *)
 
 let ablation () =
@@ -517,6 +599,7 @@ let () =
   e6 ();
   e7 ();
   e8 ();
+  e9 ();
   ablation ();
   surfaces ();
   Fmt.pr "@.all benchmarks complete.@."

@@ -10,12 +10,20 @@ type outcome = {
   result : Transaction.outcome;
 }
 
+module OpSet = Set.Make (Op)
+
 (* Drop ops that are exact duplicates of an earlier op (two sub-instances
-   may legitimately demand the same outside insertion). *)
+   may legitimately demand the same outside insertion), preserving the
+   first occurrence's position. *)
 let dedup_ops ops =
-  List.fold_left
-    (fun acc op -> if List.exists (Op.equal op) acc then acc else acc @ [ op ])
-    [] ops
+  let _, rev =
+    List.fold_left
+      (fun (seen, acc) op ->
+        if OpSet.mem op seen then seen, acc
+        else OpSet.add op seen, op :: acc)
+      (OpSet.empty, []) ops
+  in
+  List.rev rev
 
 let translate g db vo spec request =
   let result =
@@ -27,7 +35,7 @@ let translate g db vo spec request =
   in
   Result.map dedup_ops result
 
-let apply g db vo spec request =
+let apply ?(validation = Global_validation.Incremental) g db vo spec request =
   let request_kind = Request.kind_name request in
   let object_name = vo.Viewobject.Definition.name in
   Log.debug (fun m -> m "%s on %s: translating" request_kind object_name);
@@ -41,20 +49,24 @@ let apply g db vo spec request =
       Log.debug (fun m ->
           m "%s on %s: %d operation(s)" request_kind object_name
             (List.length ops));
-      match Transaction.run db ops with
-      | Transaction.Rolled_back { reason; _ } as rb ->
+      match Transaction.run_delta db ops with
+      | (Transaction.Rolled_back { reason; _ } as rb), _ ->
           Log.warn (fun m ->
               m "%s on %s rolled back during application: %s" request_kind
                 object_name reason);
           { request_kind; ops; result = rb }
-      | Transaction.Committed db' -> (
+      | Transaction.Committed db', delta -> (
           (* Step 4: the candidate state must satisfy every rule of the
-             structural model, or the transaction is rolled back. *)
-          match Global_validation.check_consistency g db' with
+             structural model, or the transaction is rolled back. By
+             default only the transaction's delta is re-checked — every
+             state the engine commits satisfies the model, so the rest
+             of the database cannot have picked up a violation. *)
+          match Global_validation.validate validation g ~pre:db ~post:db' ~delta with
           | Ok () ->
               Log.info (fun m ->
-                  m "%s on %s committed (%d op(s))" request_kind object_name
-                    (List.length ops));
+                  m "%s on %s committed (%d op(s), %s validation)"
+                    request_kind object_name (List.length ops)
+                    (Global_validation.mode_name validation));
               { request_kind; ops; result = Transaction.Committed db' }
           | Error reason ->
               Log.warn (fun m ->
@@ -62,8 +74,8 @@ let apply g db vo spec request =
                     object_name reason);
               { request_kind; ops; result = Transaction.reject reason }))
 
-let apply_exn g db vo spec request =
-  match (apply g db vo spec request).result with
+let apply_exn ?validation g db vo spec request =
+  match (apply ?validation g db vo spec request).result with
   | Transaction.Committed db' -> db'
   | Transaction.Rolled_back { reason; _ } -> failwith reason
 

@@ -31,6 +31,7 @@ val translate :
     under the chosen translator, without applying it. *)
 
 val apply :
+  ?validation:Global_validation.mode ->
   Schema_graph.t ->
   Database.t ->
   Definition.t ->
@@ -40,9 +41,19 @@ val apply :
 (** Full pipeline. On success the outcome's [result] is
     [Committed db']. Rejections during translation and integrity
     violations detected in step 4 both yield [Rolled_back] with the
-    reason; the input database is never modified (persistence). *)
+    reason; the input database is never modified (persistence).
+
+    [validation] (default {!Global_validation.Incremental}) selects how
+    step 4 re-establishes consistency: incrementally against the
+    transaction's delta, with a full database sweep, or both
+    cross-checked ([Paranoid]). Incremental validation is sound
+    whenever the input database satisfies the structural model — which
+    holds for every database the engine itself committed. Pass
+    [~validation:Full] when the input state is of unknown integrity
+    (e.g. data loaded from outside the engine). *)
 
 val apply_exn :
+  ?validation:Global_validation.mode ->
   Schema_graph.t -> Database.t -> Definition.t -> Translator_spec.t ->
   Request.t -> Database.t
 (** @raise Failure with the rollback reason on rejection. *)

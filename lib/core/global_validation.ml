@@ -65,11 +65,61 @@ let dependency_closure g db spec ops =
   in
   Ok all_ops
 
+let violations_error violations =
+  Error
+    (Fmt.str "global validation failed:@,%a"
+       Fmt.(list ~sep:cut Integrity.pp_violation)
+       violations)
+
 let check_consistency g db =
   match Integrity.check g db with
   | [] -> Ok ()
-  | violations ->
-      Error
-        (Fmt.str "global validation failed:@,%a"
-           Fmt.(list ~sep:cut Integrity.pp_violation)
-           violations)
+  | violations -> violations_error violations
+
+let check_consistency_delta g db ~delta =
+  match Integrity.check_delta g db ~delta with
+  | [] -> Ok ()
+  | violations -> violations_error violations
+
+type mode =
+  | Full
+  | Incremental
+  | Paranoid
+
+exception Divergence of string
+
+let mode_name = function
+  | Full -> "full"
+  | Incremental -> "incremental"
+  | Paranoid -> "paranoid"
+
+let validate mode g ~pre ~post ~delta =
+  match mode with
+  | Full -> check_consistency g post
+  | Incremental -> check_consistency_delta g post ~delta
+  | Paranoid ->
+      let mem v vs = List.exists (Integrity.violation_equal v) vs in
+      let incremental = Integrity.check_delta g post ~delta in
+      let full_post = Integrity.check g post in
+      let full_pre = Integrity.check g pre in
+      (* The incremental contract (see {!Integrity.check_delta}): sound
+         w.r.t. the post-state, complete w.r.t. the violations the delta
+         introduced. Anything else is a checker bug — fail loudly rather
+         than commit or reject on bad evidence. *)
+      let introduced = List.filter (fun v -> not (mem v full_pre)) full_post in
+      let missed = List.filter (fun v -> not (mem v incremental)) introduced in
+      let phantom = List.filter (fun v -> not (mem v full_post)) incremental in
+      if missed <> [] || phantom <> [] then
+        raise
+          (Divergence
+             (Fmt.str
+                "incremental and full validation disagree:@,\
+                 missed by incremental:@,%a@,\
+                 reported but not real:@,%a@,\
+                 delta:@,%a"
+                Fmt.(list ~sep:cut Integrity.pp_violation)
+                missed
+                Fmt.(list ~sep:cut Integrity.pp_violation)
+                phantom Delta.pp delta))
+      else if incremental = [] then Ok ()
+      else violations_error incremental

@@ -32,3 +32,39 @@ val check_consistency :
 (** Final verification: no integrity violation anywhere (the update
     engine runs this on the candidate database and rolls back on
     failure). *)
+
+val check_consistency_delta :
+  Schema_graph.t -> Database.t -> delta:Delta.t -> (unit, string) result
+(** Delta-driven final verification via {!Integrity.check_delta}: only
+    the touched tuples and their incident connections are re-checked,
+    so the cost scales with the translated op list, not the database. *)
+
+(** How step 4 re-establishes consistency on the candidate state. *)
+type mode =
+  | Full  (** re-check every connection against every tuple (O(|DB|)) *)
+  | Incremental
+      (** check only the transaction's delta (O(|delta|)); assumes the
+          pre-state satisfies the structural model, which the engine
+          guarantees for every state it ever committed *)
+  | Paranoid
+      (** run both, raise {!Divergence} if they disagree — a
+          cross-check harness for the incremental checker *)
+
+exception Divergence of string
+(** Raised by {!validate} in [Paranoid] mode when the incremental
+    checker missed a violation the full check attributes to the delta,
+    or reported one the full check refutes. *)
+
+val mode_name : mode -> string
+
+val validate :
+  mode ->
+  Schema_graph.t ->
+  pre:Database.t ->
+  post:Database.t ->
+  delta:Delta.t ->
+  (unit, string) result
+(** Step-4 verdict on the candidate state [post] under the given mode.
+    [pre] (the database the transaction started from) is only consulted
+    by [Paranoid], which compares the incremental verdict against the
+    violations the full check says the delta introduced. *)

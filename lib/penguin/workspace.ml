@@ -85,7 +85,7 @@ let query ws name condition =
 
 let instances ws name = query ws name Vo_query.C_true
 
-let update ws name request =
+let update ?validation ws name request =
   match find_object ws name, translator_of ws name with
   | Error e, _ | _, Error e ->
       ( ws,
@@ -95,7 +95,7 @@ let update ws name request =
           result = Transaction.reject e;
         } )
   | Ok vo, Ok spec ->
-      let outcome = Vo_core.Engine.apply ws.graph ws.db vo spec request in
+      let outcome = Vo_core.Engine.apply ?validation ws.graph ws.db vo spec request in
       let ws =
         match Vo_core.Engine.committed outcome with
         | Some db -> { ws with db }

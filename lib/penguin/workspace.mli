@@ -65,10 +65,12 @@ val instances : t -> string -> (Instance.t list, string) result
 (** All instances of the named object. *)
 
 val update :
+  ?validation:Vo_core.Global_validation.mode ->
   t -> string -> Vo_core.Request.t -> t * Vo_core.Engine.outcome
 (** Apply an update request to the named object under its installed
     translator. On commit the workspace database advances; on rollback it
-    is unchanged. Unknown object names yield a rejected outcome. *)
+    is unchanged. Unknown object names yield a rejected outcome.
+    [validation] is forwarded to {!Vo_core.Engine.apply}. *)
 
 val oql : t -> string -> string -> (Instance.t list, string) result
 (** [oql ws object query]: run a textual {!Viewobject.Oql} query. *)

@@ -68,15 +68,42 @@ let apply db = function
   | Op.Delete (n, k) -> delete db n k
   | Op.Replace (n, k, t) -> replace db n ~old_key:k t
 
-let apply_all db ops =
-  let rec go db = function
-    | [] -> Ok db
+(* Net-delta bookkeeping for one successfully applied op: stored images
+   are read back from the databases so the delta always carries the
+   padded tuples exactly as they live in the relations. *)
+let record_op delta db db' op =
+  match op with
+  | Op.Insert (n, t) ->
+      let r' = relation_exn db' n in
+      let key = Relation.key_of r' t in
+      Delta.record delta ~rel:n ~key ~old_image:None
+        ~new_image:(Relation.lookup r' key)
+  | Op.Delete (n, k) ->
+      Delta.record delta ~rel:n ~key:k
+        ~old_image:(Relation.lookup (relation_exn db n) k)
+        ~new_image:None
+  | Op.Replace (n, k, t) ->
+      let r' = relation_exn db' n in
+      let new_key = Relation.key_of r' t in
+      let delta =
+        Delta.record delta ~rel:n ~key:k
+          ~old_image:(Relation.lookup (relation_exn db n) k)
+          ~new_image:None
+      in
+      Delta.record delta ~rel:n ~key:new_key ~old_image:None
+        ~new_image:(Relation.lookup r' new_key)
+
+let apply_all_delta db ops =
+  let rec go db delta = function
+    | [] -> Ok (db, delta)
     | op :: rest -> (
         match apply db op with
-        | Ok db' -> go db' rest
+        | Ok db' -> go db' (record_op delta db db' op) rest
         | Error e -> Error (e, op))
   in
-  go db ops
+  go db Delta.empty ops
+
+let apply_all db ops = Result.map fst (apply_all_delta db ops)
 
 let total_tuples db =
   SMap.fold (fun _ r acc -> acc + Relation.cardinality r) db.relations 0

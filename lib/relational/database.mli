@@ -46,6 +46,11 @@ val apply_all : t -> Op.t list -> (t, error * Op.t) result
 (** Execute a sequence left-to-right; on failure, reports the offending
     op. The input database is unchanged either way (persistence). *)
 
+val apply_all_delta : t -> Op.t list -> (t * Delta.t, error * Op.t) result
+(** Like {!apply_all}, additionally returning the {e net} structured
+    delta of the sequence — the input to incremental global validation.
+    Old and new tuple images are the stored (padded) forms. *)
+
 val total_tuples : t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

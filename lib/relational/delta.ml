@@ -1,0 +1,77 @@
+module SMap = Map.Make (String)
+
+module KMap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type change =
+  | Added of Tuple.t
+  | Removed of Tuple.t
+  | Updated of {
+      before : Tuple.t;
+      after : Tuple.t;
+    }
+
+type t = change KMap.t SMap.t
+
+let empty = SMap.empty
+let is_empty = SMap.is_empty
+
+let cardinal d = SMap.fold (fun _ m acc -> acc + KMap.cardinal m) d 0
+
+let update_rel d rel f =
+  let m = Option.value (SMap.find_opt rel d) ~default:KMap.empty in
+  let m = f m in
+  if KMap.is_empty m then SMap.remove rel d else SMap.add rel m d
+
+let add d ~rel ~key t =
+  update_rel d rel (fun m ->
+      match KMap.find_opt key m with
+      | None -> KMap.add key (Added t) m
+      | Some (Removed t0) | Some (Updated { before = t0; _ }) ->
+          KMap.add key (Updated { before = t0; after = t }) m
+      | Some (Added _) -> KMap.add key (Added t) m)
+
+let remove d ~rel ~key t =
+  update_rel d rel (fun m ->
+      match KMap.find_opt key m with
+      | None -> KMap.add key (Removed t) m
+      | Some (Added _) -> KMap.remove key m
+      | Some (Updated { before; _ }) -> KMap.add key (Removed before) m
+      | Some (Removed _) ->
+          (* Removing an already-removed key cannot happen on a valid op
+             sequence; keep the first old image. *)
+          m)
+
+let record d ~rel ~key ~old_image ~new_image =
+  let d =
+    match old_image with Some t0 -> remove d ~rel ~key t0 | None -> d
+  in
+  match new_image with Some t -> add d ~rel ~key t | None -> d
+
+let relations d = List.map fst (SMap.bindings d)
+
+let changes d rel =
+  match SMap.find_opt rel d with
+  | None -> []
+  | Some m -> List.map snd (KMap.bindings m)
+
+let fold f d init =
+  SMap.fold (fun rel m acc -> KMap.fold (fun _ c acc -> f rel c acc) m acc) d init
+
+let pp_change ppf = function
+  | Added t -> Fmt.pf ppf "+ %a" Tuple.pp t
+  | Removed t -> Fmt.pf ppf "- %a" Tuple.pp t
+  | Updated { before; after } ->
+      Fmt.pf ppf "~ %a -> %a" Tuple.pp before Tuple.pp after
+
+let pp ppf d =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (rel, m) ->
+          Fmt.pf ppf "@[<v2>%s:@,%a@]" rel
+            (list ~sep:cut pp_change)
+            (List.map snd (KMap.bindings m))))
+    (SMap.bindings d)

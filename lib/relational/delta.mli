@@ -1,0 +1,56 @@
+(** Structured deltas: the net effect of an operation sequence on a
+    database, as per-relation change sets carrying both old and new
+    tuple images.
+
+    A delta is what incremental global validation consumes: instead of
+    re-checking every connection against every tuple (O(|DB|)), the
+    checker visits only the tuples a transaction touched, following
+    connections incident to their relations. The delta is {e net}:
+    recording an insert and then a delete of the same key cancels out,
+    and an insert followed by a replace collapses to a single [Added]
+    with the final image. Consequently a delta read against the
+    post-transaction database is always truthful — every [Added] /
+    [Updated] image is present, every [Removed] key is absent. *)
+
+(** Net change to the tuple at one primary key. *)
+type change =
+  | Added of Tuple.t  (** key absent before, [t] stored now *)
+  | Removed of Tuple.t  (** old image; key absent now *)
+  | Updated of {
+      before : Tuple.t;
+      after : Tuple.t;
+    }  (** same key, old and new stored images *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Number of (relation, key) net changes. *)
+
+val add : t -> rel:string -> key:Value.t list -> Tuple.t -> t
+(** Record that [key] of [rel] now holds the stored image [t].
+    Composes: [Removed t0] at the same key becomes
+    [Updated {before = t0; after = t}]. *)
+
+val remove : t -> rel:string -> key:Value.t list -> Tuple.t -> t
+(** Record that [key] of [rel] (old image [t]) is gone. Composes:
+    [Added _] cancels out, [Updated {before; _}] becomes
+    [Removed before]. *)
+
+val record : t -> rel:string -> key:Value.t list -> old_image:Tuple.t option -> new_image:Tuple.t option -> t
+(** General entry point: [old_image]/[new_image] are the stored tuples
+    at [key] before and after the operation (a key-changing replace is
+    a [remove] at the old key plus an [add] at the new one). *)
+
+val relations : t -> string list
+(** Relations with at least one net change, sorted. *)
+
+val changes : t -> string -> change list
+(** Net changes recorded for a relation (key order). *)
+
+val fold : (string -> change -> 'a -> 'a) -> t -> 'a -> 'a
+(** Over every net change of every relation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -10,14 +10,27 @@ let is_insert = function Insert _ -> true | Delete _ | Replace _ -> false
 let is_delete = function Delete _ -> true | Insert _ | Replace _ -> false
 let is_replace = function Replace _ -> true | Insert _ | Delete _ -> false
 
-let equal a b =
+let compare a b =
+  let key_compare = List.compare Value.compare in
   match a, b with
-  | Insert (r1, t1), Insert (r2, t2) -> r1 = r2 && Tuple.equal t1 t2
-  | Delete (r1, k1), Delete (r2, k2) ->
-      r1 = r2 && List.compare Value.compare k1 k2 = 0
-  | Replace (r1, k1, t1), Replace (r2, k2, t2) ->
-      r1 = r2 && List.compare Value.compare k1 k2 = 0 && Tuple.equal t1 t2
-  | (Insert _ | Delete _ | Replace _), _ -> false
+  | Insert (r1, t1), Insert (r2, t2) -> (
+      match String.compare r1 r2 with
+      | 0 -> Tuple.compare t1 t2
+      | c -> c)
+  | Delete (r1, k1), Delete (r2, k2) -> (
+      match String.compare r1 r2 with
+      | 0 -> key_compare k1 k2
+      | c -> c)
+  | Replace (r1, k1, t1), Replace (r2, k2, t2) -> (
+      match String.compare r1 r2 with
+      | 0 -> ( match key_compare k1 k2 with 0 -> Tuple.compare t1 t2 | c -> c)
+      | c -> c)
+  | Insert _, (Delete _ | Replace _) -> -1
+  | Delete _, Insert _ -> 1
+  | Delete _, Replace _ -> -1
+  | Replace _, (Insert _ | Delete _) -> 1
+
+let equal a b = compare a b = 0
 
 let pp_key = Fmt.(list ~sep:(any ", ") Value.pp)
 

@@ -20,5 +20,9 @@ val is_delete : t -> bool
 val is_replace : t -> bool
 
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (arbitrary but fixed), for use as a [Set]/[Map] key. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_list : Format.formatter -> t list -> unit

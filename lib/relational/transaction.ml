@@ -5,11 +5,14 @@ type outcome =
       failed_op : Op.t option;
     }
 
-let run db ops =
-  match Database.apply_all db ops with
-  | Ok db' -> Committed db'
+let run_delta db ops =
+  match Database.apply_all_delta db ops with
+  | Ok (db', delta) -> Committed db', delta
   | Error (e, op) ->
-      Rolled_back { reason = Database.error_to_string e; failed_op = Some op }
+      ( Rolled_back { reason = Database.error_to_string e; failed_op = Some op },
+        Delta.empty )
+
+let run db ops = fst (run_delta db ops)
 
 let run_result db ops =
   match run db ops with

@@ -16,6 +16,11 @@ type outcome =
 val run : Database.t -> Op.t list -> outcome
 (** Apply all ops or none. *)
 
+val run_delta : Database.t -> Op.t list -> outcome * Delta.t
+(** Like {!run}, additionally returning the net {!Delta.t} of the
+    sequence (empty on rollback) so the caller can validate the
+    committed state incrementally. *)
+
 val run_result : Database.t -> Op.t list -> (Database.t, string) result
 
 val reject : string -> outcome

@@ -1,4 +1,5 @@
 module M = Map.Make (String)
+module SSet = Set.Make (String)
 
 type t = Value.t M.t
 
@@ -18,7 +19,9 @@ let cardinal t = M.cardinal t
 
 let union a b = M.union (fun _ _ vb -> Some vb) a b
 
-let project keep t = M.filter (fun n _ -> List.mem n keep) t
+let project keep t =
+  let keep = SSet.of_list keep in
+  M.filter (fun n _ -> SSet.mem n keep) t
 
 let project_null keep t =
   List.fold_left (fun m n -> M.add n (get t n) m) M.empty keep
@@ -41,7 +44,8 @@ let values_of attrs t = List.map (get t) attrs
 
 let conforms schema t =
   let names = Schema.attribute_names schema in
-  let extra = List.filter (fun n -> not (List.mem n names)) (attributes t) in
+  let name_set = SSet.of_list names in
+  let extra = List.filter (fun n -> not (SSet.mem n name_set)) (attributes t) in
   match extra with
   | n :: _ ->
       Error (Fmt.str "tuple does not conform to %s: extra attribute %s"

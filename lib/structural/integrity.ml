@@ -11,6 +11,43 @@ let pp_violation ppf v =
   Fmt.pf ppf "[%s] %s: %a (%s)" (Connection.id v.connection) v.relation
     Tuple.pp v.tuple v.message
 
+let orphan_violation (c : Connection.t) t2 =
+  {
+    connection = c;
+    relation = c.target;
+    tuple = t2;
+    message =
+      Fmt.str "no %s tuple in %s"
+        (if c.kind = Connection.Ownership then "owning" else "general")
+        c.source;
+  }
+
+let dangling_violation (c : Connection.t) t1 =
+  {
+    connection = c;
+    relation = c.source;
+    tuple = t1;
+    message = Fmt.str "dangling reference into %s" c.target;
+  }
+
+(* Rule 1 of Defs. 2.2/2.4 for one target tuple: does its source
+   (owning / general) tuple exist? *)
+let has_source db (c : Connection.t) t2 =
+  let bindings =
+    List.map2 (fun x1 x2 -> x1, Tuple.get t2 x2) c.source_attrs c.target_attrs
+  in
+  Relation.lookup_eq (Database.relation_exn db c.source) bindings <> []
+
+(* Rule 1 of Def. 2.3 for one source tuple: does its non-null reference
+   resolve? (Null references are vacuously fine.) *)
+let reference_resolves db (c : Connection.t) t1 =
+  Tuple.has_nulls_on c.source_attrs t1
+  ||
+  let bindings =
+    List.map2 (fun x1 x2 -> x2, Tuple.get t1 x1) c.source_attrs c.target_attrs
+  in
+  Relation.lookup_eq (Database.relation_exn db c.target) bindings <> []
+
 let check_connection g db (c : Connection.t) =
   let source = Database.relation_exn db c.source in
   let target = Database.relation_exn db c.target in
@@ -21,51 +58,122 @@ let check_connection g db (c : Connection.t) =
   | Connection.Ownership | Connection.Subset ->
       (* Rule 1 of Defs. 2.2/2.4: every target tuple has its source tuple. *)
       Relation.fold
-        (fun t2 acc ->
-          let bindings =
-            List.map2
-              (fun x1 x2 -> x1, Tuple.get t2 x2)
-              c.source_attrs c.target_attrs
-          in
-          match Relation.lookup_eq source bindings with
-          | _ :: _ -> acc
-          | [] ->
-              {
-                connection = c;
-                relation = c.target;
-                tuple = t2;
-                message =
-                  Fmt.str "no %s tuple in %s"
-                    (if c.kind = Connection.Ownership then "owning" else "general")
-                    c.source;
-              }
-              :: acc)
+        (fun t2 acc -> if has_source db c t2 then acc else orphan_violation c t2 :: acc)
         target []
   | Connection.Reference ->
       (* Rule 1 of Def. 2.3: non-null references must resolve. *)
       Relation.fold
         (fun t1 acc ->
-          if Tuple.has_nulls_on c.source_attrs t1 then acc
-          else
-            let bindings =
-              List.map2
-                (fun x1 x2 -> x2, Tuple.get t1 x1)
-                c.source_attrs c.target_attrs
-            in
-            match Relation.lookup_eq target bindings with
-            | _ :: _ -> acc
-            | [] ->
-                {
-                  connection = c;
-                  relation = c.source;
-                  tuple = t1;
-                  message = Fmt.str "dangling reference into %s" c.target;
-                }
-                :: acc)
+          if reference_resolves db c t1 then acc
+          else dangling_violation c t1 :: acc)
         source []
 
 let check g db =
   List.concat_map (check_connection g db) (Schema_graph.connections g)
+
+(* --- incremental (delta-driven) checking ------------------------------ *)
+
+(* A tuple with a new stored image (inserted, or the after-image of a
+   replace) can violate rule 1 in two roles: as the dependent end of an
+   ownership/subset connection, or as the referencing end of a
+   reference. Both are single index lookups. *)
+let check_new_image g db rel t acc =
+  let acc =
+    List.fold_left
+      (fun acc (c : Connection.t) ->
+        match c.kind with
+        | Connection.Ownership | Connection.Subset ->
+            if has_source db c t then acc else orphan_violation c t :: acc
+        | Connection.Reference -> acc)
+      acc (Schema_graph.incoming g rel)
+  in
+  List.fold_left
+    (fun acc (c : Connection.t) ->
+      match c.kind with
+      | Connection.Reference ->
+          if reference_resolves db c t then acc else dangling_violation c t :: acc
+      | Connection.Ownership | Connection.Subset -> acc)
+    acc (Schema_graph.outgoing g rel)
+
+(* A tuple whose old image is gone (deleted, or the before-image of a
+   replace) can strand {e other} tuples: dependents it owned and tuples
+   that referenced it. These inverse checks find the candidates through
+   the secondary index on the other end's connecting attributes, then
+   re-verify each against the post-state (another tuple may still
+   satisfy it). [changed] prunes connections whose connecting values
+   the change did not actually alter. *)
+let check_old_image g db rel t0 ~changed acc =
+  let acc =
+    List.fold_left
+      (fun acc (c : Connection.t) ->
+        match c.kind with
+        | Connection.Ownership | Connection.Subset ->
+            if not (changed c.source_attrs) then acc
+            else
+              let dependents =
+                Relation.lookup_eq
+                  (Database.relation_exn db c.target)
+                  (List.map2
+                     (fun x1 x2 -> x2, Tuple.get t0 x1)
+                     c.source_attrs c.target_attrs)
+              in
+              List.fold_left
+                (fun acc t2 ->
+                  if has_source db c t2 then acc else orphan_violation c t2 :: acc)
+                acc dependents
+        | Connection.Reference -> acc)
+      acc (Schema_graph.outgoing g rel)
+  in
+  List.fold_left
+    (fun acc (c : Connection.t) ->
+      match c.kind with
+      | Connection.Reference ->
+          if not (changed c.target_attrs) then acc
+          else
+            let referers =
+              Relation.lookup_eq
+                (Database.relation_exn db c.source)
+                (List.map2
+                   (fun x1 x2 -> x1, Tuple.get t0 x2)
+                   c.source_attrs c.target_attrs)
+            in
+            List.fold_left
+              (fun acc t1 ->
+                if reference_resolves db c t1 then acc
+                else dangling_violation c t1 :: acc)
+              acc referers
+      | Connection.Ownership | Connection.Subset -> acc)
+    acc (Schema_graph.incoming g rel)
+
+let violation_equal a b =
+  Connection.equal a.connection b.connection
+  && a.relation = b.relation
+  && Tuple.equal a.tuple b.tuple
+
+let dedup_violations vs =
+  List.fold_left
+    (fun acc v -> if List.exists (violation_equal v) acc then acc else v :: acc)
+    [] vs
+  |> List.rev
+
+let check_delta g db ~delta =
+  let always _ = true in
+  Delta.fold
+    (fun rel change acc ->
+      match change with
+      | Delta.Added t -> check_new_image g db rel t acc
+      | Delta.Removed t0 -> check_old_image g db rel t0 ~changed:always acc
+      | Delta.Updated { before; after } ->
+          let changed attrs =
+            List.exists
+              (fun a ->
+                not (Value.equal (Tuple.get before a) (Tuple.get after a)))
+              attrs
+          in
+          check_new_image g db rel after
+            (check_old_image g db rel before ~changed acc))
+    delta []
+  |> dedup_violations
 
 type reference_action =
   | Nullify

@@ -26,6 +26,26 @@ val check : Schema_graph.t -> Database.t -> violation list
 
 val check_connection : Schema_graph.t -> Database.t -> Connection.t -> violation list
 
+val check_delta :
+  Schema_graph.t -> Database.t -> delta:Delta.t -> violation list
+(** Delta-driven re-validation: [check_delta g db ~delta] checks only
+    the connections incident to the tuples [delta] touched, against the
+    post-state [db] — forward existence checks for inserted / replaced
+    images, inverse checks (who was owned by / referenced a removed or
+    key-changed image, found through the secondary indexes
+    {!Schema_graph.create_database} installs) for old images. Cost is
+    O(|delta| × incident connections), not O(|db|).
+
+    Contract relative to the full {!check}: every reported violation is
+    a genuine violation of the post-state (soundness), and every
+    violation of the post-state that is not already present in the
+    pre-state is reported (completeness). In particular, when the
+    pre-state satisfies the structural model, [check_delta] is empty
+    iff [check] is empty on the post-state. *)
+
+val violation_equal : violation -> violation -> bool
+(** Same connection, relation and offending tuple (messages follow). *)
+
 (** What to do with tuples that reference a deleted tuple (rule 2 of
     Def. 2.3 offers exactly these choices). *)
 type reference_action =

@@ -96,9 +96,25 @@ let restrict g ~keep =
   { schemas; conns }
 
 let create_database g =
-  SMap.fold
-    (fun _ s db -> Database.create_relation_exn db s)
-    g.schemas Database.empty
+  let db =
+    SMap.fold
+      (fun _ s db -> Database.create_relation_exn db s)
+      g.schemas Database.empty
+  in
+  (* Secondary indexes on every connection's endpoints: both ends of
+     every existence check (instantiation, full and incremental
+     integrity checking) become index lookups instead of scans.
+     Connection validation guarantees the attribute lists are non-empty
+     and known, so index creation cannot fail. *)
+  List.fold_left
+    (fun db (c : Connection.t) ->
+      let add db rel attrs =
+        match Database.create_index db rel attrs with
+        | Ok db -> db
+        | Error e -> invalid_arg (Database.error_to_string e)
+      in
+      add (add db c.source c.source_attrs) c.target c.target_attrs)
+    db g.conns
 
 let to_dot g =
   let buf = Buffer.create 256 in

@@ -59,7 +59,11 @@ val restrict : t -> keep:string list -> t
     endpoints kept). Used for the Fig. 2a relevant subgraph [G]. *)
 
 val create_database : t -> Relational.Database.t
-(** Empty database holding one relation per schema. *)
+(** Empty database holding one relation per schema, with a secondary
+    index pre-created on every connection's source-attribute and
+    target-attribute lists — connection-following lookups
+    (instantiation, {!Integrity.check}, {!Integrity.check_delta}) are
+    index-served from the start. *)
 
 val to_dot : t -> string
 (** Graphviz rendering in the paper's style: ownership [--*] as a filled

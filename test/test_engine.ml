@@ -142,8 +142,11 @@ let test_end_to_end_sequence () =
 let test_step4_rollback_on_latent_violation () =
   (* Failure injection: the base database is corrupted behind the
      engine's back (an orphan owned tuple). Translation of an unrelated
-     insertion succeeds, but step 4's global validation detects the
-     violation on the candidate state and rolls the transaction back. *)
+     insertion succeeds, but step 4's full validation — the mode for
+     inputs of unknown integrity — detects the violation on the
+     candidate state and rolls the transaction back. (Incremental
+     validation assumes a consistent input state, so it deliberately
+     does not look at tuples the transaction never touched.) *)
   let d = db () in
   let d =
     check_ok
@@ -162,12 +165,107 @@ let test_step4_rollback_on_latent_violation () =
           [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
               (tuple [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ] ]
   in
-  let outcome = Vo_core.Engine.apply g d omega spec (Vo_core.Request.insert inst) in
+  let outcome =
+    Vo_core.Engine.apply ~validation:Vo_core.Global_validation.Full g d omega
+      spec (Vo_core.Request.insert inst)
+  in
   let reason = rollback_reason outcome in
   Alcotest.(check bool) "global validation failed" true
     (Astring_contains.contains ~sub:"global validation" reason);
   Alcotest.(check bool) "names the orphan" true
     (Astring_contains.contains ~sub:"owning" reason)
+
+let test_paranoid_agrees_on_engine_flows () =
+  (* Every flow the suite exercises, replayed with the incremental
+     checker cross-checked against the full one: a divergence raises
+     Global_validation.Divergence and fails the test. *)
+  let paranoid = Vo_core.Global_validation.Paranoid in
+  let d = db () in
+  let i = Penguin.University.cs345_instance d in
+  (* deletion *)
+  let outcome =
+    Vo_core.Engine.apply ~validation:paranoid g d omega spec
+      (Vo_core.Request.delete i)
+  in
+  ignore (committed_db outcome);
+  (* replacement (EES345, permissive translator) *)
+  let new_i = Penguin.University.ees345_replacement i in
+  let outcome =
+    Vo_core.Engine.apply ~validation:paranoid g d omega spec
+      (Vo_core.Request.replace ~old_instance:i ~new_instance:new_i)
+  in
+  ignore (committed_db outcome);
+  (* insertion with dependency stubs *)
+  let inst =
+    Instance.make ~label:"COURSES" ~relation:"COURSES"
+      ~tuple:
+        (tuple
+           [ "course_id", vs "CS902"; "title", vs "Y"; "units", vi 3;
+             "level", vs "grad" ])
+      ~children:
+        [ "DEPARTMENT",
+          [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+              (tuple [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ] ]
+  in
+  let d1 =
+    committed_db
+      (Vo_core.Engine.apply ~validation:paranoid g d omega spec
+         (Vo_core.Request.insert inst))
+  in
+  (* modify then delete, still cross-checked *)
+  let stored =
+    List.find
+      (fun (i : Instance.t) ->
+        Value.equal (Tuple.get i.Instance.tuple "course_id") (vs "CS902"))
+      (Instantiate.instantiate d1 omega)
+  in
+  let renamed =
+    Instance.with_tuple stored (Tuple.set stored.Instance.tuple "units" (vi 5))
+  in
+  let d2 =
+    committed_db
+      (Vo_core.Engine.apply ~validation:paranoid g d1 omega spec
+         (Vo_core.Request.replace ~old_instance:stored ~new_instance:renamed))
+  in
+  let stored2 =
+    List.find
+      (fun (i : Instance.t) ->
+        Value.equal (Tuple.get i.Instance.tuple "course_id") (vs "CS902"))
+      (Instantiate.instantiate d2 omega)
+  in
+  let d3 =
+    committed_db
+      (Vo_core.Engine.apply ~validation:paranoid g d2 omega spec
+         (Vo_core.Request.delete stored2))
+  in
+  Alcotest.(check bool) "round trip" true (Database.equal d d3)
+
+let test_incremental_full_same_verdict () =
+  (* A request whose translation applies cleanly but violates the
+     structural model must be rejected identically by both modes. The
+     restrictive translator refuses to cascade into CURRICULUM, so
+     VO-CD's deletion of CS345 leaves dangling CURRICULUM references
+     behind — unless the spec forbids it earlier. Instead, inject the
+     violation through a raw op list validated by both modes. *)
+  let d = db () in
+  let ops = [ Op.Delete ("DEPARTMENT", [ vs "Computer Science" ]) ] in
+  let db', delta =
+    match Transaction.run_delta d ops with
+    | Transaction.Committed db', delta -> db', delta
+    | Transaction.Rolled_back { reason; _ }, _ -> Alcotest.fail reason
+  in
+  let full = Vo_core.Global_validation.validate Vo_core.Global_validation.Full g ~pre:d ~post:db' ~delta in
+  let incr =
+    Vo_core.Global_validation.validate Vo_core.Global_validation.Incremental g
+      ~pre:d ~post:db' ~delta
+  in
+  let par =
+    Vo_core.Global_validation.validate Vo_core.Global_validation.Paranoid g
+      ~pre:d ~post:db' ~delta
+  in
+  Alcotest.(check bool) "full rejects" true (Result.is_error full);
+  Alcotest.(check bool) "incremental rejects" true (Result.is_error incr);
+  Alcotest.(check bool) "paranoid rejects" true (Result.is_error par)
 
 let test_workspace_oql () =
   let ws = Penguin.University.workspace () in
@@ -186,5 +284,9 @@ let suite =
     Alcotest.test_case "translate only" `Quick test_translate_only;
     Alcotest.test_case "dedup identical ops" `Quick test_dedup_identical_ops;
     Alcotest.test_case "apply_exn" `Quick test_apply_exn;
+    Alcotest.test_case "paranoid cross-check on engine flows" `Quick
+      test_paranoid_agrees_on_engine_flows;
+    Alcotest.test_case "full/incremental/paranoid same verdict" `Quick
+      test_incremental_full_same_verdict;
     Alcotest.test_case "insert/replace/delete roundtrip" `Quick test_end_to_end_sequence;
   ]

@@ -1,0 +1,321 @@
+(* Incremental (delta-driven) integrity checking must agree with the
+   full check. The contract under test (see Integrity.check_delta):
+
+   - soundness:     every violation it reports holds in the post-state;
+   - completeness:  every violation of the post-state that is not
+                    already in the pre-state is reported.
+
+   Both hold for arbitrary pre-states (even inconsistent ones), which
+   lets the property run over randomly populated databases without
+   first repairing them. Deterministic cases cover the two inverse
+   checks (dangling references, orphaned owned tuples) and delta
+   compaction. *)
+open Relational
+open Structural
+open Test_util
+
+(* --- randomized agreement over random schema graphs ------------------ *)
+
+(* Random tuples over a schema: key/fk attributes draw from a small int
+   range so cross-relation matches and mismatches both occur; nonkey fk
+   attributes are occasionally Null (references are vacuous on null). *)
+let random_value st schema attr =
+  let is_key = List.mem attr (Schema.key_attributes schema) in
+  match Schema.domain_of schema attr with
+  | Some Value.DInt ->
+      if (not is_key) && Random.State.int st 4 = 0 then Value.Null
+      else Value.Int (Random.State.int st 4)
+  | Some Value.DStr -> Value.Str (Fmt.str "s%d" (Random.State.int st 3))
+  | Some Value.DFloat -> Value.Float (float_of_int (Random.State.int st 4))
+  | Some Value.DBool -> Value.Bool (Random.State.bool st)
+  | None -> Value.Null
+
+let random_tuple st schema =
+  Tuple.make
+    (List.map
+       (fun a -> a, random_value st schema a)
+       (Schema.attribute_names schema))
+
+let populate st g =
+  List.fold_left
+    (fun db rel ->
+      let schema = Schema_graph.schema_exn g rel in
+      let n = 2 + Random.State.int st 4 in
+      let rec go db i =
+        if i >= n then db
+        else
+          match Database.insert db rel (random_tuple st schema) with
+          | Ok db -> go db (i + 1)
+          | Error _ -> go db (i + 1) (* duplicate key: skip *)
+      in
+      go db 0)
+    (Schema_graph.create_database g)
+    (Schema_graph.relations g)
+
+(* A random applicable op against the current state. *)
+let random_op st g db =
+  let rels = Schema_graph.relations g in
+  let rel = List.nth rels (Random.State.int st (List.length rels)) in
+  let schema = Schema_graph.schema_exn g rel in
+  let r = Database.relation_exn db rel in
+  let existing = Relation.to_list r in
+  let pick_existing () =
+    List.nth existing (Random.State.int st (List.length existing))
+  in
+  match Random.State.int st 3 with
+  | 0 -> Some (Op.Insert (rel, random_tuple st schema))
+  | 1 when existing <> [] ->
+      Some (Op.Delete (rel, Tuple.key_of schema (pick_existing ())))
+  | 2 when existing <> [] ->
+      let victim = pick_existing () in
+      let replacement =
+        (* Half the replacements keep the key (image update), half draw
+           a fresh key (key modification propagating along connections). *)
+        if Random.State.bool st then
+          Tuple.union victim
+            (Tuple.make
+               (List.map
+                  (fun a -> a, random_value st schema a)
+                  (Schema.nonkey_attributes schema)))
+        else random_tuple st schema
+      in
+      Some (Op.Replace (rel, Tuple.key_of schema victim, replacement))
+  | _ -> None
+
+let random_ops st g db n =
+  let rec go db acc i =
+    if i >= n then List.rev acc
+    else
+      match random_op st g db with
+      | None -> go db acc (i + 1)
+      | Some op -> (
+          match Database.apply db op with
+          | Ok db' -> go db' (op :: acc) (i + 1)
+          | Error _ -> go db acc (i + 1))
+  in
+  go db [] 0
+
+let subset ~of_:vs us =
+  List.for_all (fun v -> List.exists (Integrity.violation_equal v) vs) us
+
+let pp_violations = Fmt.(list ~sep:cut Integrity.pp_violation)
+
+let plan_seed_arb =
+  QCheck.make
+    ~print:(fun (p, seed) ->
+      Fmt.str "seed=%d n=%d attach=%a extra=%a" seed p.Test_randgraph.n
+        Fmt.(Dump.list (Dump.pair int int))
+        p.Test_randgraph.attach
+        Fmt.(Dump.list (Dump.pair int int))
+        p.Test_randgraph.extra_refs)
+    QCheck.Gen.(pair Test_randgraph.plan_gen (int_bound 1_000_000))
+
+let prop_delta_check_agrees =
+  QCheck.Test.make
+    ~name:"check_delta sound and complete vs full check (random sequences)"
+    ~count:200 plan_seed_arb
+    (fun (plan, seed) ->
+      match Test_randgraph.build plan with
+      | Error _ -> false
+      | Ok g ->
+          let st = Random.State.make [| seed |] in
+          let db0 = populate st g in
+          let ops = random_ops st g db0 (3 + Random.State.int st 8) in
+          let db1, delta =
+            match Database.apply_all_delta db0 ops with
+            | Ok r -> r
+            | Error (e, _) -> failwith (Database.error_to_string e)
+          in
+          let full_pre = Integrity.check g db0 in
+          let full_post = Integrity.check g db1 in
+          let incr = Integrity.check_delta g db1 ~delta in
+          let introduced =
+            List.filter
+              (fun v -> not (List.exists (Integrity.violation_equal v) full_pre))
+              full_post
+          in
+          let sound = subset ~of_:full_post incr in
+          let complete = subset ~of_:incr introduced in
+          if not (sound && complete) then
+            QCheck.Test.fail_reportf
+              "@[<v>%s@,ops:@,%a@,incremental:@,%a@,full post:@,%a@,introduced:@,%a@]"
+              (if sound then "incomplete" else "unsound")
+              Op.pp_list ops pp_violations incr pp_violations full_post
+              pp_violations introduced
+          else true)
+
+(* When the pre-state is consistent, the incremental verdict must equal
+   the full verdict on the post-state — the engine's actual use. *)
+let prop_delta_check_verdict_on_consistent_base =
+  QCheck.Test.make
+    ~name:"on consistent bases the incremental verdict is the full verdict"
+    ~count:200 plan_seed_arb
+    (fun (plan, seed) ->
+      match Test_randgraph.build plan with
+      | Error _ -> false
+      | Ok g ->
+          let st = Random.State.make [| seed |] in
+          let db0 = populate st g in
+          if Integrity.check g db0 <> [] then true (* only consistent bases *)
+          else
+            let ops = random_ops st g db0 (3 + Random.State.int st 8) in
+            let db1, delta =
+              match Database.apply_all_delta db0 ops with
+              | Ok r -> r
+              | Error (e, _) -> failwith (Database.error_to_string e)
+            in
+            (Integrity.check g db1 = []) = (Integrity.check_delta g db1 ~delta = []))
+
+(* --- deterministic inverse-check cases ------------------------------- *)
+
+let dept =
+  Schema.make_exn ~name:"DEPT"
+    ~attributes:[ Attribute.str "dname"; Attribute.str "building" ]
+    ~key:[ "dname" ]
+
+let emp =
+  Schema.make_exn ~name:"EMP"
+    ~attributes:
+      [ Attribute.int "eid"; Attribute.str "dname"; Attribute.str "ename" ]
+    ~key:[ "eid" ]
+
+let task =
+  Schema.make_exn ~name:"TASK"
+    ~attributes:[ Attribute.int "eid"; Attribute.int "tid"; Attribute.str "what" ]
+    ~key:[ "eid"; "tid" ]
+
+let hg =
+  Schema_graph.make_exn [ dept; emp; task ]
+    [
+      Connection.reference "EMP" "DEPT" ~on:([ "dname" ], [ "dname" ]);
+      Connection.ownership "EMP" "TASK" ~on:([ "eid" ], [ "eid" ]);
+    ]
+
+let seeded () =
+  let db = Schema_graph.create_database hg in
+  let ins rel bindings db =
+    check_ok
+      (Result.map_error Database.error_to_string
+         (Database.insert db rel (tuple bindings)))
+  in
+  db
+  |> ins "DEPT" [ "dname", vs "CS"; "building", vs "Gates" ]
+  |> ins "EMP" [ "eid", vi 1; "dname", vs "CS"; "ename", vs "Ann" ]
+  |> ins "TASK" [ "eid", vi 1; "tid", vi 1; "what", vs "grade" ]
+
+let run_delta db ops =
+  match Database.apply_all_delta db ops with
+  | Ok r -> r
+  | Error (e, _) -> Alcotest.fail (Database.error_to_string e)
+
+let test_detects_dangling_reference () =
+  (* Deleting the referenced DEPT strands EMP 1: the inverse reference
+     check must find the referer through the secondary index. *)
+  let db = seeded () in
+  let db', delta = run_delta db [ Op.Delete ("DEPT", [ vs "CS" ]) ] in
+  let vs_ = Integrity.check_delta hg db' ~delta in
+  Alcotest.(check int) "one violation" 1 (List.length vs_);
+  let v = List.hd vs_ in
+  Alcotest.(check string) "on EMP" "EMP" v.Integrity.relation;
+  Alcotest.(check bool) "dangling" true
+    (Astring_contains.contains ~sub:"dangling" v.Integrity.message)
+
+let test_detects_orphaned_owned_tuple () =
+  (* Deleting the owner strands TASK (1,1). *)
+  let db = seeded () in
+  let db', delta = run_delta db [ Op.Delete ("EMP", [ vi 1 ]) ] in
+  let vs_ = Integrity.check_delta hg db' ~delta in
+  Alcotest.(check int) "one violation" 1 (List.length vs_);
+  let v = List.hd vs_ in
+  Alcotest.(check string) "on TASK" "TASK" v.Integrity.relation;
+  Alcotest.(check bool) "orphan" true
+    (Astring_contains.contains ~sub:"owning" v.Integrity.message)
+
+let test_key_change_strands_dependents () =
+  (* Replacing EMP 1 with EMP 2 orphans TASK (1,1) even though nothing
+     was deleted: the old image's inverse check fires. *)
+  let db = seeded () in
+  let db', delta =
+    run_delta db
+      [ Op.Replace
+          ("EMP", [ vi 1 ], tuple [ "eid", vi 2; "dname", vs "CS"; "ename", vs "Ann" ]) ]
+  in
+  let vs_ = Integrity.check_delta hg db' ~delta in
+  Alcotest.(check int) "one violation" 1 (List.length vs_);
+  Alcotest.(check string) "on TASK" "TASK" (List.hd vs_).Integrity.relation
+
+let test_consistent_updates_pass () =
+  (* Inserting a properly parented tuple and nullifying a reference are
+     both clean under the incremental check. *)
+  let db = seeded () in
+  let db', delta =
+    run_delta db
+      [
+        Op.Insert ("TASK", tuple [ "eid", vi 1; "tid", vi 2; "what", vs "review" ]);
+        Op.Replace
+          ("EMP", [ vi 1 ], tuple [ "eid", vi 1; "dname", Value.Null; "ename", vs "Ann" ]);
+        Op.Delete ("DEPT", [ vs "CS" ]);
+      ]
+  in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Integrity.check_delta hg db' ~delta));
+  Alcotest.(check int) "full agrees" 0 (List.length (Integrity.check hg db'))
+
+let test_delta_compaction () =
+  let db = seeded () in
+  (* insert then delete nets out *)
+  let t = tuple [ "eid", vi 1; "tid", vi 9; "what", vs "tmp" ] in
+  let _, delta =
+    run_delta db [ Op.Insert ("TASK", t); Op.Delete ("TASK", [ vi 1; vi 9 ]) ]
+  in
+  Alcotest.(check bool) "insert+delete cancels" true (Delta.is_empty delta);
+  (* replace after insert collapses to one Added with the final image *)
+  let t2 = tuple [ "eid", vi 1; "tid", vi 9; "what", vs "final" ] in
+  let _, delta =
+    run_delta db [ Op.Insert ("TASK", t); Op.Replace ("TASK", [ vi 1; vi 9 ], t2) ]
+  in
+  Alcotest.(check int) "one net change" 1 (Delta.cardinal delta);
+  (match Delta.changes delta "TASK" with
+  | [ Delta.Added t' ] ->
+      Alcotest.check value_testable "final image" (vs "final")
+        (Tuple.get t' "what")
+  | _ -> Alcotest.fail "expected a single Added");
+  (* delete then re-insert the same key is an update *)
+  let _, delta =
+    run_delta db
+      [
+        Op.Delete ("TASK", [ vi 1; vi 1 ]);
+        Op.Insert ("TASK", tuple [ "eid", vi 1; "tid", vi 1; "what", vs "redo" ]);
+      ]
+  in
+  (match Delta.changes delta "TASK" with
+  | [ Delta.Updated { before; after } ] ->
+      Alcotest.check value_testable "before" (vs "grade") (Tuple.get before "what");
+      Alcotest.check value_testable "after" (vs "redo") (Tuple.get after "what")
+  | _ -> Alcotest.fail "expected a single Updated")
+
+let test_auto_indexes_on_connections () =
+  (* create_database pre-indexes both endpoints of every connection. *)
+  let db = Schema_graph.create_database hg in
+  let has rel attrs = Relation.has_index (Database.relation_exn db rel) attrs in
+  Alcotest.(check bool) "EMP.dname" true (has "EMP" [ "dname" ]);
+  Alcotest.(check bool) "DEPT.dname" true (has "DEPT" [ "dname" ]);
+  Alcotest.(check bool) "EMP.eid" true (has "EMP" [ "eid" ]);
+  Alcotest.(check bool) "TASK.eid" true (has "TASK" [ "eid" ])
+
+let suite =
+  [
+    qtest prop_delta_check_agrees;
+    qtest prop_delta_check_verdict_on_consistent_base;
+    Alcotest.test_case "dangling reference detected" `Quick
+      test_detects_dangling_reference;
+    Alcotest.test_case "orphaned owned tuple detected" `Quick
+      test_detects_orphaned_owned_tuple;
+    Alcotest.test_case "key change strands dependents" `Quick
+      test_key_change_strands_dependents;
+    Alcotest.test_case "consistent updates pass" `Quick
+      test_consistent_updates_pass;
+    Alcotest.test_case "delta compaction" `Quick test_delta_compaction;
+    Alcotest.test_case "auto indexes on connections" `Quick
+      test_auto_indexes_on_connections;
+  ]
