@@ -1,12 +1,73 @@
 (* Benchmark harness: one bechamel test (or test series) per experiment of
    EXPERIMENTS.md, preceded by the paper-artifact reproductions.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe [-- --quick] [-- --json FILE]
+
+     --quick      smoke mode: tiny measurement quota and reduced sweeps
+                  (CI uses this to exercise every experiment per push)
+     --json FILE  additionally write per-group ns/op results to FILE,
+                  for BENCH_*.json trajectory tracking *)
 
 open Bechamel
 open Relational
 open Structural
 open Viewobject
+
+let quick = ref false
+let json_path : string option ref = ref None
+
+let parse_argv () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        go rest
+    | [ "--json" ] -> failwith "--json requires a file argument"
+    | arg :: _ -> failwith (Fmt.str "unknown argument %s" arg)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* Collected (group, (test name, ns/op) list), in run order. *)
+let collected : (string * (string * float) list) list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"quick\": %b,\n  \"groups\": [" !quick;
+  List.iteri
+    (fun i (group, rows) ->
+      pr "%s\n    {\"group\": \"%s\", \"results\": ["
+        (if i = 0 then "" else ",")
+        (json_escape group);
+      List.iteri
+        (fun j (name, ns) ->
+          pr "%s\n      {\"name\": \"%s\", \"ns_per_op\": %s}"
+            (if j = 0 then "" else ",")
+            (json_escape name)
+            (if Float.is_nan ns then "null" else Fmt.str "%.3f" ns))
+        rows;
+      pr "\n    ]}")
+    (List.rev !collected);
+  pr "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.wrote benchmark results to %s@." path
 
 let section title = Fmt.pr "@.==================== %s ====================@." title
 
@@ -17,7 +78,10 @@ let run_group name tests =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg =
+    if !quick then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.02) ~kde:None ()
+    else Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
   let grouped = Test.make_grouped ~name ~fmt:"%s %s" tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
@@ -44,6 +108,7 @@ let run_group name tests =
       in
       Fmt.pr "%-58s %14s %14.0f@." n time_str (1e9 /. ns))
     rows;
+  collected := (name, rows) :: !collected;
   rows
 
 let stage = Staged.stage
@@ -498,7 +563,7 @@ let e9 () =
                spec request));
     ]
   in
-  let fanouts = [ 30; 300; 3400 ] in
+  let fanouts = if !quick then [ 30 ] else [ 30; 300; 3400 ] in
   let rows =
     run_group "e9"
       (List.concat_map validation_tests fanouts
@@ -520,6 +585,191 @@ let e9 () =
             (f /. i)
       | _ -> ())
     fanouts
+
+(* --- E10: group commit vs one-at-a-time serving ----------------------- *)
+
+let e10 () =
+  section "E10: group commit vs one-at-a-time serving";
+  let graph = Penguin.University.graph in
+  let omega = Penguin.University.omega in
+  let spec = Penguin.University.omega_translator in
+  let max_batch = 32 in
+  let db = Workloads.courses_db max_batch in
+  let stage1 db r =
+    match Vo_core.Engine.stage graph db omega spec r with
+    | Ok s -> s
+    | Error e -> failwith (Vo_core.Engine.stage_error_reason e)
+  in
+  let sequential ?validation db reqs =
+    List.fold_left
+      (fun db r ->
+        let o = Vo_core.Engine.apply ?validation graph db omega spec r in
+        match o.Vo_core.Engine.result with
+        | Transaction.Committed db -> db
+        | Transaction.Rolled_back { reason; _ } ->
+            failwith (Fmt.str "sequential apply rejected: %s" reason))
+      db reqs
+  in
+  (* A batch item is the pre-built request plus its retry function: a
+     conflicting request that lost its group must be re-derived against
+     the committed state (re-read the instance, re-apply the edit) —
+     the OCC retry a {!Penguin.Session} rebase performs. *)
+  let batch ~n ~colliding =
+    List.init n (fun j ->
+        let course = if j < colliding then 1 else j + 1 in
+        ( Workloads.grade_change_request db ~course ~tag:j,
+          fun db' -> Workloads.grade_change_request db' ~course ~tag:j ))
+  in
+  (* The serving loop: stage everything, partition into conflict-free
+     groups, commit the first group, re-derive and re-stage the
+     survivors, repeat. At conflict rate 0 this is stage-all plus one
+     commit_group. *)
+  let group_serve ?validation db items =
+    let rec serve db staged =
+      (* staged : (Engine.staged * retry) assoc, physical keys *)
+      match Vo_core.Engine.plan_groups (List.map fst staged) with
+      | [] -> db
+      | grp :: rest -> (
+          match Vo_core.Engine.commit_group ?validation graph db grp with
+          | Error r -> failwith (Vo_core.Engine.group_rejection_reason r)
+          | Ok (db, _) -> (
+              match List.concat rest with
+              | [] -> db
+              | survivors ->
+                  let retries = List.map (fun s -> List.assq s staged) survivors in
+                  serve db
+                    (List.map (fun retry -> stage1 db (retry db), retry) retries)))
+    in
+    serve db (List.map (fun (r, retry) -> stage1 db r, retry) items)
+  in
+  let sizes = if !quick then [ 8 ] else [ 1; 8; 32 ] in
+  let seq_test n =
+    let reqs = List.map fst (batch ~n ~colliding:0) in
+    Test.make ~name:(Fmt.str "sequential:batch=%02d" n)
+      (stage (fun () -> sequential db reqs))
+  in
+  let group_test n =
+    let items = batch ~n ~colliding:0 in
+    Test.make ~name:(Fmt.str "group:batch=%02d" n)
+      (stage (fun () -> group_serve db items))
+  in
+  let commit_only n =
+    let staged =
+      List.map (fun (r, _) -> stage1 db r) (batch ~n ~colliding:0)
+    in
+    Test.make ~name:(Fmt.str "group-commit-only:batch=%02d" n)
+      (stage (fun () ->
+           match Vo_core.Engine.commit_group graph db staged with
+           | Ok (db, _) -> db
+           | Error r -> failwith (Vo_core.Engine.group_rejection_reason r)))
+  in
+  let conflict_test ~n ~colliding =
+    let items = batch ~n ~colliding in
+    Test.make
+      ~name:
+        (Fmt.str "group:batch=%02d,conflicts=%02d%%" n (100 * colliding / n))
+      (stage (fun () -> group_serve db items))
+  in
+  let conflict_cases = if !quick then [ 8, 2 ] else [ 32, 8; 32, 16 ] in
+  let rows =
+    run_group "e10"
+      (List.map seq_test sizes @ List.map group_test sizes
+      @ List.map commit_only sizes
+      @ List.map (fun (n, c) -> conflict_test ~n ~colliding:c) conflict_cases)
+  in
+  (* Speedup summary for the conflict-free batches. [sequential] is n
+     full Engine.apply calls — translate, apply and validate inside the
+     serialized section. [stage+commit] re-runs the whole pipeline from
+     one snapshot (staging, i.e. translation, dominates and is paid
+     either way). [commit] is the group commit of an already-staged
+     batch: the serialized section of the session architecture, where
+     staging happened at queue time — this is what group commit
+     shrinks. *)
+  Fmt.pr "@.group commit vs one-at-a-time (conflict-free):@.";
+  Fmt.pr "%-8s %15s %15s %15s %10s@." "batch" "sequential" "stage+commit"
+    "commit" "speedup";
+  List.iter
+    (fun n ->
+      match
+        ( List.assoc_opt (Fmt.str "e10 sequential:batch=%02d" n) rows,
+          List.assoc_opt (Fmt.str "e10 group:batch=%02d" n) rows,
+          List.assoc_opt (Fmt.str "e10 group-commit-only:batch=%02d" n) rows )
+      with
+      | Some s, Some g, Some c ->
+          Fmt.pr "%-8d %12.1f us %12.1f us %12.1f us %9.2fx@." n (s /. 1e3)
+            (g /. 1e3) (c /. 1e3) (s /. c)
+      | _ -> ())
+    sizes;
+  (let acc_n = List.fold_left max 1 sizes in
+   match
+     ( List.assoc_opt (Fmt.str "e10 sequential:batch=%02d" acc_n) rows,
+       List.assoc_opt (Fmt.str "e10 group-commit-only:batch=%02d" acc_n) rows )
+   with
+   | Some s, Some c when c < s ->
+       Fmt.pr
+         "@.acceptance: group commit of a conflict-free %d-request staged \
+          batch (%.1f us) beats %d sequential Engine.apply calls (%.1f us): \
+          %.2fx.@."
+         acc_n (c /. 1e3) acc_n (s /. 1e3) (s /. c)
+   | Some s, Some c ->
+       Fmt.pr
+         "@.ACCEPTANCE FAILED: group commit %.1f us vs sequential %.1f us@."
+         (c /. 1e3) (s /. 1e3)
+   | _ -> ());
+  (* Paranoid-mode cross-check (acceptance), accept side: a merged-delta
+     group commit must accept what sequential application accepts, and
+     both must land on the same database. Paranoid validation
+     additionally cross-checks the incremental checker against a full
+     sweep inside each path, raising Divergence on any disagreement. *)
+  let n = if !quick then 8 else 32 in
+  let items = batch ~n ~colliding:0 in
+  let seq_db =
+    sequential ~validation:Vo_core.Global_validation.Paranoid db
+      (List.map fst items)
+  in
+  let grp_db = group_serve ~validation:Vo_core.Global_validation.Paranoid db items in
+  if not (Database.equal seq_db grp_db) then
+    failwith "E10 cross-check: group commit diverges from sequential apply";
+  (* Reject side: a batch whose last member violates the structural
+     model (dropping a department every course references) must be
+     rejected by the merged-delta pass with the same culprit sequential
+     validation identifies. *)
+  let bad_staged =
+    let ops = [ Op.Delete ("DEPARTMENT", [ Value.Str "Computer Science" ]) ] in
+    match Transaction.run_delta db ops with
+    | Transaction.Rolled_back { reason; _ }, _ -> failwith reason
+    | Transaction.Committed candidate, delta ->
+        {
+          Vo_core.Engine.request =
+            Vo_core.Request.delete (Workloads.course_instance db 1);
+          request_kind = "raw";
+          object_name = "omega";
+          ops;
+          delta;
+          reads = Delta.footprint delta;
+          base_version = 0;
+          base_db = db;
+          candidate;
+        }
+  in
+  let good = List.map (fun (r, _) -> stage1 db r) (batch ~n:4 ~colliding:0) in
+  (match
+     Vo_core.Engine.commit_group
+       ~validation:Vo_core.Global_validation.Paranoid graph db
+       (good @ [ bad_staged ])
+   with
+  | Ok _ -> failwith "E10 cross-check: invalid batch was accepted"
+  | Error (Vo_core.Engine.Group_validation_failed { culprit = Some 4; _ }) -> ()
+  | Error r ->
+      failwith
+        (Fmt.str "E10 cross-check: wrong rejection: %s"
+           (Vo_core.Engine.group_rejection_reason r)));
+  Fmt.pr
+    "@.Paranoid cross-check: group commit of %d conflict-free requests \
+     equals %d sequential applies (same final database, merged-delta \
+     validation agrees with full sweep), and an invalid batch is \
+     rejected with the culprit sequential replay identifies.@."
+    n n
 
 (* --- ablation: op-list translation vs direct application ------------- *)
 
@@ -590,6 +840,7 @@ let surfaces () =
        ])
 
 let () =
+  parse_argv ();
   Fmt.pr "PENGUIN benchmark harness — one experiment per paper artifact@.";
   Fmt.pr "(see DESIGN.md and EXPERIMENTS.md for the index)@.";
   e1 ();
@@ -600,6 +851,8 @@ let () =
   e7 ();
   e8 ();
   e9 ();
+  e10 ();
   ablation ();
   surfaces ();
+  Option.iter write_json !json_path;
   Fmt.pr "@.all benchmarks complete.@."

@@ -156,6 +156,74 @@ let bench1_instance db =
   | [ i ] -> i
   | _ -> invalid_arg "bench1_instance"
 
+(* --- E10: group-commit workload ------------------------------------ *)
+
+(* A university database with [n] extra one-student courses
+   BENCH001..BENCH<n>: course [i] has student pid 2000+i enrolled with
+   grade "A". Requests on distinct courses touch disjoint instances, so
+   a batch of them can be served one-at-a-time against the evolving
+   state or staged together from one snapshot. *)
+let courses_db n =
+  let db = Penguin.University.seeded_db () in
+  let ins rel bindings db =
+    match Database.insert db rel (Tuple.make bindings) with
+    | Ok db -> db
+    | Error e -> invalid_arg (Database.error_to_string e)
+  in
+  let rec add db i =
+    if i > n then db
+    else
+      let course = Fmt.str "BENCH%03d" i in
+      let pid = 2000 + i in
+      db
+      |> ins "COURSES"
+           [ "course_id", Value.Str course; "title", Value.Str (Fmt.str "Bench %d" i);
+             "units", Value.Int 3; "level", Value.Str "grad";
+             "dept_name", Value.Str "Computer Science" ]
+      |> ins "PEOPLE"
+           [ "pid", Value.Int pid; "name", Value.Str (Fmt.str "S%d" i);
+             "dept_name", Value.Str "Computer Science" ]
+      |> ins "STUDENT"
+           [ "pid", Value.Int pid; "degree_program", Value.Str "MS CS";
+             "year", Value.Int ((i mod 4) + 1) ]
+      |> ins "GRADES"
+           [ "course_id", Value.Str course; "pid", Value.Int pid;
+             "grade", Value.Str "A" ]
+      |> fun db -> add db (i + 1)
+  in
+  add db 1
+
+let course_instance db i =
+  match
+    Instantiate.instantiate
+      ~where:(Predicate.eq_str "course_id" (Fmt.str "BENCH%03d" i))
+      db Penguin.University.omega
+  with
+  | [ inst ] -> inst
+  | l -> invalid_arg (Fmt.str "course_instance %d: %d instances" i (List.length l))
+
+(* One grade change on course [course] (re-reading the instance from
+   [db], so the request is fresh against it); [tag] disambiguates the
+   new grade so retried requests stay distinguishable. *)
+let grade_change_request db ~course ~tag =
+  let inst = course_instance db course in
+  match
+    Vo_core.Request.partial_modify inst ~label:"GRADES"
+      ~at:(Tuple.make [ "pid", Value.Int (2000 + course) ])
+      ~f:(fun t -> Tuple.set t "grade" (Value.Str (Fmt.str "B%d" tag)))
+  with
+  | Ok r -> r
+  | Error e -> invalid_arg e
+
+(* A batch of [n] grade changes, request [j] on course [j+1] — pairwise
+   disjoint — except the first [colliding] requests, all redirected to
+   course 1: those write the same GRADES key and conflict pairwise. *)
+let grade_change_requests db ~n ~colliding =
+  List.init n (fun j ->
+      grade_change_request db
+        ~course:(if j < colliding then 1 else j + 1)
+        ~tag:j)
+
 (* --- flat-view counterpart for the E8 baseline --------------------- *)
 
 (* The flat SPJ view joining COURSES and GRADES, projecting enough to

@@ -5,6 +5,8 @@
      penguin sql FIXTURE STMT       run a SQL-ish statement against a fixture
      penguin dialog FIXTURE OBJECT  run the translator-choice dialog
      penguin dot FIXTURE            Graphviz rendering of the structural schema
+     penguin session begin|queue|commit
+                                    snapshot sessions over a saved store
 
    Fixtures: university | hospital | cad *)
 
@@ -35,7 +37,7 @@ let figures only =
     | Some n ->
         List.filter
           (fun (label, _) ->
-            Astring_like.contains ~sub:(String.lowercase_ascii n)
+            Relational.Strutil.contains ~sub:(String.lowercase_ascii n)
               (String.lowercase_ascii label))
           all
   in
@@ -386,6 +388,239 @@ let import_cmd =
     (Cmd.info "import" ~doc:"Load and describe a saved workspace.")
     Term.(const import $ path)
 
+(* --- session ---------------------------------------------------------- *)
+
+(* A session is a plain-text file: a small header (the store it was
+   begun against, the store version at that moment, the queued update
+   statements) and, after a "---" separator, the snapshot workspace in
+   the Store document format. The store's version lives in a side file
+   [STORE.version]; commit bumps it, so a session begun before another
+   commit sees a version mismatch and rebases — optimistic concurrency
+   across processes. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Ok s
+  with Sys_error e -> Error e
+
+let write_file path content =
+  try
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+
+let version_path store = store ^ ".version"
+
+let read_store_version store =
+  match read_file (version_path store) with
+  | Error _ -> 0
+  | Ok s -> ( try int_of_string (String.trim s) with Failure _ -> 0)
+
+type session_doc = {
+  sess_store : string;
+  sess_base : int;
+  sess_queue : (string * string) list;  (** (object, statement), oldest first *)
+  sess_snapshot : string;  (** Store document of the snapshot workspace *)
+}
+
+let session_sep = "\n---\n"
+
+let render_session doc =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "penguin-session 1\n";
+  Buffer.add_string b (Fmt.str "store %s\n" doc.sess_store);
+  Buffer.add_string b (Fmt.str "base-version %d\n" doc.sess_base);
+  List.iter
+    (fun (obj, stmt) -> Buffer.add_string b (Fmt.str "queue %s\t%s\n" obj stmt))
+    doc.sess_queue;
+  Buffer.add_string b "---\n";
+  Buffer.add_string b doc.sess_snapshot;
+  Buffer.contents b
+
+let parse_session content =
+  let ( let* ) = Result.bind in
+  let* header, snapshot =
+    let n = String.length content and m = String.length session_sep in
+    let rec go i =
+      if i + m > n then Error "session file: missing --- separator"
+      else if String.sub content i m = session_sep then
+        Ok (String.sub content 0 i, String.sub content (i + m) (n - i - m))
+      else go (i + 1)
+    in
+    go 0
+  in
+  let lines = String.split_on_char '\n' header in
+  match lines with
+  | magic :: rest when String.trim magic = "penguin-session 1" ->
+      List.fold_left
+        (fun acc line ->
+          let* doc = acc in
+          match String.index_opt line ' ' with
+          | _ when String.trim line = "" -> Ok doc
+          | None -> Error (Fmt.str "session file: bad line %S" line)
+          | Some i -> (
+              let key = String.sub line 0 i in
+              let rest = String.sub line (i + 1) (String.length line - i - 1) in
+              match key with
+              | "store" -> Ok { doc with sess_store = rest }
+              | "base-version" -> (
+                  match int_of_string_opt rest with
+                  | Some v -> Ok { doc with sess_base = v }
+                  | None -> Error "session file: bad base-version")
+              | "queue" -> (
+                  match String.index_opt rest '\t' with
+                  | None -> Error "session file: bad queue line"
+                  | Some t ->
+                      let obj = String.sub rest 0 t in
+                      let stmt =
+                        String.sub rest (t + 1) (String.length rest - t - 1)
+                      in
+                      Ok { doc with sess_queue = doc.sess_queue @ [ obj, stmt ] })
+              | _ -> Error (Fmt.str "session file: unknown key %S" key)))
+        (Ok { sess_store = ""; sess_base = 0; sess_queue = []; sess_snapshot = snapshot })
+        rest
+  | _ -> Error "session file: not a penguin-session document"
+
+(* Stage every queued statement of [doc] against [ws] (the snapshot at
+   queue time, the current store state at commit/rebase time). Each
+   request carries a retry closure that re-evaluates its statement, so
+   a rebase — OCC conflict with a concurrent commit, or two session
+   statements editing the same tuple — re-derives instead of replaying
+   a stale instance image. *)
+let stage_session ws doc =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc (obj, stmt) ->
+      let* sess = acc in
+      let* reqs = Penguin.Upql.requests ws ~object_name:obj stmt in
+      let n = List.length reqs in
+      List.fold_left
+        (fun acc (i, req) ->
+          let* sess = acc in
+          let retry ws' =
+            let* reqs' = Penguin.Upql.requests ws' ~object_name:obj stmt in
+            match reqs' with
+            | [] -> Ok None  (* the edit already holds in the new state *)
+            | l when List.length l = n -> Ok (Some (List.nth l i))
+            | _ ->
+                Error
+                  (Fmt.str
+                     "rebase: %S on %s matches a different set of instances \
+                      now; begin a fresh session"
+                     stmt obj)
+          in
+          Result.map_error
+            (Fmt.str "staging %S on %s: %s" stmt obj)
+            (Penguin.Session.queue sess obj ~retry req))
+        (Ok sess)
+        (List.mapi (fun i r -> i, r) reqs))
+    (Ok (Penguin.Session.begin_ ws))
+    doc.sess_queue
+
+let session_begin store session =
+  let ws = or_die (Penguin.Store.load_file store) in
+  let base = read_store_version store in
+  let doc =
+    {
+      sess_store = store;
+      sess_base = base;
+      sess_queue = [];
+      sess_snapshot = Penguin.Store.save ws;
+    }
+  in
+  or_die (write_file session (render_session doc));
+  Fmt.pr "began session %s on %s at version %d@." session store base
+
+let session_queue session obj stmt =
+  let doc = or_die (Result.bind (read_file session) parse_session) in
+  let ws = or_die (Penguin.Store.load doc.sess_snapshot) in
+  let doc = { doc with sess_queue = doc.sess_queue @ [ obj, stmt ] } in
+  let sess = or_die (stage_session ws doc) in
+  or_die (write_file session (render_session doc));
+  Fmt.pr "queued: %d staged update(s) against snapshot (version %d)@."
+    (Penguin.Session.pending sess)
+    doc.sess_base
+
+let session_commit session =
+  let doc = or_die (Result.bind (read_file session) parse_session) in
+  let ws = or_die (Penguin.Store.load_file doc.sess_store) in
+  let current = read_store_version doc.sess_store in
+  let rebased = current <> doc.sess_base in
+  if rebased then
+    Fmt.pr "store advanced (version %d -> %d): rebasing on current state@."
+      doc.sess_base current;
+  (* Statements are (re-)staged against the current store state; the
+     in-process Session then group-commits them with one merged-delta
+     validation pass. *)
+  let sess = or_die (stage_session ws doc) in
+  let ws', stats = or_die (Penguin.Session.commit ws sess) in
+  let committed = stats.Penguin.Session.committed in
+  let version = current + Penguin.Workspace.version ws' in
+  or_die (Penguin.Store.save_file ws' doc.sess_store);
+  or_die (write_file (version_path doc.sess_store) (Fmt.str "%d\n" version));
+  (try Sys.remove session with Sys_error _ -> ());
+  Fmt.pr
+    "committed %d update(s) to %s: now at version %d (attempts %d%s)@."
+    committed doc.sess_store version stats.Penguin.Session.attempts
+    (if rebased then ", rebased" else "")
+
+let session_file_arg p =
+  Arg.(required & pos p (some string) None
+       & info [] ~docv:"SESSION" ~doc:"Session file.")
+
+let session_begin_cmd =
+  let store =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"STORE"
+             ~doc:"Saved workspace (see $(b,export)) acting as the shared \
+                   store.")
+  in
+  Cmd.v
+    (Cmd.info "begin"
+       ~doc:"Snapshot a store into a new session file.")
+    Term.(const session_begin $ store $ session_file_arg 1)
+
+let session_queue_cmd =
+  let obj =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name.")
+  in
+  let stmt =
+    Arg.(required & pos 2 (some string) None
+         & info [] ~docv:"STATEMENT"
+             ~doc:"Update statement (the $(b,update) language), evaluated \
+                   against the session snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "queue"
+       ~doc:"Queue an update statement in a session (staged, not committed).")
+    Term.(const session_queue $ session_file_arg 0 $ obj $ stmt)
+
+let session_commit_cmd =
+  Cmd.v
+    (Cmd.info "commit"
+       ~doc:"Group-commit a session's staged updates onto the store, \
+             rebasing if the store advanced since $(b,begin).")
+    Term.(const session_commit $ session_file_arg 0)
+
+let session_cmd =
+  Cmd.group
+    (Cmd.info "session"
+       ~doc:"Snapshot sessions with optimistic concurrency over a saved \
+             store.")
+    [ session_begin_cmd; session_queue_cmd; session_commit_cmd ]
+
 (* --- dot ------------------------------------------------------------- *)
 
 let dot fixture =
@@ -404,7 +639,7 @@ let main_cmd =
          "Object-based views over relational databases, with update \
           translation (Barsalou, Keller, Siambela & Wiederhold, SIGMOD '91).")
     [ figures_cmd; show_cmd; sql_cmd; oql_cmd; update_cmd; insert_cmd;
-      dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd ]
+      dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd; session_cmd ]
 
 let setup_logging () =
   match Option.map String.lowercase_ascii (Sys.getenv_opt "PENGUIN_LOG") with

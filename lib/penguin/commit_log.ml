@@ -1,0 +1,71 @@
+open Relational
+
+type change =
+  | Delta of Delta.t
+  | Barrier of string
+
+type entry = {
+  version : int;
+  change : change;
+  kind : string;
+}
+
+type t = {
+  version : int;
+  truncated : int;
+  entries : entry list;  (* newest first *)
+}
+
+let empty = { version = 0; truncated = 0; entries = [] }
+
+let of_version version = { version; truncated = version; entries = [] }
+
+let version t = t.version
+
+let length t = List.length t.entries
+
+let append t ~delta ~kind =
+  let version = t.version + 1 in
+  { t with version; entries = { version; change = Delta delta; kind } :: t.entries }
+
+let barrier t reason =
+  let version = t.version + 1 in
+  {
+    t with
+    version;
+    entries = { version; change = Barrier reason; kind = reason } :: t.entries;
+  }
+
+let entries t = List.rev t.entries
+
+let entries_since t since =
+  let newer = List.filter (fun (e : entry) -> e.version > since) t.entries in
+  let newer = List.rev newer in
+  if since < t.truncated then
+    {
+      version = t.truncated;
+      change = Barrier "history truncated";
+      kind = "history truncated";
+    }
+    :: newer
+  else newer
+
+let footprint_since t since =
+  List.fold_left
+    (fun acc e ->
+      match acc, e.change with
+      | None, _ | _, Barrier _ -> None
+      | Some fp, Delta d -> Some (Delta.footprint_union fp (Delta.footprint d)))
+    (Some Delta.empty_footprint) (entries_since t since)
+
+let pp_entry ppf e =
+  match e.change with
+  | Delta d ->
+      Fmt.pf ppf "@[<v2>v%d %s (%d change(s)):@,%a@]" e.version e.kind
+        (Delta.cardinal d) Delta.pp d
+  | Barrier reason -> Fmt.pf ppf "v%d barrier: %s" e.version reason
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>commit log at v%d:@,%a@]" t.version
+    Fmt.(list ~sep:cut pp_entry)
+    (entries t)

@@ -1,0 +1,53 @@
+(** The workspace's append-only commit log: one entry per committed
+    update, recording the version it produced, its net
+    {!Relational.Delta.t}, and the request kind — the audit/replay trail
+    session-level optimistic concurrency control validates against.
+
+    Versions are dense: the empty log is at version 0 and every
+    {!append} or {!barrier} advances it by one. A {e barrier} is an
+    entry whose delta is unknown (a wholesale database swap, a raw SQL
+    script, a log loaded from persistent storage without its history):
+    it conflicts with everything staged before it. *)
+
+open Relational
+
+type change =
+  | Delta of Delta.t  (** net change of a committed update *)
+  | Barrier of string  (** unknown change; conflicts with everything *)
+
+type entry = {
+  version : int;  (** version {e after} this change *)
+  change : change;
+  kind : string;  (** request kind, for audit *)
+}
+
+type t
+
+val empty : t
+
+val of_version : int -> t
+(** A log known only to be at the given version: its past is a barrier
+    (any session staged earlier must rebase). Used when the version
+    survives persistence but the deltas do not. *)
+
+val version : t -> int
+val length : t -> int
+
+val append : t -> delta:Delta.t -> kind:string -> t
+val barrier : t -> string -> t
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val entries_since : t -> int -> entry list
+(** Entries with version greater than the given one, oldest first,
+    prefixed with a synthetic barrier when that part of the history has
+    been truncated. *)
+
+val footprint_since : t -> int -> Delta.footprint option
+(** Union of the footprints of every delta committed after the given
+    version — what a session's staged updates must not collide with.
+    [None] when a barrier intervenes (conflict must be assumed). *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

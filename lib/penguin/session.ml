@@ -1,0 +1,176 @@
+open Relational
+
+let src = Logs.Src.create "penguin.session" ~doc:"optimistic serving sessions"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type retry = Workspace.t -> (Vo_core.Request.t option, string) result
+
+type entry = {
+  name : string;
+  retry : retry;
+  st : Vo_core.Engine.staged;
+}
+
+type t = {
+  snapshot : Workspace.t;
+  base_version : int;
+  entries : entry list;  (* oldest first *)
+}
+
+let begin_ ws =
+  { snapshot = ws; base_version = Workspace.version ws; entries = [] }
+
+let base_version s = s.base_version
+let pending s = List.length s.entries
+let staged s = List.map (fun e -> e.st) s.entries
+
+let requests s =
+  List.map (fun e -> e.name, e.st.Vo_core.Engine.request) s.entries
+
+let queue s name ?retry request =
+  let retry =
+    match retry with Some f -> f | None -> fun _ -> Ok (Some request)
+  in
+  let ws = s.snapshot in
+  match Workspace.find_object ws name, Workspace.translator_of ws name with
+  | Error e, _ | _, Error e -> Error e
+  | Ok vo, Ok spec -> (
+      match
+        Vo_core.Engine.stage ~base_version:s.base_version ws.Workspace.graph
+          ws.Workspace.db vo spec request
+      with
+      | Error e -> Error (Vo_core.Engine.stage_error_reason e)
+      | Ok st ->
+          Log.debug (fun m ->
+              m "session@v%d: queued %s on %s (%d staged)" s.base_version
+                st.Vo_core.Engine.request_kind name
+                (List.length s.entries + 1));
+          Ok { s with entries = s.entries @ [ { name; retry; st } ] })
+
+type divergence =
+  | Clean
+  | Conflicting of Delta.conflict list
+  | Unknown_history
+
+let divergence ws s =
+  match Commit_log.footprint_since ws.Workspace.log s.base_version with
+  | None -> Unknown_history
+  | Some fp -> (
+      match
+        List.concat_map
+          (fun e -> Delta.conflicts_footprint e.st.Vo_core.Engine.reads fp)
+          s.entries
+      with
+      | [] -> Clean
+      | cs -> Conflicting cs)
+
+type commit_stats = {
+  version : int;
+  attempts : int;
+  rebased : bool;
+  committed : int;
+}
+
+(* Re-derive and re-stage [entries] against [ws]; entries whose retry
+   reports a no-op are dropped. *)
+let restage ws entries =
+  List.fold_left
+    (fun acc e ->
+      Result.bind acc (fun s' ->
+          match e.retry ws with
+          | Error _ as err -> err
+          | Ok None ->
+              Log.debug (fun m ->
+                  m "session rebase: %s update on %s became a no-op, dropping"
+                    e.st.Vo_core.Engine.request_kind e.name);
+              Ok s'
+          | Ok (Some req) -> queue s' e.name ~retry:e.retry req))
+    (Ok (begin_ ws))
+    entries
+
+let commit ?validation ?(max_attempts = 3) ws s =
+  (* The staged updates may conflict among themselves (the session
+     edited the same tuple twice): partition them into conflict-free
+     groups and commit the groups in arrival order, re-deriving later
+     groups against the result of the earlier ones. A conflict-free
+     session is a single group — one merged-delta validation pass. *)
+  let rec commit_clean attempts rebased committed ws s =
+    match Vo_core.Engine.plan_groups (staged s) with
+    | [] ->
+        Ok (ws, { version = Workspace.version ws; attempts; rebased; committed })
+    | group :: _ -> (
+        let now, later =
+          List.partition (fun e -> List.memq e.st group) s.entries
+        in
+        match
+          Vo_core.Engine.commit_group ?validation ws.Workspace.graph
+            ws.Workspace.db group
+        with
+        | Error rejection ->
+            Error (Vo_core.Engine.group_rejection_reason rejection)
+        | Ok (db, _merged) ->
+            let log =
+              List.fold_left
+                (fun log e ->
+                  Commit_log.append log ~delta:e.st.Vo_core.Engine.delta
+                    ~kind:
+                      (Fmt.str "%s on %s" e.st.Vo_core.Engine.request_kind
+                         e.name))
+                ws.Workspace.log now
+            in
+            let ws' = { ws with Workspace.db; log } in
+            let committed = committed + List.length now in
+            if later = [] then (
+              let version = Commit_log.version log in
+              Log.info (fun m ->
+                  m "session@v%d committed %d update(s) as v%d (%d \
+                     attempt(s)%s)"
+                    s.base_version committed version attempts
+                    (if rebased then ", rebased" else ""));
+              Ok (ws', { version; attempts; rebased; committed }))
+            else
+              Result.bind (restage ws' later)
+                (commit_clean attempts rebased committed ws'))
+  in
+  let rec attempt n rebased s =
+    if n > max_attempts then
+      Error
+        (Fmt.str
+           "session commit: conflicts persist after %d attempt(s); last \
+            staged at v%d, workspace at v%d"
+           max_attempts s.base_version (Workspace.version ws))
+    else
+      match divergence ws s with
+      | Clean -> commit_clean n rebased 0 ws s
+      | Conflicting cs ->
+          (* Concurrent commits overlap the session's footprint: the
+             staged translations are stale. Rebase by re-deriving the
+             original requests against the current state and retry. *)
+          Log.info (fun m ->
+              m "session@v%d: %d conflict(s) with v%d, rebasing (attempt %d): \
+                 %a"
+                s.base_version (List.length cs) (Workspace.version ws) n
+                Fmt.(list ~sep:semi Delta.pp_conflict)
+                cs);
+          Result.bind (restage ws s.entries) (attempt (n + 1) true)
+      | Unknown_history ->
+          (* A barrier (database swap, raw SQL) hides the concurrent
+             deltas: conflict checking is impossible, so rebase
+             unconditionally. *)
+          Log.info (fun m ->
+              m "session@v%d: history unknown since snapshot, rebasing \
+                 (attempt %d)"
+                s.base_version n);
+          Result.bind (restage ws s.entries) (attempt (n + 1) true)
+  in
+  if s.entries = [] then
+    Ok
+      ( ws,
+        {
+          version = Workspace.version ws;
+          attempts = 0;
+          rebased = false;
+          committed = 0;
+        } )
+  else attempt 1 false s

@@ -1,0 +1,84 @@
+(** Snapshot sessions with optimistic concurrency control (OCC).
+
+    A session captures a workspace snapshot and its commit-log version
+    ({!begin_}); view-object requests then {!queue} as staged updates —
+    translated and trial-applied against the snapshot, but not
+    published. {!commit} validates the batch against the workspace the
+    caller presents {e now} (which may have advanced past the
+    snapshot): if no delta committed since the session began overlaps
+    the staged updates' read/write footprints, the whole batch group
+    commits ({!Vo_core.Engine.commit_group}) with a single
+    merged-delta validation pass; otherwise the session {e rebases} —
+    the original requests are re-translated against the current state —
+    and retries, a bounded number of times.
+
+    Everything is a persistent value: concurrency is modelled by
+    several sessions (or single-shot {!Workspace.update}s) advancing
+    the same workspace between another session's [begin_] and
+    [commit]. *)
+
+open Relational
+
+type t
+
+val begin_ : Workspace.t -> t
+(** Snapshot the workspace and record its version. *)
+
+val base_version : t -> int
+
+type retry = Workspace.t -> (Vo_core.Request.t option, string) result
+(** Re-derive a request against a later workspace state, for rebases.
+    [Ok None] means the request became a no-op (e.g. a concurrent
+    commit already made the change) and should be dropped. *)
+
+val queue :
+  t -> string -> ?retry:retry -> Vo_core.Request.t -> (t, string) result
+(** Stage a request on the named object against the snapshot. Errors on
+    unknown objects, translation rejections, and ops that do not apply
+    to the snapshot. [retry] (default: replay the same request) is how
+    a rebase re-derives this update against a newer state — a request
+    embeds the instance image it was read from, so replaying it
+    verbatim is rejected as stale whenever the rebase was actually
+    needed; callers that can re-evaluate the originating edit should
+    pass it. Queued updates writing the same key are committed in
+    arrival order (see {!commit}). *)
+
+val pending : t -> int
+val staged : t -> Vo_core.Engine.staged list
+val requests : t -> (string * Vo_core.Request.t) list
+(** The queued [(object, request)] pairs, oldest first — what a rebase
+    replays. *)
+
+(** How the workspace has moved relative to the session's staged
+    updates. *)
+type divergence =
+  | Clean  (** nothing committed since, or only non-overlapping deltas *)
+  | Conflicting of Delta.conflict list
+      (** a concurrent delta overlaps a staged footprint *)
+  | Unknown_history
+      (** a barrier (database swap, raw SQL) hides the history *)
+
+val divergence : Workspace.t -> t -> divergence
+
+type commit_stats = {
+  version : int;  (** log version after the commit *)
+  attempts : int;  (** staging rounds used (1 = no rebase) *)
+  rebased : bool;
+  committed : int;  (** updates applied (queued minus rebase no-ops) *)
+}
+
+val commit :
+  ?validation:Vo_core.Global_validation.mode ->
+  ?max_attempts:int ->
+  Workspace.t ->
+  t ->
+  (Workspace.t * commit_stats, string) result
+(** Commit the session's staged updates onto the given (current)
+    workspace. [max_attempts] (default 3) bounds rebase rounds. Updates
+    whose footprints conflict {e within} the session (the same tuple
+    edited twice) are committed in arrival order: each conflict-free
+    group goes through one merged-delta validation pass, and later
+    groups are re-translated against its result. On success the
+    returned workspace carries the new database and one commit-log
+    entry per staged update. The empty session commits trivially with
+    [attempts = 0]. *)

@@ -251,6 +251,32 @@ let edit_instance vo stmt (inst : Instance.t) =
       in
       Ok (Some i)
 
+let requests ws ~object_name input =
+  let* vo = Workspace.find_object ws object_name in
+  let* stmt = parse vo input in
+  let condition =
+    match stmt with
+    | Delete c | Set (_, c) | Detach (_, _, c) | Attach { cond = c; _ } -> c
+  in
+  let* candidates = Workspace.query ws object_name condition in
+  List.fold_left
+    (fun acc inst ->
+      let* acc = acc in
+      match stmt with
+      | Delete _ -> Ok (Vo_core.Request.delete inst :: acc)
+      | Set _ | Detach _ | Attach _ -> (
+          match edit_instance vo stmt inst with
+          | Error e -> Error e
+          | Ok None -> Error "internal: no edited instance"
+          | Ok (Some new_instance) ->
+              if Instance.equal new_instance inst then Ok acc
+              else
+                Ok
+                  (Vo_core.Request.replace ~old_instance:inst ~new_instance
+                  :: acc)))
+    (Ok []) candidates
+  |> Result.map List.rev
+
 let apply ws ~object_name input =
   let* vo = Workspace.find_object ws object_name in
   let* stmt = parse vo input in

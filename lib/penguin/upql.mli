@@ -57,6 +57,16 @@ type statement =
 
 val parse : Definition.t -> string -> (statement, string) result
 
+val requests :
+  Workspace.t -> object_name:string -> string ->
+  (Vo_core.Request.t list, string) result
+(** Evaluate the statement against the workspace {e once} and return
+    the update requests it denotes — one per matching instance, no-op
+    edits skipped — without applying anything. This is how a
+    {!Session} queues statements: every request is staged against the
+    same snapshot. (By contrast {!apply} re-evaluates the condition
+    between instances.) *)
+
 val apply :
   Workspace.t -> object_name:string -> string ->
   (Workspace.t * Vo_core.Engine.outcome list, string) result

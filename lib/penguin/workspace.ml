@@ -7,18 +7,32 @@ type t = {
   db : Database.t;
   objects : (string * Definition.t) list;
   translators : (string * Vo_core.Translator_spec.t) list;
+  log : Commit_log.t;
 }
 
 let ( let* ) = Result.bind
 
 let create graph =
-  { graph; db = Schema_graph.create_database graph; objects = []; translators = [] }
+  {
+    graph;
+    db = Schema_graph.create_database graph;
+    objects = [];
+    translators = [];
+    log = Commit_log.empty;
+  }
 
-let with_db ws db = { ws with db }
+let version ws = Commit_log.version ws.log
+
+let with_db ws db =
+  (* A wholesale swap has no delta: sessions begun earlier must rebase. *)
+  { ws with db; log = Commit_log.barrier ws.log "database swapped" }
 
 let run_sql ws script =
   let* db, answers = Sql.run_script ws.db script in
-  Ok ({ ws with db }, answers)
+  let log =
+    if db == ws.db then ws.log else Commit_log.barrier ws.log "sql script"
+  in
+  Ok ({ ws with db; log }, answers)
 
 let index_connections ws =
   let db =
@@ -85,23 +99,61 @@ let query ws name condition =
 
 let instances ws name = query ws name Vo_query.C_true
 
+let reject_outcome request e =
+  {
+    Vo_core.Engine.request_kind = Vo_core.Request.kind_name request;
+    ops = [];
+    result = Transaction.reject e;
+  }
+
 let update ?validation ws name request =
   match find_object ws name, translator_of ws name with
-  | Error e, _ | _, Error e ->
-      ( ws,
-        {
-          Vo_core.Engine.request_kind = Vo_core.Request.kind_name request;
-          ops = [];
-          result = Transaction.reject e;
-        } )
-  | Ok vo, Ok spec ->
-      let outcome = Vo_core.Engine.apply ?validation ws.graph ws.db vo spec request in
-      let ws =
-        match Vo_core.Engine.committed outcome with
-        | Some db -> { ws with db }
-        | None -> ws
-      in
-      ws, outcome
+  | Error e, _ | _, Error e -> ws, reject_outcome request e
+  | Ok vo, Ok spec -> (
+      let request_kind = Vo_core.Request.kind_name request in
+      match
+        Vo_core.Engine.stage ~base_version:(version ws) ws.graph ws.db vo spec
+          request
+      with
+      | Error (Vo_core.Engine.Translation_rejected reason) ->
+          ws, reject_outcome request reason
+      | Error (Vo_core.Engine.Application_failed { ops; reason; failed_op }) ->
+          ( ws,
+            {
+              Vo_core.Engine.request_kind;
+              ops;
+              result = Transaction.Rolled_back { reason; failed_op };
+            } )
+      | Ok staged -> (
+          match Vo_core.Engine.commit_group ?validation ws.graph ws.db [ staged ] with
+          | Ok (db, delta) ->
+              let log =
+                Commit_log.append ws.log ~delta
+                  ~kind:(Fmt.str "%s on %s" request_kind name)
+              in
+              ( { ws with db; log },
+                {
+                  Vo_core.Engine.request_kind;
+                  ops = staged.Vo_core.Engine.ops;
+                  result = Transaction.Committed db;
+                } )
+          | Error rejection ->
+              let result =
+                match rejection with
+                | Vo_core.Engine.Group_op_failed { reason; failed_op; _ } ->
+                    Transaction.Rolled_back { reason; failed_op }
+                | Vo_core.Engine.Group_validation_failed { reason; _ } ->
+                    Transaction.reject reason
+                | Vo_core.Engine.Group_conflict _ ->
+                    Transaction.reject
+                      (Vo_core.Engine.group_rejection_reason rejection)
+              in
+              ( ws,
+                {
+                  Vo_core.Engine.request_kind;
+                  ops = staged.Vo_core.Engine.ops;
+                  result;
+                } )))
 
 let oql ws name query =
   let* vo = find_object ws name in

@@ -15,12 +15,21 @@ type t = {
   db : Database.t;
   objects : (string * Definition.t) list;
   translators : (string * Vo_core.Translator_spec.t) list;
+  log : Commit_log.t;
+      (** append-only audit/replay trail of committed updates; what
+          {!Session} runs optimistic concurrency control against *)
 }
 
 val create : Schema_graph.t -> t
 (** Workspace over an empty database with the graph's relations. *)
 
+val version : t -> int
+(** Latest committed version ({!Commit_log.version} of the log). *)
+
 val with_db : t -> Database.t -> t
+(** Swap the database wholesale. The swap has no delta, so it is
+    recorded as a {!Commit_log.barrier}: sessions begun earlier must
+    rebase. *)
 
 val run_sql : t -> string -> (t * Sql.answer list, string) result
 (** Execute a SQL-ish script against the workspace database. *)
@@ -68,9 +77,11 @@ val update :
   ?validation:Vo_core.Global_validation.mode ->
   t -> string -> Vo_core.Request.t -> t * Vo_core.Engine.outcome
 (** Apply an update request to the named object under its installed
-    translator. On commit the workspace database advances; on rollback it
-    is unchanged. Unknown object names yield a rejected outcome.
-    [validation] is forwarded to {!Vo_core.Engine.apply}. *)
+    translator (stage + singleton group commit). On commit the
+    workspace database advances and the commit log gains an entry; on
+    rollback both are unchanged. Unknown object names yield a rejected
+    outcome. [validation] is forwarded to
+    {!Vo_core.Engine.commit_group}. *)
 
 val oql : t -> string -> string -> (Instance.t list, string) result
 (** [oql ws object query]: run a textual {!Viewobject.Oql} query. *)

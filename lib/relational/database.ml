@@ -105,6 +105,30 @@ let apply_all_delta db ops =
 
 let apply_all db ops = Result.map fst (apply_all_delta db ops)
 
+let apply_delta db delta =
+  (* Batched: each touched relation is fetched and stored in the catalog
+     once, however many of its keys changed. *)
+  List.fold_left
+    (fun acc rel ->
+      match acc with
+      | Error _ -> acc
+      | Ok db ->
+          with_relation db rel (fun r ->
+              List.fold_left
+                (fun acc change ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok r -> (
+                      match change with
+                      | Delta.Added t -> Relation.insert r t
+                      | Delta.Removed t -> Relation.delete_tuple r t
+                      | Delta.Updated { before; after } ->
+                          Relation.replace r
+                            ~old_key:(Relation.key_of r before)
+                            after))
+                (Ok r) (Delta.changes delta rel)))
+    (Ok db) (Delta.relations delta)
+
 let total_tuples db =
   SMap.fold (fun _ r acc -> acc + Relation.cardinality r) db.relations 0
 

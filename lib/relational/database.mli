@@ -51,6 +51,14 @@ val apply_all_delta : t -> Op.t list -> (t * Delta.t, error * Op.t) result
     delta of the sequence — the input to incremental global validation.
     Old and new tuple images are the stored (padded) forms. *)
 
+val apply_delta : t -> Delta.t -> (t, error) result
+(** Batched application of a net {!Delta.t} read against this database
+    (every [Added] key absent, every [Removed]/[Updated] old image
+    present): each touched relation is fetched and stored once, however
+    many keys changed. [apply_delta db d] equals replaying the op
+    sequence [d] summarizes — it is how a group commit publishes a
+    merged delta in one pass. *)
+
 val total_tuples : t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

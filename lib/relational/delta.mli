@@ -53,4 +53,61 @@ val changes : t -> string -> change list
 val fold : (string -> change -> 'a -> 'a) -> t -> 'a -> 'a
 (** Over every net change of every relation. *)
 
+val equal : t -> t -> bool
+(** Same net changes (same relations, keys, and old/new images). *)
+
+(** {1 Footprints, conflicts, and merging}
+
+    The concurrent serving core ({!Vo_core.Engine} staging, group
+    commit, and session-level optimistic concurrency control) treats a
+    delta as a first-class artifact: two deltas staged against the same
+    base state can be {e merged} and applied as one batch exactly when
+    their footprints do not overlap. *)
+
+type footprint
+(** Per-relation read and write key sets. For a delta, every changed
+    key is a write, and keys whose old image was consulted ([Removed],
+    [Updated]) are also reads; callers may widen the read set with keys
+    a translation depended on without changing
+    ({!footprint_add_read}). *)
+
+val footprint : t -> footprint
+val empty_footprint : footprint
+val footprint_add_read : footprint -> rel:string -> key:Value.t list -> footprint
+val footprint_add_write : footprint -> rel:string -> key:Value.t list -> footprint
+val footprint_union : footprint -> footprint -> footprint
+
+val footprint_reads : footprint -> (string * Value.t list list) list
+(** Sorted [(relation, keys)] pairs of the read set. *)
+
+val footprint_writes : footprint -> (string * Value.t list list) list
+
+type conflict_kind =
+  | Write_write  (** both sides change the key *)
+  | Write_read  (** one side changes a key the other side depends on *)
+
+type conflict = {
+  rel : string;
+  key : Value.t list;
+  kind : conflict_kind;
+}
+
+val conflicts : t -> t -> conflict list
+(** Key overlaps between the two deltas' footprints, sorted and
+    deduplicated ([Write_write] subsumes the [Write_read] it implies).
+    Symmetric: [conflicts a b] and [conflicts b a] report the same
+    conflicts. Empty iff the deltas commute and {!merge} succeeds. *)
+
+val conflicts_footprint : footprint -> footprint -> conflict list
+(** Like {!conflicts} on explicit (possibly widened) footprints. *)
+
+val merge : t -> t -> (t, conflict) result
+(** Disjoint union of the change sets: the net effect of applying both
+    deltas, in either order, from the common base state. Errors with a
+    witness on the first (relation, key) changed by both sides.
+    Associative and commutative where defined. *)
+
+val conflict_kind_name : conflict_kind -> string
+val conflict_to_string : conflict -> string
+val pp_conflict : Format.formatter -> conflict -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,3 @@
-(* Tiny substring search (no external deps). *)
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   if m = 0 then true

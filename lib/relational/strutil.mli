@@ -1,0 +1,6 @@
+(** Tiny string helpers shared by the CLI and the test suites (no
+    external deps). *)
+
+val contains : sub:string -> string -> bool
+(** [contains ~sub s]: does [s] contain [sub] as a substring? The empty
+    string is a substring of everything. *)

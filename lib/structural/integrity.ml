@@ -76,14 +76,21 @@ let check g db =
 (* A tuple with a new stored image (inserted, or the after-image of a
    replace) can violate rule 1 in two roles: as the dependent end of an
    ownership/subset connection, or as the referencing end of a
-   reference. Both are single index lookups. *)
-let check_new_image g db rel t acc =
+   reference. Both are single index lookups. [changed] prunes
+   connections whose connecting values the change did not alter: the
+   old image satisfied rule 1 in the (consistent) pre-state, and a
+   post-state breakage through unchanged values can only come from a
+   change to the {e other} end — whose own inverse check re-verifies
+   this tuple. *)
+let check_new_image g db rel t ~changed acc =
   let acc =
     List.fold_left
       (fun acc (c : Connection.t) ->
         match c.kind with
         | Connection.Ownership | Connection.Subset ->
-            if has_source db c t then acc else orphan_violation c t :: acc
+            if not (changed c.target_attrs) then acc
+            else if has_source db c t then acc
+            else orphan_violation c t :: acc
         | Connection.Reference -> acc)
       acc (Schema_graph.incoming g rel)
   in
@@ -91,7 +98,9 @@ let check_new_image g db rel t acc =
     (fun acc (c : Connection.t) ->
       match c.kind with
       | Connection.Reference ->
-          if reference_resolves db c t then acc else dangling_violation c t :: acc
+          if not (changed c.source_attrs) then acc
+          else if reference_resolves db c t then acc
+          else dangling_violation c t :: acc
       | Connection.Ownership | Connection.Subset -> acc)
     acc (Schema_graph.outgoing g rel)
 
@@ -161,7 +170,7 @@ let check_delta g db ~delta =
   Delta.fold
     (fun rel change acc ->
       match change with
-      | Delta.Added t -> check_new_image g db rel t acc
+      | Delta.Added t -> check_new_image g db rel t ~changed:always acc
       | Delta.Removed t0 -> check_old_image g db rel t0 ~changed:always acc
       | Delta.Updated { before; after } ->
           let changed attrs =
@@ -170,7 +179,7 @@ let check_delta g db ~delta =
                 not (Value.equal (Tuple.get before a) (Tuple.get after a)))
               attrs
           in
-          check_new_image g db rel after
+          check_new_image g db rel after ~changed
             (check_old_image g db rel before ~changed acc))
     delta []
   |> dedup_violations

@@ -36,12 +36,20 @@ val check_delta :
     {!Schema_graph.create_database} installs) for old images. Cost is
     O(|delta| × incident connections), not O(|db|).
 
+    The firing rule prunes aggressively: a change is checked against a
+    connection only if it altered that connection's connecting values
+    (an update to non-connecting attributes cannot make a satisfied
+    rule 1 fail, and a breakage caused by a change to the {e other} end
+    is caught by that change's own inverse check).
+
     Contract relative to the full {!check}: every reported violation is
     a genuine violation of the post-state (soundness), and every
-    violation of the post-state that is not already present in the
-    pre-state is reported (completeness). In particular, when the
-    pre-state satisfies the structural model, [check_delta] is empty
-    iff [check] is empty on the post-state. *)
+    violation of the post-state whose key slot (connection, relation,
+    tuple key) is not already violated in the pre-state is reported
+    (completeness — per key slot, so re-imaging an already-violated
+    tuple without touching its connecting values is not "new"). In
+    particular, when the pre-state satisfies the structural model,
+    [check_delta] is empty iff [check] is empty on the post-state. *)
 
 val violation_equal : violation -> violation -> bool
 (** Same connection, relation and offending tuple (messages follow). *)

@@ -7,7 +7,7 @@ let audit spec = Translator_spec.audit g omega spec
 
 let contains_finding subs findings =
   List.exists
-    (fun f -> List.for_all (fun sub -> Astring_contains.contains ~sub f) subs)
+    (fun f -> List.for_all (fun sub -> Relational.Strutil.contains ~sub f) subs)
     findings
 
 let test_paper_translator_clean () =
@@ -83,7 +83,7 @@ let test_fixture_translators_clean () =
   Alcotest.(check (list string)) "hospital translator clean" []
     (Translator_spec.audit Penguin.Hospital.graph
        Penguin.Hospital.patient_record Penguin.Hospital.record_translator
-    |> List.filter (fun f -> not (Astring_contains.contains ~sub:"frozen" f)));
+    |> List.filter (fun f -> not (Relational.Strutil.contains ~sub:"frozen" f)));
   Alcotest.(check (list string)) "cad translator clean" []
     (Translator_spec.audit Penguin.Cad.graph Penguin.Cad.assembly_object
        Penguin.Cad.assembly_translator)

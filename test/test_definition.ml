@@ -142,12 +142,12 @@ let test_direct () =
 let test_to_ascii () =
   let s = Definition.to_ascii omega in
   Alcotest.(check bool) "projection shown" true
-    (Astring_contains.contains ~sub:"(course_id, title, units, level)" s);
+    (Relational.Strutil.contains ~sub:"(course_id, title, units, level)" s);
   Alcotest.(check bool) "path tag" true
-    (Astring_contains.contains ~sub:"via ownership" s);
+    (Relational.Strutil.contains ~sub:"via ownership" s);
   let s' = Definition.to_ascii Penguin.University.omega_prime in
   Alcotest.(check bool) "two-connection path shown (Fig 3)" true
-    (Astring_contains.contains ~sub:"via ownership . reference" s')
+    (Relational.Strutil.contains ~sub:"via ownership . reference" s')
 
 let suite =
   [

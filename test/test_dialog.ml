@@ -67,7 +67,7 @@ let test_replacement_denied_prunes_everything () =
     (List.for_all
        (fun (e : Dialog.event) ->
          not
-           (Astring_contains.contains ~sub:"key" e.Dialog.question.Dialog.id))
+           (Relational.Strutil.contains ~sub:"key" e.Dialog.question.Dialog.id))
        events);
   (* With insertion also denied, everything is pruned. *)
   let _spec, events2 =
@@ -125,7 +125,7 @@ let test_deletion_section () =
   Alcotest.(check bool) "asked about the reference" true
     (List.exists
        (fun (e : Dialog.event) ->
-         Astring_contains.contains ~sub:"CURRICULUM" e.Dialog.question.Dialog.text)
+         Relational.Strutil.contains ~sub:"CURRICULUM" e.Dialog.question.Dialog.text)
        events)
 
 let test_deletion_nullify_not_offered_on_key () =

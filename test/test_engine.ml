@@ -32,7 +32,7 @@ let test_apply_reject_no_ops_applied () =
   in
   let reason = rollback_reason outcome in
   Alcotest.(check bool) "reason mentions DEPARTMENT" true
-    (Astring_contains.contains ~sub:"DEPARTMENT" reason);
+    (Relational.Strutil.contains ~sub:"DEPARTMENT" reason);
   Alcotest.(check int) "no ops published" 0 (List.length outcome.Vo_core.Engine.ops)
 
 let test_translate_only () =
@@ -171,9 +171,9 @@ let test_step4_rollback_on_latent_violation () =
   in
   let reason = rollback_reason outcome in
   Alcotest.(check bool) "global validation failed" true
-    (Astring_contains.contains ~sub:"global validation" reason);
+    (Relational.Strutil.contains ~sub:"global validation" reason);
   Alcotest.(check bool) "names the orphan" true
-    (Astring_contains.contains ~sub:"owning" reason)
+    (Relational.Strutil.contains ~sub:"owning" reason)
 
 let test_paranoid_agrees_on_engine_flows () =
   (* Every flow the suite exercises, replayed with the incremental

@@ -74,9 +74,9 @@ let test_unknown_pivot () =
 let test_to_ascii () =
   let s = Expansion.to_ascii (tree ()) in
   Alcotest.(check bool) "root first" true
-    (Astring_contains.contains ~sub:"COURSES [1.000]" s);
+    (Relational.Strutil.contains ~sub:"COURSES [1.000]" s);
   Alcotest.(check bool) "edge kinds shown" true
-    (Astring_contains.contains ~sub:"<-ownership-" s)
+    (Relational.Strutil.contains ~sub:"<-ownership-" s)
 
 let test_hospital_tree () =
   let t =

@@ -64,9 +64,9 @@ let test_conforms_singleton () =
 let test_to_ascii () =
   let s = Instance.to_ascii (cs345 ()) in
   Alcotest.(check bool) "figure-4 style" true
-    (Astring_contains.contains ~sub:"(COURSES: course_id=CS345" s);
+    (Relational.Strutil.contains ~sub:"(COURSES: course_id=CS345" s);
   Alcotest.(check bool) "nested student" true
-    (Astring_contains.contains ~sub:"(STUDENT#2:" s)
+    (Relational.Strutil.contains ~sub:"(STUDENT#2:" s)
 
 (* Component editing (partial updates). *)
 let test_modify_component () =

@@ -20,7 +20,7 @@ let test_orphan_owned () =
   let v = List.hd vs in
   Alcotest.(check string) "in GRADES" "GRADES" v.Integrity.relation;
   Alcotest.(check bool) "mentions owner" true
-    (Astring_contains.contains ~sub:"owning" v.Integrity.message)
+    (Relational.Strutil.contains ~sub:"owning" v.Integrity.message)
 
 let test_dangling_reference () =
   let db = run_sql (db ()) "INSERT INTO CURRICULUM VALUES ('MS CS', 'NOPE', 'core')" in
@@ -41,7 +41,7 @@ let test_orphan_subset () =
   let vs = Integrity.check g db in
   Alcotest.(check int) "one violation" 1 (List.length vs);
   Alcotest.(check bool) "mentions general" true
-    (Astring_contains.contains ~sub:"general" (List.hd vs).Integrity.message)
+    (Relational.Strutil.contains ~sub:"general" (List.hd vs).Integrity.message)
 
 let cascade ?(policy = fun _ -> Integrity.Delete_referencing) db seeds =
   Integrity.cascade_delete g db ~policy ~seeds
@@ -67,7 +67,7 @@ let test_cascade_restrict () =
     check_err (cascade ~policy:(fun _ -> Integrity.Restrict) d [ "COURSES", course d ])
   in
   Alcotest.(check bool) "mentions restricted" true
-    (Astring_contains.contains ~sub:"restricted" e)
+    (Relational.Strutil.contains ~sub:"restricted" e)
 
 let test_cascade_nullify_illegal_on_key () =
   let d = db () in
@@ -75,7 +75,7 @@ let test_cascade_nullify_illegal_on_key () =
     check_err (cascade ~policy:(fun _ -> Integrity.Nullify) d [ "COURSES", course d ])
   in
   Alcotest.(check bool) "names the key problem" true
-    (Astring_contains.contains ~sub:"key" e)
+    (Relational.Strutil.contains ~sub:"key" e)
 
 let test_cascade_nullify_legal () =
   (* Hospital: appointments reference patients through a nonkey attr. *)

@@ -21,15 +21,15 @@ let test_instance_shape () =
   let json = Penguin.Json_export.instance omega i in
   (* singleton reference child renders as a nested object *)
   Alcotest.(check bool) "department nested object" true
-    (Astring_contains.contains ~sub:"\"DEPARTMENT\":{" json);
+    (Relational.Strutil.contains ~sub:"\"DEPARTMENT\":{" json);
   (* set-valued ownership child renders as an array *)
   Alcotest.(check bool) "grades array" true
-    (Astring_contains.contains ~sub:"\"GRADES\":[{" json);
+    (Relational.Strutil.contains ~sub:"\"GRADES\":[{" json);
   (* inverse reference child (curriculum) is also set-valued *)
   Alcotest.(check bool) "curriculum array" true
-    (Astring_contains.contains ~sub:"\"CURRICULUM\":[{" json);
+    (Relational.Strutil.contains ~sub:"\"CURRICULUM\":[{" json);
   Alcotest.(check bool) "attributes present" true
-    (Astring_contains.contains ~sub:"\"course_id\":\"CS345\"" json)
+    (Relational.Strutil.contains ~sub:"\"course_id\":\"CS345\"" json)
 
 let test_missing_singleton_is_null () =
   (* A course instance without its department: null, not []. *)
@@ -37,14 +37,14 @@ let test_missing_singleton_is_null () =
   let i = Instance.with_children i "DEPARTMENT" [] in
   let json = Penguin.Json_export.instance omega i in
   Alcotest.(check bool) "null singleton" true
-    (Astring_contains.contains ~sub:"\"DEPARTMENT\":null" json)
+    (Relational.Strutil.contains ~sub:"\"DEPARTMENT\":null" json)
 
 let test_empty_set_is_array () =
   let i = Penguin.University.cs345_instance (db ()) in
   let i = Instance.with_children i "GRADES" [] in
   let json = Penguin.Json_export.instance omega i in
   Alcotest.(check bool) "empty array" true
-    (Astring_contains.contains ~sub:"\"GRADES\":[]" json)
+    (Relational.Strutil.contains ~sub:"\"GRADES\":[]" json)
 
 let test_instances_array () =
   let is = Instantiate.instantiate (db ()) omega in
@@ -75,7 +75,7 @@ let test_unbound_attr_is_null () =
   in
   let json = Penguin.Json_export.instance omega i in
   Alcotest.(check bool) "projected attrs padded with null" true
-    (Astring_contains.contains ~sub:"\"title\":null" json)
+    (Relational.Strutil.contains ~sub:"\"title\":null" json)
 
 let suite =
   [

@@ -186,7 +186,7 @@ let test_enumerate_replacements_key_change () =
   let del_ins =
     List.find
       (fun (c : Keller.Enumeration.candidate) ->
-        Astring_contains.contains ~sub:"delete old" c.Keller.Enumeration.description)
+        Relational.Strutil.contains ~sub:"delete old" c.Keller.Enumeration.description)
       cands
   in
   Alcotest.(check bool) "delete+insert flagged" true
@@ -200,13 +200,13 @@ let test_enumerate_replacements_key_change () =
   Alcotest.(check bool) "key replacement survives" true
     (List.exists
        (fun (c : Keller.Enumeration.candidate) ->
-         Astring_contains.contains ~sub:"replace key" c.Keller.Enumeration.description)
+         Relational.Strutil.contains ~sub:"replace key" c.Keller.Enumeration.description)
        valid);
   Alcotest.(check bool) "delete+insert pruned" true
     (List.for_all
        (fun (c : Keller.Enumeration.candidate) ->
          not
-           (Astring_contains.contains ~sub:"delete old"
+           (Relational.Strutil.contains ~sub:"delete old"
               c.Keller.Enumeration.description))
        valid)
 
@@ -329,7 +329,7 @@ let test_kdialog () =
   let p = Keller.Translator.insert_policy_for tr "dept" in
   Alcotest.(check bool) "dept not insertable" false p.Keller.Translator.allow_insert;
   Alcotest.(check bool) "transcript mentions emp" true
-    (Astring_contains.contains ~sub:"emp" (Keller.Kdialog.transcript events))
+    (Relational.Strutil.contains ~sub:"emp" (Keller.Kdialog.transcript events))
 
 let test_choose_deletion_by_example () =
   let v = view () in

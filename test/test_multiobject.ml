@@ -70,7 +70,7 @@ let test_stale_instance_after_concurrent_update () =
   let _ws'', outcome2 = Penguin.Workspace.update ws' "omega" b_req in
   let reason = rollback_reason outcome2 in
   Alcotest.(check bool) "stale detected" true
-    (Astring_contains.contains ~sub:"stale" reason)
+    (Relational.Strutil.contains ~sub:"stale" reason)
 
 let test_two_objects_same_pivot_coexist () =
   (* Def 3.2: "several objects can be anchored on the same pivot

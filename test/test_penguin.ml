@@ -118,7 +118,7 @@ let test_hospital_workspace () =
   in
   let reason = rollback_reason outcome in
   Alcotest.(check bool) "physician locked" true
-    (Astring_contains.contains ~sub:"PHYSICIAN" reason)
+    (Relational.Strutil.contains ~sub:"PHYSICIAN" reason)
 
 let test_hospital_new_visit () =
   let ws = Penguin.Hospital.workspace () in

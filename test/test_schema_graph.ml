@@ -20,7 +20,7 @@ let test_duplicate_connection () =
   match Schema_graph.make (List.map (Schema_graph.schema_exn g) (Schema_graph.relations g)) [ c; c ] with
   | Error e ->
       Alcotest.(check bool) "mentions duplicate" true
-        (Astring_contains.contains ~sub:"already in graph" e)
+        (Relational.Strutil.contains ~sub:"already in graph" e)
   | Ok _ -> Alcotest.fail "expected duplicate-connection error"
 
 let test_invalid_connection_rejected () =
@@ -73,11 +73,11 @@ let test_create_database () =
 
 let test_to_dot () =
   let dot = Schema_graph.to_dot g in
-  Alcotest.(check bool) "digraph" true (Astring_contains.contains ~sub:"digraph" dot);
+  Alcotest.(check bool) "digraph" true (Relational.Strutil.contains ~sub:"digraph" dot);
   Alcotest.(check bool) "ownership edge" true
-    (Astring_contains.contains ~sub:"COURSES -> GRADES" dot);
+    (Relational.Strutil.contains ~sub:"COURSES -> GRADES" dot);
   Alcotest.(check bool) "subset style" true
-    (Astring_contains.contains ~sub:"subset" dot)
+    (Relational.Strutil.contains ~sub:"subset" dot)
 
 let suite =
   [

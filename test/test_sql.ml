@@ -233,7 +233,7 @@ let test_division_by_zero_null () =
 
 let test_script_stops_at_error () =
   match Sql.run_script (fresh_db ()) "DELETE FROM emp; SELECT * FROM ghost;" with
-  | Error e -> Alcotest.(check bool) "mentions ghost" true (Astring_contains.contains ~sub:"ghost" e)
+  | Error e -> Alcotest.(check bool) "mentions ghost" true (Relational.Strutil.contains ~sub:"ghost" e)
   | Ok _ -> Alcotest.fail "expected failure"
 
 let suite =

@@ -22,7 +22,7 @@ let test_render_golden () =
 let test_ragged_rows () =
   let rendered = Table.render ~header:[ "a" ] [ [ "1"; "extra" ]; [] ] in
   Alcotest.(check bool) "no exception, extra column padded" true
-    (Astring_contains.contains ~sub:"extra" rendered)
+    (Relational.Strutil.contains ~sub:"extra" rendered)
 
 let test_of_relation () =
   let schema =
@@ -35,8 +35,8 @@ let test_of_relation () =
       [ tuple [ "id", vi 1; "v", vs "x" ]; tuple [ "id", vi 2 ] ]
   in
   let s = Table.of_relation r in
-  Alcotest.(check bool) "header" true (Astring_contains.contains ~sub:"| id | v" s);
-  Alcotest.(check bool) "null cell" true (Astring_contains.contains ~sub:"null" s)
+  Alcotest.(check bool) "header" true (Relational.Strutil.contains ~sub:"| id | v" s);
+  Alcotest.(check bool) "null cell" true (Relational.Strutil.contains ~sub:"null" s)
 
 let test_of_rset () =
   let db =
@@ -48,7 +48,7 @@ let test_of_rset () =
   let rs = Algebra.eval_exn db (Algebra.Base "R") in
   let s = Table.of_rset rs in
   Alcotest.(check bool) "renders empty result" true
-    (Astring_contains.contains ~sub:"| id |" s)
+    (Relational.Strutil.contains ~sub:"| id |" s)
 
 let suite =
   [

@@ -54,7 +54,7 @@ let test_set_requires_selector_on_set_valued () =
   | [ o ] ->
       let reason = rollback_reason o in
       Alcotest.(check bool) "mentions ambiguity" true
-        (Astring_contains.contains ~sub:"be more specific" reason)
+        (Relational.Strutil.contains ~sub:"be more specific" reason)
   | _ -> Alcotest.fail "expected a single rejected outcome"
 
 let test_ees345_in_upql () =
@@ -126,7 +126,7 @@ let test_translator_gates_upql () =
   match outcomes with
   | [ o ] ->
       Alcotest.(check bool) "restricted" true
-        (Astring_contains.contains ~sub:"not allowed" (rollback_reason o))
+        (Relational.Strutil.contains ~sub:"not allowed" (rollback_reason o))
   | _ -> Alcotest.fail "expected one outcome"
 
 let test_attach () =
@@ -179,7 +179,7 @@ let test_attach_requires_parent_selector_when_ambiguous () =
   match outcomes with
   | [ o ] ->
       Alcotest.(check bool) "ambiguous parent" true
-        (Astring_contains.contains ~sub:"be more specific" (rollback_reason o))
+        (Relational.Strutil.contains ~sub:"be more specific" (rollback_reason o))
   | _ -> Alcotest.fail "expected one rejected outcome"
 
 let test_attach_errors () =

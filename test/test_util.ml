@@ -11,7 +11,7 @@ let check_err ?(msg = "expected Error") = function
 
 let check_err_contains ~sub r =
   let e = check_err r in
-  if not (Astring_contains.contains ~sub e) then
+  if not (Relational.Strutil.contains ~sub e) then
     Alcotest.failf "error %S does not mention %S" e sub
 
 let tuple bindings = Tuple.make bindings

@@ -51,7 +51,7 @@ let test_deletion_restricted_peninsula () =
   in
   let e = check_err (Vo_core.Vo_cd.translate g d omega restrict (cs345 d)) in
   Alcotest.(check bool) "rolled back per the paper" true
-    (Astring_contains.contains ~sub:"restricted" e)
+    (Relational.Strutil.contains ~sub:"restricted" e)
 
 let test_deletion_not_allowed () =
   let d = db () in
