@@ -771,6 +771,118 @@ let e10 () =
      rejected with the culprit sequential replay identifies.@."
     n n
 
+(* --- E11: durable commit journal ------------------------------------- *)
+
+let e11 () =
+  section "E11: durable commit journal: append, replay, recover, rotate";
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "penguin-bench-e11-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let or_fail = function Ok v -> v | Error e -> failwith e in
+  let ws = Penguin.University.workspace () in
+  let base = Penguin.Workspace.version ws in
+  (* A representative single-commit record: one grade update, flipping
+     between two values so any dense run of entries replays cleanly. *)
+  let entry v =
+    let new_g, old_g =
+      if (v - base) mod 2 = 1 then "A-", "B+" else "B+", "A-"
+    in
+    let before =
+      Tuple.make
+        [ "course_id", Value.Str "CS345"; "pid", Value.Int 2; "grade", Value.Str old_g ]
+    in
+    let after = Tuple.set before "grade" (Value.Str new_g) in
+    let d =
+      Delta.record Delta.empty ~rel:"GRADES"
+        ~key:[ Value.Str "CS345"; Value.Int 2 ]
+        ~old_image:(Some before) ~new_image:(Some after)
+    in
+    {
+      Penguin.Commit_log.version = v;
+      kind = "bench edit";
+      change = Penguin.Commit_log.Delta d;
+    }
+  in
+  let fill t n =
+    or_fail (Penguin.Journal.initialize t ~base);
+    for i = 1 to n do
+      or_fail (Penguin.Journal.append t ~sync:false [ entry (base + i) ])
+    done
+  in
+  let lengths = if !quick then [ 16 ] else [ 16; 64; 256 ] in
+  let append_t = Penguin.Journal.create (Filename.concat dir "append.journal") in
+  or_fail (Penguin.Journal.initialize append_t ~base);
+  let append_test ~sync name =
+    Test.make ~name
+      (stage (fun () ->
+           or_fail (Penguin.Journal.append append_t ~sync [ entry (base + 1) ])))
+  in
+  let replay_test n =
+    let t = Penguin.Journal.create (Filename.concat dir (Fmt.str "replay-%d.journal" n)) in
+    fill t n;
+    Test.make ~name:(Fmt.str "replay:len=%03d" n)
+      (stage (fun () ->
+           match Penguin.Journal.replay t with
+           | Ok (Some r) -> r
+           | Ok None -> failwith "journal missing"
+           | Error e -> failwith e))
+  in
+  (* Full recovery: snapshot load + replay + delta application + the
+     incremental integrity cross-check, per journal length. *)
+  let recover_test n =
+    let store = Filename.concat dir (Fmt.str "store-%d.pgn" n) in
+    or_fail (Penguin.Store.save_file ws store);
+    fill (Penguin.Journal.create (Penguin.Journal.journal_path store)) n;
+    Test.make ~name:(Fmt.str "open-store:len=%03d" n)
+      (stage (fun () -> or_fail (Penguin.Recovery.open_store store)))
+  in
+  let snapshot = Penguin.Store.save ws in
+  let rotate_t = Penguin.Journal.create (Filename.concat dir "rotate.journal") in
+  or_fail (Penguin.Journal.initialize rotate_t ~base);
+  let rotate_test =
+    Test.make ~name:"rotate:university"
+      (stage (fun () ->
+           or_fail
+             (Penguin.Journal.rotate rotate_t
+                ~snapshot_path:(Filename.concat dir "rotate.pgn")
+                ~snapshot ~base)))
+  in
+  let rows =
+    run_group "e11"
+      (append_test ~sync:false "append:sync=off"
+      :: append_test ~sync:true "append:sync=on"
+      :: rotate_test
+      :: (List.map replay_test lengths @ List.map recover_test lengths))
+  in
+  (match
+     ( List.assoc_opt "e11 append:sync=on" rows,
+       List.assoc_opt "e11 append:sync=off" rows )
+   with
+  | Some on, Some off ->
+      Fmt.pr
+        "@.durability point: fsync'd append %.1f us vs buffered %.1f us \
+         (%.1fx) — the price of surviving a crash.@."
+        (on /. 1e3) (off /. 1e3) (on /. off)
+  | _ -> ());
+  let len = List.fold_left max 1 lengths in
+  (match
+     ( List.assoc_opt (Fmt.str "e11 replay:len=%03d" len) rows,
+       List.assoc_opt (Fmt.str "e11 open-store:len=%03d" len) rows )
+   with
+  | Some r, Some o ->
+      Fmt.pr
+        "recovery at %d records: parse %.1f us, full open-store (apply + \
+         integrity cross-check) %.1f us (%.2f us/record).@."
+        len (r /. 1e3) (o /. 1e3)
+        (o /. 1e3 /. float_of_int len)
+  | _ -> ())
+
 (* --- ablation: op-list translation vs direct application ------------- *)
 
 let ablation () =
@@ -852,6 +964,7 @@ let () =
   e8 ();
   e9 ();
   e10 ();
+  e11 ();
   ablation ();
   surfaces ();
   Option.iter write_json !json_path;

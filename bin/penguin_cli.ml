@@ -362,15 +362,16 @@ let export_cmd =
     Term.(const export $ fixture_arg $ path $ no_data)
 
 let import path =
-  match Penguin.Store.load_file path with
+  match Penguin.Recovery.open_store path with
   | Error e ->
       Fmt.epr "error: %s@." e;
       exit 1
-  | Ok ws ->
-      Fmt.pr "loaded workspace: %d relation(s), %d tuple(s), %d object(s)@."
+  | Ok (ws, report) ->
+      Fmt.pr "loaded workspace: %d relation(s), %d tuple(s), %d object(s) (%a)@."
         (List.length (Structural.Schema_graph.relations ws.Penguin.Workspace.graph))
         (Relational.Database.total_tuples ws.Penguin.Workspace.db)
-        (List.length ws.Penguin.Workspace.objects);
+        (List.length ws.Penguin.Workspace.objects)
+        Penguin.Recovery.pp_report report;
       List.iter
         (fun (name, vo) ->
           Fmt.pr "@.view object %s:@.%s" name (Definition.to_ascii vo))
@@ -393,39 +394,27 @@ let import_cmd =
 (* A session is a plain-text file: a small header (the store it was
    begun against, the store version at that moment, the queued update
    statements) and, after a "---" separator, the snapshot workspace in
-   the Store document format. The store's version lives in a side file
-   [STORE.version]; commit bumps it, so a session begun before another
-   commit sees a version mismatch and rebases — optimistic concurrency
-   across processes. *)
+   the Store document format. The store itself is a snapshot document
+   plus a durable commit journal [STORE.journal] of every commit since
+   (Penguin.Recovery); commit appends its entries there, so a session
+   begun before another commit sees the concurrent deltas themselves
+   and rebases only when footprints actually overlap — optimistic
+   concurrency across processes, validated against real history. *)
 
 let read_file path =
-  try
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    Ok s
-  with Sys_error e -> Error e
+  match Penguin.Fsio.default.Penguin.Fsio.read path with
+  | Ok (Some s) -> Ok s
+  | Ok None -> Error (Fmt.str "%s: no such file" path)
+  | Error e -> Error e
 
 let write_file path content =
-  try
-    let oc = open_out_bin path in
-    output_string oc content;
-    close_out oc;
-    Ok ()
-  with Sys_error e -> Error e
+  Penguin.Fsio.(atomic_write default) ~path content
 
 let or_die = function
   | Ok v -> v
   | Error e ->
       Fmt.epr "error: %s@." e;
       exit 1
-
-let version_path store = store ^ ".version"
-
-let read_store_version store =
-  match read_file (version_path store) with
-  | Error _ -> 0
-  | Ok s -> ( try int_of_string (String.trim s) with Failure _ -> 0)
 
 type session_doc = {
   sess_store : string;
@@ -529,22 +518,37 @@ let stage_session ws doc =
     doc.sess_queue
 
 let session_begin store session =
-  let ws = or_die (Penguin.Store.load_file store) in
-  let base = read_store_version store in
+  let ws, report = or_die (Penguin.Recovery.open_store store) in
+  let base = Penguin.Workspace.version ws in
   let doc =
     {
       sess_store = store;
       sess_base = base;
       sess_queue = [];
+      (* The snapshot document records [base], so re-loading it yields a
+         workspace whose log is at the session's base version. *)
       sess_snapshot = Penguin.Store.save ws;
     }
   in
   or_die (write_file session (render_session doc));
-  Fmt.pr "began session %s on %s at version %d@." session store base
+  Fmt.pr "began session %s on %s at version %d (%a)@." session store base
+    Penguin.Recovery.pp_report report
+
+let load_snapshot doc =
+  let ws = or_die (Penguin.Store.load doc.sess_snapshot) in
+  if Penguin.Workspace.version ws <> doc.sess_base then
+    or_die
+      (Error
+         (Fmt.str
+            "session file: snapshot is at v%d but the header says v%d — \
+             corrupt session file"
+            (Penguin.Workspace.version ws)
+            doc.sess_base));
+  ws
 
 let session_queue session obj stmt =
   let doc = or_die (Result.bind (read_file session) parse_session) in
-  let ws = or_die (Penguin.Store.load doc.sess_snapshot) in
+  let ws = load_snapshot doc in
   let doc = { doc with sess_queue = doc.sess_queue @ [ obj, stmt ] } in
   let sess = or_die (stage_session ws doc) in
   or_die (write_file session (render_session doc));
@@ -554,26 +558,38 @@ let session_queue session obj stmt =
 
 let session_commit session =
   let doc = or_die (Result.bind (read_file session) parse_session) in
-  let ws = or_die (Penguin.Store.load_file doc.sess_store) in
-  let current = read_store_version doc.sess_store in
-  let rebased = current <> doc.sess_base in
-  if rebased then
-    Fmt.pr "store advanced (version %d -> %d): rebasing on current state@."
-      doc.sess_base current;
-  (* Statements are (re-)staged against the current store state; the
-     in-process Session then group-commits them with one merged-delta
-     validation pass. *)
-  let sess = or_die (stage_session ws doc) in
-  let ws', stats = or_die (Penguin.Session.commit ws sess) in
+  (* Reconstruct the current store state — snapshot plus replayed
+     journal deltas — then stage the session's statements against its
+     own begin-time snapshot and let the in-process Session run real
+     OCC against the replayed history: concurrent commits whose
+     footprints do not overlap the session's commit without a rebase. *)
+  let ws_now, _report = or_die (Penguin.Recovery.open_store doc.sess_store) in
+  let current = Penguin.Workspace.version ws_now in
+  if current <> doc.sess_base then
+    Fmt.pr "store advanced (version %d -> %d) since begin@." doc.sess_base
+      current;
+  let sess = or_die (stage_session (load_snapshot doc) doc) in
+  let ws', stats = or_die (Penguin.Session.commit ws_now sess) in
   let committed = stats.Penguin.Session.committed in
-  let version = current + Penguin.Workspace.version ws' in
-  or_die (Penguin.Store.save_file ws' doc.sess_store);
-  or_die (write_file (version_path doc.sess_store) (Fmt.str "%d\n" version));
-  (try Sys.remove session with Sys_error _ -> ());
+  let version = stats.Penguin.Session.version in
+  let rotated =
+    or_die (Penguin.Recovery.persist ~store:doc.sess_store ~since:current ws')
+  in
+  (* The commit is durable (journal fsynced) from here on; only then may
+     the session file go. A failed removal must be loud: replaying a
+     committed session is how duplicate updates happen. *)
+  (try Sys.remove session
+   with Sys_error e ->
+     Fmt.epr
+       "warning: session file %s was committed but could not be removed \
+        (%s); remove it manually — committing it again would replay its \
+        updates@."
+       session e);
   Fmt.pr
-    "committed %d update(s) to %s: now at version %d (attempts %d%s)@."
+    "committed %d update(s) to %s: now at version %d (attempts %d%s%s)@."
     committed doc.sess_store version stats.Penguin.Session.attempts
-    (if rebased then ", rebased" else "")
+    (if stats.Penguin.Session.rebased then ", rebased" else "")
+    (if rotated then ", journal rotated into snapshot" else "")
 
 let session_file_arg p =
   Arg.(required & pos p (some string) None

@@ -22,6 +22,8 @@ let of_version version = { version; truncated = version; entries = [] }
 
 let version t = t.version
 
+let truncated t = t.truncated
+
 let length t = List.length t.entries
 
 let append t ~delta ~kind =
@@ -35,6 +37,13 @@ let barrier t reason =
     version;
     entries = { version; change = Barrier reason; kind = reason } :: t.entries;
   }
+
+let append_entry t (e : entry) =
+  if e.version <> t.version + 1 then
+    Error
+      (Fmt.str "commit log: entry v%d cannot extend a log at v%d" e.version
+         t.version)
+  else Ok { t with version = e.version; entries = e :: t.entries }
 
 let entries t = List.rev t.entries
 

@@ -33,8 +33,18 @@ val of_version : int -> t
 val version : t -> int
 val length : t -> int
 
+val truncated : t -> int
+(** Version up to (and including) which the history is not held: entries
+    at or below it were dropped by {!of_version} (persistence) or a
+    snapshot rotation. [0] for {!empty}. *)
+
 val append : t -> delta:Delta.t -> kind:string -> t
 val barrier : t -> string -> t
+
+val append_entry : t -> entry -> (t, string) result
+(** Extend the log with a replayed entry. Versions are dense, so the
+    entry's recorded version must be exactly [version t + 1]; anything
+    else is a corrupt or mismatched journal and errors. *)
 
 val entries : t -> entry list
 (** Oldest first. *)

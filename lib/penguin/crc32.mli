@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE / zlib polynomial) — the per-record checksum of the
+    {!Journal} framing. *)
+
+val digest : string -> int32
+(** [digest s] is zlib's [crc32(0, s)]. *)
+
+val update : int32 -> string -> int32
+(** Incremental form: [update (digest a) b = digest (a ^ b)]. *)

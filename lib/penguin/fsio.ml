@@ -1,0 +1,71 @@
+type t = {
+  read : string -> (string option, string) result;
+  write : path:string -> append:bool -> string -> (unit, string) result;
+  sync : string -> (unit, string) result;
+  rename : src:string -> dst:string -> (unit, string) result;
+  remove : string -> (unit, string) result;
+}
+
+let wrap f = try Ok (f ()) with
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Fmt.str "%s %s: %s" fn arg (Unix.error_message e))
+  | Sys_error e -> Error e
+
+let read_default path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    wrap (fun () ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic))))
+
+let write_default ~path ~append content =
+  wrap (fun () ->
+      let flags =
+        Unix.O_WRONLY :: Unix.O_CREAT
+        :: (if append then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ])
+      in
+      let fd = Unix.openfile path flags 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = Bytes.unsafe_of_string content in
+          let n = Bytes.length b in
+          let written = ref 0 in
+          while !written < n do
+            written := !written + Unix.write fd b !written (n - !written)
+          done))
+
+let sync_default path =
+  wrap (fun () ->
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> Unix.fsync fd))
+
+let rename_default ~src ~dst = wrap (fun () -> Sys.rename src dst)
+
+let remove_default path = wrap (fun () -> Sys.remove path)
+
+let default =
+  {
+    read = read_default;
+    write = write_default;
+    sync = sync_default;
+    rename = rename_default;
+    remove = remove_default;
+  }
+
+let ( let* ) = Result.bind
+
+let atomic_write io ~path content =
+  let tmp = path ^ ".tmp" in
+  let* () = io.write ~path:tmp ~append:false content in
+  let* () = io.sync tmp in
+  let* () = io.rename ~src:tmp ~dst:path in
+  (* Make the rename itself durable: sync the containing directory.
+     Tolerated to fail — some filesystems refuse fsync on a directory
+     fd, and the rename's atomicity does not depend on it. *)
+  (match io.sync (Filename.dirname path) with Ok () | Error _ -> ());
+  Ok ()

@@ -1,0 +1,30 @@
+(** The injectable filesystem seam under the durability layer.
+
+    Everything {!Journal}, {!Recovery} and {!Store.save_file} do to disk
+    goes through a record of five primitive operations, so tests can
+    substitute implementations that crash at chosen points — after a
+    partial write, before an fsync, before a rename — and assert that
+    recovery restores a consistent state. The primitives are deliberately
+    coarse (whole-content writes over open/write/close triples): each one
+    is a distinct injection point with a well-defined on-disk effect. *)
+
+type t = {
+  read : string -> (string option, string) result;
+      (** Whole-file read; [Ok None] when the file does not exist. *)
+  write : path:string -> append:bool -> string -> (unit, string) result;
+      (** Write the full content (create; truncate or append). Makes no
+          durability promise — pair with {!field-sync}. *)
+  sync : string -> (unit, string) result;
+      (** fsync the file (or directory) at the path. *)
+  rename : src:string -> dst:string -> (unit, string) result;
+      (** Atomic within a filesystem (POSIX rename). *)
+  remove : string -> (unit, string) result;
+}
+
+val default : t
+(** The real filesystem (Unix-backed). *)
+
+val atomic_write : t -> path:string -> string -> (unit, string) result
+(** Crash-safe whole-file replacement: write [path ^ ".tmp"], fsync it,
+    rename over [path], fsync the directory. A crash at any point leaves
+    either the old or the new content at [path], never a mixture. *)

@@ -1,0 +1,252 @@
+open Relational
+
+module Io = Fsio
+
+let ( let* ) = Result.bind
+
+let atom = Sexp.atom
+let l = Sexp.list
+
+type t = {
+  path : string;
+  io : Fsio.t;
+}
+
+let create ?(io = Fsio.default) path = { path; io }
+let path t = t.path
+let journal_path store = store ^ ".journal"
+
+(* --- record payloads (S-expressions) --------------------------------- *)
+
+let int_atom i = atom (string_of_int i)
+
+let int_of_sexp e =
+  let* a = Sexp.as_atom e in
+  match int_of_string_opt a with
+  | Some i -> Ok i
+  | None -> Error (Fmt.str "journal: bad integer %s" a)
+
+let key_to_sexp key = l (atom "key" :: List.map Store.value_to_sexp key)
+
+let key_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | Sexp.Atom "key" :: vs ->
+      List.fold_left
+        (fun acc v ->
+          let* ks = acc in
+          let* k = Store.value_of_sexp v in
+          Ok (ks @ [ k ]))
+        (Ok []) vs
+  | _ -> Error "journal: bad key"
+
+let change_to_sexp (key, change) =
+  match change with
+  | Delta.Added t -> l [ atom "add"; key_to_sexp key; Store.tuple_to_sexp t ]
+  | Delta.Removed t -> l [ atom "del"; key_to_sexp key; Store.tuple_to_sexp t ]
+  | Delta.Updated { before; after } ->
+      l
+        [ atom "upd"; key_to_sexp key; Store.tuple_to_sexp before;
+          Store.tuple_to_sexp after ]
+
+let change_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ Sexp.Atom "add"; key; row ] ->
+      let* key = key_of_sexp key in
+      let* t = Store.tuple_of_sexp row in
+      Ok (key, Delta.Added t)
+  | [ Sexp.Atom "del"; key; row ] ->
+      let* key = key_of_sexp key in
+      let* t = Store.tuple_of_sexp row in
+      Ok (key, Delta.Removed t)
+  | [ Sexp.Atom "upd"; key; before; after ] ->
+      let* key = key_of_sexp key in
+      let* before = Store.tuple_of_sexp before in
+      let* after = Store.tuple_of_sexp after in
+      Ok (key, Delta.Updated { before; after })
+  | _ -> Error "journal: bad change"
+
+let delta_to_sexps d =
+  List.map
+    (fun (rel, changes) ->
+      l (atom "rel" :: atom rel :: List.map change_to_sexp changes))
+    (Delta.bindings d)
+
+let delta_of_sexps items =
+  let* bindings =
+    List.fold_left
+      (fun acc e ->
+        let* bs = acc in
+        let* items = Sexp.as_list e in
+        match items with
+        | Sexp.Atom "rel" :: Sexp.Atom rel :: changes ->
+            let* changes =
+              List.fold_left
+                (fun acc c ->
+                  let* cs = acc in
+                  let* c = change_of_sexp c in
+                  Ok (cs @ [ c ]))
+                (Ok []) changes
+            in
+            Ok (bs @ [ rel, changes ])
+        | _ -> Error "journal: bad relation changes")
+      (Ok []) items
+  in
+  Ok (Delta.of_bindings bindings)
+
+let entry_to_sexp (e : Commit_log.entry) =
+  let change =
+    match e.Commit_log.change with
+    | Commit_log.Delta d -> l (atom "delta" :: delta_to_sexps d)
+    | Commit_log.Barrier reason -> l [ atom "barrier"; atom reason ]
+  in
+  l
+    [ atom "entry"; int_atom e.Commit_log.version;
+      l [ atom "kind"; atom e.Commit_log.kind ]; change ]
+
+let entry_of_sexp e =
+  let* items = Sexp.as_list e in
+  match items with
+  | [ Sexp.Atom "entry"; version; Sexp.List [ Sexp.Atom "kind"; Sexp.Atom kind ];
+      change ] ->
+      let* version = int_of_sexp version in
+      let* change =
+        let* items = Sexp.as_list change in
+        match items with
+        | Sexp.Atom "delta" :: rels ->
+            let* d = delta_of_sexps rels in
+            Ok (Commit_log.Delta d)
+        | [ Sexp.Atom "barrier"; Sexp.Atom reason ] ->
+            Ok (Commit_log.Barrier reason)
+        | _ -> Error "journal: bad entry change"
+      in
+      Ok { Commit_log.version; kind; change }
+  | _ -> Error "journal: bad entry"
+
+let header_payload ~base =
+  Sexp.to_string (l [ atom "penguin-journal"; atom "1"; l [ atom "base"; int_atom base ] ])
+
+let header_of_payload payload =
+  let* doc = Sexp.parse payload in
+  let* items = Sexp.as_list doc in
+  match items with
+  | [ Sexp.Atom "penguin-journal"; Sexp.Atom "1"; Sexp.List [ Sexp.Atom "base"; base ] ] ->
+      int_of_sexp base
+  | _ -> Error "journal: bad header record"
+
+let commit_payload entries =
+  Sexp.to_string (l (atom "commit" :: List.map entry_to_sexp entries))
+
+let commit_of_payload payload =
+  let* doc = Sexp.parse payload in
+  let* items = Sexp.as_list doc in
+  match items with
+  | Sexp.Atom "commit" :: entries ->
+      List.fold_left
+        (fun acc e ->
+          let* es = acc in
+          let* e = entry_of_sexp e in
+          Ok (es @ [ e ]))
+        (Ok []) entries
+  | _ -> Error "journal: bad commit record"
+
+(* --- framing ---------------------------------------------------------- *)
+
+(* Every record is [4-byte BE payload length | 4-byte BE CRC-32 of the
+   payload | payload]. A record whose length field runs past the end of
+   the file, or whose checksum does not match, marks the start of a torn
+   tail: everything before it is trusted, everything from it on is
+   discarded (a crash mid-append can only tear the end of the file). *)
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int32_be b 4 (Crc32.digest payload);
+  Bytes.blit_string payload 0 b 8 len;
+  Bytes.unsafe_to_string b
+
+(* [payloads, clean_bytes, torn_bytes] *)
+let parse_frames content =
+  let n = String.length content in
+  let rec go off acc =
+    if off >= n then List.rev acc, off, 0
+    else if off + 8 > n then List.rev acc, off, n - off
+    else
+      let len = Int32.to_int (String.get_int32_be content off) in
+      if len < 0 || off + 8 + len > n then List.rev acc, off, n - off
+      else
+        let payload = String.sub content (off + 8) len in
+        if not (Int32.equal (Crc32.digest payload) (String.get_int32_be content (off + 4)))
+        then List.rev acc, off, n - off
+        else go (off + 8 + len) (payload :: acc)
+  in
+  go 0 []
+
+(* --- operations ------------------------------------------------------- *)
+
+let initialize t ~base =
+  Fsio.atomic_write t.io ~path:t.path (frame (header_payload ~base))
+
+let append t ?(sync = true) entries =
+  if entries = [] then Ok ()
+  else
+    let* () = t.io.Fsio.write ~path:t.path ~append:true (frame (commit_payload entries)) in
+    if sync then t.io.Fsio.sync t.path else Ok ()
+
+type replay = {
+  base : int;
+  entries : Commit_log.entry list;
+  records : int;
+  clean_bytes : int;
+  torn_bytes : int;
+}
+
+let replay t =
+  let* content = t.io.Fsio.read t.path in
+  match content with
+  | None -> Ok None
+  | Some content -> (
+      let payloads, clean_bytes, torn_bytes = parse_frames content in
+      match payloads with
+      | [] ->
+          Error
+            (Fmt.str "journal %s: unreadable header (%d byte(s), %d torn)"
+               t.path clean_bytes torn_bytes)
+      | header :: records ->
+          let* base = header_of_payload header in
+          let* entries =
+            List.fold_left
+              (fun acc payload ->
+                let* es = acc in
+                let* batch = commit_of_payload payload in
+                Ok (es @ batch))
+              (Ok []) records
+          in
+          Ok
+            (Some
+               {
+                 base;
+                 entries;
+                 records = List.length records;
+                 clean_bytes;
+                 torn_bytes;
+               }))
+
+let truncate_torn t ~clean_bytes =
+  let* content = t.io.Fsio.read t.path in
+  match content with
+  | None -> Error (Fmt.str "journal %s: vanished during repair" t.path)
+  | Some content ->
+      if clean_bytes > String.length content then
+        Error (Fmt.str "journal %s: shrank during repair" t.path)
+      else
+        Fsio.atomic_write t.io ~path:t.path (String.sub content 0 clean_bytes)
+
+let rotate t ~snapshot_path ~snapshot ~base =
+  (* Snapshot first, then reset: a crash between the two leaves a newer
+     snapshot under the old journal, and replay skips the entries the
+     snapshot already contains (entry version <= snapshot version). *)
+  let* () = Fsio.atomic_write t.io ~path:snapshot_path snapshot in
+  initialize t ~base

@@ -1,0 +1,73 @@
+(** The durable commit journal: an append-only on-disk write-ahead log
+    of {!Commit_log} entries.
+
+    The paper's pipeline ends when translated operations are "applied to
+    the database"; this module is what makes that application survive
+    process death. A workspace on disk is a {e snapshot} (a {!Store}
+    document recording its commit-log version) plus a journal of every
+    commit since: each {!append} writes one length-prefixed,
+    CRC-32-checksummed record holding the commit's entries (their
+    versions, request kinds, and full {!Relational.Delta.t} images), and
+    {!Recovery.open_store} reconstructs workspace = snapshot ⊕ replayed
+    deltas. Because the deltas themselves survive, cross-process
+    sessions validate optimistic concurrency against real footprints
+    instead of assuming conflict on any version change.
+
+    Record framing: [4-byte big-endian payload length | 4-byte
+    big-endian CRC-32 | payload]. The first record is a header naming
+    the {e base} version the journal extends; every further record is
+    one commit batch (all-or-nothing: a crash mid-append tears the
+    record, the checksum catches it, and the whole batch is discarded).
+    All I/O goes through an injectable {!Fsio.t} (re-exported as
+    {!Io}), the fault-injection seam the crash-recovery tests drive. *)
+
+module Io = Fsio
+
+type t
+(** A handle: a journal file path and the I/O layer to reach it. *)
+
+val create : ?io:Fsio.t -> string -> t
+(** [create path] — no I/O happens until an operation runs. *)
+
+val path : t -> string
+
+val journal_path : string -> string
+(** Conventional journal location for a store file: [store ^ ".journal"]. *)
+
+val initialize : t -> base:int -> (unit, string) result
+(** Atomically replace the journal with a fresh one extending version
+    [base] (header record only). *)
+
+val append : t -> ?sync:bool -> Commit_log.entry list -> (unit, string) result
+(** Append one commit batch as a single record; [sync] (default [true])
+    fsyncs afterwards — the commit's durability point. Appending the
+    empty batch is a no-op. *)
+
+type replay = {
+  base : int;  (** snapshot version the journal extends *)
+  entries : Commit_log.entry list;  (** oldest first, as recorded *)
+  records : int;  (** commit batches read (excluding the header) *)
+  clean_bytes : int;  (** length of the valid prefix *)
+  torn_bytes : int;  (** bytes discarded after it ([0] = clean) *)
+}
+
+val replay : t -> (replay option, string) result
+(** Read the journal back. [Ok None] when the file does not exist. A
+    torn tail — a record cut short or failing its checksum — is
+    truncated at the first bad record and reported via [torn_bytes];
+    entries before it are returned. An unreadable header, or a
+    checksummed record that does not parse, is corruption beyond a torn
+    tail and errors. *)
+
+val truncate_torn : t -> clean_bytes:int -> (unit, string) result
+(** Atomically rewrite the journal to its valid prefix (from a {!replay}
+    that reported a torn tail), so later appends extend a clean file. *)
+
+val rotate :
+  t -> snapshot_path:string -> snapshot:string -> base:int ->
+  (unit, string) result
+(** Fold the journal into a snapshot: atomically write [snapshot] (tmp
+    file + fsync + rename), then {!initialize} the journal at [base].
+    A crash between the two steps leaves the new snapshot under the old
+    journal; replay application skips entries the snapshot already
+    contains, so recovery is unaffected. *)

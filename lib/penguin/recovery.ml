@@ -1,0 +1,161 @@
+open Relational
+
+let src = Logs.Src.create "penguin.recovery" ~doc:"crash recovery of stores"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+type report = {
+  snapshot_version : int;
+  replayed : int;
+  version : int;
+  torn_bytes : int;
+  repaired : bool;
+  journal : bool;
+}
+
+let pp_report ppf r =
+  if not r.journal then
+    Fmt.pf ppf "snapshot v%d, no journal" r.snapshot_version
+  else
+    Fmt.pf ppf "snapshot v%d + %d replayed journal entr%s = v%d%s"
+      r.snapshot_version r.replayed
+      (if r.replayed = 1 then "y" else "ies")
+      r.version
+      (if r.torn_bytes > 0 then
+         Fmt.str " (torn tail: %d byte(s) discarded%s)" r.torn_bytes
+           (if r.repaired then ", repaired" else "")
+       else "")
+
+let apply_entry ws (e : Commit_log.entry) =
+  let* log =
+    Commit_log.append_entry ws.Workspace.log e
+  in
+  match e.Commit_log.change with
+  | Commit_log.Barrier _ -> Ok { ws with Workspace.log }
+  | Commit_log.Delta d -> (
+      let* db =
+        Result.map_error
+          (fun err ->
+            Fmt.str "recovery: replaying v%d (%s): %s" e.Commit_log.version
+              e.Commit_log.kind
+              (Database.error_to_string err))
+          (Database.apply_delta ws.Workspace.db d)
+      in
+      (* Cross-check each replayed delta against the structural model of
+         the state it produces: a journal that replays into an
+         inconsistent database is mismatched or corrupt beyond what the
+         checksums can see. *)
+      match Structural.Integrity.check_delta ws.Workspace.graph db ~delta:d with
+      | [] -> Ok { ws with Workspace.db; log }
+      | v :: _ ->
+          Error
+            (Fmt.str "recovery: replaying v%d (%s) breaks the structural model: %a"
+               e.Commit_log.version e.Commit_log.kind
+               Structural.Integrity.pp_violation v))
+
+let open_store ?(io = Fsio.default) ?(repair = true) store =
+  let* content = io.Fsio.read store in
+  let* content =
+    match content with
+    | Some c -> Ok c
+    | None -> Error (Fmt.str "no such store: %s" store)
+  in
+  let* ws = Store.load content in
+  let snapshot_version = Workspace.version ws in
+  let jnl = Journal.create ~io (Journal.journal_path store) in
+  let* r = Journal.replay jnl in
+  match r with
+  | None ->
+      Ok
+        ( ws,
+          {
+            snapshot_version;
+            replayed = 0;
+            version = snapshot_version;
+            torn_bytes = 0;
+            repaired = false;
+            journal = false;
+          } )
+  | Some r ->
+      let* repaired =
+        if r.Journal.torn_bytes > 0 && repair then (
+          Log.warn (fun m ->
+              m "journal for %s has a torn tail (%d byte(s)); truncating" store
+                r.Journal.torn_bytes);
+          let* () = Journal.truncate_torn jnl ~clean_bytes:r.Journal.clean_bytes in
+          Ok true)
+        else Ok false
+      in
+      (* Entries at or below the snapshot's version are already folded
+         into it (a rotate crash can leave such an overlap); replay the
+         rest, whose versions must extend the snapshot densely. *)
+      let fresh =
+        List.filter
+          (fun (e : Commit_log.entry) -> e.Commit_log.version > snapshot_version)
+          r.Journal.entries
+      in
+      let* ws =
+        List.fold_left
+          (fun acc e ->
+            let* ws = acc in
+            apply_entry ws e)
+          (Ok ws) fresh
+      in
+      let version = Workspace.version ws in
+      let replayed = List.length fresh in
+      if replayed > 0 then
+        Log.info (fun m ->
+            m "recovered %s: snapshot v%d + %d journal entr%s = v%d" store
+              snapshot_version replayed
+              (if replayed = 1 then "y" else "ies")
+              version);
+      Ok
+        ( ws,
+          {
+            snapshot_version;
+            replayed;
+            version;
+            torn_bytes = r.Journal.torn_bytes;
+            repaired;
+            journal = true;
+          } )
+
+let snapshot ?(io = Fsio.default) ~store ws =
+  Journal.rotate
+    (Journal.create ~io (Journal.journal_path store))
+    ~snapshot_path:store ~snapshot:(Store.save ws)
+    ~base:(Workspace.version ws)
+
+let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
+    ~store ~since ws =
+  if since < Commit_log.truncated ws.Workspace.log then
+    Error
+      (Fmt.str
+         "persist: history since v%d is not held (log truncated at v%d)"
+         since
+         (Commit_log.truncated ws.Workspace.log))
+  else
+    let entries =
+      List.filter
+        (fun (e : Commit_log.entry) -> e.Commit_log.version > since)
+        (Commit_log.entries_since ws.Workspace.log since)
+    in
+    let jnl = Journal.create ~io (Journal.journal_path store) in
+    let* existing = Journal.replay jnl in
+    let* records =
+      match existing with
+      | Some r -> Ok r.Journal.records
+      | None ->
+          (* First commit against a plain exported store: start the
+             journal at the version the caller's open_store saw — the
+             snapshot's. *)
+          let* () = Journal.initialize jnl ~base:since in
+          Ok 0
+    in
+    let* () = Journal.append jnl ~sync entries in
+    if records + 1 >= rotate_threshold then
+      let* () = snapshot ~io ~store ws in
+      Ok true
+    else Ok false

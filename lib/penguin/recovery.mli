@@ -1,0 +1,58 @@
+(** Crash recovery: reconstruct a workspace from its on-disk snapshot
+    plus the {!Journal} of commits since, and persist new commits
+    durably.
+
+    The invariant the fault-injection tests enforce: however a process
+    dies — mid-append, mid-fsync, mid-rename, mid-rotate —
+    {!open_store} yields a workspace equal to either the pre-crash or
+    the post-crash committed state, never a torn mixture, and every
+    replayed delta is cross-checked against the structural model with
+    {!Structural.Integrity.check_delta}. The commit's durability point
+    is the journal append's fsync ({!persist}): before it the commit
+    never happened; after it recovery always replays it. *)
+
+type report = {
+  snapshot_version : int;  (** version recorded in the store document *)
+  replayed : int;  (** journal entries applied on top of it *)
+  version : int;  (** resulting workspace version *)
+  torn_bytes : int;  (** torn journal tail discarded ([0] = clean) *)
+  repaired : bool;  (** the torn tail was truncated on disk *)
+  journal : bool;  (** a journal file was present *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val open_store :
+  ?io:Fsio.t -> ?repair:bool -> string -> (Workspace.t * report, string) result
+(** Load the store document at the path, then replay its journal
+    ([path ^ ".journal"], if present): entries newer than the snapshot's
+    recorded version are applied in order — versions must extend the
+    snapshot densely — with each delta validated against the structural
+    model as it lands. The returned workspace's commit log holds the
+    replayed entries as real deltas (its history below the snapshot
+    version is a barrier), so sessions check optimistic-concurrency
+    conflicts against true footprints. A torn journal tail is discarded
+    and, when [repair] (default [true]), truncated on disk so later
+    appends extend a clean file. *)
+
+val persist :
+  ?io:Fsio.t ->
+  ?sync:bool ->
+  ?rotate_threshold:int ->
+  store:string ->
+  since:int ->
+  Workspace.t ->
+  (bool, string) result
+(** Durably record the workspace's commits after version [since] (which
+    must be the version {!open_store} returned for this store): append
+    them to the journal as one all-or-nothing record ([sync], default
+    [true], fsyncs — the durability point), initializing the journal at
+    [since] if the store was a plain export without one. When the
+    journal reaches [rotate_threshold] records (default 64) it is folded
+    into a fresh snapshot ({!snapshot}); returns whether that happened.
+    Replay cost is thereby bounded by the rotation threshold, not by the
+    store's lifetime. *)
+
+val snapshot : ?io:Fsio.t -> store:string -> Workspace.t -> (unit, string) result
+(** Atomically rewrite the store document at the workspace's current
+    state and reset the journal to extend it ({!Journal.rotate}). *)

@@ -394,6 +394,7 @@ let save ?(include_data = true) (ws : Workspace.t) =
   Sexp.to_string
     (l
        ([ atom "penguin-workspace";
+          l [ atom "version"; atom (string_of_int (Workspace.version ws)) ];
           l (atom "schemas" :: schemas);
           l (atom "connections" :: connections);
           l (atom "objects" :: objects);
@@ -458,16 +459,23 @@ let load input =
                 | _ -> Error "store: bad relation data")
               (Ok ws.Workspace.db) relation_items
       in
-      Ok { ws with Workspace.db; objects; translators }
+      let* log =
+        match Sexp.keyed_opt "version" rest with
+        | None -> Ok Commit_log.empty
+        | Some [ Sexp.Atom v ] -> (
+            match int_of_string_opt v with
+            | Some v when v >= 0 -> Ok (Commit_log.of_version v)
+            | _ -> Error (Fmt.str "store: bad version %s" v))
+        | Some _ -> Error "store: bad version"
+      in
+      Ok { ws with Workspace.db; objects; translators; log }
   | _ -> Error "store: not a penguin-workspace document"
 
-let save_file ?include_data ws path =
-  try
-    let oc = open_out path in
-    output_string oc (save ?include_data ws);
-    close_out oc;
-    Ok ()
-  with Sys_error e -> Error e
+let save_file ?include_data ?(io = Fsio.default) ws path =
+  (* Crash-safe: a failure (or a crash) mid-save must never corrupt the
+     previous workspace file — the write lands in a tmp file that is
+     fsynced and renamed over the target only once complete. *)
+  Fsio.atomic_write io ~path (save ?include_data ws)
 
 let load_file path =
   try

@@ -21,6 +21,9 @@ open Relational
 val value_to_sexp : Value.t -> Sexp.t
 val value_of_sexp : Sexp.t -> (Value.t, string) result
 
+val tuple_to_sexp : Tuple.t -> Sexp.t
+val tuple_of_sexp : Sexp.t -> (Tuple.t, string) result
+
 val definition_to_sexp : Viewobject.Definition.t -> Sexp.t
 val definition_of_sexp :
   Structural.Schema_graph.t -> Sexp.t -> (Viewobject.Definition.t, string) result
@@ -34,9 +37,22 @@ val instance_to_sexp : Viewobject.Instance.t -> Sexp.t
 val instance_of_sexp : Sexp.t -> (Viewobject.Instance.t, string) result
 
 val save : ?include_data:bool -> Workspace.t -> string
-(** Render the workspace ([include_data] defaults to [true]). *)
+(** Render the workspace ([include_data] defaults to [true]). The
+    document records the workspace's commit-log version, so a loaded
+    snapshot knows where the {!Journal} takes over. *)
 
 val load : string -> (Workspace.t, string) result
+(** The loaded workspace's log is {!Commit_log.of_version} of the
+    recorded version (its past is a barrier — the deltas live in the
+    journal, if any); documents predating the version field load at
+    version 0 with full (empty) history. *)
 
-val save_file : ?include_data:bool -> Workspace.t -> string -> (unit, string) result
+val save_file :
+  ?include_data:bool -> ?io:Fsio.t -> Workspace.t -> string ->
+  (unit, string) result
+(** Atomic: writes a tmp file in the target's directory, fsyncs, then
+    renames over the target — a crash mid-save leaves the old file
+    intact. [io] (default the real filesystem) is the fault-injection
+    seam. *)
+
 val load_file : string -> (Workspace.t, string) result

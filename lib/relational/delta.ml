@@ -174,6 +174,16 @@ let merge a b =
   in
   match !conflict with Some c -> Error c | None -> Ok merged
 
+let bindings d =
+  List.map (fun (rel, m) -> rel, KMap.bindings m) (SMap.bindings d)
+
+let of_bindings l =
+  List.fold_left
+    (fun d (rel, changes) ->
+      update_rel d rel (fun m ->
+          List.fold_left (fun m (key, c) -> KMap.add key c m) m changes))
+    empty l
+
 let changes d rel =
   match SMap.find_opt rel d with
   | None -> []

@@ -50,6 +50,15 @@ val relations : t -> string list
 val changes : t -> string -> change list
 (** Net changes recorded for a relation (key order). *)
 
+val bindings : t -> (string * (Value.t list * change) list) list
+(** Every net change with its key, grouped by relation (both sorted) —
+    the serializable image of the delta. *)
+
+val of_bindings : (string * (Value.t list * change) list) list -> t
+(** Rebuild a delta from {!bindings} output verbatim: changes are
+    installed as given, not composed (a later change at a key already
+    present simply wins). [of_bindings (bindings d)] equals [d]. *)
+
 val fold : (string -> change -> 'a -> 'a) -> t -> 'a -> 'a
 (** Over every net change of every relation. *)
 

@@ -1,0 +1,109 @@
+(* Commit_log truncation edges: what entries_since / footprint_since
+   report exactly at the truncation boundary, after of_version, and
+   across interleaved barriers (the synthetic-barrier prefix contract),
+   plus the dense-version contract of append_entry. *)
+open Relational
+open Test_util
+
+let delta_on ~rel ~key =
+  Delta.add Delta.empty ~rel ~key (Tuple.make [ "k", List.hd key ])
+
+let is_barrier (e : Penguin.Commit_log.entry) =
+  match e.Penguin.Commit_log.change with
+  | Penguin.Commit_log.Barrier _ -> true
+  | Penguin.Commit_log.Delta _ -> false
+
+let versions es = List.map (fun e -> e.Penguin.Commit_log.version) es
+
+let test_of_version_boundary () =
+  let log = Penguin.Commit_log.of_version 5 in
+  Alcotest.(check int) "version" 5 (Penguin.Commit_log.version log);
+  Alcotest.(check int) "truncated" 5 (Penguin.Commit_log.truncated log);
+  (* Exactly at the truncation boundary: the full (empty) suffix is
+     held, so no synthetic barrier. *)
+  Alcotest.(check int) "at boundary: no entries" 0
+    (List.length (Penguin.Commit_log.entries_since log 5));
+  Alcotest.(check bool) "at boundary: footprint known" true
+    (Penguin.Commit_log.footprint_since log 5 <> None);
+  (* One below: history is truncated, a synthetic barrier stands in. *)
+  (match Penguin.Commit_log.entries_since log 4 with
+  | [ e ] ->
+      Alcotest.(check bool) "synthetic barrier" true (is_barrier e);
+      Alcotest.(check int) "barrier carries truncation version" 5
+        e.Penguin.Commit_log.version
+  | es -> Alcotest.failf "expected 1 synthetic entry, got %d" (List.length es));
+  Alcotest.(check bool) "below boundary: footprint unknown" true
+    (Penguin.Commit_log.footprint_since log 4 = None);
+  (* Far below behaves the same. *)
+  Alcotest.(check bool) "far below: footprint unknown" true
+    (Penguin.Commit_log.footprint_since log 0 = None)
+
+let test_entries_after_of_version () =
+  let log = Penguin.Commit_log.of_version 5 in
+  let log = Penguin.Commit_log.append log ~delta:(delta_on ~rel:"R" ~key:[ vi 1 ]) ~kind:"a" in
+  let log = Penguin.Commit_log.append log ~delta:(delta_on ~rel:"R" ~key:[ vi 2 ]) ~kind:"b" in
+  Alcotest.(check (list int)) "since boundary: both, oldest first" [ 6; 7 ]
+    (versions (Penguin.Commit_log.entries_since log 5));
+  Alcotest.(check (list int)) "since 6: newest only" [ 7 ]
+    (versions (Penguin.Commit_log.entries_since log 6));
+  Alcotest.(check (list int)) "since head: none" []
+    (versions (Penguin.Commit_log.entries_since log 7));
+  (* Below the boundary the synthetic barrier precedes the real entries. *)
+  (match Penguin.Commit_log.entries_since log 3 with
+  | b :: rest ->
+      Alcotest.(check bool) "prefix is a barrier" true (is_barrier b);
+      Alcotest.(check (list int)) "then the held entries" [ 6; 7 ] (versions rest)
+  | [] -> Alcotest.fail "expected entries");
+  Alcotest.(check bool) "footprint unknown below boundary" true
+    (Penguin.Commit_log.footprint_since log 3 = None);
+  (* At or above the boundary the footprint is the union of the deltas. *)
+  match Penguin.Commit_log.footprint_since log 5 with
+  | None -> Alcotest.fail "footprint should be known at the boundary"
+  | Some fp ->
+      Alcotest.(check int) "two relations' worth of writes" 2
+        (List.length (List.concat_map snd (Delta.footprint_writes fp)))
+
+let test_interleaved_barrier () =
+  let log = Penguin.Commit_log.empty in
+  let log = Penguin.Commit_log.append log ~delta:(delta_on ~rel:"R" ~key:[ vi 1 ]) ~kind:"a" in
+  let log = Penguin.Commit_log.barrier log "sql script" in
+  let log = Penguin.Commit_log.append log ~delta:(delta_on ~rel:"R" ~key:[ vi 2 ]) ~kind:"b" in
+  (* Footprint across the barrier is unknowable; after it, known. *)
+  Alcotest.(check bool) "across barrier: unknown" true
+    (Penguin.Commit_log.footprint_since log 0 = None);
+  Alcotest.(check bool) "from barrier on: unknown (barrier included)" true
+    (Penguin.Commit_log.footprint_since log 1 = None);
+  Alcotest.(check bool) "after barrier: known" true
+    (Penguin.Commit_log.footprint_since log 2 <> None);
+  Alcotest.(check (list int)) "entries keep order around the barrier"
+    [ 1; 2; 3 ]
+    (versions (Penguin.Commit_log.entries_since log 0))
+
+let test_append_entry_density () =
+  let log = Penguin.Commit_log.of_version 2 in
+  let e v =
+    {
+      Penguin.Commit_log.version = v;
+      kind = "replayed";
+      change = Penguin.Commit_log.Delta (delta_on ~rel:"R" ~key:[ vi v ]);
+    }
+  in
+  let log = check_ok (Penguin.Commit_log.append_entry log (e 3)) in
+  Alcotest.(check int) "extended" 3 (Penguin.Commit_log.version log);
+  check_err_contains ~sub:"cannot extend"
+    (Penguin.Commit_log.append_entry log (e 5));
+  check_err_contains ~sub:"cannot extend"
+    (Penguin.Commit_log.append_entry log (e 3));
+  let log = check_ok (Penguin.Commit_log.append_entry log (e 4)) in
+  Alcotest.(check (list int)) "replayed entries line up" [ 3; 4 ]
+    (versions (Penguin.Commit_log.entries_since log 2))
+
+let suite =
+  [
+    Alcotest.test_case "of_version boundary" `Quick test_of_version_boundary;
+    Alcotest.test_case "entries after of_version" `Quick
+      test_entries_after_of_version;
+    Alcotest.test_case "interleaved barrier" `Quick test_interleaved_barrier;
+    Alcotest.test_case "append_entry requires dense versions" `Quick
+      test_append_entry_density;
+  ]

@@ -1,0 +1,181 @@
+(* The durable commit journal: framing, checksums, torn-tail
+   truncation, rotation. Works on real files in a scratch directory. *)
+open Relational
+open Test_util
+
+let entry version kind change = { Penguin.Commit_log.version; kind; change }
+
+let delta_entry version =
+  let before = tuple [ "course_id", vs "CS345"; "pid", vi 2; "grade", vs "B+" ] in
+  let after = Tuple.set before "grade" (vs "A-") in
+  let d = Delta.empty in
+  let d = Delta.record d ~rel:"GRADES" ~key:[ vs "CS345"; vi 2 ] ~old_image:(Some before) ~new_image:(Some after) in
+  let d = Delta.add d ~rel:"COURSES" ~key:[ vs "EE280" ] (tuple [ "course_id", vs "EE280"; "units", vi 3 ]) in
+  let d =
+    Delta.remove d ~rel:"PEOPLE" ~key:[ vi 9 ] (tuple [ "pid", vi 9; "name", vs "gone" ])
+  in
+  entry version "replace on omega" (Penguin.Commit_log.Delta d)
+
+let barrier_entry version = entry version "sql script" (Penguin.Commit_log.Barrier "sql script")
+
+let entry_equal (a : Penguin.Commit_log.entry) (b : Penguin.Commit_log.entry) =
+  a.Penguin.Commit_log.version = b.Penguin.Commit_log.version
+  && a.Penguin.Commit_log.kind = b.Penguin.Commit_log.kind
+  &&
+  match a.Penguin.Commit_log.change, b.Penguin.Commit_log.change with
+  | Penguin.Commit_log.Delta x, Penguin.Commit_log.Delta y -> Delta.equal x y
+  | Penguin.Commit_log.Barrier x, Penguin.Commit_log.Barrier y -> x = y
+  | _ -> false
+
+let journal_in dir = Penguin.Journal.create (Filename.concat dir "store.pgn.journal")
+
+let read_journal t =
+  match Penguin.Fsio.default.Penguin.Fsio.read (Penguin.Journal.path t) with
+  | Ok (Some s) -> s
+  | Ok None -> Alcotest.fail "journal file missing"
+  | Error e -> Alcotest.fail e
+
+let write_journal t s =
+  check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:(Penguin.Journal.path t) ~append:false s)
+
+let test_crc32_vector () =
+  (* The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l
+    (Penguin.Crc32.digest "123456789");
+  Alcotest.(check int32) "incremental agrees" (Penguin.Crc32.digest "123456789")
+    (Penguin.Crc32.update (Penguin.Crc32.digest "12345") "6789")
+
+let test_initialize_replay () =
+  let dir = temp_dir "journal" in
+  let t = journal_in dir in
+  Alcotest.(check bool) "absent journal replays to None" true
+    (check_ok (Penguin.Journal.replay t) = None);
+  check_ok (Penguin.Journal.initialize t ~base:7);
+  (match check_ok (Penguin.Journal.replay t) with
+  | Some r ->
+      Alcotest.(check int) "base" 7 r.Penguin.Journal.base;
+      Alcotest.(check int) "no entries" 0 (List.length r.Penguin.Journal.entries);
+      Alcotest.(check int) "no torn bytes" 0 r.Penguin.Journal.torn_bytes
+  | None -> Alcotest.fail "journal should exist");
+  rm_rf dir
+
+let test_append_replay_roundtrip () =
+  let dir = temp_dir "journal" in
+  let t = journal_in dir in
+  check_ok (Penguin.Journal.initialize t ~base:0);
+  (* Two batches: a two-entry commit and a barrier. *)
+  check_ok (Penguin.Journal.append t [ delta_entry 1; delta_entry 2 ]);
+  check_ok (Penguin.Journal.append t ~sync:false [ barrier_entry 3 ]);
+  (match check_ok (Penguin.Journal.replay t) with
+  | None -> Alcotest.fail "journal should exist"
+  | Some r ->
+      Alcotest.(check int) "records" 2 r.Penguin.Journal.records;
+      Alcotest.(check int) "entries flattened" 3 (List.length r.Penguin.Journal.entries);
+      Alcotest.(check int) "clean" 0 r.Penguin.Journal.torn_bytes;
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool)
+            (Fmt.str "entry v%d roundtrips" a.Penguin.Commit_log.version)
+            true (entry_equal a b))
+        [ delta_entry 1; delta_entry 2; barrier_entry 3 ]
+        r.Penguin.Journal.entries);
+  (* Appending the empty batch writes nothing. *)
+  let before = read_journal t in
+  check_ok (Penguin.Journal.append t []);
+  Alcotest.(check int) "empty append is a no-op" (String.length before)
+    (String.length (read_journal t));
+  rm_rf dir
+
+let test_torn_tail_truncated () =
+  let dir = temp_dir "journal" in
+  let t = journal_in dir in
+  check_ok (Penguin.Journal.initialize t ~base:0);
+  check_ok (Penguin.Journal.append t [ delta_entry 1 ]);
+  let clean = read_journal t in
+  check_ok (Penguin.Journal.append t [ delta_entry 2 ]);
+  let full = read_journal t in
+  (* Cut the second record short at every possible point: the first
+     batch must survive untouched, the torn tail must be reported. *)
+  for cut = String.length clean + 1 to String.length full - 1 do
+    write_journal t (String.sub full 0 cut);
+    match check_ok (Penguin.Journal.replay t) with
+    | None -> Alcotest.fail "journal should exist"
+    | Some r ->
+        Alcotest.(check int)
+          (Fmt.str "cut at %d: first batch kept" cut)
+          1
+          (List.length r.Penguin.Journal.entries);
+        Alcotest.(check bool) "torn tail reported" true (r.Penguin.Journal.torn_bytes > 0);
+        Alcotest.(check int) "clean prefix is the first batch" (String.length clean)
+          r.Penguin.Journal.clean_bytes
+  done;
+  (* Repair, then append again: the journal is whole. *)
+  write_journal t (String.sub full 0 (String.length full - 3));
+  (match check_ok (Penguin.Journal.replay t) with
+  | Some r -> check_ok (Penguin.Journal.truncate_torn t ~clean_bytes:r.Penguin.Journal.clean_bytes)
+  | None -> Alcotest.fail "journal should exist");
+  check_ok (Penguin.Journal.append t [ delta_entry 2 ]);
+  (match check_ok (Penguin.Journal.replay t) with
+  | Some r ->
+      Alcotest.(check int) "clean after repair + append" 0 r.Penguin.Journal.torn_bytes;
+      Alcotest.(check int) "both entries" 2 (List.length r.Penguin.Journal.entries)
+  | None -> Alcotest.fail "journal should exist");
+  rm_rf dir
+
+let test_checksum_catches_corruption () =
+  let dir = temp_dir "journal" in
+  let t = journal_in dir in
+  check_ok (Penguin.Journal.initialize t ~base:0);
+  check_ok (Penguin.Journal.append t [ delta_entry 1 ]);
+  let clean = read_journal t in
+  check_ok (Penguin.Journal.append t [ delta_entry 2 ]);
+  let full = read_journal t in
+  (* Flip one byte inside the second record's payload: its checksum must
+     fail and the record (and everything after) be discarded. *)
+  let pos = String.length clean + 10 in
+  let b = Bytes.of_string full in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  write_journal t (Bytes.to_string b);
+  (match check_ok (Penguin.Journal.replay t) with
+  | Some r ->
+      Alcotest.(check int) "only the intact batch" 1
+        (List.length r.Penguin.Journal.entries);
+      Alcotest.(check bool) "corruption reported as torn" true
+        (r.Penguin.Journal.torn_bytes > 0)
+  | None -> Alcotest.fail "journal should exist");
+  (* A torn header is unrecoverable garbage, not a valid empty journal. *)
+  write_journal t (String.sub full 0 3);
+  check_err_contains ~sub:"header" (Penguin.Journal.replay t);
+  rm_rf dir
+
+let test_rotate () =
+  let dir = temp_dir "journal" in
+  let t = journal_in dir in
+  let snapshot_path = Filename.concat dir "store.pgn" in
+  check_ok (Penguin.Journal.initialize t ~base:0);
+  check_ok (Penguin.Journal.append t [ delta_entry 1; delta_entry 2 ]);
+  check_ok
+    (Penguin.Journal.rotate t ~snapshot_path ~snapshot:"snapshot-at-v2\n" ~base:2);
+  (match Penguin.Fsio.default.Penguin.Fsio.read snapshot_path with
+  | Ok (Some s) -> Alcotest.(check string) "snapshot written" "snapshot-at-v2\n" s
+  | _ -> Alcotest.fail "snapshot missing");
+  (match check_ok (Penguin.Journal.replay t) with
+  | Some r ->
+      Alcotest.(check int) "journal reset to new base" 2 r.Penguin.Journal.base;
+      Alcotest.(check int) "no entries" 0 (List.length r.Penguin.Journal.entries)
+  | None -> Alcotest.fail "journal should exist");
+  rm_rf dir
+
+let suite =
+  [
+    Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+    Alcotest.test_case "initialize and replay" `Quick test_initialize_replay;
+    Alcotest.test_case "append/replay roundtrip" `Quick
+      test_append_replay_roundtrip;
+    Alcotest.test_case "torn tail truncated at first bad record" `Quick
+      test_torn_tail_truncated;
+    Alcotest.test_case "checksum catches corruption" `Quick
+      test_checksum_catches_corruption;
+    Alcotest.test_case "rotate folds the journal into a snapshot" `Quick
+      test_rotate;
+  ]

@@ -1,0 +1,370 @@
+(* Crash recovery and fault injection.
+
+   The harness wraps the real filesystem in a Fsio.t whose N-th
+   primitive operation misbehaves and kills the "process" (raises
+   Crash): either before doing anything, after writing only half the
+   content (a torn write), or after completing (death just past the
+   injection point — e.g. an fsync whose effect survives but whose
+   caller never returns). Enumerating N over every operation of a
+   durable commit — journal append, fsync, tmp-file writes, renames,
+   rotation — and recovering with Recovery.open_store after each crash
+   proves the invariant: the recovered workspace equals either the
+   pre-commit or the post-commit state, never a torn mixture, and
+   always satisfies the structural model. *)
+open Relational
+open Viewobject
+open Test_util
+
+exception Crash
+
+type flavor = Before | Partial | After
+
+let flavor_name = function
+  | Before -> "before"
+  | Partial -> "partial"
+  | After -> "after"
+
+let crashing_io ~fuse ~flavor : Penguin.Fsio.t =
+  let d = Penguin.Fsio.default in
+  let fires () =
+    decr fuse;
+    !fuse = 0
+  in
+  let guard ~partial ~run =
+    if not (fires ()) then run ()
+    else begin
+      (match flavor with
+      | Before -> ()
+      | Partial -> partial ()
+      | After -> ignore (run ()));
+      raise Crash
+    end
+  in
+  {
+    Penguin.Fsio.read = d.Penguin.Fsio.read;
+    write =
+      (fun ~path ~append content ->
+        guard
+          ~partial:(fun () ->
+            ignore
+              (d.Penguin.Fsio.write ~path ~append
+                 (String.sub content 0 (String.length content / 2))))
+          ~run:(fun () -> d.Penguin.Fsio.write ~path ~append content));
+    sync = (fun p -> guard ~partial:(fun () -> ()) ~run:(fun () -> d.Penguin.Fsio.sync p));
+    rename =
+      (fun ~src ~dst ->
+        guard ~partial:(fun () -> ()) ~run:(fun () -> d.Penguin.Fsio.rename ~src ~dst));
+    remove = (fun p -> guard ~partial:(fun () -> ()) ~run:(fun () -> d.Penguin.Fsio.remove p));
+  }
+
+(* --- a workspace, its edits, and a durable commit --------------------- *)
+
+let instance_of ws course =
+  let vo = check_ok (Penguin.Workspace.find_object ws "omega") in
+  match
+    Instantiate.instantiate
+      ~where:(Predicate.eq_str "course_id" course)
+      ws.Penguin.Workspace.db vo
+  with
+  | [ i ] -> i
+  | l -> Alcotest.failf "expected 1 instance of %s, got %d" course (List.length l)
+
+let grade_edit ws (course, pid) grade =
+  check_ok
+    (Vo_core.Request.partial_modify (instance_of ws course) ~label:"GRADES"
+       ~at:(Tuple.make [ "pid", Value.Int pid ])
+       ~f:(fun t -> Tuple.set t "grade" (Value.Str grade)))
+
+let grade_of ws (course, pid) =
+  let r = Database.relation_exn ws.Penguin.Workspace.db "GRADES" in
+  match Relation.lookup r [ Value.Str course; Value.Int pid ] with
+  | Some t -> Tuple.get t "grade"
+  | None -> Alcotest.failf "no GRADES (%s, %d)" course pid
+
+let store_in dir = Filename.concat dir "store.pgn"
+
+let make_store dir =
+  let ws = Penguin.University.workspace () in
+  check_ok (Penguin.Store.save_file ws (store_in dir))
+
+let apply_edit ws enrolment grade =
+  let ws', outcome = Penguin.Workspace.update ws "omega" (grade_edit ws enrolment grade) in
+  (match outcome.Vo_core.Engine.result with
+  | Transaction.Committed _ -> ()
+  | Transaction.Rolled_back { reason; _ } -> Alcotest.failf "update: %s" reason);
+  ws'
+
+(* One durable commit, the way the CLI does it: recover the current
+   state, translate and apply an update, persist the new commits. *)
+let commit_grade ?rotate_threshold ~io dir enrolment grade =
+  let ( let* ) = Result.bind in
+  let store = store_in dir in
+  let* ws, _report = Penguin.Recovery.open_store ~io store in
+  let ws' = apply_edit ws enrolment grade in
+  let* _rotated =
+    Penguin.Recovery.persist ~io ?rotate_threshold ~store
+      ~since:(Penguin.Workspace.version ws) ws'
+  in
+  Ok ()
+
+let recover dir =
+  let ws, report = check_ok (Penguin.Recovery.open_store (store_in dir)) in
+  check_ok ~msg:"recovered state is consistent" (Penguin.Workspace.check_consistency ws);
+  ws, report
+
+(* --- the crash-recovery property -------------------------------------- *)
+
+(* Run [action] with a crashing io at every injection point (every fuse
+   value, every flavor), recovering after each crash; [action] with the
+   default io defines the post state. *)
+let assert_crash_recoverable ?(min_injections = 10) ~setup ~action () =
+  (* Reference states. *)
+  let pre_ws, post_ws =
+    let dir = temp_dir "crash-ref" in
+    setup dir;
+    let pre, _ = recover dir in
+    check_ok (action ~io:Penguin.Fsio.default dir);
+    let post, _ = recover dir in
+    rm_rf dir;
+    pre, post
+  in
+  Alcotest.(check bool) "the action changes the state" false
+    (Database.equal pre_ws.Penguin.Workspace.db post_ws.Penguin.Workspace.db);
+  let check_recovered ~ctx dir =
+    let ws, _report = recover dir in
+    let db = ws.Penguin.Workspace.db in
+    let v = Penguin.Workspace.version ws in
+    let is_pre =
+      Database.equal db pre_ws.Penguin.Workspace.db
+      && v = Penguin.Workspace.version pre_ws
+    in
+    let is_post =
+      Database.equal db post_ws.Penguin.Workspace.db
+      && v = Penguin.Workspace.version post_ws
+    in
+    if not (is_pre || is_post) then
+      Alcotest.failf
+        "%s: recovered state (v%d) is neither the pre-crash (v%d) nor the \
+         post-crash (v%d) state"
+        ctx v
+        (Penguin.Workspace.version pre_ws)
+        (Penguin.Workspace.version post_ws)
+  in
+  let injections = ref 0 in
+  List.iter
+    (fun flavor ->
+      let rec go k =
+        if k > 100 then
+          Alcotest.fail "fault enumeration did not terminate by fuse 100"
+        else begin
+          let dir = temp_dir "crash" in
+          setup dir;
+          let fuse = ref k in
+          match action ~io:(crashing_io ~fuse ~flavor) dir with
+          | exception Crash ->
+              incr injections;
+              check_recovered ~ctx:(Fmt.str "crash %s op %d" (flavor_name flavor) k) dir;
+              rm_rf dir;
+              go (k + 1)
+          | Ok () ->
+              (* The fuse outlived the operation count: every injection
+                 point of this flavor has been exercised. *)
+              check_recovered ~ctx:"completed" dir;
+              rm_rf dir
+          | Error e -> Alcotest.failf "action failed without crashing: %s" e
+        end
+      in
+      go 1)
+    [ Before; Partial; After ];
+  if !injections < min_injections then
+    Alcotest.failf "suspiciously few injection points: %d" !injections
+
+let test_crash_during_first_commit () =
+  assert_crash_recoverable
+    ~setup:make_store
+    ~action:(fun ~io dir -> commit_grade ~io dir ("CS345", 2) "A-")
+    ()
+
+let test_crash_during_append_to_existing_journal () =
+  (* The journal already exists, so the commit is just one record write
+     and one fsync: 2 injection points per flavor. *)
+  assert_crash_recoverable ~min_injections:6
+    ~setup:(fun dir ->
+      make_store dir;
+      check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C"))
+    ~action:(fun ~io dir -> commit_grade ~io dir ("CS345", 2) "A-")
+    ()
+
+let test_crash_during_rotate () =
+  assert_crash_recoverable
+    ~setup:(fun dir ->
+      make_store dir;
+      check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C"))
+    ~action:(fun ~io dir ->
+      (* rotate_threshold 2: the append is followed by folding the whole
+         journal into a fresh snapshot — tmp writes, fsyncs and renames
+         on both the store and the journal. *)
+      commit_grade ~rotate_threshold:2 ~io dir ("CS345", 2) "A-")
+    ()
+
+let test_crash_during_save_file () =
+  assert_crash_recoverable
+    ~setup:make_store
+    ~action:(fun ~io dir ->
+      let ws, _ = check_ok (Penguin.Recovery.open_store (store_in dir)) in
+      let ws' = apply_edit ws ("CS345", 2) "A-" in
+      (* Snapshot-only persistence (what `export` does): the atomic
+         write protocol alone must never corrupt the store. *)
+      Penguin.Recovery.snapshot ~io ~store:(store_in dir) ws')
+    ()
+
+(* --- recovery semantics ----------------------------------------------- *)
+
+let test_recovery_replays_journal () =
+  let dir = temp_dir "recovery" in
+  make_store dir;
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  let ws, report = recover dir in
+  Alcotest.(check int) "two replayed entries" 2 report.Penguin.Recovery.replayed;
+  Alcotest.(check bool) "grade 1" true (grade_of ws ("CS345", 2) = Value.Str "A-");
+  Alcotest.(check bool) "grade 2" true (grade_of ws ("EE280", 1) = Value.Str "C");
+  Alcotest.(check int) "version = snapshot + 2" (report.Penguin.Recovery.snapshot_version + 2)
+    report.Penguin.Recovery.version;
+  rm_rf dir
+
+let test_recovery_truncates_torn_tail () =
+  let dir = temp_dir "recovery" in
+  make_store dir;
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
+  (* A crash mid-append left garbage at the end of the journal. *)
+  let jpath = Penguin.Journal.journal_path (store_in dir) in
+  check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
+  let ws, report = recover dir in
+  Alcotest.(check bool) "torn tail reported" true (report.Penguin.Recovery.torn_bytes > 0);
+  Alcotest.(check bool) "repaired on disk" true report.Penguin.Recovery.repaired;
+  Alcotest.(check bool) "the durable commit survived" true
+    (grade_of ws ("CS345", 2) = Value.Str "A-");
+  let _, report2 = recover dir in
+  Alcotest.(check int) "clean after repair" 0 report2.Penguin.Recovery.torn_bytes;
+  rm_rf dir
+
+let test_rotation_bounds_replay () =
+  let dir = temp_dir "recovery" in
+  make_store dir;
+  let grades = [ "A-"; "B"; "C+"; "A"; "B-" ] in
+  List.iteri
+    (fun i g ->
+      check_ok (commit_grade ~rotate_threshold:2 ~io:Penguin.Fsio.default dir ("CS345", 2) g);
+      ignore i)
+    grades;
+  let ws, report = recover dir in
+  Alcotest.(check bool) "snapshot advanced past the origin" true
+    (report.Penguin.Recovery.snapshot_version > 1);
+  Alcotest.(check bool) "replay is bounded by the rotation threshold" true
+    (report.Penguin.Recovery.replayed < List.length grades);
+  Alcotest.(check bool) "last write wins" true
+    (grade_of ws ("CS345", 2) = Value.Str "B-");
+  check_ok ~msg:"consistent" (Penguin.Workspace.check_consistency ws);
+  rm_rf dir
+
+(* --- cross-process optimistic concurrency over the journal ------------ *)
+
+(* Two "processes" share only the files in [dir]; each loads its own
+   state with Recovery.open_store, exactly as two CLI invocations do. *)
+
+let queue_edit sess ws enrolment grade =
+  let retry ws' = Ok (Some (grade_edit ws' enrolment grade)) in
+  check_ok (Penguin.Session.queue sess "omega" ~retry (grade_edit ws enrolment grade))
+
+let test_cross_process_clean_commit () =
+  let dir = temp_dir "occ" in
+  make_store dir;
+  let store = store_in dir in
+  (* Process A begins a session. *)
+  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let sess = queue_edit (Penguin.Session.begin_ ws_a) ws_a ("CS345", 2) "A-" in
+  (* Process B commits a non-overlapping update meanwhile. *)
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  (* Process A commits: the journal replays B's delta, the footprints
+     are disjoint, so no rebase — the win over a bare version file,
+     which could only assume conflict. *)
+  let ws_now, _ = check_ok (Penguin.Recovery.open_store store) in
+  Alcotest.(check bool) "divergence is clean" true
+    (Penguin.Session.divergence ws_now sess = Penguin.Session.Clean);
+  let ws', stats = check_ok (Penguin.Session.commit ws_now sess) in
+  Alcotest.(check bool) "no rebase" false stats.Penguin.Session.rebased;
+  Alcotest.(check int) "one attempt" 1 stats.Penguin.Session.attempts;
+  check_ok
+    (Result.map ignore
+       (Penguin.Recovery.persist ~store ~since:(Penguin.Workspace.version ws_now) ws'));
+  let ws_final, _ = recover dir in
+  Alcotest.(check bool) "both effects" true
+    (grade_of ws_final ("CS345", 2) = Value.Str "A-"
+    && grade_of ws_final ("EE280", 1) = Value.Str "C");
+  rm_rf dir
+
+let test_cross_process_conflicting_commit_rebases () =
+  let dir = temp_dir "occ" in
+  make_store dir;
+  let store = store_in dir in
+  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let sess = queue_edit (Penguin.Session.begin_ ws_a) ws_a ("CS345", 2) "A-" in
+  (* B touches the same instance (same course, another student): the
+     session's read footprint overlaps B's write. *)
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 1) "F");
+  let ws_now, _ = check_ok (Penguin.Recovery.open_store store) in
+  (match Penguin.Session.divergence ws_now sess with
+  | Penguin.Session.Conflicting (_ :: _) -> ()
+  | _ -> Alcotest.fail "expected a conflict from the replayed delta");
+  let ws', stats = check_ok (Penguin.Session.commit ws_now sess) in
+  Alcotest.(check bool) "rebased" true stats.Penguin.Session.rebased;
+  check_ok
+    (Result.map ignore
+       (Penguin.Recovery.persist ~store ~since:(Penguin.Workspace.version ws_now) ws'));
+  let ws_final, _ = recover dir in
+  Alcotest.(check bool) "both effects" true
+    (grade_of ws_final ("CS345", 1) = Value.Str "F"
+    && grade_of ws_final ("CS345", 2) = Value.Str "A-");
+  rm_rf dir
+
+let test_rotation_is_a_barrier_for_older_sessions () =
+  let dir = temp_dir "occ" in
+  make_store dir;
+  let store = store_in dir in
+  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let sess = queue_edit (Penguin.Session.begin_ ws_a) ws_a ("CS345", 2) "A-" in
+  (* B's commit rotates the journal into a fresh snapshot: the history
+     A's session spans is no longer held as deltas. *)
+  check_ok (commit_grade ~rotate_threshold:1 ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  let ws_now, _ = check_ok (Penguin.Recovery.open_store store) in
+  Alcotest.(check bool) "history unknown after rotation" true
+    (Penguin.Session.divergence ws_now sess = Penguin.Session.Unknown_history);
+  let ws', stats = check_ok (Penguin.Session.commit ws_now sess) in
+  Alcotest.(check bool) "rebased unconditionally" true stats.Penguin.Session.rebased;
+  Alcotest.(check bool) "effect applied" true (grade_of ws' ("CS345", 2) = Value.Str "A-");
+  rm_rf dir
+
+let suite =
+  [
+    Alcotest.test_case "crash anywhere in the first durable commit" `Quick
+      test_crash_during_first_commit;
+    Alcotest.test_case "crash anywhere appending to an existing journal"
+      `Quick test_crash_during_append_to_existing_journal;
+    Alcotest.test_case "crash anywhere during rotation" `Quick
+      test_crash_during_rotate;
+    Alcotest.test_case "crash anywhere during an atomic snapshot save" `Quick
+      test_crash_during_save_file;
+    Alcotest.test_case "recovery replays the journal onto the snapshot" `Quick
+      test_recovery_replays_journal;
+    Alcotest.test_case "recovery truncates and repairs a torn tail" `Quick
+      test_recovery_truncates_torn_tail;
+    Alcotest.test_case "rotation bounds replay length" `Quick
+      test_rotation_bounds_replay;
+    Alcotest.test_case "cross-process clean commit needs no rebase" `Quick
+      test_cross_process_clean_commit;
+    Alcotest.test_case "cross-process conflicting commit rebases" `Quick
+      test_cross_process_conflicting_commit_rebases;
+    Alcotest.test_case "rotation is a barrier for older sessions" `Quick
+      test_rotation_is_a_barrier_for_older_sessions;
+  ]

@@ -40,3 +40,24 @@ let rollback_reason (outcome : Vo_core.Engine.outcome) =
   | Transaction.Committed _ -> Alcotest.fail "expected rollback, committed"
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* Scratch directories for the persistence/durability suites. *)
+let temp_dir =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "%s-%d-%d" prefix (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
