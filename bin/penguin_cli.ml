@@ -399,7 +399,10 @@ let import_cmd =
    (Penguin.Recovery); commit appends its entries there, so a session
    begun before another commit sees the concurrent deltas themselves
    and rebases only when footprints actually overlap — optimistic
-   concurrency across processes, validated against real history. *)
+   concurrency across processes, validated against real history.
+   Commit serializes against other committers with an exclusive lock on
+   [STORE.lock] (Fsio.with_lock) held across the whole reopen → rebase
+   → persist sequence; begin and queue only read and take no lock. *)
 
 let read_file path =
   match Penguin.Fsio.default.Penguin.Fsio.read path with
@@ -558,6 +561,12 @@ let session_queue session obj stmt =
 
 let session_commit session =
   let doc = or_die (Result.bind (read_file session) parse_session) in
+  (* The whole reopen → rebase → persist sequence runs under the store's
+     exclusive lock: without it, two concurrent commits can both open at
+     vN and both journal a vN+1, leaving the store unopenable. or_die
+     inside the locked region is safe — process exit releases the lock. *)
+  or_die @@ Penguin.Fsio.with_lock doc.sess_store
+  @@ fun () ->
   (* Reconstruct the current store state — snapshot plus replayed
      journal deltas — then stage the session's statements against its
      own begin-time snapshot and let the in-process Session run real
@@ -572,12 +581,20 @@ let session_commit session =
   let ws', stats = or_die (Penguin.Session.commit ws_now sess) in
   let committed = stats.Penguin.Session.committed in
   let version = stats.Penguin.Session.version in
-  let rotated =
+  let persisted =
     or_die (Penguin.Recovery.persist ~store:doc.sess_store ~since:current ws')
   in
-  (* The commit is durable (journal fsynced) from here on; only then may
-     the session file go. A failed removal must be loud: replaying a
-     committed session is how duplicate updates happen. *)
+  (* The commit is durable (journal fsynced) from here on; everything
+     past this point — rotation, session-file removal — must not make it
+     look failed, or a re-run would replay updates the store already
+     holds. *)
+  (match persisted.Penguin.Recovery.rotate_error with
+  | None -> ()
+  | Some e ->
+      Fmt.epr
+        "warning: commit is durable, but folding the journal into a fresh \
+         snapshot failed (%s); a later commit will retry the rotation@."
+        e);
   (try Sys.remove session
    with Sys_error e ->
      Fmt.epr
@@ -589,7 +606,9 @@ let session_commit session =
     "committed %d update(s) to %s: now at version %d (attempts %d%s%s)@."
     committed doc.sess_store version stats.Penguin.Session.attempts
     (if stats.Penguin.Session.rebased then ", rebased" else "")
-    (if rotated then ", journal rotated into snapshot" else "")
+    (if persisted.Penguin.Recovery.rotated then ", journal rotated into snapshot"
+     else "");
+  Ok ()
 
 let session_file_arg p =
   Arg.(required & pos p (some string) None

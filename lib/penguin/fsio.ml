@@ -59,8 +59,14 @@ let default =
 
 let ( let* ) = Result.bind
 
+(* Staging names must be unique per call: two concurrent writers of the
+   same target sharing one tmp file can each publish the other's
+   content while believing their own is on disk. *)
+let tmp_seq = ref 0
+
 let atomic_write io ~path content =
-  let tmp = path ^ ".tmp" in
+  incr tmp_seq;
+  let tmp = Fmt.str "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_seq in
   let* () = io.write ~path:tmp ~append:false content in
   let* () = io.sync tmp in
   let* () = io.rename ~src:tmp ~dst:path in
@@ -69,3 +75,20 @@ let atomic_write io ~path content =
      fd, and the rename's atomicity does not depend on it. *)
   (match io.sync (Filename.dirname path) with Ok () | Error _ -> ());
   Ok ()
+
+let lock_path path = path ^ ".lock"
+
+let with_lock path f =
+  let* fd =
+    wrap (fun () ->
+        Unix.openfile (lock_path path)
+          [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ]
+          0o644)
+  in
+  Fun.protect
+    (* Closing the fd releases the lock (and the OS releases it if the
+       process dies inside [f]). *)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let* () = wrap (fun () -> Unix.lockf fd Unix.F_LOCK 0) in
+      f ())

@@ -25,6 +25,22 @@ val default : t
 (** The real filesystem (Unix-backed). *)
 
 val atomic_write : t -> path:string -> string -> (unit, string) result
-(** Crash-safe whole-file replacement: write [path ^ ".tmp"], fsync it,
-    rename over [path], fsync the directory. A crash at any point leaves
-    either the old or the new content at [path], never a mixture. *)
+(** Crash-safe whole-file replacement: write a staging file next to
+    [path] (named uniquely per call, so concurrent writers never share
+    one), fsync it, rename over [path], fsync the directory. A crash at
+    any point leaves either the old or the new content at [path], never
+    a mixture. *)
+
+val lock_path : string -> string
+(** The lock-file path guarding [path]: [path ^ ".lock"]. *)
+
+val with_lock : string -> (unit -> ('a, string) result) -> ('a, string) result
+(** Run the function while holding an exclusive advisory lock on
+    {!lock_path}[ path] (created on demand; acquisition blocks until
+    the current holder releases). Serializes cross-process
+    read-modify-write sequences against the file at [path] — e.g. the
+    CLI's open-store → commit → persist. The lock is released when the
+    function returns, and by the OS if the process dies inside it.
+    Advisory: every writer must take it; plain readers may go without
+    (a reader racing a writer sees at worst a torn journal tail, which
+    replay discards in memory). *)

@@ -55,7 +55,13 @@ let apply_entry ws (e : Commit_log.entry) =
                e.Commit_log.version e.Commit_log.kind
                Structural.Integrity.pp_violation v))
 
-let open_store ?(io = Fsio.default) ?(repair = true) store =
+(* [repair] defaults to [false]: a "torn tail" seen by a plain reader
+   may be another process's append in flight, and rewriting the journal
+   from under that writer would discard a commit it is about to report
+   durable. Repair happens on the write path ({!persist}), which runs
+   under the store's exclusive lock in the CLI; pass [~repair:true] only
+   when holding that lock (or when provably the sole process). *)
+let open_store ?(io = Fsio.default) ?(repair = false) store =
   let* content = io.Fsio.read store in
   let* content =
     match content with
@@ -128,6 +134,11 @@ let snapshot ?(io = Fsio.default) ~store ws =
     ~snapshot_path:store ~snapshot:(Store.save ws)
     ~base:(Workspace.version ws)
 
+type persisted = {
+  rotated : bool;
+  rotate_error : string option;
+}
+
 let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
     ~store ~since ws =
   if since < Commit_log.truncated ws.Workspace.log then
@@ -146,7 +157,40 @@ let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
     let* existing = Journal.replay jnl in
     let* records =
       match existing with
-      | Some r -> Ok r.Journal.records
+      | Some r ->
+          (* The journal's tail version must still be the version this
+             commit was prepared against: if another process slipped a
+             commit in between our open_store and now (the store lock
+             was not held, or not held wide enough), appending would
+             journal two entries with the same version and wedge every
+             later open. Refuse cleanly instead. *)
+          let tail =
+            List.fold_left
+              (fun acc (e : Commit_log.entry) -> max acc e.Commit_log.version)
+              r.Journal.base r.Journal.entries
+          in
+          if tail <> since then
+            Error
+              (Fmt.str
+                 "persist: store %s advanced to v%d but this commit was \
+                  prepared against v%d (concurrent commit?); reopen the \
+                  store and retry"
+                 store tail since)
+          else
+            let* () =
+              (* Commit-time repair: we are the writer (under the store
+                 lock), so a torn tail here is a real crash remnant, and
+                 appending after it would put the new record where replay
+                 never looks. *)
+              if r.Journal.torn_bytes > 0 then (
+                Log.warn (fun m ->
+                    m "journal for %s has a torn tail (%d byte(s)); \
+                       truncating before append"
+                      store r.Journal.torn_bytes);
+                Journal.truncate_torn jnl ~clean_bytes:r.Journal.clean_bytes)
+              else Ok ()
+            in
+            Ok r.Journal.records
       | None ->
           (* First commit against a plain exported store: start the
              journal at the version the caller's open_store saw — the
@@ -155,7 +199,14 @@ let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
           Ok 0
     in
     let* () = Journal.append jnl ~sync entries in
+    (* The append's fsync is the durability point: from here the commit
+       is permanent and must be reported as such. A rotation failure
+       past this point is a warning, not a failed commit — treating it
+       as failure invites the caller to re-apply updates the store
+       already holds. The journal is intact, so a later commit simply
+       retries the rotation. *)
     if records + 1 >= rotate_threshold then
-      let* () = snapshot ~io ~store ws in
-      Ok true
-    else Ok false
+      match snapshot ~io ~store ws with
+      | Ok () -> Ok { rotated = true; rotate_error = None }
+      | Error e -> Ok { rotated = false; rotate_error = Some e }
+    else Ok { rotated = false; rotate_error = None }

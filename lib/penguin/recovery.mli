@@ -32,8 +32,18 @@ val open_store :
     replayed entries as real deltas (its history below the snapshot
     version is a barrier), so sessions check optimistic-concurrency
     conflicts against true footprints. A torn journal tail is discarded
-    and, when [repair] (default [true]), truncated on disk so later
-    appends extend a clean file. *)
+    in memory; when [repair] (default [false]) it is also truncated on
+    disk. Leave [repair] off on read-only paths — a "torn tail" seen
+    without the store lock ({!Fsio.with_lock}) may be another process's
+    append in flight, and rewriting the journal would discard its
+    commit. {!persist} repairs at commit time instead. *)
+
+type persisted = {
+  rotated : bool;  (** the journal was folded into a fresh snapshot *)
+  rotate_error : string option;
+      (** the rotation was due but failed — the commit itself is
+          durable and the journal intact; a later commit retries *)
+}
 
 val persist :
   ?io:Fsio.t ->
@@ -42,16 +52,22 @@ val persist :
   store:string ->
   since:int ->
   Workspace.t ->
-  (bool, string) result
+  (persisted, string) result
 (** Durably record the workspace's commits after version [since] (which
     must be the version {!open_store} returned for this store): append
     them to the journal as one all-or-nothing record ([sync], default
     [true], fsyncs — the durability point), initializing the journal at
-    [since] if the store was a plain export without one. When the
-    journal reaches [rotate_threshold] records (default 64) it is folded
-    into a fresh snapshot ({!snapshot}); returns whether that happened.
-    Replay cost is thereby bounded by the rotation threshold, not by the
-    store's lifetime. *)
+    [since] if the store was a plain export without one. Refuses with a
+    "store advanced" error if the journal's tail version no longer
+    equals [since] (a concurrent commit slipped in); call under
+    {!Fsio.with_lock} on the store, as the CLI does, to rule that out
+    rather than detect it. A torn journal tail is truncated before the
+    append. When the journal reaches [rotate_threshold] records
+    (default 64) it is folded into a fresh snapshot ({!snapshot}),
+    bounding replay cost by the threshold rather than the store's
+    lifetime; a rotation failure {e after} the append's fsync is
+    reported as [rotate_error], not [Error] — the commit is already
+    durable and must not be retried. *)
 
 val snapshot : ?io:Fsio.t -> store:string -> Workspace.t -> (unit, string) result
 (** Atomically rewrite the store document at the workspace's current

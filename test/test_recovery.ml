@@ -233,6 +233,12 @@ let test_recovery_replays_journal () =
     report.Penguin.Recovery.version;
   rm_rf dir
 
+let read_raw path =
+  match Penguin.Fsio.default.Penguin.Fsio.read path with
+  | Ok (Some s) -> s
+  | Ok None -> Alcotest.failf "%s: no such file" path
+  | Error e -> Alcotest.failf "%s: %s" path e
+
 let test_recovery_truncates_torn_tail () =
   let dir = temp_dir "recovery" in
   make_store dir;
@@ -240,13 +246,39 @@ let test_recovery_truncates_torn_tail () =
   (* A crash mid-append left garbage at the end of the journal. *)
   let jpath = Penguin.Journal.journal_path (store_in dir) in
   check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
+  let torn = read_raw jpath in
+  (* A plain (read-only) open discards the tail in memory but must not
+     rewrite the journal: absent the store lock, the "torn tail" could
+     be another process's append in flight, and replacing the file would
+     discard that commit after its fsync succeeded. *)
   let ws, report = recover dir in
   Alcotest.(check bool) "torn tail reported" true (report.Penguin.Recovery.torn_bytes > 0);
-  Alcotest.(check bool) "repaired on disk" true report.Penguin.Recovery.repaired;
+  Alcotest.(check bool) "not repaired by a read-only open" false
+    report.Penguin.Recovery.repaired;
+  Alcotest.(check bool) "journal untouched on disk" true (read_raw jpath = torn);
   Alcotest.(check bool) "the durable commit survived" true
     (grade_of ws ("CS345", 2) = Value.Str "A-");
+  (* An explicit repair (the caller claims the writer's role) truncates. *)
+  let _, report_r = check_ok (Penguin.Recovery.open_store ~repair:true (store_in dir)) in
+  Alcotest.(check bool) "explicit repair truncates" true report_r.Penguin.Recovery.repaired;
   let _, report2 = recover dir in
   Alcotest.(check int) "clean after repair" 0 report2.Penguin.Recovery.torn_bytes;
+  rm_rf dir
+
+let test_commit_repairs_torn_tail () =
+  let dir = temp_dir "recovery" in
+  make_store dir;
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
+  let jpath = Penguin.Journal.journal_path (store_in dir) in
+  check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
+  (* The next commit — the write path — truncates the crash remnant
+     before appending, so its record lands where replay looks. *)
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  let ws, report = recover dir in
+  Alcotest.(check int) "clean after the commit" 0 report.Penguin.Recovery.torn_bytes;
+  Alcotest.(check bool) "both commits survive" true
+    (grade_of ws ("CS345", 2) = Value.Str "A-"
+    && grade_of ws ("EE280", 1) = Value.Str "C");
   rm_rf dir
 
 let test_rotation_bounds_replay () =
@@ -328,6 +360,83 @@ let test_cross_process_conflicting_commit_rebases () =
     && grade_of ws_final ("CS345", 2) = Value.Str "A-");
   rm_rf dir
 
+(* Belt and braces under the lock: even if a committer's lock
+   discipline is violated, persist must refuse to append a version the
+   journal already holds — two records for the same version would make
+   the store unopenable (append_entry's dense-extension check fails on
+   every later replay). *)
+let test_persist_refuses_stale_base () =
+  let dir = temp_dir "occ" in
+  make_store dir;
+  let store = store_in dir in
+  (* Process A prepares a commit against v_base... *)
+  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let stale = Penguin.Workspace.version ws_a in
+  let ws_a' = apply_edit ws_a ("CS345", 2) "A-" in
+  (* ...but process B commits first. *)
+  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  (match Penguin.Recovery.persist ~store ~since:stale ws_a' with
+  | Ok _ -> Alcotest.fail "persist must refuse a stale base version"
+  | Error e ->
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Fmt.str "error names the advance: %s" e)
+        true (contains e "advanced"));
+  (* The store is still openable and holds exactly B's commit. *)
+  let ws, _ = recover dir in
+  Alcotest.(check bool) "B's commit survived, A's was refused" true
+    (grade_of ws ("EE280", 1) = Value.Str "C"
+    && grade_of ws ("CS345", 2) <> Value.Str "A-");
+  rm_rf dir
+
+(* Two real processes: the parent holds the store lock while a forked
+   child runs a full open -> edit -> persist commit; the child must
+   block until the parent releases, then land its commit cleanly. *)
+let test_store_lock_serializes_commits () =
+  let dir = temp_dir "lock" in
+  make_store dir;
+  let store = store_in dir in
+  let marker = Filename.concat dir "child-committed" in
+  let pid =
+    check_ok
+      (Penguin.Fsio.with_lock store (fun () ->
+           match Unix.fork () with
+           | 0 ->
+               let r =
+                 Penguin.Fsio.with_lock store (fun () ->
+                     let ( let* ) = Result.bind in
+                     let* ws, _ = Penguin.Recovery.open_store store in
+                     let ws' = apply_edit ws ("EE280", 1) "C" in
+                     let* _ =
+                       Penguin.Recovery.persist ~store
+                         ~since:(Penguin.Workspace.version ws) ws'
+                     in
+                     Penguin.Fsio.default.Penguin.Fsio.write ~path:marker
+                       ~append:false "done")
+               in
+               (* _exit: no at_exit, no alcotest teardown in the child. *)
+               Unix._exit (match r with Ok () -> 0 | Error _ -> 1)
+           | pid ->
+               (* Give the child time to block on the lock. If it could
+                  acquire it concurrently, the marker would appear now. *)
+               Unix.sleepf 0.3;
+               Alcotest.(check bool) "child is excluded while the lock is held"
+                 false (Sys.file_exists marker);
+               Ok pid))
+  in
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "child commit succeeded after release" true
+    (status = Unix.WEXITED 0);
+  Alcotest.(check bool) "child reached its commit" true (Sys.file_exists marker);
+  let ws, _ = recover dir in
+  Alcotest.(check bool) "child's commit is in the store" true
+    (grade_of ws ("EE280", 1) = Value.Str "C");
+  rm_rf dir
+
 let test_rotation_is_a_barrier_for_older_sessions () =
   let dir = temp_dir "occ" in
   make_store dir;
@@ -359,8 +468,14 @@ let suite =
       test_recovery_replays_journal;
     Alcotest.test_case "recovery truncates and repairs a torn tail" `Quick
       test_recovery_truncates_torn_tail;
+    Alcotest.test_case "a commit repairs a torn tail before appending" `Quick
+      test_commit_repairs_torn_tail;
     Alcotest.test_case "rotation bounds replay length" `Quick
       test_rotation_bounds_replay;
+    Alcotest.test_case "persist refuses a stale base version" `Quick
+      test_persist_refuses_stale_base;
+    Alcotest.test_case "the store lock serializes real processes" `Quick
+      test_store_lock_serializes_commits;
     Alcotest.test_case "cross-process clean commit needs no rebase" `Quick
       test_cross_process_clean_commit;
     Alcotest.test_case "cross-process conflicting commit rebases" `Quick
