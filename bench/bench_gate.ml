@@ -1,0 +1,143 @@
+let ( let* ) = Result.bind
+
+type group = {
+  name : string;
+  results : (string * float) list;
+}
+
+let parse content =
+  let* doc = Obs.Json.parse content in
+  let* groups =
+    match Obs.Json.member "groups" doc with
+    | Some (Obs.Json.Arr gs) -> Ok gs
+    | Some _ -> Error "bench json: \"groups\" is not an array"
+    | None -> Error "bench json: no \"groups\" field"
+  in
+  List.fold_left
+    (fun acc g ->
+      let* groups = acc in
+      let* name =
+        match Option.bind (Obs.Json.member "group" g) Obs.Json.to_str with
+        | Some n -> Ok n
+        | None -> Error "bench json: group without a \"group\" name"
+      in
+      let* rows =
+        match Obs.Json.member "results" g with
+        | Some (Obs.Json.Arr rs) -> Ok rs
+        | _ -> Error (Fmt.str "bench json: group %s has no results array" name)
+      in
+      let* results =
+        List.fold_left
+          (fun acc r ->
+            let* results = acc in
+            let* n =
+              match Option.bind (Obs.Json.member "name" r) Obs.Json.to_str with
+              | Some n -> Ok n
+              | None -> Error (Fmt.str "bench json: unnamed result in %s" name)
+            in
+            match Option.bind (Obs.Json.member "ns_per_op" r) Obs.Json.to_float with
+            | Some ns when Float.is_finite ns -> Ok (results @ [ n, ns ])
+            | _ -> Ok results (* null / non-finite: measurement failed, skip *))
+          (Ok []) rows
+      in
+      Ok (groups @ [ { name; results } ]))
+    (Ok []) groups
+
+let median g =
+  match List.filter Float.is_finite (List.map snd g.results) with
+  | [] -> None
+  | vs -> (
+      let a = Array.of_list vs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then Some a.(n / 2)
+      else Some ((a.((n / 2) - 1) +. a.(n / 2)) /. 2.))
+
+type status = Ok_s | Regressed | Missing | New
+
+type verdict = {
+  group_name : string;
+  baseline_ns : float option;
+  current_ns : float option;
+  ratio : float option;
+  status : status;
+}
+
+let compare ~threshold ~baseline current =
+  let find name gs = List.find_opt (fun g -> g.name = name) gs in
+  let of_baseline b =
+    let baseline_ns = median b in
+    let current_ns = Option.bind (find b.name current) (fun g -> Some g) in
+    let current_ns = Option.bind current_ns median in
+    match baseline_ns, current_ns with
+    | _, None ->
+        { group_name = b.name; baseline_ns; current_ns = None; ratio = None;
+          status = Missing }
+    | None, Some _ ->
+        (* No usable baseline measurement: nothing to compare against,
+           treat the group as new rather than inventing a ratio. *)
+        { group_name = b.name; baseline_ns = None; current_ns; ratio = None;
+          status = New }
+    | Some bl, Some cur ->
+        let ratio = cur /. bl in
+        { group_name = b.name; baseline_ns; current_ns;
+          ratio = Some ratio;
+          status = (if ratio > threshold then Regressed else Ok_s) }
+  in
+  let news =
+    List.filter_map
+      (fun g ->
+        if find g.name baseline <> None then None
+        else
+          Some
+            { group_name = g.name; baseline_ns = None; current_ns = median g;
+              ratio = None; status = New })
+      current
+  in
+  List.map of_baseline baseline @ news
+
+let failed verdicts =
+  List.exists (fun v -> v.status = Regressed || v.status = Missing) verdicts
+
+let pp_ns ppf = function
+  | None -> Fmt.pf ppf "%10s" "-"
+  | Some ns when ns < 1e3 -> Fmt.pf ppf "%7.0f ns" ns
+  | Some ns when ns < 1e6 -> Fmt.pf ppf "%7.1f us" (ns /. 1e3)
+  | Some ns -> Fmt.pf ppf "%7.2f ms" (ns /. 1e6)
+
+let pp_verdict ppf v =
+  let status =
+    match v.status with
+    | Ok_s -> "ok"
+    | Regressed -> "REGRESSED"
+    | Missing -> "MISSING"
+    | New -> "new"
+  in
+  Fmt.pf ppf "%-12s %a %a %8s %s" v.group_name pp_ns v.baseline_ns pp_ns
+    v.current_ns
+    (match v.ratio with Some r -> Fmt.str "%.2fx" r | None -> "-")
+    status
+
+let report ~threshold verdicts =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Fmt.str "%-12s %10s %10s %8s %s\n" "group" "baseline" "current" "ratio"
+       "status");
+  List.iter
+    (fun v -> Buffer.add_string b (Fmt.str "%a\n" pp_verdict v))
+    verdicts;
+  let bad =
+    List.filter (fun v -> v.status = Regressed || v.status = Missing) verdicts
+  in
+  Buffer.add_string b
+    (if bad = [] then
+       Fmt.str "\nbench gate: PASS (%d group(s) within %.1fx of baseline)\n"
+         (List.length
+            (List.filter (fun v -> v.status = Ok_s) verdicts))
+         threshold
+     else
+       Fmt.str "\nbench gate: FAIL — %d group(s) regressed or missing \
+                (threshold %.1fx): %s\n"
+         (List.length bad) threshold
+         (String.concat ", " (List.map (fun v -> v.group_name) bad)));
+  Buffer.contents b

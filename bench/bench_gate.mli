@@ -1,0 +1,56 @@
+(** The benchmark-regression gate: pure comparison logic.
+
+    CI runs [bench/main.exe --quick --json bench.json] and then
+    [bench/compare.exe bench/baseline.json bench.json]; this module is
+    the logic behind the comparison, kept free of I/O so the test suite
+    can drive it against constructed documents (including an injected
+    slowdown, proving the gate actually fails).
+
+    The unit of comparison is the {e per-group median} ns/op: individual
+    benchmarks are noisy in --quick mode (tiny measurement quotas on
+    shared CI runners), but the median of a group's tests moving by more
+    than the threshold means the group as a whole got slower. *)
+
+type group = {
+  name : string;
+  results : (string * float) list;
+      (** (test name, ns/op); non-finite entries are ignored. *)
+}
+
+val parse : string -> (group list, string) result
+(** Parse a bench JSON document ([{"groups": [{"group": ...,
+    "results": [{"name": ..., "ns_per_op": ...}]}], ...}]). Entries
+    whose [ns_per_op] is null are dropped. *)
+
+val median : group -> float option
+(** Median ns/op over the group's finite results; [None] when empty. *)
+
+type status =
+  | Ok_s  (** within threshold (or faster) *)
+  | Regressed  (** median slower than threshold × baseline *)
+  | Missing  (** in the baseline but not the current run *)
+  | New  (** in the current run but not the baseline (informational) *)
+
+type verdict = {
+  group_name : string;
+  baseline_ns : float option;
+  current_ns : float option;
+  ratio : float option;  (** current / baseline, when both exist *)
+  status : status;
+}
+
+val compare : threshold:float -> baseline:group list -> group list -> verdict list
+(** One verdict per group name seen on either side, baseline order
+    first. [threshold] is the allowed slowdown ratio (e.g. 2.5 means
+    "fail when the median is more than 2.5x the baseline"). A group
+    present in the baseline but absent (or empty) in the current run is
+    [Missing] — a silently dropped benchmark must not pass the gate. *)
+
+val failed : verdict list -> bool
+(** True when any verdict is [Regressed] or [Missing]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val report : threshold:float -> verdict list -> string
+(** The full human-readable gate report, one verdict per line, with a
+    pass/fail summary. *)

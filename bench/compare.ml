@@ -1,0 +1,64 @@
+(* The CI bench-regression gate driver:
+
+     dune exec bench/compare.exe -- BASELINE CURRENT [--threshold R]
+
+   Compares per-group median ns/op of CURRENT against BASELINE (both
+   bench/main.exe --json documents) and exits non-zero when any group's
+   median regressed beyond the threshold ratio or went missing. The
+   default threshold is generous (2.5x) because CI runs in --quick mode
+   on shared runners: the gate is meant to catch a real complexity or
+   pathological-path regression, not scheduler jitter. *)
+
+let usage = "usage: compare BASELINE CURRENT [--threshold RATIO]"
+
+let read path =
+  try
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Ok s
+  with Sys_error e -> Error e
+
+let () =
+  let baseline_path = ref None and current_path = ref None in
+  let threshold = ref 2.5 in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 1.0 ->
+            threshold := t;
+            parse rest
+        | _ ->
+            Fmt.epr "compare: bad threshold %s (need a ratio > 1)@." v;
+            exit 2)
+    | [ "--threshold" ] ->
+        Fmt.epr "compare: --threshold requires a value@.";
+        exit 2
+    | arg :: rest ->
+        (match !baseline_path, !current_path with
+        | None, _ -> baseline_path := Some arg
+        | Some _, None -> current_path := Some arg
+        | Some _, Some _ ->
+            Fmt.epr "compare: unexpected argument %s@.%s@." arg usage;
+            exit 2);
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !baseline_path, !current_path with
+  | Some bp, Some cp -> (
+      let load what path =
+        match Result.bind (read path) Bench_gate.parse with
+        | Ok groups -> groups
+        | Error e ->
+            Fmt.epr "compare: %s %s: %s@." what path e;
+            exit 2
+      in
+      let baseline = load "baseline" bp in
+      let current = load "current run" cp in
+      let verdicts = Bench_gate.compare ~threshold:!threshold ~baseline current in
+      print_string (Bench_gate.report ~threshold:!threshold verdicts);
+      if Bench_gate.failed verdicts then exit 1)
+  | _ ->
+      Fmt.epr "%s@." usage;
+      exit 2

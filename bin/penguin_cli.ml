@@ -303,9 +303,42 @@ let schema_cmd =
        ~doc:"Parse and validate a textual structural-schema script.")
     Term.(const schema $ file $ pivot $ dot)
 
+(* --- observability ---------------------------------------------------- *)
+
+(* [--trace FILE] on the commands that drive the update pipeline. The
+   sink is installed before the command body runs and the channel is
+   closed at process exit, so every span the invocation produced is on
+   disk when the process ends. *)
+let setup_trace trace format =
+  match trace with
+  | None -> ()
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error e ->
+          Fmt.epr "error: --trace %s: %s@." path e;
+          exit 1
+      in
+      at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+      Obs.Trace.set_sink (Some (Obs.Trace.channel_sink ~format oc))
+
+let trace_term =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write this invocation's trace spans to $(docv), one \
+                   span per line (children before parents).")
+  in
+  let format =
+    Arg.(value & opt (enum [ "sexp", `Sexp; "json", `Json ]) `Sexp
+         & info [ "trace-format" ] ~docv:"FORMAT"
+             ~doc:"Trace line format: $(b,sexp) (default) or $(b,json).")
+  in
+  Term.(const setup_trace $ trace $ format)
+
 (* --- update ----------------------------------------------------------- *)
 
-let update fixture object_name stmt =
+let update () fixture object_name stmt =
   let ws = workspace_of fixture in
   match Penguin.Upql.apply ws ~object_name stmt with
   | Error e ->
@@ -334,7 +367,7 @@ let update_cmd =
   Cmd.v
     (Cmd.info "update"
        ~doc:"Update through a view object with the textual update language.")
-    Term.(const update $ fixture_arg $ object_name $ stmt)
+    Term.(const update $ trace_term $ fixture_arg $ object_name $ stmt)
 
 (* --- export / import -------------------------------------------------- *)
 
@@ -559,7 +592,7 @@ let session_queue session obj stmt =
     (Penguin.Session.pending sess)
     doc.sess_base
 
-let session_commit session =
+let session_commit () session =
   let doc = or_die (Result.bind (read_file session) parse_session) in
   (* The whole reopen → rebase → persist sequence runs under the store's
      exclusive lock: without it, two concurrent commits can both open at
@@ -647,7 +680,7 @@ let session_commit_cmd =
     (Cmd.info "commit"
        ~doc:"Group-commit a session's staged updates onto the store, \
              rebasing if the store advanced since $(b,begin).")
-    Term.(const session_commit $ session_file_arg 0)
+    Term.(const session_commit $ trace_term $ session_file_arg 0)
 
 let session_cmd =
   Cmd.group
@@ -655,6 +688,35 @@ let session_cmd =
        ~doc:"Snapshot sessions with optimistic concurrency over a saved \
              store.")
     [ session_begin_cmd; session_queue_cmd; session_commit_cmd ]
+
+(* --- stats ------------------------------------------------------------ *)
+
+let stats () json updates =
+  Obs.Metrics.enable ();
+  (match Penguin.Stats.exercise ~updates () with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.epr "error: stats workload failed: %s@." e;
+      exit 1);
+  if json then Fmt.pr "%s@." (Obs.Json.to_string (Penguin.Stats.json ()))
+  else print_string (Penguin.Stats.table ())
+
+let stats_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the metrics registry as JSON instead of a table.")
+  in
+  let updates =
+    Arg.(value & opt int 8
+         & info [ "updates" ] ~docv:"N"
+             ~doc:"Engine updates to drive through the workload.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a representative workload through every instrumented \
+             layer and print the metrics registry.")
+    Term.(const stats $ trace_term $ json $ updates)
 
 (* --- dot ------------------------------------------------------------- *)
 
@@ -674,7 +736,8 @@ let main_cmd =
          "Object-based views over relational databases, with update \
           translation (Barsalou, Keller, Siambela & Wiederhold, SIGMOD '91).")
     [ figures_cmd; show_cmd; sql_cmd; oql_cmd; update_cmd; insert_cmd;
-      dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd; session_cmd ]
+      dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd; session_cmd;
+      stats_cmd ]
 
 let setup_logging () =
   match Option.map String.lowercase_ascii (Sys.getenv_opt "PENGUIN_LOG") with

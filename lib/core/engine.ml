@@ -4,6 +4,45 @@ let src = Logs.Src.create "penguin.engine" ~doc:"view-object update engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* --- observability (DESIGN.md section 5.4) --------------------------- *)
+
+module M = Obs.Metrics
+
+let m_translate_ns =
+  M.histogram ~help:"steps 1-3: local validation, propagation, translation"
+    "engine.translate_ns"
+
+let m_stage_apply_ns =
+  M.histogram ~help:"candidate application of the translated ops"
+    "engine.stage_apply_ns"
+
+let m_global_check_ns =
+  M.histogram ~help:"step 4: global validation of a (merged) delta"
+    "engine.global_check_ns"
+
+let m_commit_group_ns =
+  M.histogram ~help:"whole group commit: merge, apply, one validation pass"
+    "engine.commit_group_ns"
+
+let m_commits = M.counter ~help:"group commits accepted" "engine.commits"
+
+let m_committed_updates =
+  M.counter ~help:"staged updates committed" "engine.committed_updates"
+
+let m_translation_rejected =
+  M.counter ~help:"requests refused in steps 1-3" "engine.translation_rejected"
+
+let m_application_failed =
+  M.counter ~help:"translations whose ops failed to apply"
+    "engine.application_failed"
+
+let m_validation_failed =
+  M.counter ~help:"group commits rejected by step 4" "engine.validation_failed"
+
+let m_group_conflicts =
+  M.counter ~help:"group commits rejected for intra-group write overlap"
+    "engine.group_conflicts"
+
 type outcome = {
   request_kind : string;
   ops : Op.t list;
@@ -26,6 +65,12 @@ let dedup_ops ops =
   List.rev rev
 
 let translate g db vo spec request =
+  Obs.Trace.with_span "engine.translate"
+    ~tags:
+      [ "object", vo.Viewobject.Definition.name;
+        "kind", Request.kind_name request ]
+  @@ fun () ->
+  M.time m_translate_ns @@ fun () ->
   let result =
     match request with
     | Request.Insert inst -> Vo_ci.translate g db vo spec inst
@@ -98,9 +143,13 @@ let instance_reads g vo db fp request =
 let stage ?(base_version = 0) g db vo spec request =
   let request_kind = Request.kind_name request in
   let object_name = vo.Viewobject.Definition.name in
+  Obs.Trace.with_span "engine.stage"
+    ~tags:[ "object", object_name; "kind", request_kind ]
+  @@ fun () ->
   Log.debug (fun m -> m "%s on %s: staging" request_kind object_name);
   match translate g db vo spec request with
   | Error reason ->
+      M.Counter.incr m_translation_rejected;
       Log.info (fun m ->
           m "%s on %s rejected during translation: %s" request_kind object_name
             reason);
@@ -109,8 +158,12 @@ let stage ?(base_version = 0) g db vo spec request =
       Log.debug (fun m ->
           m "%s on %s: %d operation(s)" request_kind object_name
             (List.length ops));
-      match Transaction.run_delta db ops with
+      match
+        Obs.Trace.with_span "engine.stage_apply" @@ fun () ->
+        M.time m_stage_apply_ns @@ fun () -> Transaction.run_delta db ops
+      with
       | Transaction.Rolled_back { reason; failed_op }, _ ->
+          M.Counter.incr m_application_failed;
           Log.warn (fun m ->
               m "%s on %s rolled back during application: %s" request_kind
                 object_name reason);
@@ -244,27 +297,49 @@ let find_culprit validation g db staged =
 let commit_group ?(validation = Global_validation.Incremental) g db staged =
   match staged with
   | [] -> Ok (db, Delta.empty)
-  | _ -> (
-      let ( let* ) = Result.bind in
-      let* merged = merge_deltas staged in
-      let* post = apply_group db merged staged in
-      match Global_validation.validate validation g ~pre:db ~post ~delta:merged with
-      | Ok () ->
-          Log.info (fun m ->
-              m "group commit: %d staged update(s), %d net change(s), %s \
-                 validation"
-                (List.length staged) (Delta.cardinal merged)
-                (Global_validation.mode_name validation));
-          Ok (post, merged)
-      | Error reason ->
-          Log.warn (fun m ->
-              m "group commit failed global validation: %s" reason);
-          let culprit, reason =
-            match find_culprit validation g db staged with
-            | Some (i, reason) -> Some i, reason
-            | None -> None, reason
-          in
-          Error (Group_validation_failed { culprit; reason }))
+  | _ ->
+      let result =
+        Obs.Trace.with_span "engine.commit_group"
+          ~tags:
+            [ "batch", string_of_int (List.length staged);
+              "mode", Global_validation.mode_name validation ]
+        @@ fun () ->
+        M.time m_commit_group_ns @@ fun () ->
+        let ( let* ) = Result.bind in
+        let* merged = merge_deltas staged in
+        let* post = apply_group db merged staged in
+        match
+          Obs.Trace.with_span "engine.global_check"
+            ~tags:[ "mode", Global_validation.mode_name validation ]
+          @@ fun () ->
+          M.time m_global_check_ns @@ fun () ->
+          Global_validation.validate validation g ~pre:db ~post ~delta:merged
+        with
+        | Ok () ->
+            Log.info (fun m ->
+                m "group commit: %d staged update(s), %d net change(s), %s \
+                   validation"
+                  (List.length staged) (Delta.cardinal merged)
+                  (Global_validation.mode_name validation));
+            Ok (post, merged)
+        | Error reason ->
+            Log.warn (fun m ->
+                m "group commit failed global validation: %s" reason);
+            let culprit, reason =
+              match find_culprit validation g db staged with
+              | Some (i, reason) -> Some i, reason
+              | None -> None, reason
+            in
+            Error (Group_validation_failed { culprit; reason })
+      in
+      (match result with
+      | Ok _ ->
+          M.Counter.incr m_commits;
+          M.Counter.add m_committed_updates (List.length staged)
+      | Error (Group_conflict _) -> M.Counter.incr m_group_conflicts
+      | Error (Group_op_failed _) -> M.Counter.incr m_application_failed
+      | Error (Group_validation_failed _) -> M.Counter.incr m_validation_failed);
+      result
 
 (* Greedy partition into conflict-free groups: each staged update joins
    the first group whose merged delta it does not collide with. Within a

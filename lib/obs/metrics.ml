@@ -1,0 +1,248 @@
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+module Counter = struct
+  type t = { mutable count : int }
+
+  let incr c = if !on then c.count <- c.count + 1
+  let add c n = if !on then c.count <- c.count + n
+  let value c = c.count
+end
+
+module Gauge = struct
+  type t = { mutable value : float }
+
+  let set g v = if !on then g.value <- v
+  let add g v = if !on then g.value <- g.value +. v
+  let value g = g.value
+end
+
+(* 1 µs .. ~16.8 s, doubling: wide enough for a single fsync'd commit
+   and fine enough to separate the µs-scale pipeline stages. *)
+let default_bounds = List.init 25 (fun i -> 1e3 *. Float.of_int (1 lsl i))
+
+module Histogram = struct
+  type t = {
+    bounds : float array;  (* strictly increasing upper bounds *)
+    counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+    mutable count : int;
+    mutable sum : float;
+    mutable max_v : float;
+  }
+
+  let make bounds =
+    {
+      bounds = Array.of_list bounds;
+      counts = Array.make (List.length bounds + 1) 0;
+      count = 0;
+      sum = 0.;
+      max_v = 0.;
+    }
+
+  (* The bucket walk is over a fixed-size array: O(1) per observation. *)
+  let bucket_of h v =
+    let n = Array.length h.bounds in
+    let rec go i = if i >= n || v <= h.bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let record h v =
+    h.counts.(bucket_of h v) <- h.counts.(bucket_of h v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v > h.max_v then h.max_v <- v
+
+  let observe h v = if !on then record h v
+  let count h = h.count
+  let sum h = h.sum
+  let max_value h = h.max_v
+
+  let quantile h q =
+    if h.count = 0 then 0.
+    else
+      let target = q *. Float.of_int h.count in
+      let n = Array.length h.bounds in
+      let rec go i seen =
+        if i > n then h.max_v
+        else
+          let seen = seen + h.counts.(i) in
+          if Float.of_int seen >= target then
+            if i >= n then h.max_v else Float.min h.bounds.(i) h.max_v
+          else go (i + 1) seen
+      in
+      go 0 0
+
+  let buckets h =
+    List.init
+      (Array.length h.counts)
+      (fun i ->
+        ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+          h.counts.(i) ))
+
+  let merge a b =
+    if a.bounds <> b.bounds then Error "histogram merge: different buckets"
+    else
+      let m = make (Array.to_list a.bounds) in
+      Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+      m.count <- a.count + b.count;
+      m.sum <- a.sum +. b.sum;
+      m.max_v <- Float.max a.max_v b.max_v;
+      Ok m
+
+  let reset h =
+    Array.fill h.counts 0 (Array.length h.counts) 0;
+    h.count <- 0;
+    h.sum <- 0.;
+    h.max_v <- 0.
+end
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+
+let registry : (string, string * metric) Hashtbl.t = Hashtbl.create 64
+
+let counter ?(help = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some (_, Counter_m c) -> c
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "metric %s is already registered as another kind" name)
+  | None ->
+      let c = { Counter.count = 0 } in
+      Hashtbl.replace registry name (help, Counter_m c);
+      c
+
+let gauge ?(help = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some (_, Gauge_m g) -> g
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "metric %s is already registered as another kind" name)
+  | None ->
+      let g = { Gauge.value = 0. } in
+      Hashtbl.replace registry name (help, Gauge_m g);
+      g
+
+let histogram ?(help = "") ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt registry name with
+  | Some (_, Histogram_m h) -> h
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "metric %s is already registered as another kind" name)
+  | None ->
+      let sorted = List.sort_uniq Float.compare bounds in
+      if sorted <> bounds || bounds = [] then
+        invalid_arg
+          (Printf.sprintf "metric %s: bounds must be strictly increasing" name);
+      let h = Histogram.make bounds in
+      Hashtbl.replace registry name (help, Histogram_m h);
+      h
+
+let time h f =
+  if not !on then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> Histogram.record h (now_ns () -. t0)) f
+  end
+
+let all () =
+  Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ (_, m) ->
+      match m with
+      | Counter_m c -> c.Counter.count <- 0
+      | Gauge_m g -> g.Gauge.value <- 0.
+      | Histogram_m h -> Histogram.reset h)
+    registry
+
+let to_json () =
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (name, _, m) ->
+        match m with
+        | Counter_m c ->
+            (name, Json.Num (Float.of_int (Counter.value c))) :: cs, gs, hs
+        | Gauge_m g -> cs, (name, Json.Num (Gauge.value g)) :: gs, hs
+        | Histogram_m h ->
+            let fields =
+              [
+                "count", Json.Num (Float.of_int (Histogram.count h));
+                "sum_ns", Json.Num (Histogram.sum h);
+                "max_ns", Json.Num (Histogram.max_value h);
+                "p50_ns", Json.Num (Histogram.quantile h 0.5);
+                "p90_ns", Json.Num (Histogram.quantile h 0.9);
+                "p99_ns", Json.Num (Histogram.quantile h 0.99);
+              ]
+            in
+            cs, gs, (name, Json.Obj fields) :: hs)
+      ([], [], [])
+      (List.rev (all ()))
+  in
+  Json.Obj
+    [
+      "counters", Json.Obj counters;
+      "gauges", Json.Obj gauges;
+      "histograms", Json.Obj histograms;
+    ]
+
+let pp_ns ppf ns =
+  if ns < 1e3 then Fmt.pf ppf "%.0f ns" ns
+  else if ns < 1e6 then Fmt.pf ppf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Fmt.pf ppf "%.2f ms" (ns /. 1e6)
+  else Fmt.pf ppf "%.2f s" (ns /. 1e9)
+
+let pp_table ppf () =
+  let metrics = all () in
+  let counters =
+    List.filter_map
+      (function name, help, Counter_m c -> Some (name, help, c) | _ -> None)
+      metrics
+  in
+  let gauges =
+    List.filter_map
+      (function name, help, Gauge_m g -> Some (name, help, g) | _ -> None)
+      metrics
+  in
+  let histograms =
+    List.filter_map
+      (function name, help, Histogram_m h -> Some (name, help, h) | _ -> None)
+      metrics
+  in
+  if counters <> [] then begin
+    Fmt.pf ppf "%-42s %12s  %s@." "counter" "value" "help";
+    List.iter
+      (fun (name, help, c) ->
+        Fmt.pf ppf "%-42s %12d  %s@." name (Counter.value c) help)
+      counters
+  end;
+  if gauges <> [] then begin
+    Fmt.pf ppf "@.%-42s %12s  %s@." "gauge" "value" "help";
+    List.iter
+      (fun (name, help, g) ->
+        Fmt.pf ppf "%-42s %12g  %s@." name (Gauge.value g) help)
+      gauges
+  end;
+  if histograms <> [] then begin
+    Fmt.pf ppf "@.%-42s %8s %10s %10s %10s %10s@." "histogram" "count" "p50"
+      "p90" "p99" "max";
+    List.iter
+      (fun (name, _, h) ->
+        if Histogram.count h = 0 then
+          Fmt.pf ppf "%-42s %8d %10s %10s %10s %10s@." name 0 "-" "-" "-" "-"
+        else
+          let ns v = Fmt.str "%a" pp_ns v in
+          Fmt.pf ppf "%-42s %8d %10s %10s %10s %10s@." name (Histogram.count h)
+            (ns (Histogram.quantile h 0.5))
+            (ns (Histogram.quantile h 0.9))
+            (ns (Histogram.quantile h 0.99))
+            (ns (Histogram.max_value h)))
+      histograms
+  end

@@ -1,0 +1,111 @@
+(** A process-wide metrics registry: monotonic counters, gauges, and
+    fixed-bucket latency histograms.
+
+    Every primitive is O(1) on the hot path — a counter increment is a
+    flag test plus an integer store, a histogram observation a flag
+    test plus one bucket walk over a fixed array — and the whole layer
+    collapses to the flag test when disabled ({!enable} has not been
+    called), so instrumented code pays one branch in production-off
+    mode. See DESIGN.md §5.4 for the metric-name taxonomy and the
+    disabled-mode guarantees.
+
+    Metrics are registered once (by name, at first use) and live for
+    the process; {!reset} zeroes values but keeps registrations, so a
+    test can measure one scenario in isolation. The registry is not
+    thread-safe: like the engine it instruments, it assumes one writer
+    (updates are single stores, so the worst case under races is a lost
+    increment, never a crash). *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val now_ns : unit -> float
+(** Wall-clock time in nanoseconds (the span/latency timebase). *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+val counter : ?help:string -> string -> Counter.t
+(** Register (or fetch, if already registered) the named counter.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+(** {1 Gauges} *)
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+val gauge : ?help:string -> string -> Gauge.t
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Record one observation (nanoseconds for latency histograms). *)
+
+  val count : t -> int
+  val sum : t -> float
+  val max_value : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h q] (0 ≤ q ≤ 1): the upper bound of the bucket holding
+      the q-th observation, clamped to the observed maximum (so the
+      unbounded overflow bucket reports a finite figure) — an estimate
+      whose error is the bucket width. 0 when the histogram is empty. *)
+
+  val buckets : t -> (float * int) list
+  (** (upper bound, count) pairs, in bound order; the final pair has
+      bound [infinity] (the overflow bucket). *)
+
+  val merge : t -> t -> (t, string) result
+  (** Combine two histograms over the same bucket boundaries into a
+      fresh, unregistered histogram. Errors when boundaries differ. *)
+end
+
+val histogram : ?help:string -> ?bounds:float list -> string -> Histogram.t
+(** [bounds] are bucket upper bounds, strictly increasing (default:
+    26 log-spaced latency buckets from 1 µs to ~16.8 s). An implicit
+    overflow bucket catches everything above the last bound. *)
+
+val time : Histogram.t -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock duration (ns) when metrics
+    are enabled; when disabled, exactly the thunk. The duration is
+    recorded whether the thunk returns or raises. *)
+
+(** {1 Registry} *)
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+
+val all : unit -> (string * string * metric) list
+(** (name, help, metric), sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric's value (registrations survive). *)
+
+val to_json : unit -> Json.t
+(** The whole registry as one JSON object:
+    [{"counters": {name: value, ...},
+      "gauges": {name: value, ...},
+      "histograms": {name: {"count": n, "sum_ns": s, "max_ns": m,
+                            "p50_ns": ..., "p90_ns": ..., "p99_ns": ...}}}] *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Aligned human-readable table of the registry (what [penguin stats]
+    prints). *)

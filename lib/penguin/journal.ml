@@ -4,6 +4,25 @@ module Io = Fsio
 
 let ( let* ) = Result.bind
 
+module M = Obs.Metrics
+
+let m_append_ns =
+  M.histogram ~help:"journal append: frame + write (+ fsync)"
+    "journal.append_ns"
+
+let m_appends = M.counter ~help:"journal appends (commit batches)" "journal.appends"
+let m_fsyncs = M.counter ~help:"journal fsyncs" "journal.fsyncs"
+let m_replays = M.counter ~help:"journal replays" "journal.replays"
+
+let m_replayed_records =
+  M.counter ~help:"commit records parsed by replays" "journal.replayed_records"
+
+let m_torn_repairs =
+  M.counter ~help:"torn tails truncated away" "journal.torn_repairs"
+
+let m_rotations =
+  M.counter ~help:"journal rotations into a fresh snapshot" "journal.rotations"
+
 let atom = Sexp.atom
 let l = Sexp.list
 
@@ -192,8 +211,19 @@ let initialize t ~base =
 let append t ?(sync = true) entries =
   if entries = [] then Ok ()
   else
+    Obs.Trace.with_span "journal.append"
+      ~tags:
+        [ "sync", string_of_bool sync;
+          "entries", string_of_int (List.length entries) ]
+    @@ fun () ->
+    M.time m_append_ns @@ fun () ->
+    M.Counter.incr m_appends;
     let* () = t.io.Fsio.write ~path:t.path ~append:true (frame (commit_payload entries)) in
-    if sync then t.io.Fsio.sync t.path else Ok ()
+    if sync then begin
+      M.Counter.incr m_fsyncs;
+      t.io.Fsio.sync t.path
+    end
+    else Ok ()
 
 type replay = {
   base : int;
@@ -204,6 +234,8 @@ type replay = {
 }
 
 let replay t =
+  Obs.Trace.with_span "journal.replay" @@ fun () ->
+  M.Counter.incr m_replays;
   let* content = t.io.Fsio.read t.path in
   match content with
   | None -> Ok None
@@ -224,6 +256,7 @@ let replay t =
                 Ok (es @ batch))
               (Ok []) records
           in
+          M.Counter.add m_replayed_records (List.length records);
           Ok
             (Some
                {
@@ -242,11 +275,18 @@ let truncate_torn t ~clean_bytes =
       if clean_bytes > String.length content then
         Error (Fmt.str "journal %s: shrank during repair" t.path)
       else
-        Fsio.atomic_write t.io ~path:t.path (String.sub content 0 clean_bytes)
+        let* () =
+          Fsio.atomic_write t.io ~path:t.path (String.sub content 0 clean_bytes)
+        in
+        M.Counter.incr m_torn_repairs;
+        Ok ()
 
 let rotate t ~snapshot_path ~snapshot ~base =
   (* Snapshot first, then reset: a crash between the two leaves a newer
      snapshot under the old journal, and replay skips the entries the
      snapshot already contains (entry version <= snapshot version). *)
+  Obs.Trace.with_span "journal.rotate" @@ fun () ->
   let* () = Fsio.atomic_write t.io ~path:snapshot_path snapshot in
-  initialize t ~base
+  let* () = initialize t ~base in
+  M.Counter.incr m_rotations;
+  Ok ()

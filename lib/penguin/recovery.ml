@@ -6,6 +6,22 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let ( let* ) = Result.bind
 
+module M = Obs.Metrics
+
+let m_open_ns =
+  M.histogram ~help:"open_store: snapshot load + replay + cross-check"
+    "recovery.open_store_ns"
+
+let m_persist_ns =
+  M.histogram ~help:"persist: journal append (+ rotation)"
+    "recovery.persist_ns"
+
+let m_opens = M.counter ~help:"stores opened" "recovery.opens"
+
+let m_replayed_entries =
+  M.counter ~help:"journal entries replayed into opened stores"
+    "recovery.replayed_entries"
+
 type report = {
   snapshot_version : int;
   replayed : int;
@@ -62,6 +78,9 @@ let apply_entry ws (e : Commit_log.entry) =
    under the store's exclusive lock in the CLI; pass [~repair:true] only
    when holding that lock (or when provably the sole process). *)
 let open_store ?(io = Fsio.default) ?(repair = false) store =
+  Obs.Trace.with_span "recovery.open_store" @@ fun () ->
+  M.time m_open_ns @@ fun () ->
+  M.Counter.incr m_opens;
   let* content = io.Fsio.read store in
   let* content =
     match content with
@@ -111,6 +130,8 @@ let open_store ?(io = Fsio.default) ?(repair = false) store =
       in
       let version = Workspace.version ws in
       let replayed = List.length fresh in
+      M.Counter.add m_replayed_entries replayed;
+      Obs.Trace.tag "replayed" (string_of_int replayed);
       if replayed > 0 then
         Log.info (fun m ->
             m "recovered %s: snapshot v%d + %d journal entr%s = v%d" store
@@ -141,6 +162,8 @@ type persisted = {
 
 let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
     ~store ~since ws =
+  Obs.Trace.with_span "recovery.persist" @@ fun () ->
+  M.time m_persist_ns @@ fun () ->
   if since < Commit_log.truncated ws.Workspace.log then
     Error
       (Fmt.str

@@ -4,6 +4,40 @@ let src = Logs.Src.create "penguin.session" ~doc:"optimistic serving sessions"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module M = Obs.Metrics
+
+let m_queue_depth =
+  M.gauge ~help:"staged updates pending in the last-touched session"
+    "session.queue_depth"
+
+let m_queued = M.counter ~help:"updates queued into sessions" "session.queued"
+
+let m_commits = M.counter ~help:"session commits completed" "session.commits"
+
+let m_commit_ns =
+  M.histogram ~help:"whole session commit, including rebases"
+    "session.commit_ns"
+
+let m_rebases =
+  M.counter ~help:"session rebases (staged translations re-derived)"
+    "session.rebases"
+
+let m_rebase_conflict =
+  M.counter ~help:"rebases caused by overlapping concurrent commits"
+    "session.rebase_conflict"
+
+let m_rebase_unknown =
+  M.counter ~help:"rebases caused by a history barrier"
+    "session.rebase_unknown_history"
+
+let m_noop_drops =
+  M.counter ~help:"updates dropped as no-ops during a rebase"
+    "session.noop_drops"
+
+let m_retries_exhausted =
+  M.counter ~help:"session commits that gave up after max_attempts"
+    "session.retries_exhausted"
+
 type retry = Workspace.t -> (Vo_core.Request.t option, string) result
 
 type entry = {
@@ -46,6 +80,8 @@ let queue s name ?retry request =
               m "session@v%d: queued %s on %s (%d staged)" s.base_version
                 st.Vo_core.Engine.request_kind name
                 (List.length s.entries + 1));
+          M.Counter.incr m_queued;
+          M.Gauge.set m_queue_depth (Float.of_int (List.length s.entries + 1));
           Ok { s with entries = s.entries @ [ { name; retry; st } ] })
 
 type divergence =
@@ -84,6 +120,7 @@ let restage ws entries =
               Log.debug (fun m ->
                   m "session rebase: %s update on %s became a no-op, dropping"
                     e.st.Vo_core.Engine.request_kind e.name);
+              M.Counter.incr m_noop_drops;
               Ok s'
           | Ok (Some req) -> queue s' e.name ~retry:e.retry req))
     (Ok (begin_ ws))
@@ -134,12 +171,14 @@ let commit ?validation ?(max_attempts = 3) ws s =
                 (commit_clean attempts rebased committed ws'))
   in
   let rec attempt n rebased s =
-    if n > max_attempts then
+    if n > max_attempts then begin
+      M.Counter.incr m_retries_exhausted;
       Error
         (Fmt.str
            "session commit: conflicts persist after %d attempt(s); last \
             staged at v%d, workspace at v%d"
            max_attempts s.base_version (Workspace.version ws))
+    end
     else
       match divergence ws s with
       | Clean -> commit_clean n rebased 0 ws s
@@ -153,7 +192,12 @@ let commit ?validation ?(max_attempts = 3) ws s =
                 s.base_version (List.length cs) (Workspace.version ws) n
                 Fmt.(list ~sep:semi Delta.pp_conflict)
                 cs);
-          Result.bind (restage ws s.entries) (attempt (n + 1) true)
+          M.Counter.incr m_rebases;
+          M.Counter.incr m_rebase_conflict;
+          Result.bind
+            (Obs.Trace.with_span "session.rebase"
+               ~tags:[ "cause", "conflict" ] (fun () -> restage ws s.entries))
+            (attempt (n + 1) true)
       | Unknown_history ->
           (* A barrier (database swap, raw SQL) hides the concurrent
              deltas: conflict checking is impossible, so rebase
@@ -162,7 +206,12 @@ let commit ?validation ?(max_attempts = 3) ws s =
               m "session@v%d: history unknown since snapshot, rebasing \
                  (attempt %d)"
                 s.base_version n);
-          Result.bind (restage ws s.entries) (attempt (n + 1) true)
+          M.Counter.incr m_rebases;
+          M.Counter.incr m_rebase_unknown;
+          Result.bind
+            (Obs.Trace.with_span "session.rebase"
+               ~tags:[ "cause", "barrier" ] (fun () -> restage ws s.entries))
+            (attempt (n + 1) true)
   in
   if s.entries = [] then
     Ok
@@ -173,4 +222,17 @@ let commit ?validation ?(max_attempts = 3) ws s =
           rebased = false;
           committed = 0;
         } )
-  else attempt 1 false s
+  else
+    Obs.Trace.with_span "session.commit"
+      ~tags:[ "queued", string_of_int (List.length s.entries) ]
+    @@ fun () ->
+    M.time m_commit_ns @@ fun () ->
+    let result = attempt 1 false s in
+    (match result with
+    | Ok (_, stats) ->
+        M.Counter.incr m_commits;
+        M.Gauge.set m_queue_depth 0.;
+        Obs.Trace.tag "attempts" (string_of_int stats.attempts);
+        if stats.rebased then Obs.Trace.tag "rebased" "true"
+    | Error _ -> ());
+    result

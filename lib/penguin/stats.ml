@@ -1,0 +1,107 @@
+let ( let* ) = Result.bind
+
+(* Alternate between two values so every engine update is a real delta
+   (an idempotent edit would be dropped as a no-op by Upql). *)
+let flip_stmt i =
+  if i mod 2 = 0 then "set GRADES[pid = 1] grade = 'A+' where course_id = 'CS345'"
+  else "set GRADES[pid = 1] grade = 'B+' where course_id = 'CS345'"
+
+let engine_traffic ~updates ws =
+  let rec go i ws =
+    if i >= updates then Ok ws
+    else
+      let* ws, _outcomes = Upql.apply ws ~object_name:"omega" (flip_stmt i) in
+      go (i + 1) ws
+  in
+  go 0 ws
+
+(* Queue a statement the way the CLI does: with a retry closure that
+   re-derives the requests against the post-rebase state. *)
+let queue_stmt sess ws stmt =
+  let* reqs = Upql.requests ws ~object_name:"omega" stmt in
+  List.fold_left
+    (fun acc req ->
+      let* sess = acc in
+      let retry ws' =
+        let* reqs' = Upql.requests ws' ~object_name:"omega" stmt in
+        match reqs' with [] -> Ok None | r :: _ -> Ok (Some r)
+      in
+      Session.queue sess "omega" ~retry req)
+    (Ok sess) reqs
+
+let session_traffic ws =
+  (* A clean two-update session commit. [updates] is even, so the
+     engine traffic left the grade at 'B+' and [flip_stmt 0] is a real
+     edit here (Upql drops no-op requests before they are staged). *)
+  let sess = Session.begin_ ws in
+  let* sess = queue_stmt sess ws (flip_stmt 0) in
+  let* sess =
+    queue_stmt sess ws "set units = 4 where course_id = 'CS345'"
+  in
+  let* ws, _stats = Session.commit ws sess in
+  (* ...and a stale session: staged here, overtaken by a concurrent
+     commit to the same tuple, so commit must detect the overlap and
+     rebase (OCC retry). *)
+  let sess = Session.begin_ ws in
+  let* sess = queue_stmt sess ws (flip_stmt 1) in
+  let* ws', _ =
+    Upql.apply ws ~object_name:"omega"
+      "set GRADES[pid = 1] grade = 'C' where course_id = 'CS345'"
+  in
+  let* ws', _stats = Session.commit ws' sess in
+  Ok ws'
+
+let durability_traffic ws =
+  let dir = Filename.get_temp_dir_name () in
+  let store =
+    Filename.concat dir (Fmt.str "penguin-stats-%d.pgn" (Unix.getpid ()))
+  in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ store; Journal.journal_path store; Fsio.lock_path store ]
+  in
+  let result =
+    let* () = Store.save_file ws store in
+    (* Two commit/persist rounds; the second crosses rotate_threshold
+       and folds the journal into a fresh snapshot. *)
+    let rec round i ws =
+      if i >= 2 then Ok ws
+      else
+        let since = Workspace.version ws in
+        let sess = Session.begin_ ws in
+        let* sess = queue_stmt sess ws (flip_stmt i) in
+        let* ws, _stats = Session.commit ws sess in
+        let* _persisted =
+          Recovery.persist ~rotate_threshold:2 ~store ~since ws
+        in
+        let* ws, _report = Recovery.open_store store in
+        round (i + 1) ws
+    in
+    let* _ws = round 0 ws in
+    (* A torn tail: garbage after the last full record, discarded on
+       read and truncated away by a repairing open. *)
+    let* () =
+      Fsio.default.Fsio.write ~path:(Journal.journal_path store) ~append:true
+        "torn"
+    in
+    let* _ws, report = Recovery.open_store ~repair:true store in
+    if report.Recovery.torn_bytes = 0 then
+      Error "stats exercise: torn tail was not detected"
+    else Ok ()
+  in
+  cleanup ();
+  result
+
+let exercise ?(updates = 8) () =
+  Obs.Trace.with_span "stats.exercise" @@ fun () ->
+  let ws = University.workspace () in
+  let* ws = engine_traffic ~updates ws in
+  let* ws = session_traffic ws in
+  let* () = durability_traffic ws in
+  match Workspace.check_consistency ws with
+  | Ok () -> Ok ()
+  | Error e -> Error (Fmt.str "stats exercise left the fixture broken: %s" e)
+
+let table () = Fmt.str "%a" Obs.Metrics.pp_table ()
+let json () = Obs.Metrics.to_json ()

@@ -68,10 +68,37 @@ let check_connection g db (c : Connection.t) =
           else dangling_violation c t1 :: acc)
         source []
 
+let m_check_full_ns =
+  Obs.Metrics.histogram ~help:"full structural sweep (Integrity.check)"
+    "integrity.check_full_ns"
+
 let check g db =
+  Obs.Metrics.time m_check_full_ns @@ fun () ->
   List.concat_map (check_connection g db) (Schema_graph.connections g)
 
 (* --- incremental (delta-driven) checking ------------------------------ *)
+
+(* Observability: how aggressively the delta checker prunes. A fired
+   check is one index lookup (or an inverse lookup plus re-checks); a
+   pruned one is a connection the firing rule proved irrelevant. *)
+let m_fired =
+  Obs.Metrics.counter ~help:"connection checks fired by check_delta"
+    "integrity.delta_checks_fired"
+
+let m_pruned =
+  Obs.Metrics.counter
+    ~help:"connection checks pruned by check_delta (values unchanged)"
+    "integrity.delta_checks_pruned"
+
+let fires changed attrs =
+  if changed attrs then begin
+    Obs.Metrics.Counter.incr m_fired;
+    true
+  end
+  else begin
+    Obs.Metrics.Counter.incr m_pruned;
+    false
+  end
 
 (* A tuple with a new stored image (inserted, or the after-image of a
    replace) can violate rule 1 in two roles: as the dependent end of an
@@ -88,7 +115,7 @@ let check_new_image g db rel t ~changed acc =
       (fun acc (c : Connection.t) ->
         match c.kind with
         | Connection.Ownership | Connection.Subset ->
-            if not (changed c.target_attrs) then acc
+            if not (fires changed c.target_attrs) then acc
             else if has_source db c t then acc
             else orphan_violation c t :: acc
         | Connection.Reference -> acc)
@@ -98,7 +125,7 @@ let check_new_image g db rel t ~changed acc =
     (fun acc (c : Connection.t) ->
       match c.kind with
       | Connection.Reference ->
-          if not (changed c.source_attrs) then acc
+          if not (fires changed c.source_attrs) then acc
           else if reference_resolves db c t then acc
           else dangling_violation c t :: acc
       | Connection.Ownership | Connection.Subset -> acc)
@@ -117,7 +144,7 @@ let check_old_image g db rel t0 ~changed acc =
       (fun acc (c : Connection.t) ->
         match c.kind with
         | Connection.Ownership | Connection.Subset ->
-            if not (changed c.source_attrs) then acc
+            if not (fires changed c.source_attrs) then acc
             else
               let dependents =
                 Relation.lookup_eq
@@ -137,7 +164,7 @@ let check_old_image g db rel t0 ~changed acc =
     (fun acc (c : Connection.t) ->
       match c.kind with
       | Connection.Reference ->
-          if not (changed c.target_attrs) then acc
+          if not (fires changed c.target_attrs) then acc
           else
             let referers =
               Relation.lookup_eq
@@ -165,7 +192,12 @@ let dedup_violations vs =
     [] vs
   |> List.rev
 
+let m_check_delta_ns =
+  Obs.Metrics.histogram ~help:"delta-driven validation (Integrity.check_delta)"
+    "integrity.check_delta_ns"
+
 let check_delta g db ~delta =
+  Obs.Metrics.time m_check_delta_ns @@ fun () ->
   let always _ = true in
   Delta.fold
     (fun rel change acc ->

@@ -1,0 +1,406 @@
+(* The observability layer: metrics registry, trace spans, the stats
+   surface, and the CI bench-regression gate logic. *)
+
+module M = Obs.Metrics
+module T = Obs.Trace
+module J = Obs.Json
+
+(* The registry and the trace sink are process-global; every test
+   starts from a known state. *)
+let fresh () =
+  M.reset ();
+  M.enable ();
+  T.set_sink None
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_counter_gauge () =
+  fresh ();
+  let c = M.counter ~help:"t" "t.counter" in
+  M.Counter.incr c;
+  M.Counter.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (M.Counter.value c);
+  Alcotest.(check bool) "re-registration is the same counter" true
+    (M.Counter.value (M.counter "t.counter") = 5);
+  let g = M.gauge "t.gauge" in
+  M.Gauge.set g 3.5;
+  M.Gauge.add g (-1.0);
+  Alcotest.(check (float 1e-9)) "gauge set+add" 2.5 (M.Gauge.value g);
+  M.disable ();
+  M.Counter.incr c;
+  M.Gauge.set g 99.;
+  Alcotest.(check int) "disabled counter is a no-op" 5 (M.Counter.value c);
+  Alcotest.(check (float 1e-9)) "disabled gauge is a no-op" 2.5
+    (M.Gauge.value g);
+  M.enable ();
+  Alcotest.check_raises "name registered as another kind"
+    (Invalid_argument "metric t.counter is already registered as another kind")
+    (fun () -> ignore (M.gauge "t.counter"))
+
+let test_histogram_bucketing () =
+  fresh ();
+  let h = M.histogram ~bounds:[ 10.; 100.; 1000. ] "t.hist" in
+  List.iter (M.Histogram.observe h) [ 5.; 7.; 50.; 500.; 5000.; 50000. ];
+  Alcotest.(check int) "count" 6 (M.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum" 55562. (M.Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "max" 50000. (M.Histogram.max_value h);
+  (* Each observation lands in the first bucket whose bound admits it;
+     everything past the last bound lands in the overflow bucket. *)
+  Alcotest.(check (list (pair (float 1e-6) int)))
+    "bucket occupancy"
+    [ 10., 2; 100., 1; 1000., 1; infinity, 2 ]
+    (M.Histogram.buckets h);
+  (* Quantiles report the upper bound of the holding bucket. *)
+  Alcotest.(check (float 1e-6)) "p50 in second bucket" 100.
+    (M.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-6)) "p0 is the first bucket" 10.
+    (M.Histogram.quantile h 0.0);
+  (* the overflow bucket has no upper bound; the estimate clamps to the
+     observed maximum instead of reporting infinity *)
+  Alcotest.(check (float 1e-6)) "p100 clamps to the observed max" 50000.
+    (M.Histogram.quantile h 1.0);
+  let empty = M.histogram ~bounds:[ 10. ] "t.hist.empty" in
+  Alcotest.(check (float 1e-6)) "empty histogram quantile" 0.
+    (M.Histogram.quantile empty 0.5)
+
+let test_histogram_merge () =
+  fresh ();
+  let a = M.histogram ~bounds:[ 10.; 100. ] "t.merge.a" in
+  let b = M.histogram ~bounds:[ 10.; 100. ] "t.merge.b" in
+  List.iter (M.Histogram.observe a) [ 5.; 50. ];
+  List.iter (M.Histogram.observe b) [ 7.; 700. ];
+  (match M.Histogram.merge a b with
+  | Error e -> Alcotest.failf "merge failed: %s" e
+  | Ok m ->
+      Alcotest.(check int) "merged count" 4 (M.Histogram.count m);
+      Alcotest.(check (float 1e-6)) "merged sum" 762. (M.Histogram.sum m);
+      Alcotest.(check (float 1e-6)) "merged max" 700. (M.Histogram.max_value m);
+      Alcotest.(check (list (pair (float 1e-6) int)))
+        "merged buckets"
+        [ 10., 2; 100., 1; infinity, 1 ]
+        (M.Histogram.buckets m);
+      (* The merge is a fresh value: the inputs are untouched. *)
+      Alcotest.(check int) "input a untouched" 2 (M.Histogram.count a));
+  let c = M.histogram ~bounds:[ 10.; 200. ] "t.merge.c" in
+  match M.Histogram.merge a c with
+  | Ok _ -> Alcotest.fail "merge across different bounds must fail"
+  | Error _ -> ()
+
+let test_time_records_on_raise () =
+  fresh ();
+  let h = M.histogram "t.time" in
+  (try M.time h (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "raising thunk still observed" 1 (M.Histogram.count h)
+
+(* --- trace spans -------------------------------------------------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  let ring = T.Ring.create 16 in
+  T.set_sink (Some (T.Ring.sink ring));
+  let result =
+    T.with_span "outer" ~tags:[ "k", "v" ] (fun () ->
+        T.with_span "inner" (fun () ->
+            T.tag "mid" "yes";
+            7))
+  in
+  T.set_sink None;
+  Alcotest.(check int) "thunk result" 7 result;
+  match T.Ring.contents ring with
+  | [ inner; outer ] ->
+      (* children finish (and are emitted) before parents *)
+      Alcotest.(check string) "inner first" "inner" inner.T.name;
+      Alcotest.(check string) "outer second" "outer" outer.T.name;
+      Alcotest.(check int) "root parent is 0" 0 outer.T.parent;
+      Alcotest.(check int) "inner's parent is outer" outer.T.id inner.T.parent;
+      Alcotest.(check int) "outer depth" 0 outer.T.depth;
+      Alcotest.(check int) "inner depth" 1 inner.T.depth;
+      Alcotest.(check bool) "ids dense from 1" true
+        (outer.T.id = 1 && inner.T.id = 2);
+      Alcotest.(check (list (pair string string))) "declared tags"
+        [ "k", "v" ] outer.T.tags;
+      Alcotest.(check (list (pair string string))) "tag hits innermost span"
+        [ "mid", "yes" ] inner.T.tags;
+      Alcotest.(check bool) "durations non-negative" true
+        (inner.T.duration_ns >= 0. && outer.T.duration_ns >= 0.)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_finishes_on_raise () =
+  fresh ();
+  let ring = T.Ring.create 16 in
+  T.set_sink (Some (T.Ring.sink ring));
+  (try T.with_span "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* the stack must be clean: a next root span really is a root *)
+  T.with_span "after" ignore;
+  T.set_sink None;
+  match T.Ring.contents ring with
+  | [ raising; after ] ->
+      Alcotest.(check string) "raising span emitted" "raising" raising.T.name;
+      Alcotest.(check int) "stack popped on raise" 0 after.T.parent
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_ring_capacity () =
+  fresh ();
+  let ring = T.Ring.create 3 in
+  T.set_sink (Some (T.Ring.sink ring));
+  for i = 1 to 5 do
+    T.with_span (Fmt.str "s%d" i) ignore
+  done;
+  T.set_sink None;
+  Alcotest.(check (list string)) "keeps the most recent, oldest first"
+    [ "s3"; "s4"; "s5" ]
+    (List.map (fun s -> s.T.name) (T.Ring.contents ring))
+
+let test_span_lines_well_formed () =
+  fresh ();
+  let ring = T.Ring.create 64 in
+  T.set_sink (Some (T.Ring.sink ring));
+  T.with_span "outer" ~tags:[ "mode", "incremental"; "quote", {|a"b|} ]
+    (fun () -> T.with_span "inner" ignore);
+  T.set_sink None;
+  List.iter
+    (fun s ->
+      (match Relational.Sexp.parse (T.sexp_line s) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "sexp line unparseable: %s" e);
+      match J.parse (T.json_line s) with
+      | Error e -> Alcotest.failf "json line unparseable: %s" e
+      | Ok doc ->
+          Alcotest.(check (option string))
+            "name survives the round-trip" (Some s.T.name)
+            (Option.bind (J.member "name" doc) J.to_str))
+    (T.Ring.contents ring)
+
+(* --- json --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [ "s", J.Str "a\"b\\c\nd\t\x01e";
+        "n", J.Num 1234.5;
+        "i", J.Num 42.;
+        "b", J.Bool true;
+        "z", J.Null;
+        "a", J.Arr [ J.Num 1.; J.Obj [ "nested", J.Str "unicode: \xc3\xa9" ] ] ]
+  in
+  match J.parse (J.to_string doc) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok doc' ->
+      Alcotest.(check bool) "document equal after round-trip" true
+        (J.equal doc doc');
+      (* non-finite numbers degrade to null rather than emitting
+         unparseable tokens *)
+      Alcotest.(check string) "nan is null" "null" (J.to_string (J.Num nan))
+
+(* --- the stats surface -------------------------------------------------- *)
+
+let test_stats_exercise_and_json () =
+  fresh ();
+  (match Penguin.Stats.exercise () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stats exercise failed: %s" e);
+  let doc = Penguin.Stats.json () in
+  (* What the CLI prints with --json must round-trip through the
+     bundled parser... *)
+  (match J.parse (J.to_string doc) with
+  | Error e -> Alcotest.failf "stats json does not re-parse: %s" e
+  | Ok doc' ->
+      Alcotest.(check bool) "stats json round-trips" true (J.equal doc doc'));
+  (* ...and must show every instrumented layer fired. *)
+  let counter name =
+    match
+      Option.bind (J.member "counters" doc) (fun c ->
+          Option.bind (J.member name c) J.to_float)
+    with
+    | Some v -> int_of_float v
+    | None -> Alcotest.failf "counter %s missing from stats json" name
+  in
+  Alcotest.(check bool) "engine committed" true (counter "engine.commits" > 0);
+  Alcotest.(check bool) "session committed" true
+    (counter "session.commits" > 0);
+  Alcotest.(check bool) "a rebase was forced" true
+    (counter "session.rebases" > 0);
+  Alcotest.(check bool) "journal appended" true (counter "journal.appends" > 0);
+  Alcotest.(check bool) "journal rotated" true
+    (counter "journal.rotations" > 0);
+  Alcotest.(check bool) "torn tail repaired" true
+    (counter "journal.torn_repairs" > 0);
+  Alcotest.(check bool) "stores opened" true (counter "recovery.opens" > 0);
+  (* the table renders every registered metric *)
+  let table = Penguin.Stats.table () in
+  List.iter
+    (fun (name, _, _) ->
+      if not (Relational.Strutil.contains ~sub:name table) then
+        Alcotest.failf "metric %s missing from stats table" name)
+    (M.all ())
+
+let test_stats_exercise_traces () =
+  fresh ();
+  let ring = T.Ring.create 4096 in
+  T.set_sink (Some (T.Ring.sink ring));
+  (match Penguin.Stats.exercise () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stats exercise failed: %s" e);
+  T.set_sink None;
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun s -> s.T.name) (T.Ring.contents ring))
+  in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "span %s not produced by the stats workload" expected)
+    [ "engine.stage"; "engine.translate"; "engine.commit_group";
+      "engine.global_check"; "session.commit"; "session.rebase";
+      "journal.append"; "journal.rotate"; "recovery.open_store";
+      "recovery.persist" ]
+
+(* --- the bench-regression gate ------------------------------------------ *)
+
+let bench_doc groups =
+  J.to_string
+    (J.Obj
+       [ "quick", J.Bool true;
+         "groups",
+         J.Arr
+           (List.map
+              (fun (name, results) ->
+                J.Obj
+                  [ "group", J.Str name;
+                    "results",
+                    J.Arr
+                      (List.map
+                         (fun (n, ns) ->
+                           J.Obj
+                             [ "name", J.Str n;
+                               "ns_per_op",
+                               (match ns with
+                               | Some v -> J.Num v
+                               | None -> J.Null) ])
+                         results) ])
+              groups) ])
+
+let baseline_doc =
+  bench_doc
+    [ "e9",
+      [ "fast", Some 100.; "mid", Some 200.; "slow", Some 400.;
+        "broken", None ];
+      "e10", [ "a", Some 1000.; "b", Some 3000. ] ]
+
+let parse_groups doc =
+  match Bench_gate.parse doc with
+  | Ok gs -> gs
+  | Error e -> Alcotest.failf "gate parse failed: %s" e
+
+let test_gate_parse_and_median () =
+  let groups = parse_groups baseline_doc in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  let e9 = List.hd groups in
+  (* null measurements are dropped, not treated as zero *)
+  Alcotest.(check int) "null result dropped" 3 (List.length e9.Bench_gate.results);
+  Alcotest.(check (option (float 1e-6))) "odd-arity median" (Some 200.)
+    (Bench_gate.median e9);
+  Alcotest.(check (option (float 1e-6))) "even-arity median" (Some 2000.)
+    (Bench_gate.median (List.nth groups 1));
+  Alcotest.(check (option (float 1e-6))) "empty group has no median" None
+    (Bench_gate.median { Bench_gate.name = "x"; results = [] })
+
+let test_gate_passes_on_baseline () =
+  let baseline = parse_groups baseline_doc in
+  let verdicts = Bench_gate.compare ~threshold:2.5 ~baseline baseline in
+  Alcotest.(check bool) "self-comparison passes" false
+    (Bench_gate.failed verdicts);
+  (* mild noise within the threshold also passes *)
+  let noisy =
+    parse_groups
+      (bench_doc
+         [ "e9", [ "fast", Some 180.; "mid", Some 390.; "slow", Some 700. ];
+           "e10", [ "a", Some 1900.; "b", Some 5600. ] ])
+  in
+  Alcotest.(check bool) "2x noise passes a 2.5x gate" false
+    (Bench_gate.failed (Bench_gate.compare ~threshold:2.5 ~baseline noisy))
+
+let test_gate_fails_on_injected_slowdown () =
+  let baseline = parse_groups baseline_doc in
+  (* the acceptance scenario: every e9 measurement 10x slower *)
+  let slowed =
+    parse_groups
+      (bench_doc
+         [ "e9", [ "fast", Some 1000.; "mid", Some 2000.; "slow", Some 4000. ];
+           "e10", [ "a", Some 1000.; "b", Some 3000. ] ])
+  in
+  let verdicts = Bench_gate.compare ~threshold:2.5 ~baseline slowed in
+  Alcotest.(check bool) "10x slowdown fails" true (Bench_gate.failed verdicts);
+  let v =
+    List.find (fun v -> v.Bench_gate.group_name = "e9") verdicts
+  in
+  Alcotest.(check bool) "the slowed group is the one flagged" true
+    (v.Bench_gate.status = Bench_gate.Regressed);
+  Alcotest.(check (option (float 1e-6))) "ratio reported" (Some 10.)
+    v.Bench_gate.ratio;
+  Alcotest.(check bool) "report names the culprit" true
+    (Relational.Strutil.contains ~sub:"e9"
+       (Bench_gate.report ~threshold:2.5 verdicts))
+
+let test_gate_missing_and_new_groups () =
+  let baseline = parse_groups baseline_doc in
+  let missing =
+    parse_groups (bench_doc [ "e10", [ "a", Some 1000.; "b", Some 3000. ] ])
+  in
+  let verdicts = Bench_gate.compare ~threshold:2.5 ~baseline missing in
+  Alcotest.(check bool) "a dropped group fails the gate" true
+    (Bench_gate.failed verdicts);
+  let e9 = List.find (fun v -> v.Bench_gate.group_name = "e9") verdicts in
+  Alcotest.(check bool) "flagged as missing" true
+    (e9.Bench_gate.status = Bench_gate.Missing);
+  let extra =
+    parse_groups
+      (bench_doc
+         [ "e9", [ "fast", Some 100.; "mid", Some 200.; "slow", Some 400. ];
+           "e10", [ "a", Some 1000.; "b", Some 3000. ];
+           "e12", [ "fresh", Some 50. ] ])
+  in
+  let verdicts = Bench_gate.compare ~threshold:2.5 ~baseline extra in
+  Alcotest.(check bool) "a new group does not fail the gate" false
+    (Bench_gate.failed verdicts);
+  let e12 = List.find (fun v -> v.Bench_gate.group_name = "e12") verdicts in
+  Alcotest.(check bool) "flagged as new" true
+    (e12.Bench_gate.status = Bench_gate.New)
+
+let test_gate_rejects_malformed () =
+  (match Bench_gate.parse "{\"no\": \"groups\"}" with
+  | Ok _ -> Alcotest.fail "document without groups must not parse"
+  | Error _ -> ());
+  match Bench_gate.parse "not json at all" with
+  | Ok _ -> Alcotest.fail "non-json must not parse"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "time records on raise" `Quick
+      test_time_records_on_raise;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span finishes on raise" `Quick
+      test_span_finishes_on_raise;
+    Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
+    Alcotest.test_case "span lines well-formed" `Quick
+      test_span_lines_well_formed;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "stats exercise + json round-trip" `Quick
+      test_stats_exercise_and_json;
+    Alcotest.test_case "stats exercise traces every layer" `Quick
+      test_stats_exercise_traces;
+    Alcotest.test_case "gate parse + median" `Quick test_gate_parse_and_median;
+    Alcotest.test_case "gate passes on baseline" `Quick
+      test_gate_passes_on_baseline;
+    Alcotest.test_case "gate fails on 10x slowdown" `Quick
+      test_gate_fails_on_injected_slowdown;
+    Alcotest.test_case "gate: missing and new groups" `Quick
+      test_gate_missing_and_new_groups;
+    Alcotest.test_case "gate rejects malformed documents" `Quick
+      test_gate_rejects_malformed;
+  ]
