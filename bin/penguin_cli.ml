@@ -16,11 +16,24 @@ open Viewobject
 let fixtures =
   [ "university"; "hospital"; "cad" ]
 
+(* CLI misuse is an [Invalid] on the typed error path (printed and
+   exited cleanly), never an exception — a user typo must not print a
+   backtrace. *)
 let workspace_of = function
-  | "university" -> Penguin.University.workspace ()
-  | "hospital" -> Penguin.Hospital.workspace ()
-  | "cad" -> Penguin.Cad.workspace ()
-  | f -> Fmt.failwith "unknown fixture %s (expected: %s)" f (String.concat ", " fixtures)
+  | "university" -> Ok (Penguin.University.workspace ())
+  | "hospital" -> Ok (Penguin.Hospital.workspace ())
+  | "cad" -> Ok (Penguin.Cad.workspace ())
+  | f ->
+      Error
+        (Penguin.Error.invalid
+           (Fmt.str "unknown fixture %s (expected: %s)" f
+              (String.concat ", " fixtures)))
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Fmt.epr "error: %s@." (Penguin.Error.to_string e);
+      exit 1
 
 let fixture_arg =
   let doc = "Fixture database: university, hospital or cad." in
@@ -61,7 +74,7 @@ let figures_cmd =
 (* --- show ------------------------------------------------------------ *)
 
 let show fixture =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   Fmt.pr "structural schema:@.%a@.@." Structural.Schema_graph.pp
     ws.Penguin.Workspace.graph;
   List.iter
@@ -100,7 +113,7 @@ let show_cmd =
 (* --- sql ------------------------------------------------------------- *)
 
 let sql fixture stmt =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   match Penguin.Workspace.run_sql ws stmt with
   | Ok (_, answers) ->
       List.iter (fun a -> Fmt.pr "%a@." Relational.Sql.pp_answer a) answers
@@ -120,7 +133,7 @@ let sql_cmd =
 (* --- oql ------------------------------------------------------------- *)
 
 let oql fixture object_name query json sexp =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   match Penguin.Workspace.find_object ws object_name with
   | Error e ->
       Fmt.epr "error: %s@." e;
@@ -170,7 +183,7 @@ let oql_cmd =
 (* --- dialog ---------------------------------------------------------- *)
 
 let dialog fixture object_name assume_yes =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   match Penguin.Workspace.find_object ws object_name with
   | Error e ->
       Fmt.epr "error: %s@." e;
@@ -209,7 +222,7 @@ let dialog_cmd =
 (* --- insert ------------------------------------------------------------ *)
 
 let insert fixture object_name file =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   let content =
     try
       let ic = open_in file in
@@ -339,7 +352,7 @@ let trace_term =
 (* --- update ----------------------------------------------------------- *)
 
 let update () fixture object_name stmt =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   match Penguin.Upql.apply ws ~object_name stmt with
   | Error e ->
       Fmt.epr "error: %s@." e;
@@ -372,11 +385,11 @@ let update_cmd =
 (* --- export / import -------------------------------------------------- *)
 
 let export fixture path no_data =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   match Penguin.Store.save_file ~include_data:(not no_data) ws path with
   | Ok () -> Fmt.pr "saved %s workspace to %s@." fixture path
   | Error e ->
-      Fmt.epr "error: %s@." e;
+      Fmt.epr "error: %s@." (Penguin.Error.to_string e);
       exit 1
 
 let export_cmd =
@@ -397,7 +410,7 @@ let export_cmd =
 let import path =
   match Penguin.Recovery.open_store path with
   | Error e ->
-      Fmt.epr "error: %s@." e;
+      Fmt.epr "error: %s@." (Penguin.Error.to_string e);
       exit 1
   | Ok (ws, report) ->
       Fmt.pr "loaded workspace: %d relation(s), %d tuple(s), %d object(s) (%a)@."
@@ -440,17 +453,11 @@ let import_cmd =
 let read_file path =
   match Penguin.Fsio.default.Penguin.Fsio.read path with
   | Ok (Some s) -> Ok s
-  | Ok None -> Error (Fmt.str "%s: no such file" path)
+  | Ok None -> Error (Penguin.Error.invalid (Fmt.str "%s: no such file" path))
   | Error e -> Error e
 
 let write_file path content =
   Penguin.Fsio.(atomic_write default) ~path content
-
-let or_die = function
-  | Ok v -> v
-  | Error e ->
-      Fmt.epr "error: %s@." e;
-      exit 1
 
 type session_doc = {
   sess_store : string;
@@ -528,25 +535,32 @@ let stage_session ws doc =
   List.fold_left
     (fun acc (obj, stmt) ->
       let* sess = acc in
-      let* reqs = Penguin.Upql.requests ws ~object_name:obj stmt in
+      let* reqs =
+        Result.map_error Penguin.Error.invalid
+          (Penguin.Upql.requests ws ~object_name:obj stmt)
+      in
       let n = List.length reqs in
       List.fold_left
         (fun acc (i, req) ->
           let* sess = acc in
           let retry ws' =
-            let* reqs' = Penguin.Upql.requests ws' ~object_name:obj stmt in
+            let* reqs' =
+              Result.map_error Penguin.Error.invalid
+                (Penguin.Upql.requests ws' ~object_name:obj stmt)
+            in
             match reqs' with
             | [] -> Ok None  (* the edit already holds in the new state *)
             | l when List.length l = n -> Ok (Some (List.nth l i))
             | _ ->
                 Error
-                  (Fmt.str
-                     "rebase: %S on %s matches a different set of instances \
-                      now; begin a fresh session"
-                     stmt obj)
+                  (Penguin.Error.conflict
+                     (Fmt.str
+                        "rebase: %S on %s matches a different set of \
+                         instances now; begin a fresh session"
+                        stmt obj))
           in
           Result.map_error
-            (Fmt.str "staging %S on %s: %s" stmt obj)
+            (Penguin.Error.with_context (Fmt.str "staging %S on %s" stmt obj))
             (Penguin.Session.queue sess obj ~retry req))
         (Ok sess)
         (List.mapi (fun i r -> i, r) reqs))
@@ -571,19 +585,26 @@ let session_begin store session =
     Penguin.Recovery.pp_report report
 
 let load_snapshot doc =
-  let ws = or_die (Penguin.Store.load doc.sess_snapshot) in
+  let ws =
+    or_die (Result.map_error Penguin.Error.corrupt (Penguin.Store.load doc.sess_snapshot))
+  in
   if Penguin.Workspace.version ws <> doc.sess_base then
     or_die
       (Error
-         (Fmt.str
-            "session file: snapshot is at v%d but the header says v%d — \
-             corrupt session file"
-            (Penguin.Workspace.version ws)
-            doc.sess_base));
+         (Penguin.Error.corrupt
+            (Fmt.str
+               "session file: snapshot is at v%d but the header says v%d — \
+                corrupt session file"
+               (Penguin.Workspace.version ws)
+               doc.sess_base)));
   ws
 
 let session_queue session obj stmt =
-  let doc = or_die (Result.bind (read_file session) parse_session) in
+  let doc =
+    or_die
+      (Result.bind (read_file session) (fun c ->
+           Result.map_error Penguin.Error.corrupt (parse_session c)))
+  in
   let ws = load_snapshot doc in
   let doc = { doc with sess_queue = doc.sess_queue @ [ obj, stmt ] } in
   let sess = or_die (stage_session ws doc) in
@@ -592,13 +613,24 @@ let session_queue session obj stmt =
     (Penguin.Session.pending sess)
     doc.sess_base
 
-let session_commit () session =
-  let doc = or_die (Result.bind (read_file session) parse_session) in
+let session_commit () deadline session =
+  let doc =
+    or_die
+      (Result.bind (read_file session) (fun c ->
+           Result.map_error Penguin.Error.corrupt (parse_session c)))
+  in
   (* The whole reopen → rebase → persist sequence runs under the store's
      exclusive lock: without it, two concurrent commits can both open at
      vN and both journal a vN+1, leaving the store unopenable. or_die
      inside the locked region is safe — process exit releases the lock. *)
-  or_die @@ Penguin.Fsio.with_lock doc.sess_store
+  (* [--deadline N] bounds the whole commit — lock wait, rebases, and
+     the durable append's retries share one absolute budget instead of
+     each hanging independently. 0 disables the bound. *)
+  let deadline_ns =
+    if deadline <= 0. then None
+    else Some (Obs.Metrics.now_ns () +. (deadline *. 1e9))
+  in
+  or_die @@ Penguin.Fsio.with_lock ?deadline_ns doc.sess_store
   @@ fun () ->
   (* Reconstruct the current store state — snapshot plus replayed
      journal deltas — then stage the session's statements against its
@@ -611,11 +643,17 @@ let session_commit () session =
     Fmt.pr "store advanced (version %d -> %d) since begin@." doc.sess_base
       current;
   let sess = or_die (stage_session (load_snapshot doc) doc) in
-  let ws', stats = or_die (Penguin.Session.commit ws_now sess) in
+  let ws', stats =
+    or_die (Penguin.Session.commit ?deadline_ns ws_now sess)
+  in
   let committed = stats.Penguin.Session.committed in
   let version = stats.Penguin.Session.version in
   let persisted =
-    or_die (Penguin.Recovery.persist ~store:doc.sess_store ~since:current ws')
+    (* Transient disk faults on the append are retried with backoff
+       under the same deadline; non-transient ones fail immediately. *)
+    or_die
+      (Penguin.Resilience.retry ?deadline_ns ~label:"persist" (fun () ->
+           Penguin.Recovery.persist ~store:doc.sess_store ~since:current ws'))
   in
   (* The commit is durable (journal fsynced) from here on; everything
      past this point — rotation, session-file removal — must not make it
@@ -627,7 +665,7 @@ let session_commit () session =
       Fmt.epr
         "warning: commit is durable, but folding the journal into a fresh \
          snapshot failed (%s); a later commit will retry the rotation@."
-        e);
+        (Penguin.Error.to_string e));
   (try Sys.remove session
    with Sys_error e ->
      Fmt.epr
@@ -676,11 +714,20 @@ let session_queue_cmd =
     Term.(const session_queue $ session_file_arg 0 $ obj $ stmt)
 
 let session_commit_cmd =
+  let deadline =
+    Arg.(value & opt float 30.
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Overall time budget for the commit: lock acquisition, \
+                   OCC rebases and durable-append retries share it; when \
+                   it runs out the command fails with a deadline error \
+                   instead of hanging. 0 waits forever (the pre-resilience \
+                   behaviour).")
+  in
   Cmd.v
     (Cmd.info "commit"
        ~doc:"Group-commit a session's staged updates onto the store, \
              rebasing if the store advanced since $(b,begin).")
-    Term.(const session_commit $ trace_term $ session_file_arg 0)
+    Term.(const session_commit $ trace_term $ deadline $ session_file_arg 0)
 
 let session_cmd =
   Cmd.group
@@ -721,7 +768,7 @@ let stats_cmd =
 (* --- dot ------------------------------------------------------------- *)
 
 let dot fixture =
-  let ws = workspace_of fixture in
+  let ws = or_die (workspace_of fixture) in
   print_string (Structural.Schema_graph.to_dot ws.Penguin.Workspace.graph)
 
 let dot_cmd =

@@ -27,7 +27,7 @@ let () =
   section "Site A: define and export (definitions only)";
   let site_a = University.workspace () in
   let path = Filename.temp_file "penguin_defs" ".pws" in
-  or_die (Store.save_file ~include_data:false site_a path);
+  or_die (Result.map_error Error.to_string (Store.save_file ~include_data:false site_a path));
   Fmt.pr "definitions exported to %s (%d bytes)@." path
     (String.length (Store.save ~include_data:false site_a));
 

@@ -1,0 +1,91 @@
+type io_op = Read | Write | Sync | Rename | Remove | Lock
+
+type t =
+  | Conflict of string
+  | Io of { op : io_op; path : string; transient : bool; detail : string }
+  | Corrupt of string
+  | Invalid of string
+  | Busy of string
+  | Deadline_exceeded of string
+
+let conflict m = Conflict m
+let corrupt m = Corrupt m
+let invalid m = Invalid m
+let busy m = Busy m
+let deadline_exceeded m = Deadline_exceeded m
+
+let io ~op ~path ?(transient = false) detail =
+  Io { op; path; transient; detail }
+
+let transient_errno = function
+  | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EBUSY | Unix.ENOLCK
+  | Unix.ETIMEDOUT ->
+      true
+  | _ -> false
+
+let of_unix ~op ~path ~fn ~arg e =
+  let detail =
+    if arg = "" then Fmt.str "%s: %s" fn (Unix.error_message e)
+    else Fmt.str "%s %s: %s" fn arg (Unix.error_message e)
+  in
+  Io { op; path; transient = transient_errno e; detail }
+
+let retryable = function
+  | Conflict _ | Busy _ | Io { transient = true; _ } -> true
+  | Io { transient = false; _ } | Corrupt _ | Invalid _
+  | Deadline_exceeded _ ->
+      false
+
+let breaker_fault = function
+  | Io { transient = false; _ } | Corrupt _ -> true
+  | Io { transient = true; _ } | Conflict _ | Invalid _ | Busy _
+  | Deadline_exceeded _ ->
+      false
+
+let kind = function
+  | Conflict _ -> "conflict"
+  | Io _ -> "io"
+  | Corrupt _ -> "corrupt"
+  | Invalid _ -> "invalid"
+  | Busy _ -> "busy"
+  | Deadline_exceeded _ -> "deadline"
+
+let op_label = function
+  | Read -> "read"
+  | Write -> "write"
+  | Sync -> "sync"
+  | Rename -> "rename"
+  | Remove -> "remove"
+  | Lock -> "lock"
+
+let with_context ctx = function
+  | Conflict m -> Conflict (ctx ^ ": " ^ m)
+  | Io r -> Io { r with detail = ctx ^ ": " ^ r.detail }
+  | Corrupt m -> Corrupt (ctx ^ ": " ^ m)
+  | Invalid m -> Invalid (ctx ^ ": " ^ m)
+  | Busy m -> Busy (ctx ^ ": " ^ m)
+  | Deadline_exceeded m -> Deadline_exceeded (ctx ^ ": " ^ m)
+
+let to_string = function
+  | Conflict m | Corrupt m | Invalid m | Busy m | Deadline_exceeded m -> m
+  | Io { op; path; transient; detail } ->
+      Fmt.str "%s %s: %s%s" (op_label op) path detail
+        (if transient then " (transient)" else "")
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+let message = function
+  | Conflict m | Corrupt m | Invalid m | Busy m | Deadline_exceeded m -> m
+  | Io { detail; _ } -> detail
+
+let to_json e =
+  let base =
+    [ "kind", Obs.Json.Str (kind e); "message", Obs.Json.Str (message e) ]
+  in
+  match e with
+  | Io { op; path; transient; _ } ->
+      Obs.Json.Obj
+        (base
+        @ [ "op", Obs.Json.Str (op_label op); "path", Obs.Json.Str path;
+            "transient", Obs.Json.Bool transient ])
+  | _ -> Obs.Json.Obj base

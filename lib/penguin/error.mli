@@ -1,0 +1,93 @@
+(** The typed error taxonomy of the serving path.
+
+    Every failure the durability and serving layers ({!Fsio}, {!Journal},
+    {!Recovery}, {!Session}, the CLI) can report is one of six kinds,
+    each with a fixed answer to the question a caller actually has:
+    {e may I retry this?} The paper's contract is that an update either
+    translates into valid relational updates or is rejected cleanly;
+    this module extends "rejected cleanly" to the failure path — a
+    fault is classified once, where it is raised, and every layer above
+    routes on the class instead of grepping message strings.
+
+    - {!Conflict}: optimistic concurrency lost a race (a concurrent
+      commit overlaps the session's footprint, or the store advanced
+      under a prepared commit). Retryable — reopen and rebase.
+    - [Io]: a filesystem primitive failed. [transient] says whether the
+      errno class is worth retrying (EINTR/EAGAIN/EBUSY...) or not
+      (ENOSPC, EACCES, EROFS...).
+    - {!Corrupt}: on-disk state fails validation — bad checksums, an
+      unparsable header, a replay that breaks the structural model.
+      Never retryable; requires repair or operator attention.
+    - {!Invalid}: the caller's request is wrong (unknown store or
+      fixture, translation rejection, stale session document).
+      Retrying the same request cannot succeed.
+    - {!Busy}: the system sheds the request — admission control is at
+      capacity, or the circuit breaker holds the store in degraded
+      read-only mode. Retryable later.
+    - {!Deadline_exceeded}: the caller's time budget ran out while
+      retrying or waiting on a lock. Not retryable under the same
+      deadline (the budget is spent). *)
+
+(** Which {!Fsio} primitive an I/O error came from. *)
+type io_op = Read | Write | Sync | Rename | Remove | Lock
+
+type t =
+  | Conflict of string
+  | Io of { op : io_op; path : string; transient : bool; detail : string }
+  | Corrupt of string
+  | Invalid of string
+  | Busy of string
+  | Deadline_exceeded of string
+
+(** {1 Constructors} *)
+
+val conflict : string -> t
+val corrupt : string -> t
+val invalid : string -> t
+val busy : string -> t
+val deadline_exceeded : string -> t
+
+val io : op:io_op -> path:string -> ?transient:bool -> string -> t
+(** [transient] defaults to [false]. *)
+
+val of_unix : op:io_op -> path:string -> fn:string -> arg:string ->
+  Unix.error -> t
+(** Classify a [Unix.Unix_error]: [EINTR], [EAGAIN], [EWOULDBLOCK],
+    [EBUSY], [ENOLCK] and [ETIMEDOUT] are transient; everything else
+    (no space, permissions, read-only filesystem...) is not. [fn] and
+    [arg] are the syscall name and argument the exception carried. *)
+
+val transient_errno : Unix.error -> bool
+
+(** {1 Classification} *)
+
+val retryable : t -> bool
+(** May an identical attempt succeed? [Conflict], [Busy] and transient
+    [Io] — yes; [Corrupt], [Invalid], [Deadline_exceeded] and
+    non-transient [Io] — no. {!Resilience.retry} routes on this. *)
+
+val breaker_fault : t -> bool
+(** Does this failure count toward tripping the circuit breaker into
+    degraded read-only mode? Only durability failures that retrying
+    cannot fix: non-transient [Io] and [Corrupt]. Transient faults,
+    lost races and caller mistakes never trip the breaker. *)
+
+val kind : t -> string
+(** Stable lowercase label of the variant ("conflict", "io", "corrupt",
+    "invalid", "busy", "deadline") — the value used in metric names and
+    trace tags. *)
+
+val op_label : io_op -> string
+
+(** {1 Rendering} *)
+
+val with_context : string -> t -> t
+(** Prefix the human-readable message with ["context: "], preserving
+    the classification (for [Io], the prefix lands on [detail]). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Obs.Json.t
+(** [{"kind": ..., "message": ...}] plus, for [Io],
+    ["op"], ["path"] and ["transient"]. *)

@@ -1,27 +1,27 @@
 type t = {
-  read : string -> (string option, string) result;
-  write : path:string -> append:bool -> string -> (unit, string) result;
-  sync : string -> (unit, string) result;
-  rename : src:string -> dst:string -> (unit, string) result;
-  remove : string -> (unit, string) result;
+  read : string -> (string option, Error.t) result;
+  write : path:string -> append:bool -> string -> (unit, Error.t) result;
+  sync : string -> (unit, Error.t) result;
+  rename : src:string -> dst:string -> (unit, Error.t) result;
+  remove : string -> (unit, Error.t) result;
 }
 
-let wrap f = try Ok (f ()) with
-  | Unix.Unix_error (e, fn, arg) ->
-      Error (Fmt.str "%s %s: %s" fn arg (Unix.error_message e))
-  | Sys_error e -> Error e
+let wrap ~op ~path f =
+  try Ok (f ()) with
+  | Unix.Unix_error (e, fn, arg) -> Error (Error.of_unix ~op ~path ~fn ~arg e)
+  | Sys_error e -> Error (Error.io ~op ~path e)
 
 let read_default path =
   if not (Sys.file_exists path) then Ok None
   else
-    wrap (fun () ->
+    wrap ~op:Error.Read ~path (fun () ->
         let ic = open_in_bin path in
         Fun.protect
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> Some (really_input_string ic (in_channel_length ic))))
 
 let write_default ~path ~append content =
-  wrap (fun () ->
+  wrap ~op:Error.Write ~path (fun () ->
       let flags =
         Unix.O_WRONLY :: Unix.O_CREAT
         :: (if append then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ])
@@ -38,15 +38,17 @@ let write_default ~path ~append content =
           done))
 
 let sync_default path =
-  wrap (fun () ->
+  wrap ~op:Error.Sync ~path (fun () ->
       let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () -> Unix.fsync fd))
 
-let rename_default ~src ~dst = wrap (fun () -> Sys.rename src dst)
+let rename_default ~src ~dst =
+  wrap ~op:Error.Rename ~path:dst (fun () -> Sys.rename src dst)
 
-let remove_default path = wrap (fun () -> Sys.remove path)
+let remove_default path =
+  wrap ~op:Error.Remove ~path (fun () -> Sys.remove path)
 
 let default =
   {
@@ -78,17 +80,149 @@ let atomic_write io ~path content =
 
 let lock_path path = path ^ ".lock"
 
-let with_lock path f =
+(* Deadline-bounded acquisition polls a non-blocking lock: there is no
+   portable "lockf with timeout", and poll periods here (1..50 ms,
+   doubling) are dwarfed by the fsyncs the lock guards. *)
+let acquire ?deadline_ns ?(clock = Resilience.Clock.real) ~path fd =
+  match deadline_ns with
+  | None -> wrap ~op:Error.Lock ~path (fun () -> Unix.lockf fd Unix.F_LOCK 0)
+  | Some deadline ->
+      let rec poll pause_ns =
+        match
+          try
+            Unix.lockf fd Unix.F_TLOCK 0;
+            `Locked
+          with
+          | Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES | Unix.EWOULDBLOCK), _, _)
+            ->
+              `Held
+          | Unix.Unix_error (e, fn, arg) ->
+              `Err (Error.of_unix ~op:Error.Lock ~path ~fn ~arg e)
+        with
+        | `Locked -> Ok ()
+        | `Err e -> Error e
+        | `Held ->
+            let now = clock.Resilience.Clock.now_ns () in
+            if now >= deadline then
+              Error
+                (Error.Deadline_exceeded
+                   (Fmt.str "lock %s: held by another process past the deadline"
+                      path))
+            else begin
+              clock.Resilience.Clock.sleep_ns
+                (Float.min pause_ns (deadline -. now));
+              poll (Float.min (pause_ns *. 2.) 5e7)
+            end
+      in
+      poll 1e6
+
+let with_lock ?deadline_ns ?clock path f =
+  let lp = lock_path path in
   let* fd =
-    wrap (fun () ->
-        Unix.openfile (lock_path path)
-          [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ]
-          0o644)
+    wrap ~op:Error.Lock ~path:lp (fun () ->
+        Unix.openfile lp [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644)
   in
   Fun.protect
     (* Closing the fd releases the lock (and the OS releases it if the
        process dies inside [f]). *)
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      let* () = wrap (fun () -> Unix.lockf fd Unix.F_LOCK 0) in
+      let* () = acquire ?deadline_ns ?clock ~path:lp fd in
       f ())
+
+module Fault = struct
+  module M = Obs.Metrics
+
+  let m_injected =
+    M.counter ~help:"I/O faults injected by the test harness"
+      "fsio.injected_faults"
+
+  type kind = Transient | Hard | Torn | Corrupt
+
+  type op = [ `Read | `Write | `Sync | `Rename | `Remove ]
+
+  (* The same keyed 48-bit LCG the backoff jitter uses, but advanced as
+     a stream: one draw per guarded operation, so the fault pattern is a
+     pure function of (seed, operation sequence). *)
+  type rng = { mutable s : int }
+
+  let rng_create seed = { s = (seed * 0x9E3779B9 lxor 0x5DEECE66D) land 0xFFFFFFFFFFFF }
+
+  let draw r =
+    r.s <- ((r.s * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+    float_of_int (r.s lsr 16) /. 4294967296.
+
+  (* A second independent draw for positions (torn cut, corrupt byte). *)
+  let draw_int r n = if n <= 0 then 0 else int_of_float (draw r *. float_of_int n)
+
+  let fail ~kind ~op ~path =
+    M.Counter.incr m_injected;
+    let transient, what =
+      match kind with
+      | Transient -> true, "injected transient fault"
+      | Hard -> false, "injected non-transient fault"
+      | Torn -> true, "injected torn write"
+      | Corrupt -> true, "injected corrupting write"
+    in
+    Error (Error.io ~op ~path ~transient what)
+
+  let flip_byte r content =
+    if content = "" then content
+    else
+      let b = Bytes.of_string content in
+      let i = draw_int r (Bytes.length b) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+      Bytes.unsafe_to_string b
+
+  let inject ~seed ~rate ~kind ?(ops = [ `Read; `Write; `Sync; `Rename; `Remove ])
+      io =
+    let r = rng_create seed in
+    let fires () = rate > 0. && draw r < rate in
+    let guarded op = List.mem op ops in
+    {
+      read =
+        (fun path ->
+          if guarded `Read && fires () then
+            fail ~kind:(match kind with Torn | Corrupt -> Transient | k -> k)
+              ~op:Error.Read ~path
+          else io.read path);
+      write =
+        (fun ~path ~append content ->
+          if guarded `Write && fires () then
+            match kind with
+            | Transient | Hard -> fail ~kind ~op:Error.Write ~path
+            | Torn ->
+                (* Persist a strict prefix, report a (transient) error:
+                   the device tore the write and said so. Replay sees a
+                   length/checksum-invalid tail. *)
+                let cut = draw_int r (String.length content) in
+                let (_ : (unit, Error.t) result) =
+                  io.write ~path ~append (String.sub content 0 cut)
+                in
+                fail ~kind ~op:Error.Write ~path
+            | Corrupt ->
+                let (_ : (unit, Error.t) result) =
+                  io.write ~path ~append (flip_byte r content)
+                in
+                fail ~kind ~op:Error.Write ~path
+          else io.write ~path ~append content);
+      sync =
+        (fun path ->
+          if guarded `Sync && fires () then
+            fail ~kind:(match kind with Torn | Corrupt -> Transient | k -> k)
+              ~op:Error.Sync ~path
+          else io.sync path);
+      rename =
+        (fun ~src ~dst ->
+          if guarded `Rename && fires () then
+            fail ~kind:(match kind with Torn | Corrupt -> Transient | k -> k)
+              ~op:Error.Rename ~path:dst
+          else io.rename ~src ~dst);
+      remove =
+        (fun path ->
+          if guarded `Remove && fires () then
+            fail ~kind:(match kind with Torn | Corrupt -> Transient | k -> k)
+              ~op:Error.Remove ~path
+          else io.remove path);
+    }
+end

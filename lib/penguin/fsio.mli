@@ -6,25 +6,32 @@
     partial write, before an fsync, before a rename — and assert that
     recovery restores a consistent state. The primitives are deliberately
     coarse (whole-content writes over open/write/close triples): each one
-    is a distinct injection point with a well-defined on-disk effect. *)
+    is a distinct injection point with a well-defined on-disk effect.
+
+    Failures are typed ({!Error.Io}): each carries the primitive, the
+    path, and a transient flag classified from the errno
+    ({!Error.of_unix}), which is what {!Resilience.retry} routes on.
+    Beyond crash points, {!Fault} wraps any [t] with seeded transient,
+    torn-write, byte-corrupting, or hard faults at per-operation rates —
+    the harness behind the [@fault-suite] property tests. *)
 
 type t = {
-  read : string -> (string option, string) result;
+  read : string -> (string option, Error.t) result;
       (** Whole-file read; [Ok None] when the file does not exist. *)
-  write : path:string -> append:bool -> string -> (unit, string) result;
+  write : path:string -> append:bool -> string -> (unit, Error.t) result;
       (** Write the full content (create; truncate or append). Makes no
           durability promise — pair with {!field-sync}. *)
-  sync : string -> (unit, string) result;
+  sync : string -> (unit, Error.t) result;
       (** fsync the file (or directory) at the path. *)
-  rename : src:string -> dst:string -> (unit, string) result;
+  rename : src:string -> dst:string -> (unit, Error.t) result;
       (** Atomic within a filesystem (POSIX rename). *)
-  remove : string -> (unit, string) result;
+  remove : string -> (unit, Error.t) result;
 }
 
 val default : t
 (** The real filesystem (Unix-backed). *)
 
-val atomic_write : t -> path:string -> string -> (unit, string) result
+val atomic_write : t -> path:string -> string -> (unit, Error.t) result
 (** Crash-safe whole-file replacement: write a staging file next to
     [path] (named uniquely per call, so concurrent writers never share
     one), fsync it, rename over [path], fsync the directory. A crash at
@@ -34,13 +41,66 @@ val atomic_write : t -> path:string -> string -> (unit, string) result
 val lock_path : string -> string
 (** The lock-file path guarding [path]: [path ^ ".lock"]. *)
 
-val with_lock : string -> (unit -> ('a, string) result) -> ('a, string) result
+val with_lock :
+  ?deadline_ns:float ->
+  ?clock:Resilience.Clock.t ->
+  string ->
+  (unit -> ('a, Error.t) result) ->
+  ('a, Error.t) result
 (** Run the function while holding an exclusive advisory lock on
-    {!lock_path}[ path] (created on demand; acquisition blocks until
-    the current holder releases). Serializes cross-process
+    {!lock_path}[ path] (created on demand). Serializes cross-process
     read-modify-write sequences against the file at [path] — e.g. the
-    CLI's open-store → commit → persist. The lock is released when the
-    function returns, and by the OS if the process dies inside it.
-    Advisory: every writer must take it; plain readers may go without
-    (a reader racing a writer sees at worst a torn journal tail, which
-    replay discards in memory). *)
+    CLI's open-store → commit → persist. Without [deadline_ns],
+    acquisition blocks until the current holder releases (the PR 3
+    behaviour); with it, acquisition polls a non-blocking lock with a
+    short growing backoff and gives up with {!Error.Deadline_exceeded}
+    once [clock] (default the real one) passes the absolute deadline —
+    a slow or dead-but-undetected holder costs a bounded wait, not a
+    hang. The lock is released when the function returns, and by the OS
+    if the process dies inside it. Advisory: every writer must take it;
+    plain readers may go without (a reader racing a writer sees at
+    worst a torn journal tail, which replay discards in memory). *)
+
+(** Seeded injection of non-crash faults into any {!t}.
+
+    Where the crash harness (test_recovery) kills the process at chosen
+    I/O points, this wrapper makes I/O {e fail and continue}: the
+    faulted operation returns a typed {!Error.Io} and the caller's
+    retry/breaker logic must cope. Draws come from a private
+    deterministic generator — same seed, same operation sequence, same
+    faults — so every property test names its seed and reproduces
+    exactly. *)
+module Fault : sig
+  type kind =
+    | Transient
+        (** fail with a transient [Io] {e before} touching the disk —
+            the operation has no effect and an identical retry may
+            succeed *)
+    | Hard
+        (** fail with a non-transient [Io] before touching the disk —
+            what feeds the circuit breaker *)
+    | Torn
+        (** writes only: persist a strict prefix of the content, then
+            fail with a transient [Io] — a torn append whose device
+            reported the error; replay sees a checksum-invalid tail.
+            Non-write operations degrade to [Transient]. *)
+    | Corrupt
+        (** writes only: persist the full content with one byte
+            flipped, then fail with a transient [Io] — detected
+            corruption on the wire. Non-write operations degrade to
+            [Transient]. *)
+
+  type op = [ `Read | `Write | `Sync | `Rename | `Remove ]
+
+  val inject :
+    seed:int ->
+    rate:float ->
+    kind:kind ->
+    ?ops:op list ->
+    t ->
+    t
+  (** Wrap [t] so each operation in [ops] (default: all five) fails
+      with probability [rate] (0..1) and kind [kind]; non-selected
+      operations and non-firing draws pass through untouched. Each
+      injected fault increments the [fsio.injected_faults] counter. *)
+end

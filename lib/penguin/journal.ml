@@ -244,17 +244,21 @@ let replay t =
       match payloads with
       | [] ->
           Error
-            (Fmt.str "journal %s: unreadable header (%d byte(s), %d torn)"
-               t.path clean_bytes torn_bytes)
+            (Error.corrupt
+               (Fmt.str "journal %s: unreadable header (%d byte(s), %d torn)"
+                  t.path clean_bytes torn_bytes))
       | header :: records ->
-          let* base = header_of_payload header in
+          let* base =
+            Result.map_error Error.corrupt (header_of_payload header)
+          in
           let* entries =
-            List.fold_left
-              (fun acc payload ->
-                let* es = acc in
-                let* batch = commit_of_payload payload in
-                Ok (es @ batch))
-              (Ok []) records
+            Result.map_error Error.corrupt
+              (List.fold_left
+                 (fun acc payload ->
+                   Result.bind acc (fun es ->
+                       Result.bind (commit_of_payload payload) (fun batch ->
+                           Ok (es @ batch))))
+                 (Ok []) records)
           in
           M.Counter.add m_replayed_records (List.length records);
           Ok
@@ -270,10 +274,10 @@ let replay t =
 let truncate_torn t ~clean_bytes =
   let* content = t.io.Fsio.read t.path in
   match content with
-  | None -> Error (Fmt.str "journal %s: vanished during repair" t.path)
+  | None -> Error (Error.corrupt (Fmt.str "journal %s: vanished during repair" t.path))
   | Some content ->
       if clean_bytes > String.length content then
-        Error (Fmt.str "journal %s: shrank during repair" t.path)
+        Error (Error.corrupt (Fmt.str "journal %s: shrank during repair" t.path))
       else
         let* () =
           Fsio.atomic_write t.io ~path:t.path (String.sub content 0 clean_bytes)

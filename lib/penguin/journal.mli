@@ -34,11 +34,11 @@ val path : t -> string
 val journal_path : string -> string
 (** Conventional journal location for a store file: [store ^ ".journal"]. *)
 
-val initialize : t -> base:int -> (unit, string) result
+val initialize : t -> base:int -> (unit, Error.t) result
 (** Atomically replace the journal with a fresh one extending version
     [base] (header record only). *)
 
-val append : t -> ?sync:bool -> Commit_log.entry list -> (unit, string) result
+val append : t -> ?sync:bool -> Commit_log.entry list -> (unit, Error.t) result
 (** Append one commit batch as a single record; [sync] (default [true])
     fsyncs afterwards — the commit's durability point. Appending the
     empty batch is a no-op. *)
@@ -51,21 +51,21 @@ type replay = {
   torn_bytes : int;  (** bytes discarded after it ([0] = clean) *)
 }
 
-val replay : t -> (replay option, string) result
+val replay : t -> (replay option, Error.t) result
 (** Read the journal back. [Ok None] when the file does not exist. A
     torn tail — a record cut short or failing its checksum — is
     truncated at the first bad record and reported via [torn_bytes];
     entries before it are returned. An unreadable header, or a
     checksummed record that does not parse, is corruption beyond a torn
-    tail and errors. *)
+    tail and errors with {!Error.Corrupt}. *)
 
-val truncate_torn : t -> clean_bytes:int -> (unit, string) result
+val truncate_torn : t -> clean_bytes:int -> (unit, Error.t) result
 (** Atomically rewrite the journal to its valid prefix (from a {!replay}
     that reported a torn tail), so later appends extend a clean file. *)
 
 val rotate :
   t -> snapshot_path:string -> snapshot:string -> base:int ->
-  (unit, string) result
+  (unit, Error.t) result
 (** Fold the journal into a snapshot: atomically write [snapshot] (tmp
     file + fsync + rename), then {!initialize} the journal at [base].
     A crash between the two steps leaves the new snapshot under the old

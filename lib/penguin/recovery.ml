@@ -46,7 +46,7 @@ let pp_report ppf r =
 
 let apply_entry ws (e : Commit_log.entry) =
   let* log =
-    Commit_log.append_entry ws.Workspace.log e
+    Result.map_error Error.corrupt (Commit_log.append_entry ws.Workspace.log e)
   in
   match e.Commit_log.change with
   | Commit_log.Barrier _ -> Ok { ws with Workspace.log }
@@ -54,9 +54,10 @@ let apply_entry ws (e : Commit_log.entry) =
       let* db =
         Result.map_error
           (fun err ->
-            Fmt.str "recovery: replaying v%d (%s): %s" e.Commit_log.version
-              e.Commit_log.kind
-              (Database.error_to_string err))
+            Error.corrupt
+              (Fmt.str "recovery: replaying v%d (%s): %s" e.Commit_log.version
+                 e.Commit_log.kind
+                 (Database.error_to_string err)))
           (Database.apply_delta ws.Workspace.db d)
       in
       (* Cross-check each replayed delta against the structural model of
@@ -67,9 +68,11 @@ let apply_entry ws (e : Commit_log.entry) =
       | [] -> Ok { ws with Workspace.db; log }
       | v :: _ ->
           Error
-            (Fmt.str "recovery: replaying v%d (%s) breaks the structural model: %a"
-               e.Commit_log.version e.Commit_log.kind
-               Structural.Integrity.pp_violation v))
+            (Error.corrupt
+               (Fmt.str
+                  "recovery: replaying v%d (%s) breaks the structural model: %a"
+                  e.Commit_log.version e.Commit_log.kind
+                  Structural.Integrity.pp_violation v)))
 
 (* [repair] defaults to [false]: a "torn tail" seen by a plain reader
    may be another process's append in flight, and rewriting the journal
@@ -85,9 +88,9 @@ let open_store ?(io = Fsio.default) ?(repair = false) store =
   let* content =
     match content with
     | Some c -> Ok c
-    | None -> Error (Fmt.str "no such store: %s" store)
+    | None -> Error (Error.invalid (Fmt.str "no such store: %s" store))
   in
-  let* ws = Store.load content in
+  let* ws = Result.map_error Error.corrupt (Store.load content) in
   let snapshot_version = Workspace.version ws in
   let jnl = Journal.create ~io (Journal.journal_path store) in
   let* r = Journal.replay jnl in
@@ -157,19 +160,20 @@ let snapshot ?(io = Fsio.default) ~store ws =
 
 type persisted = {
   rotated : bool;
-  rotate_error : string option;
+  rotate_error : Error.t option;
 }
 
-let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
-    ~store ~since ws =
+let persist_unguarded ?(io = Fsio.default) ?(sync = true)
+    ?(rotate_threshold = 64) ~store ~since ws =
   Obs.Trace.with_span "recovery.persist" @@ fun () ->
   M.time m_persist_ns @@ fun () ->
   if since < Commit_log.truncated ws.Workspace.log then
     Error
-      (Fmt.str
-         "persist: history since v%d is not held (log truncated at v%d)"
-         since
-         (Commit_log.truncated ws.Workspace.log))
+      (Error.invalid
+         (Fmt.str
+            "persist: history since v%d is not held (log truncated at v%d)"
+            since
+            (Commit_log.truncated ws.Workspace.log)))
   else
     let entries =
       List.filter
@@ -194,11 +198,12 @@ let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
           in
           if tail <> since then
             Error
-              (Fmt.str
-                 "persist: store %s advanced to v%d but this commit was \
-                  prepared against v%d (concurrent commit?); reopen the \
-                  store and retry"
-                 store tail since)
+              (Error.conflict
+                 (Fmt.str
+                    "persist: store %s advanced to v%d but this commit was \
+                     prepared against v%d (concurrent commit?); reopen the \
+                     store and retry"
+                    store tail since))
           else
             let* () =
               (* Commit-time repair: we are the writer (under the store
@@ -233,3 +238,14 @@ let persist ?(io = Fsio.default) ?(sync = true) ?(rotate_threshold = 64)
       | Ok () -> Ok { rotated = true; rotate_error = None }
       | Error e -> Ok { rotated = false; rotate_error = Some e }
     else Ok { rotated = false; rotate_error = None }
+
+(* The breaker wraps the whole durable path: K consecutive
+   {!Error.breaker_fault} outcomes (non-transient I/O, corruption) trip
+   it and later writes are shed with [Busy] — degraded read-only mode.
+   [open_store] never passes through a breaker, so reads keep working
+   while the store heals. *)
+let persist ?io ?sync ?rotate_threshold ?breaker ~store ~since ws =
+  let run () = persist_unguarded ?io ?sync ?rotate_threshold ~store ~since ws in
+  match breaker with
+  | None -> run ()
+  | Some b -> Resilience.Breaker.protect b run

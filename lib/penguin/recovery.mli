@@ -23,7 +23,7 @@ type report = {
 val pp_report : Format.formatter -> report -> unit
 
 val open_store :
-  ?io:Fsio.t -> ?repair:bool -> string -> (Workspace.t * report, string) result
+  ?io:Fsio.t -> ?repair:bool -> string -> (Workspace.t * report, Error.t) result
 (** Load the store document at the path, then replay its journal
     ([path ^ ".journal"], if present): entries newer than the snapshot's
     recorded version are applied in order — versions must extend the
@@ -40,7 +40,7 @@ val open_store :
 
 type persisted = {
   rotated : bool;  (** the journal was folded into a fresh snapshot *)
-  rotate_error : string option;
+  rotate_error : Error.t option;
       (** the rotation was due but failed — the commit itself is
           durable and the journal intact; a later commit retries *)
 }
@@ -49,10 +49,11 @@ val persist :
   ?io:Fsio.t ->
   ?sync:bool ->
   ?rotate_threshold:int ->
+  ?breaker:Resilience.Breaker.t ->
   store:string ->
   since:int ->
   Workspace.t ->
-  (persisted, string) result
+  (persisted, Error.t) result
 (** Durably record the workspace's commits after version [since] (which
     must be the version {!open_store} returned for this store): append
     them to the journal as one all-or-nothing record ([sync], default
@@ -67,8 +68,15 @@ val persist :
     bounding replay cost by the threshold rather than the store's
     lifetime; a rotation failure {e after} the append's fsync is
     reported as [rotate_error], not [Error] — the commit is already
-    durable and must not be retried. *)
+    durable and must not be retried. Failures are typed: a lost race is
+    {!Error.Conflict} (retryable after reopening), a stale [since] is
+    {!Error.Invalid}, disk faults are {!Error.Io}. When [breaker] is
+    given the whole durable path runs under
+    {!Resilience.Breaker.protect}: after K consecutive non-transient
+    durability failures it trips and later persists are shed with
+    {!Error.Busy} (degraded read-only mode — {!open_store} is never
+    gated), until a post-cooldown probe succeeds. *)
 
-val snapshot : ?io:Fsio.t -> store:string -> Workspace.t -> (unit, string) result
+val snapshot : ?io:Fsio.t -> store:string -> Workspace.t -> (unit, Error.t) result
 (** Atomically rewrite the store document at the workspace's current
     state and reset the journal to extend it ({!Journal.rotate}). *)

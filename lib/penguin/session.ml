@@ -35,10 +35,18 @@ let m_noop_drops =
     "session.noop_drops"
 
 let m_retries_exhausted =
-  M.counter ~help:"session commits that gave up after max_attempts"
+  M.counter ~help:"session commits that gave up after the policy's attempts"
     "session.retries_exhausted"
 
-type retry = Workspace.t -> (Vo_core.Request.t option, string) result
+let m_shed =
+  M.counter ~help:"queue attempts shed by the session's admission bound"
+    "session.shed"
+
+let m_deadline_hits =
+  M.counter ~help:"session commits abandoned at their deadline"
+    "session.deadline_exceeded"
+
+type retry = Workspace.t -> (Vo_core.Request.t option, Error.t) result
 
 type entry = {
   name : string;
@@ -49,40 +57,66 @@ type entry = {
 type t = {
   snapshot : Workspace.t;
   base_version : int;
-  entries : entry list;  (* oldest first *)
+  (* Newest first: [queue] conses in O(1) and [commit] materializes the
+     arrival order once ([entries]) — the old oldest-first list appended
+     per queue, O(n^2) across a session. *)
+  rev_entries : entry list;
+  count : int;
+  max_queued : int option;
 }
 
-let begin_ ws =
-  { snapshot = ws; base_version = Workspace.version ws; entries = [] }
+let begin_ ?max_queued ws =
+  {
+    snapshot = ws;
+    base_version = Workspace.version ws;
+    rev_entries = [];
+    count = 0;
+    max_queued;
+  }
 
 let base_version s = s.base_version
-let pending s = List.length s.entries
-let staged s = List.map (fun e -> e.st) s.entries
+let pending s = s.count
+let entries s = List.rev s.rev_entries
+let staged s = List.rev_map (fun e -> e.st) s.rev_entries
 
 let requests s =
-  List.map (fun e -> e.name, e.st.Vo_core.Engine.request) s.entries
+  List.rev_map (fun e -> e.name, e.st.Vo_core.Engine.request) s.rev_entries
 
 let queue s name ?retry request =
   let retry =
     match retry with Some f -> f | None -> fun _ -> Ok (Some request)
   in
-  let ws = s.snapshot in
-  match Workspace.find_object ws name, Workspace.translator_of ws name with
-  | Error e, _ | _, Error e -> Error e
-  | Ok vo, Ok spec -> (
-      match
-        Vo_core.Engine.stage ~base_version:s.base_version ws.Workspace.graph
-          ws.Workspace.db vo spec request
-      with
-      | Error e -> Error (Vo_core.Engine.stage_error_reason e)
-      | Ok st ->
-          Log.debug (fun m ->
-              m "session@v%d: queued %s on %s (%d staged)" s.base_version
-                st.Vo_core.Engine.request_kind name
-                (List.length s.entries + 1));
-          M.Counter.incr m_queued;
-          M.Gauge.set m_queue_depth (Float.of_int (List.length s.entries + 1));
-          Ok { s with entries = s.entries @ [ { name; retry; st } ] })
+  match s.max_queued with
+  | Some cap when s.count >= cap ->
+      M.Counter.incr m_shed;
+      Error
+        (Error.Busy
+           (Fmt.str
+              "session: %d update(s) already queued (admission bound %d); \
+               commit or begin a fresh session"
+              s.count cap))
+  | _ -> (
+      let ws = s.snapshot in
+      match Workspace.find_object ws name, Workspace.translator_of ws name with
+      | Error e, _ | _, Error e -> Error (Error.invalid e)
+      | Ok vo, Ok spec -> (
+          match
+            Vo_core.Engine.stage ~base_version:s.base_version ws.Workspace.graph
+              ws.Workspace.db vo spec request
+          with
+          | Error e -> Error (Error.invalid (Vo_core.Engine.stage_error_reason e))
+          | Ok st ->
+              Log.debug (fun m ->
+                  m "session@v%d: queued %s on %s (%d staged)" s.base_version
+                    st.Vo_core.Engine.request_kind name (s.count + 1));
+              M.Counter.incr m_queued;
+              M.Gauge.set m_queue_depth (Float.of_int (s.count + 1));
+              Ok
+                {
+                  s with
+                  rev_entries = { name; retry; st } :: s.rev_entries;
+                  count = s.count + 1;
+                }))
 
 type divergence =
   | Clean
@@ -96,7 +130,7 @@ let divergence ws s =
       match
         List.concat_map
           (fun e -> Delta.conflicts_footprint e.st.Vo_core.Engine.reads fp)
-          s.entries
+          s.rev_entries
       with
       | [] -> Clean
       | cs -> Conflicting cs)
@@ -126,7 +160,14 @@ let restage ws entries =
     (Ok (begin_ ws))
     entries
 
-let commit ?validation ?(max_attempts = 3) ws s =
+let commit ?validation ?(policy = Resilience.Policy.occ)
+    ?(clock = Resilience.Clock.real) ?deadline_ns ws s =
+  let max_attempts = max 1 policy.Resilience.Policy.max_attempts in
+  let past_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> clock.Resilience.Clock.now_ns () > d
+  in
   (* The staged updates may conflict among themselves (the session
      edited the same tuple twice): partition them into conflict-free
      groups and commit the groups in arrival order, re-deriving later
@@ -138,14 +179,15 @@ let commit ?validation ?(max_attempts = 3) ws s =
         Ok (ws, { version = Workspace.version ws; attempts; rebased; committed })
     | group :: _ -> (
         let now, later =
-          List.partition (fun e -> List.memq e.st group) s.entries
+          List.partition (fun e -> List.memq e.st group) (entries s)
         in
         match
           Vo_core.Engine.commit_group ?validation ws.Workspace.graph
             ws.Workspace.db group
         with
         | Error rejection ->
-            Error (Vo_core.Engine.group_rejection_reason rejection)
+            Error
+              (Error.invalid (Vo_core.Engine.group_rejection_reason rejection))
         | Ok (db, _merged) ->
             let log =
               List.fold_left
@@ -170,16 +212,38 @@ let commit ?validation ?(max_attempts = 3) ws s =
               Result.bind (restage ws' later)
                 (commit_clean attempts rebased committed ws'))
   in
+  let rebase cause s =
+    M.Counter.incr m_rebases;
+    Obs.Trace.with_span "session.rebase" ~tags:[ "cause", cause ] (fun () ->
+        restage ws (entries s))
+  in
   let rec attempt n rebased s =
-    if n > max_attempts then begin
+    if past_deadline () then begin
+      M.Counter.incr m_deadline_hits;
+      Error
+        (Error.Deadline_exceeded
+           (Fmt.str
+              "session commit: deadline exceeded after %d attempt(s); staged \
+               at v%d, workspace at v%d"
+              (n - 1) s.base_version (Workspace.version ws)))
+    end
+    else if n > max_attempts then begin
       M.Counter.incr m_retries_exhausted;
       Error
-        (Fmt.str
-           "session commit: conflicts persist after %d attempt(s); last \
-            staged at v%d, workspace at v%d"
-           max_attempts s.base_version (Workspace.version ws))
+        (Error.Conflict
+           (Fmt.str
+              "session commit: conflicts persist after %d attempt(s); last \
+               staged at v%d, workspace at v%d"
+              max_attempts s.base_version (Workspace.version ws)))
     end
-    else
+    else begin
+      (* Pace rebase rounds by the policy (attempt 1 runs immediately).
+         The default [Policy.occ] has no backoff — an in-process rebase
+         re-derives deterministically — but cross-process callers pass a
+         backoff policy so contending committers spread out. *)
+      if n > 1 then
+        clock.Resilience.Clock.sleep_ns
+          (Resilience.Policy.backoff_ns policy ~attempt:(n - 1));
       match divergence ws s with
       | Clean -> commit_clean n rebased 0 ws s
       | Conflicting cs ->
@@ -192,12 +256,8 @@ let commit ?validation ?(max_attempts = 3) ws s =
                 s.base_version (List.length cs) (Workspace.version ws) n
                 Fmt.(list ~sep:semi Delta.pp_conflict)
                 cs);
-          M.Counter.incr m_rebases;
           M.Counter.incr m_rebase_conflict;
-          Result.bind
-            (Obs.Trace.with_span "session.rebase"
-               ~tags:[ "cause", "conflict" ] (fun () -> restage ws s.entries))
-            (attempt (n + 1) true)
+          Result.bind (rebase "conflict" s) (attempt (n + 1) true)
       | Unknown_history ->
           (* A barrier (database swap, raw SQL) hides the concurrent
              deltas: conflict checking is impossible, so rebase
@@ -206,14 +266,11 @@ let commit ?validation ?(max_attempts = 3) ws s =
               m "session@v%d: history unknown since snapshot, rebasing \
                  (attempt %d)"
                 s.base_version n);
-          M.Counter.incr m_rebases;
           M.Counter.incr m_rebase_unknown;
-          Result.bind
-            (Obs.Trace.with_span "session.rebase"
-               ~tags:[ "cause", "barrier" ] (fun () -> restage ws s.entries))
-            (attempt (n + 1) true)
+          Result.bind (rebase "barrier" s) (attempt (n + 1) true)
+    end
   in
-  if s.entries = [] then
+  if s.rev_entries = [] then
     Ok
       ( ws,
         {
@@ -224,7 +281,7 @@ let commit ?validation ?(max_attempts = 3) ws s =
         } )
   else
     Obs.Trace.with_span "session.commit"
-      ~tags:[ "queued", string_of_int (List.length s.entries) ]
+      ~tags:[ "queued", string_of_int s.count ]
     @@ fun () ->
     M.time m_commit_ns @@ fun () ->
     let result = attempt 1 false s in

@@ -21,21 +21,27 @@ open Relational
 
 type t
 
-val begin_ : Workspace.t -> t
-(** Snapshot the workspace and record its version. *)
+val begin_ : ?max_queued:int -> Workspace.t -> t
+(** Snapshot the workspace and record its version. [max_queued]
+    (default: unbounded) is the session's admission bound: once that
+    many updates are staged, further {!queue} calls are shed with
+    {!Error.Busy} instead of growing the batch — a commit's cost (and
+    its rebase blast radius) stays bounded under load. *)
 
 val base_version : t -> int
 
-type retry = Workspace.t -> (Vo_core.Request.t option, string) result
+type retry = Workspace.t -> (Vo_core.Request.t option, Error.t) result
 (** Re-derive a request against a later workspace state, for rebases.
     [Ok None] means the request became a no-op (e.g. a concurrent
     commit already made the change) and should be dropped. *)
 
 val queue :
-  t -> string -> ?retry:retry -> Vo_core.Request.t -> (t, string) result
-(** Stage a request on the named object against the snapshot. Errors on
-    unknown objects, translation rejections, and ops that do not apply
-    to the snapshot. [retry] (default: replay the same request) is how
+  t -> string -> ?retry:retry -> Vo_core.Request.t -> (t, Error.t) result
+(** Stage a request on the named object against the snapshot. Errors
+    with {!Error.Invalid} on unknown objects, translation rejections,
+    and ops that do not apply to the snapshot; with {!Error.Busy} when
+    the session's admission bound is full. Queueing is O(1) — the
+    arrival order is materialized once, at {!commit}. [retry] (default: replay the same request) is how
     a rebase re-derives this update against a newer state — a request
     embeds the instance image it was read from, so replaying it
     verbatim is rejected as stale whenever the rebase was actually
@@ -69,12 +75,20 @@ type commit_stats = {
 
 val commit :
   ?validation:Vo_core.Global_validation.mode ->
-  ?max_attempts:int ->
+  ?policy:Resilience.Policy.t ->
+  ?clock:Resilience.Clock.t ->
+  ?deadline_ns:float ->
   Workspace.t ->
   t ->
-  (Workspace.t * commit_stats, string) result
+  (Workspace.t * commit_stats, Error.t) result
 (** Commit the session's staged updates onto the given (current)
-    workspace. [max_attempts] (default 3) bounds rebase rounds. Updates
+    workspace. [policy] (default {!Resilience.Policy.occ}: 3 attempts,
+    no backoff) bounds rebase rounds and paces them — cross-process
+    callers pass a backoff policy so contending committers spread out;
+    exhausting it is {!Error.Conflict} (retryable after reopening).
+    [deadline_ns] (absolute, on [clock]) bounds the whole commit: a
+    rebase round never starts past it, failing with
+    {!Error.Deadline_exceeded}. Updates
     whose footprints conflict {e within} the session (the same tuple
     edited twice) are committed in arrival order: each conflict-free
     group goes through one merged-delta validation pass, and later

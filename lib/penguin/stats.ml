@@ -1,5 +1,9 @@
 let ( let* ) = Result.bind
 
+(* Typed-error results join the exercise's string-error chain at the
+   boundary. *)
+let str_err r = Result.map_error Error.to_string r
+
 (* Alternate between two values so every engine update is a real delta
    (an idempotent edit would be dropped as a no-op by Upql). *)
 let flip_stmt i =
@@ -23,10 +27,13 @@ let queue_stmt sess ws stmt =
     (fun acc req ->
       let* sess = acc in
       let retry ws' =
-        let* reqs' = Upql.requests ws' ~object_name:"omega" stmt in
+        let* reqs' =
+          Result.map_error Error.invalid
+            (Upql.requests ws' ~object_name:"omega" stmt)
+        in
         match reqs' with [] -> Ok None | r :: _ -> Ok (Some r)
       in
-      Session.queue sess "omega" ~retry req)
+      str_err (Session.queue sess "omega" ~retry req))
     (Ok sess) reqs
 
 let session_traffic ws =
@@ -38,7 +45,7 @@ let session_traffic ws =
   let* sess =
     queue_stmt sess ws "set units = 4 where course_id = 'CS345'"
   in
-  let* ws, _stats = Session.commit ws sess in
+  let* ws, _stats = str_err (Session.commit ws sess) in
   (* ...and a stale session: staged here, overtaken by a concurrent
      commit to the same tuple, so commit must detect the overlap and
      rebase (OCC retry). *)
@@ -48,7 +55,7 @@ let session_traffic ws =
     Upql.apply ws ~object_name:"omega"
       "set GRADES[pid = 1] grade = 'C' where course_id = 'CS345'"
   in
-  let* ws', _stats = Session.commit ws' sess in
+  let* ws', _stats = str_err (Session.commit ws' sess) in
   Ok ws'
 
 let durability_traffic ws =
@@ -62,7 +69,7 @@ let durability_traffic ws =
       [ store; Journal.journal_path store; Fsio.lock_path store ]
   in
   let result =
-    let* () = Store.save_file ws store in
+    let* () = str_err (Store.save_file ws store) in
     (* Two commit/persist rounds; the second crosses rotate_threshold
        and folds the journal into a fresh snapshot. *)
     let rec round i ws =
@@ -71,21 +78,22 @@ let durability_traffic ws =
         let since = Workspace.version ws in
         let sess = Session.begin_ ws in
         let* sess = queue_stmt sess ws (flip_stmt i) in
-        let* ws, _stats = Session.commit ws sess in
+        let* ws, _stats = str_err (Session.commit ws sess) in
         let* _persisted =
-          Recovery.persist ~rotate_threshold:2 ~store ~since ws
+          str_err (Recovery.persist ~rotate_threshold:2 ~store ~since ws)
         in
-        let* ws, _report = Recovery.open_store store in
+        let* ws, _report = str_err (Recovery.open_store store) in
         round (i + 1) ws
     in
     let* _ws = round 0 ws in
     (* A torn tail: garbage after the last full record, discarded on
        read and truncated away by a repairing open. *)
     let* () =
-      Fsio.default.Fsio.write ~path:(Journal.journal_path store) ~append:true
-        "torn"
+      str_err
+        (Fsio.default.Fsio.write ~path:(Journal.journal_path store)
+           ~append:true "torn")
     in
-    let* _ws, report = Recovery.open_store ~repair:true store in
+    let* _ws, report = str_err (Recovery.open_store ~repair:true store) in
     if report.Recovery.torn_bytes = 0 then
       Error "stats exercise: torn tail was not detected"
     else Ok ()
@@ -93,12 +101,67 @@ let durability_traffic ws =
   cleanup ();
   result
 
+(* Drive the resilience layer so its counters are never zero in the
+   stats output: a transient fault retried through a real (injected)
+   I/O path, an admission-control shed, and a full breaker cycle —
+   trip on non-transient faults, reject while open, probe and close
+   after the cooldown. The instant clock makes the backoffs and the
+   cooldown free. *)
+let resilience_traffic () =
+  let clock = Resilience.Clock.instant () in
+  (* Retry over injected transient write faults (seeded, deterministic). *)
+  let faulty =
+    Fsio.Fault.inject ~seed:7 ~rate:0.5 ~kind:Fsio.Fault.Transient
+      ~ops:[ `Write ] Fsio.default
+  in
+  let dir = Filename.get_temp_dir_name () in
+  let scratch =
+    Filename.concat dir (Fmt.str "penguin-stats-retry-%d.tmp" (Unix.getpid ()))
+  in
+  let* () =
+    str_err
+      (Resilience.retry ~policy:{ Resilience.Policy.default with max_attempts = 16 }
+         ~clock ~label:"stats scratch write" (fun () ->
+           faulty.Fsio.write ~path:scratch ~append:false "resilient"))
+  in
+  (try Sys.remove scratch with Sys_error _ -> ());
+  (* Admission control shedding. *)
+  let lim = Resilience.Limiter.create ~label:"stats" ~max_in_flight:1 () in
+  let* () =
+    str_err
+      (Resilience.Limiter.with_slot lim (fun () ->
+           match Resilience.Limiter.with_slot lim (fun () -> Ok ()) with
+           | Error (Error.Busy _) -> Ok ()
+           | Ok () -> Error (Error.invalid "stats: limiter failed to shed")
+           | Error e -> Error e))
+  in
+  (* Breaker: trip on non-transient faults, reject, probe, close. *)
+  let b =
+    Resilience.Breaker.create ~label:"stats" ~threshold:2 ~cooldown_ns:1e6
+      ~clock ()
+  in
+  let hard () =
+    Error (Error.io ~op:Error.Sync ~path:"<stats>" "synthetic disk fault")
+  in
+  let (_ : (unit, Error.t) result) = Resilience.Breaker.protect b hard in
+  let (_ : (unit, Error.t) result) = Resilience.Breaker.protect b hard in
+  let* () =
+    match Resilience.Breaker.protect b (fun () -> Ok ()) with
+    | Error (Error.Busy _) -> Ok ()  (* open: degraded read-only *)
+    | Ok () -> Error "stats: breaker failed to trip"
+    | Error e -> Error (Error.to_string e)
+  in
+  clock.Resilience.Clock.sleep_ns 2e6;
+  (* Past the cooldown the next write is the half-open probe. *)
+  str_err (Resilience.Breaker.protect b (fun () -> Ok ()))
+
 let exercise ?(updates = 8) () =
   Obs.Trace.with_span "stats.exercise" @@ fun () ->
   let ws = University.workspace () in
   let* ws = engine_traffic ~updates ws in
   let* ws = session_traffic ws in
   let* () = durability_traffic ws in
+  let* () = resilience_traffic () in
   match Workspace.check_consistency ws with
   | Ok () -> Ok ()
   | Error e -> Error (Fmt.str "stats exercise left the fixture broken: %s" e)

@@ -49,10 +49,10 @@ val load : string -> (Workspace.t, string) result
 
 val save_file :
   ?include_data:bool -> ?io:Fsio.t -> Workspace.t -> string ->
-  (unit, string) result
+  (unit, Error.t) result
 (** Atomic: writes a tmp file in the target's directory, fsyncs, then
     renames over the target — a crash mid-save leaves the old file
     intact. [io] (default the real filesystem) is the fault-injection
-    seam. *)
+    seam; failures are typed {!Error.Io}. *)
 
 val load_file : string -> (Workspace.t, string) result

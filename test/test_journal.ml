@@ -3,6 +3,11 @@
 open Relational
 open Test_util
 
+(* Journal/Fsio results carry the typed taxonomy; shadow the string
+   helpers with the typed ones for this suite. *)
+let check_ok r = check_ok_e r
+let check_err_contains ~sub r = check_err_contains_e ~sub r
+
 let entry version kind change = { Penguin.Commit_log.version; kind; change }
 
 let delta_entry version =
@@ -33,7 +38,7 @@ let read_journal t =
   match Penguin.Fsio.default.Penguin.Fsio.read (Penguin.Journal.path t) with
   | Ok (Some s) -> s
   | Ok None -> Alcotest.fail "journal file missing"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Penguin.Error.to_string e)
 
 let write_journal t s =
   check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:(Penguin.Journal.path t) ~append:false s)

@@ -227,6 +227,19 @@ let test_stats_exercise_and_json () =
   Alcotest.(check bool) "torn tail repaired" true
     (counter "journal.torn_repairs" > 0);
   Alcotest.(check bool) "stores opened" true (counter "recovery.opens" > 0);
+  (* the resilience layer: retries over injected faults, admission
+     control shedding, and a full breaker trip/close cycle *)
+  Alcotest.(check bool) "a fault was injected" true
+    (counter "fsio.injected_faults" > 0);
+  Alcotest.(check bool) "a retry was taken" true
+    (counter "resilience.retries" > 0);
+  Alcotest.(check bool) "admission control shed" true
+    (counter "resilience.shed" > 0);
+  Alcotest.(check bool) "breaker tripped" true (counter "breaker.trips" > 0);
+  Alcotest.(check bool) "breaker rejected while open" true
+    (counter "breaker.rejections" > 0);
+  Alcotest.(check bool) "breaker probed and closed" true
+    (counter "breaker.probes" > 0 && counter "breaker.closes" > 0);
   (* the table renders every registered metric *)
   let table = Penguin.Stats.table () in
   List.iter

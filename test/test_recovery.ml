@@ -85,7 +85,7 @@ let store_in dir = Filename.concat dir "store.pgn"
 
 let make_store dir =
   let ws = Penguin.University.workspace () in
-  check_ok (Penguin.Store.save_file ws (store_in dir))
+  check_ok_e (Penguin.Store.save_file ws (store_in dir))
 
 let apply_edit ws enrolment grade =
   let ws', outcome = Penguin.Workspace.update ws "omega" (grade_edit ws enrolment grade) in
@@ -108,7 +108,7 @@ let commit_grade ?rotate_threshold ~io dir enrolment grade =
   Ok ()
 
 let recover dir =
-  let ws, report = check_ok (Penguin.Recovery.open_store (store_in dir)) in
+  let ws, report = check_ok_e (Penguin.Recovery.open_store (store_in dir)) in
   check_ok ~msg:"recovered state is consistent" (Penguin.Workspace.check_consistency ws);
   ws, report
 
@@ -123,7 +123,7 @@ let assert_crash_recoverable ?(min_injections = 10) ~setup ~action () =
     let dir = temp_dir "crash-ref" in
     setup dir;
     let pre, _ = recover dir in
-    check_ok (action ~io:Penguin.Fsio.default dir);
+    check_ok_e (action ~io:Penguin.Fsio.default dir);
     let post, _ = recover dir in
     rm_rf dir;
     pre, post
@@ -171,7 +171,9 @@ let assert_crash_recoverable ?(min_injections = 10) ~setup ~action () =
                  point of this flavor has been exercised. *)
               check_recovered ~ctx:"completed" dir;
               rm_rf dir
-          | Error e -> Alcotest.failf "action failed without crashing: %s" e
+          | Error e ->
+              Alcotest.failf "action failed without crashing: %s"
+                (Penguin.Error.to_string e)
         end
       in
       go 1)
@@ -191,7 +193,7 @@ let test_crash_during_append_to_existing_journal () =
   assert_crash_recoverable ~min_injections:6
     ~setup:(fun dir ->
       make_store dir;
-      check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C"))
+      check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C"))
     ~action:(fun ~io dir -> commit_grade ~io dir ("CS345", 2) "A-")
     ()
 
@@ -199,7 +201,7 @@ let test_crash_during_rotate () =
   assert_crash_recoverable
     ~setup:(fun dir ->
       make_store dir;
-      check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C"))
+      check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C"))
     ~action:(fun ~io dir ->
       (* rotate_threshold 2: the append is followed by folding the whole
          journal into a fresh snapshot — tmp writes, fsyncs and renames
@@ -211,7 +213,7 @@ let test_crash_during_save_file () =
   assert_crash_recoverable
     ~setup:make_store
     ~action:(fun ~io dir ->
-      let ws, _ = check_ok (Penguin.Recovery.open_store (store_in dir)) in
+      let ws, _ = check_ok_e (Penguin.Recovery.open_store (store_in dir)) in
       let ws' = apply_edit ws ("CS345", 2) "A-" in
       (* Snapshot-only persistence (what `export` does): the atomic
          write protocol alone must never corrupt the store. *)
@@ -223,8 +225,8 @@ let test_crash_during_save_file () =
 let test_recovery_replays_journal () =
   let dir = temp_dir "recovery" in
   make_store dir;
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
   let ws, report = recover dir in
   Alcotest.(check int) "two replayed entries" 2 report.Penguin.Recovery.replayed;
   Alcotest.(check bool) "grade 1" true (grade_of ws ("CS345", 2) = Value.Str "A-");
@@ -237,15 +239,15 @@ let read_raw path =
   match Penguin.Fsio.default.Penguin.Fsio.read path with
   | Ok (Some s) -> s
   | Ok None -> Alcotest.failf "%s: no such file" path
-  | Error e -> Alcotest.failf "%s: %s" path e
+  | Error e -> Alcotest.failf "%s: %s" path (Penguin.Error.to_string e)
 
 let test_recovery_truncates_torn_tail () =
   let dir = temp_dir "recovery" in
   make_store dir;
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
   (* A crash mid-append left garbage at the end of the journal. *)
   let jpath = Penguin.Journal.journal_path (store_in dir) in
-  check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
+  check_ok_e (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
   let torn = read_raw jpath in
   (* A plain (read-only) open discards the tail in memory but must not
      rewrite the journal: absent the store lock, the "torn tail" could
@@ -259,7 +261,7 @@ let test_recovery_truncates_torn_tail () =
   Alcotest.(check bool) "the durable commit survived" true
     (grade_of ws ("CS345", 2) = Value.Str "A-");
   (* An explicit repair (the caller claims the writer's role) truncates. *)
-  let _, report_r = check_ok (Penguin.Recovery.open_store ~repair:true (store_in dir)) in
+  let _, report_r = check_ok_e (Penguin.Recovery.open_store ~repair:true (store_in dir)) in
   Alcotest.(check bool) "explicit repair truncates" true report_r.Penguin.Recovery.repaired;
   let _, report2 = recover dir in
   Alcotest.(check int) "clean after repair" 0 report2.Penguin.Recovery.torn_bytes;
@@ -268,12 +270,12 @@ let test_recovery_truncates_torn_tail () =
 let test_commit_repairs_torn_tail () =
   let dir = temp_dir "recovery" in
   make_store dir;
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 2) "A-");
   let jpath = Penguin.Journal.journal_path (store_in dir) in
-  check_ok (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
+  check_ok_e (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true "\x00\x00\x00\x30garbage");
   (* The next commit — the write path — truncates the crash remnant
      before appending, so its record lands where replay looks. *)
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
   let ws, report = recover dir in
   Alcotest.(check int) "clean after the commit" 0 report.Penguin.Recovery.torn_bytes;
   Alcotest.(check bool) "both commits survive" true
@@ -287,7 +289,7 @@ let test_rotation_bounds_replay () =
   let grades = [ "A-"; "B"; "C+"; "A"; "B-" ] in
   List.iteri
     (fun i g ->
-      check_ok (commit_grade ~rotate_threshold:2 ~io:Penguin.Fsio.default dir ("CS345", 2) g);
+      check_ok_e (commit_grade ~rotate_threshold:2 ~io:Penguin.Fsio.default dir ("CS345", 2) g);
       ignore i)
     grades;
   let ws, report = recover dir in
@@ -307,27 +309,27 @@ let test_rotation_bounds_replay () =
 
 let queue_edit sess ws enrolment grade =
   let retry ws' = Ok (Some (grade_edit ws' enrolment grade)) in
-  check_ok (Penguin.Session.queue sess "omega" ~retry (grade_edit ws enrolment grade))
+  check_ok_e (Penguin.Session.queue sess "omega" ~retry (grade_edit ws enrolment grade))
 
 let test_cross_process_clean_commit () =
   let dir = temp_dir "occ" in
   make_store dir;
   let store = store_in dir in
   (* Process A begins a session. *)
-  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let ws_a, _ = check_ok_e (Penguin.Recovery.open_store store) in
   let sess = queue_edit (Penguin.Session.begin_ ws_a) ws_a ("CS345", 2) "A-" in
   (* Process B commits a non-overlapping update meanwhile. *)
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
   (* Process A commits: the journal replays B's delta, the footprints
      are disjoint, so no rebase — the win over a bare version file,
      which could only assume conflict. *)
-  let ws_now, _ = check_ok (Penguin.Recovery.open_store store) in
+  let ws_now, _ = check_ok_e (Penguin.Recovery.open_store store) in
   Alcotest.(check bool) "divergence is clean" true
     (Penguin.Session.divergence ws_now sess = Penguin.Session.Clean);
-  let ws', stats = check_ok (Penguin.Session.commit ws_now sess) in
+  let ws', stats = check_ok_e (Penguin.Session.commit ws_now sess) in
   Alcotest.(check bool) "no rebase" false stats.Penguin.Session.rebased;
   Alcotest.(check int) "one attempt" 1 stats.Penguin.Session.attempts;
-  check_ok
+  check_ok_e
     (Result.map ignore
        (Penguin.Recovery.persist ~store ~since:(Penguin.Workspace.version ws_now) ws'));
   let ws_final, _ = recover dir in
@@ -340,18 +342,18 @@ let test_cross_process_conflicting_commit_rebases () =
   let dir = temp_dir "occ" in
   make_store dir;
   let store = store_in dir in
-  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let ws_a, _ = check_ok_e (Penguin.Recovery.open_store store) in
   let sess = queue_edit (Penguin.Session.begin_ ws_a) ws_a ("CS345", 2) "A-" in
   (* B touches the same instance (same course, another student): the
      session's read footprint overlaps B's write. *)
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 1) "F");
-  let ws_now, _ = check_ok (Penguin.Recovery.open_store store) in
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("CS345", 1) "F");
+  let ws_now, _ = check_ok_e (Penguin.Recovery.open_store store) in
   (match Penguin.Session.divergence ws_now sess with
   | Penguin.Session.Conflicting (_ :: _) -> ()
   | _ -> Alcotest.fail "expected a conflict from the replayed delta");
-  let ws', stats = check_ok (Penguin.Session.commit ws_now sess) in
+  let ws', stats = check_ok_e (Penguin.Session.commit ws_now sess) in
   Alcotest.(check bool) "rebased" true stats.Penguin.Session.rebased;
-  check_ok
+  check_ok_e
     (Result.map ignore
        (Penguin.Recovery.persist ~store ~since:(Penguin.Workspace.version ws_now) ws'));
   let ws_final, _ = recover dir in
@@ -370,14 +372,19 @@ let test_persist_refuses_stale_base () =
   make_store dir;
   let store = store_in dir in
   (* Process A prepares a commit against v_base... *)
-  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let ws_a, _ = check_ok_e (Penguin.Recovery.open_store store) in
   let stale = Penguin.Workspace.version ws_a in
   let ws_a' = apply_edit ws_a ("CS345", 2) "A-" in
   (* ...but process B commits first. *)
-  check_ok (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  check_ok_e (commit_grade ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
   (match Penguin.Recovery.persist ~store ~since:stale ws_a' with
   | Ok _ -> Alcotest.fail "persist must refuse a stale base version"
   | Error e ->
+      (* The lost race is a typed [Conflict] whose message names it. *)
+      (match e with
+      | Penguin.Error.Conflict _ -> ()
+      | _ -> Alcotest.failf "expected Conflict, got %s" (Penguin.Error.kind e));
+      let e = Penguin.Error.to_string e in
       let contains hay needle =
         let n = String.length hay and m = String.length needle in
         let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
@@ -402,7 +409,7 @@ let test_store_lock_serializes_commits () =
   let store = store_in dir in
   let marker = Filename.concat dir "child-committed" in
   let pid =
-    check_ok
+    check_ok_e
       (Penguin.Fsio.with_lock store (fun () ->
            match Unix.fork () with
            | 0 ->
@@ -441,15 +448,15 @@ let test_rotation_is_a_barrier_for_older_sessions () =
   let dir = temp_dir "occ" in
   make_store dir;
   let store = store_in dir in
-  let ws_a, _ = check_ok (Penguin.Recovery.open_store store) in
+  let ws_a, _ = check_ok_e (Penguin.Recovery.open_store store) in
   let sess = queue_edit (Penguin.Session.begin_ ws_a) ws_a ("CS345", 2) "A-" in
   (* B's commit rotates the journal into a fresh snapshot: the history
      A's session spans is no longer held as deltas. *)
-  check_ok (commit_grade ~rotate_threshold:1 ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
-  let ws_now, _ = check_ok (Penguin.Recovery.open_store store) in
+  check_ok_e (commit_grade ~rotate_threshold:1 ~io:Penguin.Fsio.default dir ("EE280", 1) "C");
+  let ws_now, _ = check_ok_e (Penguin.Recovery.open_store store) in
   Alcotest.(check bool) "history unknown after rotation" true
     (Penguin.Session.divergence ws_now sess = Penguin.Session.Unknown_history);
-  let ws', stats = check_ok (Penguin.Session.commit ws_now sess) in
+  let ws', stats = check_ok_e (Penguin.Session.commit ws_now sess) in
   Alcotest.(check bool) "rebased unconditionally" true stats.Penguin.Session.rebased;
   Alcotest.(check bool) "effect applied" true (grade_of ws' ("CS345", 2) = Value.Str "A-");
   rm_rf dir

@@ -43,12 +43,12 @@ let queue_edit sess ws enrolment grade =
   let retry ws' = Ok (Some (grade_edit ws' enrolment grade)) in
   match Penguin.Session.queue sess "omega" ~retry (grade_edit ws enrolment grade) with
   | Ok sess -> sess
-  | Error e -> Alcotest.failf "queue: %s" e
+  | Error e -> Alcotest.failf "queue: %s" (Penguin.Error.to_string e)
 
 let commit_ok ws sess =
   match Penguin.Session.commit ws sess with
   | Ok r -> r
-  | Error e -> Alcotest.failf "commit: %s" e
+  | Error e -> Alcotest.failf "commit: %s" (Penguin.Error.to_string e)
 
 let test_begin_queue_commit () =
   let w = ws () in
@@ -148,7 +148,7 @@ let test_rebase_drops_noop () =
         (grade_edit w ("CS345", 2) "A-")
     with
     | Ok s -> s
-    | Error e -> Alcotest.failf "queue: %s" e
+    | Error e -> Alcotest.failf "queue: %s" (Penguin.Error.to_string e)
   in
   let w, outcome =
     Penguin.Workspace.update w "omega" (grade_edit w ("CS345", 1) "F")

@@ -152,7 +152,7 @@ let test_loaded_workspace_is_operational () =
 let test_file_roundtrip () =
   let ws = Penguin.Cad.workspace () in
   let path = Filename.temp_file "penguin" ".pws" in
-  check_ok (Penguin.Store.save_file ws path);
+  check_ok_e (Penguin.Store.save_file ws path);
   let ws' = check_ok (Penguin.Store.load_file path) in
   Sys.remove path;
   Alcotest.(check bool) "file roundtrip" true (workspace_equal ws ws')

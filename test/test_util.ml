@@ -14,6 +14,20 @@ let check_err_contains ~sub r =
   if not (Relational.Strutil.contains ~sub e) then
     Alcotest.failf "error %S does not mention %S" e sub
 
+(* Variants over the typed {!Penguin.Error.t} taxonomy. *)
+let check_ok_e ?(msg = "expected Ok") = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s, got Error: %s" msg (Penguin.Error.to_string e)
+
+let check_err_e ?(msg = "expected Error") = function
+  | Ok _ -> Alcotest.failf "%s, got Ok" msg
+  | Error e -> (e : Penguin.Error.t)
+
+let check_err_contains_e ~sub r =
+  let e = Penguin.Error.to_string (check_err_e r) in
+  if not (Relational.Strutil.contains ~sub e) then
+    Alcotest.failf "error %S does not mention %S" e sub
+
 let tuple bindings = Tuple.make bindings
 let vi i = Value.Int i
 let vs s = Value.Str s
