@@ -200,6 +200,8 @@ let e4 () =
       ( Vo_query.C_node ("COURSES", Predicate.eq_str "level" "grad"),
         Vo_query.C_count (Penguin.University.student_label, Predicate.Lt, 5) )
   in
+  (* The default path: connection indexes come with the database
+     ({!Schema_graph}), so instantiation is index-served out of the box. *)
   let fanout_test gsize =
     let dbg = Workloads.enrollment_db gsize in
     Test.make ~name:(Fmt.str "instantiate-course:fanout=%d" gsize)
@@ -208,18 +210,11 @@ let e4 () =
              ~where:(Predicate.eq_str "course_id" "BENCH1")
              dbg omega))
   in
-  (* ablation: secondary indexes on the connecting attributes *)
-  let indexed_db gsize =
-    let ws =
-      Penguin.Workspace.with_db
-        (Penguin.Workspace.create Penguin.University.graph)
-        (Workloads.enrollment_db gsize)
-    in
-    (Penguin.Workspace.index_connections ws).Penguin.Workspace.db
-  in
-  let fanout_indexed_test gsize =
-    let dbg = indexed_db gsize in
-    Test.make ~name:(Fmt.str "instantiate-course:fanout=%d,indexed" gsize)
+  (* ablation: the same walk with the indexes stripped — every child
+     fetch degrades to a relation scan *)
+  let fanout_noindex_test gsize =
+    let dbg = Workloads.strip_indexes (Workloads.enrollment_db gsize) in
+    Test.make ~name:(Fmt.str "instantiate-course:fanout=%d,noindex" gsize)
       (stage (fun () ->
            Instantiate.instantiate
              ~where:(Predicate.eq_str "course_id" "BENCH1")
@@ -233,7 +228,7 @@ let e4 () =
     (run_group "e4"
        ([ Test.make ~name:"figure4-query" (stage (fun () -> Vo_query.run db omega q)) ]
        @ List.map fanout_test [ 1; 16; 64; 256 ]
-       @ List.map fanout_indexed_test [ 64; 256 ]
+       @ List.map fanout_noindex_test [ 64; 256 ]
        @ [
            (* ablation: pivot-predicate pushdown on/off *)
            Test.make ~name:"query:pushdown-on"
@@ -1098,6 +1093,72 @@ let e13 () =
 
 (* --- ablation: op-list translation vs direct application ------------- *)
 
+(* --- E14: materialized view-object cache ----------------------------- *)
+
+let e14 () =
+  section "E14: materialized view-object cache (DESIGN.md section 5.6)";
+  let omega = Penguin.University.omega in
+  let mk_cache fanout =
+    let db = Workloads.enrollment_db fanout in
+    let cache = Cache.create Penguin.University.graph ~db in
+    Cache.register cache omega;
+    Cache.warm cache;
+    db, cache
+  in
+  let db256, cache256 = mk_cache 256 in
+  let db16, cache16 = mk_cache 16 in
+  (* A forward/backward pair of single-tuple grade deltas: each run
+     patches the cache twice and lands back on the state it started
+     from, so one patch costs half the reported time. *)
+  let patch_roundtrip cache db course pid =
+    let r = Database.relation_exn db "GRADES" in
+    let t0 =
+      match
+        Relation.lookup_eq r
+          [ "pid", Value.Int pid; "course_id", Value.Str course ]
+      with
+      | [ t ] -> t
+      | l -> failwith (Fmt.str "expected 1 grade, got %d" (List.length l))
+    in
+    let t1 = Tuple.set t0 "grade" (Value.Str "Z+") in
+    let key = Relation.key_of r t0 in
+    let fwd =
+      Delta.record Delta.empty ~rel:"GRADES" ~key ~old_image:(Some t0)
+        ~new_image:(Some t1)
+    in
+    let back =
+      Delta.record Delta.empty ~rel:"GRADES" ~key ~old_image:(Some t1)
+        ~new_image:(Some t0)
+    in
+    let db' =
+      match Database.apply_delta db fwd with
+      | Ok db -> db
+      | Error e -> failwith (Database.error_to_string e)
+    in
+    fun () ->
+      Cache.apply_delta cache ~post:db' fwd;
+      Cache.apply_delta cache ~post:db back
+  in
+  ignore
+    (run_group "e14"
+       [
+         (* cold = what every read pays without the cache *)
+         Test.make ~name:"cold:instantiate,fanout=256"
+           (stage (fun () -> Instantiate.instantiate db256 omega));
+         Test.make ~name:"warm-hit:fanout=256"
+           (stage (fun () -> Cache.instances cache256 "omega"));
+         (* patching the big entry costs its own fanout... *)
+         Test.make ~name:"patch-roundtrip:bench1,fanout=256"
+           (stage (patch_roundtrip cache256 db256 "BENCH1" 1001));
+         (* ...while patching a small entry is flat in database size:
+            CS345 keeps its 2 grades as BENCH1's enrollment inflates
+            GRADES/STUDENT 16x between these two runs. *)
+         Test.make ~name:"patch-roundtrip:cs345,dbsize=16"
+           (stage (patch_roundtrip cache16 db16 "CS345" 2));
+         Test.make ~name:"patch-roundtrip:cs345,dbsize=256"
+           (stage (patch_roundtrip cache256 db256 "CS345" 2));
+       ])
+
 let ablation () =
   section "Ablation: translate / apply split (DESIGN.md section 5.1)";
   let g = Penguin.University.graph in
@@ -1183,6 +1244,7 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  e14 ();
   ablation ();
   surfaces ();
   Option.iter write_json !json_path;

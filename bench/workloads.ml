@@ -7,6 +7,23 @@ open Relational
 open Structural
 open Viewobject
 
+(* Connection indexes are built with the database ({!Schema_graph}), so
+   every generator below hands them out by default. Rebuilding each
+   relation from its bare tuples sheds them — the honest baseline for
+   the E4 index ablation. *)
+let strip_indexes db =
+  List.fold_left
+    (fun acc name ->
+      let r = Database.relation_exn db name in
+      let acc = Database.create_relation_exn acc (Relation.schema r) in
+      Relation.fold
+        (fun t acc ->
+          match Database.insert acc name t with
+          | Ok acc -> acc
+          | Error e -> invalid_arg (Database.error_to_string e))
+        r acc)
+    Database.empty (Database.relation_names db)
+
 (* --- chain schemas: R0 --* R1 --* ... --* R(n-1) --------------------- *)
 
 let chain_relation i =

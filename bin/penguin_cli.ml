@@ -139,7 +139,12 @@ let oql fixture object_name query json sexp =
       Fmt.epr "error: %s@." e;
       exit 1
   | Ok vo -> (
-      match Oql.run ws.Penguin.Workspace.db vo query with
+      (* Queries read through the materialized cache: this process's
+         first read builds the object's entries (a miss), repeated
+         reads — and long-lived callers syncing the cache across
+         commits — are served from the store. *)
+      let cache = Penguin.Workspace.attach_cache ws in
+      match Viewobject.Cache.oql cache object_name query with
       | Error e ->
           Fmt.epr "error: %s@." e;
           exit 1

@@ -80,10 +80,20 @@ let apply_entry ws (e : Commit_log.entry) =
    durable. Repair happens on the write path ({!persist}), which runs
    under the store's exclusive lock in the CLI; pass [~repair:true] only
    when holding that lock (or when provably the sole process). *)
-let open_store ?(io = Fsio.default) ?(repair = false) store =
+let open_store ?(io = Fsio.default) ?(repair = false) ?cache store =
   Obs.Trace.with_span "recovery.open_store" @@ fun () ->
   M.time m_open_ns @@ fun () ->
   M.Counter.incr m_opens;
+  (* An attached cache is replay-warmed: the journal entries applied
+     below land in the workspace's log as real deltas, so syncing the
+     cache afterwards patches it forward from wherever it was — a cache
+     warmed before a crash catches up incrementally instead of being
+     rebuilt (it falls back to invalidation when its position predates
+     the snapshot). *)
+  let synced ws report =
+    Option.iter (fun c -> Workspace.sync_cache ws c) cache;
+    ws, report
+  in
   let* content = io.Fsio.read store in
   let* content =
     match content with
@@ -97,15 +107,15 @@ let open_store ?(io = Fsio.default) ?(repair = false) store =
   match r with
   | None ->
       Ok
-        ( ws,
-          {
-            snapshot_version;
-            replayed = 0;
-            version = snapshot_version;
-            torn_bytes = 0;
-            repaired = false;
-            journal = false;
-          } )
+        (synced ws
+           {
+             snapshot_version;
+             replayed = 0;
+             version = snapshot_version;
+             torn_bytes = 0;
+             repaired = false;
+             journal = false;
+           })
   | Some r ->
       let* repaired =
         if r.Journal.torn_bytes > 0 && repair then (
@@ -142,15 +152,15 @@ let open_store ?(io = Fsio.default) ?(repair = false) store =
               (if replayed = 1 then "y" else "ies")
               version);
       Ok
-        ( ws,
-          {
-            snapshot_version;
-            replayed;
-            version;
-            torn_bytes = r.Journal.torn_bytes;
-            repaired;
-            journal = true;
-          } )
+        (synced ws
+           {
+             snapshot_version;
+             replayed;
+             version;
+             torn_bytes = r.Journal.torn_bytes;
+             repaired;
+             journal = true;
+           })
 
 let snapshot ?(io = Fsio.default) ~store ws =
   Journal.rotate

@@ -23,7 +23,11 @@ type report = {
 val pp_report : Format.formatter -> report -> unit
 
 val open_store :
-  ?io:Fsio.t -> ?repair:bool -> string -> (Workspace.t * report, Error.t) result
+  ?io:Fsio.t ->
+  ?repair:bool ->
+  ?cache:Viewobject.Cache.t ->
+  string ->
+  (Workspace.t * report, Error.t) result
 (** Load the store document at the path, then replay its journal
     ([path ^ ".journal"], if present): entries newer than the snapshot's
     recorded version are applied in order — versions must extend the
@@ -36,7 +40,14 @@ val open_store :
     disk. Leave [repair] off on read-only paths — a "torn tail" seen
     without the store lock ({!Fsio.with_lock}) may be another process's
     append in flight, and rewriting the journal would discard its
-    commit. {!persist} repairs at commit time instead. *)
+    commit. {!persist} repairs at commit time instead.
+
+    [cache] (an attached {!Viewobject.Cache.t}) is
+    {!Workspace.sync_cache}d to the recovered workspace: since replayed
+    journal entries land in the log as real deltas, a cache warmed
+    before a crash is replay-warmed — patched forward entry by entry —
+    instead of rebuilt (unless its position predates the snapshot, in
+    which case it is invalidated and rebuilds lazily). *)
 
 type persisted = {
   rotated : bool;  (** the journal was folded into a fresh snapshot *)

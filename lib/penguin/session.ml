@@ -161,7 +161,7 @@ let restage ws entries =
     entries
 
 let commit ?validation ?(policy = Resilience.Policy.occ)
-    ?(clock = Resilience.Clock.real) ?deadline_ns ws s =
+    ?(clock = Resilience.Clock.real) ?deadline_ns ?cache ws s =
   let max_attempts = max 1 policy.Resilience.Policy.max_attempts in
   let past_deadline () =
     match deadline_ns with
@@ -270,7 +270,8 @@ let commit ?validation ?(policy = Resilience.Policy.occ)
           Result.bind (rebase "barrier" s) (attempt (n + 1) true)
     end
   in
-  if s.rev_entries = [] then
+  if s.rev_entries = [] then begin
+    Option.iter (Workspace.sync_cache ws) cache;
     Ok
       ( ws,
         {
@@ -279,6 +280,7 @@ let commit ?validation ?(policy = Resilience.Policy.occ)
           rebased = false;
           committed = 0;
         } )
+  end
   else
     Obs.Trace.with_span "session.commit"
       ~tags:[ "queued", string_of_int s.count ]
@@ -286,10 +288,13 @@ let commit ?validation ?(policy = Resilience.Policy.occ)
     M.time m_commit_ns @@ fun () ->
     let result = attempt 1 false s in
     (match result with
-    | Ok (_, stats) ->
+    | Ok (ws', stats) ->
         M.Counter.incr m_commits;
         M.Gauge.set m_queue_depth 0.;
         Obs.Trace.tag "attempts" (string_of_int stats.attempts);
-        if stats.rebased then Obs.Trace.tag "rebased" "true"
+        if stats.rebased then Obs.Trace.tag "rebased" "true";
+        (* An attached cache follows the committed state: only the
+           entries the committed deltas can influence are re-derived. *)
+        Option.iter (Workspace.sync_cache ws') cache
     | Error _ -> ());
     result

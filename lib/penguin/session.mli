@@ -78,11 +78,16 @@ val commit :
   ?policy:Resilience.Policy.t ->
   ?clock:Resilience.Clock.t ->
   ?deadline_ns:float ->
+  ?cache:Viewobject.Cache.t ->
   Workspace.t ->
   t ->
   (Workspace.t * commit_stats, Error.t) result
 (** Commit the session's staged updates onto the given (current)
-    workspace. [policy] (default {!Resilience.Policy.occ}: 3 attempts,
+    workspace. [cache] (an attached {!Viewobject.Cache.t}) is
+    {!Workspace.sync_cache}d to the resulting workspace on success, so
+    reads through it stay equal to fresh instantiation while paying
+    only for the entries the committed deltas touch.
+    [policy] (default {!Resilience.Policy.occ}: 3 attempts,
     no backoff) bounds rebase rounds and paces them — cross-process
     callers pass a backoff policy so contending committers spread out;
     exhausting it is {!Error.Conflict} (retryable after reopening).

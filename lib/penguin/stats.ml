@@ -101,6 +101,69 @@ let durability_traffic ws =
   cleanup ();
   result
 
+(* Drive the materialized view-object cache through every outcome its
+   counters name: a cold build (miss), a warm read (hit), an
+   incremental patch from a session commit, a skip (a delta disjoint
+   from a cached object's dependencies), and a barrier invalidation. *)
+let cache_traffic ws =
+  let cache = Workspace.attach_cache ws in
+  (* A flat DEPARTMENT object rides along: its dependency set is
+     disjoint from the GRADES edit below, so the patch skips it. *)
+  Viewobject.Cache.register cache
+    (Viewobject.Definition.make_exn ws.Workspace.graph ~name:"departments"
+       ~pivot:"DEPARTMENT"
+       ~root:
+         (Viewobject.Definition.node ~label:"DEPARTMENT"
+            ~relation:"DEPARTMENT"
+            ~attrs:[ "dept_name"; "building"; "budget" ]
+            ~path:[] ~children:[]));
+  let* cold = Viewobject.Cache.instances cache "omega" in
+  Viewobject.Cache.warm cache;
+  let* warm = Viewobject.Cache.instances cache "omega" in
+  let* () =
+    if List.length cold <> List.length warm then
+      Error "stats exercise: cache warm read diverged from the cold one"
+    else Ok ()
+  in
+  (* One committed update through a session with the cache attached:
+     sync patches the touched omega entry and skips the DEPARTMENT
+     object. [session_traffic] left the grade at 'B+', so the even
+     statement is a real edit. *)
+  let sess = Session.begin_ ws in
+  let* sess = queue_stmt sess ws (flip_stmt 0) in
+  let* ws, _stats = str_err (Session.commit ~cache ws sess) in
+  (* ...and flip it back, so the fixture leaves this stage as it
+     entered (the durability stage's edits stay real). *)
+  let sess = Session.begin_ ws in
+  let* sess = queue_stmt sess ws (flip_stmt 1) in
+  let* ws, _stats = str_err (Session.commit ~cache ws sess) in
+  let fresh = Workspace.instances ws "omega" in
+  let* cached = Viewobject.Cache.instances cache "omega" in
+  let* () =
+    match fresh with
+    | Ok fresh when List.equal Viewobject.Instance.equal fresh cached -> Ok ()
+    | Ok _ -> Error "stats exercise: patched cache diverged from instantiate"
+    | Error e -> Error e
+  in
+  (* A barrier (wholesale database swap) hides the history: the cache
+     must invalidate rather than trust its entries. The swapped-in
+     value is logically the same state, which is exactly why the cache
+     cannot tell — only the barrier speaks. *)
+  let scratch =
+    Relational.Schema.make_exn ~name:"STATS_SCRATCH"
+      ~attributes:[ Relational.Attribute.int "id" ]
+      ~key:[ "id" ]
+  in
+  let* swapped =
+    Result.map_error Relational.Database.error_to_string
+      (Relational.Database.drop_relation
+         (Relational.Database.create_relation_exn ws.Workspace.db scratch)
+         "STATS_SCRATCH")
+  in
+  let ws = Workspace.with_db ws swapped in
+  Workspace.sync_cache ws cache;
+  Ok ws
+
 (* Drive the resilience layer so its counters are never zero in the
    stats output: a transient fault retried through a real (injected)
    I/O path, an admission-control shed, and a full breaker cycle —
@@ -160,6 +223,7 @@ let exercise ?(updates = 8) () =
   let ws = University.workspace () in
   let* ws = engine_traffic ~updates ws in
   let* ws = session_traffic ws in
+  let* ws = cache_traffic ws in
   let* () = durability_traffic ws in
   let* () = resilience_traffic () in
   match Workspace.check_consistency ws with

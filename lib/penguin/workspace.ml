@@ -159,5 +159,52 @@ let oql ws name query =
   let* vo = find_object ws name in
   Oql.run ws.db vo query
 
+(* --- materialized view-object cache ---------------------------------- *)
+
+let attach_cache ?mode ws =
+  let cache = Cache.create ?mode ws.graph ~db:ws.db in
+  List.iter (fun (_, vo) -> Cache.register cache vo) ws.objects;
+  Cache.set_position cache (version ws);
+  cache
+
+let sync_cache ws cache =
+  if Cache.db cache == ws.db then
+    (* Already on this state (a push subscriber applied the commits, or
+       nothing happened): only the bookkeeping position can lag. *)
+    Cache.set_position cache (version ws)
+  else begin
+    let v = version ws in
+    (if Cache.position cache > v then
+       (* The cache is ahead of this workspace's history: a fork or a
+          rewind; nothing to replay forward, start over. *)
+       Cache.invalidate_all cache ~db:ws.db
+     else
+       (* Catch up over the logged commits since the cache's position,
+          composed into one net delta; any barrier in between (database
+          swap, raw SQL, truncated history) hides changes, so the cache
+          must be rebuilt. A same-version workspace with a different
+          database is a fork at equal length — the empty net delta would
+          lie, and the composed delta of a diverged branch contradicts
+          the cached old images; [Cache.apply_delta] invalidates on that
+          contradiction. *)
+       let rec net acc = function
+         | [] -> Some acc
+         | { Commit_log.change = Commit_log.Delta d; _ } :: rest ->
+             net (Delta.compose acc d) rest
+         | { Commit_log.change = Commit_log.Barrier _; _ } :: _ -> None
+       in
+       match net Delta.empty (Commit_log.entries_since ws.log (Cache.position cache)) with
+       | Some d when not (Delta.is_empty d) -> Cache.apply_delta cache ~post:ws.db d
+       | Some _ | None -> Cache.invalidate_all cache ~db:ws.db);
+    Cache.set_position cache v
+  end
+
+let subscribe_cache cache =
+  Vo_core.Engine.subscribe (fun ~pre ~post delta ->
+      (* Only commits against the cache's exact state are applicable;
+         anything else (another workspace in the process, a lagging
+         cache) is left for the pull path to resolve. *)
+      if pre == Cache.db cache then Cache.apply_delta cache ~post delta)
+
 let check_consistency ws =
   Vo_core.Global_validation.check_consistency ws.graph ws.db

@@ -51,6 +51,21 @@ let record d ~rel ~key ~old_image ~new_image =
   in
   match new_image with Some t -> add d ~rel ~key t | None -> d
 
+let compose d1 d2 =
+  SMap.fold
+    (fun rel m acc ->
+      KMap.fold
+        (fun key c acc ->
+          match c with
+          | Added t -> record acc ~rel ~key ~old_image:None ~new_image:(Some t)
+          | Removed t ->
+              record acc ~rel ~key ~old_image:(Some t) ~new_image:None
+          | Updated { before; after } ->
+              record acc ~rel ~key ~old_image:(Some before)
+                ~new_image:(Some after))
+        m acc)
+    d2 d1
+
 let relations d = List.map fst (SMap.bindings d)
 
 let change_equal a b =

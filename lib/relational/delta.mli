@@ -44,6 +44,15 @@ val record : t -> rel:string -> key:Value.t list -> old_image:Tuple.t option -> 
     at [key] before and after the operation (a key-changing replace is
     a [remove] at the old key plus an [add] at the new one). *)
 
+val compose : t -> t -> t
+(** [compose d1 d2]: the net effect of [d1] followed by [d2] — [d2] read
+    against the state [d1] produced. Cancellations apply ([Added] then
+    [Removed] vanishes; [Added] then [Updated] collapses to [Added] with
+    the final image), so composing a commit sequence yields one delta
+    truthful against the final state. Associative; [empty] is the
+    identity. This is how a lagging consumer (e.g. the materialized
+    view-object cache) catches up over several commits in one pass. *)
+
 val relations : t -> string list
 (** Relations with at least one net change, sorted. *)
 

@@ -1,0 +1,485 @@
+open Relational
+open Structural
+
+let src =
+  Logs.Src.create "viewobject.cache" ~doc:"materialized view-object cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module M = Obs.Metrics
+
+let m_hits =
+  M.counter ~help:"cache reads served from a warm definition" "cache.hits"
+
+let m_misses =
+  M.counter ~help:"cache reads that built a cold definition" "cache.misses"
+
+let m_patched =
+  M.counter ~help:"cache entries re-derived or dropped by a delta patch"
+    "cache.patched"
+
+let m_invalidated =
+  M.counter ~help:"cached definitions dropped wholesale" "cache.invalidated"
+
+let m_skipped =
+  M.counter ~help:"per-definition delta skips (disjoint footprint)"
+    "cache.skipped"
+
+let m_divergences =
+  M.counter ~help:"paranoid cross-check failures" "cache.divergences"
+
+let m_patch_ns =
+  M.histogram ~help:"apply_delta: per-definition incremental patch"
+    "cache.patch_ns"
+
+let m_warm_ns =
+  M.histogram ~help:"cold-definition build (full instantiation)"
+    "cache.warm_ns"
+
+let ( let* ) = Result.bind
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+module KMap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+module KSet = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+(* A cached instance keeps, alongside each projected node, the *full*
+   stored tuple it was derived from: patches re-run [follow_path] at any
+   level (full tuples down, as in [Instantiate.of_pivot_tuple]) and match
+   results against cached subtrees by database key. *)
+type node_entry = {
+  full : Tuple.t;
+  inst : Instance.t;
+  subs : (string * node_entry list) list;  (** by child label *)
+}
+
+type def_state = {
+  def : Definition.t;
+  deps : SSet.t;
+      (** every relation instantiation reads: nodes + path intermediates *)
+  chains : Schema_graph.edge list list SMap.t;
+      (** relation → root-to-relation edge chains (backwalk routes) *)
+  child_deps : SSet.t SMap.t;
+      (** child label → relations its subtree computation reads *)
+  mutable entries : node_entry KMap.t option;  (** [None] = cold *)
+}
+
+type mode =
+  | Normal
+  | Paranoid
+
+type t = {
+  graph : Schema_graph.t;
+  cmode : mode;
+  mutable db : Database.t;
+  mutable pos : int;
+  mutable defs : (string * def_state) list;  (** registration order *)
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_patched : int;
+  mutable s_invalidated : int;
+  mutable s_skipped : int;
+  mutable s_divergences : int;
+}
+
+let create ?(mode = Normal) graph ~db =
+  {
+    graph;
+    cmode = mode;
+    db;
+    pos = 0;
+    defs = [];
+    s_hits = 0;
+    s_misses = 0;
+    s_patched = 0;
+    s_invalidated = 0;
+    s_skipped = 0;
+    s_divergences = 0;
+  }
+
+let mode t = t.cmode
+let db t = t.db
+let position t = t.pos
+let set_position t p = t.pos <- p
+
+(* --- definition metadata -------------------------------------------- *)
+
+let edge_key (e : Schema_graph.edge) =
+  Connection.id e.conn ^ if e.forward then ">" else "<"
+
+let chain_id c = String.concat "/" (List.map edge_key c)
+
+(* One pass over the tree computes the three derived views the
+   maintenance loop needs: the dependency set (skip decision), every
+   root-to-relation chain prefix (backwalk routes for affected-key
+   discovery), and per-child subtree dependencies (reuse decision). *)
+let compute_meta (vo : Definition.t) =
+  let deps = ref (SSet.singleton vo.pivot) in
+  let chains = ref SMap.empty in
+  let child_deps = ref SMap.empty in
+  let add_chain rel c =
+    chains :=
+      SMap.update rel
+        (fun l ->
+          let l = Option.value l ~default:[] in
+          if List.exists (fun c' -> String.equal (chain_id c') (chain_id c)) l
+          then Some l
+          else Some (l @ [ c ]))
+        !chains
+  in
+  (* Returns the relations read to compute [dn]'s subtree from [dn]'s
+     own full tuple (path intermediates of its children included, its
+     own relation not). *)
+  let rec go prefix (dn : Definition.node) =
+    deps := SSet.add dn.relation !deps;
+    List.fold_left
+      (fun acc (cn : Definition.node) ->
+        let _, path_rels =
+          List.fold_left
+            (fun (pfx, rels) e ->
+              let pfx = pfx @ [ e ] in
+              let rel = Schema_graph.edge_to e in
+              deps := SSet.add rel !deps;
+              add_chain rel pfx;
+              pfx, SSet.add rel rels)
+            (prefix, SSet.empty) cn.path
+        in
+        let below = go (prefix @ cn.path) cn in
+        let cdeps = SSet.union path_rels below in
+        child_deps := SMap.add cn.label cdeps !child_deps;
+        SSet.union acc cdeps)
+      SSet.empty dn.children
+  in
+  ignore (go [] vo.root : SSet.t);
+  !deps, !chains, !child_deps
+
+let register t vo =
+  let deps, chains, child_deps = compute_meta vo in
+  let ds = { def = vo; deps; chains; child_deps; entries = None } in
+  let name = vo.Definition.name in
+  if List.mem_assoc name t.defs then
+    t.defs <-
+      List.map
+        (fun (n, old) -> if String.equal n name then n, ds else n, old)
+        t.defs
+  else t.defs <- t.defs @ [ name, ds ]
+
+let registered t = List.sort String.compare (List.map fst t.defs)
+
+let find_state t name =
+  match List.assoc_opt name t.defs with
+  | Some ds -> Ok ds
+  | None -> Error (Fmt.str "cache: no registered view object named %s" name)
+
+let find_definition t name =
+  Option.map (fun ds -> ds.def) (List.assoc_opt name t.defs)
+
+let dependencies t name =
+  match List.assoc_opt name t.defs with
+  | None -> []
+  | Some ds -> SSet.elements ds.deps
+
+(* --- entry construction and refresh --------------------------------- *)
+
+let connected_via (e : Schema_graph.edge) db u =
+  let from_attrs = Schema_graph.edge_from_attrs e in
+  let to_attrs = Schema_graph.edge_to_attrs e in
+  Relation.lookup_eq
+    (Database.relation_exn db (Schema_graph.edge_to e))
+    (List.map2 (fun fa ta -> ta, Tuple.get u fa) from_attrs to_attrs)
+
+let below_deps ds (dn : Definition.node) =
+  List.fold_left
+    (fun acc (cn : Definition.node) ->
+      SSet.union acc
+        (Option.value
+           (SMap.find_opt cn.label ds.child_deps)
+           ~default:SSet.empty))
+    SSet.empty dn.children
+
+(* Re-derive the subtree rooted at [dn] for the full tuple [full],
+   reusing [old] (the previous entry at the same database key) wherever
+   the touched relations cannot have changed the result:
+   - the whole entry, when [full] is unchanged and no relation below is
+     touched;
+   - a whole child list, when nothing on the child's path or below it is
+     touched and the parent's linking attributes are unchanged;
+   - individual sub-entries, matched by database key after a fresh
+     [follow_path].
+   A cold build is the same walk with no [old] to reuse. *)
+let rec entry_of ds db touched old (dn : Definition.node) full =
+  match old with
+  | Some ne
+    when Tuple.equal ne.full full && SSet.disjoint (below_deps ds dn) touched
+    -> ne
+  | _ ->
+      let subs =
+        List.map
+          (fun (cn : Definition.node) ->
+            let old_subs =
+              match old with
+              | Some ne ->
+                  Option.value (List.assoc_opt cn.label ne.subs) ~default:[]
+              | None -> []
+            in
+            let cdeps =
+              Option.value
+                (SMap.find_opt cn.label ds.child_deps)
+                ~default:SSet.empty
+            in
+            let link_attrs =
+              match cn.path with
+              | e :: _ -> Schema_graph.edge_from_attrs e
+              | [] -> []
+            in
+            let reuse_whole_list =
+              match old with
+              | Some ne ->
+                  SSet.disjoint cdeps touched
+                  && Tuple.equal_on link_attrs ne.full full
+              | None -> false
+            in
+            if reuse_whole_list then cn.label, old_subs
+            else
+              let schema = Relation.schema (Database.relation_exn db cn.relation) in
+              let by_key =
+                List.fold_left
+                  (fun m ne -> KMap.add (Tuple.key_of schema ne.full) ne m)
+                  KMap.empty old_subs
+              in
+              ( cn.label,
+                List.map
+                  (fun sub_full ->
+                    entry_of ds db touched
+                      (KMap.find_opt (Tuple.key_of schema sub_full) by_key)
+                      cn sub_full)
+                  (Instantiate.follow_path db cn.path full) ))
+          dn.children
+      in
+      let inst =
+        Instance.make ~label:dn.label ~relation:dn.relation
+          ~tuple:(Tuple.project dn.attrs full)
+          ~children:
+            (List.map (fun (l, nes) -> l, List.map (fun ne -> ne.inst) nes) subs)
+      in
+      { full; inst; subs }
+
+let build_def t ds =
+  M.time m_warm_ns @@ fun () ->
+  Obs.Trace.with_span "cache.warm"
+    ~tags:[ "object", ds.def.Definition.name ]
+  @@ fun () ->
+  let schema = Schema_graph.schema_exn t.graph ds.def.Definition.pivot in
+  let pivot_rel = Database.relation_exn t.db ds.def.Definition.pivot in
+  let entries =
+    List.fold_left
+      (fun m full ->
+        KMap.add (Tuple.key_of schema full)
+          (entry_of ds t.db SSet.empty None ds.def.Definition.root full)
+          m)
+      KMap.empty (Relation.to_list pivot_rel)
+  in
+  ds.entries <- Some entries
+
+let warm t =
+  List.iter
+    (fun (_, ds) -> if ds.entries = None then build_def t ds)
+    t.defs
+
+(* --- reads ----------------------------------------------------------- *)
+
+let served t ds =
+  (match ds.entries with
+  | Some _ ->
+      t.s_hits <- t.s_hits + 1;
+      M.Counter.incr m_hits
+  | None ->
+      t.s_misses <- t.s_misses + 1;
+      M.Counter.incr m_misses;
+      build_def t ds);
+  match ds.entries with
+  | Some m -> List.map (fun (_, ne) -> ne.inst) (KMap.bindings m)
+  | None -> assert false
+
+let instances t name = Result.map (served t) (find_state t name)
+
+let query t name cond =
+  Result.map (List.filter (Vo_query.holds cond)) (instances t name)
+
+let oql t name q =
+  let* ds = find_state t name in
+  let* cond = Oql.parse ds.def q in
+  Ok (List.filter (Vo_query.holds cond) (served t ds))
+
+(* --- incremental maintenance ----------------------------------------- *)
+
+let invalidate_def t ds =
+  if ds.entries <> None then begin
+    ds.entries <- None;
+    t.s_invalidated <- t.s_invalidated + 1;
+    M.Counter.incr m_invalidated
+  end
+
+let invalidate_all t ~db =
+  List.iter (fun (_, ds) -> invalidate_def t ds) t.defs;
+  t.db <- db
+
+(* A delta is only applicable if its old images match the state the
+   cache sits on — [Added] keys absent, [Removed]/[Updated] old images
+   present verbatim. A mismatch means the caller fed a delta from a
+   different lineage (or skipped one); patching would silently corrupt. *)
+let truthful_against db d =
+  List.for_all
+    (fun (rel, changes) ->
+      match Database.relation db rel with
+      | Error _ -> false
+      | Ok r ->
+          List.for_all
+            (fun (key, c) ->
+              match c, Relation.lookup r key with
+              | Delta.Added _, None -> true
+              | Delta.Added _, Some _ -> false
+              | ( (Delta.Removed t0 | Delta.Updated { before = t0; _ }),
+                  Some stored ) ->
+                  Tuple.equal t0 stored
+              | (Delta.Removed _ | Delta.Updated _), None -> false)
+            changes)
+    (Delta.bindings d)
+
+let paranoid_check t =
+  List.iter
+    (fun (_, ds) ->
+      match ds.entries with
+      | None -> ()
+      | Some m ->
+          let cached = List.map (fun (_, ne) -> ne.inst) (KMap.bindings m) in
+          let fresh = Instantiate.instantiate t.db ds.def in
+          if not (List.equal Instance.equal cached fresh) then begin
+            t.s_divergences <- t.s_divergences + 1;
+            M.Counter.incr m_divergences;
+            Log.warn (fun k ->
+                k "cache: paranoid cross-check diverged on %s; invalidating"
+                  ds.def.Definition.name);
+            invalidate_def t ds
+          end)
+    t.defs
+
+let patch_def t ds ~post d touched =
+  M.time m_patch_ns @@ fun () ->
+  Obs.Trace.with_span "cache.patch"
+    ~tags:[ "object", ds.def.Definition.name ]
+  @@ fun () ->
+  let entries = match ds.entries with Some m -> m | None -> assert false in
+  let pivot = ds.def.Definition.pivot in
+  let pivot_schema = Schema_graph.schema_exn t.graph pivot in
+  let pivot_rel = Database.relation_exn post pivot in
+  (* Affected pivot keys: direct pivot changes carry their key; any
+     other change is walked backwards through every chain that reaches
+     its relation, against the post state (if an upstream link vanished
+     too, that link's own change backwalks from higher up). *)
+  let affected = ref KSet.empty in
+  List.iter
+    (fun (rel, changes) ->
+      if String.equal rel pivot then
+        List.iter (fun (key, _) -> affected := KSet.add key !affected) changes;
+      match SMap.find_opt rel ds.chains with
+      | None -> ()
+      | Some chains ->
+          let images =
+            List.concat_map
+              (fun (_, c) ->
+                match c with
+                | Delta.Added u | Delta.Removed u -> [ u ]
+                | Delta.Updated { before; after } -> [ before; after ])
+              changes
+          in
+          List.iter
+            (fun chain ->
+              let back = List.rev_map Schema_graph.inverse chain in
+              List.iter
+                (fun img ->
+                  List.iter
+                    (fun p ->
+                      affected :=
+                        KSet.add (Tuple.key_of pivot_schema p) !affected)
+                    (List.fold_left
+                       (fun ts e -> List.concat_map (connected_via e post) ts)
+                       [ img ] back))
+                images)
+            chains)
+    (Delta.bindings d);
+  let n = KSet.cardinal !affected in
+  let entries =
+    KSet.fold
+      (fun key m ->
+        match Relation.lookup pivot_rel key with
+        | None -> KMap.remove key m
+        | Some full ->
+            KMap.add key
+              (entry_of ds post touched (KMap.find_opt key m)
+                 ds.def.Definition.root full)
+              m)
+      !affected entries
+  in
+  ds.entries <- Some entries;
+  t.s_patched <- t.s_patched + n;
+  M.Counter.add m_patched n;
+  Obs.Trace.tag "patched" (string_of_int n);
+  Log.debug (fun k ->
+      k "cache: patched %d entr%s of %s" n
+        (if n = 1 then "y" else "ies")
+        ds.def.Definition.name)
+
+let apply_delta t ~post d =
+  Obs.Trace.with_span "cache.apply_delta" @@ fun () ->
+  let touched = SSet.of_list (Delta.relations d) in
+  let warm_defs = List.filter (fun (_, ds) -> ds.entries <> None) t.defs in
+  let relevant, skipped =
+    List.partition
+      (fun (_, ds) -> not (SSet.disjoint touched ds.deps))
+      warm_defs
+  in
+  List.iter
+    (fun _ ->
+      t.s_skipped <- t.s_skipped + 1;
+      M.Counter.incr m_skipped)
+    skipped;
+  (if relevant <> [] then
+     if truthful_against t.db d then
+       List.iter (fun (_, ds) -> patch_def t ds ~post d touched) relevant
+     else begin
+       Log.warn (fun k ->
+           k "cache: delta contradicts the cached state (foreign lineage?); \
+              invalidating");
+       List.iter (fun (_, ds) -> invalidate_def t ds) relevant
+     end);
+  t.db <- post;
+  if t.cmode = Paranoid then paranoid_check t
+
+type stats = {
+  hits : int;
+  misses : int;
+  patched : int;
+  invalidated : int;
+  skipped : int;
+  divergences : int;
+}
+
+let stats t =
+  {
+    hits = t.s_hits;
+    misses = t.s_misses;
+    patched = t.s_patched;
+    invalidated = t.s_invalidated;
+    skipped = t.s_skipped;
+    divergences = t.s_divergences;
+  }

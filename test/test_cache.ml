@@ -1,0 +1,442 @@
+(* The materialized view-object cache: a cached read must be
+   observationally equal to a fresh instantiation against the cache's
+   database at every point in any commit sequence — under pull sync,
+   push subscription, crash-recovery replay, journal rotation, and
+   histories the cache must refuse to trust (barriers, foreign-lineage
+   deltas, Paranoid divergences). *)
+open Relational
+open Structural
+open Viewobject
+open Test_util
+module Ws = Penguin.Workspace
+
+let instance_t = Alcotest.testable Instance.pp Instance.equal
+let cached cache name = check_ok (Cache.instances cache name)
+
+(* Every registered object, cached vs fresh against the cache's own
+   database (which sync must have brought to the workspace's). *)
+let matches ws cache =
+  Cache.db cache == ws.Ws.db
+  && List.for_all
+       (fun name ->
+         let vo = Option.get (Cache.find_definition cache name) in
+         let fresh = Instantiate.instantiate ws.Ws.db vo in
+         List.equal Instance.equal fresh (cached cache name))
+       (Cache.registered cache)
+
+let assert_matches ?(msg = "cached = fresh") ws cache =
+  List.iter
+    (fun name ->
+      let vo = Option.get (Cache.find_definition cache name) in
+      Alcotest.check (Alcotest.list instance_t)
+        (Fmt.str "%s: %s" msg name)
+        (Instantiate.instantiate ws.Ws.db vo)
+        (cached cache name))
+    (Cache.registered cache)
+
+(* --- a random-update interpreter over the example fixtures ------------ *)
+
+let fixtures =
+  [|
+    "university", Penguin.University.workspace;
+    "hospital", Penguin.Hospital.workspace;
+    "cad", Penguin.Cad.workspace;
+  |]
+
+let bump n = function
+  | Value.Int i -> Value.Int (i + 1 + (n mod 7))
+  | Value.Str s -> Value.Str (s ^ "~" ^ string_of_int (n mod 97))
+  | Value.Float f -> Value.Float (f +. 1.5)
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+
+let nth_rnd rnd l = List.nth l (rnd (List.length l))
+
+(* One pseudo-random request against the named object, built from its
+   current instances: delete one, rename its pivot key, or rewrite one
+   non-key attribute of one node occurrence. [None] when nothing
+   editable turns up; translator rejections downstream are equally fine
+   — the property only cares that every *committed* state is served
+   correctly. *)
+let random_op rnd ws name =
+  match Ws.instances ws name with
+  | Error _ | Ok [] -> None
+  | Ok insts -> (
+      let inst = nth_rnd rnd insts in
+      let vo = check_ok (Ws.find_object ws name) in
+      let key_attrs_of rel =
+        Schema.key_attributes (Schema_graph.schema_exn ws.Ws.graph rel)
+      in
+      match rnd 6 with
+      | 0 -> Some (Vo_core.Request.delete inst)
+      | 1 -> (
+          (* Pivot-key rename: the entry must vanish under one cache key
+             and reappear under another (or be rejected — also fine). *)
+          let root = vo.Definition.root in
+          match
+            List.filter
+              (fun a -> Tuple.mem inst.Instance.tuple a)
+              (key_attrs_of vo.Definition.pivot)
+          with
+          | [] -> None
+          | keys ->
+              let a = nth_rnd rnd keys in
+              let n = rnd 1000 in
+              Result.to_option
+                (Vo_core.Request.partial_modify inst
+                   ~label:root.Definition.label ~at:inst.Instance.tuple
+                   ~f:(fun t -> Tuple.set t a (bump n (Tuple.get t a)))))
+      | _ -> (
+          (* Rewrite one non-key attribute somewhere in the tree. *)
+          let label, tup = nth_rnd rnd (Instance.flatten inst) in
+          let node = Definition.find_exn vo label in
+          let keys = key_attrs_of node.Definition.relation in
+          match
+            List.filter
+              (fun a ->
+                (not (List.mem a keys)) && Tuple.get tup a <> Value.Null)
+              (Tuple.attributes tup)
+          with
+          | [] -> None
+          | attrs ->
+              let a = nth_rnd rnd attrs in
+              let n = rnd 1000 in
+              Result.to_option
+                (Vo_core.Request.partial_modify inst ~label ~at:tup ~f:(fun t ->
+                     Tuple.set t a (bump n (Tuple.get t a))))))
+
+(* Run [steps] random updates with the cache riding along (pull sync
+   after every attempt, committed or not) and check cached = fresh after
+   each; returns false at the first divergence. *)
+let run_scenario ?mode ~steps (fi, seed) =
+  let _, mk = fixtures.(fi) in
+  let ws = ref (mk ()) in
+  let cache = Ws.attach_cache ?mode !ws in
+  Cache.warm cache;
+  let st = Random.State.make [| seed; fi |] in
+  let rnd n = if n <= 1 then 0 else Random.State.int st n in
+  let names = List.map fst !ws.Ws.objects in
+  let ok = ref (matches !ws cache) in
+  for _ = 1 to steps do
+    let name = nth_rnd rnd names in
+    (match random_op rnd !ws name with
+    | None -> ()
+    | Some req ->
+        let ws', _outcome = Ws.update !ws name req in
+        Ws.sync_cache ws' cache;
+        ws := ws');
+    ok := !ok && matches !ws cache
+  done;
+  !ok, cache
+
+let scenario_arb =
+  QCheck.make
+    ~print:(fun (fi, seed) -> Fmt.str "%s/seed=%d" (fst fixtures.(fi)) seed)
+    QCheck.Gen.(pair (int_bound (Array.length fixtures - 1)) (int_bound 1_000_000))
+
+let prop_cached_equals_fresh =
+  QCheck.Test.make
+    ~name:"cached+patched = fresh after every commit (random sequences)"
+    ~count:220 scenario_arb
+    (fun sc -> fst (run_scenario ~steps:6 sc))
+
+(* On a single honest lineage Paranoid mode must never fire: the
+   cross-check is pure overhead, not a correctness crutch. *)
+let prop_paranoid_never_diverges =
+  QCheck.Test.make ~name:"Paranoid cross-check is silent on honest lineages"
+    ~count:30 scenario_arb
+    (fun sc ->
+      let ok, cache = run_scenario ~mode:Cache.Paranoid ~steps:4 sc in
+      ok && (Cache.stats cache).Cache.divergences = 0)
+
+(* --- deterministic behaviour, university fixture ---------------------- *)
+
+let grade_edit ws course pid grade =
+  let inst =
+    match
+      Instantiate.instantiate
+        ~where:(Predicate.eq_str "course_id" course)
+        ws.Ws.db Penguin.University.omega
+    with
+    | [ i ] -> i
+    | l -> Alcotest.failf "expected 1 instance of %s, got %d" course (List.length l)
+  in
+  match
+    Vo_core.Request.partial_modify inst ~label:"GRADES"
+      ~at:(Tuple.make [ "pid", Value.Int pid ])
+      ~f:(fun t -> Tuple.set t "grade" (Value.Str grade))
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "building request on %s: %s" course e
+
+let commit ws name req =
+  let ws', outcome = Ws.update ws name req in
+  let (_ : Database.t) = committed_db outcome in
+  ws'
+
+let test_hit_miss_equivalence () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  Alcotest.(check (list string))
+    "registered" [ "omega"; "omega_prime" ] (Cache.registered cache);
+  Alcotest.(check int) "positioned at the log head" (Ws.version ws)
+    (Cache.position cache);
+  let cold = cached cache "omega" in
+  let s = Cache.stats cache in
+  Alcotest.(check int) "cold read is a miss" 1 s.Cache.misses;
+  Alcotest.(check int) "no hits yet" 0 s.Cache.hits;
+  let warm = cached cache "omega" in
+  Alcotest.(check int) "warm read is a hit" 1 (Cache.stats cache).Cache.hits;
+  Alcotest.check (Alcotest.list instance_t) "cold = warm" cold warm;
+  Alcotest.check (Alcotest.list instance_t) "cold = Workspace.instances"
+    (check_ok (Ws.instances ws "omega"))
+    cold;
+  match Cache.instances cache "nope" with
+  | Ok _ -> Alcotest.fail "unknown object served"
+  | Error e -> check_err_contains ~sub:"nope" (Error e)
+
+let test_oql_through_cache () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  let q = "level = 'grad' and count(STUDENT#2) < 5" in
+  Alcotest.check (Alcotest.list instance_t) "cached OQL = Workspace.oql"
+    (check_ok (Ws.oql ws "omega" q))
+    (check_ok (Cache.oql cache "omega" q));
+  (* A second run is served from the warm store. *)
+  let hits = (Cache.stats cache).Cache.hits in
+  let (_ : Instance.t list) = check_ok (Cache.oql cache "omega" q) in
+  Alcotest.(check bool) "query reads count as hits" true
+    ((Cache.stats cache).Cache.hits > hits)
+
+let test_patch_on_commit () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  Cache.warm cache;
+  let ws = commit ws "omega" (grade_edit ws "CS345" 2 "A-") in
+  Ws.sync_cache ws cache;
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "entries were patched" true (s.Cache.patched >= 1);
+  Alcotest.(check int) "nothing invalidated" 0 s.Cache.invalidated;
+  Alcotest.(check int) "position follows the log" (Ws.version ws)
+    (Cache.position cache);
+  assert_matches ~msg:"after patch" ws cache;
+  (* The patched reads above were hits — no rebuild happened. *)
+  Alcotest.(check int) "no rebuild" 0 (Cache.stats cache).Cache.misses
+
+let test_skip_disjoint_delta () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  (* A flat DEPARTMENT object: its dependency set is disjoint from a
+     GRADES edit, so the patch must skip it untouched. *)
+  Cache.register cache
+    (Definition.make_exn ws.Ws.graph ~name:"departments" ~pivot:"DEPARTMENT"
+       ~root:
+         (Definition.node ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+            ~attrs:[ "dept_name"; "building"; "budget" ]
+            ~path:[] ~children:[]));
+  Cache.warm cache;
+  Alcotest.(check (list string))
+    "flat object depends only on its pivot" [ "DEPARTMENT" ]
+    (Cache.dependencies cache "departments");
+  let ws = commit ws "omega" (grade_edit ws "CS345" 2 "B-") in
+  Ws.sync_cache ws cache;
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "disjoint object skipped" true (s.Cache.skipped >= 1);
+  Alcotest.(check bool) "touched object patched" true (s.Cache.patched >= 1);
+  assert_matches ~msg:"after skip" ws cache
+
+let test_dependencies () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  (* CURRICULUM is no node of omega — it is the m:n link relation the
+     DEPARTMENT path walks through, and an edit to it re-links
+     departments, so it must count as a dependency. *)
+  Alcotest.(check (list string))
+    "omega reads its island and the path relations"
+    [ "COURSES"; "CURRICULUM"; "DEPARTMENT"; "GRADES"; "STUDENT" ]
+    (Cache.dependencies cache "omega");
+  (* omega_prime does not project GRADES, but its STUDENT#2 path walks
+     through it — a GRADES edit can change the student set, so GRADES
+     must be in the dependency set. *)
+  Alcotest.(check bool) "path intermediates are dependencies" true
+    (List.mem "GRADES" (Cache.dependencies cache "omega_prime"))
+
+let test_barrier_invalidates () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  Cache.warm cache;
+  (* A wholesale swap records a barrier. The swapped-in database is
+     physically new but logically identical — exactly the case the
+     cache cannot distinguish, so only the barrier speaks. *)
+  let scratch =
+    Schema.make_exn ~name:"CACHE_SCRATCH"
+      ~attributes:[ Attribute.int "id" ]
+      ~key:[ "id" ]
+  in
+  let swapped =
+    match
+      Database.drop_relation
+        (Database.create_relation_exn ws.Ws.db scratch)
+        "CACHE_SCRATCH"
+    with
+    | Ok db -> db
+    | Error e -> Alcotest.fail (Database.error_to_string e)
+  in
+  let ws = Ws.with_db ws swapped in
+  Ws.sync_cache ws cache;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "both warm objects dropped" 2 s.Cache.invalidated;
+  Alcotest.(check int) "position follows the barrier" (Ws.version ws)
+    (Cache.position cache);
+  assert_matches ~msg:"after barrier" ws cache;
+  Alcotest.(check bool) "reads after the barrier rebuild" true
+    ((Cache.stats cache).Cache.misses >= 2)
+
+let test_foreign_delta_invalidates () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  Cache.warm cache;
+  (* A delta claiming CS345 was just Added — but the cached state
+     already holds it. The old-image cross-check must refuse to patch
+     and invalidate instead of silently corrupting. *)
+  let lie =
+    Delta.record Delta.empty ~rel:"COURSES"
+      ~key:[ Value.Str "CS345" ]
+      ~old_image:None
+      ~new_image:(Some (Tuple.make [ "course_id", Value.Str "CS345" ]))
+  in
+  Cache.apply_delta cache ~post:ws.Ws.db lie;
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "contradicted objects invalidated" true
+    (s.Cache.invalidated >= 1);
+  Alcotest.(check int) "nothing patched from a lie" 0 s.Cache.patched;
+  assert_matches ~msg:"after foreign delta" ws cache
+
+let test_push_subscription () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ws in
+  Cache.warm cache;
+  let sub = Ws.subscribe_cache cache in
+  Fun.protect
+    ~finally:(fun () -> Vo_core.Engine.unsubscribe sub)
+    (fun () ->
+      let ws = commit ws "omega" (grade_edit ws "CS345" 2 "C+") in
+      (* The engine's post-commit notification already patched the
+         cache — before any sync. *)
+      Alcotest.(check bool) "push landed the post state" true
+        (Cache.db cache == ws.Ws.db);
+      let patched = (Cache.stats cache).Cache.patched in
+      Alcotest.(check bool) "push patched incrementally" true (patched >= 1);
+      (* Pull sync then only fixes the position — no second replay. *)
+      Ws.sync_cache ws cache;
+      Alcotest.(check int) "sync after push is position-only" patched
+        (Cache.stats cache).Cache.patched;
+      Alcotest.(check int) "position follows" (Ws.version ws)
+        (Cache.position cache);
+      assert_matches ~msg:"after push" ws cache)
+
+let test_replay_warming () =
+  let dir = temp_dir "cache-replay" in
+  let store = Filename.concat dir "u.pgn" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let ws = Penguin.University.workspace () in
+      check_ok_e (Penguin.Store.save_file ws store);
+      let ws0, _report = check_ok_e (Penguin.Recovery.open_store store) in
+      let cache = Ws.attach_cache ws0 in
+      Cache.warm cache;
+      let since = Ws.version ws0 in
+      let ws1 = commit ws0 "omega" (grade_edit ws0 "CS345" 2 "D") in
+      let (_ : Penguin.Recovery.persisted) =
+        check_ok_e (Penguin.Recovery.persist ~store ~since ws1)
+      in
+      (* "Crash" before the cache saw the commit; reopening with the
+         cache attached replays the journal entry as a real delta and
+         patches the cache forward instead of rebuilding it. *)
+      let before = Cache.stats cache in
+      let ws2, report =
+        check_ok_e (Penguin.Recovery.open_store ~cache store)
+      in
+      Alcotest.(check int) "one journal entry replayed" 1
+        report.Penguin.Recovery.replayed;
+      let s = Cache.stats cache in
+      Alcotest.(check bool) "replay patched the cache" true
+        (s.Cache.patched > before.Cache.patched);
+      Alcotest.(check int) "replay did not invalidate" before.Cache.invalidated
+        s.Cache.invalidated;
+      assert_matches ~msg:"after replay" ws2 cache;
+      Alcotest.(check int) "reads stayed warm (no rebuild)"
+        before.Cache.misses (Cache.stats cache).Cache.misses)
+
+let test_rotation_invalidates () =
+  let dir = temp_dir "cache-rotate" in
+  let store = Filename.concat dir "u.pgn" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let ws = Penguin.University.workspace () in
+      check_ok_e (Penguin.Store.save_file ws store);
+      let ws0, _report = check_ok_e (Penguin.Recovery.open_store store) in
+      let cache = Ws.attach_cache ws0 in
+      Cache.warm cache;
+      let since = Ws.version ws0 in
+      let ws1 = commit ws0 "omega" (grade_edit ws0 "CS345" 2 "E") in
+      let ws1 = commit ws1 "omega" (grade_edit ws1 "CS101" 1 "F") in
+      let persisted =
+        check_ok_e
+          (Penguin.Recovery.persist ~rotate_threshold:1 ~store ~since ws1)
+      in
+      Alcotest.(check bool) "journal folded into a snapshot" true
+        persisted.Penguin.Recovery.rotated;
+      (* The snapshot hides the history between the cache's position and
+         the new head: no deltas to replay, so the cache must drop its
+         entries rather than serve the old state. *)
+      let before = Cache.stats cache in
+      let ws2, _report = check_ok_e (Penguin.Recovery.open_store ~cache store) in
+      Alcotest.(check bool) "hidden history invalidates" true
+        ((Cache.stats cache).Cache.invalidated > before.Cache.invalidated);
+      assert_matches ~msg:"after rotation" ws2 cache)
+
+let test_paranoid_divergence () =
+  let ws = Penguin.University.workspace () in
+  let cache = Ws.attach_cache ~mode:Cache.Paranoid ws in
+  Alcotest.(check bool) "mode recorded" true (Cache.mode cache = Cache.Paranoid);
+  Cache.warm cache;
+  let ws' = commit ws "omega" (grade_edit ws "CS345" 2 "A+") in
+  (* A lying sync: claim the empty delta leads from the cached state to
+     the post-commit database. Normal mode would happily keep serving
+     the stale entries; Paranoid must catch the divergence and drop
+     them instead of serving a wrong instance. *)
+  Cache.apply_delta cache ~post:ws'.Ws.db Delta.empty;
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "divergence detected" true (s.Cache.divergences >= 1);
+  Alcotest.(check bool) "diverged object dropped" true
+    (s.Cache.invalidated >= 1);
+  Cache.set_position cache (Ws.version ws');
+  assert_matches ~msg:"after divergence" ws' cache
+
+let suite =
+  [
+    Alcotest.test_case "cold miss, warm hit, both equal fresh" `Quick
+      test_hit_miss_equivalence;
+    Alcotest.test_case "OQL through the cache" `Quick test_oql_through_cache;
+    Alcotest.test_case "commit + sync patches incrementally" `Quick
+      test_patch_on_commit;
+    Alcotest.test_case "disjoint delta skips" `Quick test_skip_disjoint_delta;
+    Alcotest.test_case "dependency sets include path intermediates" `Quick
+      test_dependencies;
+    Alcotest.test_case "barrier invalidates" `Quick test_barrier_invalidates;
+    Alcotest.test_case "foreign-lineage delta invalidates" `Quick
+      test_foreign_delta_invalidates;
+    Alcotest.test_case "push subscription patches on commit" `Quick
+      test_push_subscription;
+    Alcotest.test_case "recovery replay warms the cache" `Quick
+      test_replay_warming;
+    Alcotest.test_case "journal rotation invalidates" `Quick
+      test_rotation_invalidates;
+    Alcotest.test_case "Paranoid mode catches a lying sync" `Quick
+      test_paranoid_divergence;
+    qtest prop_cached_equals_fresh;
+    qtest prop_paranoid_never_diverges;
+  ]

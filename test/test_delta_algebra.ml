@@ -72,6 +72,36 @@ let prop_merge_associative =
       | Error _, Error _ -> true
       | Ok _, Error _ | Error _, Ok _ -> false)
 
+(* --- compose: sequential composition ---------------------------------- *)
+
+let prop_compose_empty_identity =
+  QCheck.Test.make ~name:"compose: empty is a two-sided identity" ~count:300
+    delta_arb
+    (fun d ->
+      Delta.equal (Delta.compose Delta.empty d) d
+      && Delta.equal (Delta.compose d Delta.empty) d)
+
+let test_compose_nets_per_key () =
+  let key = [ Value.Int 1 ] in
+  let upd a b =
+    Delta.record Delta.empty ~rel:"R" ~key ~old_image:(Some (tuple 1 a))
+      ~new_image:(Some (tuple 1 b))
+  in
+  (* update;update nets to one update carrying the outer images... *)
+  Alcotest.(check bool) "update;update nets" true
+    (Delta.equal (Delta.compose (upd 0 1) (upd 1 2)) (upd 0 2));
+  (* ...and insert;delete cancels to nothing. *)
+  let add =
+    Delta.record Delta.empty ~rel:"R" ~key ~old_image:None
+      ~new_image:(Some (tuple 1 5))
+  in
+  let del =
+    Delta.record Delta.empty ~rel:"R" ~key ~old_image:(Some (tuple 1 5))
+      ~new_image:None
+  in
+  Alcotest.(check bool) "insert;delete cancels" true
+    (Delta.is_empty (Delta.compose add del))
+
 (* --- group commit vs sequential apply --------------------------------- *)
 
 let g = Penguin.University.graph
@@ -153,6 +183,35 @@ let test_group_conflict_detected () =
       Alcotest.failf "unexpected rejection: %s"
         (Vo_core.Engine.group_rejection_reason rej)
 
+(* The contract [Workspace.sync_cache] leans on: applying the composed
+   net delta of a commit sequence lands on the same database as applying
+   the commits one at a time. *)
+let test_compose_matches_sequential_apply () =
+  let apply db d =
+    match Database.apply_delta db d with
+    | Ok db -> db
+    | Error e -> Alcotest.failf "apply_delta: %s" (Database.error_to_string e)
+  in
+  let db0 = Penguin.University.seeded_db () in
+  let s1 = stage1 db0 (grade_edit db0 ("CS101", 1) 7) in
+  let d1 = s1.Vo_core.Engine.delta in
+  let db1 = apply db0 d1 in
+  let s2 = stage1 db1 (grade_edit db1 ("CS345", 2) 8) in
+  let d2 = s2.Vo_core.Engine.delta in
+  let db2 = apply db1 d2 in
+  Alcotest.(check bool) "apply (compose d1 d2) = apply d1; apply d2" true
+    (Database.equal (apply db0 (Delta.compose d1 d2)) db2);
+  (* A third commit touching the same tuple as the first: composition
+     must net the pair into one Updated rather than stack them. *)
+  let s3 = stage1 db2 (grade_edit db2 ("CS101", 1) 9) in
+  let d3 = s3.Vo_core.Engine.delta in
+  let db3 = apply db2 d3 in
+  let net = Delta.compose (Delta.compose d1 d2) d3 in
+  Alcotest.(check bool) "three-commit net lands on the final state" true
+    (Database.equal (apply db0 net) db3);
+  Alcotest.(check bool) "composition is associative here" true
+    (Delta.equal net (Delta.compose d1 (Delta.compose d2 d3)))
+
 let suite =
   [
     qtest prop_conflicts_symmetric;
@@ -162,4 +221,9 @@ let suite =
     qtest prop_group_commit_equals_sequential;
     Alcotest.test_case "write-write conflict rejected" `Quick
       test_group_conflict_detected;
+    qtest prop_compose_empty_identity;
+    Alcotest.test_case "compose nets changes per key" `Quick
+      test_compose_nets_per_key;
+    Alcotest.test_case "compose agrees with sequential application" `Quick
+      test_compose_matches_sequential_apply;
   ]

@@ -240,6 +240,19 @@ let test_stats_exercise_and_json () =
     (counter "breaker.rejections" > 0);
   Alcotest.(check bool) "breaker probed and closed" true
     (counter "breaker.probes" > 0 && counter "breaker.closes" > 0);
+  (* the materialized view-object cache: a cold build, a warm hit, an
+     incremental patch, a disjoint-delta skip, and a barrier
+     invalidation all fired *)
+  Alcotest.(check bool) "cache cold build counted" true
+    (counter "cache.misses" > 0);
+  Alcotest.(check bool) "cache warm hit counted" true
+    (counter "cache.hits" > 0);
+  Alcotest.(check bool) "cache entries patched" true
+    (counter "cache.patched" > 0);
+  Alcotest.(check bool) "cache delta skipped" true
+    (counter "cache.skipped" > 0);
+  Alcotest.(check bool) "cache invalidated on barrier" true
+    (counter "cache.invalidated" > 0);
   (* the table renders every registered metric *)
   let table = Penguin.Stats.table () in
   List.iter
@@ -267,7 +280,7 @@ let test_stats_exercise_traces () =
     [ "engine.stage"; "engine.translate"; "engine.commit_group";
       "engine.global_check"; "session.commit"; "session.rebase";
       "journal.append"; "journal.rotate"; "recovery.open_store";
-      "recovery.persist" ]
+      "recovery.persist"; "cache.warm"; "cache.apply_delta"; "cache.patch" ]
 
 (* --- the bench-regression gate ------------------------------------------ *)
 
