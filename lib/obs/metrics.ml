@@ -1,3 +1,10 @@
+(* Domain-safe: counters and gauges are [Atomic.t] cells (an increment
+   is one fetch-and-add — no torn counts under concurrent shard
+   engines), histograms serialize multi-field observations behind a
+   per-histogram mutex, and registration takes a registry mutex. The
+   enabled flag stays a plain ref: readers race it, but a stale read
+   only delays enabling by one operation, never corrupts a value. *)
+
 let on = ref false
 let enable () = on := true
 let disable () = on := false
@@ -6,19 +13,28 @@ let enabled () = !on
 let now_ns () = Unix.gettimeofday () *. 1e9
 
 module Counter = struct
-  type t = { mutable count : int }
+  type t = int Atomic.t
 
-  let incr c = if !on then c.count <- c.count + 1
-  let add c n = if !on then c.count <- c.count + n
-  let value c = c.count
+  let incr c = if !on then Atomic.incr c
+  let add c n = if !on then ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
 end
 
 module Gauge = struct
-  type t = { mutable value : float }
+  type t = float Atomic.t
 
-  let set g v = if !on then g.value <- v
-  let add g v = if !on then g.value <- g.value +. v
-  let value g = g.value
+  let set g v = if !on then Atomic.set g v
+
+  let add g v =
+    if !on then begin
+      let rec cas () =
+        let cur = Atomic.get g in
+        if not (Atomic.compare_and_set g cur (cur +. v)) then cas ()
+      in
+      cas ()
+    end
+
+  let value g = Atomic.get g
 end
 
 (* 1 µs .. ~16.8 s, doubling: wide enough for a single fsync'd commit
@@ -32,6 +48,10 @@ module Histogram = struct
     mutable count : int;
     mutable sum : float;
     mutable max_v : float;
+    lock : Mutex.t;
+        (* An observation updates four fields; the mutex keeps them
+           mutually consistent across domains. Uncontended lock/unlock
+           is tens of ns — noise next to the µs-scale spans recorded. *)
   }
 
   let make bounds =
@@ -41,7 +61,12 @@ module Histogram = struct
       count = 0;
       sum = 0.;
       max_v = 0.;
+      lock = Mutex.create ();
     }
+
+  let locked h f =
+    Mutex.lock h.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock h.lock) f
 
   (* The bucket walk is over a fixed-size array: O(1) per observation. *)
   let bucket_of h v =
@@ -50,17 +75,19 @@ module Histogram = struct
     go 0
 
   let record h v =
+    locked h @@ fun () ->
     h.counts.(bucket_of h v) <- h.counts.(bucket_of h v) + 1;
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v > h.max_v then h.max_v <- v
 
   let observe h v = if !on then record h v
-  let count h = h.count
-  let sum h = h.sum
-  let max_value h = h.max_v
+  let count h = locked h (fun () -> h.count)
+  let sum h = locked h (fun () -> h.sum)
+  let max_value h = locked h (fun () -> h.max_v)
 
   let quantile h q =
+    locked h @@ fun () ->
     if h.count = 0 then 0.
     else
       let target = q *. Float.of_int h.count in
@@ -76,6 +103,7 @@ module Histogram = struct
       go 0 0
 
   let buckets h =
+    locked h @@ fun () ->
     List.init
       (Array.length h.counts)
       (fun i ->
@@ -84,15 +112,22 @@ module Histogram = struct
 
   let merge a b =
     if a.bounds <> b.bounds then Error "histogram merge: different buckets"
-    else
+    else begin
+      (* Snapshot each side under its own lock (never both at once — no
+         lock-order hazard), then combine the snapshots. *)
+      let snap h = locked h (fun () -> Array.copy h.counts, h.count, h.sum, h.max_v) in
+      let ca, na, sa, ma = snap a in
+      let cb, nb, sb, mb = snap b in
       let m = make (Array.to_list a.bounds) in
-      Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
-      m.count <- a.count + b.count;
-      m.sum <- a.sum +. b.sum;
-      m.max_v <- Float.max a.max_v b.max_v;
+      Array.iteri (fun i c -> m.counts.(i) <- c + cb.(i)) ca;
+      m.count <- na + nb;
+      m.sum <- sa +. sb;
+      m.max_v <- Float.max ma mb;
       Ok m
+    end
 
   let reset h =
+    locked h @@ fun () ->
     Array.fill h.counts 0 (Array.length h.counts) 0;
     h.count <- 0;
     h.sum <- 0.;
@@ -105,30 +140,38 @@ type metric =
   | Histogram_m of Histogram.t
 
 let registry : (string, string * metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let registered f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let counter ?(help = "") name =
+  registered @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (_, Counter_m c) -> c
   | Some _ ->
       invalid_arg
         (Printf.sprintf "metric %s is already registered as another kind" name)
   | None ->
-      let c = { Counter.count = 0 } in
+      let c = Atomic.make 0 in
       Hashtbl.replace registry name (help, Counter_m c);
       c
 
 let gauge ?(help = "") name =
+  registered @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (_, Gauge_m g) -> g
   | Some _ ->
       invalid_arg
         (Printf.sprintf "metric %s is already registered as another kind" name)
   | None ->
-      let g = { Gauge.value = 0. } in
+      let g = Atomic.make 0. in
       Hashtbl.replace registry name (help, Gauge_m g);
       g
 
 let histogram ?(help = "") ?(bounds = default_bounds) name =
+  registered @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (_, Histogram_m h) -> h
   | Some _ ->
@@ -151,17 +194,18 @@ let time h f =
   end
 
 let all () =
-  Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry []
+  registered (fun () ->
+      Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry [])
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let reset () =
-  Hashtbl.iter
-    (fun _ (_, m) ->
+  List.iter
+    (fun (_, _, m) ->
       match m with
-      | Counter_m c -> c.Counter.count <- 0
-      | Gauge_m g -> g.Gauge.value <- 0.
+      | Counter_m c -> Atomic.set c 0
+      | Gauge_m g -> Atomic.set g 0.
       | Histogram_m h -> Histogram.reset h)
-    registry
+    (all ())
 
 let to_json () =
   let counters, gauges, histograms =

@@ -11,10 +11,13 @@
 
     Metrics are registered once (by name, at first use) and live for
     the process; {!reset} zeroes values but keeps registrations, so a
-    test can measure one scenario in isolation. The registry is not
-    thread-safe: like the engine it instruments, it assumes one writer
-    (updates are single stores, so the worst case under races is a lost
-    increment, never a crash). *)
+    test can measure one scenario in isolation. The registry is
+    domain-safe: counters and gauges are [Atomic.t] cells (increments
+    are fetch-and-add — concurrent shard engines never tear a count),
+    histograms serialize their multi-field updates behind a
+    per-histogram mutex, and registration itself is mutex-guarded, so
+    one engine per shard can record into shared metrics from its own
+    domain. *)
 
 val enable : unit -> unit
 val disable : unit -> unit

@@ -59,7 +59,28 @@ val with_lock :
     hang. The lock is released when the function returns, and by the OS
     if the process dies inside it. Advisory: every writer must take it;
     plain readers may go without (a reader racing a writer sees at
-    worst a torn journal tail, which replay discards in memory). *)
+    worst a torn journal tail, which replay discards in memory).
+
+    The lock file is always derived from the guarded path ({!lock_path}
+    — [path ^ ".lock"]), never a fixed name: a sharded store locks each
+    shard's own [SHARD_<i>.lock], so single-shard commits on different
+    shards never contend. *)
+
+val with_locks :
+  ?deadline_ns:float ->
+  ?clock:Resilience.Clock.t ->
+  string list ->
+  (unit -> ('a, Error.t) result) ->
+  ('a, Error.t) result
+(** Hold the locks of several paths at once (nested {!with_lock}s),
+    acquiring in sorted path order after deduplication. {b Lock-ordering
+    rule}: every process that takes more than one of a store's shard
+    locks must acquire them in ascending shard id — this function
+    enforces it by sorting, and shard file names are zero-padded so
+    lexicographic path order {e is} shard-id order. Two cross-shard
+    committers then always request their common locks in the same
+    order, which makes deadlock impossible; a single-shard commit takes
+    only its own shard's lock and never waits on an unrelated shard. *)
 
 (** Seeded injection of non-crash faults into any {!t}.
 

@@ -157,17 +157,61 @@ let header_of_payload payload =
 let commit_payload entries =
   Sexp.to_string (l (atom "commit" :: List.map entry_to_sexp entries))
 
-let commit_of_payload payload =
+(* Two-phase cross-shard commit records. A [prepare] carries the gid,
+   the full participant set, and this shard's entries; a [decide] on the
+   decision shard (the lowest participant id) is the global commit
+   point; a [mark] closes the gid on a participant so replay applies the
+   held entries without consulting the decision shard. *)
+type record =
+  | Commit of Commit_log.entry list
+  | Prepare of {
+      gid : string;
+      shards : int list;
+      entries : Commit_log.entry list;
+    }
+  | Decide of string
+  | Mark of string
+
+let record_payload = function
+  | Commit entries -> commit_payload entries
+  | Prepare { gid; shards; entries } ->
+      Sexp.to_string
+        (l
+           (atom "prepare" :: atom gid
+           :: l (atom "shards" :: List.map int_atom shards)
+           :: List.map entry_to_sexp entries))
+  | Decide gid -> Sexp.to_string (l [ atom "decide"; atom gid ])
+  | Mark gid -> Sexp.to_string (l [ atom "mark"; atom gid ])
+
+let entries_of_sexps items =
+  List.fold_left
+    (fun acc e ->
+      let* es = acc in
+      let* e = entry_of_sexp e in
+      Ok (es @ [ e ]))
+    (Ok []) items
+
+let record_of_payload payload =
   let* doc = Sexp.parse payload in
   let* items = Sexp.as_list doc in
   match items with
   | Sexp.Atom "commit" :: entries ->
-      List.fold_left
-        (fun acc e ->
-          let* es = acc in
-          let* e = entry_of_sexp e in
-          Ok (es @ [ e ]))
-        (Ok []) entries
+      let* entries = entries_of_sexps entries in
+      Ok (Commit entries)
+  | Sexp.Atom "prepare" :: Sexp.Atom gid
+    :: Sexp.List (Sexp.Atom "shards" :: shards) :: entries ->
+      let* shards =
+        List.fold_left
+          (fun acc s ->
+            let* ss = acc in
+            let* s = int_of_sexp s in
+            Ok (ss @ [ s ]))
+          (Ok []) shards
+      in
+      let* entries = entries_of_sexps entries in
+      Ok (Prepare { gid; shards; entries })
+  | [ Sexp.Atom "decide"; Sexp.Atom gid ] -> Ok (Decide gid)
+  | [ Sexp.Atom "mark"; Sexp.Atom gid ] -> Ok (Mark gid)
   | _ -> Error "journal: bad commit record"
 
 (* --- framing ---------------------------------------------------------- *)
@@ -208,26 +252,27 @@ let parse_frames content =
 let initialize t ~base =
   Fsio.atomic_write t.io ~path:t.path (frame (header_payload ~base))
 
-let append t ?(sync = true) entries =
-  if entries = [] then Ok ()
-  else
-    Obs.Trace.with_span "journal.append"
-      ~tags:
-        [ "sync", string_of_bool sync;
-          "entries", string_of_int (List.length entries) ]
-    @@ fun () ->
-    M.time m_append_ns @@ fun () ->
-    M.Counter.incr m_appends;
-    let* () = t.io.Fsio.write ~path:t.path ~append:true (frame (commit_payload entries)) in
-    if sync then begin
-      M.Counter.incr m_fsyncs;
-      t.io.Fsio.sync t.path
-    end
-    else Ok ()
+let append_record t ?(sync = true) record =
+  Obs.Trace.with_span "journal.append" ~tags:[ "sync", string_of_bool sync ]
+  @@ fun () ->
+  M.time m_append_ns @@ fun () ->
+  M.Counter.incr m_appends;
+  let* () =
+    t.io.Fsio.write ~path:t.path ~append:true (frame (record_payload record))
+  in
+  if sync then begin
+    M.Counter.incr m_fsyncs;
+    t.io.Fsio.sync t.path
+  end
+  else Ok ()
+
+let append t ?sync entries =
+  if entries = [] then Ok () else append_record t ?sync (Commit entries)
 
 type replay = {
   base : int;
   entries : Commit_log.entry list;
+  trail : record list;
   records : int;
   clean_bytes : int;
   torn_bytes : int;
@@ -251,14 +296,23 @@ let replay t =
           let* base =
             Result.map_error Error.corrupt (header_of_payload header)
           in
-          let* entries =
+          let* trail =
             Result.map_error Error.corrupt
               (List.fold_left
                  (fun acc payload ->
-                   Result.bind acc (fun es ->
-                       Result.bind (commit_of_payload payload) (fun batch ->
-                           Ok (es @ batch))))
+                   Result.bind acc (fun rs ->
+                       Result.bind (record_of_payload payload) (fun r ->
+                           Ok (rs @ [ r ]))))
                  (Ok []) records)
+          in
+          (* [entries] flattens only the plain commit records — the PR 3
+             single-store semantics. Two-phase records are surfaced via
+             [trail] and resolved by sharded recovery; a plain store
+             never writes them. *)
+          let entries =
+            List.concat_map
+              (function Commit es -> es | Prepare _ | Decide _ | Mark _ -> [])
+              trail
           in
           M.Counter.add m_replayed_records (List.length records);
           Ok
@@ -266,6 +320,7 @@ let replay t =
                {
                  base;
                  entries;
+                 trail;
                  records = List.length records;
                  clean_bytes;
                  torn_bytes;

@@ -43,10 +43,37 @@ val append : t -> ?sync:bool -> Commit_log.entry list -> (unit, Error.t) result
     fsyncs afterwards — the commit's durability point. Appending the
     empty batch is a no-op. *)
 
+(** One framed journal record. [Commit] is the ordinary single-store
+    batch. The other three implement the two-phase cross-shard protocol
+    (DESIGN.md §5.7): a [Prepare] carries a cross-shard commit's global
+    id, its full participant shard set, and {e this} shard's slice of
+    the entries; a [Decide] record on the {e decision shard} (the lowest
+    participant id) is the global commit point; a [Mark] on a
+    participant closes the gid locally so replay applies the held slice
+    without consulting the decision shard. Recovery applies a prepared
+    slice iff its gid reached a mark here or a decide on the decision
+    shard — otherwise the prepare is a dead branch and is discarded
+    (presumed abort). *)
+type record =
+  | Commit of Commit_log.entry list
+  | Prepare of {
+      gid : string;
+      shards : int list;
+      entries : Commit_log.entry list;
+    }
+  | Decide of string
+  | Mark of string
+
+val append_record : t -> ?sync:bool -> record -> (unit, Error.t) result
+(** Append any record type; [sync] as in {!append}. *)
+
 type replay = {
   base : int;  (** snapshot version the journal extends *)
-  entries : Commit_log.entry list;  (** oldest first, as recorded *)
-  records : int;  (** commit batches read (excluding the header) *)
+  entries : Commit_log.entry list;
+      (** oldest first, flattened from plain [Commit] records only —
+          the single-store view; two-phase records live in [trail] *)
+  trail : record list;  (** every record in file order *)
+  records : int;  (** records read (excluding the header) *)
   clean_bytes : int;  (** length of the valid prefix *)
   torn_bytes : int;  (** bytes discarded after it ([0] = clean) *)
 }

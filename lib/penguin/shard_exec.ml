@@ -1,0 +1,131 @@
+type task = Run of (unit -> unit) | Quit
+
+type worker = {
+  q : task Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+}
+
+type t = {
+  workers : worker array;
+  doms : unit Domain.t array;
+  live : bool Atomic.t;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a promise = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable state : 'a state;
+}
+
+let worker_loop w () =
+  let rec loop () =
+    Mutex.lock w.m;
+    while Queue.is_empty w.q do
+      Condition.wait w.c w.m
+    done;
+    let task = Queue.pop w.q in
+    Mutex.unlock w.m;
+    match task with
+    | Quit -> ()
+    | Run f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Shard_exec.create: domains must be >= 1";
+  let workers =
+    Array.init domains (fun _ ->
+        { q = Queue.create (); m = Mutex.create (); c = Condition.create () })
+  in
+  let doms = Array.map (fun w -> Domain.spawn (worker_loop w)) workers in
+  { workers; doms; live = Atomic.make true }
+
+let size t = Array.length t.workers
+let lane_of t shard = shard mod size t
+
+let enqueue w task =
+  Mutex.lock w.m;
+  Queue.push task w.q;
+  Condition.signal w.c;
+  Mutex.unlock w.m
+
+let submit t ~lane f =
+  if not (Atomic.get t.live) then
+    invalid_arg "Shard_exec.submit: pool is shut down";
+  let p = { pm = Mutex.create (); pc = Condition.create (); state = Pending } in
+  let task () =
+    let outcome =
+      (* Tasks must not kill the worker: every exception is carried to
+         the awaiting client and re-raised there. *)
+      try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock p.pm;
+    p.state <- outcome;
+    Condition.broadcast p.pc;
+    Mutex.unlock p.pm
+  in
+  enqueue t.workers.(lane_of t lane) (Run task);
+  p
+
+let await p =
+  Mutex.lock p.pm;
+  while (match p.state with Pending -> true | _ -> false) do
+    Condition.wait p.pc p.pm
+  done;
+  let st = p.state in
+  Mutex.unlock p.pm;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let run t ~lane f = await (submit t ~lane f)
+
+let depth t ~lane =
+  let w = t.workers.(lane_of t lane) in
+  Mutex.lock w.m;
+  let d = Queue.length w.q in
+  Mutex.unlock w.m;
+  d
+
+let hold t ~lanes f =
+  let lanes = List.sort_uniq compare (List.map (lane_of t) lanes) in
+  let n = List.length lanes in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let arrived = ref 0 in
+  let release = ref false in
+  let park () =
+    Mutex.lock m;
+    incr arrived;
+    Condition.broadcast c;
+    while not !release do
+      Condition.wait c m
+    done;
+    Mutex.unlock m
+  in
+  let parked = List.map (fun lane -> submit t ~lane park) lanes in
+  Mutex.lock m;
+  while !arrived < n do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock m;
+      release := true;
+      Condition.broadcast c;
+      Mutex.unlock m;
+      List.iter await parked)
+    f
+
+let shutdown t =
+  if Atomic.compare_and_set t.live true false then begin
+    Array.iter (fun w -> enqueue w Quit) t.workers;
+    Array.iter Domain.join t.doms
+  end

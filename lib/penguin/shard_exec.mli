@@ -1,0 +1,51 @@
+(** A fixed pool of OCaml 5 worker domains with per-lane FIFO queues —
+    the execution substrate of the sharded engine.
+
+    Each shard is pinned to one {e lane} (lane = shard id mod pool
+    size), and every task submitted to a lane runs on that lane's
+    domain in submission order. Per-shard serialization therefore comes
+    for free — two commits against the same shard never race — while
+    commits on different lanes run genuinely in parallel. The
+    cross-shard coordinator uses {!hold} to quiesce the lanes of a
+    commit's participant set: a barrier task parks each lane so nothing
+    can slip onto those shards while the coordinator stages, journals,
+    and publishes the merged delta. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] (≥ 1) worker domains. *)
+
+val size : t -> int
+
+val lane_of : t -> int -> int
+(** The lane a shard id maps to: [shard mod size]. *)
+
+type 'a promise
+
+val submit : t -> lane:int -> (unit -> 'a) -> 'a promise
+(** Enqueue the thunk on the lane's queue (lane ids are taken mod
+    {!size}). @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a promise -> 'a
+(** Block until the task ran; re-raises the task's exception (with its
+    backtrace) if it raised. *)
+
+val run : t -> lane:int -> (unit -> 'a) -> 'a
+(** [submit] then [await]. *)
+
+val depth : t -> lane:int -> int
+(** Tasks currently queued (not yet started) on a lane — the queue
+    depth the per-shard stats report. *)
+
+val hold : t -> lanes:int list -> (unit -> 'a) -> 'a
+(** Park every listed lane (deduplicated, mod {!size}) on a barrier,
+    run the thunk on the {e caller's} domain while they are parked, then
+    release them. While parked, a lane processes nothing, so the thunk
+    owns the parked lanes' shards exclusively. Must not be called from
+    inside a pool task (a lane parking itself would deadlock); the
+    sharded engine's coordinator runs on the client thread. *)
+
+val shutdown : t -> unit
+(** Drain: waits for queued tasks, stops the workers, joins the
+    domains. Idempotent. *)

@@ -1,0 +1,573 @@
+open Relational
+
+let src = Logs.Src.create "penguin.shard_store" ~doc:"sharded store recovery"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+module M = Obs.Metrics
+
+let m_opens = M.counter ~help:"sharded stores opened" "shard.opens"
+
+let m_open_ns =
+  M.histogram ~help:"sharded open: manifest + all shards + 2PC resolution"
+    "shard.open_store_ns"
+
+let m_resolved_committed =
+  M.counter ~help:"dangling cross-shard prepares resolved as committed"
+    "shard.resolved_committed"
+
+let m_resolved_aborted =
+  M.counter ~help:"dangling cross-shard prepares presumed aborted"
+    "shard.resolved_aborted"
+
+let atom = Sexp.atom
+let l = Sexp.list
+let int_atom i = atom (string_of_int i)
+
+let int_of_sexp e =
+  let* a = Sexp.as_atom e in
+  match int_of_string_opt a with
+  | Some i -> Ok i
+  | None -> Error (Fmt.str "shard store: bad integer %s" a)
+
+(* --- layout ------------------------------------------------------------ *)
+
+let shard_name i = Fmt.str "SHARD_%03d" i
+let shard_path ~root i = Filename.concat root (shard_name i)
+let manifest_path ~root = Filename.concat root "MANIFEST"
+let defs_path ~root = Filename.concat root "DEFS"
+let exists ~root = Sys.file_exists (manifest_path ~root)
+
+(* --- manifest ---------------------------------------------------------- *)
+
+let manifest_doc ~count ~base plan =
+  Sexp.to_string
+    (l
+       [ atom "penguin-shard-manifest"; atom "1";
+         l [ atom "shards"; int_atom count ];
+         l [ atom "base"; int_atom base ];
+         l
+           (atom "assignment"
+           :: List.map
+                (fun (rel, shard) -> l [ atom rel; int_atom shard ])
+                (Structural.Partition.assignment plan)) ])
+  ^ "\n"
+
+let manifest_of_doc content =
+  let* doc = Sexp.parse content in
+  let* items = Sexp.as_list doc in
+  match items with
+  | Sexp.Atom "penguin-shard-manifest" :: Sexp.Atom "1" :: rest ->
+      let* count =
+        let* c = Sexp.keyed "shards" rest in
+        match c with [ c ] -> int_of_sexp c | _ -> Error "shard store: bad shards"
+      in
+      let* base =
+        let* b = Sexp.keyed "base" rest in
+        match b with [ b ] -> int_of_sexp b | _ -> Error "shard store: bad base"
+      in
+      let* assignment_items = Sexp.keyed "assignment" rest in
+      let* assignment =
+        List.fold_left
+          (fun acc e ->
+            let* bs = acc in
+            let* items = Sexp.as_list e in
+            match items with
+            | [ Sexp.Atom rel; shard ] ->
+                let* shard = int_of_sexp shard in
+                Ok ((rel, shard) :: bs)
+            | _ -> Error "shard store: bad assignment entry")
+          (Ok []) assignment_items
+      in
+      Ok (count, base, List.rev assignment)
+  | _ -> Error "shard store: not a manifest document"
+
+(* --- shard snapshots --------------------------------------------------- *)
+
+let relation_to_sexp r =
+  l
+    (atom "relation"
+    :: atom (Relation.name r)
+    :: List.map Store.tuple_to_sexp (Relation.to_list r))
+
+let shard_doc ~shard ~version ~relations db =
+  Sexp.to_string
+    (l
+       [ atom "penguin-shard"; atom "1";
+         l [ atom "shard"; int_atom shard ];
+         l [ atom "version"; int_atom version ];
+         l
+           (atom "data"
+           :: List.map
+                (fun n -> relation_to_sexp (Database.relation_exn db n))
+                relations) ])
+  ^ "\n"
+
+(* Parse a shard document and insert its rows into [db]. *)
+let load_shard_doc ~shard content db =
+  let* doc = Sexp.parse content in
+  let* items = Sexp.as_list doc in
+  match items with
+  | Sexp.Atom "penguin-shard" :: Sexp.Atom "1" :: rest ->
+      let* recorded =
+        let* s = Sexp.keyed "shard" rest in
+        match s with [ s ] -> int_of_sexp s | _ -> Error "shard store: bad shard id"
+      in
+      let* () =
+        if recorded = shard then Ok ()
+        else
+          Error
+            (Fmt.str "shard store: file for shard %d records shard %d" shard
+               recorded)
+      in
+      let* version =
+        let* v = Sexp.keyed "version" rest in
+        match v with
+        | [ v ] -> int_of_sexp v
+        | _ -> Error "shard store: bad version"
+      in
+      let* rel_items = Sexp.keyed "data" rest in
+      let* db =
+        List.fold_left
+          (fun acc e ->
+            let* db = acc in
+            let* items = Sexp.as_list e in
+            match items with
+            | Sexp.Atom "relation" :: Sexp.Atom name :: rows ->
+                List.fold_left
+                  (fun acc row ->
+                    let* db = acc in
+                    let* t = Store.tuple_of_sexp row in
+                    Result.map_error Database.error_to_string
+                      (Database.insert db name t))
+                  (Ok db) rows
+            | _ -> Error "shard store: bad relation data")
+          (Ok db) rel_items
+      in
+      Ok (version, db)
+  | _ -> Error "shard store: not a shard document"
+
+let save_shard ?(io = Fsio.default) ~root ~shard ~version ~relations db =
+  Fsio.atomic_write io ~path:(shard_path ~root shard)
+    (shard_doc ~shard ~version ~relations db)
+
+(* --- init -------------------------------------------------------------- *)
+
+let init ?(io = Fsio.default) ?max_shards ~root ws =
+  if exists ~root then
+    Error (Error.invalid (Fmt.str "sharded store already exists at %s" root))
+  else
+    let plan = Structural.Partition.compute ?max_shards ws.Workspace.graph in
+    let count = Structural.Partition.count plan in
+    if count = 0 then
+      Error (Error.invalid "sharded store: the schema graph has no relations")
+    else
+      let base = Workspace.version ws in
+      let* () =
+        if Sys.file_exists root then Ok ()
+        else
+          try
+            Unix.mkdir root 0o755;
+            Ok ()
+          with
+          | Unix.Unix_error (e, fn, arg) ->
+              Error (Error.of_unix ~op:Error.Write ~path:root ~fn ~arg e)
+      in
+      let defs = { ws with Workspace.log = Commit_log.of_version 0 } in
+      let* () =
+        Fsio.atomic_write io ~path:(defs_path ~root)
+          (Store.save ~include_data:false defs)
+      in
+      let rec shards i =
+        if i >= count then Ok ()
+        else
+          let* () =
+            save_shard ~io ~root ~shard:i ~version:base
+              ~relations:(Structural.Partition.members plan i)
+              ws.Workspace.db
+          in
+          let* () =
+            Journal.initialize
+              (Journal.create ~io (Journal.journal_path (shard_path ~root i)))
+              ~base
+          in
+          shards (i + 1)
+      in
+      let* () = shards 0 in
+      (* The manifest lands last: its presence marks a complete store. *)
+      let* () =
+        Fsio.atomic_write io ~path:(manifest_path ~root)
+          (manifest_doc ~count ~base plan)
+      in
+      Ok plan
+
+(* --- recovery ---------------------------------------------------------- *)
+
+type shard_report = {
+  shard : int;
+  snapshot_version : int;
+  replayed : int;
+  version : int;
+  torn_bytes : int;
+  committed_2pc : int;
+  aborted_2pc : int;
+}
+
+type report = {
+  shards : shard_report list;
+  vector : int list;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>version vector [%a]"
+    Fmt.(list ~sep:(any "; ") int)
+    r.vector;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "@,shard %d: snapshot v%d + %d replayed = v%d%s%s" s.shard
+        s.snapshot_version s.replayed s.version
+        (if s.torn_bytes > 0 then
+           Fmt.str " (torn tail: %d byte(s))" s.torn_bytes
+         else "")
+        (if s.committed_2pc + s.aborted_2pc > 0 then
+           Fmt.str " (2pc: %d committed, %d aborted)" s.committed_2pc
+             s.aborted_2pc
+         else ""))
+    r.shards;
+  Fmt.pf ppf "@]"
+
+type opened = {
+  ws : Workspace.t;
+  plan : Structural.Partition.plan;
+  base : int;
+  versions : int array;
+  logs : Commit_log.t array;
+  report : report;
+}
+
+(* One unit of replay work: a plain single-shard entry, or this shard's
+   slice of a decided cross-shard commit. *)
+type slice = {
+  gid : string;
+  slice_entries : Commit_log.entry list;
+}
+
+type item = Single of Commit_log.entry | Slice of slice
+
+let corrupt fmt = Fmt.kstr (fun s -> Error (Error.corrupt s)) fmt
+
+let apply_delta_checked graph db ~kind ~version d =
+  let* db =
+    Result.map_error
+      (fun err ->
+        Error.corrupt
+          (Fmt.str "shard recovery: replaying v%d (%s): %s" version kind
+             (Database.error_to_string err)))
+      (Database.apply_delta db d)
+  in
+  match Structural.Integrity.check_delta graph db ~delta:d with
+  | [] -> Ok db
+  | v :: _ ->
+      corrupt "shard recovery: replaying v%d (%s) breaks the structural model: %a"
+        version kind Structural.Integrity.pp_violation v
+
+let append_to_log logs shard (e : Commit_log.entry) =
+  let* log =
+    Result.map_error
+      (fun m -> Error.corrupt (Fmt.str "shard %d: %s" shard m))
+      (Commit_log.append_entry logs.(shard) e)
+  in
+  logs.(shard) <- log;
+  Ok ()
+
+let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
+  Obs.Trace.with_span "shard_store.open" @@ fun () ->
+  M.time m_open_ns @@ fun () ->
+  M.Counter.incr m_opens;
+  let read path =
+    let* c = io.Fsio.read path in
+    match c with
+    | Some c -> Ok c
+    | None -> Error (Error.invalid (Fmt.str "no such file: %s" path))
+  in
+  let* manifest = read (manifest_path ~root) in
+  let* count, base, assignment =
+    Result.map_error Error.corrupt (manifest_of_doc manifest)
+  in
+  let* defs = read (defs_path ~root) in
+  let* defs_ws = Result.map_error Error.corrupt (Store.load defs) in
+  let graph = defs_ws.Workspace.graph in
+  (* The partition is a pure function of the schema: recompute and
+     cross-check the manifest's assignment, so a store written under a
+     different schema is refused rather than mis-routed. *)
+  let plan = Structural.Partition.compute ~max_shards:count graph in
+  let* () =
+    if Structural.Partition.count plan <> count then
+      corrupt "shard store: manifest says %d shard(s), schema partitions into %d"
+        count
+        (Structural.Partition.count plan)
+    else if Structural.Partition.assignment plan <> assignment then
+      corrupt "shard store: manifest assignment disagrees with the schema's \
+               island partition (schema drift?)"
+    else Ok ()
+  in
+  (* Load every shard snapshot into one merged database and replay every
+     journal's record trail. *)
+  let journals =
+    Array.init count (fun i ->
+        Journal.create ~io (Journal.journal_path (shard_path ~root i)))
+  in
+  let* db, snap_versions =
+    let rec go i db vs =
+      if i >= count then Ok (db, List.rev vs)
+      else
+        let* content = read (shard_path ~root i) in
+        let* v, db =
+          Result.map_error Error.corrupt (load_shard_doc ~shard:i content db)
+        in
+        go (i + 1) db (v :: vs)
+    in
+    go 0 defs_ws.Workspace.db []
+  in
+  let snap_versions = Array.of_list snap_versions in
+  let* replays =
+    let rec go i acc =
+      if i >= count then Ok (List.rev acc)
+      else
+        let* r = Journal.replay journals.(i) in
+        match r with
+        | None -> corrupt "shard store: shard %d has no journal" i
+        | Some r -> go (i + 1) (r :: acc)
+    in
+    go 0 []
+  in
+  let replays = Array.of_list replays in
+  (* Torn tails: discard in memory always; truncate on disk when this is
+     a writer's (repair) open. *)
+  let* () =
+    if not repair then Ok ()
+    else
+      let rec go i =
+        if i >= count then Ok ()
+        else
+          let r = replays.(i) in
+          let* () =
+            if r.Journal.torn_bytes > 0 then (
+              Log.warn (fun m ->
+                  m "shard %d journal has a torn tail (%d byte(s)); truncating"
+                    i r.Journal.torn_bytes);
+              Journal.truncate_torn journals.(i)
+                ~clean_bytes:r.Journal.clean_bytes)
+            else Ok ()
+          in
+          go (i + 1)
+      in
+      go 0
+  in
+  (* Two-phase resolution: a gid is decided iff any shard holds its
+     [Decide] (the decision shard) or a [Mark] (a participant that
+     already applied it). *)
+  let decided = Hashtbl.create 8 in
+  let marked = Array.init count (fun _ -> Hashtbl.create 4) in
+  Array.iteri
+    (fun i r ->
+      List.iter
+        (function
+          | Journal.Decide gid -> Hashtbl.replace decided gid ()
+          | Journal.Mark gid ->
+              Hashtbl.replace decided gid ();
+              Hashtbl.replace marked.(i) gid ()
+          | Journal.Commit _ | Journal.Prepare _ -> ())
+        r.Journal.trail)
+    replays;
+  (* Build each shard's replay queue, counting resolutions. Entries at
+     or below the snapshot's version are already folded into it. *)
+  let committed_2pc = Array.make count 0 in
+  let aborted_2pc = Array.make count 0 in
+  let needs_mark = Array.make count [] in
+  let queues =
+    Array.init count (fun i ->
+        let fresh (e : Commit_log.entry) =
+          e.Commit_log.version > snap_versions.(i)
+        in
+        List.concat_map
+          (function
+            | Journal.Commit es ->
+                List.map (fun e -> Single e) (List.filter fresh es)
+            | Journal.Prepare { gid; entries; _ } ->
+                if Hashtbl.mem decided gid then begin
+                  if not (Hashtbl.mem marked.(i) gid) then begin
+                    committed_2pc.(i) <- committed_2pc.(i) + 1;
+                    needs_mark.(i) <- gid :: needs_mark.(i)
+                  end;
+                  match List.filter fresh entries with
+                  | [] -> []
+                  | slice_entries -> [ Slice { gid; slice_entries } ]
+                end
+                else begin
+                  aborted_2pc.(i) <- aborted_2pc.(i) + 1;
+                  []
+                end
+            | Journal.Decide _ | Journal.Mark _ -> [])
+          replays.(i).Journal.trail)
+  in
+  M.Counter.add m_resolved_committed (Array.fold_left (+) 0 committed_2pc);
+  M.Counter.add m_resolved_aborted (Array.fold_left (+) 0 aborted_2pc);
+  (* Apply the queues: single-shard entries drain freely in per-shard
+     version order; the slices of one gid are applied together as one
+     merged delta with one integrity check, so a cross-shard commit
+     lands on all its participants "at once" even during replay. *)
+  let logs =
+    Array.init count (fun i -> Commit_log.of_version snap_versions.(i))
+  in
+  let replayed = Array.make count 0 in
+  let* db =
+    let heads = Array.map (fun q -> ref q) queues in
+    let apply_single db shard (e : Commit_log.entry) =
+      let* () = append_to_log logs shard e in
+      replayed.(shard) <- replayed.(shard) + 1;
+      match e.Commit_log.change with
+      | Commit_log.Barrier _ -> Ok db
+      | Commit_log.Delta d ->
+          apply_delta_checked graph db ~kind:e.Commit_log.kind
+            ~version:e.Commit_log.version d
+    in
+    let rec pass db progressed i =
+      if i >= count then
+        if Array.for_all (fun h -> !h = []) heads then Ok db
+        else if progressed then pass db false 0
+        else corrupt "shard store: cross-shard replay cannot make progress \
+                      (incoherent journals)"
+      else
+        match !(heads.(i)) with
+        | Single e :: rest ->
+            heads.(i) := rest;
+            let* db = apply_single db i e in
+            pass db true i
+        | Slice { gid; _ } :: _ ->
+            (* Gather every shard whose head is this gid; they must all
+               reach it before the merged slice applies. A participant
+               not yet at its slice gets there by draining its own
+               singles first; a participant still holding the gid deeper
+               in its queue forces us to visit other shards first. *)
+            let participants = List.init count Fun.id in
+            let ready =
+              List.filter_map
+                (fun j ->
+                  match !(heads.(j)) with
+                  | Slice s :: _ when s.gid = gid -> Some (j, s)
+                  | _ -> None)
+                participants
+            in
+            let pending_elsewhere =
+              List.exists
+                (fun j ->
+                  (not (List.mem_assoc j ready))
+                  && List.exists
+                       (function
+                         | Slice s -> s.gid = gid
+                         | Single _ -> false)
+                       !(heads.(j)))
+                participants
+            in
+            if pending_elsewhere then pass db progressed (i + 1)
+            else
+              let* merged, vmax =
+                List.fold_left
+                  (fun acc (j, s) ->
+                    let* merged, vmax = acc in
+                    (heads.(j) :=
+                       match !(heads.(j)) with
+                       | _ :: rest -> rest
+                       | [] -> []);
+                    List.fold_left
+                      (fun acc (e : Commit_log.entry) ->
+                        let* merged, vmax = acc in
+                        let* () = append_to_log logs j e in
+                        replayed.(j) <- replayed.(j) + 1;
+                        let vmax = max vmax e.Commit_log.version in
+                        match e.Commit_log.change with
+                        | Commit_log.Barrier _ -> Ok (merged, vmax)
+                        | Commit_log.Delta d ->
+                            Ok (Delta.compose merged d, vmax))
+                      (Ok (merged, vmax)) s.slice_entries)
+                  (Ok (Delta.empty, 0))
+                  ready
+              in
+              let* db =
+                apply_delta_checked graph db ~kind:(Fmt.str "2pc %s" gid)
+                  ~version:vmax merged
+              in
+              pass db true i
+        | [] -> pass db progressed (i + 1)
+    in
+    pass db false 0
+  in
+  (* Close resolved-committed dangling prepares with a [Mark] so later
+     opens need not re-consult the decision shard, and rotation on the
+     decision shard cannot strand a decide a participant still needs. *)
+  let* () =
+    if not repair then Ok ()
+    else
+      let rec go i =
+        if i >= count then Ok ()
+        else
+          let rec marks = function
+            | [] -> Ok ()
+            | gid :: rest ->
+                let* () =
+                  Journal.append_record journals.(i) (Journal.Mark gid)
+                in
+                marks rest
+          in
+          let* () = marks (List.rev needs_mark.(i)) in
+          go (i + 1)
+      in
+      go 0
+  in
+  let versions = Array.map Commit_log.version logs in
+  (* Version-vector cross-check: every shard must have reached at least
+     the common base, and every decided gid must be applied by every
+     participant whose journal still spans its slice (enforced above by
+     the dense-version checks; a shard below base means a mismatched or
+     rolled-back shard file). *)
+  let* () =
+    let rec go i =
+      if i >= count then Ok ()
+      else if versions.(i) < base then
+        corrupt "shard store: shard %d is at v%d, below the store base v%d \
+                 (mismatched shard file?)"
+          i versions.(i) base
+      else go (i + 1)
+    in
+    go 0
+  in
+  let global_version =
+    base + Array.fold_left (fun acc v -> acc + (v - base)) 0 versions
+  in
+  let shard_reports =
+    List.init count (fun i ->
+        {
+          shard = i;
+          snapshot_version = snap_versions.(i);
+          replayed = replayed.(i);
+          version = versions.(i);
+          torn_bytes = replays.(i).Journal.torn_bytes;
+          committed_2pc = committed_2pc.(i);
+          aborted_2pc = aborted_2pc.(i);
+        })
+  in
+  let report = { shards = shard_reports; vector = Array.to_list versions } in
+  let ws =
+    {
+      defs_ws with
+      Workspace.db;
+      log = Commit_log.of_version global_version;
+    }
+  in
+  Log.info (fun m ->
+      m "opened sharded store %s: %d shard(s), global v%d" root count
+        global_version);
+  Ok { ws; plan; base; versions; logs; report }

@@ -1,0 +1,108 @@
+(** The sharded on-disk layout: one store file + journal {e per
+    dependency island}, under a common root directory.
+
+    {v
+    root/
+      MANIFEST          (shard count, base version, relation→shard map)
+      DEFS              (schemas, connections, objects, translators)
+      SHARD_000         (shard 0 snapshot: its relations' rows + version)
+      SHARD_000.journal (shard 0 WAL — Journal records incl. 2PC)
+      SHARD_000.lock    (derived by Fsio.lock_path from the shard path)
+      SHARD_001 ...
+    v}
+
+    Shard file names are zero-padded so lexicographic path order is
+    shard-id order — {!Fsio.with_locks}' sorted acquisition then {e is}
+    the ascending-shard-id lock-ordering rule. The manifest's
+    relation→shard assignment is cross-checked on every {!open_store}
+    against a recomputation from the DEFS graph: the partition is a
+    pure function of the schema, so any drift means the store was
+    written under a different schema and must not be half-read.
+
+    Recovery keeps the PR 3 guarantees {e per shard} — snapshot ⊕
+    journal replay, torn-tail discipline, dense versions — and resolves
+    two-phase records across shards: a prepared cross-shard slice is
+    applied iff its gid reached a [Mark] locally or a [Decide] on its
+    decision shard (lowest participant id); otherwise it is presumed
+    aborted and discarded. Slices of one gid are applied as a single
+    merged delta with one incremental integrity check, so recovery
+    observes a cross-shard commit on all participating shards or on
+    none. *)
+
+open Relational
+
+val shard_name : int -> string
+(** ["SHARD_007"] — zero-padded to three digits. *)
+
+val shard_path : root:string -> int -> string
+val manifest_path : root:string -> string
+val defs_path : root:string -> string
+
+val exists : root:string -> bool
+(** A manifest is present under the root. *)
+
+val init :
+  ?io:Fsio.t ->
+  ?max_shards:int ->
+  root:string ->
+  Workspace.t ->
+  (Structural.Partition.plan, Error.t) result
+(** Create the sharded store: compute the island partition of the
+    workspace's graph (folded onto at most [max_shards] shards), create
+    the root directory, write DEFS and MANIFEST, snapshot every shard's
+    relations, and initialize every shard journal at the workspace's
+    current version (the common base). Refuses if a manifest already
+    exists under [root]. *)
+
+val save_shard :
+  ?io:Fsio.t ->
+  root:string ->
+  shard:int ->
+  version:int ->
+  relations:string list ->
+  Database.t ->
+  (unit, Error.t) result
+(** Atomically rewrite one shard's snapshot at [version] with the given
+    relations' rows from [db] (used by per-shard journal rotation). *)
+
+type shard_report = {
+  shard : int;
+  snapshot_version : int;
+  replayed : int;  (** entries applied on top of the snapshot *)
+  version : int;  (** recovered shard version *)
+  torn_bytes : int;
+  committed_2pc : int;  (** dangling prepares resolved as committed *)
+  aborted_2pc : int;  (** dangling prepares presumed aborted *)
+}
+
+type report = {
+  shards : shard_report list;
+  vector : int list;  (** recovered per-shard version vector *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+type opened = {
+  ws : Workspace.t;
+      (** merged view: all shards' relations, log at the global version
+          (base + total commits since; per-shard history in [logs]) *)
+  plan : Structural.Partition.plan;
+  base : int;  (** the common base version recorded at {!init} *)
+  versions : int array;  (** per-shard recovered versions *)
+  logs : Commit_log.t array;
+      (** per-shard logs holding the replayed deltas (real footprints) *)
+  report : report;
+}
+
+val open_store :
+  ?io:Fsio.t -> ?repair:bool -> root:string -> unit -> (opened, Error.t) result
+(** Open every shard and merge: load DEFS, cross-check the manifest
+    assignment against a recomputed partition, replay each shard's
+    journal with two-phase resolution, and cross-check the version
+    vector (every decided gid must be applied by every participant
+    whose journal still spans it). With [repair] (the writer's open):
+    torn tails are truncated on disk and resolved-committed dangling
+    prepares are closed with a [Mark], so later opens need not
+    re-consult the decision shard and rotation cannot strand a decide
+    other shards still depend on. Leave [repair] off for read-only
+    inspection, as with {!Recovery.open_store}. *)

@@ -1,0 +1,510 @@
+open Relational
+open Structural
+open Viewobject
+
+let src = Logs.Src.create "penguin.sharded" ~doc:"sharded serving engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+module M = Obs.Metrics
+
+let m_commits =
+  M.counter ~help:"single-shard commits published on a lane" "shard.commits"
+
+let m_cross =
+  M.counter ~help:"cross-shard commits published by the coordinator"
+    "shard.cross_commits"
+
+let m_bounced =
+  M.counter ~help:"updates bounced from a lane to the coordinator"
+    "shard.bounced"
+
+let c_commits i =
+  M.counter ~help:"commits published by this shard" (Fmt.str "shard.%d.commits" i)
+
+let c_appends i =
+  M.counter ~help:"journal records appended by this shard"
+    (Fmt.str "shard.%d.journal_appends" i)
+
+let g_depth i =
+  M.gauge ~help:"tasks queued on this shard's lane"
+    (Fmt.str "shard.%d.queue_depth" i)
+
+type durable = {
+  root : string;
+  journals : Journal.t array;
+}
+
+type t = {
+  graph : Schema_graph.t;
+  plan : Partition.plan;
+  objects : (string * Definition.t) list;
+  translators : (string * Vo_core.Translator_spec.t) list;
+  db : Database.t Atomic.t;
+  mutable feed : Commit_log.t;  (** global total order; under [publish] *)
+  base : int;
+  versions : int array;  (** shard s written only by lane s / coordinator *)
+  logs : Commit_log.t array;
+  pool : Shard_exec.t;
+  publish : Mutex.t;
+  coordinator : Mutex.t;
+  wedged_ : bool Atomic.t;
+  durable : durable option;
+  gid_seed : string;
+  gid_n : int Atomic.t;
+  commits : int array;
+  cross : int array;
+  shard_commits : M.Counter.t array;
+  shard_appends : M.Counter.t array;
+  shard_depth : M.Gauge.t array;
+}
+
+let make ?domains ws plan ~base ~versions ~logs ~durable =
+  let count = max 1 (Partition.count plan) in
+  let domains =
+    match domains with None -> count | Some d -> max 1 (min d count)
+  in
+  {
+    graph = ws.Workspace.graph;
+    plan;
+    objects = ws.Workspace.objects;
+    translators = ws.Workspace.translators;
+    db = Atomic.make ws.Workspace.db;
+    feed = ws.Workspace.log;
+    base;
+    versions;
+    logs;
+    pool = Shard_exec.create ~domains;
+    publish = Mutex.create ();
+    coordinator = Mutex.create ();
+    wedged_ = Atomic.make false;
+    durable;
+    gid_seed =
+      Fmt.str "%d-%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6);
+    gid_n = Atomic.make 0;
+    commits = Array.make count 0;
+    cross = Array.make count 0;
+    shard_commits = Array.init count c_commits;
+    shard_appends = Array.init count c_appends;
+    shard_depth = Array.init count g_depth;
+  }
+
+let create ?domains ?max_shards ws =
+  let plan = Partition.compute ?max_shards ws.Workspace.graph in
+  let count = max 1 (Partition.count plan) in
+  let base = Workspace.version ws in
+  make ?domains ws plan ~base
+    ~versions:(Array.make count base)
+    ~logs:(Array.init count (fun _ -> Commit_log.of_version base))
+    ~durable:None
+
+let open_store ?(io = Fsio.default) ?domains ~root () =
+  let* o = Shard_store.open_store ~io ~repair:true ~root () in
+  let count = Partition.count o.Shard_store.plan in
+  let journals =
+    Array.init count (fun i ->
+        Journal.create ~io
+          (Journal.journal_path (Shard_store.shard_path ~root i)))
+  in
+  Ok
+    (make ?domains o.Shard_store.ws o.Shard_store.plan ~base:o.Shard_store.base
+       ~versions:o.Shard_store.versions ~logs:o.Shard_store.logs
+       ~durable:(Some { root; journals }))
+
+let plan t = t.plan
+let shard_count t = max 1 (Partition.count t.plan)
+let domains t = Shard_exec.size t.pool
+let wedged t = Atomic.get t.wedged_
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let version t =
+  locked t.publish @@ fun () ->
+  t.base + Array.fold_left (fun acc v -> acc + (v - t.base)) 0 t.versions
+
+let versions t = locked t.publish @@ fun () -> Array.copy t.versions
+
+let to_workspace t =
+  locked t.publish @@ fun () ->
+  {
+    Workspace.graph = t.graph;
+    db = Atomic.get t.db;
+    objects = t.objects;
+    translators = t.translators;
+    log = t.feed;
+  }
+
+let wedge t reason =
+  Atomic.set t.wedged_ true;
+  Log.err (fun m -> m "engine wedged: %s" reason)
+
+(* --- outcome plumbing (mirrors Workspace.update) ----------------------- *)
+
+let reject_outcome request reason =
+  {
+    Vo_core.Engine.request_kind = Vo_core.Request.kind_name request;
+    ops = [];
+    result = Transaction.reject reason;
+  }
+
+let rolled_back ~request_kind ~ops reason failed_op =
+  {
+    Vo_core.Engine.request_kind;
+    ops;
+    result = Transaction.Rolled_back { reason; failed_op };
+  }
+
+let rejection_outcome ~request_kind ~ops rejection =
+  let result =
+    match rejection with
+    | Vo_core.Engine.Group_op_failed { reason; failed_op; _ } ->
+        Transaction.Rolled_back { reason; failed_op }
+    | Vo_core.Engine.Group_validation_failed { reason; _ } ->
+        Transaction.reject reason
+    | Vo_core.Engine.Group_conflict _ ->
+        Transaction.reject (Vo_core.Engine.group_rejection_reason rejection)
+  in
+  { Vo_core.Engine.request_kind; ops; result }
+
+(* --- durability -------------------------------------------------------- *)
+
+let fresh_gid t = Fmt.str "g%s-%d" t.gid_seed (Atomic.fetch_and_add t.gid_n 1)
+
+(* Append one record to one shard's journal under that shard's file
+   lock. A failed append may have torn the journal tail; continuing to
+   commit past it would strand later records behind the tear, so any
+   failure wedges the engine (reopen to repair). *)
+let journal_one t shard record =
+  match t.durable with
+  | None -> Ok ()
+  | Some d -> (
+      match
+        Fsio.with_lock (Shard_store.shard_path ~root:d.root shard) (fun () ->
+            Journal.append_record d.journals.(shard) record)
+      with
+      | Ok () ->
+          M.Counter.incr t.shard_appends.(shard);
+          Ok ()
+      | Error e ->
+          wedge t
+            (Fmt.str "journal append on shard %d failed: %s" shard
+               (Error.to_string e));
+          Error e)
+
+(* The two-phase cross-shard protocol (participants ascending, locks
+   taken in ascending order by Fsio.with_locks' sorted acquisition):
+   prepare everywhere, decide on the lowest participant (the global
+   commit point), then close each participant with a mark. Any failure
+   wedges: before the decide the commit is presumed aborted on
+   recovery, but the journal tail may be torn; at the decide the
+   outcome is ambiguous. *)
+let twopc t ~participants ~entries =
+  match t.durable with
+  | None -> Ok ()
+  | Some d ->
+      let gid = fresh_gid t in
+      let res =
+        Fsio.with_locks
+          (List.map (fun s -> Shard_store.shard_path ~root:d.root s)
+             participants)
+          (fun () ->
+            let rec prepare = function
+              | [] -> Ok ()
+              | (s, e) :: rest ->
+                  let* () =
+                    Journal.append_record d.journals.(s)
+                      (Journal.Prepare
+                         { gid; shards = participants; entries = [ e ] })
+                  in
+                  M.Counter.incr t.shard_appends.(s);
+                  prepare rest
+            in
+            let* () = prepare entries in
+            let decision = List.hd participants in
+            let* () =
+              Journal.append_record d.journals.(decision) (Journal.Decide gid)
+            in
+            M.Counter.incr t.shard_appends.(decision);
+            List.iter
+              (fun s ->
+                match Journal.append_record d.journals.(s) (Journal.Mark gid) with
+                | Ok () -> M.Counter.incr t.shard_appends.(s)
+                | Error e ->
+                    (* Best-effort: the decide already made the commit
+                       durable; recovery re-closes unmarked prepares. *)
+                    Log.warn (fun m ->
+                        m "mark %s on shard %d failed: %s" gid s
+                          (Error.to_string e)))
+              participants;
+            Ok ())
+      in
+      (match res with
+      | Ok () -> ()
+      | Error e ->
+          wedge t (Fmt.str "two-phase commit %s failed: %s" gid
+                     (Error.to_string e)));
+      res
+
+(* --- publication ------------------------------------------------------- *)
+
+(* Apply the validated delta to the *current* committed state. Sound
+   even though validation may have run against an older state: the
+   delta touches only its shards' relations, those shards were owned
+   exclusively while staging (lane serialization / coordinator hold),
+   and non-risky integrity footprints stay inside the shard. *)
+let publish_commit t ~entries ~delta ~kind =
+  locked t.publish @@ fun () ->
+  let cur = Atomic.get t.db in
+  match Database.apply_delta cur delta with
+  | Error err ->
+      let reason =
+        Fmt.str "publish invariant broken: %s" (Database.error_to_string err)
+      in
+      wedge t reason;
+      Error reason
+  | Ok db' -> (
+      let rec record = function
+        | [] -> Ok ()
+        | (s, (e : Commit_log.entry)) :: rest -> (
+            match Commit_log.append_entry t.logs.(s) e with
+            | Ok log ->
+                t.logs.(s) <- log;
+                t.versions.(s) <- e.Commit_log.version;
+                record rest
+            | Error m ->
+                let reason = Fmt.str "shard %d log: %s" s m in
+                wedge t reason;
+                Error reason)
+      in
+      match record entries with
+      | Error _ as e -> e
+      | Ok () ->
+          t.feed <- Commit_log.append t.feed ~delta ~kind;
+          Atomic.set t.db db';
+          Ok db')
+
+(* --- commit paths ------------------------------------------------------ *)
+
+let commit_local ?validation t ~shard ~name (staged : Vo_core.Engine.staged) =
+  let request_kind = staged.Vo_core.Engine.request_kind in
+  let ops = staged.Vo_core.Engine.ops in
+  match
+    Vo_core.Engine.commit_group ?validation t.graph
+      staged.Vo_core.Engine.base_db [ staged ]
+  with
+  | Error rejection -> rejection_outcome ~request_kind ~ops rejection
+  | Ok (_, delta) -> (
+      let kind = Fmt.str "%s on %s" request_kind name in
+      let entry =
+        {
+          Commit_log.version = t.versions.(shard) + 1;
+          change = Commit_log.Delta delta;
+          kind;
+        }
+      in
+      match journal_one t shard (Journal.Commit [ entry ]) with
+      | Error e ->
+          rolled_back ~request_kind ~ops (Error.to_string e) None
+      | Ok () -> (
+          match publish_commit t ~entries:[ (shard, entry) ] ~delta ~kind with
+          | Error reason -> rolled_back ~request_kind ~ops reason None
+          | Ok db' ->
+              t.commits.(shard) <- t.commits.(shard) + 1;
+              M.Counter.incr m_commits;
+              M.Counter.incr t.shard_commits.(shard);
+              {
+                Vo_core.Engine.request_kind;
+                ops;
+                result = Transaction.Committed db';
+              }))
+
+(* Runs on the home shard's lane. Returns [`Bounce] when the staged
+   delta leaves the shard or touches a risky relation — the caller then
+   retries through the coordinator (restaging, since this staging is
+   discarded). *)
+let lane_commit ?validation t ~home ~name vo spec request =
+  let request_kind = Vo_core.Request.kind_name request in
+  let db0 = Atomic.get t.db in
+  match
+    Vo_core.Engine.stage ~base_version:t.versions.(home) t.graph db0 vo spec
+      request
+  with
+  | Error (Vo_core.Engine.Translation_rejected reason) ->
+      `Done (reject_outcome request reason)
+  | Error (Vo_core.Engine.Application_failed { ops; reason; failed_op }) ->
+      `Done (rolled_back ~request_kind ~ops reason failed_op)
+  | Ok staged ->
+      let rels = Delta.relations staged.Vo_core.Engine.delta in
+      let local =
+        (not (List.exists (Partition.risky t.plan) rels))
+        &&
+        match Partition.shards_of_relations t.plan rels with
+        | [] | [ _ ] ->
+            List.for_all (fun r -> Partition.shard_of t.plan r = Some home) rels
+        | _ -> false
+      in
+      if local then `Done (commit_local ?validation t ~shard:home ~name staged)
+      else `Bounce
+
+(* Runs on the caller's thread with every lane parked: the engine is
+   quiesced, so staging sees the settled state and owns all shards. *)
+let cross_commit ?validation t ~name vo spec request =
+  let request_kind = Vo_core.Request.kind_name request in
+  locked t.coordinator @@ fun () ->
+  let lanes = List.init (Shard_exec.size t.pool) Fun.id in
+  Shard_exec.hold t.pool ~lanes @@ fun () ->
+  if Atomic.get t.wedged_ then
+    reject_outcome request
+      "sharded engine is wedged by a durability failure; reopen the store"
+  else
+    let home =
+      Option.value ~default:0
+        (Partition.shard_of t.plan vo.Definition.pivot)
+    in
+    let db0 = Atomic.get t.db in
+    match
+      Vo_core.Engine.stage ~base_version:t.versions.(home) t.graph db0 vo spec
+        request
+    with
+    | Error (Vo_core.Engine.Translation_rejected reason) ->
+        reject_outcome request reason
+    | Error (Vo_core.Engine.Application_failed { ops; reason; failed_op }) ->
+        rolled_back ~request_kind ~ops reason failed_op
+    | Ok staged -> (
+        let ops = staged.Vo_core.Engine.ops in
+        match Vo_core.Engine.commit_group ?validation t.graph db0 [ staged ] with
+        | Error rejection -> rejection_outcome ~request_kind ~ops rejection
+        | Ok (_, delta) -> (
+            let kind = Fmt.str "%s on %s" request_kind name in
+            let pieces =
+              match
+                Delta.split
+                  ~shard_of:(fun r -> Partition.shard_of_exn t.plan r)
+                  delta
+              with
+              | [] -> [ (home, Delta.empty) ]
+              | ps -> ps
+            in
+            let entries =
+              List.map
+                (fun (s, piece) ->
+                  ( s,
+                    {
+                      Commit_log.version = t.versions.(s) + 1;
+                      change = Commit_log.Delta piece;
+                      kind;
+                    } ))
+                pieces
+            in
+            let participants = List.map fst pieces in
+            let journaled =
+              match entries with
+              | [ (s, e) ] ->
+                  (* One participant after all: a plain single-shard
+                     record, already atomic. *)
+                  journal_one t s (Journal.Commit [ e ])
+              | _ -> twopc t ~participants ~entries
+            in
+            match journaled with
+            | Error e -> rolled_back ~request_kind ~ops (Error.to_string e) None
+            | Ok () -> (
+                match publish_commit t ~entries ~delta ~kind with
+                | Error reason -> rolled_back ~request_kind ~ops reason None
+                | Ok db' ->
+                    List.iter
+                      (fun s ->
+                        t.cross.(s) <- t.cross.(s) + 1;
+                        M.Counter.incr t.shard_commits.(s))
+                      participants;
+                    M.Counter.incr m_cross;
+                    {
+                      Vo_core.Engine.request_kind;
+                      ops;
+                      result = Transaction.Committed db';
+                    })))
+
+let update ?validation t name request =
+  if Atomic.get t.wedged_ then
+    reject_outcome request
+      "sharded engine is wedged by a durability failure; reopen the store"
+  else
+    match
+      (List.assoc_opt name t.objects, List.assoc_opt name t.translators)
+    with
+    | None, _ -> reject_outcome request (Fmt.str "unknown object %s" name)
+    | _, None ->
+        reject_outcome request (Fmt.str "no translator installed for %s" name)
+    | Some vo, Some spec -> (
+        let home =
+          Option.value ~default:0
+            (Partition.shard_of t.plan vo.Definition.pivot)
+        in
+        let lane = Shard_exec.lane_of t.pool home in
+        M.Gauge.set t.shard_depth.(home)
+          (float_of_int (Shard_exec.depth t.pool ~lane));
+        let res =
+          Shard_exec.run t.pool ~lane:home (fun () ->
+              lane_commit ?validation t ~home ~name vo spec request)
+        in
+        match res with
+        | `Done outcome -> outcome
+        | `Bounce ->
+            M.Counter.incr m_bounced;
+            cross_commit ?validation t ~name vo spec request)
+
+(* --- maintenance ------------------------------------------------------- *)
+
+let persist t =
+  match t.durable with
+  | None -> Error (Error.invalid "persist: this sharded engine is in-memory")
+  | Some d ->
+      locked t.coordinator @@ fun () ->
+      let lanes = List.init (Shard_exec.size t.pool) Fun.id in
+      Shard_exec.hold t.pool ~lanes @@ fun () ->
+      let db = Atomic.get t.db in
+      let count = shard_count t in
+      let rec go s =
+        if s >= count then Ok ()
+        else
+          let v = t.versions.(s) in
+          let* () =
+            Fsio.with_lock (Shard_store.shard_path ~root:d.root s) (fun () ->
+                let* () =
+                  Shard_store.save_shard ~root:d.root ~shard:s ~version:v
+                    ~relations:(Partition.members t.plan s)
+                    db
+                in
+                Journal.initialize d.journals.(s) ~base:v)
+          in
+          go (s + 1)
+      in
+      go 0
+
+type shard_info = {
+  shard : int;
+  lane : int;
+  version : int;
+  members : string list;
+  queue_depth : int;
+  commits : int;
+  cross_commits : int;
+}
+
+let shards t =
+  let versions = versions t in
+  List.init (shard_count t) (fun s ->
+      {
+        shard = s;
+        lane = Shard_exec.lane_of t.pool s;
+        version = versions.(s);
+        members = Partition.members t.plan s;
+        queue_depth = Shard_exec.depth t.pool ~lane:(Shard_exec.lane_of t.pool s);
+        commits = t.commits.(s);
+        cross_commits = t.cross.(s);
+      })
+
+let shutdown t = Shard_exec.shutdown t.pool

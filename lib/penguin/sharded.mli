@@ -1,0 +1,92 @@
+(** The sharded serving engine: one logical workspace partitioned by
+    dependency island, with per-shard commit lanes on OCaml 5 domains
+    and a two-phase coordinator for the commits that cross shards
+    (DESIGN.md §5.7).
+
+    {!Structural.Partition} colocates every relation bound by an
+    ownership or subset connection, so the structural-integrity
+    footprint of an update that stays off the {e risky} relations (the
+    endpoints of cross-shard reference connections) is contained in one
+    shard. Such updates validate and commit entirely on their shard's
+    lane — fully in parallel across shards, serialized within one.
+    Everything else (a delta spanning shards, or touching a risky
+    relation whose integrity check can read other shards) {e bounces} to
+    the coordinator, which quiesces the lanes, validates against the
+    settled state, and — when durable — runs the two-phase journal
+    protocol of {!Shard_store} so recovery never observes half of a
+    cross-shard commit.
+
+    The engine owns a single committed {!Relational.Database.t} value
+    in an [Atomic.t]; publication (apply the winning delta, bump the
+    shard's version, extend the global feed) is a short critical
+    section under one mutex. With a 1-shard plan every commit is
+    single-shard and the pipeline is exactly the {!Workspace.update}
+    pipeline. The object catalog is fixed at creation: define objects
+    and choose translators on the workspace {e before} sharding it. *)
+
+type t
+
+val create :
+  ?domains:int -> ?max_shards:int -> Workspace.t -> t
+(** In-memory sharded engine over the workspace's current state.
+    [domains] (default: one per shard) sizes the lane pool; shards are
+    pinned to lanes round-robin. *)
+
+val open_store :
+  ?io:Fsio.t -> ?domains:int -> root:string -> unit -> (t, Error.t) result
+(** Durable engine over a {!Shard_store}: a repair open (torn tails
+    truncated, dangling two-phase commits resolved and closed), then
+    every commit writes ahead to its shard's journal under that shard's
+    file lock before publishing. *)
+
+val plan : t -> Structural.Partition.plan
+val shard_count : t -> int
+val domains : t -> int
+
+val version : t -> int
+(** Global version: base + total commits across shards (with one shard,
+    the shard's version). *)
+
+val versions : t -> int array
+(** Per-shard version vector (a copy). *)
+
+val wedged : t -> bool
+(** True after an ambiguous durability failure (e.g. the two-phase
+    decide record may or may not have reached disk). A wedged engine
+    rejects every further update; re-open the store to resolve. *)
+
+val update :
+  ?validation:Vo_core.Global_validation.mode ->
+  t -> string -> Vo_core.Request.t -> Vo_core.Engine.outcome
+(** The four-step pipeline against the named object, routed by shard.
+    Safe to call from any number of client threads/domains
+    concurrently; single-shard non-risky updates run on their shard's
+    lane in parallel, cross-shard or risky ones serialize through the
+    coordinator on the caller's thread. On commit the outcome carries
+    the new {e global} database. *)
+
+val to_workspace : t -> Workspace.t
+(** A workspace snapshot of the committed state: the global database,
+    the object catalog, and the global feed log (total commit order) —
+    what {!Workspace.sync_cache} and read-side queries consume. *)
+
+val persist : t -> (unit, Error.t) result
+(** Durable engines: quiesce all lanes and rotate every shard's journal
+    into a fresh snapshot at its current version. In-memory engines:
+    [Error Invalid]. *)
+
+type shard_info = {
+  shard : int;
+  lane : int;
+  version : int;
+  members : string list;
+  queue_depth : int;  (** tasks waiting on the shard's lane *)
+  commits : int;  (** single-shard commits published by this shard *)
+  cross_commits : int;  (** cross-shard commits this shard took part in *)
+}
+
+val shards : t -> shard_info list
+
+val shutdown : t -> unit
+(** Drain the lanes and join the domains. Idempotent; the committed
+    state remains readable via {!to_workspace}. *)

@@ -1,0 +1,131 @@
+module SMap = Map.Make (String)
+
+type plan = {
+  count : int;
+  assignment : int SMap.t;
+  members : string list array;  (* per shard, sorted *)
+  risky : (string, unit) Hashtbl.t;
+}
+
+(* Path-compressing union-find keyed by relation name. *)
+let find parent r =
+  let rec go r =
+    let p = Hashtbl.find parent r in
+    if p = r then r
+    else begin
+      let root = go p in
+      Hashtbl.replace parent r root;
+      root
+    end
+  in
+  go r
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then Hashtbl.replace parent ra rb
+
+let compute ?max_shards g =
+  (match max_shards with
+  | Some n when n < 1 -> invalid_arg "Partition.compute: max_shards must be >= 1"
+  | _ -> ());
+  let rels = Schema_graph.relations g in
+  let parent = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace parent r r) rels;
+  List.iter
+    (fun (c : Connection.t) ->
+      match c.Connection.kind with
+      | Connection.Ownership | Connection.Subset ->
+          union parent c.Connection.source c.Connection.target
+      | Connection.Reference -> ())
+    (Schema_graph.connections g);
+  (* Islands, keyed by root; each member list stays sorted because
+     [rels] is. *)
+  let islands = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let root = find parent r in
+      let ms = Option.value (Hashtbl.find_opt islands root) ~default:[] in
+      Hashtbl.replace islands root (r :: ms))
+    (List.rev rels);
+  (* Stable order: islands sorted by their smallest member (the head of
+     each sorted member list). *)
+  let island_list =
+    Hashtbl.fold (fun _ ms acc -> ms :: acc) islands []
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  in
+  let n_islands = List.length island_list in
+  let count =
+    match max_shards with
+    | Some m -> min m n_islands
+    | None -> n_islands
+  in
+  let members = Array.make (max count 1) [] in
+  let assignment = ref SMap.empty in
+  List.iteri
+    (fun i ms ->
+      let shard = if count = 0 then 0 else i mod count in
+      members.(shard) <- List.merge String.compare members.(shard) ms;
+      List.iter (fun r -> assignment := SMap.add r shard !assignment) ms)
+    island_list;
+  let members = if count = 0 then [||] else Array.sub members 0 count in
+  let assignment = !assignment in
+  let risky = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Connection.t) ->
+      match SMap.find_opt c.Connection.source assignment,
+            SMap.find_opt c.Connection.target assignment with
+      | Some a, Some b when a <> b ->
+          Hashtbl.replace risky c.Connection.source ();
+          Hashtbl.replace risky c.Connection.target ()
+      | _ -> ())
+    (Schema_graph.connections g);
+  { count; assignment; members; risky }
+
+let count p = p.count
+let shard_of p r = SMap.find_opt r p.assignment
+
+let shard_of_exn p r =
+  match shard_of p r with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Partition.shard_of: unknown relation %s" r)
+
+let members p i =
+  if i < 0 || i >= p.count then
+    invalid_arg (Fmt.str "Partition.members: no shard %d (of %d)" i p.count)
+  else p.members.(i)
+
+let assignment p = SMap.bindings p.assignment
+
+let shards_of_relations p rels =
+  List.sort_uniq compare (List.map (shard_of_exn p) rels)
+
+let risky p r = Hashtbl.mem p.risky r
+
+let cross_connections p g =
+  List.filter
+    (fun (c : Connection.t) ->
+      match shard_of p c.Connection.source, shard_of p c.Connection.target with
+      | Some a, Some b -> a <> b
+      | _ -> false)
+    (Schema_graph.connections g)
+
+let colocated p g =
+  List.for_all
+    (fun (c : Connection.t) ->
+      match c.Connection.kind with
+      | Connection.Reference -> true
+      | Connection.Ownership | Connection.Subset -> (
+          match
+            shard_of p c.Connection.source, shard_of p c.Connection.target
+          with
+          | Some a, Some b -> a = b
+          | _ -> false))
+    (Schema_graph.connections g)
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>%d shard(s)" p.count;
+  Array.iteri
+    (fun i ms ->
+      Fmt.pf ppf "@,shard %d: %a" i Fmt.(list ~sep:(any ", ") string) ms)
+    p.members;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,64 @@
+(** Dependency-island partition of a structural schema — the shard key
+    (Def. 5.1 read as a placement rule).
+
+    Ownership and subset connections bind two relations into one unit of
+    update: deleting an owner cascades into its dependents, and a subset
+    row cannot outlive its superset row. Relations joined by such edges
+    therefore {e must} colocate on one shard. Reference connections only
+    constrain values (a referencing attribute must name an existing key,
+    or be [Null]); the referenced relation can live elsewhere and be
+    consulted read-only — the paper's peninsula. The partition computed
+    here is exactly the connected components of the graph restricted to
+    ownership/subset edges, with reference edges free to cross shards.
+
+    Shard ids are {e stable}: islands are numbered by their
+    lexicographically smallest member relation, so the assignment is a
+    pure function of the schema — independent of declaration order,
+    insertion history, or process — and can be cross-checked against a
+    persisted manifest on every open. *)
+
+type plan
+(** An immutable relation→shard assignment over one schema graph. *)
+
+val compute : ?max_shards:int -> Schema_graph.t -> plan
+(** Partition the graph's relations into dependency islands and assign
+    shard ids. With [max_shards] (≥ 1) the islands are folded onto at
+    most that many shards (island [i] in stable order lands on shard
+    [i mod max_shards]) — colocation is preserved, only parallelism is
+    bounded. [max_shards = 1] yields the single-store behaviour. *)
+
+val count : plan -> int
+(** Number of shards (≥ 1 when the graph has relations, 0 when empty). *)
+
+val shard_of : plan -> string -> int option
+val shard_of_exn : plan -> string -> int
+
+val members : plan -> int -> string list
+(** Relations assigned to a shard, sorted. *)
+
+val assignment : plan -> (string * int) list
+(** Every (relation, shard) pair, sorted by relation — the serializable
+    image cross-checked against a store's manifest. *)
+
+val shards_of_relations : plan -> string list -> int list
+(** The sorted, deduplicated shard ids covering the given relations —
+    the participant set of a delta. @raise Invalid_argument on a
+    relation outside the plan. *)
+
+val risky : plan -> string -> bool
+(** The relation is an endpoint of a connection that crosses shards.
+    Commits writing only non-risky relations of one shard cannot
+    invalidate (or be invalidated by) a concurrent commit on another
+    shard, so they may run without cross-shard coordination; a write
+    touching a risky relation must serialize through the coordinator. *)
+
+val cross_connections : plan -> Schema_graph.t -> Connection.t list
+(** Connections whose endpoints live on different shards (necessarily
+    references, when the plan was computed from the same graph). *)
+
+val colocated : plan -> Schema_graph.t -> bool
+(** Invariant: every ownership/subset connection has both endpoints on
+    the same shard. Holds by construction for {!compute}; exposed so
+    tests and manifest cross-checks can assert it. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -86,6 +86,45 @@ let test_histogram_merge () =
   | Ok _ -> Alcotest.fail "merge across different bounds must fail"
   | Error _ -> ()
 
+(* Two domains hammering the same metrics concurrently: counters are
+   Atomic fetch-and-add, histograms take a per-histogram mutex, and
+   registration is mutex-guarded — no increment may be lost and no
+   registration may be duplicated. *)
+let test_domain_safety_hammer () =
+  fresh ();
+  let rounds = 25_000 in
+  let worker id () =
+    (* Re-register by name from both domains: first-use registration
+       must race safely and return the one shared metric. *)
+    let c = M.counter "t.hammer.counter" in
+    let g = M.gauge "t.hammer.gauge" in
+    let h = M.histogram ~bounds:[ 10.; 100. ] "t.hammer.hist" in
+    for i = 1 to rounds do
+      M.Counter.incr c;
+      M.Gauge.add g 1.0;
+      M.Histogram.observe h (float_of_int ((i + id) mod 150))
+    done
+  in
+  let d = Domain.spawn (worker 1) in
+  worker 0 ();
+  Domain.join d;
+  Alcotest.(check int) "no counter increment lost" (2 * rounds)
+    (M.Counter.value (M.counter "t.hammer.counter"));
+  Alcotest.(check (float 1e-6)) "no gauge add lost"
+    (float_of_int (2 * rounds))
+    (M.Gauge.value (M.gauge "t.hammer.gauge"));
+  let h = M.histogram ~bounds:[ 10.; 100. ] "t.hammer.hist" in
+  Alcotest.(check int) "no observation lost" (2 * rounds)
+    (M.Histogram.count h);
+  Alcotest.(check int) "bucket counts also sum up" (2 * rounds)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (M.Histogram.buckets h));
+  Alcotest.(check int) "one registration per name" 3
+    (List.length
+       (List.filter
+          (fun (name, _, _) ->
+            Relational.Strutil.contains ~sub:"t.hammer" name)
+          (M.all ())))
+
 let test_time_records_on_raise () =
   fresh ();
   let h = M.histogram "t.time" in
@@ -409,6 +448,8 @@ let suite =
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "time records on raise" `Quick
       test_time_records_on_raise;
+    Alcotest.test_case "two domains hammer the registry" `Quick
+      test_domain_safety_hammer;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span finishes on raise" `Quick
       test_span_finishes_on_raise;

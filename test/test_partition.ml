@@ -1,0 +1,133 @@
+(* Dependency-island partitioning: island computation over
+   ownership/subset edges, stable shard ids, max_shards folding, risky
+   relations, and the colocation invariant — the routing layer of the
+   sharded engine. *)
+open Relational
+open Structural
+
+let rel name key_attrs extra =
+  Schema.make_exn ~name
+    ~attributes:(List.map Attribute.int key_attrs @ extra)
+    ~key:key_attrs
+
+let graph_of schemas conns = Schema_graph.make_exn schemas conns
+
+(* Two ownership islands stitched by one reference:
+   A --* B (island {A,B}), C alone (island {C}), B --> C reference. *)
+let stitched () =
+  graph_of
+    [ rel "A" [ "a" ] [ Attribute.str "av" ];
+      rel "B" [ "a"; "b" ] [ Attribute.int "c_ref" ];
+      rel "C" [ "c" ] [ Attribute.str "cv" ] ]
+    [ Connection.ownership "A" "B" ~on:([ "a" ], [ "a" ]);
+      Connection.reference "B" "C" ~on:([ "c_ref" ], [ "c" ]) ]
+
+let test_university_islands () =
+  let plan = Partition.compute Penguin.University.graph in
+  Alcotest.(check int) "four islands" 4 (Partition.count plan);
+  (* Stable order: islands numbered by smallest member. *)
+  Alcotest.(check (list string))
+    "shard 0" [ "COURSES"; "GRADES" ] (Partition.members plan 0);
+  Alcotest.(check (list string)) "shard 1" [ "CURRICULUM" ]
+    (Partition.members plan 1);
+  Alcotest.(check (list string)) "shard 2" [ "DEPARTMENT" ]
+    (Partition.members plan 2);
+  Alcotest.(check (list string))
+    "shard 3"
+    [ "FACULTY"; "PEOPLE"; "STAFF"; "STUDENT" ]
+    (Partition.members plan 3);
+  Alcotest.(check bool) "colocated" true
+    (Partition.colocated plan Penguin.University.graph)
+
+let test_reference_crosses () =
+  let g = stitched () in
+  let plan = Partition.compute g in
+  Alcotest.(check int) "two islands" 2 (Partition.count plan);
+  Alcotest.(check (list string)) "A,B together" [ "A"; "B" ]
+    (Partition.members plan 0);
+  Alcotest.(check (list string)) "C alone" [ "C" ] (Partition.members plan 1);
+  (* The stitch is the one cross-shard connection; its endpoints are
+     risky, the ownership pair is not. *)
+  (match Partition.cross_connections plan g with
+  | [ c ] -> Alcotest.(check string) "reference crosses" "C" c.Connection.target
+  | l -> Alcotest.failf "expected 1 cross connection, got %d" (List.length l));
+  Alcotest.(check bool) "B risky" true (Partition.risky plan "B");
+  Alcotest.(check bool) "C risky" true (Partition.risky plan "C");
+  Alcotest.(check bool) "A not risky" false (Partition.risky plan "A")
+
+let test_stability_under_declaration_order () =
+  let g = stitched () in
+  let g' =
+    graph_of
+      [ rel "C" [ "c" ] [ Attribute.str "cv" ];
+        rel "B" [ "a"; "b" ] [ Attribute.int "c_ref" ];
+        rel "A" [ "a" ] [ Attribute.str "av" ] ]
+      [ Connection.reference "B" "C" ~on:([ "c_ref" ], [ "c" ]);
+        Connection.ownership "A" "B" ~on:([ "a" ], [ "a" ]) ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "assignment independent of declaration order"
+    (Partition.assignment (Partition.compute g))
+    (Partition.assignment (Partition.compute g'))
+
+let test_max_shards_folding () =
+  let plan = Partition.compute ~max_shards:2 Penguin.University.graph in
+  Alcotest.(check int) "folded to 2" 2 (Partition.count plan);
+  (* Island i lands on shard i mod 2; colocation survives folding. *)
+  Alcotest.(check (list string))
+    "shard 0 = islands 0+2"
+    [ "COURSES"; "DEPARTMENT"; "GRADES" ]
+    (Partition.members plan 0);
+  Alcotest.(check (list string))
+    "shard 1 = islands 1+3"
+    [ "CURRICULUM"; "FACULTY"; "PEOPLE"; "STAFF"; "STUDENT" ]
+    (Partition.members plan 1);
+  Alcotest.(check bool) "still colocated" true
+    (Partition.colocated plan Penguin.University.graph);
+  let one = Partition.compute ~max_shards:1 Penguin.University.graph in
+  Alcotest.(check int) "single store" 1 (Partition.count one);
+  List.iter
+    (fun (r, s) ->
+      Alcotest.(check int) (r ^ " on shard 0") 0 s;
+      Alcotest.(check bool) (r ^ " not risky") false (Partition.risky one r))
+    (Partition.assignment one)
+
+let test_shards_of_relations () =
+  let plan = Partition.compute Penguin.University.graph in
+  Alcotest.(check (list int))
+    "GRADES+STUDENT span 0 and 3" [ 0; 3 ]
+    (Partition.shards_of_relations plan [ "GRADES"; "STUDENT"; "COURSES" ]);
+  Alcotest.(check (list int))
+    "empty list, no shards" []
+    (Partition.shards_of_relations plan []);
+  Alcotest.check_raises "unknown relation raises"
+    (Invalid_argument "Partition.shard_of: unknown relation NOPE") (fun () ->
+      ignore (Partition.shards_of_relations plan [ "NOPE" ]))
+
+let test_subset_colocates () =
+  let g =
+    graph_of
+      [ rel "P" [ "id" ] [ Attribute.str "v" ];
+        rel "Q" [ "id" ] [ Attribute.str "w" ] ]
+      [ Connection.subset "Q" "P" ~on:([ "id" ], [ "id" ]) ]
+  in
+  let plan = Partition.compute g in
+  Alcotest.(check int) "one island" 1 (Partition.count plan);
+  Alcotest.(check (list string)) "both members" [ "P"; "Q" ]
+    (Partition.members plan 0)
+
+let suite =
+  [
+    Alcotest.test_case "university partitions into 4 islands" `Quick
+      test_university_islands;
+    Alcotest.test_case "references cross, endpoints are risky" `Quick
+      test_reference_crosses;
+    Alcotest.test_case "shard ids are declaration-order independent" `Quick
+      test_stability_under_declaration_order;
+    Alcotest.test_case "max_shards folds islands, keeps colocation" `Quick
+      test_max_shards_folding;
+    Alcotest.test_case "shards_of_relations = participant set" `Quick
+      test_shards_of_relations;
+    Alcotest.test_case "subset edges colocate like ownership" `Quick
+      test_subset_colocates;
+  ]

@@ -1,0 +1,599 @@
+(* The sharded serving engine: 1-shard equivalence with the workspace
+   pipeline, lane-local routing vs coordinator bounces, parallel
+   clients on disjoint islands, cross-shard commit atomicity, the
+   durable store round-trip, and the wedge discipline. *)
+open Relational
+open Structural
+open Viewobject
+open Test_util
+
+(* --- a disjoint-islands fixture (mirrors the E15 bench shape) ---------- *)
+
+let island_name k suffix = Fmt.str "I%02d_%s" k suffix
+
+(* [n] ownership islands PIV --* SUB; with [cross], island k also owns a
+   REF relation referencing island (k+1)'s TGT, making REF and TGT
+   risky while PIV and SUB stay lane-local. *)
+let islands_graph ?(cross = false) n =
+  let piv k =
+    Schema.make_exn ~name:(island_name k "PIV")
+      ~attributes:[ Attribute.int "ida"; Attribute.str "val" ]
+      ~key:[ "ida" ]
+  in
+  let sub k =
+    Schema.make_exn ~name:(island_name k "SUB")
+      ~attributes:
+        [ Attribute.int "ida"; Attribute.int "idb"; Attribute.str "sval" ]
+      ~key:[ "ida"; "idb" ]
+  in
+  let ref_ k =
+    Schema.make_exn ~name:(island_name k "REF")
+      ~attributes:
+        [ Attribute.int "ida"; Attribute.int "idr"; Attribute.int "peer_a";
+          Attribute.int "peer_t"; Attribute.str "note" ]
+      ~key:[ "ida"; "idr" ]
+  in
+  let tgt k =
+    Schema.make_exn ~name:(island_name k "TGT")
+      ~attributes:
+        [ Attribute.int "ida"; Attribute.int "idt"; Attribute.str "tval" ]
+      ~key:[ "ida"; "idt" ]
+  in
+  let schemas =
+    List.concat
+      (List.init n (fun k ->
+           if cross then [ piv k; sub k; ref_ k; tgt k ]
+           else [ piv k; sub k ]))
+  in
+  let conns =
+    List.concat
+      (List.init n (fun k ->
+           let own suffix =
+             Connection.ownership (island_name k "PIV") (island_name k suffix)
+               ~on:([ "ida" ], [ "ida" ])
+           in
+           if cross then
+             [ own "SUB"; own "REF"; own "TGT";
+               Connection.reference (island_name k "REF")
+                 (island_name ((k + 1) mod n) "TGT")
+                 ~on:([ "peer_a"; "peer_t" ], [ "ida"; "idt" ]) ]
+           else [ own "SUB" ]))
+  in
+  Schema_graph.make_exn schemas conns
+
+let islands_workspace ?(cross = false) n =
+  let g = islands_graph ~cross n in
+  let ins rel bindings db =
+    match Database.insert db rel (Tuple.make bindings) with
+    | Ok db -> db
+    | Error e -> Alcotest.failf "fixture insert: %s" (Database.error_to_string e)
+  in
+  let island db k =
+    let db =
+      List.fold_left
+        (fun db i ->
+          ins (island_name k "PIV") [ "ida", vi i; "val", vs "a" ] db
+          |> ins (island_name k "SUB")
+               [ "ida", vi i; "idb", vi 0; "sval", vs "s" ])
+        db
+        (List.init 2 Fun.id)
+    in
+    if not cross then db
+    else
+      db
+      |> ins (island_name k "TGT") [ "ida", vi 0; "idt", vi 0; "tval", vs "t" ]
+      |> ins (island_name k "REF")
+           [ "ida", vi 0; "idr", vi 0; "peer_a", vi 0; "peer_t", vi 0;
+             "note", vs "n" ]
+  in
+  let db =
+    List.fold_left island (Schema_graph.create_database g) (List.init n Fun.id)
+  in
+  let ws = { (Penguin.Workspace.create g) with Penguin.Workspace.db } in
+  List.fold_left
+    (fun ws k ->
+      let ws =
+        check_ok
+          (Penguin.Workspace.define_object ws ~name:(Fmt.str "isl%d" k)
+             ~pivot:(island_name k "PIV")
+             ~keep:[ island_name k "PIV", []; island_name k "SUB", [] ])
+      in
+      if cross then
+        let ws =
+          check_ok
+            (Penguin.Workspace.define_object ws ~name:(Fmt.str "ref%d" k)
+               ~pivot:(island_name k "REF")
+               ~keep:[ island_name k "REF", [] ])
+        in
+        (* refx<k> spans the reference: REF on island k, TGT on island
+           k+1 — a replace touching both labels is a real cross-shard
+           delta. *)
+        check_ok
+          (Penguin.Workspace.define_object ws ~name:(Fmt.str "refx%d" k)
+             ~pivot:(island_name k "REF")
+             ~keep:
+               [ island_name k "REF", [];
+                 island_name ((k + 1) mod n) "TGT", [] ])
+      else ws)
+    ws
+    (List.init n Fun.id)
+
+(* A forward/backward replacement pair on the named object's first
+   instance: a client alternating fwd;back always commits real edits
+   and any even number of commits restores the starting state. *)
+let flip_pair ws ~object_name ~label ~attr =
+  let inst =
+    match Penguin.Workspace.instances ws object_name with
+    | Ok (i :: _) -> i
+    | Ok [] -> Alcotest.failf "%s: no instances" object_name
+    | Error e -> Alcotest.failf "%s: %s" object_name e
+  in
+  let flipped =
+    check_ok
+      (Vo_core.Request.modify_where inst ~label
+         ~sel:(fun _ -> true)
+         ~f:(fun t -> Tuple.set t attr (Value.Str "flip")))
+  in
+  ( Vo_core.Request.replace ~old_instance:inst ~new_instance:flipped,
+    Vo_core.Request.replace ~old_instance:flipped ~new_instance:inst )
+
+(* A replace on refx<k> flipping both its REF note (island k) and its
+   TGT tval (island k+1) to [stamp]: the staged delta spans two shards,
+   forcing the two-phase coordinator path. *)
+let cross_flip ?(stamp = "flip") ws k =
+  let name = Fmt.str "refx%d" k in
+  let inst =
+    match Penguin.Workspace.instances ws name with
+    | Ok (i :: _) -> i
+    | Ok [] -> Alcotest.failf "%s: no instances" name
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  let step1 =
+    check_ok
+      (Vo_core.Request.modify_where inst ~label:(island_name k "REF")
+         ~sel:(fun _ -> true)
+         ~f:(fun t -> Tuple.set t "note" (Value.Str stamp)))
+  in
+  let step2 =
+    check_ok
+      (Vo_core.Request.modify_where step1
+         ~label:(island_name ((k + 1) mod 2) "TGT")
+         ~sel:(fun _ -> true)
+         ~f:(fun t -> Tuple.set t "tval" (Value.Str stamp)))
+  in
+  Vo_core.Request.replace ~old_instance:inst ~new_instance:step2
+
+(* A lane-local SUB edit on island k, re-derived from the current
+   state. *)
+let sub_flip ?(stamp = "flip") ws k =
+  let inst =
+    match Penguin.Workspace.instances ws (Fmt.str "isl%d" k) with
+    | Ok (i :: _) -> i
+    | Ok [] -> Alcotest.failf "isl%d: no instances" k
+    | Error e -> Alcotest.failf "isl%d: %s" k e
+  in
+  let flipped =
+    check_ok
+      (Vo_core.Request.modify_where inst ~label:(island_name k "SUB")
+         ~sel:(fun _ -> true)
+         ~f:(fun t -> Tuple.set t "sval" (Value.Str stamp)))
+  in
+  Vo_core.Request.replace ~old_instance:inst ~new_instance:flipped
+
+let committed = function
+  | { Vo_core.Engine.result = Transaction.Committed db; _ } -> db
+  | { Vo_core.Engine.result = Transaction.Rolled_back { reason; _ }; _ } ->
+      Alcotest.failf "expected a commit, got: %s" reason
+
+let shard_info eng s = List.nth (Penguin.Sharded.shards eng) s
+
+(* --- university helpers ------------------------------------------------ *)
+
+let grade_edit ws course grade =
+  let vo = check_ok (Penguin.Workspace.find_object ws "omega") in
+  let inst =
+    match
+      Instantiate.instantiate
+        ~where:(Predicate.eq_str "course_id" course)
+        ws.Penguin.Workspace.db vo
+    with
+    | [ i ] -> i
+    | l -> Alcotest.failf "expected 1 instance, got %d" (List.length l)
+  in
+  check_ok
+    (Vo_core.Request.partial_modify inst ~label:"GRADES"
+       ~at:(tuple [ "pid", vi 2 ])
+       ~f:(fun t -> Tuple.set t "grade" (Value.Str grade)))
+
+(* The CS777 insert writes COURSES+GRADES (shard 0) and STUDENT
+   (shard 3): a genuine two-participant cross-shard commit. *)
+let cs777_insert ws =
+  ignore ws;
+  let inst =
+    Instance.make ~label:"COURSES" ~relation:"COURSES"
+      ~tuple:
+        (tuple
+           [ "course_id", vs "CS777"; "title", vs "Query Processing";
+             "units", vi 3; "level", vs "grad" ])
+      ~children:
+        [ "DEPARTMENT",
+          [ Instance.leaf ~label:"DEPARTMENT" ~relation:"DEPARTMENT"
+              (tuple
+                 [ "dept_name", vs "Computer Science"; "building", vs "Gates" ]) ];
+          "GRADES",
+          [ Instance.make ~label:"GRADES" ~relation:"GRADES"
+              ~tuple:(tuple [ "pid", vi 6; "grade", vs "A" ])
+              ~children:
+                [ "STUDENT#2",
+                  [ Instance.leaf ~label:"STUDENT#2" ~relation:"STUDENT"
+                      (tuple [ "pid", vi 6 ]) ] ] ] ]
+  in
+  Vo_core.Request.insert inst
+
+(* --- one shard behaves exactly like the workspace pipeline ------------- *)
+
+let test_one_shard_equivalence () =
+  let grades = [ "A-"; "B"; "C+"; "A" ] in
+  (* Reference: the sequential Workspace.update pipeline. *)
+  let ref_ws =
+    List.fold_left
+      (fun ws g ->
+        let ws', outcome =
+          Penguin.Workspace.update ws "omega" (grade_edit ws "CS345" g)
+        in
+        ignore (committed outcome);
+        ws')
+      (Penguin.University.workspace ())
+      grades
+  in
+  (* The same requests through a 1-shard engine. *)
+  let eng =
+    Penguin.Sharded.create ~max_shards:1 (Penguin.University.workspace ())
+  in
+  Alcotest.(check int) "one shard" 1 (Penguin.Sharded.shard_count eng);
+  List.iter
+    (fun g ->
+      let ws = Penguin.Sharded.to_workspace eng in
+      ignore (committed (Penguin.Sharded.update eng "omega" (grade_edit ws "CS345" g))))
+    grades;
+  let ws = Penguin.Sharded.to_workspace eng in
+  Alcotest.(check bool) "same database" true
+    (Database.equal ref_ws.Penguin.Workspace.db ws.Penguin.Workspace.db);
+  Alcotest.(check int) "same version"
+    (Penguin.Workspace.version ref_ws)
+    (Penguin.Sharded.version eng);
+  (* With a single shard nothing can cross; every relation is local. *)
+  let s = shard_info eng 0 in
+  Alcotest.(check int) "all commits lane-local" (List.length grades)
+    s.Penguin.Sharded.commits;
+  Alcotest.(check int) "no coordinator commits" 0 s.Penguin.Sharded.cross_commits;
+  check_ok ~msg:"consistent" (Penguin.Workspace.check_consistency ws);
+  Penguin.Sharded.shutdown eng
+
+(* --- routing: lane-local vs bounced ------------------------------------ *)
+
+let test_routing_local_and_bounced () =
+  let ws = islands_workspace ~cross:true 2 in
+  let eng = Penguin.Sharded.create ws in
+  Alcotest.(check int) "two islands" 2 (Penguin.Sharded.shard_count eng);
+  (* A SUB edit stays on its island: no risky relation touched. *)
+  let fwd, back =
+    flip_pair (Penguin.Sharded.to_workspace eng) ~object_name:"isl0"
+      ~label:(island_name 0 "SUB") ~attr:"sval"
+  in
+  ignore (committed (Penguin.Sharded.update eng "isl0" fwd));
+  ignore (committed (Penguin.Sharded.update eng "isl0" back));
+  let s0 = shard_info eng 0 in
+  Alcotest.(check int) "lane-local commits" 2 s0.Penguin.Sharded.commits;
+  Alcotest.(check int) "no bounce" 0 s0.Penguin.Sharded.cross_commits;
+  (* A REF edit touches a risky relation: it must bounce to the
+     coordinator even though the delta stays on one shard. *)
+  let fwd, _ =
+    flip_pair (Penguin.Sharded.to_workspace eng) ~object_name:"ref0"
+      ~label:(island_name 0 "REF") ~attr:"note"
+  in
+  ignore (committed (Penguin.Sharded.update eng "ref0" fwd));
+  let s0 = shard_info eng 0 in
+  Alcotest.(check int) "risky edit went through the coordinator" 1
+    s0.Penguin.Sharded.cross_commits;
+  Alcotest.(check int) "lane count unchanged" 2 s0.Penguin.Sharded.commits;
+  (* Versions: shard 0 took 3 commits, shard 1 none. *)
+  Alcotest.(check (list int)) "version vector" [ 3; 0 ]
+    (Array.to_list (Penguin.Sharded.versions eng));
+  Alcotest.(check int) "global version sums the vector" 3
+    (Penguin.Sharded.version eng);
+  check_ok ~msg:"consistent"
+    (Penguin.Workspace.check_consistency (Penguin.Sharded.to_workspace eng));
+  Penguin.Sharded.shutdown eng
+
+(* --- parallel clients on disjoint islands ------------------------------ *)
+
+let test_parallel_disjoint_clients () =
+  let islands = 4 and per_client = 8 in
+  let domains =
+    match Sys.getenv_opt "PENGUIN_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 2)
+    | None -> 2
+  in
+  let ws = islands_workspace islands in
+  let eng = Penguin.Sharded.create ~domains ws in
+  Alcotest.(check int) "pool size honors the request"
+    (min domains islands) (Penguin.Sharded.domains eng);
+  (* Pre-derive each island's fwd/back pair, then hammer from one
+     client domain per island. Disjoint islands must all commit —
+     there is nothing to conflict on. *)
+  let specs =
+    List.init islands (fun k ->
+        ( Fmt.str "isl%d" k,
+          flip_pair (Penguin.Sharded.to_workspace eng)
+            ~object_name:(Fmt.str "isl%d" k)
+            ~label:(island_name k "SUB") ~attr:"sval" ))
+  in
+  let client (name, (fwd, back)) () =
+    let failures = ref 0 in
+    for i = 1 to per_client do
+      let req = if i mod 2 = 1 then fwd else back in
+      let o = Penguin.Sharded.update eng name req in
+      if not (Transaction.is_committed o.Vo_core.Engine.result) then
+        incr failures
+    done;
+    !failures
+  in
+  let doms = List.map (fun spec -> Domain.spawn (client spec)) specs in
+  let failures = List.fold_left (fun acc d -> acc + Domain.join d) 0 doms in
+  Alcotest.(check int) "every disjoint commit succeeded" 0 failures;
+  Alcotest.(check int) "global version counts them all"
+    (islands * per_client)
+    (Penguin.Sharded.version eng);
+  List.iteri
+    (fun k (s : Penguin.Sharded.shard_info) ->
+      Alcotest.(check int) (Fmt.str "shard %d lane commits" k) per_client
+        s.Penguin.Sharded.commits;
+      Alcotest.(check int) (Fmt.str "shard %d cross commits" k) 0
+        s.Penguin.Sharded.cross_commits)
+    (Penguin.Sharded.shards eng);
+  (* per_client is even: the store must be back to its initial state. *)
+  let final = Penguin.Sharded.to_workspace eng in
+  Alcotest.(check bool) "even flips restore the fixture" true
+    (Database.equal ws.Penguin.Workspace.db final.Penguin.Workspace.db);
+  check_ok ~msg:"consistent" (Penguin.Workspace.check_consistency final);
+  Penguin.Sharded.shutdown eng
+
+(* --- cross-shard commits ----------------------------------------------- *)
+
+let test_cross_shard_commit () =
+  let ws0 = islands_workspace ~cross:true 2 in
+  let eng = Penguin.Sharded.create ws0 in
+  let req = cross_flip (Penguin.Sharded.to_workspace eng) 0 in
+  let db' = committed (Penguin.Sharded.update eng "refx0" req) in
+  (* The replace writes I00_REF (shard 0) and I01_TGT (shard 1): both
+     participate in one coordinator commit, each advancing its own
+     version by one. *)
+  let s0 = shard_info eng 0 and s1 = shard_info eng 1 in
+  Alcotest.(check int) "shard 0 participated" 1 s0.Penguin.Sharded.cross_commits;
+  Alcotest.(check int) "shard 1 participated" 1 s1.Penguin.Sharded.cross_commits;
+  Alcotest.(check int) "no lane commits" 0
+    (s0.Penguin.Sharded.commits + s1.Penguin.Sharded.commits);
+  Alcotest.(check (list int)) "both participants advanced" [ 1; 1 ]
+    (Array.to_list (Penguin.Sharded.versions eng));
+  Alcotest.(check int) "global version counts both entries" 2
+    (Penguin.Sharded.version eng);
+  (* The outcome's database is the committed state, and it equals the
+     plain workspace pipeline's answer to the same request. *)
+  let ws = Penguin.Sharded.to_workspace eng in
+  Alcotest.(check bool) "outcome db is the committed db" true
+    (Database.equal db' ws.Penguin.Workspace.db);
+  let ref_ws, ref_outcome = Penguin.Workspace.update ws0 "refx0" req in
+  ignore (committed ref_outcome);
+  Alcotest.(check bool) "matches the workspace pipeline" true
+    (Database.equal ref_ws.Penguin.Workspace.db ws.Penguin.Workspace.db);
+  check_ok ~msg:"consistent" (Penguin.Workspace.check_consistency ws);
+  Penguin.Sharded.shutdown eng
+
+let test_sharded_matches_workspace_on_mixed_traffic () =
+  (* The same mixed sequence — a cross-shard insert, then grade edits —
+     through the sharded engine and the plain workspace pipeline must
+     land on the same database. *)
+  let run_ws () =
+    List.fold_left
+      (fun ws step ->
+        let ws', outcome = Penguin.Workspace.update ws "omega" (step ws) in
+        ignore (committed outcome);
+        ws')
+      (Penguin.University.workspace ())
+      [ cs777_insert; (fun ws -> grade_edit ws "CS345" "A-");
+        (fun ws -> grade_edit ws "EE280" "C") ]
+  in
+  let eng = Penguin.Sharded.create (Penguin.University.workspace ()) in
+  List.iter
+    (fun step ->
+      ignore
+        (committed
+           (Penguin.Sharded.update eng "omega"
+              (step (Penguin.Sharded.to_workspace eng)))))
+    [ cs777_insert; (fun ws -> grade_edit ws "CS345" "A-");
+      (fun ws -> grade_edit ws "EE280" "C") ];
+  Alcotest.(check bool) "same final database" true
+    (Database.equal (run_ws ()).Penguin.Workspace.db
+       (Penguin.Sharded.to_workspace eng).Penguin.Workspace.db);
+  Penguin.Sharded.shutdown eng
+
+(* --- rejections stay clean --------------------------------------------- *)
+
+let test_rejection_changes_nothing () =
+  let eng = Penguin.Sharded.create (Penguin.University.workspace ()) in
+  let v0 = Penguin.Sharded.version eng in
+  let o =
+    Penguin.Sharded.update eng "nonesuch"
+      (cs777_insert (Penguin.Sharded.to_workspace eng))
+  in
+  (match o.Vo_core.Engine.result with
+  | Transaction.Rolled_back { reason; _ } ->
+      Alcotest.(check bool) "names the object" true
+        (Strutil.contains ~sub:"nonesuch" reason)
+  | Transaction.Committed _ -> Alcotest.fail "unknown object must not commit");
+  (* A stale request: derived from the pre-state, invalidated by a
+     concurrent commit to the same tuple. *)
+  let stale = grade_edit (Penguin.Sharded.to_workspace eng) "CS345" "D" in
+  ignore
+    (committed
+       (Penguin.Sharded.update eng "omega"
+          (grade_edit (Penguin.Sharded.to_workspace eng) "CS345" "F")));
+  let o = Penguin.Sharded.update eng "omega" stale in
+  (match o.Vo_core.Engine.result with
+  | Transaction.Committed _ -> Alcotest.fail "stale request must not commit"
+  | Transaction.Rolled_back { reason; _ } ->
+      Alcotest.(check bool) "stale detected" true
+        (Strutil.contains ~sub:"stale" reason));
+  Alcotest.(check int) "only the grade commit landed" (v0 + 1)
+    (Penguin.Sharded.version eng);
+  Alcotest.(check bool) "engine not wedged by rejections" false
+    (Penguin.Sharded.wedged eng);
+  check_ok ~msg:"consistent"
+    (Penguin.Workspace.check_consistency (Penguin.Sharded.to_workspace eng));
+  Penguin.Sharded.shutdown eng
+
+(* --- durability -------------------------------------------------------- *)
+
+let sharded_root dir = Filename.concat dir "shards"
+
+let rm_rf_deep dir =
+  if Sys.file_exists dir then begin
+    let rec go p =
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> go (Filename.concat p f)) (Sys.readdir p);
+        try Unix.rmdir p with Unix.Unix_error _ -> ()
+      end
+      else try Sys.remove p with Sys_error _ -> ()
+    in
+    go dir
+  end
+
+let test_durable_roundtrip () =
+  let dir = temp_dir "sharded" in
+  let root = sharded_root dir in
+  let plan =
+    check_ok_e (Penguin.Shard_store.init ~root (islands_workspace ~cross:true 2))
+  in
+  Alcotest.(check int) "store sharded 2 ways" 2 (Partition.count plan);
+  let eng = check_ok_e (Penguin.Sharded.open_store ~root ()) in
+  (* One two-participant 2PC replace and one lane-local commit, both
+     write-ahead journaled. *)
+  ignore
+    (committed
+       (Penguin.Sharded.update eng "refx0"
+          (cross_flip (Penguin.Sharded.to_workspace eng) 0)));
+  ignore
+    (committed
+       (Penguin.Sharded.update eng "isl1"
+          (sub_flip (Penguin.Sharded.to_workspace eng) 1)));
+  let committed_db = (Penguin.Sharded.to_workspace eng).Penguin.Workspace.db in
+  let vec = Array.to_list (Penguin.Sharded.versions eng) in
+  Penguin.Sharded.shutdown eng;
+  (* A read-only open must replay both commits — the 2PC one on all its
+     participants or none. *)
+  let o = check_ok_e (Penguin.Shard_store.open_store ~root ()) in
+  Alcotest.(check (list int)) "version vector survives" vec
+    (Array.to_list o.Penguin.Shard_store.versions);
+  Alcotest.(check bool) "database survives" true
+    (Database.equal committed_db o.Penguin.Shard_store.ws.Penguin.Workspace.db);
+  check_ok ~msg:"recovered consistent"
+    (Penguin.Workspace.check_consistency o.Penguin.Shard_store.ws);
+  (* Reopen as an engine, rotate every journal, and open once more:
+     replay must now be empty at the same state. *)
+  let eng = check_ok_e (Penguin.Sharded.open_store ~root ()) in
+  Alcotest.(check bool) "reopened engine sees the same state" true
+    (Database.equal committed_db
+       (Penguin.Sharded.to_workspace eng).Penguin.Workspace.db);
+  check_ok_e (Penguin.Sharded.persist eng);
+  Penguin.Sharded.shutdown eng;
+  let o = check_ok_e (Penguin.Shard_store.open_store ~root ()) in
+  List.iter
+    (fun (r : Penguin.Shard_store.shard_report) ->
+      Alcotest.(check int)
+        (Fmt.str "shard %d replay empty after rotation" r.Penguin.Shard_store.shard)
+        0 r.Penguin.Shard_store.replayed)
+    o.Penguin.Shard_store.report.Penguin.Shard_store.shards;
+  Alcotest.(check bool) "rotated state identical" true
+    (Database.equal committed_db o.Penguin.Shard_store.ws.Penguin.Workspace.db);
+  rm_rf_deep dir
+
+let test_journal_failure_wedges () =
+  let dir = temp_dir "sharded" in
+  let root = sharded_root dir in
+  ignore
+    (check_ok_e (Penguin.Shard_store.init ~root (Penguin.University.workspace ())));
+  (* An io that fails journal appends once armed; everything else is
+     passed through. *)
+  let armed = Atomic.make false in
+  let d = Penguin.Fsio.default in
+  let io =
+    {
+      d with
+      Penguin.Fsio.write =
+        (fun ~path ~append content ->
+          if Atomic.get armed && Filename.check_suffix path ".journal" then
+            Error
+              (Penguin.Error.io ~op:Penguin.Error.Write ~path
+                 "injected journal failure")
+          else d.Penguin.Fsio.write ~path ~append content);
+    }
+  in
+  let eng = check_ok_e (Penguin.Sharded.open_store ~io ~root ()) in
+  ignore
+    (committed
+       (Penguin.Sharded.update eng "omega"
+          (grade_edit (Penguin.Sharded.to_workspace eng) "CS345" "A-")));
+  let good_db = (Penguin.Sharded.to_workspace eng).Penguin.Workspace.db in
+  Atomic.set armed true;
+  let o =
+    Penguin.Sharded.update eng "omega"
+      (grade_edit (Penguin.Sharded.to_workspace eng) "EE280" "C")
+  in
+  (match o.Vo_core.Engine.result with
+  | Transaction.Committed _ ->
+      Alcotest.fail "a failed journal append must not commit"
+  | Transaction.Rolled_back { reason; _ } ->
+      Alcotest.(check bool) "reason names the injection" true
+        (Strutil.contains ~sub:"injected journal failure" reason));
+  Alcotest.(check bool) "engine is wedged" true (Penguin.Sharded.wedged eng);
+  (* Wedged: even a previously fine update is rejected... *)
+  let o =
+    Penguin.Sharded.update eng "omega"
+      (grade_edit (Penguin.Sharded.to_workspace eng) "CS345" "B")
+  in
+  (match o.Vo_core.Engine.result with
+  | Transaction.Committed _ -> Alcotest.fail "a wedged engine must reject"
+  | Transaction.Rolled_back { reason; _ } ->
+      Alcotest.(check bool) "reason says wedged" true
+        (Strutil.contains ~sub:"wedged" reason));
+  (* ...and the committed state is frozen at the last good commit. *)
+  Alcotest.(check bool) "state frozen" true
+    (Database.equal good_db
+       (Penguin.Sharded.to_workspace eng).Penguin.Workspace.db);
+  Penguin.Sharded.shutdown eng;
+  (* Reopening the store resolves: only the good commit is there. *)
+  let o = check_ok_e (Penguin.Shard_store.open_store ~root ()) in
+  Alcotest.(check bool) "only the good commit on disk" true
+    (Database.equal good_db o.Penguin.Shard_store.ws.Penguin.Workspace.db);
+  rm_rf_deep dir
+
+let suite =
+  [
+    Alcotest.test_case "one shard is the workspace pipeline" `Quick
+      test_one_shard_equivalence;
+    Alcotest.test_case "routing: lane-local vs risky bounce" `Quick
+      test_routing_local_and_bounced;
+    Alcotest.test_case "parallel clients on disjoint islands" `Quick
+      test_parallel_disjoint_clients;
+    Alcotest.test_case "a cross-shard commit spans its participants" `Quick
+      test_cross_shard_commit;
+    Alcotest.test_case "mixed traffic matches the workspace pipeline" `Quick
+      test_sharded_matches_workspace_on_mixed_traffic;
+    Alcotest.test_case "rejections change nothing" `Quick
+      test_rejection_changes_nothing;
+    Alcotest.test_case "durable round-trip, 2PC replay, rotation" `Quick
+      test_durable_roundtrip;
+    Alcotest.test_case "journal failure wedges the engine" `Quick
+      test_journal_failure_wedges;
+  ]

@@ -1,0 +1,180 @@
+(* Crash recovery for the sharded store: the Test_recovery harness
+   (kill the process at the N-th filesystem primitive — before it, after
+   a torn half-write, or just past it) pointed at the sharded commit
+   paths, including every per-shard I/O point of the two-phase
+   cross-shard protocol. The invariant is strictly stronger than the
+   single-store one: the recovered merged state must equal the
+   pre-commit or the post-commit state on EVERY shard at once — a
+   cross-shard commit is never half-applied, whichever side of the
+   prepare/decide/mark sequence the crash lands on. *)
+open Relational
+open Test_util
+
+let root_in dir = Filename.concat dir "shards"
+
+let make_store dir =
+  ignore
+    (check_ok_e
+       (Penguin.Shard_store.init ~root:(root_in dir)
+          (Test_sharded.islands_workspace ~cross:true 2)))
+
+let rm_rf_deep dir =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> go (Filename.concat p f)) (Sys.readdir p);
+      try Unix.rmdir p with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove p with Sys_error _ -> ()
+  in
+  if Sys.file_exists dir then go dir
+
+let recover dir =
+  let o = check_ok_e (Penguin.Shard_store.open_store ~root:(root_in dir) ()) in
+  check_ok ~msg:"recovered state is consistent"
+    (Penguin.Workspace.check_consistency o.Penguin.Shard_store.ws);
+  o
+
+(* Open the engine, run [f], and always join the lane domains — the
+   harness "kills the process" with an exception, not an exit, so the
+   pool must not leak a domain per injection point. *)
+let with_engine ~io dir f =
+  Result.bind (Penguin.Sharded.open_store ~io ~root:(root_in dir) ())
+    (fun eng ->
+      Fun.protect
+        ~finally:(fun () -> Penguin.Sharded.shutdown eng)
+        (fun () -> f eng))
+
+let commit_via eng name step =
+  let ws = Penguin.Sharded.to_workspace eng in
+  let o = Penguin.Sharded.update eng name (step ws) in
+  match o.Vo_core.Engine.result with
+  | Transaction.Committed _ -> Ok ()
+  | Transaction.Rolled_back { reason; _ } -> Error (Penguin.Error.invalid reason)
+
+(* The all-shards-pre-or-all-shards-post property, enumerated over every
+   injection point of every flavor (as in Test_recovery, whose harness
+   this mirrors for the multi-file layout). *)
+let assert_crash_recoverable ?(min_injections = 10) ~setup ~action () =
+  let pre, post =
+    let dir = temp_dir "shard-crash-ref" in
+    setup dir;
+    let pre = recover dir in
+    check_ok_e (action ~io:Penguin.Fsio.default dir);
+    let post = recover dir in
+    rm_rf_deep dir;
+    (pre, post)
+  in
+  Alcotest.(check bool) "the action changes the state" false
+    (Database.equal pre.Penguin.Shard_store.ws.Penguin.Workspace.db
+       post.Penguin.Shard_store.ws.Penguin.Workspace.db);
+  let vector (o : Penguin.Shard_store.opened) =
+    Array.to_list o.Penguin.Shard_store.versions
+  in
+  let check_recovered ~ctx dir =
+    let o = recover dir in
+    let matches st =
+      Database.equal o.Penguin.Shard_store.ws.Penguin.Workspace.db
+        st.Penguin.Shard_store.ws.Penguin.Workspace.db
+      && vector o = vector st
+    in
+    if not (matches pre || matches post) then
+      Alcotest.failf
+        "%s: recovered vector %a is neither all-shards-pre %a nor \
+         all-shards-post %a"
+        ctx
+        Fmt.(Dump.list int)
+        (vector o)
+        Fmt.(Dump.list int)
+        (vector pre)
+        Fmt.(Dump.list int)
+        (vector post)
+  in
+  let injections = ref 0 in
+  List.iter
+    (fun flavor ->
+      let rec go k =
+        if k > 150 then
+          Alcotest.fail "fault enumeration did not terminate by fuse 150"
+        else begin
+          let dir = temp_dir "shard-crash" in
+          setup dir;
+          let fuse = ref k in
+          match action ~io:(Test_recovery.crashing_io ~fuse ~flavor) dir with
+          | exception Test_recovery.Crash ->
+              incr injections;
+              check_recovered
+                ~ctx:
+                  (Fmt.str "crash %s op %d" (Test_recovery.flavor_name flavor) k)
+                dir;
+              rm_rf_deep dir;
+              go (k + 1)
+          | Ok () ->
+              check_recovered ~ctx:"completed" dir;
+              rm_rf_deep dir
+          | Error e ->
+              Alcotest.failf "action failed without crashing: %s"
+                (Penguin.Error.to_string e)
+        end
+      in
+      go 1)
+    [ Test_recovery.Before; Test_recovery.Partial; Test_recovery.After ];
+  if !injections < min_injections then
+    Alcotest.failf "suspiciously few injection points: %d" !injections
+
+(* A single-participant coordinator commit: one journal record under
+   one shard lock — the sharded analogue of the PR 3 append path. *)
+let test_crash_single_shard_commit () =
+  assert_crash_recoverable ~min_injections:4 ~setup:make_store
+    ~action:(fun ~io dir ->
+      with_engine ~io dir (fun eng ->
+          commit_via eng "isl0" (fun ws -> Test_sharded.sub_flip ws 0)))
+    ()
+
+(* The tentpole property: a two-participant 2PC replace (shards 0 and
+   1) killed between and inside every prepare/decide/mark write.
+   Crashes before the decide recover as all-pre (the prepares are
+   presumed aborted); crashes at or past it recover as all-post (the
+   decide is the commit point; recovery re-closes unmarked prepares). *)
+let test_crash_cross_shard_2pc () =
+  assert_crash_recoverable ~setup:make_store
+    ~action:(fun ~io dir ->
+      with_engine ~io dir (fun eng ->
+          commit_via eng "refx0" (fun ws -> Test_sharded.cross_flip ws 0)))
+    ()
+
+(* A cross-shard commit over journals that already hold history: the
+   replay merge has to interleave earlier singles with the 2PC slices. *)
+let test_crash_cross_shard_2pc_with_history () =
+  assert_crash_recoverable
+    ~setup:(fun dir ->
+      make_store dir;
+      check_ok_e
+        (with_engine ~io:Penguin.Fsio.default dir (fun eng ->
+             commit_via eng "isl0" (fun ws -> Test_sharded.sub_flip ws 0))))
+    ~action:(fun ~io dir ->
+      with_engine ~io dir (fun eng ->
+          commit_via eng "refx0" (fun ws -> Test_sharded.cross_flip ws 0)))
+    ()
+
+(* Per-shard rotation: a commit followed by persist (snapshot rewrite +
+   journal re-initialization on both shards). *)
+let test_crash_during_persist () =
+  assert_crash_recoverable ~setup:make_store
+    ~action:(fun ~io dir ->
+      with_engine ~io dir (fun eng ->
+          Result.bind
+            (commit_via eng "isl0" (fun ws -> Test_sharded.sub_flip ws 0))
+            (fun () -> Penguin.Sharded.persist eng)))
+    ()
+
+let suite =
+  [
+    Alcotest.test_case "crash anywhere in a single-shard commit" `Quick
+      test_crash_single_shard_commit;
+    Alcotest.test_case "crash anywhere in a cross-shard 2PC" `Quick
+      test_crash_cross_shard_2pc;
+    Alcotest.test_case "crash in a 2PC over journals with history" `Quick
+      test_crash_cross_shard_2pc_with_history;
+    Alcotest.test_case "crash anywhere during per-shard rotation" `Quick
+      test_crash_during_persist;
+  ]
