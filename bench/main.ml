@@ -1346,6 +1346,161 @@ let e15 () =
           ratios));
   Penguin.Sharded.shutdown engx
 
+(* --- E16: journal-shipping replication --------------------------------- *)
+
+let e16 () =
+  section "E16: journal-shipping replication (DESIGN.md section 5.8)";
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "penguin-bench-e16-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let or_fail = function
+    | Ok v -> v
+    | Error e -> failwith (Penguin.Error.to_string e)
+  in
+  let io = Penguin.Fsio.default in
+  let rm p = match io.Penguin.Fsio.remove p with Ok () | Error _ -> () in
+  let ws = Penguin.University.workspace () in
+  let base = Penguin.Workspace.version ws in
+  (* The same representative commit record E11 journals: one grade
+     update, flipping between two values so dense runs replay cleanly —
+     here it must also pass the replica's validate-before-append. *)
+  let entry v =
+    let new_g, old_g =
+      if (v - base) mod 2 = 1 then "A-", "B+" else "B+", "A-"
+    in
+    let before =
+      Tuple.make
+        [ "course_id", Value.Str "CS345"; "pid", Value.Int 2;
+          "grade", Value.Str old_g ]
+    in
+    let after = Tuple.set before "grade" (Value.Str new_g) in
+    let d =
+      Delta.record Delta.empty ~rel:"GRADES"
+        ~key:[ Value.Str "CS345"; Value.Int 2 ]
+        ~old_image:(Some before) ~new_image:(Some after)
+    in
+    {
+      Penguin.Commit_log.version = v;
+      kind = "bench edit";
+      change = Penguin.Commit_log.Delta d;
+    }
+  in
+  let make_leader n =
+    let store = Filename.concat dir (Fmt.str "leader-%d.pgn" n) in
+    or_fail (Penguin.Store.save_file ws store);
+    let t = Penguin.Journal.create (Penguin.Journal.journal_path store) in
+    or_fail (Penguin.Journal.initialize t ~base);
+    for i = 1 to n do
+      or_fail (Penguin.Journal.append t ~sync:false [ entry (base + i) ])
+    done;
+    store
+  in
+  let lengths = if !quick then [ 16 ] else [ 16; 64; 256 ] in
+  (* Catch-up: bootstrap a fresh follower from the leader snapshot and
+     tail the whole journal through verify → validate → own-journal →
+     cache sync. The follower's files are deleted each run so every
+     iteration pays the full cold catch-up. *)
+  let tail_test n =
+    let leader = make_leader n in
+    let target = Filename.concat dir (Fmt.str "tail-%d.pgn" n) in
+    Test.make ~name:(Fmt.str "catch-up:len=%03d" n)
+      (stage (fun () ->
+           rm target;
+           rm (Penguin.Journal.journal_path target);
+           let r =
+             or_fail
+               (Penguin.Replica.create
+                  ~feed:(Penguin.Replica.file_feed leader)
+                  ~target ())
+           in
+           or_fail (Penguin.Replica.poll_until_idle r)))
+  in
+  ignore (run_group "replica.tail" (List.map tail_test lengths));
+  (* Follower reads vs leader reads, both through a warm view-object
+     cache — the acceptance gate: a follower read within 2x of the
+     leader's. *)
+  let leader = make_leader 8 in
+  let lws, _ = or_fail (Penguin.Recovery.open_store leader) in
+  let lcache = Penguin.Workspace.attach_cache lws in
+  let condition = "course_id = 'CS345'" in
+  let read_leader () =
+    match Viewobject.Cache.oql lcache "omega" condition with
+    | Ok is -> is
+    | Error e -> failwith e
+  in
+  let follower_target = Filename.concat dir "read-follower.pgn" in
+  let repl =
+    or_fail
+      (Penguin.Replica.create
+         ~feed:(Penguin.Replica.file_feed leader)
+         ~target:follower_target ())
+  in
+  let _ = or_fail (Penguin.Replica.poll_until_idle repl) in
+  let read_follower () =
+    match Penguin.Replica.oql repl "omega" condition with
+    | Ok is -> is
+    | Error e -> failwith e
+  in
+  ignore (read_leader ());
+  ignore (read_follower ());
+  let rows =
+    run_group "replica.read"
+      [
+        Test.make ~name:"leader:oql-warm" (stage read_leader);
+        Test.make ~name:"follower:oql-warm" (stage read_follower);
+      ]
+  in
+  (match
+     ( List.assoc_opt "replica.read leader:oql-warm" rows,
+       List.assoc_opt "replica.read follower:oql-warm" rows )
+   with
+  | Some l, Some f when Float.is_finite l && Float.is_finite f ->
+      Fmt.pr
+        "@.E16 acceptance: leader read %.2f us, follower read %.2f us — \
+         %.2fx (target <= 2x) %s@."
+        (l /. 1e3) (f /. 1e3) (f /. l)
+        (if f <= 2. *. l then "PASS" else "FAIL")
+  | _ -> ());
+  (* Failover: restore the caught-up follower's files and promote —
+     repair-open from the last durable record, rotate into a fresh
+     snapshot at the next epoch, serve a first read. What a failover
+     actually costs, end to end. *)
+  let snap_bytes =
+    match or_fail (io.Penguin.Fsio.read follower_target) with
+    | Some c -> c
+    | None -> failwith "E16: follower snapshot missing"
+  in
+  let jnl_bytes =
+    match
+      or_fail
+        (io.Penguin.Fsio.read (Penguin.Journal.journal_path follower_target))
+    with
+    | Some c -> c
+    | None -> failwith "E16: follower journal missing"
+  in
+  let scratch = Filename.concat dir "failover.pgn" in
+  let failover_test =
+    Test.make ~name:"promote+first-read"
+      (stage (fun () ->
+           or_fail (Penguin.Fsio.atomic_write io ~path:scratch snap_bytes);
+           or_fail
+             (io.Penguin.Fsio.write
+                ~path:(Penguin.Journal.journal_path scratch)
+                ~append:false jnl_bytes);
+           let pws, _epoch = or_fail (Penguin.Replica.promote_store scratch) in
+           let cache = Penguin.Workspace.attach_cache pws in
+           match Viewobject.Cache.oql cache "omega" condition with
+           | Ok is -> is
+           | Error e -> failwith e))
+  in
+  ignore (run_group "replica.failover" [ failover_test ])
+
 let () =
   parse_argv ();
   (* Metrics stay on for the whole run (the --json document carries the
@@ -1367,6 +1522,7 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   ablation ();
   surfaces ();
   Option.iter write_json !json_path;

@@ -642,7 +642,7 @@ let session_commit () deadline session =
      own begin-time snapshot and let the in-process Session run real
      OCC against the replayed history: concurrent commits whose
      footprints do not overlap the session's commit without a rebase. *)
-  let ws_now, _report = or_die (Penguin.Recovery.open_store doc.sess_store) in
+  let ws_now, report = or_die (Penguin.Recovery.open_store doc.sess_store) in
   let current = Penguin.Workspace.version ws_now in
   if current <> doc.sess_base then
     Fmt.pr "store advanced (version %d -> %d) since begin@." doc.sess_base
@@ -658,7 +658,11 @@ let session_commit () deadline session =
        under the same deadline; non-transient ones fail immediately. *)
     or_die
       (Penguin.Resilience.retry ?deadline_ns ~label:"persist" (fun () ->
-           Penguin.Recovery.persist ~store:doc.sess_store ~since:current ws'))
+           (* [expect_epoch] from the open above arms epoch fencing: if a
+              follower was promoted since, this commit is refused rather
+              than forking the replicated history. *)
+           Penguin.Recovery.persist ~store:doc.sess_store ~since:current
+             ~expect_epoch:report.Penguin.Recovery.epoch ws'))
   in
   (* The commit is durable (journal fsynced) from here on; everything
      past this point — rotation, session-file removal — must not make it
@@ -881,6 +885,196 @@ let shard_cmd =
              island, commits on parallel per-shard lanes.")
     [ shard_plan_cmd; shard_init_cmd; shard_info_cmd; shard_update_cmd ]
 
+(* --- replica ---------------------------------------------------------- *)
+
+let replica_feed from sock =
+  match from, sock with
+  | Some store, None -> Penguin.Replica.file_feed store
+  | None, Some sock -> Penguin.Shipper.feed ~sock
+  | _ ->
+      Fmt.epr "error: pass exactly one of --from STORE or --sock SOCK@.";
+      exit 1
+
+let from_arg =
+  Arg.(value & opt (some string) None
+       & info [ "from" ] ~docv:"STORE"
+           ~doc:"Tail the leader store's files directly (shared \
+                 filesystem).")
+
+let sock_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sock" ] ~docv:"SOCK"
+           ~doc:"Tail a $(b,replica serve) shipper on this Unix-domain \
+                 socket.")
+
+let target_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"TARGET" ~doc:"The follower's own store path.")
+
+let pp_replica r (p : Penguin.Replica.progress) =
+  Fmt.pr
+    "%s: v%d epoch %d (%d record(s) ingested, %d entr(ies) applied%s%s, \
+     lag %d)@."
+    (Penguin.Replica.status_label (Penguin.Replica.status r))
+    (Penguin.Replica.position r) (Penguin.Replica.epoch r) p.records
+    p.applied
+    (if p.rotated then ", followed a rotation" else "")
+    (if p.resynced then ", resynced from snapshot" else "")
+    p.lag_records
+
+let replica_serve () store sock =
+  Fmt.pr "shipping %s on %s (stop with `penguin replica quit --sock %s`)@."
+    store sock sock;
+  let served = or_die (Penguin.Shipper.serve ~store ~sock ()) in
+  Fmt.pr "served %d request(s)@." served
+
+let replica_serve_cmd =
+  let store =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STORE" ~doc:"Leader store to ship.")
+  in
+  let sock =
+    Arg.(required & opt (some string) None
+         & info [ "sock" ] ~docv:"SOCK" ~doc:"Unix-domain socket path.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Ship a leader store's snapshot and journal to followers \
+             over a Unix-domain socket (one checksummed frame exchange \
+             per request).")
+    Term.(const replica_serve $ trace_term $ store $ sock)
+
+let replica_quit sock =
+  or_die (Penguin.Shipper.quit ~sock);
+  Fmt.pr "shipper on %s stopped@." sock
+
+let replica_quit_cmd =
+  let sock =
+    Arg.(required & opt (some string) None
+         & info [ "sock" ] ~docv:"SOCK" ~doc:"Unix-domain socket path.")
+  in
+  Cmd.v
+    (Cmd.info "quit" ~doc:"Stop a $(b,replica serve) shipper cleanly.")
+    Term.(const replica_quit $ sock)
+
+let replica_sync () target from sock watch =
+  let feed = replica_feed from sock in
+  let r = or_die (Penguin.Replica.create ~feed ~target ()) in
+  let once () = pp_replica r (or_die (Penguin.Replica.poll_until_idle r)) in
+  once ();
+  match watch with
+  | None -> ()
+  | Some interval ->
+      (* Tail forever: poll, sleep, poll — ^C to stop. The replica's
+         own journal makes every caught-up state durable, so killing
+         the watch loses nothing. *)
+      while true do
+        Unix.sleepf interval;
+        once ()
+      done
+
+let replica_sync_cmd =
+  let watch =
+    Arg.(value & opt (some float) None
+         & info [ "watch" ] ~docv:"SECONDS"
+             ~doc:"Keep tailing, polling every $(docv) seconds, instead \
+                   of exiting once caught up.")
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:"Start (or resume) a follower at $(i,TARGET) and catch it \
+             up to the leader; with $(b,--watch), keep tailing.")
+    Term.(const replica_sync $ trace_term $ target_arg $ from_arg $ sock_arg
+          $ watch)
+
+let replica_status target from sock =
+  let feed = replica_feed from sock in
+  let r = or_die (Penguin.Replica.create ~feed ~target ()) in
+  Fmt.pr "%s: v%d epoch %d, leader journal offset %d@."
+    (Penguin.Replica.status_label (Penguin.Replica.status r))
+    (Penguin.Replica.position r) (Penguin.Replica.epoch r)
+    (Penguin.Replica.leader_offset r)
+
+let replica_status_cmd =
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Open the follower at $(i,TARGET) (repairing any torn tail) \
+             and print its replication position without polling.")
+    Term.(const replica_status $ target_arg $ from_arg $ sock_arg)
+
+let replica_oql () target from sock object_name query =
+  let feed = replica_feed from sock in
+  let r = or_die (Penguin.Replica.create ~feed ~target ()) in
+  pp_replica r (or_die (Penguin.Replica.poll_until_idle r));
+  match Penguin.Replica.oql r object_name query with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok instances ->
+      Fmt.pr "%d instance(s) at v%d@." (List.length instances)
+        (Penguin.Replica.position r);
+      List.iter (fun i -> Fmt.pr "%s" (Instance.to_ascii i)) instances
+
+let replica_oql_cmd =
+  let object_name =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name.")
+  in
+  let query =
+    Arg.(required & pos 2 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"OQL condition.")
+  in
+  Cmd.v
+    (Cmd.info "oql"
+       ~doc:"Catch the follower up and serve a read-only OQL query \
+             through its warm cache at the replication position.")
+    Term.(const replica_oql $ trace_term $ target_arg $ from_arg $ sock_arg
+          $ object_name $ query)
+
+let replica_promote () target root =
+  match target, root with
+  | Some target, None ->
+      let ws, epoch = or_die (Penguin.Replica.promote_store target) in
+      Fmt.pr "promoted %s: writable at v%d, epoch %d@." target
+        (Penguin.Workspace.version ws)
+        epoch
+  | None, Some root ->
+      let opened, epoch = or_die (Penguin.Replica.Sharded.promote_root root) in
+      Fmt.pr "promoted sharded root %s: epoch %d@.%a@." root epoch
+        Penguin.Shard_store.pp_report opened.Penguin.Shard_store.report
+  | _ ->
+      Fmt.epr "error: pass exactly one of TARGET or --root ROOT@.";
+      exit 1
+
+let replica_promote_cmd =
+  let target =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"TARGET" ~doc:"Follower store to promote.")
+  in
+  let root =
+    Arg.(value & opt (some string) None
+         & info [ "root" ] ~docv:"DIR"
+             ~doc:"Promote a sharded follower root instead: repair every \
+                   shard to a consistent cut (closing dangling 2PC) and \
+                   bump the manifest epoch.")
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Promote a follower from its last durable record: repair-open \
+             under the store lock, rotate into a fresh snapshot at the \
+             next epoch, and come up writable. Deposed leaders persisting \
+             with the old epoch are fenced.")
+    Term.(const replica_promote $ trace_term $ target $ root)
+
+let replica_cmd =
+  Cmd.group
+    (Cmd.info "replica"
+       ~doc:"Journal-shipping replication: follower stores tailing a \
+             leader's journal, read-only queries at the replication \
+             position, crash-proven promotion with epoch fencing.")
+    [ replica_serve_cmd; replica_quit_cmd; replica_sync_cmd;
+      replica_status_cmd; replica_oql_cmd; replica_promote_cmd ]
+
 (* --- dot ------------------------------------------------------------- *)
 
 let dot fixture =
@@ -900,7 +1094,7 @@ let main_cmd =
           translation (Barsalou, Keller, Siambela & Wiederhold, SIGMOD '91).")
     [ figures_cmd; show_cmd; sql_cmd; oql_cmd; update_cmd; insert_cmd;
       dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd; session_cmd;
-      stats_cmd; shard_cmd ]
+      stats_cmd; shard_cmd; replica_cmd ]
 
 let setup_logging () =
   match Option.map String.lowercase_ascii (Sys.getenv_opt "PENGUIN_LOG") with

@@ -3,13 +3,21 @@ type io_op = Read | Write | Sync | Rename | Remove | Lock
 type t =
   | Conflict of string
   | Io of { op : io_op; path : string; transient : bool; detail : string }
-  | Corrupt of string
+  | Corrupt of {
+      detail : string;
+      path : string option;
+      record : int option;
+      version : int option;
+    }
   | Invalid of string
   | Busy of string
   | Deadline_exceeded of string
 
 let conflict m = Conflict m
-let corrupt m = Corrupt m
+let corrupt m = Corrupt { detail = m; path = None; record = None; version = None }
+
+let corrupt_record ~path ?record ?version m =
+  Corrupt { detail = m; path = Some path; record; version }
 let invalid m = Invalid m
 let busy m = Busy m
 let deadline_exceeded m = Deadline_exceeded m
@@ -29,6 +37,22 @@ let of_unix ~op ~path ~fn ~arg e =
     else Fmt.str "%s %s: %s" fn arg (Unix.error_message e)
   in
   Io { op; path; transient = transient_errno e; detail }
+
+(* Where inside a corrupt store the failure was localized, rendered as
+   a human-readable suffix: " (record 3, v17 of db.journal)". Empty when
+   the error carries no location. *)
+let corrupt_location ~path ~record ~version =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (Fmt.str "record %d") record;
+        Option.map (Fmt.str "v%d") version;
+        Option.map (Fmt.str "of %s") path;
+      ]
+  in
+  match parts with
+  | [] -> ""
+  | parts -> Fmt.str " (%s)" (String.concat ", " parts)
 
 let retryable = function
   | Conflict _ | Busy _ | Io { transient = true; _ } -> true
@@ -61,13 +85,15 @@ let op_label = function
 let with_context ctx = function
   | Conflict m -> Conflict (ctx ^ ": " ^ m)
   | Io r -> Io { r with detail = ctx ^ ": " ^ r.detail }
-  | Corrupt m -> Corrupt (ctx ^ ": " ^ m)
+  | Corrupt r -> Corrupt { r with detail = ctx ^ ": " ^ r.detail }
   | Invalid m -> Invalid (ctx ^ ": " ^ m)
   | Busy m -> Busy (ctx ^ ": " ^ m)
   | Deadline_exceeded m -> Deadline_exceeded (ctx ^ ": " ^ m)
 
 let to_string = function
-  | Conflict m | Corrupt m | Invalid m | Busy m | Deadline_exceeded m -> m
+  | Conflict m | Invalid m | Busy m | Deadline_exceeded m -> m
+  | Corrupt { detail; path; record; version } ->
+      detail ^ corrupt_location ~path ~record ~version
   | Io { op; path; transient; detail } ->
       Fmt.str "%s %s: %s%s" (op_label op) path detail
         (if transient then " (transient)" else "")
@@ -75,7 +101,8 @@ let to_string = function
 let pp ppf e = Fmt.string ppf (to_string e)
 
 let message = function
-  | Conflict m | Corrupt m | Invalid m | Busy m | Deadline_exceeded m -> m
+  | Conflict m | Invalid m | Busy m | Deadline_exceeded m -> m
+  | Corrupt { detail; _ } -> detail
   | Io { detail; _ } -> detail
 
 let to_json e =
@@ -88,4 +115,15 @@ let to_json e =
         (base
         @ [ "op", Obs.Json.Str (op_label op); "path", Obs.Json.Str path;
             "transient", Obs.Json.Bool transient ])
+  | Corrupt { path; record; version; _ } ->
+      (* Satellite of the replication PR: a corrupt store names the
+         record that failed its cross-check, machine-readably. *)
+      let opt name conv v =
+        match v with None -> [] | Some v -> [ name, conv v ]
+      in
+      Obs.Json.Obj
+        (base
+        @ opt "path" (fun p -> Obs.Json.Str p) path
+        @ opt "record" (fun i -> Obs.Json.Num (float_of_int i)) record
+        @ opt "version" (fun v -> Obs.Json.Num (float_of_int v)) version)
   | _ -> Obs.Json.Obj base

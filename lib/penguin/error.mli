@@ -34,7 +34,16 @@ type io_op = Read | Write | Sync | Rename | Remove | Lock
 type t =
   | Conflict of string
   | Io of { op : io_op; path : string; transient : bool; detail : string }
-  | Corrupt of string
+  | Corrupt of {
+      detail : string;
+      path : string option;  (** the corrupt file, when known *)
+      record : int option;
+          (** 0-based index of the journal record that failed its
+              cross-check, when the failure is localized to one *)
+      version : int option;
+          (** the commit version that record carried, when parsed far
+              enough to know *)
+    }
   | Invalid of string
   | Busy of string
   | Deadline_exceeded of string
@@ -42,7 +51,18 @@ type t =
 (** {1 Constructors} *)
 
 val conflict : string -> t
+
 val corrupt : string -> t
+(** A corruption with no localized record ([path]/[record]/[version]
+    all [None]). *)
+
+val corrupt_record : path:string -> ?record:int -> ?version:int -> string -> t
+(** A corruption localized to a specific file, and — when the failure
+    is attributable to one record — the record's index in replay order
+    and the commit version it carried. {!to_json} surfaces all three,
+    so an operator (or a replica deciding what to quarantine) learns
+    {e which} record broke, not just which file. *)
+
 val invalid : string -> t
 val busy : string -> t
 val deadline_exceeded : string -> t
@@ -89,5 +109,6 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Obs.Json.t
-(** [{"kind": ..., "message": ...}] plus, for [Io],
-    ["op"], ["path"] and ["transient"]. *)
+(** [{"kind": ..., "message": ...}] plus, for [Io], ["op"], ["path"]
+    and ["transient"]; for [Corrupt], whichever of ["path"], ["record"]
+    and ["version"] the error localized. *)

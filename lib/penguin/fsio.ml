@@ -1,5 +1,7 @@
 type t = {
   read : string -> (string option, Error.t) result;
+  read_from :
+    path:string -> off:int -> len:int option -> (string option, Error.t) result;
   write : path:string -> append:bool -> string -> (unit, Error.t) result;
   sync : string -> (unit, Error.t) result;
   rename : src:string -> dst:string -> (unit, Error.t) result;
@@ -19,6 +21,32 @@ let read_default path =
         Fun.protect
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> Some (really_input_string ic (in_channel_length ic))))
+
+let read_from_default ~path ~off ~len =
+  if not (Sys.file_exists path) then Ok None
+  else
+    wrap ~op:Error.Read ~path (fun () ->
+        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let size = (Unix.fstat fd).Unix.st_size in
+            if off >= size then Some ""
+            else begin
+              let want =
+                let avail = size - off in
+                match len with None -> avail | Some l -> min l avail
+              in
+              ignore (Unix.lseek fd off Unix.SEEK_SET);
+              let buf = Bytes.create want in
+              let got = ref 0 in
+              let eof = ref false in
+              while (not !eof) && !got < want do
+                let n = Unix.read fd buf !got (want - !got) in
+                if n = 0 then eof := true else got := !got + n
+              done;
+              Some (Bytes.sub_string buf 0 !got)
+            end))
 
 let write_default ~path ~append content =
   wrap ~op:Error.Write ~path (fun () ->
@@ -53,6 +81,7 @@ let remove_default path =
 let default =
   {
     read = read_default;
+    read_from = read_from_default;
     write = write_default;
     sync = sync_default;
     rename = rename_default;
@@ -198,6 +227,12 @@ module Fault = struct
             fail ~kind:(match kind with Torn | Corrupt -> Transient | k -> k)
               ~op:Error.Read ~path
           else io.read path);
+      read_from =
+        (fun ~path ~off ~len ->
+          if guarded `Read && fires () then
+            fail ~kind:(match kind with Torn | Corrupt -> Transient | k -> k)
+              ~op:Error.Read ~path
+          else io.read_from ~path ~off ~len);
       write =
         (fun ~path ~append content ->
           if guarded `Write && fires () then

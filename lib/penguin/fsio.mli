@@ -18,6 +18,15 @@
 type t = {
   read : string -> (string option, Error.t) result;
       (** Whole-file read; [Ok None] when the file does not exist. *)
+  read_from :
+    path:string -> off:int -> len:int option -> (string option, Error.t) result;
+      (** Positioned read: the bytes of the file starting at byte [off],
+          at most [len] of them when given (to end of file otherwise).
+          [Ok None] when the file does not exist; [Ok (Some "")] when
+          [off] is at or past the end — the two cases a tailer must
+          distinguish (journal gone vs. no news yet). This is what lets
+          a replica poll a leader's journal without re-reading the whole
+          file each round. *)
   write : path:string -> append:bool -> string -> (unit, Error.t) result;
       (** Write the full content (create; truncate or append). Makes no
           durability promise — pair with {!field-sync}. *)

@@ -143,15 +143,27 @@ let entry_of_sexp e =
       Ok { Commit_log.version; kind; change }
   | _ -> Error "journal: bad entry"
 
-let header_payload ~base =
-  Sexp.to_string (l [ atom "penguin-journal"; atom "1"; l [ atom "base"; int_atom base ] ])
+(* Header format 2 adds the leader epoch for replication fencing; a
+   format-1 header (every journal written before epochs existed) reads
+   back as epoch 0, so old stores open unchanged. *)
+let header_payload ~base ~epoch =
+  Sexp.to_string
+    (l
+       [ atom "penguin-journal"; atom "2"; l [ atom "base"; int_atom base ];
+         l [ atom "epoch"; int_atom epoch ] ])
 
 let header_of_payload payload =
   let* doc = Sexp.parse payload in
   let* items = Sexp.as_list doc in
   match items with
   | [ Sexp.Atom "penguin-journal"; Sexp.Atom "1"; Sexp.List [ Sexp.Atom "base"; base ] ] ->
-      int_of_sexp base
+      let* base = int_of_sexp base in
+      Ok (base, 0)
+  | [ Sexp.Atom "penguin-journal"; Sexp.Atom "2"; Sexp.List [ Sexp.Atom "base"; base ];
+      Sexp.List [ Sexp.Atom "epoch"; epoch ] ] ->
+      let* base = int_of_sexp base in
+      let* epoch = int_of_sexp epoch in
+      Ok (base, epoch)
   | _ -> Error "journal: bad header record"
 
 let commit_payload entries =
@@ -230,27 +242,29 @@ let frame payload =
   Bytes.blit_string payload 0 b 8 len;
   Bytes.unsafe_to_string b
 
-(* [payloads, clean_bytes, torn_bytes] *)
-let parse_frames content =
+(* [(offset, payload) list, clean_bytes, torn_bytes] — each payload is
+   tagged with the byte offset its frame starts at, so a tailer can
+   resume from [clean_bytes] without re-reading from the header. *)
+let decode_frames ?(off0 = 0) content =
   let n = String.length content in
   let rec go off acc =
-    if off >= n then List.rev acc, off, 0
-    else if off + 8 > n then List.rev acc, off, n - off
+    if off >= n then List.rev acc, off0 + off, 0
+    else if off + 8 > n then List.rev acc, off0 + off, n - off
     else
       let len = Int32.to_int (String.get_int32_be content off) in
-      if len < 0 || off + 8 + len > n then List.rev acc, off, n - off
+      if len < 0 || off + 8 + len > n then List.rev acc, off0 + off, n - off
       else
         let payload = String.sub content (off + 8) len in
         if not (Int32.equal (Crc32.digest payload) (String.get_int32_be content (off + 4)))
-        then List.rev acc, off, n - off
-        else go (off + 8 + len) (payload :: acc)
+        then List.rev acc, off0 + off, n - off
+        else go (off + 8 + len) ((off0 + off, payload) :: acc)
   in
   go 0 []
 
 (* --- operations ------------------------------------------------------- *)
 
-let initialize t ~base =
-  Fsio.atomic_write t.io ~path:t.path (frame (header_payload ~base))
+let initialize ?(epoch = 0) t ~base =
+  Fsio.atomic_write t.io ~path:t.path (frame (header_payload ~base ~epoch))
 
 let append_record t ?(sync = true) record =
   Obs.Trace.with_span "journal.append" ~tags:[ "sync", string_of_bool sync ]
@@ -271,12 +285,29 @@ let append t ?sync entries =
 
 type replay = {
   base : int;
+  epoch : int;
   entries : Commit_log.entry list;
   trail : record list;
+  framed : (int * record) list;
   records : int;
   clean_bytes : int;
   torn_bytes : int;
 }
+
+(* Decode the non-header payloads of a journal, naming the record that
+   fails ([index] is 0-based in replay order, matching [framed]). *)
+let decode_trail ~path framed =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | (off, payload) :: rest -> (
+        match record_of_payload payload with
+        | Ok r -> go (i + 1) ((off, r) :: acc) rest
+        | Error m ->
+            Error
+              (Error.corrupt_record ~path ~record:i
+                 (Fmt.str "%s (checksummed record %d at byte %d)" m i off)))
+  in
+  go 0 [] framed
 
 let replay t =
   Obs.Trace.with_span "journal.replay" @@ fun () ->
@@ -285,26 +316,21 @@ let replay t =
   match content with
   | None -> Ok None
   | Some content -> (
-      let payloads, clean_bytes, torn_bytes = parse_frames content in
-      match payloads with
+      let frames, clean_bytes, torn_bytes = decode_frames content in
+      match frames with
       | [] ->
           Error
-            (Error.corrupt
-               (Fmt.str "journal %s: unreadable header (%d byte(s), %d torn)"
-                  t.path clean_bytes torn_bytes))
-      | header :: records ->
-          let* base =
-            Result.map_error Error.corrupt (header_of_payload header)
+            (Error.corrupt_record ~path:t.path
+               (Fmt.str "journal: unreadable header (%d byte(s), %d torn)"
+                  clean_bytes torn_bytes))
+      | (_, header) :: records ->
+          let* base, epoch =
+            Result.map_error
+              (fun m -> Error.corrupt_record ~path:t.path m)
+              (header_of_payload header)
           in
-          let* trail =
-            Result.map_error Error.corrupt
-              (List.fold_left
-                 (fun acc payload ->
-                   Result.bind acc (fun rs ->
-                       Result.bind (record_of_payload payload) (fun r ->
-                           Ok (rs @ [ r ]))))
-                 (Ok []) records)
-          in
+          let* framed = decode_trail ~path:t.path records in
+          let trail = List.map snd framed in
           (* [entries] flattens only the plain commit records — the PR 3
              single-store semantics. Two-phase records are surfaced via
              [trail] and resolved by sharded recovery; a plain store
@@ -319,20 +345,53 @@ let replay t =
             (Some
                {
                  base;
+                 epoch;
                  entries;
                  trail;
+                 framed;
                  records = List.length records;
                  clean_bytes;
                  torn_bytes;
                }))
 
+(* Incremental tail read: the complete, checksum-valid frames starting
+   at byte [off], without touching the bytes before it. *)
+let tail t ~off =
+  let* content = t.io.Fsio.read_from ~path:t.path ~off ~len:None in
+  match content with
+  | None -> Ok None
+  | Some content ->
+      let frames, clean, torn = decode_frames ~off0:off content in
+      Ok (Some (frames, clean, torn))
+
+(* Peek at the header record only (the first kilobyte is orders of
+   magnitude more than a header frame needs). *)
+let read_header t =
+  let* content = t.io.Fsio.read_from ~path:t.path ~off:0 ~len:(Some 1024) in
+  match content with
+  | None -> Ok None
+  | Some content -> (
+      match decode_frames content with
+      | (_, header) :: _, _, _ ->
+          let* base, epoch =
+            Result.map_error
+              (fun m -> Error.corrupt_record ~path:t.path m)
+              (header_of_payload header)
+          in
+          Ok (Some (base, epoch))
+      | [], clean, torn ->
+          Error
+            (Error.corrupt_record ~path:t.path
+               (Fmt.str "journal: unreadable header (%d byte(s), %d torn)"
+                  clean torn)))
+
 let truncate_torn t ~clean_bytes =
   let* content = t.io.Fsio.read t.path in
   match content with
-  | None -> Error (Error.corrupt (Fmt.str "journal %s: vanished during repair" t.path))
+  | None -> Error (Error.corrupt_record ~path:t.path "journal: vanished during repair")
   | Some content ->
       if clean_bytes > String.length content then
-        Error (Error.corrupt (Fmt.str "journal %s: shrank during repair" t.path))
+        Error (Error.corrupt_record ~path:t.path "journal: shrank during repair")
       else
         let* () =
           Fsio.atomic_write t.io ~path:t.path (String.sub content 0 clean_bytes)
@@ -340,12 +399,12 @@ let truncate_torn t ~clean_bytes =
         M.Counter.incr m_torn_repairs;
         Ok ()
 
-let rotate t ~snapshot_path ~snapshot ~base =
+let rotate ?epoch t ~snapshot_path ~snapshot ~base =
   (* Snapshot first, then reset: a crash between the two leaves a newer
      snapshot under the old journal, and replay skips the entries the
      snapshot already contains (entry version <= snapshot version). *)
   Obs.Trace.with_span "journal.rotate" @@ fun () ->
   let* () = Fsio.atomic_write t.io ~path:snapshot_path snapshot in
-  let* () = initialize t ~base in
+  let* () = initialize ?epoch t ~base in
   M.Counter.incr m_rotations;
   Ok ()

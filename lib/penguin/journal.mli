@@ -34,9 +34,12 @@ val path : t -> string
 val journal_path : string -> string
 (** Conventional journal location for a store file: [store ^ ".journal"]. *)
 
-val initialize : t -> base:int -> (unit, Error.t) result
+val initialize : ?epoch:int -> t -> base:int -> (unit, Error.t) result
 (** Atomically replace the journal with a fresh one extending version
-    [base] (header record only). *)
+    [base] (header record only), stamped with leader [epoch] (default
+    [0]). The epoch is the replication fencing token: promotion writes
+    a higher one, and a fenced old leader's {!Recovery.persist} refuses
+    to append under an epoch that is no longer the journal's. *)
 
 val append : t -> ?sync:bool -> Commit_log.entry list -> (unit, Error.t) result
 (** Append one commit batch as a single record; [sync] (default [true])
@@ -69,10 +72,15 @@ val append_record : t -> ?sync:bool -> record -> (unit, Error.t) result
 
 type replay = {
   base : int;  (** snapshot version the journal extends *)
+  epoch : int;  (** leader epoch from the header ([0] for format-1 files) *)
   entries : Commit_log.entry list;
       (** oldest first, flattened from plain [Commit] records only —
           the single-store view; two-phase records live in [trail] *)
   trail : record list;  (** every record in file order *)
+  framed : (int * record) list;
+      (** [trail] again, each record tagged with the byte offset its
+          frame starts at — what lets a tailer resume at [clean_bytes]
+          (or any record boundary) without re-reading from the header *)
   records : int;  (** records read (excluding the header) *)
   clean_bytes : int;  (** length of the valid prefix *)
   torn_bytes : int;  (** bytes discarded after it ([0] = clean) *)
@@ -84,17 +92,62 @@ val replay : t -> (replay option, Error.t) result
     truncated at the first bad record and reported via [torn_bytes];
     entries before it are returned. An unreadable header, or a
     checksummed record that does not parse, is corruption beyond a torn
-    tail and errors with {!Error.Corrupt}. *)
+    tail and errors with {!Error.Corrupt} naming the journal path and,
+    for a record-level failure, the 0-based record index. *)
+
+val tail :
+  t -> off:int -> (((int * string) list * int * int) option, Error.t) result
+(** Incremental read for followers: the complete, checksum-valid frames
+    whose first byte is at or after byte [off], as
+    [(absolute_offset, payload) list, clean_end, torn_bytes]. Reads only
+    [off..EOF] (one positioned read), so a poll loop pays for new bytes,
+    not the whole file. [off] must sit on a record boundary — normally
+    the [clean_end] of the previous call, or a {!replay}'s
+    [clean_bytes]. [Ok None] when the journal does not exist; an empty
+    frame list with [torn_bytes = 0] means no news. Payloads decode
+    with {!record_of_payload} (or {!header_of_payload} at offset 0). *)
+
+val read_header : t -> ((int * int) option, Error.t) result
+(** [(base, epoch)] from the header record alone, reading at most the
+    first kilobyte — the cheap probe a follower uses to detect rotation
+    (base changed) or fencing (epoch changed) without re-reading the
+    file. [Ok None] when the journal does not exist. *)
 
 val truncate_torn : t -> clean_bytes:int -> (unit, Error.t) result
 (** Atomically rewrite the journal to its valid prefix (from a {!replay}
     that reported a torn tail), so later appends extend a clean file. *)
 
 val rotate :
-  t -> snapshot_path:string -> snapshot:string -> base:int ->
+  ?epoch:int -> t -> snapshot_path:string -> snapshot:string -> base:int ->
   (unit, Error.t) result
 (** Fold the journal into a snapshot: atomically write [snapshot] (tmp
-    file + fsync + rename), then {!initialize} the journal at [base].
-    A crash between the two steps leaves the new snapshot under the old
-    journal; replay application skips entries the snapshot already
-    contains, so recovery is unaffected. *)
+    file + fsync + rename), then {!initialize} the journal at [base]
+    with [epoch] (default [0] — callers that preserve or bump the epoch
+    pass it explicitly). A crash between the two steps leaves the new
+    snapshot under the old journal; replay application skips entries
+    the snapshot already contains, so recovery is unaffected. *)
+
+(** {1 Wire building blocks}
+
+    The framing and payload codecs, exposed for the replication layer:
+    {!Shipper} serves raw journal bytes, and {!Replica} re-frames
+    verified payloads into its own journal byte-identically. *)
+
+val frame : string -> string
+(** [4-byte BE length | 4-byte BE CRC-32 | payload]. *)
+
+val decode_frames : ?off0:int -> string -> (int * string) list * int * int
+(** Split a byte string into its complete, checksum-valid frames:
+    [(offset, payload) list, clean_end, torn_bytes]. Offsets are
+    relative to the string start plus [off0] (default [0]) — pass the
+    absolute position the chunk was read from to get absolute offsets.
+    [torn_bytes] counts the trailing bytes that do not form a valid
+    frame (an in-flight append, a tear, or corruption — the caller
+    decides by whether they stay torn across polls). *)
+
+val record_payload : record -> string
+val record_of_payload : string -> (record, string) result
+
+val header_payload : base:int -> epoch:int -> string
+val header_of_payload : string -> (int * int, string) result
+(** [(base, epoch)]; accepts format 1 (no epoch field) as epoch [0]. *)

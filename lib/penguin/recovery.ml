@@ -26,6 +26,7 @@ type report = {
   snapshot_version : int;
   replayed : int;
   version : int;
+  epoch : int;
   torn_bytes : int;
   repaired : bool;
   journal : bool;
@@ -44,21 +45,37 @@ let pp_report ppf r =
            (if r.repaired then ", repaired" else "")
        else "")
 
-let apply_entry ws (e : Commit_log.entry) =
+let apply_entry ?path ?record ws (e : Commit_log.entry) =
+  (* Corruption during replay names the journal record it came from
+     (when the caller knows which one) and the commit version it
+     carried, so "this store is corrupt" arrives as "record N (vM) of
+     this journal is corrupt". *)
+  let corrupt fmt =
+    Fmt.kstr
+      (fun m ->
+        match path with
+        | Some path ->
+            Error
+              (Error.corrupt_record ~path ?record ~version:e.Commit_log.version
+                 m)
+        | None -> Error (Error.corrupt m))
+      fmt
+  in
   let* log =
-    Result.map_error Error.corrupt (Commit_log.append_entry ws.Workspace.log e)
+    match Commit_log.append_entry ws.Workspace.log e with
+    | Ok log -> Ok log
+    | Error m -> corrupt "%s" m
   in
   match e.Commit_log.change with
   | Commit_log.Barrier _ -> Ok { ws with Workspace.log }
   | Commit_log.Delta d -> (
       let* db =
-        Result.map_error
-          (fun err ->
-            Error.corrupt
-              (Fmt.str "recovery: replaying v%d (%s): %s" e.Commit_log.version
-                 e.Commit_log.kind
-                 (Database.error_to_string err)))
-          (Database.apply_delta ws.Workspace.db d)
+        match Database.apply_delta ws.Workspace.db d with
+        | Ok db -> Ok db
+        | Error err ->
+            corrupt "recovery: replaying v%d (%s): %s" e.Commit_log.version
+              e.Commit_log.kind
+              (Database.error_to_string err)
       in
       (* Cross-check each replayed delta against the structural model of
          the state it produces: a journal that replays into an
@@ -67,12 +84,9 @@ let apply_entry ws (e : Commit_log.entry) =
       match Structural.Integrity.check_delta ws.Workspace.graph db ~delta:d with
       | [] -> Ok { ws with Workspace.db; log }
       | v :: _ ->
-          Error
-            (Error.corrupt
-               (Fmt.str
-                  "recovery: replaying v%d (%s) breaks the structural model: %a"
-                  e.Commit_log.version e.Commit_log.kind
-                  Structural.Integrity.pp_violation v)))
+          corrupt "recovery: replaying v%d (%s) breaks the structural model: %a"
+            e.Commit_log.version e.Commit_log.kind
+            Structural.Integrity.pp_violation v)
 
 (* [repair] defaults to [false]: a "torn tail" seen by a plain reader
    may be another process's append in flight, and rewriting the journal
@@ -112,6 +126,7 @@ let open_store ?(io = Fsio.default) ?(repair = false) ?cache store =
              snapshot_version;
              replayed = 0;
              version = snapshot_version;
+             epoch = 0;
              torn_bytes = 0;
              repaired = false;
              journal = false;
@@ -128,21 +143,30 @@ let open_store ?(io = Fsio.default) ?(repair = false) ?cache store =
       in
       (* Entries at or below the snapshot's version are already folded
          into it (a rotate crash can leave such an overlap); replay the
-         rest, whose versions must extend the snapshot densely. *)
-      let fresh =
-        List.filter
-          (fun (e : Commit_log.entry) -> e.Commit_log.version > snapshot_version)
-          r.Journal.entries
-      in
-      let* ws =
+         rest, whose versions must extend the snapshot densely. The walk
+         goes record by record (not over the flattened entries) so an
+         integrity failure can name the journal record it came from. *)
+      let jpath = Journal.path jnl in
+      let* ws, replayed =
         List.fold_left
-          (fun acc e ->
-            let* ws = acc in
-            apply_entry ws e)
-          (Ok ws) fresh
+          (fun acc (idx, record) ->
+            let* ws, n = acc in
+            match record with
+            | Journal.Prepare _ | Journal.Decide _ | Journal.Mark _ ->
+                Ok (ws, n)
+            | Journal.Commit entries ->
+                List.fold_left
+                  (fun acc (e : Commit_log.entry) ->
+                    let* ws, n = acc in
+                    if e.Commit_log.version <= snapshot_version then Ok (ws, n)
+                    else
+                      let* ws = apply_entry ~path:jpath ~record:idx ws e in
+                      Ok (ws, n + 1))
+                  (Ok (ws, n)) entries)
+          (Ok (ws, 0))
+          (List.mapi (fun i (_off, rec_) -> i, rec_) r.Journal.framed)
       in
       let version = Workspace.version ws in
-      let replayed = List.length fresh in
       M.Counter.add m_replayed_entries replayed;
       Obs.Trace.tag "replayed" (string_of_int replayed);
       if replayed > 0 then
@@ -157,13 +181,14 @@ let open_store ?(io = Fsio.default) ?(repair = false) ?cache store =
              snapshot_version;
              replayed;
              version;
+             epoch = r.Journal.epoch;
              torn_bytes = r.Journal.torn_bytes;
              repaired;
              journal = true;
            })
 
-let snapshot ?(io = Fsio.default) ~store ws =
-  Journal.rotate
+let snapshot ?(io = Fsio.default) ?epoch ~store ws =
+  Journal.rotate ?epoch
     (Journal.create ~io (Journal.journal_path store))
     ~snapshot_path:store ~snapshot:(Store.save ws)
     ~base:(Workspace.version ws)
@@ -174,7 +199,7 @@ type persisted = {
 }
 
 let persist_unguarded ?(io = Fsio.default) ?(sync = true)
-    ?(rotate_threshold = 64) ~store ~since ws =
+    ?(rotate_threshold = 64) ?expect_epoch ~store ~since ws =
   Obs.Trace.with_span "recovery.persist" @@ fun () ->
   M.time m_persist_ns @@ fun () ->
   if since < Commit_log.truncated ws.Workspace.log then
@@ -192,9 +217,28 @@ let persist_unguarded ?(io = Fsio.default) ?(sync = true)
     in
     let jnl = Journal.create ~io (Journal.journal_path store) in
     let* existing = Journal.replay jnl in
-    let* records =
+    let* records, epoch =
       match existing with
       | Some r ->
+          (* Epoch fencing: if a follower promoted since this handle was
+             opened, the journal header carries a newer epoch, and this
+             process is the deposed leader. Appending anyway would fork
+             history — the promoted store has (or will) put different
+             commits at these versions. Refuse, non-retryably: only a
+             fresh open (which adopts the new epoch and state) may write
+             again. *)
+          let* () =
+            match expect_epoch with
+            | Some e when e <> r.Journal.epoch ->
+                Error
+                  (Error.invalid
+                     (Fmt.str
+                        "persist: fenced — store %s is at epoch %d but this \
+                         handle was opened at epoch %d (a replica promoted); \
+                         reopen to resume against the new leader state"
+                        store r.Journal.epoch e))
+            | _ -> Ok ()
+          in
           (* The journal's tail version must still be the version this
              commit was prepared against: if another process slipped a
              commit in between our open_store and now (the store lock
@@ -228,13 +272,14 @@ let persist_unguarded ?(io = Fsio.default) ?(sync = true)
                 Journal.truncate_torn jnl ~clean_bytes:r.Journal.clean_bytes)
               else Ok ()
             in
-            Ok r.Journal.records
+            Ok (r.Journal.records, r.Journal.epoch)
       | None ->
           (* First commit against a plain exported store: start the
              journal at the version the caller's open_store saw — the
              snapshot's. *)
-          let* () = Journal.initialize jnl ~base:since in
-          Ok 0
+          let epoch = Option.value expect_epoch ~default:0 in
+          let* () = Journal.initialize ~epoch jnl ~base:since in
+          Ok (0, epoch)
     in
     let* () = Journal.append jnl ~sync entries in
     (* The append's fsync is the durability point: from here the commit
@@ -244,7 +289,9 @@ let persist_unguarded ?(io = Fsio.default) ?(sync = true)
        already holds. The journal is intact, so a later commit simply
        retries the rotation. *)
     if records + 1 >= rotate_threshold then
-      match snapshot ~io ~store ws with
+      (* Rotation preserves the epoch: folding the journal into a
+         snapshot is not a leadership change. *)
+      match snapshot ~io ~epoch ~store ws with
       | Ok () -> Ok { rotated = true; rotate_error = None }
       | Error e -> Ok { rotated = false; rotate_error = Some e }
     else Ok { rotated = false; rotate_error = None }
@@ -254,8 +301,11 @@ let persist_unguarded ?(io = Fsio.default) ?(sync = true)
    it and later writes are shed with [Busy] — degraded read-only mode.
    [open_store] never passes through a breaker, so reads keep working
    while the store heals. *)
-let persist ?io ?sync ?rotate_threshold ?breaker ~store ~since ws =
-  let run () = persist_unguarded ?io ?sync ?rotate_threshold ~store ~since ws in
+let persist ?io ?sync ?rotate_threshold ?breaker ?expect_epoch ~store ~since ws
+    =
+  let run () =
+    persist_unguarded ?io ?sync ?rotate_threshold ?expect_epoch ~store ~since ws
+  in
   match breaker with
   | None -> run ()
   | Some b -> Resilience.Breaker.protect b run

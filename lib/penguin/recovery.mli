@@ -15,12 +15,31 @@ type report = {
   snapshot_version : int;  (** version recorded in the store document *)
   replayed : int;  (** journal entries applied on top of it *)
   version : int;  (** resulting workspace version *)
+  epoch : int;
+      (** leader epoch from the journal header ([0] when no journal, or
+          a pre-epoch format-1 journal) — pass it back to {!persist} as
+          [expect_epoch] to be fenced off if a replica promotes *)
   torn_bytes : int;  (** torn journal tail discarded ([0] = clean) *)
   repaired : bool;  (** the torn tail was truncated on disk *)
   journal : bool;  (** a journal file was present *)
 }
 
 val pp_report : Format.formatter -> report -> unit
+
+val apply_entry :
+  ?path:string ->
+  ?record:int ->
+  Workspace.t ->
+  Commit_log.entry ->
+  (Workspace.t, Error.t) result
+(** Apply one replayed commit-log entry: append it to the workspace's
+    log (versions must stay dense), apply its delta, and cross-check
+    the result against the structural model with
+    {!Structural.Integrity.check_delta}. This is the single replay step
+    both {!open_store} and a tailing {!Replica} go through — a shipped
+    delta gets exactly the validation a locally recovered one does. On
+    failure the {!Error.Corrupt} names the entry's version and, when
+    [path]/[record] say where it came from, the journal record. *)
 
 val open_store :
   ?io:Fsio.t ->
@@ -61,6 +80,7 @@ val persist :
   ?sync:bool ->
   ?rotate_threshold:int ->
   ?breaker:Resilience.Breaker.t ->
+  ?expect_epoch:int ->
   store:string ->
   since:int ->
   Workspace.t ->
@@ -86,8 +106,18 @@ val persist :
     {!Resilience.Breaker.protect}: after K consecutive non-transient
     durability failures it trips and later persists are shed with
     {!Error.Busy} (degraded read-only mode — {!open_store} is never
-    gated), until a post-cooldown probe succeeds. *)
+    gated), until a post-cooldown probe succeeds.
 
-val snapshot : ?io:Fsio.t -> store:string -> Workspace.t -> (unit, Error.t) result
+    [expect_epoch] (from the {!report} of the open this commit was
+    prepared against) arms epoch fencing: if the journal header's epoch
+    has advanced past it — a replica promoted and took over leadership —
+    the persist refuses with {!Error.Invalid} ("fenced") {e before}
+    appending anything. Without it (the default), no epoch check is
+    made. Rotation and journal initialization preserve the epoch. *)
+
+val snapshot :
+  ?io:Fsio.t -> ?epoch:int -> store:string -> Workspace.t ->
+  (unit, Error.t) result
 (** Atomically rewrite the store document at the workspace's current
-    state and reset the journal to extend it ({!Journal.rotate}). *)
+    state and reset the journal to extend it ({!Journal.rotate}),
+    stamping [epoch] (default [0]) in the fresh journal header. *)

@@ -1,0 +1,678 @@
+let src = Logs.Src.create "penguin.replica" ~doc:"journal-shipping follower"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+module M = Obs.Metrics
+
+let c_polls = M.counter ~help:"replica poll rounds" "replica.polls"
+
+let c_applied =
+  M.counter ~help:"journal records ingested from the leader"
+    "replica.applied_records"
+
+let c_refetches =
+  M.counter ~help:"suspect frames re-fetched instead of applied"
+    "replica.refetches"
+
+let c_promotions =
+  M.counter ~help:"followers promoted to writable leaders"
+    "replica.promotions"
+
+let c_resyncs =
+  M.counter ~help:"full snapshot resyncs (follower fell behind a rotation)"
+    "replica.resyncs"
+
+let c_rotations =
+  M.counter ~help:"leader journal rotations followed in place"
+    "replica.rotations_followed"
+
+let c_quarantines =
+  M.counter ~help:"corrupt shipped records quarantined (degraded, not wedged)"
+    "replica.quarantines"
+
+let g_lag =
+  M.gauge ~help:"complete leader records visible but not yet applied"
+    "replica.lag_records"
+
+let g_epoch = M.gauge ~help:"leader epoch this replica follows" "replica.epoch"
+
+let h_poll_ns = M.histogram ~help:"one tail/apply poll round" "replica.poll_ns"
+
+let h_promote_ns =
+  M.histogram ~help:"promotion: repair + epoch-bumping rotation"
+    "replica.promote_ns"
+
+(* --- feeds ------------------------------------------------------------- *)
+
+type feed = {
+  feed_label : string;
+  fetch_snapshot : unit -> (string, Error.t) result;
+  fetch_journal : off:int -> (string, Error.t) result;
+  fetch_head : unit -> (string, Error.t) result;
+}
+
+let file_feed ?(io = Fsio.default) source =
+  let jpath = Journal.journal_path source in
+  {
+    feed_label = source;
+    fetch_snapshot =
+      (fun () ->
+        let* c = io.Fsio.read source in
+        match c with
+        | Some c -> Ok c
+        | None -> Error (Error.invalid (Fmt.str "no such store: %s" source)));
+    fetch_journal =
+      (fun ~off ->
+        let* c = io.Fsio.read_from ~path:jpath ~off ~len:None in
+        (* A missing journal is "no news yet", not an error: the leader
+           journals lazily on its first durable commit. *)
+        Ok (Option.value c ~default:""));
+    fetch_head =
+      (fun () ->
+        let* c = io.Fsio.read_from ~path:jpath ~off:0 ~len:(Some 1024) in
+        Ok (Option.value c ~default:""));
+  }
+
+(* --- the follower ------------------------------------------------------ *)
+
+type status = Following | Degraded of string | Promoted
+
+let status_label = function
+  | Following -> "following"
+  | Degraded _ -> "degraded"
+  | Promoted -> "promoted"
+
+type t = {
+  io : Fsio.t;
+  feed : feed;
+  target : string;
+  jnl : Journal.t;  (** the replica's own journal, at [target ^ ".journal"] *)
+  refetch_limit : int;
+  cache : Viewobject.Cache.t;
+  mutable ws : Workspace.t;
+  mutable base : int;  (** leader journal base currently followed *)
+  mutable epoch : int;  (** leader epoch currently followed *)
+  mutable leader_off : int;  (** leader journal bytes consumed *)
+  mutable status : status;
+  mutable suspect : (int * int) option;
+      (** a CRC-valid frame at this leader offset failed to parse;
+          [(offset, refetch attempts so far)] *)
+}
+
+type progress = {
+  records : int;  (** leader journal records ingested this poll *)
+  applied : int;  (** commit-log entries applied to the workspace *)
+  rotated : bool;  (** followed a leader rotation barrier in place *)
+  resynced : bool;  (** fell back to a full snapshot resync *)
+  lag_records : int;  (** complete leader records seen but not applied *)
+}
+
+let no_progress = {
+  records = 0;
+  applied = 0;
+  rotated = false;
+  resynced = false;
+  lag_records = 0;
+}
+
+let workspace t = t.ws
+let cache t = t.cache
+let position t = Workspace.version t.ws
+let epoch t = t.epoch
+let status t = t.status
+let leader_offset t = t.leader_off
+
+let frame_end off payload = off + 8 + String.length payload
+
+let set_epoch_gauge e = M.Gauge.set g_epoch (float_of_int e)
+
+(* Apply one shipped record to the in-memory workspace. Validation
+   happens here, *before* the raw frame is re-journaled: a record the
+   structural model refuses never lands in the replica's own journal,
+   so its store stays openable. Entries at or below the replica's
+   version are already held (rotation overlap) and are skipped. *)
+let apply_record t record =
+  match record with
+  | Journal.Commit entries ->
+      let vers = Workspace.version t.ws in
+      let fresh =
+        List.filter
+          (fun (e : Commit_log.entry) -> e.Commit_log.version > vers)
+          entries
+      in
+      let* ws =
+        List.fold_left
+          (fun acc e ->
+            let* ws = acc in
+            Recovery.apply_entry ~path:(Journal.path t.jnl) ws e)
+          (Ok t.ws) fresh
+      in
+      Ok (ws, List.length fresh)
+  | Journal.Prepare _ | Journal.Decide _ | Journal.Mark _ ->
+      (* Single-store leaders never write these; a shipped one is
+         preserved byte-for-byte but applies nothing here. *)
+      Ok (t.ws, 0)
+
+(* Ingest one verified (CRC-valid, parseable) leader frame: validate in
+   memory, append the identical frame bytes to the replica's own
+   journal, then publish the new workspace state. [sync] is deferred to
+   once per poll — losing the unsynced tail in a crash only rewinds the
+   replica to an earlier leader offset, which the next locate redoes. *)
+let ingest t ~off ~payload record =
+  let* ws, applied = apply_record t record in
+  let* () =
+    t.io.Fsio.write ~path:(Journal.path t.jnl) ~append:true
+      (Journal.frame payload)
+  in
+  t.ws <- ws;
+  t.leader_off <- frame_end off payload;
+  M.Counter.incr c_applied;
+  Ok applied
+
+(* Walk the leader journal from the top and position [leader_off] just
+   past every record the replica already holds — the once-per-alignment
+   full read that lets every later poll read only new bytes. *)
+let locate t =
+  let* chunk = t.feed.fetch_journal ~off:0 in
+  let frames, _clean, _torn = Journal.decode_frames chunk in
+  match frames with
+  | [] ->
+      (* No leader journal yet: poll from the top until one appears. *)
+      t.leader_off <- 0;
+      Ok ()
+  | (hoff, header) :: records ->
+      let* base, epoch =
+        Result.map_error
+          (fun m -> Error.corrupt_record ~path:t.feed.feed_label m)
+          (Journal.header_of_payload header)
+      in
+      (* Epochs only move forward. A feed advertising an older epoch
+         than this store has already seen is a deposed leader —
+         following it would fork the replicated history. *)
+      let* () =
+        if epoch < t.epoch then
+          Error
+            (Error.invalid
+               (Fmt.str
+                  "replica: feed %s is at epoch %d but this store has seen \
+                   epoch %d — refusing to follow a deposed leader"
+                  t.feed.feed_label epoch t.epoch))
+        else Ok ()
+      in
+      t.base <- base;
+      t.epoch <- epoch;
+      set_epoch_gauge epoch;
+      let vers = Workspace.version t.ws in
+      let rec skip off = function
+        | [] -> off
+        | (roff, payload) :: rest -> (
+            match Journal.record_of_payload payload with
+            | Error _ -> roff (* leave suspect frames to the poll loop *)
+            | Ok (Journal.Commit entries) ->
+                let held =
+                  List.for_all
+                    (fun (e : Commit_log.entry) ->
+                      e.Commit_log.version <= vers)
+                    entries
+                in
+                if held then skip (frame_end roff payload) rest else roff
+            | Ok (Journal.Prepare _ | Journal.Decide _ | Journal.Mark _) ->
+                skip (frame_end roff payload) rest)
+      in
+      t.leader_off <- skip (frame_end hoff header) records;
+      Ok ()
+
+(* Full resync: refetch the leader snapshot, restart the replica's own
+   store from it, and re-locate. The attached cache survives the object
+   — sync_cache sees the truncated history and invalidates, so entries
+   rebuild lazily rather than serving stale reads. *)
+let resync t =
+  M.Counter.incr c_resyncs;
+  let* snapshot = t.feed.fetch_snapshot () in
+  let* ws0 = Result.map_error Error.corrupt (Store.load snapshot) in
+  let* head = t.feed.fetch_head () in
+  let epoch =
+    match Journal.decode_frames head with
+    | (_, h) :: _, _, _ -> (
+        match Journal.header_of_payload h with Ok (_, e) -> e | Error _ -> 0)
+    | [], _, _ -> 0
+  in
+  let* () = Fsio.atomic_write t.io ~path:t.target snapshot in
+  let* () =
+    Journal.initialize ~epoch t.jnl ~base:(Workspace.version ws0)
+  in
+  let* ws, _report = Recovery.open_store ~io:t.io ~repair:true t.target in
+  t.ws <- ws;
+  t.epoch <- epoch;
+  t.suspect <- None;
+  set_epoch_gauge epoch;
+  Workspace.sync_cache t.ws t.cache;
+  locate t
+
+(* The leader's header no longer matches what we follow: either the
+   journal rotated (base advanced; our state usually covers it — fold
+   our own journal and continue from the new base) or we fell behind a
+   rotation entirely (full resync). An epoch change rides the same
+   path: adopting the new header epoch is how a follower starts
+   following a freshly promoted leader. *)
+let follow_header_change t ~base ~epoch =
+  if epoch < t.epoch then
+    (* Same forward-only rule as {!locate}: never re-follow a deposed
+       leader, and never stamp a regressed epoch into our own files. *)
+    Error
+      (Error.invalid
+         (Fmt.str
+            "replica: feed %s rolled back to epoch %d below epoch %d — \
+             refusing to follow a deposed leader"
+            t.feed.feed_label epoch t.epoch))
+  else if Workspace.version t.ws >= base then begin
+    (* Rotation barrier: our own journal's entries are all ≤ our
+       version, so fold them into our snapshot and re-anchor. No gap
+       (nothing above our version was dropped by the leader's rotate)
+       and no replay (locate skips records we already hold). *)
+    let* () = Recovery.snapshot ~io:t.io ~epoch ~store:t.target t.ws in
+    t.base <- base;
+    t.epoch <- epoch;
+    t.suspect <- None;
+    set_epoch_gauge epoch;
+    M.Counter.incr c_rotations;
+    let* () = locate t in
+    Ok `Rotated
+  end
+  else
+    let* () = resync t in
+    Ok `Resynced
+
+let quarantine t ~off reason =
+  match t.suspect with
+  | Some (o, attempts) when o = off ->
+      if attempts + 1 >= t.refetch_limit then begin
+        if t.status = Following then begin
+          M.Counter.incr c_quarantines;
+          Log.warn (fun m ->
+              m "replica of %s: quarantining corrupt record at leader byte \
+                 %d after %d refetches: %s"
+                t.feed.feed_label off (attempts + 1) reason);
+          t.status <-
+            Degraded
+              (Fmt.str "corrupt leader record at byte %d: %s" off reason)
+        end
+      end
+      else begin
+        M.Counter.incr c_refetches;
+        t.suspect <- Some (o, attempts + 1)
+      end
+  | _ ->
+      M.Counter.incr c_refetches;
+      t.suspect <- Some (off, 1)
+
+let poll t =
+  if t.status = Promoted then
+    Error (Error.invalid "replica: promoted; serve writes instead of polling")
+  else begin
+    M.Counter.incr c_polls;
+    M.time h_poll_ns @@ fun () ->
+    let* chunk = t.feed.fetch_journal ~off:t.leader_off in
+    let frames, _clean, _torn =
+      Journal.decode_frames ~off0:t.leader_off chunk
+    in
+    let rec consume acc = function
+      | [] -> Ok (acc, [])
+      | (off, payload) :: rest ->
+          if off = 0 then (
+            (* The header frame only reaches a poll when the replica is
+               waiting for a leader journal to appear (leader_off 0). *)
+            match Journal.header_of_payload payload with
+            | Error m ->
+                quarantine t ~off m;
+                Ok (acc, rest)
+            | Ok (base, epoch) ->
+                t.base <- base;
+                t.epoch <- epoch;
+                set_epoch_gauge epoch;
+                t.leader_off <- frame_end off payload;
+                consume acc rest)
+          else (
+            match Journal.record_of_payload payload with
+            | Error m ->
+                (* CRC-valid but unparseable: refetch before trusting
+                   our own read of it; after [refetch_limit] identical
+                   failures, quarantine and keep serving. *)
+                quarantine t ~off m;
+                Ok (acc, rest)
+            | Ok record -> (
+                match ingest t ~off ~payload record with
+                | Ok applied ->
+                    if t.suspect <> None then t.suspect <- None;
+                    if t.status <> Following then t.status <- Following;
+                    consume
+                      { acc with
+                        records = acc.records + 1;
+                        applied = acc.applied + applied;
+                      }
+                      rest
+                | Error e ->
+                    (* A shipped record the structural model refuses is
+                       corruption the checksum cannot see: same
+                       quarantine discipline. *)
+                    quarantine t ~off (Error.to_string e);
+                    Ok (acc, rest)))
+    in
+    let* acc, remaining = consume no_progress frames in
+    let* acc =
+      if acc.records > 0 then begin
+        (* One durability point per poll for everything ingested. *)
+        let* () = t.io.Fsio.sync (Journal.path t.jnl) in
+        Workspace.sync_cache t.ws t.cache;
+        Ok acc
+      end
+      else begin
+        (* No progress: probe the header for a rotation or a new
+           leader's epoch — the 1 KB read that keeps idle polls from
+           re-reading the journal. *)
+        let* head = t.feed.fetch_head () in
+        match Journal.decode_frames head with
+        | (_, h) :: _, _, _ -> (
+            match Journal.header_of_payload h with
+            | Ok (base, epoch) when base <> t.base || epoch <> t.epoch ->
+                let* outcome = follow_header_change t ~base ~epoch in
+                Ok
+                  { acc with
+                    rotated = outcome = `Rotated;
+                    resynced = outcome = `Resynced;
+                  }
+            | Ok _ | Error _ -> Ok acc)
+        | [], _, _ -> Ok acc
+      end
+    in
+    let lag = List.length remaining in
+    M.Gauge.set g_lag (float_of_int lag);
+    Ok { acc with lag_records = lag }
+  end
+
+let rec poll_until_idle ?(max_rounds = 1000) t =
+  let* p = poll t in
+  if (p.records > 0 || p.rotated || p.resynced) && max_rounds > 1 then
+    let* rest = poll_until_idle ~max_rounds:(max_rounds - 1) t in
+    Ok
+      {
+        records = p.records + rest.records;
+        applied = p.applied + rest.applied;
+        rotated = p.rotated || rest.rotated;
+        resynced = p.resynced || rest.resynced;
+        lag_records = rest.lag_records;
+      }
+  else Ok p
+
+let create ?(io = Fsio.default) ?cache_mode ?(refetch_limit = 3) ~feed ~target
+    () =
+  let jnl = Journal.create ~io (Journal.journal_path target) in
+  let* existing = io.Fsio.read target in
+  let* ws, own_epoch =
+    match existing with
+    | Some _ ->
+        (* Resume a previous follower's files: its own snapshot ⊕
+           journal is a valid store, opened exactly like a leader's. *)
+        let* ws, report = Recovery.open_store ~io ~repair:true target in
+        Ok (ws, report.Recovery.epoch)
+    | None ->
+        let* snapshot = feed.fetch_snapshot () in
+        let* ws0 = Result.map_error Error.corrupt (Store.load snapshot) in
+        let* () = Fsio.atomic_write io ~path:target snapshot in
+        let* () = Journal.initialize jnl ~base:(Workspace.version ws0) in
+        let* ws, report = Recovery.open_store ~io ~repair:true target in
+        Ok (ws, report.Recovery.epoch)
+  in
+  let cache = Workspace.attach_cache ?mode:cache_mode ws in
+  let t =
+    {
+      io;
+      feed;
+      target;
+      jnl;
+      refetch_limit = max 1 refetch_limit;
+      cache;
+      ws;
+      base = Workspace.version ws;
+      epoch = own_epoch;
+      leader_off = 0;
+      status = Following;
+      suspect = None;
+    }
+  in
+  let* () = locate t in
+  Ok t
+
+(* --- reads at the replication position -------------------------------- *)
+
+let instances t name = Viewobject.Cache.instances t.cache name
+let oql t name condition = Viewobject.Cache.oql t.cache name condition
+
+(* --- promotion --------------------------------------------------------- *)
+
+(* Promote whatever store lives at [store] from its last durable
+   record: repair the torn tail under the store lock, then rotate into
+   a fresh snapshot whose journal header carries the next epoch. After
+   the rotate, any deposed leader still holding a handle opened under
+   the old epoch is fenced: its persist sees the newer header epoch and
+   refuses. Returns the writable workspace and the new epoch. *)
+let promote_store ?(io = Fsio.default) store =
+  M.time h_promote_ns @@ fun () ->
+  Fsio.with_lock store @@ fun () ->
+  let* ws, report = Recovery.open_store ~io ~repair:true store in
+  let epoch = report.Recovery.epoch + 1 in
+  let* () = Recovery.snapshot ~io ~epoch ~store ws in
+  M.Counter.incr c_promotions;
+  Log.info (fun m ->
+      m "promoted %s at v%d, epoch %d" store (Workspace.version ws) epoch);
+  Ok (ws, epoch)
+
+let promote t =
+  let* ws, epoch = promote_store ~io:t.io t.target in
+  t.ws <- ws;
+  t.epoch <- epoch;
+  t.status <- Promoted;
+  set_epoch_gauge epoch;
+  Workspace.sync_cache t.ws t.cache;
+  Ok (ws, epoch)
+
+(* --- sharded stores ---------------------------------------------------- *)
+
+(* A sharded follower is one independent tailer per shard journal over
+   a file feed, plus the consistent-cut open (Shard_store
+   [~follower:true]) for reads and promotion. Shards ship unevenly;
+   the cut is what keeps a mid-2PC kill from ever being observed
+   half-applied. *)
+module Sharded = struct
+  type tailer = {
+    src_jnl : string;
+    dst_jnl : string;
+    mutable off : int;  (** source journal bytes consumed *)
+    mutable shard_base : int;  (** source shard journal base followed *)
+  }
+
+  type t = {
+    io : Fsio.t;
+    source : string;
+    target : string;
+    count : int;
+    tailers : tailer array;
+    mutable status : status;
+  }
+
+  let status t = t.status
+
+  let read_required io path =
+    let* c = io.Fsio.read path in
+    match c with
+    | Some c -> Ok c
+    | None -> Error (Error.invalid (Fmt.str "no such file: %s" path))
+
+  let copy io ~src ~dst =
+    let* c = read_required io src in
+    Fsio.atomic_write io ~path:dst c
+
+  (* (Re)anchor one shard: copy its snapshot and start its journal from
+     the source's current header. Old records in the target journal are
+     superseded by the fresh snapshot (atomic_write replaces the file). *)
+  let anchor_shard t i =
+    let tl = t.tailers.(i) in
+    let* () =
+      copy t.io
+        ~src:(Shard_store.shard_path ~root:t.source i)
+        ~dst:(Shard_store.shard_path ~root:t.target i)
+    in
+    let* head =
+      t.io.Fsio.read_from ~path:tl.src_jnl ~off:0 ~len:(Some 1024)
+    in
+    match Option.map Journal.decode_frames head with
+    | Some ((hoff, header) :: _, _, _) ->
+        let* base, _epoch =
+          Result.map_error
+            (fun m -> Error.corrupt_record ~path:tl.src_jnl m)
+            (Journal.header_of_payload header)
+        in
+        let* () =
+          Fsio.atomic_write t.io ~path:tl.dst_jnl (Journal.frame header)
+        in
+        tl.off <- hoff + 8 + String.length header;
+        tl.shard_base <- base;
+        Ok ()
+    | Some ([], _, _) | None ->
+        Error
+          (Error.corrupt_record ~path:tl.src_jnl
+             "shard journal has no readable header")
+
+  let create ?(io = Fsio.default) ~source ~target () =
+    let* count, _base, _epoch, _assignment =
+      Shard_store.read_manifest ~io ~root:source ()
+    in
+    let* () =
+      if Sys.file_exists target then Ok ()
+      else
+        try
+          Unix.mkdir target 0o755;
+          Ok ()
+        with
+        | Unix.Unix_error (e, fn, arg) ->
+            Error (Error.of_unix ~op:Error.Write ~path:target ~fn ~arg e)
+    in
+    let* () =
+      copy io
+        ~src:(Shard_store.defs_path ~root:source)
+        ~dst:(Shard_store.defs_path ~root:target)
+    in
+    let* () =
+      copy io
+        ~src:(Shard_store.manifest_path ~root:source)
+        ~dst:(Shard_store.manifest_path ~root:target)
+    in
+    let tailers =
+      Array.init count (fun i ->
+          {
+            src_jnl =
+              Journal.journal_path (Shard_store.shard_path ~root:source i);
+            dst_jnl =
+              Journal.journal_path (Shard_store.shard_path ~root:target i);
+            off = 0;
+            shard_base = 0;
+          })
+    in
+    let t = { io; source; target; count; tailers; status = Following } in
+    let rec anchor i =
+      if i >= count then Ok ()
+      else
+        let* () = anchor_shard t i in
+        anchor (i + 1)
+    in
+    let* () = anchor 0 in
+    Ok t
+
+  (* Tail one shard: fetch new bytes, verify frames, append them
+     byte-identically, detect rotation on idle. Returns records
+     ingested. *)
+  let poll_shard t i =
+    let tl = t.tailers.(i) in
+    let* chunk = t.io.Fsio.read_from ~path:tl.src_jnl ~off:tl.off ~len:None in
+    let chunk = Option.value chunk ~default:"" in
+    let frames, _clean, _torn = Journal.decode_frames ~off0:tl.off chunk in
+    let rec consume n buf last = function
+      | [] -> n, buf, last
+      | (off, payload) :: rest -> (
+          match Journal.record_of_payload payload with
+          | Error _ -> n, buf, last (* suspect: stop, refetch next poll *)
+          | Ok _ ->
+              consume (n + 1)
+                (buf ^ Journal.frame payload)
+                (off + 8 + String.length payload)
+                rest)
+    in
+    let n, buf, last = consume 0 "" tl.off frames in
+    if n > 0 then begin
+      let* () = t.io.Fsio.write ~path:tl.dst_jnl ~append:true buf in
+      let* () = t.io.Fsio.sync tl.dst_jnl in
+      tl.off <- last;
+      M.Counter.add c_applied n;
+      Ok n
+    end
+    else begin
+      (* Idle: probe for a rotation of this shard's journal. *)
+      let* head = t.io.Fsio.read_from ~path:tl.src_jnl ~off:0 ~len:(Some 1024) in
+      match Option.map Journal.decode_frames head with
+      | Some ((_, header) :: _, _, _) -> (
+          match Journal.header_of_payload header with
+          | Ok (base, _) when base <> tl.shard_base ->
+              M.Counter.incr c_rotations;
+              let* () = anchor_shard t i in
+              Ok 0
+          | Ok _ | Error _ -> Ok 0)
+      | Some ([], _, _) | None -> Ok 0
+    end
+
+  let poll t =
+    if t.status = Promoted then
+      Error (Error.invalid "replica: promoted; serve writes instead of polling")
+    else begin
+      M.Counter.incr c_polls;
+      M.time h_poll_ns @@ fun () ->
+      let rec go i n =
+        if i >= t.count then Ok n
+        else
+          let* k = poll_shard t i in
+          go (i + 1) (n + k)
+      in
+      go 0 0
+    end
+
+  (* Read-only view at the consistent cut of what has shipped so far. *)
+  let open_follower t =
+    Shard_store.open_store ~io:t.io ~follower:true ~root:t.target ()
+
+  let promote_root ?(io = Fsio.default) root =
+    M.time h_promote_ns @@ fun () ->
+    let* count, _base, _epoch, _assignment =
+      Shard_store.read_manifest ~io ~root ()
+    in
+    let paths = List.init count (Shard_store.shard_path ~root) in
+    Fsio.with_locks paths @@ fun () ->
+    (* repair + follower: truncate each shard's journal to the
+       consistent cut, close resolved 2PC with marks, then bump the
+       manifest epoch so any deposed leader's next fence check fails. *)
+    let* o = Shard_store.open_store ~io ~repair:true ~follower:true ~root () in
+    let epoch = o.Shard_store.epoch + 1 in
+    let* () = Shard_store.set_epoch ~io ~root epoch in
+    M.Counter.incr c_promotions;
+    Log.info (fun m ->
+        m "promoted sharded store %s at global v%d, epoch %d" root
+          (Workspace.version o.Shard_store.ws)
+          epoch);
+    Ok (o, epoch)
+
+  let promote t =
+    let* o, epoch = promote_root ~io:t.io t.target in
+    t.status <- Promoted;
+    set_epoch_gauge epoch;
+    Ok (o, epoch)
+end

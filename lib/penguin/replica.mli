@@ -1,0 +1,178 @@
+(** Journal-shipping replication: a follower that tails a leader's
+    journal, replays each shipped record through the {!Recovery} path
+    into its own snapshot ⊕ journal, keeps an attached
+    {!Viewobject.Cache} warm, and serves read-only view-object queries
+    at an explicit replication position — then promotes to a writable
+    leader from its last durable record when the leader is lost.
+
+    The unit of shipping is the {!Journal} frame: a follower fetches
+    raw bytes from the leader's journal at its consumed offset
+    ({!Fsio.t.read_from} for the file feed; {!Shipper} for the socket
+    feed), verifies each frame's checksum and parse, {e validates the
+    deltas in memory} against the structural model
+    ({!Recovery.apply_entry}), and only then appends the identical
+    frame bytes to its own journal. The replica's store is therefore
+    always openable by the ordinary {!Recovery.open_store} — promotion
+    is just that open (with repair) plus an epoch-bumping rotation, and
+    the bumped epoch fences the deposed leader: its next
+    {!Recovery.persist} under [expect_epoch] refuses.
+
+    Failure handling follows the torn-tail discipline: torn bytes at
+    the leader's tail are an append in flight and are simply not
+    consumed yet; a checksum-valid frame that fails to parse or to
+    validate is re-fetched a bounded number of times and then
+    {e quarantined} — the replica drops to [Degraded], keeps serving
+    reads at its last good position, and keeps polling (a leader
+    rotation heals it) — it never wedges and never appends unverified
+    bytes to its own journal. *)
+
+(** How a follower reaches the leader's bytes. {!file_feed} reads the
+    leader's files directly (shared filesystem); {!Shipper.feed} speaks
+    the socket protocol. All three calls are stateless on the feed —
+    position lives in the replica. *)
+type feed = {
+  feed_label : string;  (** for logs and error messages *)
+  fetch_snapshot : unit -> (string, Error.t) result;
+      (** the leader's current store document, for bootstrap/resync *)
+  fetch_journal : off:int -> (string, Error.t) result;
+      (** leader journal bytes from [off] to its end; [""] when the
+          journal does not exist yet or [off] is at its end *)
+  fetch_head : unit -> (string, Error.t) result;
+      (** at most the first kilobyte — enough to decode the header
+          frame; the cheap rotation/epoch probe on idle polls *)
+}
+
+val file_feed : ?io:Fsio.t -> string -> feed
+(** Feed a leader store file (and [store ^ ".journal"]) via direct
+    reads — same-host or shared-filesystem replication, and the feed
+    the crash sweep drives byte by byte. *)
+
+type status =
+  | Following  (** tailing normally (also while awaiting a journal) *)
+  | Degraded of string
+      (** a corrupt shipped record is quarantined; serving continues at
+          the last good position, polling continues (re-fetching) *)
+  | Promoted  (** writable; {!poll} refuses *)
+
+val status_label : status -> string
+
+type t
+
+val create :
+  ?io:Fsio.t ->
+  ?cache_mode:Viewobject.Cache.mode ->
+  ?refetch_limit:int ->
+  feed:feed ->
+  target:string ->
+  unit ->
+  (t, Error.t) result
+(** Start (or resume) a follower whose own store lives at [target]. If
+    [target] exists it is opened like any crashed store (repairing its
+    torn tail) and tailing resumes; otherwise the leader's snapshot is
+    fetched and the replica bootstraps from it. Either way the replica
+    then locates itself in the leader's journal — one full read that
+    positions the tail so every later {!poll} reads only new bytes —
+    and attaches a view-object cache ([cache_mode] as in
+    {!Workspace.attach_cache}). [refetch_limit] (default 3) is how many
+    times a suspect frame is re-fetched before quarantine. A feed whose
+    header epoch is {e below} the target store's own is a deposed
+    leader; following it would fork the replicated history, so [create]
+    refuses with {!Error.Invalid}. *)
+
+type progress = {
+  records : int;  (** leader journal records ingested this poll *)
+  applied : int;  (** commit-log entries applied to the workspace *)
+  rotated : bool;  (** followed a leader rotation barrier in place *)
+  resynced : bool;  (** fell back to a full snapshot resync *)
+  lag_records : int;  (** complete leader records seen but not applied *)
+}
+
+val poll : t -> (progress, Error.t) result
+(** One tail round: fetch new leader bytes, verify/validate/ingest each
+    complete frame, fsync the replica journal once, and sync the cache
+    forward. On an idle round the header is probed instead: a changed
+    base is a rotation (followed in place when the replica's version
+    covers the new base — its own journal is folded into its snapshot
+    and tailing re-anchors with no gap and no replay — or by a full
+    {e resync} otherwise), and a changed epoch adopts the new leader.
+    Torn trailing bytes are left unconsumed; suspect frames follow the
+    refetch/quarantine discipline. *)
+
+val poll_until_idle : ?max_rounds:int -> t -> (progress, Error.t) result
+(** {!poll} until a round makes no progress (bounded by [max_rounds],
+    default 1000), summing the progress — "catch all the way up". *)
+
+val workspace : t -> Workspace.t
+(** The replica's current read-only state. Committing to it locally
+    would fork the replica from the leader; don't — promote first. *)
+
+val cache : t -> Viewobject.Cache.t
+
+val position : t -> int
+(** The replication position: the replica's committed version. Reads
+    via {!instances}/{!oql} are consistent as of exactly this version. *)
+
+val epoch : t -> int
+val status : t -> status
+
+val leader_offset : t -> int
+(** Leader journal bytes consumed — the resumable tailing cursor. *)
+
+val instances :
+  t -> string -> (Viewobject.Instance.t list, string) result
+(** Follower read through the warm cache: all instances of the named
+    view-object definition at {!position}. *)
+
+val oql :
+  t -> string -> string -> (Viewobject.Instance.t list, string) result
+(** Follower OQL read through the warm cache at {!position}. *)
+
+val promote : t -> (Workspace.t * int, Error.t) result
+(** Promote this follower from its last durable record: under the
+    store lock, repair-open its own files (truncating any torn tail)
+    and rotate into a fresh snapshot stamped with the {e next} epoch.
+    Returns the writable workspace and the new epoch; the replica's
+    status becomes [Promoted] and further {!poll}s refuse. Any deposed
+    leader persisting with [expect_epoch] from before the promotion is
+    fenced with {!Error.Invalid}. *)
+
+val promote_store : ?io:Fsio.t -> string -> (Workspace.t * int, Error.t) result
+(** {!promote} for a store path without a running replica — what the
+    [penguin replica promote] CLI calls on the follower's files. *)
+
+(** A follower for a {!Shard_store} root: one independent tailer per
+    shard journal (file feed), with reads and promotion going through
+    {!Shard_store.open_store}[ ~follower:true] — each shard ships at
+    its own pace, and the {e consistent cut} trims uneven trails so a
+    mid-2PC leader kill is observed on all participating shards or on
+    none. *)
+module Sharded : sig
+  type t
+
+  val create :
+    ?io:Fsio.t -> source:string -> target:string -> unit ->
+    (t, Error.t) result
+  (** Mirror the layout (DEFS, MANIFEST) and anchor every shard: copy
+      its snapshot and start its journal from the source's current
+      header. *)
+
+  val poll : t -> (int, Error.t) result
+  (** Tail every shard once; returns the records ingested across
+      shards. Idle shards probe their source header and re-anchor when
+      it rotated. *)
+
+  val open_follower : t -> (Shard_store.opened, Error.t) result
+  (** Read-only merged view at the consistent cut of what has shipped. *)
+
+  val promote : t -> (Shard_store.opened * int, Error.t) result
+  (** Promote the target root: under all shard locks, repair-open at
+      the consistent cut (journals physically truncated, resolved 2PC
+      closed with marks) and bump the manifest epoch, fencing the
+      deposed sharded engine's next {!field-epoch} check. *)
+
+  val promote_root :
+    ?io:Fsio.t -> string -> (Shard_store.opened * int, Error.t) result
+  (** {!promote} for a root without a running replica (CLI). *)
+
+  val status : t -> status
+end

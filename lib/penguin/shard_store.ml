@@ -42,12 +42,17 @@ let exists ~root = Sys.file_exists (manifest_path ~root)
 
 (* --- manifest ---------------------------------------------------------- *)
 
-let manifest_doc ~count ~base plan =
+(* The manifest's [(epoch E)] field is the sharded store's fencing
+   token, the analogue of the journal-header epoch of a single store.
+   Manifests written before replication carry no epoch field and read
+   back as epoch 0. *)
+let manifest_doc ~count ~base ~epoch plan =
   Sexp.to_string
     (l
        [ atom "penguin-shard-manifest"; atom "1";
          l [ atom "shards"; int_atom count ];
          l [ atom "base"; int_atom base ];
+         l [ atom "epoch"; int_atom epoch ];
          l
            (atom "assignment"
            :: List.map
@@ -68,6 +73,12 @@ let manifest_of_doc content =
         let* b = Sexp.keyed "base" rest in
         match b with [ b ] -> int_of_sexp b | _ -> Error "shard store: bad base"
       in
+      let* epoch =
+        match Sexp.keyed_opt "epoch" rest with
+        | None -> Ok 0
+        | Some [ e ] -> int_of_sexp e
+        | Some _ -> Error "shard store: bad epoch"
+      in
       let* assignment_items = Sexp.keyed "assignment" rest in
       let* assignment =
         List.fold_left
@@ -81,8 +92,21 @@ let manifest_of_doc content =
             | _ -> Error "shard store: bad assignment entry")
           (Ok []) assignment_items
       in
-      Ok (count, base, List.rev assignment)
+      Ok (count, base, epoch, List.rev assignment)
   | _ -> Error "shard store: not a manifest document"
+
+let read_manifest ?(io = Fsio.default) ~root () =
+  let path = manifest_path ~root in
+  let* c = io.Fsio.read path in
+  match c with
+  | None -> Error (Error.invalid (Fmt.str "no such file: %s" path))
+  | Some c ->
+      Result.map_error (fun m -> Error.corrupt_record ~path m)
+        (manifest_of_doc c)
+
+let read_epoch ?io ~root () =
+  let* _, _, epoch, _ = read_manifest ?io ~root () in
+  Ok epoch
 
 (* --- shard snapshots --------------------------------------------------- *)
 
@@ -199,9 +223,34 @@ let init ?(io = Fsio.default) ?max_shards ~root ws =
       (* The manifest lands last: its presence marks a complete store. *)
       let* () =
         Fsio.atomic_write io ~path:(manifest_path ~root)
-          (manifest_doc ~count ~base plan)
+          (manifest_doc ~count ~base ~epoch:0 plan)
       in
       Ok plan
+
+(* Rewrite the manifest with a new epoch, preserving everything else.
+   Promotion's fencing step: every later epoch-checked append under the
+   old epoch refuses. Callers hold all shard locks. *)
+let set_epoch ?(io = Fsio.default) ~root epoch =
+  let* count, base, _old, _assignment = read_manifest ~io ~root () in
+  let* manifest = io.Fsio.read (manifest_path ~root) in
+  match manifest with
+  | None -> Error (Error.invalid (Fmt.str "no manifest under %s" root))
+  | Some _ ->
+      (* Re-render from the parsed fields via the plan recomputation the
+         open path uses; the assignment in the manifest is a pure
+         function of DEFS, so re-deriving it cannot drift. *)
+      let* defs = io.Fsio.read (defs_path ~root) in
+      let* defs =
+        match defs with
+        | Some d -> Ok d
+        | None -> Error (Error.invalid (Fmt.str "no DEFS under %s" root))
+      in
+      let* defs_ws = Result.map_error Error.corrupt (Store.load defs) in
+      let plan =
+        Structural.Partition.compute ~max_shards:count defs_ws.Workspace.graph
+      in
+      Fsio.atomic_write io ~path:(manifest_path ~root)
+        (manifest_doc ~count ~base ~epoch plan)
 
 (* --- recovery ---------------------------------------------------------- *)
 
@@ -242,6 +291,7 @@ type opened = {
   ws : Workspace.t;
   plan : Structural.Partition.plan;
   base : int;
+  epoch : int;
   versions : int array;
   logs : Commit_log.t array;
   report : report;
@@ -257,6 +307,83 @@ type slice = {
 type item = Single of Commit_log.entry | Slice of slice
 
 let corrupt fmt = Fmt.kstr (fun s -> Error (Error.corrupt s)) fmt
+
+(* --- follower consistent cut ------------------------------------------- *)
+
+(* A follower ships each shard's journal independently, so at any
+   instant some shards may hold a cross-shard commit's records while
+   others do not yet — a state a crashed {e leader} can never be in
+   (the leader fsyncs every participant's prepare before the decide).
+   Opening such a set naively would half-apply the commit. The
+   consistent cut trims each shard's record list to the longest prefix
+   under which every decided gid still has a prepare on {e every}
+   participant: any record touching an "incomplete" gid, and everything
+   after it on that shard, is dropped, iterated to a fixed point
+   (dropping a suffix can orphan further gids). Each shard still serves
+   a prefix of its own record sequence, and no two-phase commit is
+   observed on only some participants. *)
+let consistent_cut framed =
+  let arr = Array.map Array.of_list framed in
+  let cut = Array.map Array.length arr in
+  let gid_of = function
+    | Journal.Prepare { gid; _ } | Journal.Decide gid | Journal.Mark gid ->
+        Some gid
+    | Journal.Commit _ -> None
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let decided = Hashtbl.create 8 in
+    let participants = Hashtbl.create 8 in
+    let prepared = Hashtbl.create 8 in
+    Array.iteri
+      (fun i a ->
+        for k = 0 to cut.(i) - 1 do
+          match snd a.(k) with
+          | Journal.Decide gid | Journal.Mark gid ->
+              Hashtbl.replace decided gid ()
+          | Journal.Prepare { gid; shards; _ } ->
+              Hashtbl.replace prepared (gid, i) ();
+              Hashtbl.replace participants gid shards
+          | Journal.Commit _ -> ()
+        done)
+      arr;
+    let incomplete gid =
+      match Hashtbl.find_opt participants gid with
+      | None -> true (* decided, but no prepare shipped anywhere *)
+      | Some shards ->
+          List.exists (fun s -> not (Hashtbl.mem prepared (gid, s))) shards
+    in
+    let bad =
+      Hashtbl.fold
+        (fun gid () acc -> if incomplete gid then gid :: acc else acc)
+        decided []
+    in
+    if bad <> [] then
+      Array.iteri
+        (fun i a ->
+          let rec first k =
+            if k >= cut.(i) then cut.(i)
+            else
+              match gid_of (snd a.(k)) with
+              | Some g when List.mem g bad -> k
+              | _ -> first (k + 1)
+          in
+          let f = first 0 in
+          if f < cut.(i) then begin
+            cut.(i) <- f;
+            changed := true
+          end)
+        arr
+  done;
+  Array.mapi
+    (fun i a ->
+      let kept = Array.to_list (Array.sub a 0 cut.(i)) in
+      let cut_off =
+        if cut.(i) < Array.length a then Some (fst a.(cut.(i))) else None
+      in
+      kept, cut_off)
+    arr
 
 let apply_delta_checked graph db ~kind ~version d =
   let* db =
@@ -282,7 +409,8 @@ let append_to_log logs shard (e : Commit_log.entry) =
   logs.(shard) <- log;
   Ok ()
 
-let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
+let open_store ?(io = Fsio.default) ?(repair = false) ?(follower = false) ~root
+    () =
   Obs.Trace.with_span "shard_store.open" @@ fun () ->
   M.time m_open_ns @@ fun () ->
   M.Counter.incr m_opens;
@@ -293,7 +421,7 @@ let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
     | None -> Error (Error.invalid (Fmt.str "no such file: %s" path))
   in
   let* manifest = read (manifest_path ~root) in
-  let* count, base, assignment =
+  let* count, base, epoch, assignment =
     Result.map_error Error.corrupt (manifest_of_doc manifest)
   in
   let* defs = read (defs_path ~root) in
@@ -366,13 +494,48 @@ let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
       in
       go 0
   in
+  (* Follower opens see unevenly shipped journals: trim each shard's
+     records to the consistent cut before resolution, and — when this
+     is a promotion ([repair]) — make the cut physical, so the promoted
+     store's journals are exactly what its state replays from. *)
+  let* trails =
+    if not follower then
+      Ok (Array.map (fun r -> r.Journal.trail) replays)
+    else begin
+      let trimmed =
+        consistent_cut (Array.map (fun r -> r.Journal.framed) replays)
+      in
+      let* () =
+        if not repair then Ok ()
+        else
+          let rec go i =
+            if i >= count then Ok ()
+            else
+              let* () =
+                match snd trimmed.(i) with
+                | None -> Ok ()
+                | Some cut_off ->
+                    Log.warn (fun m ->
+                        m
+                          "shard %d: dropping records past the consistent cut \
+                           (byte %d) — incomplete cross-shard commit(s)"
+                          i cut_off);
+                    Journal.truncate_torn journals.(i) ~clean_bytes:cut_off
+              in
+              go (i + 1)
+          in
+          go 0
+      in
+      Ok (Array.map (fun (kept, _) -> List.map snd kept) trimmed)
+    end
+  in
   (* Two-phase resolution: a gid is decided iff any shard holds its
      [Decide] (the decision shard) or a [Mark] (a participant that
      already applied it). *)
   let decided = Hashtbl.create 8 in
   let marked = Array.init count (fun _ -> Hashtbl.create 4) in
   Array.iteri
-    (fun i r ->
+    (fun i trail ->
       List.iter
         (function
           | Journal.Decide gid -> Hashtbl.replace decided gid ()
@@ -380,8 +543,8 @@ let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
               Hashtbl.replace decided gid ();
               Hashtbl.replace marked.(i) gid ()
           | Journal.Commit _ | Journal.Prepare _ -> ())
-        r.Journal.trail)
-    replays;
+        trail)
+    trails;
   (* Build each shard's replay queue, counting resolutions. Entries at
      or below the snapshot's version are already folded into it. *)
   let committed_2pc = Array.make count 0 in
@@ -411,7 +574,7 @@ let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
                   []
                 end
             | Journal.Decide _ | Journal.Mark _ -> [])
-          replays.(i).Journal.trail)
+          trails.(i))
   in
   M.Counter.add m_resolved_committed (Array.fold_left (+) 0 committed_2pc);
   M.Counter.add m_resolved_aborted (Array.fold_left (+) 0 aborted_2pc);
@@ -568,6 +731,6 @@ let open_store ?(io = Fsio.default) ?(repair = false) ~root () =
     }
   in
   Log.info (fun m ->
-      m "opened sharded store %s: %d shard(s), global v%d" root count
-        global_version);
-  Ok { ws; plan; base; versions; logs; report }
+      m "opened sharded store %s: %d shard(s), global v%d, epoch %d" root count
+        global_version epoch);
+  Ok { ws; plan; base; epoch; versions; logs; report }

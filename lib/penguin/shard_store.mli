@@ -88,6 +88,7 @@ type opened = {
           (base + total commits since; per-shard history in [logs]) *)
   plan : Structural.Partition.plan;
   base : int;  (** the common base version recorded at {!init} *)
+  epoch : int;  (** fencing epoch from the manifest ([0] pre-replication) *)
   versions : int array;  (** per-shard recovered versions *)
   logs : Commit_log.t array;
       (** per-shard logs holding the replayed deltas (real footprints) *)
@@ -95,7 +96,12 @@ type opened = {
 }
 
 val open_store :
-  ?io:Fsio.t -> ?repair:bool -> root:string -> unit -> (opened, Error.t) result
+  ?io:Fsio.t ->
+  ?repair:bool ->
+  ?follower:bool ->
+  root:string ->
+  unit ->
+  (opened, Error.t) result
 (** Open every shard and merge: load DEFS, cross-check the manifest
     assignment against a recomputed partition, replay each shard's
     journal with two-phase resolution, and cross-check the version
@@ -105,4 +111,33 @@ val open_store :
     prepares are closed with a [Mark], so later opens need not
     re-consult the decision shard and rotation cannot strand a decide
     other shards still depend on. Leave [repair] off for read-only
-    inspection, as with {!Recovery.open_store}. *)
+    inspection, as with {!Recovery.open_store}.
+
+    [follower] (default [false]) opens journals that were {e shipped}
+    rather than written locally, where shards progress unevenly: before
+    resolution, each shard's record list is trimmed to the {e consistent
+    cut} — the longest per-shard prefix under which no decided
+    cross-shard gid is missing a participant's prepare — iterated to a
+    fixed point. A leader's own journals never need this (every
+    participant prepare is fsynced before the decide), so the flag
+    exists for {!Replica} opens and promotion; with [repair] the cut is
+    also made physical (journals truncated), which is how promotion
+    turns a shipped journal set into a coherent writable store. *)
+
+val read_manifest :
+  ?io:Fsio.t ->
+  root:string ->
+  unit ->
+  (int * int * int * (string * int) list, Error.t) result
+(** [(shard_count, base, epoch, relation→shard assignment)] from the
+    manifest — what a replica needs to mirror the layout without
+    loading any shard. *)
+
+val read_epoch : ?io:Fsio.t -> root:string -> unit -> (int, Error.t) result
+(** The manifest's current fencing epoch — the cheap probe a sharded
+    writer makes under each shard lock to notice it has been deposed. *)
+
+val set_epoch : ?io:Fsio.t -> root:string -> int -> (unit, Error.t) result
+(** Atomically rewrite the manifest with a new epoch, preserving shard
+    count, base and assignment. Promotion's fencing step; call while
+    holding every shard lock. *)

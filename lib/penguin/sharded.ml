@@ -35,6 +35,8 @@ let g_depth i =
 type durable = {
   root : string;
   journals : Journal.t array;
+  io : Fsio.t;
+  epoch : int;  (** manifest epoch this engine opened under *)
 }
 
 type t = {
@@ -111,7 +113,7 @@ let open_store ?(io = Fsio.default) ?domains ~root () =
   Ok
     (make ?domains o.Shard_store.ws o.Shard_store.plan ~base:o.Shard_store.base
        ~versions:o.Shard_store.versions ~logs:o.Shard_store.logs
-       ~durable:(Some { root; journals }))
+       ~durable:(Some { root; journals; io; epoch = o.Shard_store.epoch }))
 
 let plan t = t.plan
 let shard_count t = max 1 (Partition.count t.plan)
@@ -178,12 +180,32 @@ let fresh_gid t = Fmt.str "g%s-%d" t.gid_seed (Atomic.fetch_and_add t.gid_n 1)
    lock. A failed append may have torn the journal tail; continuing to
    commit past it would strand later records behind the tear, so any
    failure wedges the engine (reopen to repair). *)
+(* Epoch fence, checked under the shard lock(s) just before an append:
+   if a replica promoted since this engine opened, the manifest carries
+   a newer epoch and this engine is the deposed leader — it must stop
+   writing, not race the new one. The manifest is a few hundred bytes,
+   so the check costs one small read against the append's fsync. *)
+let fence_check t (d : durable) =
+  let* current = Shard_store.read_epoch ~io:d.io ~root:d.root () in
+  if current = d.epoch then Ok ()
+  else begin
+    let msg =
+      Fmt.str
+        "fenced: store %s is at epoch %d but this engine opened at epoch %d \
+         (a replica promoted)"
+        d.root current d.epoch
+    in
+    wedge t msg;
+    Error (Error.invalid msg)
+  end
+
 let journal_one t shard record =
   match t.durable with
   | None -> Ok ()
   | Some d -> (
       match
         Fsio.with_lock (Shard_store.shard_path ~root:d.root shard) (fun () ->
+            let* () = fence_check t d in
             Journal.append_record d.journals.(shard) record)
       with
       | Ok () ->
@@ -212,6 +234,7 @@ let twopc t ~participants ~entries =
           (List.map (fun s -> Shard_store.shard_path ~root:d.root s)
              participants)
           (fun () ->
+            let* () = fence_check t d in
             let rec prepare = function
               | [] -> Ok ()
               | (s, e) :: rest ->

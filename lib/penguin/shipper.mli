@@ -1,0 +1,36 @@
+(** The socket feed: serve a leader store's snapshot and journal bytes
+    to followers over a Unix-domain socket, one length-prefixed,
+    CRC-32-checksummed frame exchange per request.
+
+    The protocol is deliberately stateless — each request opens a
+    connection, sends one request frame ([(snapshot)], [(head)], or
+    [(journal <off>)]), and reads a two-frame response (a status sexp,
+    then the raw bytes) — so the follower's position lives entirely in
+    the {!Replica} and a dropped connection at {e any} byte is just a
+    failed fetch: the frames reuse the journal wire format, a truncated
+    response fails its checksum, the client reports a transient I/O
+    error, and the replica re-fetches. The [@replica-suite] kill sweep
+    exercises exactly this, cutting the exchange at every I/O point. *)
+
+val serve :
+  ?io:Fsio.t ->
+  ?max_requests:int ->
+  store:string ->
+  sock:string ->
+  unit ->
+  (int, Error.t) result
+(** Serve [store] (and its journal) on the Unix-domain socket path
+    [sock], unlinking any stale socket first. Handles connections
+    sequentially; request errors are answered in-band and a client
+    dying mid-exchange drops only its own connection. Returns the
+    number of requests served once a [(quit)] request arrives
+    ({!quit}) or [max_requests] (default: unbounded) is reached. *)
+
+val quit : sock:string -> (unit, Error.t) result
+(** Ask the server on [sock] to answer its in-flight requests and stop
+    — the clean shutdown the CLI and tests use. *)
+
+val feed : sock:string -> Replica.feed
+(** A {!Replica.feed} speaking the protocol against [sock]. Fetches
+    are connection-per-request; failures are typed transient I/O
+    errors the replica's poll/refetch discipline absorbs. *)

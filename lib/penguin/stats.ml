@@ -268,6 +268,84 @@ let shard_traffic ~updates ws =
   Sharded.shutdown eng;
   result
 
+(* Drive the replication layer end to end: a leader store with a
+   couple of persisted commits, a file-feed follower that catches up
+   and serves a cache-warm read, a corrupt shipped record that must be
+   refetched and quarantined (not wedge the follower), and finally a
+   promotion — touching replica.lag_records, replica.epoch,
+   replica.refetches and replica.promotions. *)
+let replica_traffic ws =
+  let dir = Filename.get_temp_dir_name () in
+  let pid = Unix.getpid () in
+  let store = Filename.concat dir (Fmt.str "penguin-stats-leader-%d.pgn" pid) in
+  let target =
+    Filename.concat dir (Fmt.str "penguin-stats-follower-%d.pgn" pid)
+  in
+  let cleanup () =
+    List.iter
+      (fun s ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ s; Journal.journal_path s; Fsio.lock_path s ])
+      [ store; target ]
+  in
+  cleanup ();
+  let result =
+    let* () = str_err (Store.save_file ws store) in
+    (* Two alternating edits: whatever the grade is now, at least one
+       is a real delta, so the journal ships at least one record. *)
+    let rec commit_rounds i lws =
+      if i >= 2 then Ok lws
+      else
+        let since = Workspace.version lws in
+        let sess = Session.begin_ lws in
+        let* sess = queue_stmt sess lws (flip_stmt i) in
+        let* lws, _stats = str_err (Session.commit lws sess) in
+        let* _persisted = str_err (Recovery.persist ~store ~since lws) in
+        commit_rounds (i + 1) lws
+    in
+    let* lws = commit_rounds 0 ws in
+    let* r =
+      str_err
+        (Replica.create ~refetch_limit:2 ~feed:(Replica.file_feed store)
+           ~target ())
+    in
+    let* _progress = str_err (Replica.poll_until_idle r) in
+    let* () =
+      if Replica.position r <> Workspace.version lws then
+        Error "stats exercise: follower did not catch up to the leader"
+      else Ok ()
+    in
+    let* follower_read = Replica.instances r "omega" in
+    let* () =
+      if follower_read = [] then
+        Error "stats exercise: follower served no instances"
+      else Ok ()
+    in
+    (* A checksum-valid frame whose payload is garbage: the follower
+       must refetch it, then quarantine and keep serving — never wedge
+       or re-journal it. *)
+    let* () =
+      str_err
+        (Fsio.default.Fsio.write ~path:(Journal.journal_path store)
+           ~append:true
+           (Journal.frame "(not a journal record)"))
+    in
+    let* _ = str_err (Replica.poll r) in
+    let* _ = str_err (Replica.poll r) in
+    let* () =
+      match Replica.status r with
+      | Degraded _ -> Ok ()
+      | Following | Promoted ->
+          Error "stats exercise: corrupt shipped record was not quarantined"
+    in
+    let* _ws, epoch = str_err (Replica.promote r) in
+    if epoch < 1 then Error "stats exercise: promotion did not bump the epoch"
+    else Ok ()
+  in
+  cleanup ();
+  result
+
 let exercise ?(updates = 8) () =
   Obs.Trace.with_span "stats.exercise" @@ fun () ->
   let ws = University.workspace () in
@@ -275,6 +353,7 @@ let exercise ?(updates = 8) () =
   let* ws = session_traffic ws in
   let* ws = cache_traffic ws in
   let* () = durability_traffic ws in
+  let* () = replica_traffic ws in
   let* () = resilience_traffic () in
   let* () = shard_traffic ~updates:4 ws in
   match Workspace.check_consistency ws with

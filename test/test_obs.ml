@@ -292,6 +292,29 @@ let test_stats_exercise_and_json () =
     (counter "cache.skipped" > 0);
   Alcotest.(check bool) "cache invalidated on barrier" true
     (counter "cache.invalidated" > 0);
+  (* the replication layer: a follower caught up (lag back to zero), a
+     corrupt shipped record was refetched, and a promotion bumped the
+     epoch gauge *)
+  let gauge name =
+    match
+      Option.bind (J.member "gauges" doc) (fun g ->
+          Option.bind (J.member name g) J.to_float)
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "gauge %s missing from stats json" name
+  in
+  Alcotest.(check (float 1e-9)) "follower fully caught up" 0.
+    (gauge "replica.lag_records");
+  Alcotest.(check bool) "promotion bumped the epoch gauge" true
+    (gauge "replica.epoch" >= 1.);
+  Alcotest.(check bool) "suspect frame was refetched" true
+    (counter "replica.refetches" > 0);
+  Alcotest.(check bool) "a follower was promoted" true
+    (counter "replica.promotions" > 0);
+  Alcotest.(check bool) "follower ingested records" true
+    (counter "replica.applied_records" > 0);
+  Alcotest.(check bool) "corrupt record quarantined, not wedged" true
+    (counter "replica.quarantines" > 0);
   (* the table renders every registered metric *)
   let table = Penguin.Stats.table () in
   List.iter

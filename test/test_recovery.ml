@@ -42,6 +42,11 @@ let crashing_io ~fuse ~flavor : Penguin.Fsio.t =
   in
   {
     Penguin.Fsio.read = d.Penguin.Fsio.read;
+    read_from =
+      (fun ~path ~off ~len ->
+        guard
+          ~partial:(fun () -> ())
+          ~run:(fun () -> d.Penguin.Fsio.read_from ~path ~off ~len));
     write =
       (fun ~path ~append content ->
         guard

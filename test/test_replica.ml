@@ -1,0 +1,865 @@
+(* Journal-shipping replication: follower reads, rotation following,
+   quarantine-and-refetch, promotion with epoch fencing, and the
+   leader-kill sweep.
+
+   The sweep's key fact: a promoted follower's state is a pure function
+   of the complete journal frames at or before the kill point. Every
+   byte offset of the workload's journal is classified by running the
+   follower's own frame decoder on that exact prefix (so each byte's
+   outcome is checked against the acknowledged-commit ledger), and the
+   full replica → promote → fence pipeline runs for a representative
+   cut of every distinct outcome class — frame boundary, mid-length,
+   mid-CRC, and mid-payload kills. Set PENGUIN_REPLICA_SWEEP=full (the
+   @replica-suite alias does) for the 100-commit workload. *)
+open Relational
+open Test_util
+
+module R = Penguin.Replica
+module J = Penguin.Journal
+
+let full_sweep = Sys.getenv_opt "PENGUIN_REPLICA_SWEEP" = Some "full"
+let store_in = Test_recovery.store_in
+let target_in dir = Filename.concat dir "follower.pgn"
+
+let commit ?rotate_threshold dir grade =
+  check_ok_e
+    (Test_recovery.commit_grade ?rotate_threshold ~io:Penguin.Fsio.default dir
+       ("CS345", 2) grade)
+
+let follower dir =
+  check_ok_e
+    (R.create ~refetch_limit:2
+       ~feed:(R.file_feed (store_in dir))
+       ~target:(target_in dir) ())
+
+let catch_up r = check_ok_e (R.poll_until_idle r)
+
+let str_val = function
+  | Relational.Value.Str s -> s
+  | v -> Alcotest.failf "expected a string value, got %a" Relational.Value.pp v
+
+let db_equal msg a b =
+  Alcotest.(check bool)
+    msg true
+    (Database.equal a.Penguin.Workspace.db b.Penguin.Workspace.db)
+
+(* --- satellite: resumable byte offsets from replay --------------------- *)
+
+let test_replay_offsets () =
+  let dir = temp_dir "replica-offsets" in
+  Test_recovery.make_store dir;
+  List.iter (commit dir) [ "A-"; "B-"; "C+" ];
+  let jnl = J.create (J.journal_path (store_in dir)) in
+  let r =
+    match check_ok_e (J.replay jnl) with
+    | Some r -> r
+    | None -> Alcotest.fail "journal missing"
+  in
+  Alcotest.(check int) "three records" 3 r.J.records;
+  Alcotest.(check int) "one framed entry per record" 3 (List.length r.J.framed);
+  (* Offsets are strictly increasing, start past the header, and end at
+     the clean prefix: any of them is a valid resume point for tail. *)
+  let offs = List.map fst r.J.framed in
+  Alcotest.(check bool) "offsets strictly increase" true
+    (List.sort_uniq compare offs = offs);
+  Alcotest.(check bool) "first record sits past the header" true
+    (List.hd offs > 0);
+  List.iteri
+    (fun i off ->
+      match check_ok_e (J.tail jnl ~off) with
+      | None -> Alcotest.fail "tail: journal missing"
+      | Some (frames, clean, torn) ->
+          Alcotest.(check int) "no torn tail" 0 torn;
+          Alcotest.(check int) "tail resumes mid-journal" (3 - i)
+            (List.length frames);
+          Alcotest.(check int) "tail ends at the clean prefix" r.J.clean_bytes
+            clean)
+    offs;
+  rm_rf dir
+
+(* --- satellite: corrupt errors name the failing record ----------------- *)
+
+let test_corrupt_record_detail () =
+  let dir = temp_dir "replica-corrupt" in
+  Test_recovery.make_store dir;
+  commit dir "A-";
+  (* A checksum-valid frame whose payload is not a journal record:
+     corruption beyond a torn tail, localized to record index 1. *)
+  let jpath = J.journal_path (store_in dir) in
+  check_ok_e
+    (Penguin.Fsio.default.Penguin.Fsio.write ~path:jpath ~append:true
+       (J.frame "(never a record)"));
+  let err = check_err_e (Penguin.Recovery.open_store (store_in dir)) in
+  let msg = Penguin.Error.to_string err in
+  Alcotest.(check bool) "error names the record" true
+    (Strutil.contains ~sub:"record 1" msg);
+  Alcotest.(check bool) "error names the journal" true
+    (Strutil.contains ~sub:jpath msg);
+  (* ...and the JSON rendering carries the same coordinates. *)
+  let doc = Penguin.Error.to_json err in
+  let member k =
+    match Obs.Json.member k doc with
+    | Some v -> v
+    | None -> Alcotest.failf "error json lacks %S" k
+  in
+  (match member "path" with
+  | Obs.Json.Str p -> Alcotest.(check string) "json path" jpath p
+  | _ -> Alcotest.fail "error json path is not a string");
+  (match Obs.Json.to_float (member "record") with
+  | Some f -> Alcotest.(check (float 1e-9)) "json record index" 1. f
+  | None -> Alcotest.fail "error json record is not a number");
+  rm_rf dir
+
+(* --- following and follower reads -------------------------------------- *)
+
+let test_follow_and_reads () =
+  let dir = temp_dir "replica-follow" in
+  Test_recovery.make_store dir;
+  List.iter (commit dir) [ "A-"; "B-"; "C+" ];
+  let r = follower dir in
+  let p = catch_up r in
+  Alcotest.(check bool) "records were shipped" true (p.R.records >= 3);
+  Alcotest.(check int) "nothing left unapplied" 0 p.R.lag_records;
+  let lws, _ = Test_recovery.recover dir in
+  Alcotest.(check int) "position matches the leader"
+    (Penguin.Workspace.version lws)
+    (R.position r);
+  db_equal "follower state equals the leader" lws (R.workspace r);
+  Alcotest.(check string) "the shipped edit is visible" "C+"
+    (str_val
+       (Test_recovery.grade_of (R.workspace r) ("CS345", 2)));
+  (* Reads go through the attached cache at the replication position:
+     the second read of the same definition is a warm hit. *)
+  let insts = check_ok (R.instances r "omega") in
+  Alcotest.(check bool) "instances served" true (insts <> []);
+  let hits = (Viewobject.Cache.stats (R.cache r)).Viewobject.Cache.hits in
+  let _again = check_ok (R.instances r "omega") in
+  Alcotest.(check bool) "follower reads are cache-warm" true
+    ((Viewobject.Cache.stats (R.cache r)).Viewobject.Cache.hits > hits);
+  let matched = check_ok (R.oql r "omega" "course_id = 'CS345'") in
+  Alcotest.(check int) "OQL at the replication position" 1
+    (List.length matched);
+  (* An idle poll is quiet: no records, no rotation, no resync. *)
+  let p = check_ok_e (R.poll r) in
+  Alcotest.(check int) "idle poll ships nothing" 0 p.R.records;
+  Alcotest.(check bool) "idle poll neither rotates nor resyncs" false
+    (p.R.rotated || p.R.resynced);
+  (* The follower's own store is independently recoverable: open its
+     files as any crashed store. *)
+  let fws, _ =
+    check_ok_e (Penguin.Recovery.open_store ~repair:true (target_in dir))
+  in
+  db_equal "follower store round-trips through recovery" lws fws;
+  rm_rf dir
+
+(* --- rotation racing an active tailer ---------------------------------- *)
+
+(* A leader compaction (snapshot + journal re-initialization at the
+   current version) races the tailer: the follower must detect the new
+   base on its next poll, follow the barrier in place — no snapshot
+   refetch — and keep tailing the fresh journal with no gap and no
+   replay. *)
+let test_rotation_followed_in_place () =
+  let dir = temp_dir "replica-rotate" in
+  Test_recovery.make_store dir;
+  List.iter (commit dir) [ "A-"; "B-" ];
+  let r = follower dir in
+  let _ = catch_up r in
+  let v_before = R.position r in
+  (* The leader rotates while the tailer sits mid-journal. *)
+  let lws, _ = Test_recovery.recover dir in
+  check_ok_e (Penguin.Recovery.snapshot ~store:(store_in dir) lws);
+  let p = catch_up r in
+  Alcotest.(check bool) "the rotation barrier was followed" true p.R.rotated;
+  Alcotest.(check bool) "no resync was needed" false p.R.resynced;
+  Alcotest.(check int) "no replay: position unchanged over the barrier"
+    v_before (R.position r);
+  (* Tailing continues from the new base without gaps. *)
+  List.iter (commit dir) [ "C+"; "D+" ];
+  let p = catch_up r in
+  Alcotest.(check int) "both post-rotation commits shipped" 2 p.R.records;
+  let lws, _ = Test_recovery.recover dir in
+  Alcotest.(check int) "caught up past the rotation"
+    (Penguin.Workspace.version lws)
+    (R.position r);
+  db_equal "state equal across the rotation" lws (R.workspace r);
+  rm_rf dir
+
+(* A follower that was down across a rotation lost its window: the
+   records between its position and the new base exist only in the
+   leader's snapshot, so the poll must fall back to a full resync. *)
+let test_rotation_resync_when_behind () =
+  let dir = temp_dir "replica-resync" in
+  Test_recovery.make_store dir;
+  commit dir "A-";
+  let r = follower dir in
+  let _ = catch_up r in
+  (* Two commits land and the second folds the journal: the follower
+     missed both, and the new base is past its position. *)
+  commit dir "B-";
+  commit ~rotate_threshold:1 dir "C+";
+  let p = catch_up r in
+  Alcotest.(check bool) "fell back to a full resync" true p.R.resynced;
+  let lws, _ = Test_recovery.recover dir in
+  Alcotest.(check int) "resync caught the follower up"
+    (Penguin.Workspace.version lws)
+    (R.position r);
+  db_equal "state equal after resync" lws (R.workspace r);
+  Alcotest.(check string) "post-rotation edit visible" "C+"
+    (str_val
+       (Test_recovery.grade_of (R.workspace r) ("CS345", 2)));
+  rm_rf dir
+
+(* --- torn tails and quarantine ----------------------------------------- *)
+
+let test_torn_tail_and_quarantine () =
+  let dir = temp_dir "replica-quarantine" in
+  Test_recovery.make_store dir;
+  commit dir "A-";
+  let r = follower dir in
+  let _ = catch_up r in
+  let io = Penguin.Fsio.default in
+  let jpath = J.journal_path (store_in dir) in
+  let clean =
+    match check_ok_e (io.Penguin.Fsio.read jpath) with
+    | Some c -> c
+    | None -> Alcotest.fail "leader journal missing"
+  in
+  (* Torn bytes at the leader's tail are an append in flight: consumed
+     never, complained about never. *)
+  check_ok_e (io.Penguin.Fsio.write ~path:jpath ~append:true "torn-tail");
+  let p = check_ok_e (R.poll r) in
+  Alcotest.(check int) "torn tail ships nothing" 0 p.R.records;
+  (match R.status r with
+  | R.Following -> ()
+  | s -> Alcotest.failf "torn tail degraded the follower: %s" (R.status_label s));
+  (* A checksum-valid frame with a garbage payload is corruption: the
+     follower refetches it, then quarantines — degraded, still serving,
+     never wedged, and the bad bytes never reach its own journal. *)
+  check_ok_e
+    (io.Penguin.Fsio.write ~path:jpath ~append:false
+       (clean ^ J.frame "(never a record)"));
+  let _ = check_ok_e (R.poll r) in
+  let _ = check_ok_e (R.poll r) in
+  (match R.status r with
+  | R.Degraded _ -> ()
+  | s -> Alcotest.failf "expected quarantine, follower is %s" (R.status_label s));
+  Alcotest.(check bool) "degraded follower still serves reads" true
+    (check_ok (R.instances r "omega") <> []);
+  let fws, _ =
+    check_ok_e (Penguin.Recovery.open_store ~repair:true (target_in dir))
+  in
+  Alcotest.(check int) "no unverified bytes in the follower journal"
+    (R.position r)
+    (Penguin.Workspace.version fws);
+  (* The leader heals (torn-tail repair rewrites the clean prefix, a
+     fresh commit lands): the quarantined follower refetches its way
+     back to Following on its own. *)
+  check_ok_e (io.Penguin.Fsio.write ~path:jpath ~append:false clean);
+  commit dir "B-";
+  let p = catch_up r in
+  Alcotest.(check bool) "healed follower ships again" true (p.R.records >= 1);
+  (match R.status r with
+  | R.Following -> ()
+  | s -> Alcotest.failf "follower did not heal: %s" (R.status_label s));
+  let lws, _ = Test_recovery.recover dir in
+  db_equal "healed follower equals the leader" lws (R.workspace r);
+  rm_rf dir
+
+(* --- promotion and fencing --------------------------------------------- *)
+
+let test_promote_and_fence () =
+  let dir = temp_dir "replica-promote" in
+  Test_recovery.make_store dir;
+  List.iter (commit dir) [ "A-"; "B-" ];
+  let r = follower dir in
+  let _ = catch_up r in
+  (* The deposed leader holds an open handle from before the failover:
+     its epoch is 0. *)
+  let lws, lreport = check_ok_e (Penguin.Recovery.open_store (store_in dir)) in
+  Alcotest.(check int) "pre-promotion epoch" 0 lreport.Penguin.Recovery.epoch;
+  (* Promote the follower on its own files. *)
+  let pws, epoch = check_ok_e (R.promote r) in
+  Alcotest.(check int) "promotion bumps the epoch" 1 epoch;
+  Alcotest.(check int) "promoted from the last durable record"
+    (Penguin.Workspace.version lws)
+    (Penguin.Workspace.version pws);
+  check_err_contains_e ~sub:"promoted" (R.poll r);
+  (* The promoted store is writable under its new epoch. *)
+  let pws' = Test_recovery.apply_edit pws ("CS345", 2) "D+" in
+  let _ =
+    check_ok_e
+      (Penguin.Recovery.persist ~store:(target_in dir)
+         ~since:(Penguin.Workspace.version pws) ~expect_epoch:epoch pws')
+  in
+  let re, report =
+    check_ok_e (Penguin.Recovery.open_store (target_in dir))
+  in
+  Alcotest.(check int) "reopened at the new epoch" 1
+    report.Penguin.Recovery.epoch;
+  Alcotest.(check string) "post-promotion write durable" "D+"
+    (str_val (Test_recovery.grade_of re ("CS345", 2)));
+  (* Shared-path failover: promoting the leader's own files fences the
+     deposed leader's handle — its next persist refuses before
+     appending anything. *)
+  let _pws2, epoch2 = check_ok_e (R.promote_store (store_in dir)) in
+  Alcotest.(check int) "in-place promotion bumps the epoch too" 1 epoch2;
+  let stale = Test_recovery.apply_edit lws ("CS345", 2) "F" in
+  let err =
+    check_err_e
+      (Penguin.Recovery.persist ~store:(store_in dir)
+         ~since:(Penguin.Workspace.version lws)
+         ~expect_epoch:lreport.Penguin.Recovery.epoch stale)
+  in
+  Alcotest.(check bool) "the old leader is fenced" true
+    (Strutil.contains ~sub:"fenced" (Penguin.Error.to_string err));
+  (match err with
+  | Penguin.Error.Invalid _ -> ()
+  | e ->
+      Alcotest.failf "fencing must be non-retryable, got: %s"
+        (Penguin.Error.to_string e));
+  let check, _ = check_ok_e (Penguin.Recovery.open_store (store_in dir)) in
+  Alcotest.(check bool) "the fenced append left no trace" false
+    (str_val (Test_recovery.grade_of check ("CS345", 2)) = "F");
+  (* Epochs only move forward: pointing the promoted follower (epoch 1)
+     at a store still on epoch 0 must refuse — re-following a deposed
+     leader would fork the replicated history. *)
+  let dir0 = temp_dir "replica-deposed" in
+  Test_recovery.make_store dir0;
+  commit dir0 "C";
+  let err =
+    check_err_e
+      (R.create ~refetch_limit:2
+         ~feed:(R.file_feed (store_in dir0))
+         ~target:(target_in dir) ())
+  in
+  Alcotest.(check bool) "deposed leader refused" true
+    (Strutil.contains ~sub:"deposed" (Penguin.Error.to_string err));
+  rm_rf dir0;
+  rm_rf dir
+
+(* --- the leader-kill sweep --------------------------------------------- *)
+
+(* Acknowledged-state ledger: states.(k) is the leader state after k
+   acknowledged (persisted + fsynced) commits. *)
+let build_workload dir n =
+  Test_recovery.make_store dir;
+  let states = Array.make (n + 1) None in
+  let record k =
+    let ws, _ = Test_recovery.recover dir in
+    states.(k) <- Some ws
+  in
+  record 0;
+  for i = 1 to n do
+    (* Distinct values so states are pairwise distinguishable; a high
+       threshold keeps the whole workload in one journal. *)
+    commit ~rotate_threshold:100000 dir (Fmt.str "G%03d" i);
+    record i
+  done;
+  Array.map
+    (function Some ws -> ws | None -> Alcotest.fail "ledger gap")
+    states
+
+let test_leader_kill_sweep () =
+  let n = if full_sweep then 100 else 12 in
+  let dir = temp_dir "replica-sweep-ref" in
+  let states = build_workload dir n in
+  let io = Penguin.Fsio.default in
+  let jbytes =
+    match check_ok_e (io.Penguin.Fsio.read (J.journal_path (store_in dir))) with
+    | Some c -> c
+    | None -> Alcotest.fail "workload journal missing"
+  in
+  let sbytes =
+    match check_ok_e (io.Penguin.Fsio.read (store_in dir)) with
+    | Some c -> c
+    | None -> Alcotest.fail "workload snapshot missing"
+  in
+  rm_rf dir;
+  let total = String.length jbytes in
+  (* Frame boundaries: ends.(k) = the least byte count whose prefix
+     holds the header and k complete records. *)
+  let frames, clean, torn = J.decode_frames jbytes in
+  Alcotest.(check int) "workload journal is clean" 0 torn;
+  Alcotest.(check int) "workload journal fully decodes" total clean;
+  Alcotest.(check int) "one record per commit" (n + 1) (List.length frames);
+  let ends =
+    Array.of_list
+      (List.map (fun (off, p) -> off + 8 + String.length p) frames)
+  in
+  let header_end = ends.(0) in
+  (* Complete records in a b-byte prefix (excluding the header). *)
+  let records_at b =
+    let k = ref 0 in
+    Array.iteri (fun i e -> if i > 0 && e <= b then incr k) ends;
+    !k
+  in
+  (* Every byte offset: the follower's own decoder, run on that exact
+     prefix, must report precisely the acknowledged commits at or
+     before the kill — the per-byte half of the sweep. *)
+  for b = 0 to total do
+    let fs, _, _ = J.decode_frames (String.sub jbytes 0 b) in
+    let complete = List.length fs in
+    let expect = records_at b + if b >= header_end then 1 else 0 in
+    if complete <> expect then
+      Alcotest.failf "byte %d: decoded %d frames, the ledger says %d" b
+        complete expect
+  done;
+  (* Pipeline verification per outcome class. Every distinct complete-
+     frame count k is exercised at its boundary and at torn cuts inside
+     the next frame: 1 byte in (mid-length), 6 bytes in (mid-CRC), and
+     mid-payload — each must promote to exactly states.(k). A cut
+     strictly inside the header is unreachable (the header is written
+     via atomic rename), but b = 0 — death before the rename — is real
+     and promotes to the initial state. *)
+  let cuts = ref [ 0, 0 ] in
+  for k = 0 to n do
+    let b0 = ends.(k) in
+    let next = if k < n then ends.(k + 1) else total in
+    let torn_cuts = [ b0 + 1; b0 + 6; (b0 + next) / 2; next - 1 ] in
+    cuts := (b0, k) :: !cuts;
+    List.iter
+      (fun b -> if b > b0 && b < next then cuts := (b, k) :: !cuts)
+      torn_cuts
+  done;
+  List.iter
+    (fun (b, k) ->
+      let expect = states.(k) in
+      let dead = temp_dir "replica-sweep" in
+      let store = store_in dead in
+      check_ok_e (Penguin.Fsio.atomic_write io ~path:store sbytes);
+      if b > 0 then
+        check_ok_e
+          (io.Penguin.Fsio.write ~path:(J.journal_path store) ~append:false
+             (String.sub jbytes 0 b));
+      (* The deposed leader's handle, opened before it died. *)
+      let old_leader =
+        if b >= header_end then
+          Some (check_ok_e (Penguin.Recovery.open_store store))
+        else None
+      in
+      (* Follower bootstraps from the dead leader's files, catches up,
+         and promotes in place from its last durable record. *)
+      let r =
+        check_ok_e
+          (R.create ~feed:(R.file_feed store)
+             ~target:(Filename.concat dead "follower.pgn") ())
+      in
+      let _ = catch_up r in
+      let ctx = Fmt.str "kill at byte %d/%d (%d commits acked)" b total k in
+      if R.position r <> Penguin.Workspace.version expect then
+        Alcotest.failf "%s: follower at v%d, ledger says v%d" ctx
+          (R.position r)
+          (Penguin.Workspace.version expect);
+      let pws, epoch = check_ok_e (R.promote r) in
+      Alcotest.(check int) (ctx ^ ": promotion epoch") 1 epoch;
+      (* Prefix-consistent, no lost acknowledged commit, no duplicate:
+         the promoted state IS the ledger state at k. *)
+      if
+        not
+          (Database.equal pws.Penguin.Workspace.db
+             expect.Penguin.Workspace.db
+          && Penguin.Workspace.version pws = Penguin.Workspace.version expect)
+      then
+        Alcotest.failf "%s: promoted state is not the acked prefix" ctx;
+      (* In-place promotion of the dead leader's own files: same state,
+         and the deposed handle is fenced. *)
+      let ipws, _ = check_ok_e (R.promote_store store) in
+      if not (Database.equal ipws.Penguin.Workspace.db expect.Penguin.Workspace.db)
+      then Alcotest.failf "%s: in-place promotion diverged" ctx;
+      (match old_leader with
+      | None -> ()
+      | Some (lws, lreport) ->
+          let stale = Test_recovery.apply_edit lws ("CS345", 2) "F" in
+          let err =
+            check_err_e
+              (Penguin.Recovery.persist ~store
+                 ~since:(Penguin.Workspace.version lws)
+                 ~expect_epoch:lreport.Penguin.Recovery.epoch stale)
+          in
+          if
+            not
+              (Strutil.contains ~sub:"fenced" (Penguin.Error.to_string err))
+          then Alcotest.failf "%s: deposed leader was not fenced" ctx);
+      rm_rf dead)
+    !cuts
+
+(* --- the socket feed --------------------------------------------------- *)
+
+let with_shipper dir f =
+  let sock = Filename.concat dir "ship.sock" in
+  let srv =
+    Domain.spawn (fun () ->
+        Penguin.Shipper.serve ~store:(store_in dir) ~sock ())
+  in
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "shipper socket never appeared"
+    else begin
+      Unix.sleepf 0.005;
+      await (n - 1)
+    end
+  in
+  await 1000;
+  let result = f sock in
+  check_ok_e (Penguin.Shipper.quit ~sock);
+  let (_ : int) = check_ok_e (Domain.join srv) in
+  result
+
+let test_shipper_feed () =
+  let dir = temp_dir "replica-shipper" in
+  Test_recovery.make_store dir;
+  List.iter (commit dir) [ "A-"; "B-" ];
+  with_shipper dir (fun sock ->
+      let r =
+        check_ok_e
+          (R.create
+             ~feed:(Penguin.Shipper.feed ~sock)
+             ~target:(target_in dir) ())
+      in
+      let _ = catch_up r in
+      let lws, _ = Test_recovery.recover dir in
+      Alcotest.(check int) "socket follower at the leader position"
+        (Penguin.Workspace.version lws)
+        (R.position r);
+      db_equal "socket follower equals the leader" lws (R.workspace r);
+      (* New commits ship over the live socket. *)
+      commit dir "C+";
+      let p = catch_up r in
+      Alcotest.(check int) "live tailing over the socket" 1 p.R.records;
+      Alcotest.(check string) "socket-shipped edit visible" "C+"
+        (str_val
+           (Test_recovery.grade_of (R.workspace r) ("CS345", 2))));
+  rm_rf dir
+
+(* Kill the transport at every I/O point of the exchange. The response
+   envelope is CRC-framed, so a server or connection dying at any byte
+   gives the client a typed transient error and never partial data; the
+   follower retries the poll and converges with no loss and no
+   duplicate. *)
+let test_shipper_kill_points () =
+  let dir = temp_dir "replica-shipkill" in
+  Test_recovery.make_store dir;
+  List.iter (commit dir) [ "A-"; "B-"; "C+" ];
+  (* A "server" that dies after writing [cut] bytes of the response.
+     The socket is bound and listening before the domain spawns, so the
+     client's connect never races the setup. *)
+  let dying_server sock cut =
+    let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind srv (Unix.ADDR_UNIX sock);
+    Unix.listen srv 1;
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept srv in
+        let buf = Bytes.create 4096 in
+        let rec drain () = if Unix.read fd buf 0 4096 > 0 then drain () in
+        drain ();
+        let resp = J.frame "(ok)" ^ J.frame "full response payload" in
+        let k = min cut (String.length resp) in
+        ignore (Unix.write_substring fd resp 0 k);
+        Unix.close fd;
+        Unix.close srv)
+  in
+  let resp_len = String.length (J.frame "(ok)" ^ J.frame "full response payload") in
+  for cut = 0 to resp_len - 1 do
+    let sock = Filename.concat dir (Fmt.str "die%d.sock" cut) in
+    let srv = dying_server sock cut in
+    let feed = Penguin.Shipper.feed ~sock in
+    (match feed.R.fetch_journal ~off:0 with
+    | Ok _ -> Alcotest.failf "cut at %d bytes produced data" cut
+    | Error e ->
+        if not (Penguin.Error.retryable e) then
+          Alcotest.failf "cut at %d: not transient: %s" cut
+            (Penguin.Error.to_string e));
+    Domain.join srv;
+    Sys.remove sock
+  done;
+  (* A client dying mid-request must not kill the real server: a torn
+     request frame is answered in-band and serving continues. *)
+  with_shipper dir (fun sock ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let torn = String.sub (J.frame "(snapshot)") 0 5 in
+      ignore (Unix.write_substring fd torn 0 (String.length torn));
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let buf = Bytes.create 4096 in
+      let rec drain acc =
+        let k = Unix.read fd buf 0 4096 in
+        if k = 0 then acc else drain (acc ^ Bytes.sub_string buf 0 k)
+      in
+      let resp = drain "" in
+      Unix.close fd;
+      Alcotest.(check bool) "torn request answered in-band" true
+        (Strutil.contains ~sub:"torn request" resp);
+      (* ...and the next real client is served normally. *)
+      let feed = Penguin.Shipper.feed ~sock in
+      match feed.R.fetch_head () with
+      | Ok head -> Alcotest.(check bool) "server survived" true (head <> "")
+      | Error e ->
+          Alcotest.failf "server wedged by torn request: %s"
+            (Penguin.Error.to_string e));
+  rm_rf dir
+
+(* --- sharded stores ---------------------------------------------------- *)
+
+let sharded_root dir = Filename.concat dir "shards"
+let sharded_target dir = Filename.concat dir "shards-follower"
+
+(* A sharded leader with mixed traffic: lane-local commits on both
+   islands and one cross-shard 2PC in between. *)
+let sharded_workload dir =
+  let root = sharded_root dir in
+  ignore
+    (check_ok_e
+       (Penguin.Shard_store.init ~root
+          (Test_sharded.islands_workspace ~cross:true 2)));
+  let eng = check_ok_e (Penguin.Sharded.open_store ~root ()) in
+  Fun.protect
+    ~finally:(fun () -> Penguin.Sharded.shutdown eng)
+    (fun () ->
+      let commit name step =
+        let ws = Penguin.Sharded.to_workspace eng in
+        ignore (Test_sharded.committed (Penguin.Sharded.update eng name (step ws)))
+      in
+      commit "isl0" (fun ws -> Test_sharded.sub_flip ~stamp:"s0" ws 0);
+      commit "refx0" (fun ws -> Test_sharded.cross_flip ~stamp:"x1" ws 0);
+      commit "isl1" (fun ws -> Test_sharded.sub_flip ~stamp:"s1" ws 1))
+
+let sval db island =
+  match
+    Relation.lookup
+      (Database.relation_exn db (Fmt.str "I%02d_SUB" island))
+      [ Relational.Value.Int 0; Relational.Value.Int 0 ]
+  with
+  | Some t -> str_val (Tuple.get t "sval")
+  | None -> Alcotest.fail "fixture SUB row missing"
+
+let cross_vals db =
+  let get rel key attr =
+    match Relation.lookup (Database.relation_exn db rel) key with
+    | Some t -> str_val (Tuple.get t attr)
+    | None -> Alcotest.failf "fixture %s row missing" rel
+  in
+  ( get "I00_REF" [ Relational.Value.Int 0; Relational.Value.Int 0 ] "note",
+    get "I01_TGT" [ Relational.Value.Int 0; Relational.Value.Int 0 ] "tval" )
+
+let test_sharded_follow () =
+  let dir = temp_dir "replica-sharded" in
+  sharded_workload dir;
+  let sr =
+    check_ok_e
+      (R.Sharded.create ~source:(sharded_root dir)
+         ~target:(sharded_target dir) ())
+  in
+  let shipped = check_ok_e (R.Sharded.poll sr) in
+  Alcotest.(check bool) "shard records shipped" true (shipped > 0);
+  let leader =
+    check_ok_e (Penguin.Shard_store.open_store ~root:(sharded_root dir) ())
+  in
+  let fol = check_ok_e (R.Sharded.open_follower sr) in
+  db_equal "sharded follower equals the leader"
+    leader.Penguin.Shard_store.ws fol.Penguin.Shard_store.ws;
+  Alcotest.(check (list int)) "version vectors agree"
+    (Array.to_list leader.Penguin.Shard_store.versions)
+    (Array.to_list fol.Penguin.Shard_store.versions);
+  (* Promote the follower root: consistent cut made physical, manifest
+     epoch bumped. *)
+  let o, epoch = check_ok_e (R.Sharded.promote sr) in
+  Alcotest.(check int) "sharded promotion epoch" 1 epoch;
+  db_equal "promoted sharded state intact" leader.Penguin.Shard_store.ws
+    o.Penguin.Shard_store.ws;
+  check_err_contains_e ~sub:"promoted" (R.Sharded.poll sr);
+  Test_sharded_crash.rm_rf_deep dir
+
+(* Kill the leader at every per-shard shipping point of a mid-2PC
+   workload: every pairing of per-shard record prefixes (plus torn
+   variants) must promote to a consistent cut — the cross-shard commit
+   lands on both shards or on neither, and each shard is a prefix of
+   its own acknowledged sequence. *)
+let test_sharded_mid_2pc_kill_sweep () =
+  let dir = temp_dir "replica-2pc-ref" in
+  sharded_workload dir;
+  let io = Penguin.Fsio.default in
+  let root = sharded_root dir in
+  let read p =
+    match check_ok_e (io.Penguin.Fsio.read p) with
+    | Some c -> c
+    | None -> Alcotest.failf "missing %s" p
+  in
+  let defs = read (Penguin.Shard_store.defs_path ~root) in
+  let manifest = read (Penguin.Shard_store.manifest_path ~root) in
+  let snaps =
+    Array.init 2 (fun i -> read (Penguin.Shard_store.shard_path ~root i))
+  in
+  let jnls =
+    Array.init 2 (fun i ->
+        read (J.journal_path (Penguin.Shard_store.shard_path ~root i)))
+  in
+  Test_sharded_crash.rm_rf_deep dir;
+  (* Per-shard cut points: every frame boundary, and a torn cut inside
+     every frame. *)
+  let cut_points j =
+    let frames, clean, _ = J.decode_frames j in
+    Alcotest.(check int) "shard journal clean" (String.length j) clean;
+    List.concat_map
+      (fun (off, p) ->
+        let e = off + 8 + String.length p in
+        [ e; min (e + 9) (String.length j) ])
+      frames
+    |> List.sort_uniq compare
+  in
+  let cuts0 = cut_points jnls.(0) and cuts1 = cut_points jnls.(1) in
+  (* The oracle: re-derive which records a consistent cut keeps, for
+     one gid, from the record semantics alone. *)
+  let parsed j b =
+    let frames, _, _ = J.decode_frames (String.sub j 0 b) in
+    List.filteri (fun i _ -> i > 0) frames
+    |> List.map (fun (_, p) -> check_ok (J.record_of_payload p))
+  in
+  let expect_applied recs0 recs1 =
+    let has l p = List.exists p l in
+    let prepare0 = has recs0 (function Penguin.Journal.Prepare _ -> true | _ -> false)
+    and prepare1 = has recs1 (function Penguin.Journal.Prepare _ -> true | _ -> false)
+    and decided =
+      has (recs0 @ recs1) (function
+        | Penguin.Journal.Decide _ | Penguin.Journal.Mark _ -> true
+        | _ -> false)
+    in
+    let cross = prepare0 && prepare1 && decided in
+    (* The incomplete-gid trim: a decided gid missing a prepare cuts
+       every shard at its first record of that gid — which here can
+       only drop records at or after the prepare. *)
+    let trim recs prepared =
+      if decided && not (prepare0 && prepare1) && prepared then
+        let rec take acc = function
+          | [] -> List.rev acc
+          | ( Penguin.Journal.Prepare _ | Penguin.Journal.Decide _
+            | Penguin.Journal.Mark _ )
+            :: _ ->
+              List.rev acc
+          | (Penguin.Journal.Commit _ as r) :: rest -> take (r :: acc) rest
+        in
+        take [] recs
+      else recs
+    in
+    let singles recs =
+      List.exists
+        (function Penguin.Journal.Commit _ -> true | _ -> false)
+        recs
+    in
+    let recs0 = trim recs0 prepare0 and recs1 = trim recs1 prepare1 in
+    (singles recs0, cross, singles recs1)
+  in
+  List.iter
+    (fun b0 ->
+      List.iter
+        (fun b1 ->
+          let dead = temp_dir "replica-2pc" in
+          let droot = sharded_root dead in
+          Unix.mkdir droot 0o755;
+          check_ok_e
+            (Penguin.Fsio.atomic_write io
+               ~path:(Penguin.Shard_store.defs_path ~root:droot) defs);
+          check_ok_e
+            (Penguin.Fsio.atomic_write io
+               ~path:(Penguin.Shard_store.manifest_path ~root:droot) manifest);
+          Array.iteri
+            (fun i snap ->
+              let sp = Penguin.Shard_store.shard_path ~root:droot i in
+              check_ok_e (Penguin.Fsio.atomic_write io ~path:sp snap);
+              let b = if i = 0 then b0 else b1 in
+              check_ok_e
+                (io.Penguin.Fsio.write ~path:(J.journal_path sp) ~append:false
+                   (String.sub jnls.(i) 0 b)))
+            snaps;
+          let ctx = Fmt.str "kill at shard bytes (%d, %d)" b0 b1 in
+          let o, epoch =
+            match R.Sharded.promote_root droot with
+            | Ok v -> v
+            | Error e ->
+                Alcotest.failf "%s: promotion failed: %s" ctx
+                  (Penguin.Error.to_string e)
+          in
+          Alcotest.(check int) (ctx ^ ": epoch") 1 epoch;
+          (match
+             Penguin.Workspace.check_consistency o.Penguin.Shard_store.ws
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: inconsistent: %s" ctx e);
+          let db = o.Penguin.Shard_store.ws.Penguin.Workspace.db in
+          let s0, cross, s1 =
+            expect_applied (parsed jnls.(0) b0) (parsed jnls.(1) b1)
+          in
+          let got_note, got_tval = cross_vals db in
+          if (got_note = "x1") <> (got_tval = "x1") then
+            Alcotest.failf "%s: cross-shard commit half-applied (%s, %s)" ctx
+              got_note got_tval;
+          if (got_note = "x1") <> cross then
+            Alcotest.failf "%s: cross-shard commit %s, ledger says %s" ctx
+              (if got_note = "x1" then "applied" else "dropped")
+              (if cross then "applied" else "dropped");
+          let check_single island expect =
+            let got = sval db island in
+            let want = if expect then Fmt.str "s%d" island else "s" in
+            if got <> want then
+              Alcotest.failf "%s: island %d sval %S, ledger says %S" ctx
+                island got want
+          in
+          check_single 0 s0;
+          check_single 1 s1;
+          Test_sharded_crash.rm_rf_deep dead)
+        cuts1)
+    cuts0
+
+(* A promoted sharded root fences the deposed engine: its next commit
+   notices the manifest epoch moved and wedges instead of appending. *)
+let test_sharded_engine_fenced () =
+  let dir = temp_dir "replica-shard-fence" in
+  sharded_workload dir;
+  let root = sharded_root dir in
+  let eng = check_ok_e (Penguin.Sharded.open_store ~root ()) in
+  Fun.protect
+    ~finally:(fun () -> Penguin.Sharded.shutdown eng)
+    (fun () ->
+      (* A replica promotes the same root out from under the engine. *)
+      let _o, epoch = check_ok_e (R.Sharded.promote_root root) in
+      Alcotest.(check int) "epoch bumped" 1 epoch;
+      let ws = Penguin.Sharded.to_workspace eng in
+      let o =
+        Penguin.Sharded.update eng "isl0" (Test_sharded.sub_flip ~stamp:"zz" ws 0)
+      in
+      let reason = rollback_reason o in
+      Alcotest.(check bool) "deposed engine is fenced" true
+        (Strutil.contains ~sub:"fenced" reason);
+      Alcotest.(check bool) "fenced engine wedges" true
+        (Penguin.Sharded.wedged eng));
+  Test_sharded_crash.rm_rf_deep dir
+
+let suite =
+  [
+    Alcotest.test_case "replay reports resumable byte offsets" `Quick
+      test_replay_offsets;
+    Alcotest.test_case "corrupt errors name the failing record" `Quick
+      test_corrupt_record_detail;
+    Alcotest.test_case "follow a leader and serve cache-warm reads" `Quick
+      test_follow_and_reads;
+    Alcotest.test_case "rotation racing the tailer is followed in place"
+      `Quick test_rotation_followed_in_place;
+    Alcotest.test_case "rotation beyond the follower forces a resync" `Quick
+      test_rotation_resync_when_behind;
+    Alcotest.test_case "torn tails wait; corrupt frames quarantine and heal"
+      `Quick test_torn_tail_and_quarantine;
+    Alcotest.test_case "promotion comes up writable and fences the old leader"
+      `Quick test_promote_and_fence;
+    Alcotest.test_case "leader killed at every journal byte offset" `Quick
+      test_leader_kill_sweep;
+    Alcotest.test_case "socket feed ships live commits" `Quick
+      test_shipper_feed;
+    Alcotest.test_case "shipper killed at every transport I/O point" `Quick
+      test_shipper_kill_points;
+    Alcotest.test_case "sharded follower tracks a sharded leader" `Quick
+      test_sharded_follow;
+    Alcotest.test_case "mid-2PC leader kill promotes a consistent cut" `Quick
+      test_sharded_mid_2pc_kill_sweep;
+    Alcotest.test_case "promotion fences the deposed sharded engine" `Quick
+      test_sharded_engine_fenced;
+  ]
