@@ -16,6 +16,10 @@ open Viewobject
 let quick = ref false
 let json_path : string option ref = ref None
 
+(* --only e17 (or --only e15,e16): run a subset of the experiments —
+   iteration and CI triage; the gate still wants the full set. *)
+let only : string list ref = ref []
+
 let parse_argv () =
   let rec go = function
     | [] -> ()
@@ -26,9 +30,15 @@ let parse_argv () =
         json_path := Some path;
         go rest
     | [ "--json" ] -> failwith "--json requires a file argument"
+    | "--only" :: names :: rest ->
+        only := String.split_on_char ',' names;
+        go rest
+    | [ "--only" ] -> failwith "--only requires an experiment list"
     | arg :: _ -> failwith (Fmt.str "unknown argument %s" arg)
   in
   go (List.tl (Array.to_list Sys.argv))
+
+let want name f = if !only = [] || List.mem name !only then f ()
 
 (* Collected (group, (test name, ns/op) list), in run order. *)
 let collected : (string * (string * float) list) list ref = ref []
@@ -109,6 +119,23 @@ let run_group name tests =
     rows;
   collected := (name, rows) :: !collected;
   rows
+
+(* Record hand-timed rows (name, ns/op) under the same table format and
+   gate document as a bechamel group — for experiments whose unit of
+   work is too coarse or too stateful for the bechamel driver. *)
+let record_group name rows =
+  Fmt.pr "@.%-58s %14s %14s@." "benchmark" "time/run" "runs/sec";
+  Fmt.pr "%s@." (String.make 88 '-');
+  List.iter
+    (fun (n, ns) ->
+      let time_str =
+        if ns < 1_000. then Fmt.str "%.0f ns" ns
+        else if ns < 1_000_000. then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.3f ms" (ns /. 1e6)
+      in
+      Fmt.pr "%-58s %14s %14.0f@." (name ^ " " ^ n) time_str (1e9 /. ns))
+    rows;
+  collected := (name, rows) :: !collected
 
 let stage = Staged.stage
 
@@ -1501,6 +1528,219 @@ let e16 () =
   in
   ignore (run_group "replica.failover" [ failover_test ])
 
+(* --- E17: unix-socket serving, pipelined group commit ------------------- *)
+
+let e17 () =
+  section "E17: group-commit serving (DESIGN.md section 5.9)";
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "penguin-bench-e17-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let or_fail = function
+    | Ok v -> v
+    | Error e -> failwith (Penguin.Error.to_string e)
+  in
+  let clients = 16 in
+  let rounds = if !quick then 8 else 25 in
+  (* The load store: the university fixture plus one disjoint
+     course/student/grade triple per client, so every client owns a
+     course and a window's worth of grade edits batches without
+     conflicts — the same seed [penguin client seed] writes. *)
+  let seed_store path =
+    let ins rel bindings db =
+      match Database.insert db rel (Tuple.make bindings) with
+      | Ok db -> db
+      | Error e -> failwith (Database.error_to_string e)
+    in
+    let rec add db i =
+      if i > clients then db
+      else
+        let course = Fmt.str "BENCH%03d" i in
+        let pid = 2000 + i in
+        db
+        |> ins "COURSES"
+             [ "course_id", Value.Str course;
+               "title", Value.Str (Fmt.str "Bench %d" i);
+               "units", Value.Int 3; "level", Value.Str "grad";
+               "dept_name", Value.Str "Computer Science" ]
+        |> ins "PEOPLE"
+             [ "pid", Value.Int pid; "name", Value.Str (Fmt.str "S%d" i);
+               "dept_name", Value.Str "Computer Science" ]
+        |> ins "STUDENT"
+             [ "pid", Value.Int pid; "degree_program", Value.Str "MS CS";
+               "year", Value.Int ((i mod 4) + 1) ]
+        |> ins "GRADES"
+             [ "course_id", Value.Str course; "pid", Value.Int pid;
+               "grade", Value.Str "A" ]
+        |> fun db -> add db (i + 1)
+    in
+    let ws = Penguin.University.workspace () in
+    let ws = { ws with Penguin.Workspace.db = add ws.Penguin.Workspace.db 1 } in
+    or_fail (Penguin.Store.save_file ws path)
+  in
+  (* A modeled barrier disk: every fsync pays a fixed 2 ms on top of the
+     real one — a representative commodity-disk write barrier. On the
+     NVMe this host (and CI) runs on, a real fsync is ~0.1 ms, below the
+     serving stack's per-commit CPU, so the native sweep cannot show
+     what group commit amortizes; the modeled sweep isolates it. The
+     grouping mechanism under test is identical in both. *)
+  let sync_delay_ns = 2_000_000. in
+  let slow_io =
+    let d = Penguin.Fsio.default in
+    { d with
+      Penguin.Fsio.sync =
+        (fun path ->
+          Unix.sleepf (sync_delay_ns /. 1e9);
+          d.Penguin.Fsio.sync path) }
+  in
+  let start_server ?io name config =
+    let store = Filename.concat dir (name ^ ".pgn") in
+    seed_store store;
+    let sock = Filename.concat dir (name ^ ".sock") in
+    let dom =
+      Domain.spawn (fun () -> Penguin.Server.serve ?io ~config ~store ~sock ())
+    in
+    let rec await n =
+      if Sys.file_exists sock then ()
+      else if n = 0 then failwith "E17: server socket never appeared"
+      else (Unix.sleepf 0.02; await (n - 1))
+    in
+    await 250;
+    sock, dom
+  in
+  let stop sock dom =
+    let c = or_fail (Penguin.Client.connect ~sock) in
+    (match Penguin.Client.shutdown c with Ok () | Error _ -> ());
+    Penguin.Client.close c;
+    ignore (Domain.join dom)
+  in
+  (* Open-loop driver: write every round's begin/queue/commit for every
+     connection up front, then drain the acks. The server never waits on
+     a client round-trip, so a window fills to the connection count (or
+     the size cap) instead of to whatever one closed-loop round
+     happened to deliver. The grade value varies per driver run and
+     round — an edit that matches the stored value is a no-op the
+     session would skip, and a skipped edit would ack without paying
+     for a commit. *)
+  let run = ref 0 in
+  let drive sock =
+    incr run;
+    let conns =
+      List.init clients (fun i ->
+          i + 1, or_fail (Penguin.Client.connect ~sock))
+    in
+    for r = 1 to rounds do
+      List.iter
+        (fun (i, c) ->
+          or_fail (Penguin.Client.send_begin c);
+          or_fail
+            (Penguin.Client.send_queue c ~object_name:"omega"
+               (Fmt.str
+                  "set GRADES[pid = %d] grade = \'X%dR%d\' where course_id = \
+                   \'BENCH%03d\'"
+                  (2000 + i) !run r i));
+          or_fail (Penguin.Client.send_commit c))
+        conns
+    done;
+    List.iter
+      (fun (_, c) ->
+        for _ = 1 to rounds do
+          ignore (or_fail (Penguin.Client.recv_begin c));
+          ignore (or_fail (Penguin.Client.recv_queue c));
+          ignore (or_fail (Penguin.Client.recv_commit c))
+        done;
+        Penguin.Client.close c)
+      conns
+  in
+  let per_drive = float_of_int (clients * rounds) in
+  (* Throughput is hand-timed over whole drives (median of a few), one
+     server alive at a time: a server is an event loop in a domain, and
+     with several of them parked in [select] inside one OCaml process a
+     bechamel run measures runtime synchronization, not serving. The
+     recorded ns/op is per committed update. *)
+  let single = { Penguin.Server.default_config with
+                 flush_window = 1; eager_flush = false } in
+  let grouped = Penguin.Server.default_config in
+  let measure ?io fsname config =
+    let sock, dom = start_server ?io fsname config in
+    drive sock;
+    let reps = if !quick then 3 else 5 in
+    let samples =
+      List.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          drive sock;
+          (Unix.gettimeofday () -. t0) *. 1e9 /. per_drive)
+    in
+    stop sock dom;
+    List.nth (List.sort compare samples) ((reps - 1) / 2)
+  in
+  let configs =
+    [ "window=001:native", "w001", None, single;
+      "window=064:native", "w064", None, grouped;
+      "window=001:sync=2ms", "w001s", Some slow_io, single;
+      "window=064:sync=2ms", "w064s", Some slow_io, grouped ]
+  in
+  let rows =
+    List.map
+      (fun (name, fsname, io, config) -> name, measure ?io fsname config)
+      configs
+  in
+  record_group "server.throughput" rows;
+  let cps ns = 1e9 /. ns in
+  let at name = List.assoc_opt name rows in
+  (match at "window=001:native", at "window=064:native" with
+  | Some n1, Some nn when Float.is_finite n1 && Float.is_finite nn ->
+      Fmt.pr
+        "@.E17 native disk: %.0f commits/sec at window=1, %.0f grouped — \
+         %.2fx (fsync here is ~0.1 ms, below the per-commit CPU; see the \
+         modeled disk for the amortization gate)@."
+        (cps n1) (cps nn) (n1 /. nn)
+  | _ -> ());
+  (match at "window=001:sync=2ms", at "window=064:sync=2ms" with
+  | Some n1, Some nn when Float.is_finite n1 && Float.is_finite nn ->
+      Fmt.pr
+        "@.E17 acceptance (2 ms barrier disk, %d clients): %.0f commits/sec \
+         at window=1 (fsync per commit), %.0f grouped — %.2fx (target >= 3x) \
+         %s@."
+        clients (cps n1) (cps nn) (n1 /. nn)
+        (if n1 /. nn >= 3. then "PASS" else "FAIL")
+  | _ -> ());
+  (* Reads through the serving path: a warm view-object oql over the
+     wire (connect once, query per run) vs the same query against a
+     local warm cache — what the socket hop costs. *)
+  let sockr, domr = start_server "reads" grouped in
+  let read_client = or_fail (Penguin.Client.connect ~sock:sockr) in
+  let lws, _ =
+    or_fail (Penguin.Recovery.open_store (Filename.concat dir "reads.pgn"))
+  in
+  let lcache = Penguin.Workspace.attach_cache lws in
+  let condition = "course_id = \'BENCH001\'" in
+  let read_wire () =
+    match Penguin.Client.oql read_client ~object_name:"omega" condition with
+    | Ok (n, _) -> n
+    | Error e -> failwith (Penguin.Error.to_string e)
+  in
+  let read_local () =
+    match Viewobject.Cache.oql lcache "omega" condition with
+    | Ok is -> List.length is
+    | Error e -> failwith e
+  in
+  ignore (read_wire ());
+  ignore (read_local ());
+  ignore
+    (run_group "server.read"
+       [
+         Test.make ~name:"oql:wire-warm" (stage read_wire);
+         Test.make ~name:"oql:local-warm" (stage read_local);
+       ]);
+  Penguin.Client.close read_client;
+  stop sockr domr
+
 let () =
   parse_argv ();
   (* Metrics stay on for the whole run (the --json document carries the
@@ -1508,22 +1748,23 @@ let () =
   Obs.Metrics.enable ();
   Fmt.pr "PENGUIN benchmark harness — one experiment per paper artifact@.";
   Fmt.pr "(see DESIGN.md and EXPERIMENTS.md for the index)@.";
-  e1 ();
-  e2_e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  ablation ();
-  surfaces ();
+  want "e1" e1;
+  want "e2_e3" e2_e3;
+  want "e4" e4;
+  want "e5" e5;
+  want "e6" e6;
+  want "e7" e7;
+  want "e8" e8;
+  want "e9" e9;
+  want "e10" e10;
+  want "e11" e11;
+  want "e12" e12;
+  want "e13" e13;
+  want "e14" e14;
+  want "e15" e15;
+  want "e16" e16;
+  want "e17" e17;
+  want "ablation" ablation;
+  want "surfaces" surfaces;
   Option.iter write_json !json_path;
   Fmt.pr "@.all benchmarks complete.@."

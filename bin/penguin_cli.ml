@@ -1075,6 +1075,365 @@ let replica_cmd =
     [ replica_serve_cmd; replica_quit_cmd; replica_sync_cmd;
       replica_status_cmd; replica_oql_cmd; replica_promote_cmd ]
 
+(* --- serve ------------------------------------------------------------ *)
+
+let serve () store sock window interval_ms no_eager max_parked =
+  let config =
+    {
+      Penguin.Server.default_config with
+      flush_window = window;
+      flush_interval_ns = interval_ms *. 1e6;
+      eager_flush = not no_eager;
+      max_parked;
+    }
+  in
+  Fmt.pr "serving %s on %s (window %d, interval %.1f ms%s)@." store sock
+    window interval_ms
+    (if no_eager then "" else ", eager flush");
+  let stats = or_die (Penguin.Server.serve ~config ~store ~sock ()) in
+  Fmt.pr "served %d request(s), %d commit(s) over %d window(s)@."
+    stats.Penguin.Server.requests stats.Penguin.Server.commits
+    stats.Penguin.Server.windows
+
+let serve_sock_arg =
+  Arg.(required & opt (some string) None
+       & info [ "sock" ] ~docv:"SOCK" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let store =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STORE"
+             ~doc:"Saved workspace (see $(b,export) or $(b,client seed)) \
+                   acting as the served store.")
+  in
+  let window =
+    Arg.(value & opt int Penguin.Server.default_config.flush_window
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Parked commits that force a flush; 1 degrades to a \
+                   fsync per commit (the group-commit baseline).")
+  in
+  let interval_ms =
+    Arg.(value & opt float 10.
+         & info [ "interval-ms" ] ~docv:"MS"
+             ~doc:"Age of the oldest parked commit that forces a flush — \
+                   the latency bound when requests trickle in.")
+  in
+  let no_eager =
+    Arg.(value & flag
+         & info [ "no-eager" ]
+             ~doc:"Batch strictly by $(b,--window) size and \
+                   $(b,--interval-ms) age instead of also flushing as \
+                   soon as the event loop drains its input.")
+  in
+  let max_parked =
+    Arg.(value & opt int Penguin.Server.default_config.max_parked
+         & info [ "max-parked" ] ~docv:"N"
+             ~doc:"Admission bound on parked commits; beyond it, commit \
+                   requests are shed with a busy error.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a store over a Unix-domain socket: concurrent client \
+             sessions, conflict-free commits batched into one group \
+             commit and one journal fsync per flush window, reads \
+             through the materialized view-object cache.")
+    Term.(const serve $ trace_term $ store $ serve_sock_arg $ window
+          $ interval_ms $ no_eager $ max_parked)
+
+(* --- client ----------------------------------------------------------- *)
+
+let with_client sock f =
+  let c = or_die (Penguin.Client.connect ~sock) in
+  Fun.protect ~finally:(fun () -> Penguin.Client.close c) (fun () -> f c)
+
+let client_ping sock =
+  with_client sock @@ fun c ->
+  or_die (Penguin.Client.ping c);
+  Fmt.pr "pong@."
+
+let client_stats sock =
+  with_client sock @@ fun c -> print_endline (or_die (Penguin.Client.stats c))
+
+let client_oql sock object_name query =
+  with_client sock @@ fun c ->
+  let n, text = or_die (Penguin.Client.oql c ~object_name query) in
+  Fmt.pr "%d instance(s)@.%s" n text
+
+let client_shutdown sock =
+  with_client sock @@ fun c ->
+  or_die (Penguin.Client.shutdown c);
+  Fmt.pr "server on %s stopped@." sock
+
+let client_update sock object_name stmt =
+  with_client sock @@ fun c ->
+  let v = or_die (Penguin.Client.begin_ c) in
+  let n = or_die (Penguin.Client.queue c ~object_name stmt) in
+  let versions = or_die (Penguin.Client.commit c) in
+  Fmt.pr "staged %d update(s) at v%d, committed as version(s)%s@." n v
+    (String.concat "" (List.map (Fmt.str " %d") versions))
+
+(* The bench-style serving fixture: the university database plus
+   [courses] disjoint course/student/grade triples, so [courses]
+   concurrent clients each own a course and their grade edits batch
+   into one window without conflicting. *)
+let client_seed store courses =
+  let ins rel bindings db =
+    match Relational.Database.insert db rel (Relational.Tuple.make bindings) with
+    | Ok db -> db
+    | Error e ->
+        Fmt.epr "error: seeding %s: %s@." rel (Relational.Database.error_to_string e);
+        exit 1
+  in
+  let rec add db i =
+    if i > courses then db
+    else
+      let course = Fmt.str "BENCH%03d" i in
+      let pid = 2000 + i in
+      db
+      |> ins "COURSES"
+           [ "course_id", Relational.Value.Str course;
+             "title", Relational.Value.Str (Fmt.str "Bench %d" i);
+             "units", Relational.Value.Int 3; "level", Relational.Value.Str "grad";
+             "dept_name", Relational.Value.Str "Computer Science" ]
+      |> ins "PEOPLE"
+           [ "pid", Relational.Value.Int pid; "name", Relational.Value.Str (Fmt.str "S%d" i);
+             "dept_name", Relational.Value.Str "Computer Science" ]
+      |> ins "STUDENT"
+           [ "pid", Relational.Value.Int pid; "degree_program", Relational.Value.Str "MS CS";
+             "year", Relational.Value.Int ((i mod 4) + 1) ]
+      |> ins "GRADES"
+           [ "course_id", Relational.Value.Str course; "pid", Relational.Value.Int pid;
+             "grade", Relational.Value.Str "A" ]
+      |> fun db -> add db (i + 1)
+  in
+  let ws = Penguin.University.workspace () in
+  let ws = { ws with Penguin.Workspace.db = add ws.Penguin.Workspace.db 1 } in
+  or_die (write_file store (Penguin.Store.save ws));
+  Fmt.pr "seeded %s with %d bench course(s)@." store courses
+
+(* Scan a metrics-registry JSON string for [histogram]'s [field]
+   (e.g. "p99_ns") without a JSON parser: find the histogram's name,
+   then the field after it, then the number. *)
+let histogram_field json ~histogram ~field =
+  let ( let* ) = Option.bind in
+  let find sub from =
+    let n = String.length json and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub json i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go from
+  in
+  let* i = find (Fmt.str "%S" histogram) 0 in
+  let* j = find (Fmt.str "%S:" field) i in
+  let k = ref j in
+  let n = String.length json in
+  while
+    !k < n
+    && (match json.[!k] with
+       | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+       | _ -> false)
+  do
+    incr k
+  done;
+  float_of_string_opt (String.sub json j (!k - j))
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* The open-loop load driver and zero-lost/zero-duplicated checker the
+   CI smoke runs. Each of [clients] connections owns one seeded course
+   (disjoint footprints: every round batches conflict-free); per round
+   the driver pipelines begin+queue+commit on every connection, then
+   collects the three responses from each. A probe session brackets the
+   run: with the server the only writer, every version in (v0, v1] must
+   be acked exactly once — fewer acks mean a lost (acked-but-untracked
+   or landed-but-unacked) commit, repeated versions a duplicated one. *)
+let client_load sock clients rounds report_path =
+  let probe = or_die (Penguin.Client.connect ~sock) in
+  let v0 = or_die (Penguin.Client.begin_ probe) in
+  let conns =
+    Array.init clients (fun _ -> or_die (Penguin.Client.connect ~sock))
+  in
+  let acked = ref [] in
+  let errors = ref 0 in
+  let latencies = ref [] in
+  let t_start = Unix.gettimeofday () in
+  for r = 1 to rounds do
+    let t0 = Unix.gettimeofday () in
+    Array.iteri
+      (fun j c ->
+        or_die (Penguin.Client.send_begin c);
+        or_die
+          (Penguin.Client.send_queue c ~object_name:"omega"
+             (Fmt.str
+                "set GRADES[pid = %d] grade = 'R%dC%d' where course_id = \
+                 'BENCH%03d'"
+                (2000 + j + 1) r j (j + 1)));
+        or_die (Penguin.Client.send_commit c))
+      conns;
+    Array.iter
+      (fun c ->
+        (match Penguin.Client.recv_begin c with
+        | Ok _ -> ()
+        | Error _ -> incr errors);
+        (match Penguin.Client.recv_queue c with
+        | Ok _ -> ()
+        | Error _ -> incr errors);
+        match Penguin.Client.recv_commit c with
+        | Ok versions ->
+            acked := versions @ !acked;
+            latencies := (Unix.gettimeofday () -. t0) :: !latencies
+        | Error _ -> incr errors)
+      conns;
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  let v1 = or_die (Penguin.Client.begin_ probe) in
+  let server_stats = or_die (Penguin.Client.stats probe) in
+  Array.iter Penguin.Client.close conns;
+  Penguin.Client.close probe;
+  let n_acked = List.length !acked in
+  let distinct = List.sort_uniq compare !acked in
+  let duplicated = n_acked - List.length distinct in
+  let out_of_range = List.filter (fun v -> v <= v0 || v > v1) distinct in
+  let lost = v1 - v0 - List.length distinct in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  let server_p99_ms =
+    match
+      histogram_field server_stats ~histogram:"server.commit_ns"
+        ~field:"p99_ns"
+    with
+    | Some ns -> ns /. 1e6
+    | None -> -1.
+  in
+  let report =
+    Fmt.str
+      "{\"clients\": %d, \"rounds\": %d, \"acked\": %d, \"lost\": %d, \
+       \"duplicated\": %d, \"out_of_range\": %d, \"errors\": %d, \
+       \"versions\": [%d, %d], \"elapsed_s\": %.3f, \"commits_per_sec\": \
+       %.1f, \"client_p50_ms\": %.3f, \"client_p99_ms\": %.3f, \
+       \"server_commit_p99_ms\": %.3f}"
+      clients rounds n_acked lost duplicated
+      (List.length out_of_range)
+      !errors v0 v1 elapsed
+      (float_of_int n_acked /. Float.max 1e-9 elapsed)
+      (p50 *. 1e3) (p99 *. 1e3) server_p99_ms
+  in
+  (match report_path with
+  | None -> ()
+  | Some path -> or_die (write_file path report));
+  Fmt.pr "%s@." report;
+  if lost <> 0 || duplicated <> 0 || out_of_range <> [] then begin
+    Fmt.epr
+      "error: commit accounting is off — %d lost, %d duplicated, %d out of \
+       range@."
+      lost duplicated
+      (List.length out_of_range);
+    exit 1
+  end
+
+let client_ping_cmd =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Round-trip a ping through a serving socket.")
+    Term.(const client_ping $ serve_sock_arg)
+
+let client_stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print the server's metrics registry as JSON (counters, \
+             gauges, latency histograms with percentiles).")
+    Term.(const client_stats $ serve_sock_arg)
+
+let client_oql_cmd =
+  let object_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name.")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"OQL condition.")
+  in
+  Cmd.v
+    (Cmd.info "oql"
+       ~doc:"Query a view object through the server's materialized cache.")
+    Term.(const client_oql $ serve_sock_arg $ object_name $ query)
+
+let client_update_cmd =
+  let object_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OBJECT" ~doc:"View-object name.")
+  in
+  let stmt =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"STATEMENT" ~doc:"Update-language statement.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Begin a session on the server, queue one update statement \
+             and commit it through the current flush window.")
+    Term.(const client_update $ serve_sock_arg $ object_name $ stmt)
+
+let client_seed_cmd =
+  let store =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STORE" ~doc:"Store file to write.")
+  in
+  let courses =
+    Arg.(value & opt int 256
+         & info [ "courses" ] ~docv:"N"
+             ~doc:"Disjoint bench courses to add — one per concurrent \
+                   load client.")
+  in
+  Cmd.v
+    (Cmd.info "seed"
+       ~doc:"Write a store seeded for the load driver: the university \
+             fixture plus N disjoint courses, one per client.")
+    Term.(const client_seed $ store $ courses)
+
+let client_load_cmd =
+  let clients =
+    Arg.(value & opt int 16
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let rounds =
+    Arg.(value & opt int 10
+         & info [ "rounds" ] ~docv:"N"
+             ~doc:"Commit rounds; each round pipelines one commit per \
+                   connection.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the JSON report here.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive N concurrent commit streams against a server (seeded \
+             with $(b,client seed)) and verify the ack accounting: every \
+             committed version acked exactly once, none lost, none \
+             duplicated. Prints a JSON report with throughput and p99; \
+             exits non-zero on any accounting anomaly.")
+    Term.(const client_load $ serve_sock_arg $ clients $ rounds $ report)
+
+let client_shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Flush the server's window and stop it cleanly.")
+    Term.(const client_shutdown $ serve_sock_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Clients of $(b,penguin serve): one-shot requests, a seeding \
+             helper and the concurrent load driver the CI smoke runs.")
+    [ client_ping_cmd; client_seed_cmd; client_load_cmd; client_update_cmd;
+      client_oql_cmd; client_stats_cmd; client_shutdown_cmd ]
+
 (* --- dot ------------------------------------------------------------- *)
 
 let dot fixture =
@@ -1094,7 +1453,7 @@ let main_cmd =
           translation (Barsalou, Keller, Siambela & Wiederhold, SIGMOD '91).")
     [ figures_cmd; show_cmd; sql_cmd; oql_cmd; update_cmd; insert_cmd;
       dialog_cmd; dot_cmd; export_cmd; import_cmd; schema_cmd; session_cmd;
-      stats_cmd; shard_cmd; replica_cmd ]
+      stats_cmd; shard_cmd; replica_cmd; serve_cmd; client_cmd ]
 
 let setup_logging () =
   match Option.map String.lowercase_ascii (Sys.getenv_opt "PENGUIN_LOG") with

@@ -1,0 +1,168 @@
+open Relational
+
+let ( let* ) = Result.bind
+
+type t = {
+  fd : Unix.file_descr;
+  stream : Netio.Stream.t;
+  sock : string;
+}
+
+let sock t = t.sock
+
+let connect ~sock =
+  let* fd = Netio.connect ~sock in
+  Ok { fd; stream = Netio.Stream.create (); sock }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t payload =
+  try Ok (Netio.write_all t.fd (Journal.frame payload))
+  with Unix.Unix_error (e, fn, arg) ->
+    Error (Error.of_unix ~op:Error.Write ~path:t.sock ~fn ~arg e)
+
+(* Read until the stream yields one complete frame; the server answers
+   strictly in request order, so the next frame is always the response
+   to the oldest outstanding request. *)
+let recv_frame t =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Netio.Stream.next t.stream with
+    | `Frame payload -> Ok payload
+    | `Corrupt msg -> Error (Error.corrupt ("client: " ^ msg))
+    | `Awaiting -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, fn, arg) ->
+            Error (Error.of_unix ~op:Error.Read ~path:t.sock ~fn ~arg e)
+        | 0 ->
+            Error
+              (Error.io ~op:Error.Read ~path:t.sock ~transient:true
+                 "client: server closed the connection mid-response")
+        | k ->
+            Netio.Stream.feed t.stream chunk k;
+            go ())
+  in
+  go ()
+
+(* [(error KIND RETRYABLE "msg")] -> the same typed error the server
+   classified, so callers route on {!Error.retryable} unchanged. *)
+let typed_error ~sock kind retryable msg =
+  match kind with
+  | "conflict" -> Error.conflict msg
+  | "io" ->
+      Error.io ~op:Error.Write ~path:sock
+        ~transient:(retryable = Some true)
+        msg
+  | "corrupt" -> Error.corrupt msg
+  | "busy" -> Error.busy msg
+  | "deadline" -> Error.deadline_exceeded msg
+  | _ -> Error.invalid msg
+
+let recv t =
+  let* payload = recv_frame t in
+  let* doc =
+    Result.map_error
+      (fun m -> Error.corrupt ("client: bad response sexp: " ^ m))
+      (Sexp.parse payload)
+  in
+  match doc with
+  | Sexp.List (Sexp.Atom "ok" :: rest) -> Ok rest
+  | Sexp.List [ Sexp.Atom "error"; Sexp.Atom kind; Sexp.Atom retryable;
+                Sexp.Atom msg ] ->
+      Error (typed_error ~sock:t.sock kind (bool_of_string_opt retryable) msg)
+  | _ -> Error (Error.corrupt ("client: bad response: " ^ payload))
+
+(* --- pipelined halves --------------------------------------------------- *)
+
+let send_begin t = send t "(begin)"
+
+let recv_begin t =
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.List [ Sexp.Atom "begun"; Sexp.Atom v ] ] -> (
+      match int_of_string_opt v with
+      | Some v -> Ok v
+      | None -> Error (Error.corrupt "client: bad (begun V) version"))
+  | _ -> Error (Error.corrupt "client: unexpected response to (begin)")
+
+let send_queue t ~object_name stmt =
+  send t
+    (Sexp.to_string
+       (Sexp.List [ Sexp.Atom "queue"; Sexp.Atom object_name; Sexp.Atom stmt ]))
+
+let recv_queue t =
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.List [ Sexp.Atom "queued"; Sexp.Atom n ] ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok n
+      | None -> Error (Error.corrupt "client: bad (queued N) count"))
+  | _ -> Error (Error.corrupt "client: unexpected response to (queue)")
+
+let send_commit t = send t "(commit)"
+
+let recv_commit t =
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.List (Sexp.Atom "committed" :: _);
+      Sexp.List (Sexp.Atom "versions" :: vs) ] ->
+      let rec ints acc = function
+        | [] -> Ok (List.rev acc)
+        | Sexp.Atom v :: rest -> (
+            match int_of_string_opt v with
+            | Some v -> ints (v :: acc) rest
+            | None -> Error (Error.corrupt "client: bad committed version"))
+        | _ -> Error (Error.corrupt "client: bad (versions ..) shape")
+      in
+      ints [] vs
+  | _ -> Error (Error.corrupt "client: unexpected response to (commit)")
+
+(* --- blocking exchanges ------------------------------------------------- *)
+
+let ping t =
+  let* () = send t "(ping)" in
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.Atom "pong" ] -> Ok ()
+  | _ -> Error (Error.corrupt "client: unexpected response to (ping)")
+
+let begin_ t =
+  let* () = send_begin t in
+  recv_begin t
+
+let queue t ~object_name stmt =
+  let* () = send_queue t ~object_name stmt in
+  recv_queue t
+
+let commit t =
+  let* () = send_commit t in
+  recv_commit t
+
+let oql t ~object_name query =
+  let* () =
+    send t
+      (Sexp.to_string
+         (Sexp.List [ Sexp.Atom "oql"; Sexp.Atom object_name; Sexp.Atom query ]))
+  in
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.List [ Sexp.Atom "instances"; Sexp.Atom n ]; Sexp.Atom text ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (n, text)
+      | None -> Error (Error.corrupt "client: bad (instances N) count"))
+  | _ -> Error (Error.corrupt "client: unexpected response to (oql)")
+
+let stats t =
+  let* () = send t "(stats)" in
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.List [ Sexp.Atom "stats" ]; Sexp.Atom json ] -> Ok json
+  | _ -> Error (Error.corrupt "client: unexpected response to (stats)")
+
+let shutdown t =
+  let* () = send t "(shutdown)" in
+  let* rest = recv t in
+  match rest with
+  | [ Sexp.Atom "bye" ] -> Ok ()
+  | _ -> Error (Error.corrupt "client: unexpected response to (shutdown)")

@@ -1,0 +1,54 @@
+(** Client side of the serving wire protocol ({!Server}).
+
+    A connection multiplexes one framed request/response exchange at a
+    time — except through the [send_*]/[recv_*] pairs, which split an
+    exchange so a load driver can {e pipeline}: write [begin]+[queue]+
+    [commit] frames on many connections first, then collect the three
+    responses from each. Responses arrive strictly in request order, so
+    the split is safe whenever the writes fit the socket buffers (small
+    frames — the intended use).
+
+    A server error response [(error KIND RETRYABLE "msg")] is
+    reconstructed into a typed {!Error.t} of the same kind, so callers
+    route on {!Error.retryable} exactly as they would against the
+    in-process API. *)
+
+type t
+
+val connect : sock:string -> (t, Error.t) result
+val close : t -> unit
+
+val sock : t -> string
+
+val ping : t -> (unit, Error.t) result
+
+val begin_ : t -> (int, Error.t) result
+(** Open a snapshot session; returns the server's committed version. *)
+
+val queue : t -> object_name:string -> string -> (int, Error.t) result
+(** Translate a upql statement against the session's snapshot and stage
+    it; returns the session's pending count. *)
+
+val commit : t -> (int list, Error.t) result
+(** Commit the session's staged updates. Blocks until the server's
+    flush window lands (or rejects) them; returns the committed
+    versions in stage order. *)
+
+val oql : t -> object_name:string -> string -> (int * string, Error.t) result
+(** Run a read through the server's materialized cache; returns the
+    instance count and the rendered text. *)
+
+val stats : t -> (string, Error.t) result
+(** The server's {!Obs.Metrics} registry as a JSON string. *)
+
+val shutdown : t -> (unit, Error.t) result
+(** Ask the server to flush its window and stop serving. *)
+
+(** {2 Pipelined halves} *)
+
+val send_begin : t -> (unit, Error.t) result
+val recv_begin : t -> (int, Error.t) result
+val send_queue : t -> object_name:string -> string -> (unit, Error.t) result
+val recv_queue : t -> (int, Error.t) result
+val send_commit : t -> (unit, Error.t) result
+val recv_commit : t -> (int list, Error.t) result

@@ -309,3 +309,162 @@ let persist ?io ?sync ?rotate_threshold ?breaker ?expect_epoch ~store ~since ws
   match breaker with
   | None -> run ()
   | Some b -> Resilience.Breaker.protect b run
+
+(* --- long-lived exclusive-writer appender ----------------------------- *)
+
+module Appender = struct
+  (* {!persist} re-replays the whole journal on every call to rediscover
+     its tail version, record count and epoch — the right trade for a
+     CLI process that commits once and exits, but quadratic for a server
+     flushing hundreds of windows against one open journal. An appender
+     does that validation once, then trusts its own cursor: it may only
+     exist while the caller holds the store's exclusive lock
+     ({!Fsio.with_lock}) for the appender's whole lifetime, which is
+     what rules out the concurrent-writer races the per-call replay was
+     detecting. *)
+
+  type t = {
+    io : Fsio.t;
+    store : string;
+    jnl : Journal.t;
+    rotate_threshold : int;
+    breaker : Resilience.Breaker.t option;
+    epoch : int;
+    mutable records : int;  (* journal records since the last rotation *)
+    mutable tail : int;  (* newest version the journal holds *)
+    mutable dirty : bool;  (* a failed append/rotate may have torn the tail *)
+  }
+
+  let m_appends =
+    M.counter ~help:"incremental journal appends (no replay)"
+      "recovery.appender_appends"
+
+  let m_revalidations =
+    M.counter ~help:"appender cursor rebuilds after a failed append"
+      "recovery.appender_revalidations"
+
+  (* One full replay: fence the epoch, truncate any torn tail (we are
+     the exclusive writer, so a torn tail is a real crash/fault remnant),
+     and report (records, epoch, tail). [base] seeds a journal-less
+     store, exactly as {!persist} would on its first commit. *)
+  let validate ?expect_epoch ~store ~jnl base =
+    let* r = Journal.replay jnl in
+    match r with
+    | None ->
+        let epoch = Option.value expect_epoch ~default:0 in
+        let* () = Journal.initialize ~epoch jnl ~base in
+        Ok (0, epoch, base)
+    | Some r ->
+        let* () =
+          match expect_epoch with
+          | Some e when e <> r.Journal.epoch ->
+              Error
+                (Error.invalid
+                   (Fmt.str
+                      "appender: fenced — store %s is at epoch %d but this \
+                       handle was opened at epoch %d (a replica promoted); \
+                       reopen to resume against the new leader state"
+                      store r.Journal.epoch e))
+          | _ -> Ok ()
+        in
+        let* () =
+          if r.Journal.torn_bytes > 0 then (
+            Log.warn (fun m ->
+                m "journal for %s has a torn tail (%d byte(s)); truncating"
+                  store r.Journal.torn_bytes);
+            Journal.truncate_torn jnl ~clean_bytes:r.Journal.clean_bytes)
+          else Ok ()
+        in
+        let tail =
+          List.fold_left
+            (fun acc (e : Commit_log.entry) -> max acc e.Commit_log.version)
+            r.Journal.base r.Journal.entries
+        in
+        Ok (r.Journal.records, r.Journal.epoch, tail)
+
+  let create ?(io = Fsio.default) ?(rotate_threshold = 64) ?breaker
+      ?expect_epoch ~store ws =
+    let jnl = Journal.create ~io (Journal.journal_path store) in
+    let* records, epoch, tail =
+      validate ?expect_epoch ~store ~jnl (Workspace.version ws)
+    in
+    if tail <> Workspace.version ws then
+      Error
+        (Error.conflict
+           (Fmt.str
+              "appender: journal for %s is at v%d but the workspace is at \
+               v%d; reopen the store"
+              store tail (Workspace.version ws)))
+    else
+      Ok { io; store; jnl; rotate_threshold; breaker; epoch; records; tail;
+           dirty = false }
+
+  let tail t = t.tail
+
+  let append_unguarded t ~since ws =
+    Obs.Trace.with_span "recovery.append" @@ fun () ->
+    M.time m_persist_ns @@ fun () ->
+    let* () =
+      (* A failed append (or rotation) may have left bytes past the last
+         clean record; appending after them would put the new record
+         where replay never looks. Rebuild the cursor from disk first —
+         the cost returns only after a fault, not per flush. *)
+      if t.dirty then (
+        M.Counter.incr m_revalidations;
+        let* records, _epoch, tail =
+          validate ~expect_epoch:t.epoch ~store:t.store ~jnl:t.jnl t.tail
+        in
+        t.records <- records;
+        t.tail <- tail;
+        t.dirty <- false;
+        Ok ())
+      else Ok ()
+    in
+    if since <> t.tail then
+      Error
+        (Error.conflict
+           (Fmt.str
+              "appender: store %s is at v%d but this flush was prepared \
+               against v%d"
+              t.store t.tail since))
+    else if since < Commit_log.truncated ws.Workspace.log then
+      Error
+        (Error.invalid
+           (Fmt.str
+              "appender: history since v%d is not held (log truncated at v%d)"
+              since
+              (Commit_log.truncated ws.Workspace.log)))
+    else
+      let entries =
+        List.filter
+          (fun (e : Commit_log.entry) -> e.Commit_log.version > since)
+          (Commit_log.entries_since ws.Workspace.log since)
+      in
+      match Journal.append t.jnl ~sync:true entries with
+      | Error e ->
+          t.dirty <- true;
+          Error e
+      | Ok () ->
+          M.Counter.incr m_appends;
+          t.records <- t.records + 1;
+          t.tail <- Workspace.version ws;
+          if t.records >= t.rotate_threshold then (
+            (* Rotation preserves the epoch; a failure after the
+               append's fsync is a warning (the commit is durable, the
+               journal intact) — but it may have left the files mid-
+               rotate, so rebuild the cursor before the next append. *)
+            match snapshot ~io:t.io ~epoch:t.epoch ~store:t.store ws with
+            | Ok () ->
+                t.records <- 0;
+                Ok { rotated = true; rotate_error = None }
+            | Error e ->
+                t.dirty <- true;
+                Ok { rotated = false; rotate_error = Some e })
+          else Ok { rotated = false; rotate_error = None }
+
+  let append t ~since ws =
+    let run () = append_unguarded t ~since ws in
+    match t.breaker with
+    | None -> run ()
+    | Some b -> Resilience.Breaker.protect b run
+end

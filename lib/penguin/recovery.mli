@@ -121,3 +121,49 @@ val snapshot :
 (** Atomically rewrite the store document at the workspace's current
     state and reset the journal to extend it ({!Journal.rotate}),
     stamping [epoch] (default [0]) in the fresh journal header. *)
+
+(** Long-lived exclusive-writer journal handle. {!persist} re-replays
+    the whole journal on every call to rediscover its tail version,
+    record count and epoch — correct for a commit-and-exit CLI process,
+    quadratic for a server flushing hundreds of windows. An appender
+    performs that validation once at {!Appender.create} and then
+    appends incrementally from a trusted in-memory cursor.
+
+    Soundness precondition: the caller holds the store's exclusive lock
+    ({!Fsio.with_lock}) for the appender's {e entire} lifetime — that is
+    what rules out the concurrent-writer races the per-call replay was
+    detecting. After a failed append or rotation the cursor is marked
+    dirty and the next append rebuilds it from disk (truncating any torn
+    tail) before writing, so a fault costs one extra replay, not
+    correctness. *)
+module Appender : sig
+  type t
+
+  val create :
+    ?io:Fsio.t ->
+    ?rotate_threshold:int ->
+    ?breaker:Resilience.Breaker.t ->
+    ?expect_epoch:int ->
+    store:string ->
+    Workspace.t ->
+    (t, Error.t) result
+  (** Validate the journal once — epoch fence against [expect_epoch]
+      (refusing with {!Error.Invalid} "fenced" if a replica promoted),
+      truncate any torn tail, initialize a journal for a plain exported
+      store — and capture the record count and tail version. Refuses
+      with {!Error.Conflict} if the journal's tail does not match the
+      workspace's version (the workspace must come from {!open_store}
+      on the same store, under the same lock). [breaker] guards every
+      subsequent {!append}, as {!persist}'s [breaker] does. *)
+
+  val append : t -> since:int -> Workspace.t -> (persisted, Error.t) result
+  (** Durably record the workspace's commits after version [since] with
+      one journal append + one fsync — no replay. [since] must equal
+      the appender's cursor (the version of the last append, or of
+      {!create}); otherwise {!Error.Conflict}. Rotation at
+      [rotate_threshold] and the [rotate_error] contract match
+      {!persist}. Runs under the create-time [breaker], if any. *)
+
+  val tail : t -> int
+  (** The newest version the journal durably holds. *)
+end

@@ -160,7 +160,7 @@ module Limiter = struct
 
   let in_flight l = l.in_flight
 
-  let with_slot l f =
+  let try_acquire l =
     if l.in_flight >= l.max_in_flight then begin
       M.Counter.incr m_shed;
       Obs.Trace.tag "shed" "true";
@@ -171,8 +171,15 @@ module Limiter = struct
     end
     else begin
       l.in_flight <- l.in_flight + 1;
-      Fun.protect ~finally:(fun () -> l.in_flight <- l.in_flight - 1) f
+      Ok ()
     end
+
+  let release l = if l.in_flight > 0 then l.in_flight <- l.in_flight - 1
+
+  let with_slot l f =
+    match try_acquire l with
+    | Error _ as e -> e
+    | Ok () -> Fun.protect ~finally:(fun () -> release l) f
 end
 
 module Breaker = struct

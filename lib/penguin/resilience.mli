@@ -99,6 +99,16 @@ module Limiter : sig
       shed immediately with {!Error.Busy} (counted in
       [resilience.shed]) instead of queueing unboundedly. The slot is
       released however the function exits. *)
+
+  val try_acquire : t -> (unit, Error.t) result
+  (** Take one slot without scoping its release — for admission that
+      outlives a call frame, like a commit parked on a flush window.
+      Sheds with {!Error.Busy} (counted in [resilience.shed]) when all
+      slots are taken; on [Ok] the caller owes exactly one {!release}
+      however the admitted work ends. *)
+
+  val release : t -> unit
+  (** Return a slot taken by {!try_acquire}. *)
 end
 
 (** A circuit breaker guarding the durable write path.

@@ -1,0 +1,102 @@
+(** The network serving front end: a long-lived Unix-domain socket
+    server over a durable store, turning {!Vo_core.Engine.commit_group}'s
+    batch win (E10) into sustained throughput via {e pipelined group
+    commit}.
+
+    Many concurrent client connections speak a framed request/response
+    protocol (frames are the journal wire format — {!Netio}); each
+    connection runs snapshot {!Session}s against the server's committed
+    workspace. A [commit] request does not reply immediately: it
+    {e parks} on the current {e flush window}, and the window flushes —
+    one merged {!Vo_core.Engine.commit_group} over every parked
+    session's staged updates plus {e one} journal append and fsync
+    ({!Recovery.persist}) for the whole batch — when it reaches
+    [flush_window] parked commits, when the oldest parked commit is
+    [flush_interval_ns] old, or (with [eager_flush], the default) as
+    soon as the event loop drains its input: the window absorbs exactly
+    the commits that arrive while the previous flush runs, which is the
+    classic group-commit discipline. Culprits — a session whose staged
+    updates conflict with an earlier parked commit in the window, fail
+    re-translation after the store advanced, or are named by the merged
+    validation's sequential replay — are answered with per-request
+    typed errors while the rest of the batch lands.
+
+    Admission and degradation reuse the resilience layer: parked
+    commits take {!Resilience.Limiter} slots (full → immediate
+    {!Error.Busy} shed), and a {!Resilience.Breaker} guards the durable
+    path — when repeated durability faults trip it, commits are refused
+    with {!Error.Busy} while [oql] reads keep serving through the
+    materialized {!Viewobject.Cache} (degraded read-only serving).
+    Per-request latency histograms and [server.*] counters flow through
+    {!Obs.Metrics}; the flush path is spanned through {!Obs.Trace}.
+
+    {2 Wire protocol}
+
+    One request sexp per frame, one response frame per request, in
+    order. Responses to [commit] are deferred until its window flushes;
+    further frames pipelined on that connection wait behind the ack.
+
+    {v
+    (ping)                 -> (ok pong)
+    (begin)                -> (ok (begun V))
+    (queue "OBJ" "STMT")   -> (ok (queued N))          N staged so far
+    (commit)               -> (ok (committed N) (versions v1 .. vN))
+    (oql "OBJ" "QUERY")    -> (ok (instances N) "rendered text")
+    (stats)                -> (ok (stats) "metrics registry JSON")
+    (shutdown)             -> (ok bye)                  flushes, then stops
+    any error              -> (error KIND RETRYABLE "message")
+    v}
+
+    [KIND] is {!Error.kind}'s label and [RETRYABLE] {!Error.retryable} —
+    enough for {!Client} to reconstruct a typed error. A frame that
+    fails its checksum or exceeds the length bound is answered in-band
+    with a [corrupt] error and that connection closed; the accept loop
+    and every other connection keep serving. A connection that
+    disconnects while parked has its staged updates dropped from the
+    window; the rest of the batch lands. *)
+
+type config = {
+  flush_window : int;
+      (** parked commits that force a flush (default 64); [1] degrades
+          to per-request fsync — the E17 baseline *)
+  flush_interval_ns : float;
+      (** age of the oldest parked commit that forces a flush (default
+          10 ms) — the latency bound when input trickles *)
+  eager_flush : bool;
+      (** flush as soon as the event loop finds no input waiting
+          (default [true]); [false] batches strictly by size/age, which
+          the window-semantics tests use for determinism *)
+  max_parked : int;
+      (** admission bound on parked commits (default 256): the
+          {!Resilience.Limiter}'s slot count when [serve] creates one *)
+  max_queued : int;
+      (** per-session staged-update bound (default 128), enforced by
+          {!Session.queue}'s admission check *)
+}
+
+val default_config : config
+
+type stats = {
+  requests : int;  (** frames answered, including errors *)
+  commits : int;  (** commit requests acked durable *)
+  windows : int;  (** flushes that persisted at least one commit *)
+}
+
+val serve :
+  ?io:Fsio.t ->
+  ?config:config ->
+  ?limiter:Resilience.Limiter.t ->
+  ?breaker:Resilience.Breaker.t ->
+  store:string ->
+  sock:string ->
+  unit ->
+  (stats, Error.t) result
+(** Open the store ({!Recovery.open_store}, repairing any torn tail),
+    take its cross-process lock for the server's lifetime (a serving
+    store has exactly one writer — CLI commits against it are held off,
+    not raced), attach a materialized {!Viewobject.Cache} for reads,
+    and serve [sock] until a [(shutdown)] request. [limiter] defaults
+    to a fresh one bounded by [config.max_parked]; [breaker] to a fresh
+    default breaker. [io] is the durability layer's injectable seam —
+    the fault tests drive degraded read-only serving through it.
+    Returns serving totals after a clean shutdown. *)

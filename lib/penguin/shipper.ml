@@ -18,36 +18,11 @@ let c_request_errors =
 (* One request and one response per connection. The client writes a
    single frame holding a request sexp and shuts down its write side;
    the server answers with two frames — a status sexp, then the raw
-   payload bytes — and closes. Frames reuse the journal's
-   length+CRC-32 wire format, so a truncated or mangled transport
-   chunk fails the same checksum a torn journal tail does. *)
-
-let io_error ~op ~path fn e =
-  Error.io ~op ~path (Fmt.str "%s: %s" fn (Unix.error_message e))
-
-let write_all fd s =
-  let n = String.length s in
-  let b = Bytes.of_string s in
-  let rec go off =
-    if off >= n then ()
-    else
-      let k = Unix.write fd b off (n - off) in
-      go (off + k)
-  in
-  go 0
-
-let read_all fd =
-  let buf = Buffer.create 4096 in
-  let chunk = Bytes.create 65536 in
-  let rec go () =
-    let k = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if k = 0 then Buffer.contents buf
-    else begin
-      Buffer.add_subbytes buf chunk 0 k;
-      go ()
-    end
-  in
-  go ()
+   payload bytes — and closes. The accept/frame loop and the typed
+   classification of socket faults live in {!Netio}, shared with the
+   serving front end; frames reuse the journal's length+CRC-32 wire
+   format, so a truncated or mangled transport chunk fails the same
+   checksum a torn journal tail does. *)
 
 type request = Snapshot | Journal_from of int | Head | Quit
 
@@ -78,111 +53,52 @@ let handle feed request =
   | Journal_from off -> feed.Replica.fetch_journal ~off
   | Quit -> Ok ""
 
-let answer fd feed raw =
+let answer feed payload =
   M.Counter.incr c_requests;
-  let respond status payload =
-    write_all fd (Journal.frame status ^ Journal.frame payload)
-  in
-  let frames, _clean, torn = Journal.decode_frames raw in
-  match frames, torn with
-  | [ (_, payload) ], 0 -> (
-      match request_of_payload payload with
-      | Error m ->
-          M.Counter.incr c_request_errors;
-          respond (Fmt.str "(error %S)" m) "";
-          `Continue
-      | Ok request -> (
-          (match handle feed request with
-          | Ok payload -> respond "(ok)" payload
-          | Error e ->
-              M.Counter.incr c_request_errors;
-              respond (Fmt.str "(error %S)" (Error.to_string e)) "");
-          match request with Quit -> `Quit | _ -> `Continue))
-  | _ ->
+  match request_of_payload payload with
+  | Error m ->
       M.Counter.incr c_request_errors;
-      respond "(error \"shipper: torn request frame\")" "";
-      `Continue
-
-let serve ?io ?(max_requests = max_int) ~store ~sock () =
-  let feed = Replica.file_feed ?io store in
-  (try Unix.unlink sock with Unix.Unix_error _ -> ());
-  match
-    let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.bind srv (Unix.ADDR_UNIX sock);
-    Unix.listen srv 16;
-    Ok srv
-  with
-  | exception Unix.Unix_error (e, fn, _) ->
-      Error (io_error ~op:Error.Write ~path:sock fn e)
-  | Error _ as e -> e
-  | Ok srv ->
-      Log.info (fun m -> m "shipping %s on %s" store sock);
-      let rec loop served =
-        if served >= max_requests then begin
-          Unix.close srv;
-          Ok served
-        end
-        else
-          match Unix.accept srv with
-          | exception Unix.Unix_error (e, fn, _) ->
-              Unix.close srv;
-              Error (io_error ~op:Error.Read ~path:sock fn e)
-          | fd, _ ->
-              (* A client failing mid-exchange must not kill the
-                 server: drop the connection and keep accepting. *)
-              let outcome =
-                try answer fd feed (read_all fd)
-                with Unix.Unix_error (e, fn, _) ->
-                  Log.warn (fun m ->
-                      m "shipper: dropped connection: %s: %s" fn
-                        (Unix.error_message e));
-                  `Continue
-              in
-              (try Unix.close fd with Unix.Unix_error _ -> ());
-              (match outcome with
-              | `Quit ->
-                  Unix.close srv;
-                  Ok (served + 1)
-              | `Continue -> loop (served + 1))
+      [ Fmt.str "(error %S)" m; "" ], `Continue
+  | Ok request -> (
+      let reply =
+        match handle feed request with
+        | Ok payload -> [ "(ok)"; payload ]
+        | Error e ->
+            M.Counter.incr c_request_errors;
+            [ Fmt.str "(error %S)" (Error.to_string e); "" ]
       in
-      loop 0
+      reply, match request with Quit -> `Quit | _ -> `Continue)
+
+let serve ?io ?max_requests ~store ~sock () =
+  let feed = Replica.file_feed ?io store in
+  Log.info (fun m -> m "shipping %s on %s" store sock);
+  Netio.serve_oneshot ?max_requests ~sock ~handle:(answer feed)
+    ~on_torn:(fun () ->
+      M.Counter.incr c_request_errors;
+      [ "(error \"shipper: torn request frame\")"; "" ])
+    ()
 
 (* --- client ------------------------------------------------------------ *)
 
 let exchange ~sock request =
-  match
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        Unix.connect fd (Unix.ADDR_UNIX sock);
-        write_all fd (Journal.frame (request_payload request));
-        Unix.shutdown fd Unix.SHUTDOWN_SEND;
-        read_all fd)
-  with
-  | exception Unix.Unix_error (e, fn, _) ->
-      Error (io_error ~op:Error.Read ~path:sock fn e)
-  | raw -> (
-      let frames, _clean, torn = Journal.decode_frames raw in
-      match frames with
-      | [ (_, status); (_, payload) ] when torn = 0 -> (
-          let* doc =
-            Result.map_error (Error.corrupt_record ~path:sock)
-              (Sexp.parse status)
-          in
-          match doc with
-          | Sexp.List [ Sexp.Atom "ok" ] -> Ok payload
-          | Sexp.List [ Sexp.Atom "error"; Sexp.Atom m ] ->
-              Error (Error.io ~op:Error.Read ~path:sock ~transient:true m)
-          | _ ->
-              Error
-                (Error.corrupt_record ~path:sock "shipper: bad status frame"))
+  let* frames = Netio.oneshot_exchange ~sock (request_payload request) in
+  match frames with
+  | [ (_, status); (_, payload) ] -> (
+      let* doc =
+        Result.map_error (Error.corrupt_record ~path:sock) (Sexp.parse status)
+      in
+      match doc with
+      | Sexp.List [ Sexp.Atom "ok" ] -> Ok payload
+      | Sexp.List [ Sexp.Atom "error"; Sexp.Atom m ] ->
+          Error (Error.io ~op:Error.Read ~path:sock ~transient:true m)
       | _ ->
-          (* Truncated or mangled response: a transient transport
-             fault — the replica's refetch discipline retries it. *)
-          Error
-            (Error.io ~op:Error.Read ~path:sock ~transient:true
-               "shipper: torn response"))
+          Error (Error.corrupt_record ~path:sock "shipper: bad status frame"))
+  | _ ->
+      (* Truncated or mangled response: a transient transport fault —
+         the replica's refetch discipline retries it. *)
+      Error
+        (Error.io ~op:Error.Read ~path:sock ~transient:true
+           "shipper: torn response")
 
 let feed ~sock =
   {

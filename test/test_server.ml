@@ -1,0 +1,479 @@
+(* The serving front end: pipelined group commit over a Unix-domain
+   socket. Round-trip durability, window batching (one merged
+   commit_group + one fsync for many sessions), per-request culprit
+   errors, the disconnect-while-parked edge, limiter shedding, breaker
+   degraded read-only serving, and wire-level robustness (malformed,
+   torn and oversized frames must be answered or dropped per-connection
+   without killing the accept loop). *)
+open Test_util
+
+module C = Penguin.Client
+module S = Penguin.Server
+module E = Penguin.Error
+module F = Penguin.Fsio
+
+let store_in = Test_recovery.store_in
+
+(* The university fixture plus [courses] disjoint course/student/grade
+   triples: concurrent sessions each editing their own course stage
+   non-overlapping deltas, so a window batches them conflict-free. *)
+let make_bench_store dir courses =
+  let ins rel bindings db =
+    match Relational.Database.insert db rel (Relational.Tuple.make bindings) with
+    | Ok db -> db
+    | Error e -> Alcotest.failf "seed %s: %s" rel (Relational.Database.error_to_string e)
+  in
+  let rec add db i =
+    if i > courses then db
+    else
+      let course = Fmt.str "BENCH%03d" i in
+      let pid = 2000 + i in
+      db
+      |> ins "COURSES"
+           [ "course_id", vs course; "title", vs (Fmt.str "Bench %d" i);
+             "units", vi 3; "level", vs "grad";
+             "dept_name", vs "Computer Science" ]
+      |> ins "PEOPLE"
+           [ "pid", vi pid; "name", vs (Fmt.str "S%d" i);
+             "dept_name", vs "Computer Science" ]
+      |> ins "STUDENT"
+           [ "pid", vi pid; "degree_program", vs "MS CS"; "year", vi 1 ]
+      |> ins "GRADES" [ "course_id", vs course; "pid", vi pid; "grade", vs "A" ]
+      |> fun db -> add db (i + 1)
+  in
+  let ws = Penguin.University.workspace () in
+  let ws = { ws with Penguin.Workspace.db = add ws.Penguin.Workspace.db 1 } in
+  check_ok_e (Penguin.Store.save_file ws (store_in dir))
+
+let await_sock sock =
+  let rec go n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "server socket never appeared"
+    else begin
+      Unix.sleepf 0.005;
+      go (n - 1)
+    end
+  in
+  go 1000
+
+(* Run [f sock] against a server in a sibling domain; returns [f]'s
+   result and the server's serving totals after a clean shutdown. *)
+let with_server ?io ?config ?limiter ?breaker dir f =
+  let sock = Filename.concat dir "serve.sock" in
+  let srv =
+    Domain.spawn (fun () ->
+        S.serve ?io ?config ?limiter ?breaker ~store:(store_in dir) ~sock ())
+  in
+  let result = Fun.protect ~finally:(fun () -> ()) (fun () ->
+      await_sock sock;
+      f sock)
+  in
+  (match C.connect ~sock with
+  | Ok c ->
+      (* Idempotent: if [f] already shut the server down, the connect or
+         the shutdown fails and we fall through to the join. *)
+      ignore (C.shutdown c);
+      C.close c
+  | Error _ -> ());
+  let stats = check_ok_e (Domain.join srv) in
+  result, stats
+
+let connect sock = check_ok_e (C.connect ~sock)
+
+let grade_stmt ~course ~grade =
+  Fmt.str "set GRADES[pid = %d] grade = '%s' where course_id = 'BENCH%03d'"
+    (2000 + course) grade course
+
+(* A session round against course [course] through the blocking API. *)
+let commit_grade c ~course ~grade =
+  let _v = check_ok_e (C.begin_ c) in
+  let n = check_ok_e (C.queue c ~object_name:"omega" (grade_stmt ~course ~grade)) in
+  Alcotest.(check int) "one staged update" 1 n;
+  check_ok_e (C.commit c)
+
+(* --- round-trip durability --------------------------------------------- *)
+
+let test_roundtrip () =
+  let dir = temp_dir "server-roundtrip" in
+  make_bench_store dir 2;
+  let (), stats =
+    with_server dir (fun sock ->
+        let c = connect sock in
+        check_ok_e (C.ping c);
+        let v0 = check_ok_e (C.begin_ c) in
+        let versions = commit_grade c ~course:1 ~grade:"A+" in
+        Alcotest.(check (list int)) "one committed version" [ v0 + 1 ] versions;
+        (* The committed edit is readable through the server's cache. *)
+        let n, text =
+          check_ok_e (C.oql c ~object_name:"omega" "course_id = 'BENCH001'")
+        in
+        Alcotest.(check int) "one instance" 1 n;
+        Alcotest.(check bool) "grade visible through the cache" true
+          (Relational.Strutil.contains ~sub:"grade=A+" text);
+        C.close c)
+  in
+  Alcotest.(check int) "one commit acked" 1 stats.S.commits;
+  Alcotest.(check int) "one window persisted" 1 stats.S.windows;
+  (* Durable: a fresh process replays the journal to the same state. *)
+  let ws, _ = check_ok_e (Penguin.Recovery.open_store (store_in dir)) in
+  let cache = Penguin.Workspace.attach_cache ws in
+  let instances =
+    check_ok (Viewobject.Cache.oql cache "omega" "course_id = 'BENCH001'")
+  in
+  Alcotest.(check bool) "edit survives reopen" true
+    (Relational.Strutil.contains ~sub:"grade=A+"
+       (String.concat "" (List.map Viewobject.Instance.to_ascii instances)));
+  rm_rf dir
+
+(* --- window batching: one flush for many sessions ---------------------- *)
+
+(* eager_flush off + flush_window = n: the flush fires only once all n
+   commits are parked, so the batch boundary is deterministic. *)
+let strict_window n =
+  { S.default_config with flush_window = n; flush_interval_ns = 60e9;
+    eager_flush = false }
+
+let test_window_batches () =
+  let dir = temp_dir "server-window" in
+  let n = 3 in
+  make_bench_store dir n;
+  let versions, stats =
+    with_server ~config:(strict_window n) dir (fun sock ->
+        let conns = Array.init n (fun _ -> connect sock) in
+        let v0 = ref 0 in
+        Array.iteri
+          (fun j c ->
+            v0 := max !v0 (check_ok_e (C.begin_ c));
+            let queued =
+              check_ok_e
+                (C.queue c ~object_name:"omega"
+                   (grade_stmt ~course:(j + 1) ~grade:"B+"))
+            in
+            Alcotest.(check int) "staged" 1 queued;
+            (* Park without blocking on the ack: the window only flushes
+               once every commit has joined it. *)
+            check_ok_e (C.send_commit c))
+          conns;
+        let versions =
+          Array.to_list conns
+          |> List.concat_map (fun c -> check_ok_e (C.recv_commit c))
+        in
+        Array.iter C.close conns;
+        Alcotest.(check (list int)) "contiguous versions, acked in order"
+          (List.init n (fun i -> !v0 + i + 1))
+          (List.sort compare versions);
+        versions)
+  in
+  Alcotest.(check int) "all commits acked" n (List.length versions);
+  Alcotest.(check int) "n commits, ONE window" n stats.S.commits;
+  Alcotest.(check int) "one merged flush for the whole batch" 1
+    stats.S.windows;
+  rm_rf dir
+
+(* --- conflicting commits in one window: per-request culprits ----------- *)
+
+let test_window_conflict_culprit () =
+  let dir = temp_dir "server-conflict" in
+  make_bench_store dir 2;
+  let (), stats =
+    with_server ~config:(strict_window 2) dir (fun sock ->
+        let a = connect sock and b = connect sock in
+        (* Both sessions edit the SAME grade tuple: staged deltas
+           overlap, so the window's plan admits only the first. *)
+        List.iter
+          (fun (c, grade) ->
+            let _ = check_ok_e (C.begin_ c) in
+            let _ =
+              check_ok_e
+                (C.queue c ~object_name:"omega" (grade_stmt ~course:1 ~grade))
+            in
+            check_ok_e (C.send_commit c))
+          [ a, "C+"; b, "D+" ];
+        let won = check_ok_e (C.recv_commit a) in
+        Alcotest.(check int) "first parked commit lands" 1 (List.length won);
+        let e = check_err_e (C.recv_commit b) in
+        Alcotest.(check string) "loser gets a typed conflict" "conflict"
+          (E.kind e);
+        Alcotest.(check bool) "conflict is retryable" true (E.retryable e);
+        C.close a;
+        C.close b)
+  in
+  Alcotest.(check int) "only the winner committed" 1 stats.S.commits;
+  rm_rf dir
+
+(* --- client disconnect mid-window -------------------------------------- *)
+
+let test_disconnect_while_parked () =
+  let dir = temp_dir "server-disconnect" in
+  make_bench_store dir 2;
+  let (), stats =
+    with_server
+      ~config:{ (strict_window 2) with flush_interval_ns = 0.05e9 }
+      dir
+      (fun sock ->
+        let a = connect sock in
+        let _ = check_ok_e (C.begin_ a) in
+        let _ =
+          check_ok_e
+            (C.queue a ~object_name:"omega" (grade_stmt ~course:1 ~grade:"F"))
+        in
+        check_ok_e (C.send_commit a);
+        (* A's commit is parked; the client vanishes. Give the event
+           loop a beat to see the EOF and drop the parked entry. *)
+        C.close a;
+        Unix.sleepf 0.2;
+        (* B's commit still lands — alone, by the age trigger. *)
+        let b = connect sock in
+        let v0 = check_ok_e (C.begin_ b) in
+        let versions = commit_grade b ~course:2 ~grade:"B-" in
+        Alcotest.(check (list int)) "rest of the batch lands, A's dropped"
+          [ v0 + 1 ] versions;
+        C.close b)
+  in
+  Alcotest.(check int) "only B's commit acked" 1 stats.S.commits;
+  (* A's edit must NOT be in the durable state. *)
+  let ws, _ = check_ok_e (Penguin.Recovery.open_store (store_in dir)) in
+  let cache = Penguin.Workspace.attach_cache ws in
+  let text =
+    String.concat ""
+      (List.map Viewobject.Instance.to_ascii
+         (check_ok (Viewobject.Cache.oql cache "omega" "course_id = 'BENCH001'")))
+  in
+  Alcotest.(check bool) "dropped commit left no trace" false
+    (Relational.Strutil.contains ~sub:"grade=F" text);
+  rm_rf dir
+
+(* --- limiter: immediate Busy shed -------------------------------------- *)
+
+let test_limiter_shed () =
+  let dir = temp_dir "server-shed" in
+  make_bench_store dir 2;
+  let limiter = Penguin.Resilience.Limiter.create ~label:"test" ~max_in_flight:1 () in
+  let (), _stats =
+    with_server ~limiter ~config:(strict_window 16) dir (fun sock ->
+        let a = connect sock and b = connect sock in
+        let _ = check_ok_e (C.begin_ a) in
+        let _ =
+          check_ok_e
+            (C.queue a ~object_name:"omega" (grade_stmt ~course:1 ~grade:"C"))
+        in
+        check_ok_e (C.send_commit a);
+        (* A holds the only slot. B's commit is shed immediately —
+           typed Busy, not a queue or a hang. *)
+        let _ = check_ok_e (C.begin_ b) in
+        let _ =
+          check_ok_e
+            (C.queue b ~object_name:"omega" (grade_stmt ~course:2 ~grade:"C"))
+        in
+        let e = check_err_e (C.commit b) in
+        Alcotest.(check string) "shed with typed Busy" "busy" (E.kind e);
+        Alcotest.(check bool) "busy is retryable" true (E.retryable e);
+        (* Shutdown flushes the held window: A's parked commit still
+           lands and is acked before the server stops. *)
+        let c = connect sock in
+        check_ok_e (C.shutdown c);
+        let won = check_ok_e (C.recv_commit a) in
+        Alcotest.(check int) "parked commit acked at shutdown flush" 1
+          (List.length won);
+        C.close a; C.close b; C.close c)
+  in
+  rm_rf dir
+
+(* --- breaker: degraded read-only serving -------------------------------- *)
+
+let test_breaker_degraded_reads () =
+  let dir = temp_dir "server-degraded" in
+  make_bench_store dir 2;
+  (* Prime the journal with one clean commit so the serve-time open
+     finds it initialized, then fail every fsync hard: the first flush
+     trips the threshold-1 breaker. *)
+  let _ =
+    check_ok_e
+      (Test_recovery.commit_grade ~io:F.default dir ("CS345", 2) "B+")
+  in
+  let io = F.Fault.inject ~seed:7 ~rate:1.0 ~kind:F.Fault.Hard ~ops:[ `Sync ] F.default in
+  let breaker = Penguin.Resilience.Breaker.create ~label:"test" ~threshold:1 () in
+  let (), stats =
+    with_server ~io ~breaker dir (fun sock ->
+        let c = connect sock in
+        let _ = check_ok_e (C.begin_ c) in
+        let _ =
+          check_ok_e
+            (C.queue c ~object_name:"omega" (grade_stmt ~course:1 ~grade:"D"))
+        in
+        (* First commit reaches the durable path and fails it: typed,
+           non-retryable Io — and the breaker trips. *)
+        let e = check_err_e (C.commit c) in
+        Alcotest.(check string) "durability fault surfaces as Io" "io"
+          (E.kind e);
+        Alcotest.(check bool) "breaker tripped" true
+          (Penguin.Resilience.Breaker.degraded breaker);
+        (* Writes are now refused up front with Busy... *)
+        let _ = check_ok_e (C.begin_ c) in
+        let _ =
+          check_ok_e
+            (C.queue c ~object_name:"omega" (grade_stmt ~course:1 ~grade:"D"))
+        in
+        let e = check_err_e (C.commit c) in
+        Alcotest.(check string) "degraded mode refuses writes with Busy"
+          "busy" (E.kind e);
+        (* ...while reads keep serving through the cache. *)
+        let n, _ =
+          check_ok_e (C.oql c ~object_name:"omega" "course_id = 'BENCH001'")
+        in
+        Alcotest.(check int) "reads still served degraded" 1 n;
+        C.close c)
+  in
+  Alcotest.(check int) "nothing acked durable" 0 stats.S.commits;
+  rm_rf dir
+
+(* --- wire robustness ---------------------------------------------------- *)
+
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let write_raw fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* Read everything until EOF and decode the journal frames. *)
+let read_frames fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  drain ();
+  let frames, _, _ =
+    Penguin.Journal.decode_frames (Buffer.contents buf)
+  in
+  List.map snd frames
+
+let test_corrupt_frame_answered_in_band () =
+  let dir = temp_dir "server-corrupt-frame" in
+  make_bench_store dir 1;
+  let (), _stats =
+    with_server dir (fun sock ->
+        let fd = raw_connect sock in
+        (* A well-framed ping with its last payload byte flipped: the
+           CRC fails, the server answers in-band and drops the conn. *)
+        let frame = Bytes.of_string (Penguin.Journal.frame "(ping)") in
+        let last = Bytes.length frame - 1 in
+        Bytes.set frame last (Char.chr (Char.code (Bytes.get frame last) lxor 0xFF));
+        write_raw fd (Bytes.to_string frame);
+        (match read_frames fd with
+        | [ reply ] ->
+            Alcotest.(check bool) "in-band corrupt error" true
+              (Relational.Strutil.contains ~sub:"(error corrupt" reply)
+        | l -> Alcotest.failf "expected one error frame, got %d" (List.length l));
+        Unix.close fd;
+        (* The accept loop survived: a fresh client still serves. *)
+        let c = connect sock in
+        check_ok_e (C.ping c);
+        C.close c)
+  in
+  rm_rf dir
+
+let test_oversized_frame_answered_in_band () =
+  let dir = temp_dir "server-oversized" in
+  make_bench_store dir 1;
+  let (), _stats =
+    with_server dir (fun sock ->
+        let fd = raw_connect sock in
+        (* A length prefix past the frame bound: corrupt before any
+           payload arrives — answered and dropped, not buffered. *)
+        let b = Bytes.create 8 in
+        Bytes.set_int32_be b 0 0x7FFFFFFFl;
+        Bytes.set_int32_be b 4 0l;
+        write_raw fd (Bytes.to_string b);
+        (match read_frames fd with
+        | [ reply ] ->
+            Alcotest.(check bool) "oversized length is corrupt" true
+              (Relational.Strutil.contains ~sub:"(error corrupt" reply)
+        | l -> Alcotest.failf "expected one error frame, got %d" (List.length l));
+        Unix.close fd;
+        let c = connect sock in
+        check_ok_e (C.ping c);
+        C.close c)
+  in
+  rm_rf dir
+
+let test_malformed_and_torn_requests () =
+  let dir = temp_dir "server-malformed" in
+  make_bench_store dir 1;
+  let (), _stats =
+    with_server dir (fun sock ->
+        (* A well-framed but meaningless request: typed Invalid in-band,
+           and the SAME connection keeps serving. *)
+        let fd = raw_connect sock in
+        write_raw fd (Penguin.Journal.frame "(bogus request)");
+        write_raw fd (Penguin.Journal.frame "(ping)");
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        (match read_frames fd with
+        | [ err; pong ] ->
+            Alcotest.(check bool) "typed invalid answer" true
+              (Relational.Strutil.contains ~sub:"(error invalid" err);
+            Alcotest.(check string) "connection survives a bad request"
+              "(ok pong)" pong
+        | l -> Alcotest.failf "expected two frames, got %d" (List.length l));
+        Unix.close fd;
+        (* A torn request — half a frame, then the client dies. The
+           server drops the connection; the accept loop lives on. *)
+        let fd = raw_connect sock in
+        let frame = Penguin.Journal.frame "(ping)" in
+        write_raw fd (String.sub frame 0 6);
+        Unix.close fd;
+        let c = connect sock in
+        check_ok_e (C.ping c);
+        C.close c)
+  in
+  rm_rf dir
+
+(* --- stats surface ------------------------------------------------------ *)
+
+let test_stats_surface () =
+  let dir = temp_dir "server-stats" in
+  make_bench_store dir 1;
+  let (), _stats =
+    with_server dir (fun sock ->
+        let c = connect sock in
+        let _ = commit_grade c ~course:1 ~grade:"A-" in
+        let json = check_ok_e (C.stats c) in
+        List.iter
+          (fun sub ->
+            Alcotest.(check bool) (sub ^ " exported") true
+              (Relational.Strutil.contains ~sub json))
+          [ "\"server.requests\""; "\"server.commits\""; "\"server.windows\"";
+            "\"server.commit_ns\""; "\"p99_ns\"" ];
+        C.close c)
+  in
+  rm_rf dir
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip: ping, commit, read, durable reopen" `Quick
+      test_roundtrip;
+    Alcotest.test_case "window: n sessions, one merged flush" `Quick
+      test_window_batches;
+    Alcotest.test_case "window: overlapping commit is the culprit" `Quick
+      test_window_conflict_culprit;
+    Alcotest.test_case "window: disconnect while parked drops only that commit"
+      `Quick test_disconnect_while_parked;
+    Alcotest.test_case "limiter: full admission sheds with Busy" `Quick
+      test_limiter_shed;
+    Alcotest.test_case "breaker: degraded mode serves reads, refuses writes"
+      `Quick test_breaker_degraded_reads;
+    Alcotest.test_case "wire: corrupt frame answered in-band" `Quick
+      test_corrupt_frame_answered_in_band;
+    Alcotest.test_case "wire: oversized frame answered in-band" `Quick
+      test_oversized_frame_answered_in_band;
+    Alcotest.test_case "wire: malformed and torn requests" `Quick
+      test_malformed_and_torn_requests;
+    Alcotest.test_case "stats: server.* counters and histograms exported"
+      `Quick test_stats_surface;
+  ]
